@@ -1,0 +1,152 @@
+//! Exact nested-loop engine: the correctness oracle.
+
+use crate::types::{CentralEngine, ObjectReport, QueryDef};
+use mobieyes_core::{ObjectId, Properties, QueryId};
+use mobieyes_geo::{Point, Region};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Evaluates every query against every object, exactly, each tick. O(n·q)
+/// per tick — only viable for tests and small scenes, but unarguably
+/// correct, which is what an oracle is for.
+#[derive(Debug, Default)]
+pub struct BruteForceEngine {
+    props: HashMap<ObjectId, Properties>,
+    positions: HashMap<ObjectId, Point>,
+    queries: BTreeMap<QueryId, QueryDef>,
+    results: BTreeMap<QueryId, BTreeSet<ObjectId>>,
+}
+
+impl BruteForceEngine {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Last ingested position of an object.
+    pub fn position_of(&self, oid: ObjectId) -> Option<Point> {
+        self.positions.get(&oid).copied()
+    }
+}
+
+impl CentralEngine for BruteForceEngine {
+    fn name(&self) -> &'static str {
+        "brute-force"
+    }
+
+    fn register_object(&mut self, oid: ObjectId, props: Properties) {
+        self.props.insert(oid, props);
+    }
+
+    fn install_query(&mut self, def: QueryDef) {
+        self.results.insert(def.qid, BTreeSet::new());
+        self.queries.insert(def.qid, def);
+    }
+
+    fn remove_query(&mut self, qid: QueryId) -> bool {
+        self.results.remove(&qid);
+        self.queries.remove(&qid).is_some()
+    }
+
+    fn tick(&mut self, reports: &[ObjectReport], _t: f64) {
+        for r in reports {
+            self.positions.insert(r.oid, r.pos);
+        }
+        let empty = Properties::new();
+        for (qid, def) in &self.queries {
+            let result = self.results.get_mut(qid).expect("result set exists");
+            result.clear();
+            let Some(&center) = self.positions.get(&def.focal) else {
+                continue; // Focal object never reported: empty result.
+            };
+            for (&oid, &pos) in &self.positions {
+                if def.region.contains_from(center, pos)
+                    && def.filter.matches(oid, self.props.get(&oid).unwrap_or(&empty))
+                {
+                    result.insert(oid);
+                }
+            }
+        }
+    }
+
+    fn result(&self, qid: QueryId) -> Option<&BTreeSet<ObjectId>> {
+        self.results.get(&qid)
+    }
+
+    fn num_queries(&self) -> usize {
+        self.queries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobieyes_core::Filter;
+    use mobieyes_geo::{QueryRegion, Vec2};
+    use std::sync::Arc;
+
+    fn report(oid: u32, x: f64, y: f64) -> ObjectReport {
+        ObjectReport { oid: ObjectId(oid), pos: Point::new(x, y), vel: Vec2::ZERO, tm: 0.0 }
+    }
+
+    fn def(qid: u32, focal: u32, r: f64) -> QueryDef {
+        QueryDef {
+            qid: QueryId(qid),
+            focal: ObjectId(focal),
+            region: QueryRegion::circle(r),
+            filter: Arc::new(Filter::True),
+        }
+    }
+
+    #[test]
+    fn finds_objects_inside_moving_circle() {
+        let mut e = BruteForceEngine::new();
+        for i in 0..5 {
+            e.register_object(ObjectId(i), Properties::new());
+        }
+        e.install_query(def(0, 0, 2.0));
+        e.tick(&[report(0, 0.0, 0.0), report(1, 1.0, 0.0), report(2, 5.0, 0.0)], 0.0);
+        let r = e.result(QueryId(0)).unwrap();
+        assert!(r.contains(&ObjectId(1)));
+        assert!(!r.contains(&ObjectId(2)));
+        // The focal object itself is inside its own region.
+        assert!(r.contains(&ObjectId(0)));
+        // The query moves with the focal object.
+        e.tick(&[report(0, 5.0, 0.0)], 1.0);
+        let r = e.result(QueryId(0)).unwrap();
+        assert!(r.contains(&ObjectId(2)));
+        assert!(!r.contains(&ObjectId(1)));
+    }
+
+    #[test]
+    fn filter_restricts_results() {
+        let mut e = BruteForceEngine::new();
+        e.register_object(ObjectId(0), Properties::new());
+        e.register_object(ObjectId(1), Properties::new().with("color", "red"));
+        e.register_object(ObjectId(2), Properties::new().with("color", "blue"));
+        let mut d = def(0, 0, 10.0);
+        d.filter = Arc::new(Filter::Eq("color".into(), "red".into()));
+        e.install_query(d);
+        e.tick(&[report(0, 0.0, 0.0), report(1, 1.0, 0.0), report(2, 1.0, 1.0)], 0.0);
+        let r = e.result(QueryId(0)).unwrap();
+        assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec![ObjectId(1)]);
+    }
+
+    #[test]
+    fn missing_focal_gives_empty_result() {
+        let mut e = BruteForceEngine::new();
+        e.register_object(ObjectId(1), Properties::new());
+        e.install_query(def(0, 99, 10.0));
+        e.tick(&[report(1, 0.0, 0.0)], 0.0);
+        assert!(e.result(QueryId(0)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn remove_query() {
+        let mut e = BruteForceEngine::new();
+        e.install_query(def(0, 0, 1.0));
+        assert_eq!(e.num_queries(), 1);
+        assert!(e.remove_query(QueryId(0)));
+        assert!(!e.remove_query(QueryId(0)));
+        assert_eq!(e.num_queries(), 0);
+        assert!(e.result(QueryId(0)).is_none());
+    }
+}

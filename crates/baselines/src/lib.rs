@@ -1,0 +1,30 @@
+//! Centralized baselines the paper compares MobiEyes against (§5.2–5.3).
+//!
+//! All three engines answer the same moving-query workload as the
+//! distributed protocol, but at a central server fed with per-tick object
+//! position reports:
+//!
+//! - [`ObjectIndexEngine`]: an R*-tree over object positions, updated on
+//!   every report; all queries are re-evaluated against the index
+//!   periodically (the paper's *indexing objects* approach).
+//! - [`QueryIndexEngine`]: an R*-tree over query bounding boxes, updated
+//!   when focal objects move; each incoming object position is run through
+//!   the index and the results are maintained differentially (the paper's
+//!   *indexing queries* approach).
+//! - [`BruteForceEngine`]: no index at all — exact nested-loop evaluation.
+//!   It doubles as the ground-truth oracle in tests.
+//!
+//! The *naive* and *central optimal* baselines of the messaging-cost
+//! experiments differ only in what objects send (positions every tick vs
+//! dead-reckoned velocity updates), not in server data structures; their
+//! message accounting lives in `mobieyes-sim`.
+
+pub mod brute;
+pub mod object_index;
+pub mod query_index;
+pub mod types;
+
+pub use brute::BruteForceEngine;
+pub use object_index::ObjectIndexEngine;
+pub use query_index::QueryIndexEngine;
+pub use types::{CentralEngine, ObjectReport, QueryDef};

@@ -1,0 +1,256 @@
+//! The *indexing objects* centralized baseline (paper §5.2).
+//!
+//! "In this approach a spatial index is built over object locations. We use
+//! an R*-tree for this purpose. As new object positions are received, the
+//! spatial index is updated with the new information. Periodically all
+//! queries are evaluated against the object index." Its dominant cost is
+//! index maintenance — one delete+insert per moving object per tick — which
+//! is why the paper observes an almost constant (and high) server load
+//! regardless of query count.
+
+use crate::types::{CentralEngine, ObjectReport, QueryDef};
+use mobieyes_core::{ObjectId, Properties, QueryId};
+use mobieyes_geo::{Point, Rect, Region};
+use mobieyes_rstar::RStarTree;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// R*-tree over object positions; periodic full query sweep.
+#[derive(Debug, Default)]
+pub struct ObjectIndexEngine {
+    tree: RStarTree<ObjectId>,
+    positions: HashMap<ObjectId, Point>,
+    props: HashMap<ObjectId, Properties>,
+    queries: BTreeMap<QueryId, QueryDef>,
+    results: BTreeMap<QueryId, BTreeSet<ObjectId>>,
+}
+
+impl ObjectIndexEngine {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Index size (diagnostics).
+    pub fn indexed_objects(&self) -> usize {
+        self.tree.len()
+    }
+
+    /// The `k` objects nearest to `pos` that satisfy `filter`, closest
+    /// first — a snapshot k-nearest-neighbor query over the object index
+    /// (the centralized counterpart of the NN queries in the paper's
+    /// related work). Distances are to the last reported positions.
+    pub fn k_nearest(
+        &self,
+        pos: Point,
+        k: usize,
+        filter: &mobieyes_core::Filter,
+    ) -> Vec<(ObjectId, f64)> {
+        let empty = Properties::new();
+        // Over-fetch and post-filter: ask the tree for progressively more
+        // neighbors until k pass the filter or the tree is exhausted.
+        let mut want = k.max(1) * 2;
+        loop {
+            let candidates = self.tree.nearest(pos, want);
+            let exhausted = candidates.len() < want;
+            let hits: Vec<(ObjectId, f64)> = candidates
+                .into_iter()
+                .filter(|(_, &oid, _)| {
+                    filter.matches(oid, self.props.get(&oid).unwrap_or(&empty))
+                })
+                .map(|(_, &oid, d)| (oid, d))
+                .take(k)
+                .collect();
+            if hits.len() == k || exhausted {
+                return hits;
+            }
+            want *= 2;
+        }
+    }
+
+    #[cfg(test)]
+    fn check(&self) {
+        self.tree.check_invariants();
+        assert_eq!(self.tree.len(), self.positions.len());
+    }
+}
+
+impl CentralEngine for ObjectIndexEngine {
+    fn name(&self) -> &'static str {
+        "object-index"
+    }
+
+    fn register_object(&mut self, oid: ObjectId, props: Properties) {
+        self.props.insert(oid, props);
+    }
+
+    fn install_query(&mut self, def: QueryDef) {
+        self.results.insert(def.qid, BTreeSet::new());
+        self.queries.insert(def.qid, def);
+    }
+
+    fn remove_query(&mut self, qid: QueryId) -> bool {
+        self.results.remove(&qid);
+        self.queries.remove(&qid).is_some()
+    }
+
+    fn tick(&mut self, reports: &[ObjectReport], _t: f64) {
+        // 1. Index maintenance: delete + reinsert every reported position.
+        for r in reports {
+            match self.positions.insert(r.oid, r.pos) {
+                Some(old) if old == r.pos => {} // did not move: index untouched
+                Some(old) => {
+                    self.tree.update(&Rect::from_point(old), Rect::from_point(r.pos), r.oid);
+                }
+                None => self.tree.insert(Rect::from_point(r.pos), r.oid),
+            }
+        }
+        // 2. Periodic evaluation of every query against the object index.
+        let empty = Properties::new();
+        for (qid, def) in &self.queries {
+            let result = self.results.get_mut(qid).expect("result set exists");
+            result.clear();
+            let Some(&center) = self.positions.get(&def.focal) else {
+                continue;
+            };
+            let window = def.region.bbox_from(center);
+            self.tree.for_each_intersecting(&window, |_, &oid| {
+                let pos = self.positions[&oid];
+                if def.region.contains_from(center, pos)
+                    && def.filter.matches(oid, self.props.get(&oid).unwrap_or(&empty))
+                {
+                    result.insert(oid);
+                }
+            });
+        }
+    }
+
+    fn result(&self, qid: QueryId) -> Option<&BTreeSet<ObjectId>> {
+        self.results.get(&qid)
+    }
+
+    fn num_queries(&self) -> usize {
+        self.queries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::BruteForceEngine;
+    use mobieyes_core::Filter;
+    use mobieyes_geo::{QueryRegion, Vec2};
+    use std::sync::Arc;
+
+    fn report(oid: u32, x: f64, y: f64) -> ObjectReport {
+        ObjectReport { oid: ObjectId(oid), pos: Point::new(x, y), vel: Vec2::ZERO, tm: 0.0 }
+    }
+
+    fn def(qid: u32, focal: u32, r: f64) -> QueryDef {
+        QueryDef {
+            qid: QueryId(qid),
+            focal: ObjectId(focal),
+            region: QueryRegion::circle(r),
+            filter: Arc::new(Filter::True),
+        }
+    }
+
+    /// Deterministic pseudo-random stream.
+    fn lcg(seed: &mut u64) -> f64 {
+        *seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((*seed >> 33) as f64) / ((1u64 << 31) as f64)
+    }
+
+    #[test]
+    fn matches_brute_force_over_random_motion() {
+        let mut oi = ObjectIndexEngine::new();
+        let mut bf = BruteForceEngine::new();
+        let n = 120u32;
+        for i in 0..n {
+            oi.register_object(ObjectId(i), Properties::new());
+            bf.register_object(ObjectId(i), Properties::new());
+        }
+        for q in 0..10u32 {
+            oi.install_query(def(q, q * 11, 8.0));
+            bf.install_query(def(q, q * 11, 8.0));
+        }
+        let mut seed = 7u64;
+        let mut positions: Vec<Point> =
+            (0..n).map(|_| Point::new(lcg(&mut seed) * 100.0, lcg(&mut seed) * 100.0)).collect();
+        for step in 0..10 {
+            for p in positions.iter_mut() {
+                p.x = (p.x + (lcg(&mut seed) - 0.5) * 10.0).clamp(0.0, 100.0);
+                p.y = (p.y + (lcg(&mut seed) - 0.5) * 10.0).clamp(0.0, 100.0);
+            }
+            let reports: Vec<ObjectReport> =
+                positions.iter().enumerate().map(|(i, p)| report(i as u32, p.x, p.y)).collect();
+            oi.tick(&reports, step as f64);
+            bf.tick(&reports, step as f64);
+            oi.check();
+            for q in 0..10u32 {
+                assert_eq!(
+                    oi.result(QueryId(q)).unwrap(),
+                    bf.result(QueryId(q)).unwrap(),
+                    "step {step}, query {q}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unmoved_objects_do_not_touch_index() {
+        let mut oi = ObjectIndexEngine::new();
+        oi.register_object(ObjectId(0), Properties::new());
+        oi.tick(&[report(0, 5.0, 5.0)], 0.0);
+        assert_eq!(oi.indexed_objects(), 1);
+        // Same position again: no index churn (still one entry, valid tree).
+        oi.tick(&[report(0, 5.0, 5.0)], 1.0);
+        assert_eq!(oi.indexed_objects(), 1);
+        oi.check();
+    }
+
+    #[test]
+    fn k_nearest_returns_closest_matching_objects() {
+        let mut oi = ObjectIndexEngine::new();
+        for i in 0..50u32 {
+            let props = if i % 2 == 0 {
+                Properties::new().with("kind", "taxi")
+            } else {
+                Properties::new()
+            };
+            oi.register_object(ObjectId(i), props);
+        }
+        let reports: Vec<ObjectReport> =
+            (0..50).map(|i| report(i, i as f64, 0.0)).collect();
+        oi.tick(&reports, 0.0);
+        // Nearest 3 to x=10.2: objects 10, 11, 9 (dist 0.2, 0.8, 1.2).
+        let all = oi.k_nearest(Point::new(10.2, 0.0), 3, &Filter::True);
+        assert_eq!(all.iter().map(|&(o, _)| o.0).collect::<Vec<_>>(), vec![10, 11, 9]);
+        // Taxi-only: evens 10, 12, 8.
+        let taxis = oi.k_nearest(
+            Point::new(10.2, 0.0),
+            3,
+            &Filter::Eq("kind".into(), "taxi".into()),
+        );
+        assert_eq!(taxis.iter().map(|&(o, _)| o.0).collect::<Vec<_>>(), vec![10, 12, 8]);
+        // k larger than matches returns all matches.
+        let many = oi.k_nearest(Point::new(0.0, 0.0), 100, &Filter::Eq("kind".into(), "taxi".into()));
+        assert_eq!(many.len(), 25);
+        // Distances ascend.
+        for w in many.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn filters_apply() {
+        let mut oi = ObjectIndexEngine::new();
+        oi.register_object(ObjectId(0), Properties::new());
+        oi.register_object(ObjectId(1), Properties::new().with("kind", "taxi"));
+        oi.register_object(ObjectId(2), Properties::new().with("kind", "bus"));
+        let mut d = def(0, 0, 10.0);
+        d.filter = Arc::new(Filter::Eq("kind".into(), "taxi".into()));
+        oi.install_query(d);
+        oi.tick(&[report(0, 0.0, 0.0), report(1, 1.0, 1.0), report(2, 2.0, 2.0)], 0.0);
+        let r = oi.result(QueryId(0)).unwrap();
+        assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec![ObjectId(1)]);
+    }
+}

@@ -1,0 +1,276 @@
+//! The *indexing queries* centralized baseline (paper §5.2).
+//!
+//! "In this approach a spatial index ... is built over moving queries. As
+//! the new positions of the focal objects of the queries are received, the
+//! spatial index is updated. ... When a new object position is received, it
+//! is run through the query index to determine to which queries this object
+//! actually contributes. Then the object is added to the results of these
+//! queries, and is removed from the results of other queries that have
+//! included it as a target object before."
+//!
+//! Its dominant cost scales with the number of *focal* position changes
+//! (index updates), so it beats the object index for few queries and loses
+//! ground as the query count grows — the crossover Figure 1 shows.
+
+use crate::types::{CentralEngine, ObjectReport, QueryDef};
+use mobieyes_core::{ObjectId, Properties, QueryId};
+use mobieyes_geo::{Point, Rect, Region};
+use mobieyes_rstar::RStarTree;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// R*-tree over query bounding boxes; differential result maintenance.
+#[derive(Debug, Default)]
+pub struct QueryIndexEngine {
+    tree: RStarTree<QueryId>,
+    /// Rectangle currently stored in the tree for each query.
+    rects: HashMap<QueryId, Rect>,
+    queries: BTreeMap<QueryId, QueryDef>,
+    /// Queries per focal object (to find index entries to move).
+    by_focal: HashMap<ObjectId, Vec<QueryId>>,
+    /// Last known positions of all reporting objects (the central server
+    /// sees every position anyway; focal lookups read from here).
+    focal_pos: HashMap<ObjectId, Point>,
+    /// Queries each object currently belongs to (for differential update).
+    memberships: HashMap<ObjectId, BTreeSet<QueryId>>,
+    props: HashMap<ObjectId, Properties>,
+    results: BTreeMap<QueryId, BTreeSet<ObjectId>>,
+}
+
+impl QueryIndexEngine {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn indexed_queries(&self) -> usize {
+        self.tree.len()
+    }
+
+    #[cfg(test)]
+    fn check(&self) {
+        self.tree.check_invariants();
+        assert_eq!(self.tree.len(), self.rects.len());
+    }
+
+    /// (Re)positions a query's rectangle in the index for a focal position.
+    fn place_query(&mut self, qid: QueryId, center: Point) {
+        let def = &self.queries[&qid];
+        let rect = def.region.bbox_from(center);
+        match self.rects.insert(qid, rect) {
+            Some(old) if old == rect => {}
+            Some(old) => {
+                self.tree.update(&old, rect, qid);
+            }
+            None => self.tree.insert(rect, qid),
+        }
+    }
+}
+
+impl CentralEngine for QueryIndexEngine {
+    fn name(&self) -> &'static str {
+        "query-index"
+    }
+
+    fn register_object(&mut self, oid: ObjectId, props: Properties) {
+        self.props.insert(oid, props);
+    }
+
+    fn install_query(&mut self, def: QueryDef) {
+        let qid = def.qid;
+        let focal = def.focal;
+        self.results.insert(qid, BTreeSet::new());
+        self.by_focal.entry(focal).or_default().push(qid);
+        self.queries.insert(qid, def);
+        if let Some(&pos) = self.focal_pos.get(&focal) {
+            self.place_query(qid, pos);
+        }
+    }
+
+    fn remove_query(&mut self, qid: QueryId) -> bool {
+        let Some(def) = self.queries.remove(&qid) else {
+            return false;
+        };
+        if let Some(rect) = self.rects.remove(&qid) {
+            self.tree.remove(&rect, &qid);
+        }
+        if let Some(v) = self.by_focal.get_mut(&def.focal) {
+            v.retain(|&q| q != qid);
+            if v.is_empty() {
+                self.by_focal.remove(&def.focal);
+            }
+        }
+        self.results.remove(&qid);
+        for m in self.memberships.values_mut() {
+            m.remove(&qid);
+        }
+        true
+    }
+
+    fn tick(&mut self, reports: &[ObjectReport], _t: f64) {
+        // 1. Record positions and move query rectangles for focal objects.
+        for r in reports {
+            self.focal_pos.insert(r.oid, r.pos);
+            if self.by_focal.contains_key(&r.oid) {
+                let qids = self.by_focal[&r.oid].clone();
+                for qid in qids {
+                    self.place_query(qid, r.pos);
+                }
+            }
+        }
+        // 2. Run every reported object position through the query index and
+        // update memberships differentially.
+        let empty = Properties::new();
+        for r in reports {
+            let mut now: BTreeSet<QueryId> = BTreeSet::new();
+            self.tree.for_each_intersecting(&Rect::from_point(r.pos), |_, &qid| {
+                let def = &self.queries[&qid];
+                let center = self.focal_pos[&def.focal];
+                if def.region.contains_from(center, r.pos)
+                    && def.filter.matches(r.oid, self.props.get(&r.oid).unwrap_or(&empty))
+                {
+                    now.insert(qid);
+                }
+            });
+            let before = self.memberships.entry(r.oid).or_default();
+            for &qid in now.difference(before) {
+                self.results.get_mut(&qid).expect("live query").insert(r.oid);
+            }
+            for &qid in before.difference(&now) {
+                if let Some(res) = self.results.get_mut(&qid) {
+                    res.remove(&r.oid);
+                }
+            }
+            *before = now;
+        }
+    }
+
+    fn result(&self, qid: QueryId) -> Option<&BTreeSet<ObjectId>> {
+        self.results.get(&qid)
+    }
+
+    fn num_queries(&self) -> usize {
+        self.queries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::BruteForceEngine;
+    use mobieyes_core::Filter;
+    use mobieyes_geo::{QueryRegion, Vec2};
+    use std::sync::Arc;
+
+    fn report(oid: u32, x: f64, y: f64) -> ObjectReport {
+        ObjectReport { oid: ObjectId(oid), pos: Point::new(x, y), vel: Vec2::ZERO, tm: 0.0 }
+    }
+
+    fn def(qid: u32, focal: u32, r: f64) -> QueryDef {
+        QueryDef {
+            qid: QueryId(qid),
+            focal: ObjectId(focal),
+            region: QueryRegion::circle(r),
+            filter: Arc::new(Filter::True),
+        }
+    }
+
+    fn lcg(seed: &mut u64) -> f64 {
+        *seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((*seed >> 33) as f64) / ((1u64 << 31) as f64)
+    }
+
+    #[test]
+    fn matches_brute_force_over_random_motion() {
+        let mut qi = QueryIndexEngine::new();
+        let mut bf = BruteForceEngine::new();
+        let n = 120u32;
+        for i in 0..n {
+            qi.register_object(ObjectId(i), Properties::new());
+            bf.register_object(ObjectId(i), Properties::new());
+        }
+        for q in 0..10u32 {
+            qi.install_query(def(q, q * 11, 8.0));
+            bf.install_query(def(q, q * 11, 8.0));
+        }
+        let mut seed = 99u64;
+        let mut positions: Vec<Point> =
+            (0..n).map(|_| Point::new(lcg(&mut seed) * 100.0, lcg(&mut seed) * 100.0)).collect();
+        for step in 0..10 {
+            for p in positions.iter_mut() {
+                p.x = (p.x + (lcg(&mut seed) - 0.5) * 10.0).clamp(0.0, 100.0);
+                p.y = (p.y + (lcg(&mut seed) - 0.5) * 10.0).clamp(0.0, 100.0);
+            }
+            let reports: Vec<ObjectReport> =
+                positions.iter().enumerate().map(|(i, p)| report(i as u32, p.x, p.y)).collect();
+            qi.tick(&reports, step as f64);
+            bf.tick(&reports, step as f64);
+            qi.check();
+            for q in 0..10u32 {
+                assert_eq!(
+                    qi.result(QueryId(q)).unwrap(),
+                    bf.result(QueryId(q)).unwrap(),
+                    "step {step}, query {q}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn differential_membership_updates() {
+        let mut qi = QueryIndexEngine::new();
+        for i in 0..3 {
+            qi.register_object(ObjectId(i), Properties::new());
+        }
+        qi.install_query(def(0, 0, 2.0));
+        qi.tick(&[report(0, 0.0, 0.0), report(1, 1.0, 0.0), report(2, 9.0, 0.0)], 0.0);
+        assert!(qi.result(QueryId(0)).unwrap().contains(&ObjectId(1)));
+        assert!(!qi.result(QueryId(0)).unwrap().contains(&ObjectId(2)));
+        // Object 1 leaves, object 2 enters.
+        qi.tick(&[report(1, 20.0, 0.0), report(2, 1.0, 0.0)], 1.0);
+        assert!(!qi.result(QueryId(0)).unwrap().contains(&ObjectId(1)));
+        assert!(qi.result(QueryId(0)).unwrap().contains(&ObjectId(2)));
+    }
+
+    #[test]
+    fn query_follows_focal_between_ticks() {
+        let mut qi = QueryIndexEngine::new();
+        for i in 0..2 {
+            qi.register_object(ObjectId(i), Properties::new());
+        }
+        qi.install_query(def(0, 0, 2.0));
+        qi.tick(&[report(0, 0.0, 0.0), report(1, 50.0, 0.0)], 0.0);
+        assert!(!qi.result(QueryId(0)).unwrap().contains(&ObjectId(1)));
+        // Focal jumps next to object 1.
+        qi.tick(&[report(0, 49.0, 0.0), report(1, 50.0, 0.0)], 1.0);
+        assert!(qi.result(QueryId(0)).unwrap().contains(&ObjectId(1)));
+        qi.check();
+    }
+
+    #[test]
+    fn remove_query_cleans_index_and_memberships() {
+        let mut qi = QueryIndexEngine::new();
+        qi.register_object(ObjectId(0), Properties::new());
+        qi.register_object(ObjectId(1), Properties::new());
+        qi.install_query(def(0, 0, 5.0));
+        qi.tick(&[report(0, 0.0, 0.0), report(1, 1.0, 0.0)], 0.0);
+        assert_eq!(qi.indexed_queries(), 1);
+        assert!(qi.remove_query(QueryId(0)));
+        assert_eq!(qi.indexed_queries(), 0);
+        assert!(qi.result(QueryId(0)).is_none());
+        // A later tick must not panic on stale memberships.
+        qi.tick(&[report(1, 2.0, 0.0)], 1.0);
+        qi.check();
+    }
+
+    #[test]
+    fn install_after_focal_known_places_rect_immediately() {
+        let mut qi = QueryIndexEngine::new();
+        qi.register_object(ObjectId(0), Properties::new());
+        qi.register_object(ObjectId(1), Properties::new());
+        qi.tick(&[report(0, 10.0, 10.0), report(1, 11.0, 10.0)], 0.0);
+        qi.install_query(def(0, 0, 3.0));
+        assert_eq!(qi.indexed_queries(), 1);
+        // Next tick the nearby object joins the result.
+        qi.tick(&[report(1, 11.0, 10.0)], 1.0);
+        assert!(qi.result(QueryId(0)).unwrap().contains(&ObjectId(1)));
+    }
+}

@@ -1,0 +1,48 @@
+//! Shared types for the centralized engines.
+
+use mobieyes_core::{Filter, ObjectId, Properties, QueryId};
+use mobieyes_geo::{Point, QueryRegion, Vec2};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// A per-tick object position report, the input stream of every
+/// centralized engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ObjectReport {
+    pub oid: ObjectId,
+    pub pos: Point,
+    pub vel: Vec2,
+    pub tm: f64,
+}
+
+/// A moving-query definition as the central server sees it.
+#[derive(Debug, Clone)]
+pub struct QueryDef {
+    pub qid: QueryId,
+    pub focal: ObjectId,
+    pub region: QueryRegion,
+    pub filter: Arc<Filter>,
+}
+
+/// The interface every centralized engine implements; the simulation
+/// harness drives them all with identical workloads so server-load and
+/// accuracy comparisons are paired.
+pub trait CentralEngine {
+    fn name(&self) -> &'static str;
+
+    /// Registers a moving object's static properties (needed for filter
+    /// evaluation). Must be called before the object appears in reports.
+    fn register_object(&mut self, oid: ObjectId, props: Properties);
+
+    fn install_query(&mut self, def: QueryDef);
+
+    fn remove_query(&mut self, qid: QueryId) -> bool;
+
+    /// Processes one tick's position reports and refreshes query results.
+    fn tick(&mut self, reports: &[ObjectReport], t: f64);
+
+    /// Current result set of a query.
+    fn result(&self, qid: QueryId) -> Option<&BTreeSet<ObjectId>>;
+
+    fn num_queries(&self) -> usize;
+}

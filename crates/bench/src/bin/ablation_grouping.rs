@@ -1,0 +1,9 @@
+//! Regenerates ablation_grouping of the paper. Run with `--release`; set
+//! `MOBIEYES_QUICK=1` for a fast smoke run.
+
+fn main() {
+    let table = mobieyes_bench::figures::ablation_grouping();
+    table.print();
+    table.save().expect("write results/");
+    eprintln!("wrote results/{}.csv and .json", table.id);
+}

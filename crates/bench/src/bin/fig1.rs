@@ -1,0 +1,9 @@
+//! Regenerates fig1 of the paper. Run with `--release`; set
+//! `MOBIEYES_QUICK=1` for a fast smoke run.
+
+fn main() {
+    let table = mobieyes_bench::figures::fig1();
+    table.print();
+    table.save().expect("write results/");
+    eprintln!("wrote results/{}.csv and .json", table.id);
+}

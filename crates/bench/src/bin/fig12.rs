@@ -1,0 +1,9 @@
+//! Regenerates fig12 of the paper. Run with `--release`; set
+//! `MOBIEYES_QUICK=1` for a fast smoke run.
+
+fn main() {
+    let table = mobieyes_bench::figures::fig12();
+    table.print();
+    table.save().expect("write results/");
+    eprintln!("wrote results/{}.csv and .json", table.id);
+}

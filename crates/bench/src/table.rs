@@ -1,0 +1,156 @@
+//! Result tables: aligned stdout rendering plus CSV and JSON artifacts.
+
+use serde::Serialize;
+use std::fs;
+use std::path::PathBuf;
+
+/// One figure's data: an x column plus one y column per series.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table {
+    /// Figure identifier, e.g. "fig1".
+    pub id: String,
+    /// Human title, e.g. "Server load vs number of queries".
+    pub title: String,
+    /// Label of the x column.
+    pub xlabel: String,
+    /// Label of the y values (units).
+    pub ylabel: String,
+    /// Series names.
+    pub columns: Vec<String>,
+    /// `(x, y per column)` rows. `NaN` renders as "-".
+    pub rows: Vec<(f64, Vec<f64>)>,
+}
+
+impl Table {
+    pub fn new(id: &str, title: &str, xlabel: &str, ylabel: &str, columns: &[&str]) -> Self {
+        Table {
+            id: id.to_string(),
+            title: title.to_string(),
+            xlabel: xlabel.to_string(),
+            ylabel: ylabel.to_string(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn push(&mut self, x: f64, ys: Vec<f64>) {
+        assert_eq!(ys.len(), self.columns.len(), "row width mismatch");
+        self.rows.push((x, ys));
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("# {} — {}\n", self.id, self.title));
+        out.push_str(&format!("# y: {}\n", self.ylabel));
+        let mut header = vec![self.xlabel.clone()];
+        header.extend(self.columns.iter().cloned());
+        let mut grid: Vec<Vec<String>> = vec![header];
+        for (x, ys) in &self.rows {
+            let mut row = vec![fmt_num(*x)];
+            row.extend(ys.iter().map(|y| fmt_num(*y)));
+            grid.push(row);
+        }
+        let widths: Vec<usize> = (0..grid[0].len())
+            .map(|c| grid.iter().map(|r| r[c].len()).max().unwrap_or(0))
+            .collect();
+        for row in &grid {
+            let line: Vec<String> =
+                row.iter().enumerate().map(|(c, v)| format!("{:>w$}", v, w = widths[c])).collect();
+            out.push_str(&line.join("  "));
+            out.push('\n');
+        }
+        out
+    }
+
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+
+    /// Writes `results/<id>.csv` and `results/<id>.json`.
+    pub fn save(&self) -> std::io::Result<()> {
+        let dir = results_dir();
+        fs::create_dir_all(&dir)?;
+        let mut csv = String::new();
+        csv.push_str(&self.xlabel);
+        for c in &self.columns {
+            csv.push(',');
+            csv.push_str(c);
+        }
+        csv.push('\n');
+        for (x, ys) in &self.rows {
+            csv.push_str(&format!("{x}"));
+            for y in ys {
+                csv.push(',');
+                csv.push_str(&format!("{y}"));
+            }
+            csv.push('\n');
+        }
+        fs::write(dir.join(format!("{}.csv", self.id)), csv)?;
+        let json = serde_json::to_string_pretty(self).expect("table serializes");
+        fs::write(dir.join(format!("{}.json", self.id)), json)?;
+        Ok(())
+    }
+}
+
+fn fmt_num(v: f64) -> String {
+    if v.is_nan() {
+        "-".to_string()
+    } else if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 1000.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.3}")
+    } else {
+        format!("{v:.6}")
+    }
+}
+
+/// Where figure artifacts land: `<workspace>/results`.
+pub fn results_dir() -> PathBuf {
+    // CARGO_MANIFEST_DIR = crates/bench; the workspace root is two up.
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest.parent().and_then(|p| p.parent()).map(|p| p.join("results")).unwrap_or_else(|| PathBuf::from("results"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("figX", "Test", "alpha", "msgs/s", &["a", "longname"]);
+        t.push(0.5, vec![1.0, 1234.5678]);
+        t.push(16.0, vec![0.001234, f64::NAN]);
+        let r = t.render();
+        assert!(r.contains("figX"));
+        assert!(r.contains("longname"));
+        assert!(r.contains("-"), "NaN renders as dash");
+        // Every data line has the same number of columns.
+        let lines: Vec<&str> = r.lines().filter(|l| !l.starts_with('#')).collect();
+        assert_eq!(lines.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn push_checks_width() {
+        let mut t = Table::new("f", "t", "x", "y", &["a"]);
+        t.push(1.0, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn save_writes_csv_and_json() {
+        let mut t = Table::new("testtable_unit", "Test", "x", "y", &["a"]);
+        t.push(1.0, vec![2.0]);
+        t.save().unwrap();
+        let dir = results_dir();
+        let csv = std::fs::read_to_string(dir.join("testtable_unit.csv")).unwrap();
+        assert!(csv.starts_with("x,a\n1,2\n"));
+        let json = std::fs::read_to_string(dir.join("testtable_unit.json")).unwrap();
+        assert!(json.contains("\"id\": \"testtable_unit\""));
+        // Clean up test artifacts.
+        let _ = std::fs::remove_file(dir.join("testtable_unit.csv"));
+        let _ = std::fs::remove_file(dir.join("testtable_unit.json"));
+    }
+}

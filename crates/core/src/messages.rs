@@ -1,0 +1,270 @@
+//! Protocol wire messages.
+//!
+//! Every variant declares a serialized size (in bytes) through
+//! [`WireSized`]; the sizes drive the message/byte accounting behind the
+//! paper's messaging-cost and power figures. Sizes follow a simple fixed
+//! encoding: u32 ids (4), f64 scalars (8), `LinearMotion` (40), `GridRect`
+//! (16), plus a 1-byte message tag and 2-byte length prefixes on vectors.
+
+use crate::filter::Filter;
+use crate::model::{ObjectId, QueryId};
+use mobieyes_geo::{CellId, GridRect, LinearMotion, QueryRegion};
+use mobieyes_net::WireSized;
+use std::sync::Arc;
+
+/// Sentinel slot for queries beyond the 64-bit group bitmap: these always
+/// report their containment itemized, never via bitmaps.
+pub const NO_SLOT: u8 = u8::MAX;
+
+/// One query inside a (possibly grouped) dissemination message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuerySpec {
+    pub qid: QueryId,
+    pub region: QueryRegion,
+    /// Shared so broadcast fan-out does not deep-copy predicate trees.
+    pub filter: Arc<Filter>,
+    /// Server-assigned group slot: the bit index this query occupies in
+    /// grouped result bitmaps (unique among the focal object's queries).
+    pub slot: u8,
+}
+
+impl QuerySpec {
+    fn wire_size(&self) -> usize {
+        4 + 1 + self.region.wire_size() + self.filter.wire_size()
+    }
+}
+
+/// Full state of one *query group*: all queries bound to the same focal
+/// object that share a monitoring region. Without grouping each group
+/// carries exactly one query.
+///
+/// This is the unit of the three full-state dissemination flows: query
+/// installation, focal cell changes (the paper's combined-region update)
+/// and velocity updates under lazy propagation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryGroupInfo {
+    pub focal: ObjectId,
+    /// Last reported motion sample of the focal object.
+    pub motion: LinearMotion,
+    /// Maximum speed of the focal object (for safe-period computation).
+    pub max_vel: f64,
+    pub mon_region: GridRect,
+    pub queries: Arc<Vec<QuerySpec>>,
+}
+
+impl QueryGroupInfo {
+    fn wire_size(&self) -> usize {
+        4 + LinearMotion::WIRE_SIZE
+            + 8
+            + GridRect::WIRE_SIZE
+            + 2
+            + self.queries.iter().map(QuerySpec::wire_size).sum::<usize>()
+    }
+}
+
+/// Object → server messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Uplink {
+    /// A focal object's dead-reckoning report: its advertised linear motion
+    /// deviated from reality by more than Δ.
+    VelocityReport { oid: ObjectId, motion: LinearMotion },
+    /// The object moved to a different grid cell. Sent by every object
+    /// under eager propagation, and only by focal objects under lazy
+    /// propagation. Carries fresh motion so the server can update the FOT
+    /// and re-disseminate in one round trip.
+    CellChange {
+        oid: ObjectId,
+        prev_cell: CellId,
+        new_cell: CellId,
+        motion: LinearMotion,
+    },
+    /// Differential result maintenance: containment status flips observed
+    /// by the object during its local evaluation.
+    ResultUpdate {
+        oid: ObjectId,
+        /// `(query, is_now_target)` pairs.
+        changes: Vec<(QueryId, bool)>,
+    },
+    /// Grouped result maintenance (§4.1): the full query bitmap of one
+    /// focal object's query group. `mask` marks which bits are being
+    /// reported (the queries installed at this object), `targets` the
+    /// subset where the object is inside the region and passes the filter.
+    /// Bit `i` refers to the query holding group slot `i` of `focal`
+    /// (slots are server-assigned and travel in [`QuerySpec::slot`]).
+    GroupResultUpdate {
+        oid: ObjectId,
+        focal: ObjectId,
+        mask: u64,
+        targets: u64,
+    },
+    /// Response to a server position request during query installation:
+    /// the object's current motion sample and its maximum speed.
+    PositionReply { oid: ObjectId, motion: LinearMotion, max_vel: f64 },
+}
+
+impl WireSized for Uplink {
+    fn wire_size(&self) -> usize {
+        1 + match self {
+            Uplink::VelocityReport { .. } => 4 + LinearMotion::WIRE_SIZE,
+            Uplink::CellChange { .. } => 4 + 8 + 8 + LinearMotion::WIRE_SIZE,
+            Uplink::ResultUpdate { changes, .. } => 4 + 2 + changes.len() * 5,
+            Uplink::GroupResultUpdate { .. } => 4 + 4 + 8 + 8,
+            Uplink::PositionReply { .. } => 4 + LinearMotion::WIRE_SIZE + 8,
+        }
+    }
+}
+
+/// Server → object messages (unicast or broadcast).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Downlink {
+    /// Full query-group state. Broadcast to the (possibly combined old∪new)
+    /// monitoring region on installation and focal cell changes, and — under
+    /// lazy propagation — on focal velocity changes. Receivers inside the
+    /// monitoring region install/update; receivers outside remove.
+    QueryState { info: QueryGroupInfo },
+    /// Velocity-only update under eager propagation: receivers that already
+    /// hold these queries refresh the focal motion sample.
+    VelocityChange {
+        focal: ObjectId,
+        motion: LinearMotion,
+        qids: Vec<QueryId>,
+    },
+    /// Eager propagation: the queries an object must install after
+    /// reporting a cell change (unicast).
+    NewQueries { infos: Vec<QueryGroupInfo> },
+    /// A query was removed from the system (broadcast to its monitoring
+    /// region).
+    RemoveQuery { qid: QueryId },
+    /// Tells an object whether it is (still) the focal object of at least
+    /// one query (unicast; sets the paper's `hasMQ` flag).
+    FocalNotify { is_focal: bool },
+    /// Asks an object for its current motion sample (unicast, during
+    /// installation when the focal object is unknown to the server).
+    PositionRequest,
+    /// One membership change of a query's result, pushed to the issuing
+    /// focal object when result delivery is enabled.
+    ResultDelta { qid: QueryId, object: ObjectId, entered: bool },
+}
+
+impl WireSized for Downlink {
+    fn wire_size(&self) -> usize {
+        1 + match self {
+            Downlink::QueryState { info } => info.wire_size(),
+            Downlink::VelocityChange { qids, .. } => 4 + LinearMotion::WIRE_SIZE + 2 + qids.len() * 4,
+            Downlink::NewQueries { infos } => 2 + infos.iter().map(QueryGroupInfo::wire_size).sum::<usize>(),
+            Downlink::RemoveQuery { .. } => 4,
+            Downlink::FocalNotify { .. } => 1,
+            Downlink::PositionRequest => 0,
+            Downlink::ResultDelta { .. } => 4 + 4 + 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobieyes_geo::{Point, Vec2};
+
+    fn motion() -> LinearMotion {
+        LinearMotion::new(Point::new(1.0, 2.0), Vec2::new(0.1, 0.2), 30.0)
+    }
+
+    fn spec(qid: u32) -> QuerySpec {
+        QuerySpec {
+            qid: QueryId(qid),
+            region: QueryRegion::circle(3.0),
+            filter: Arc::new(Filter::True),
+            slot: qid as u8,
+        }
+    }
+
+    fn group(n: u32) -> QueryGroupInfo {
+        QueryGroupInfo {
+            focal: ObjectId(7),
+            motion: motion(),
+            max_vel: 0.05,
+            mon_region: GridRect { x0: 0, y0: 0, x1: 2, y1: 2 },
+            queries: Arc::new((0..n).map(spec).collect()),
+        }
+    }
+
+    #[test]
+    fn uplink_sizes() {
+        assert_eq!(Uplink::VelocityReport { oid: ObjectId(1), motion: motion() }.wire_size(), 45);
+        assert_eq!(
+            Uplink::CellChange {
+                oid: ObjectId(1),
+                prev_cell: CellId::new(0, 0),
+                new_cell: CellId::new(1, 0),
+                motion: motion()
+            }
+            .wire_size(),
+            61
+        );
+        assert_eq!(
+            Uplink::ResultUpdate { oid: ObjectId(1), changes: vec![(QueryId(1), true)] }.wire_size(),
+            12
+        );
+        assert_eq!(
+            Uplink::GroupResultUpdate { oid: ObjectId(1), focal: ObjectId(2), mask: 1, targets: 1 }
+                .wire_size(),
+            25
+        );
+        assert_eq!(
+            Uplink::PositionReply { oid: ObjectId(1), motion: motion(), max_vel: 0.1 }.wire_size(),
+            53
+        );
+    }
+
+    #[test]
+    fn grouped_state_is_smaller_than_separate_states() {
+        // One grouped message for 3 queries must be cheaper than 3
+        // single-query messages: the focal motion/region header is shared.
+        let grouped = Downlink::QueryState { info: group(3) }.wire_size();
+        let single = Downlink::QueryState { info: group(1) }.wire_size();
+        assert!(grouped < 3 * single, "grouped {grouped} vs 3x single {single}");
+    }
+
+    #[test]
+    fn result_update_grows_with_changes() {
+        let one = Uplink::ResultUpdate { oid: ObjectId(1), changes: vec![(QueryId(1), true)] };
+        let three = Uplink::ResultUpdate {
+            oid: ObjectId(1),
+            changes: vec![(QueryId(1), true), (QueryId(2), false), (QueryId(3), true)],
+        };
+        assert_eq!(three.wire_size() - one.wire_size(), 10);
+    }
+
+    #[test]
+    fn bitmap_beats_itemized_updates_for_large_groups() {
+        let bitmap = Uplink::GroupResultUpdate { oid: ObjectId(1), focal: ObjectId(2), mask: u64::MAX, targets: 0 };
+        let itemized = Uplink::ResultUpdate {
+            oid: ObjectId(1),
+            changes: (0..10).map(|i| (QueryId(i), true)).collect(),
+        };
+        assert!(bitmap.wire_size() < itemized.wire_size());
+    }
+
+    #[test]
+    fn downlink_sizes() {
+        assert_eq!(Downlink::RemoveQuery { qid: QueryId(1) }.wire_size(), 5);
+        assert_eq!(Downlink::FocalNotify { is_focal: true }.wire_size(), 2);
+        assert_eq!(Downlink::PositionRequest.wire_size(), 1);
+        let vc = Downlink::VelocityChange { focal: ObjectId(1), motion: motion(), qids: vec![QueryId(1)] };
+        assert_eq!(vc.wire_size(), 1 + 4 + 40 + 2 + 4);
+    }
+
+    #[test]
+    fn velocity_change_is_cheaper_than_full_state() {
+        // The EQP velocity update must be smaller than the LQP full-state
+        // update for the same group — that is the bandwidth trade-off the
+        // paper describes.
+        let eqp = Downlink::VelocityChange {
+            focal: ObjectId(7),
+            motion: motion(),
+            qids: vec![QueryId(0), QueryId(1), QueryId(2)],
+        };
+        let lqp = Downlink::QueryState { info: group(3) };
+        assert!(eqp.wire_size() < lqp.wire_size());
+    }
+}

@@ -1,0 +1,864 @@
+//! The moving-object side of the protocol (paper §3.3–§3.6, §4).
+//!
+//! A [`MovingObjectAgent`] owns the object's kinematic state, its local
+//! query table (LQT) and the `hasMQ` flag. Each tick it:
+//!
+//! 1. processes downlink messages (query installs/updates/removals, focal
+//!    velocity changes, position requests),
+//! 2. detects grid-cell changes (dropping queries whose monitoring region
+//!    no longer covers it, and notifying the server when the propagation
+//!    mode or its focal role requires),
+//! 3. runs dead reckoning when it is a focal object,
+//! 4. evaluates every LQT entry — predicting the focal object's position
+//!    linearly — and reports containment *changes* to the server,
+//!    optionally grouped into query bitmaps and pruned by nested radii and
+//!    safe periods.
+
+use crate::config::{Propagation, ProtocolConfig};
+use crate::messages::{Downlink, QueryGroupInfo, Uplink};
+use crate::model::{ObjectId, Properties, QueryId};
+use crate::server::Net;
+use mobieyes_geo::{CellId, GridRect, LinearMotion, Point, QueryRegion, Region, Vec2};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// One LQT row: a nearby query this object is responsible for evaluating.
+#[derive(Debug, Clone)]
+struct LqtEntry {
+    focal: ObjectId,
+    /// Last known motion sample of the focal object (`pos`, `vel`, `tm`).
+    motion: LinearMotion,
+    region: QueryRegion,
+    mon_region: GridRect,
+    /// Group slot bit index for bitmap result reports.
+    slot: u8,
+    /// Maximum speed of the focal object, for safe periods.
+    focal_max_vel: f64,
+    /// Result of the last evaluation (the paper's `isTarget`).
+    is_target: bool,
+    /// Safe-period processing time: skip evaluation while `t < ptm`.
+    ptm: f64,
+}
+
+/// Per-agent work counters (drive the paper's Figures 10–13).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct AgentStats {
+    /// Containment evaluations actually performed.
+    pub evaluated: u64,
+    /// Evaluations skipped by the safe-period optimization.
+    pub skipped_safe_period: u64,
+    /// Evaluations skipped by nested-radius group pruning.
+    pub skipped_group_prune: u64,
+    /// Containment status flips reported to the server.
+    pub result_changes: u64,
+    /// Uplink messages sent.
+    pub uplinks_sent: u64,
+    /// Nanoseconds spent in LQT processing (the Figure 13 metric).
+    pub eval_nanos: u64,
+}
+
+/// The moving-object protocol agent.
+#[derive(Debug)]
+pub struct MovingObjectAgent {
+    oid: ObjectId,
+    config: Arc<ProtocolConfig>,
+    props: Properties,
+    max_vel: f64,
+    pos: Point,
+    vel: Vec2,
+    curr_cell: CellId,
+    has_mq: bool,
+    /// Motion sample last advertised to the server (dead-reckoning base).
+    advertised: Option<LinearMotion>,
+    lqt: BTreeMap<QueryId, LqtEntry>,
+    /// Local view of the results of queries this object issued (filled by
+    /// `ResultDelta` pushes when result delivery is enabled).
+    own_results: BTreeMap<QueryId, std::collections::BTreeSet<ObjectId>>,
+    /// Departure reports produced while handling downlink messages
+    /// (monitoring-region shrinks); flushed with the next evaluation.
+    pending_departures: Vec<(QueryId, bool)>,
+    stats: AgentStats,
+    /// Scratch buffers reused across ticks.
+    scratch_changes: Vec<(QueryId, bool)>,
+    scratch_groups: Vec<(ObjectId, QueryId, f64)>,
+}
+
+impl MovingObjectAgent {
+    /// Creates an agent at an initial position/velocity at time `t0`.
+    pub fn new(
+        oid: ObjectId,
+        props: Properties,
+        max_vel: f64,
+        pos: Point,
+        vel: Vec2,
+        config: Arc<ProtocolConfig>,
+    ) -> Self {
+        let curr_cell = config.grid.cell_of(pos);
+        MovingObjectAgent {
+            oid,
+            config,
+            props,
+            max_vel,
+            pos,
+            vel,
+            curr_cell,
+            has_mq: false,
+            advertised: None,
+            lqt: BTreeMap::new(),
+            own_results: BTreeMap::new(),
+            pending_departures: Vec::new(),
+            stats: AgentStats::default(),
+            scratch_changes: Vec::new(),
+            scratch_groups: Vec::new(),
+        }
+    }
+
+    pub fn oid(&self) -> ObjectId {
+        self.oid
+    }
+
+    pub fn position(&self) -> Point {
+        self.pos
+    }
+
+    pub fn properties(&self) -> &Properties {
+        &self.props
+    }
+
+    /// Number of queries currently installed in the LQT (the paper's
+    /// Figure 10–12 metric).
+    pub fn lqt_len(&self) -> usize {
+        self.lqt.len()
+    }
+
+    pub fn has_mq(&self) -> bool {
+        self.has_mq
+    }
+
+    /// Did the last evaluation consider this object a target of `qid`?
+    pub fn is_target_of(&self, qid: QueryId) -> bool {
+        self.lqt.get(&qid).map(|e| e.is_target).unwrap_or(false)
+    }
+
+    /// Query ids currently installed (ascending).
+    pub fn installed_queries(&self) -> impl Iterator<Item = QueryId> + '_ {
+        self.lqt.keys().copied()
+    }
+
+    /// The locally-known result of a query this object issued (only
+    /// populated when the protocol runs with result delivery enabled).
+    pub fn own_result(&self, qid: QueryId) -> Option<&std::collections::BTreeSet<ObjectId>> {
+        self.own_results.get(&qid)
+    }
+
+    pub fn stats(&self) -> AgentStats {
+        self.stats
+    }
+
+    pub fn reset_stats(&mut self) {
+        self.stats = AgentStats::default();
+    }
+
+    /// Phase A of a time step: absorb the new kinematic state and report
+    /// significant motion events (grid-cell changes, dead-reckoning
+    /// deviations) uplink. Runs *before* the server's mediation phase so
+    /// that the resulting broadcasts reach the other objects within the
+    /// same time step — the paper's simulation resolves updates within a
+    /// step.
+    pub fn tick_motion(&mut self, t: f64, pos: Point, vel: Vec2, net: &mut Net) {
+        self.pos = pos;
+        self.vel = vel;
+        let new_cell = self.config.grid.cell_of(pos);
+        if new_cell != self.curr_cell {
+            let prev = self.curr_cell;
+            self.curr_cell = new_cell;
+            // Drop queries whose monitoring region no longer covers us.
+            // Leaving a monitoring region implies leaving the query region
+            // (the circle is contained in it), so any entry we were a
+            // target of must report its departure — otherwise the server
+            // would keep a stale member. This applies in *both* propagation
+            // modes: LQP only silences new-query discovery, never result
+            // maintenance.
+            let mut departures: Vec<(QueryId, bool)> = Vec::new();
+            self.lqt.retain(|qid, e| {
+                let keep = e.mon_region.contains(new_cell);
+                if !keep && e.is_target {
+                    departures.push((*qid, false));
+                }
+                keep
+            });
+            if !departures.is_empty() {
+                self.stats.result_changes += departures.len() as u64;
+                self.send(net, Uplink::ResultUpdate { oid: self.oid, changes: departures });
+            }
+            // Eagerly notify the server; under lazy propagation only focal
+            // objects do (that is the whole point of LQP).
+            if self.config.propagation == Propagation::Eager || self.has_mq {
+                let motion = LinearMotion::new(pos, vel, t);
+                self.send(net, Uplink::CellChange { oid: self.oid, prev_cell: prev, new_cell, motion });
+                self.advertised = Some(motion);
+            }
+        } else if self.has_mq {
+            // Dead reckoning (focal objects only, §3.4).
+            let needs_report = match &self.advertised {
+                Some(adv) => adv.should_report(t, pos, self.config.delta),
+                None => true,
+            };
+            if needs_report {
+                let motion = LinearMotion::new(pos, vel, t);
+                self.send(net, Uplink::VelocityReport { oid: self.oid, motion });
+                self.advertised = Some(motion);
+            }
+        }
+    }
+
+    /// Phase B of a time step: process downlink messages (installs,
+    /// updates, removals, focal motion changes), then evaluate the LQT and
+    /// report containment changes (§3.6).
+    pub fn tick_process(&mut self, t: f64, inbox: &[Downlink], net: &mut Net) {
+        let my_cell = self.config.grid.cell_of(self.pos);
+        for msg in inbox {
+            self.handle_downlink(t, my_cell, msg, net);
+        }
+        let start = std::time::Instant::now();
+        self.evaluate(t, net);
+        self.stats.eval_nanos += start.elapsed().as_nanos() as u64;
+    }
+
+    /// Advances the agent one full time step in one call (motion phase
+    /// followed by the processing phase). Deployments that interleave a
+    /// server phase between the two — which lets motion broadcasts take
+    /// effect within the same step — call [`tick_motion`](Self::tick_motion)
+    /// and [`tick_process`](Self::tick_process) directly.
+    pub fn tick(&mut self, t: f64, pos: Point, vel: Vec2, inbox: &[Downlink], net: &mut Net) {
+        self.tick_motion(t, pos, vel, net);
+        self.tick_process(t, inbox, net);
+    }
+
+    fn send(&mut self, net: &mut Net, msg: Uplink) {
+        self.stats.uplinks_sent += 1;
+        net.send_uplink(self.oid.node(), msg);
+    }
+
+    fn handle_downlink(&mut self, t: f64, my_cell: CellId, msg: &Downlink, net: &mut Net) {
+        match msg {
+            Downlink::QueryState { info } => self.apply_query_state(my_cell, info),
+            Downlink::NewQueries { infos } => {
+                for info in infos {
+                    self.apply_query_state(my_cell, info);
+                }
+            }
+            Downlink::VelocityChange { motion, qids, .. } => {
+                for qid in qids {
+                    if let Some(e) = self.lqt.get_mut(qid) {
+                        e.motion = *motion;
+                    }
+                }
+            }
+            Downlink::RemoveQuery { qid } => {
+                self.lqt.remove(qid);
+            }
+            Downlink::FocalNotify { is_focal } => {
+                self.has_mq = *is_focal;
+                if !is_focal {
+                    self.advertised = None;
+                }
+            }
+            Downlink::ResultDelta { qid, object, entered } => {
+                let set = self.own_results.entry(*qid).or_default();
+                if *entered {
+                    set.insert(*object);
+                } else {
+                    set.remove(object);
+                }
+            }
+            Downlink::PositionRequest => {
+                let motion = LinearMotion::new(self.pos, self.vel, t);
+                self.send(
+                    net,
+                    Uplink::PositionReply { oid: self.oid, motion, max_vel: self.max_vel },
+                );
+                self.advertised = Some(motion);
+            }
+        }
+    }
+
+    /// Installs, updates or removes the queries of a full-state group
+    /// message, depending on whether our cell is inside the group's
+    /// monitoring region and whether the filters accept us (§3.3, §3.5).
+    fn apply_query_state(&mut self, my_cell: CellId, info: &QueryGroupInfo) {
+        if info.mon_region.contains(my_cell) {
+            for spec in info.queries.iter() {
+                if let Some(e) = self.lqt.get_mut(&spec.qid) {
+                    // Already installed: refresh motion and region state.
+                    e.motion = info.motion;
+                    e.mon_region = info.mon_region;
+                    e.region = spec.region;
+                    e.focal_max_vel = info.max_vel;
+                    e.slot = spec.slot;
+                } else if spec.filter.matches(self.oid, &self.props) {
+                    self.lqt.insert(
+                        spec.qid,
+                        LqtEntry {
+                            focal: info.focal,
+                            motion: info.motion,
+                            region: spec.region,
+                            mon_region: info.mon_region,
+                            slot: spec.slot,
+                            focal_max_vel: info.max_vel,
+                            is_target: false,
+                            ptm: 0.0,
+                        },
+                    );
+                }
+            }
+        } else {
+            // Our cell is outside the (possibly shrunk or moved) monitoring
+            // region: forget these queries, reporting any targethood we
+            // lose so the server's result set stays clean.
+            let mut departures: Vec<(QueryId, bool)> = Vec::new();
+            for spec in info.queries.iter() {
+                if let Some(e) = self.lqt.remove(&spec.qid) {
+                    if e.is_target {
+                        departures.push((spec.qid, false));
+                    }
+                }
+            }
+            if !departures.is_empty() {
+                self.stats.result_changes += departures.len() as u64;
+                self.pending_departures.extend(departures);
+            }
+        }
+    }
+
+    /// Evaluates all installed queries, reporting containment changes.
+    fn evaluate(&mut self, t: f64, net: &mut Net) {
+        if self.lqt.is_empty() && self.pending_departures.is_empty() {
+            return;
+        }
+        self.scratch_changes.clear();
+        self.scratch_changes.append(&mut self.pending_departures);
+        let grouping = self.config.grouping;
+        let safe_period = self.config.safe_period;
+        let mut changed_focals: Vec<ObjectId> = Vec::new();
+        if grouping {
+            self.evaluate_grouped(t, safe_period, &mut changed_focals);
+        } else {
+            self.evaluate_plain(t, safe_period);
+        }
+
+        if self.scratch_changes.is_empty() {
+            return;
+        }
+        if grouping {
+            // One bitmap per focal group with changes (§4.1). Queries
+            // beyond the 64-slot bitmap (NO_SLOT) report itemized below.
+            let mut itemized: Vec<(QueryId, bool)> = Vec::new();
+            for focal in changed_focals {
+                let mut mask = 0u64;
+                let mut targets = 0u64;
+                for e in self.lqt.values() {
+                    if e.focal == focal && e.slot < 64 {
+                        mask |= 1u64 << e.slot;
+                        if e.is_target {
+                            targets |= 1u64 << e.slot;
+                        }
+                    }
+                }
+                if mask != 0 {
+                    self.send(net, Uplink::GroupResultUpdate { oid: self.oid, focal, mask, targets });
+                }
+            }
+            for &(qid, is_target) in &self.scratch_changes {
+                // Itemize slotless queries and departures of entries that
+                // are no longer in the LQT (region shrinks).
+                if self.lqt.get(&qid).map(|e| e.slot >= 64).unwrap_or(true) {
+                    itemized.push((qid, is_target));
+                }
+            }
+            if !itemized.is_empty() {
+                self.send(net, Uplink::ResultUpdate { oid: self.oid, changes: itemized });
+            }
+        } else {
+            let changes = std::mem::take(&mut self.scratch_changes);
+            self.send(net, Uplink::ResultUpdate { oid: self.oid, changes });
+        }
+        self.scratch_changes.clear();
+    }
+
+    /// Evaluation without grouping: one independent prediction and
+    /// containment check per LQT entry (plus safe-period skips).
+    fn evaluate_plain(&mut self, t: f64, safe_period: bool) {
+        for (qid, e) in self.lqt.iter_mut() {
+            if safe_period && e.ptm > t {
+                self.stats.skipped_safe_period += 1;
+                continue;
+            }
+            let center = e.motion.predict(t);
+            self.stats.evaluated += 1;
+            let inside = e.region.contains_from(center, self.pos);
+            if safe_period && !inside {
+                // Worst case: both objects approach head-on at max speed.
+                let closing = self.max_vel + e.focal_max_vel;
+                if closing > 0.0 {
+                    let gap = (self.pos.distance(center) - e.region.reach()).max(0.0);
+                    e.ptm = t + gap / closing;
+                } else {
+                    e.ptm = t;
+                }
+            }
+            if inside != e.is_target {
+                e.is_target = inside;
+                self.stats.result_changes += 1;
+                self.scratch_changes.push((*qid, inside));
+            }
+        }
+    }
+
+    /// Grouped evaluation (§4.1): entries are processed per focal object,
+    /// largest circle first, so one shared prediction serves the group and
+    /// an "outside" verdict on a larger circle prunes the smaller ones.
+    fn evaluate_grouped(&mut self, t: f64, safe_period: bool, changed_focals: &mut Vec<ObjectId>) {
+        self.scratch_groups.clear();
+        for (qid, e) in &self.lqt {
+            self.scratch_groups.push((e.focal, *qid, e.region.reach()));
+        }
+        self.scratch_groups.sort_by(|a, b| {
+            (a.0, b.2).partial_cmp(&(b.0, a.2)).unwrap_or(std::cmp::Ordering::Equal)
+        });
+
+        let mut i = 0;
+        let groups = std::mem::take(&mut self.scratch_groups);
+        while i < groups.len() {
+            let focal = groups[i].0;
+            let mut j = i;
+            // The focal position prediction is shared across the group.
+            let mut predicted: Option<Point> = None;
+            // Once outside a circle of radius r, we are outside every
+            // smaller *circle* of the same group (regions share the
+            // predicted center).
+            let mut prune_below: Option<f64> = None;
+            while j < groups.len() && groups[j].0 == focal {
+                let qid = groups[j].1;
+                let e = self.lqt.get_mut(&qid).expect("scratch entry in LQT");
+                // Safe-period skip (§4.2).
+                if safe_period && e.ptm > t {
+                    self.stats.skipped_safe_period += 1;
+                    j += 1;
+                    continue;
+                }
+                let center = *predicted.get_or_insert_with(|| e.motion.predict(t));
+                let is_circle = matches!(e.region, QueryRegion::Circle { .. });
+                let inside = if is_circle && prune_below.is_some_and(|r| e.region.reach() <= r) {
+                    self.stats.skipped_group_prune += 1;
+                    false
+                } else {
+                    self.stats.evaluated += 1;
+                    let inside = e.region.contains_from(center, self.pos);
+                    if is_circle && !inside {
+                        prune_below = Some(e.region.reach());
+                    }
+                    inside
+                };
+                if safe_period && !inside {
+                    // Worst case: both objects approach head-on at max speed.
+                    let dist = self.pos.distance(center);
+                    let closing = self.max_vel + e.focal_max_vel;
+                    if closing > 0.0 {
+                        let gap = (dist - e.region.reach()).max(0.0);
+                        e.ptm = t + gap / closing;
+                    } else {
+                        e.ptm = t;
+                    }
+                }
+                if inside != e.is_target {
+                    e.is_target = inside;
+                    self.stats.result_changes += 1;
+                    self.scratch_changes.push((qid, inside));
+                    if !changed_focals.contains(&focal) {
+                        changed_focals.push(focal);
+                    }
+                }
+                j += 1;
+            }
+            i = j;
+        }
+        self.scratch_groups = groups;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // Agent behaviour is exercised end-to-end (with a real server and
+    // network) in the crate-level integration tests; unit tests here focus
+    // on isolated agent logic.
+    use super::*;
+    use crate::filter::Filter;
+    use crate::messages::QuerySpec;
+    use mobieyes_geo::{Grid, Rect};
+    use mobieyes_net::BaseStationLayout;
+
+    fn config() -> Arc<ProtocolConfig> {
+        Arc::new(ProtocolConfig::new(Grid::new(Rect::new(0.0, 0.0, 100.0, 100.0), 10.0)))
+    }
+
+    fn net() -> Net {
+        Net::new(BaseStationLayout::new(Rect::new(0.0, 0.0, 100.0, 100.0), 20.0))
+    }
+
+    fn group_info(qid: u32, radius: f64, focal_pos: Point, mon: GridRect) -> QueryGroupInfo {
+        QueryGroupInfo {
+            focal: ObjectId(100),
+            motion: LinearMotion::at_rest(focal_pos, 0.0),
+            max_vel: 0.03,
+            mon_region: mon,
+            queries: Arc::new(vec![QuerySpec {
+                qid: QueryId(qid),
+                region: QueryRegion::circle(radius),
+                filter: Arc::new(Filter::True),
+                slot: 0,
+            }]),
+        }
+    }
+
+    #[test]
+    fn installs_query_when_inside_monitoring_region() {
+        let cfg = config();
+        let mut agent = MovingObjectAgent::new(
+            ObjectId(1),
+            Properties::new(),
+            0.03,
+            Point::new(55.0, 55.0),
+            Vec2::ZERO,
+            Arc::clone(&cfg),
+        );
+        let mut n = net();
+        let mon = GridRect { x0: 4, y0: 4, x1: 6, y1: 6 };
+        let info = group_info(0, 3.0, Point::new(55.0, 55.0), mon);
+        agent.tick(0.0, Point::new(55.0, 55.0), Vec2::ZERO, &[Downlink::QueryState { info }], &mut n);
+        assert_eq!(agent.lqt_len(), 1);
+        // Inside radius 3 of the focal: the agent reported itself a target.
+        assert!(agent.is_target_of(QueryId(0)));
+        assert_eq!(n.pending_uplinks(), 1);
+    }
+
+    #[test]
+    fn ignores_query_outside_monitoring_region() {
+        let cfg = config();
+        let mut agent = MovingObjectAgent::new(
+            ObjectId(1),
+            Properties::new(),
+            0.03,
+            Point::new(15.0, 15.0),
+            Vec2::ZERO,
+            Arc::clone(&cfg),
+        );
+        let mut n = net();
+        let mon = GridRect { x0: 4, y0: 4, x1: 6, y1: 6 };
+        let info = group_info(0, 3.0, Point::new(55.0, 55.0), mon);
+        agent.tick(0.0, Point::new(15.0, 15.0), Vec2::ZERO, &[Downlink::QueryState { info }], &mut n);
+        assert_eq!(agent.lqt_len(), 0);
+    }
+
+    #[test]
+    fn filter_gates_installation() {
+        let cfg = config();
+        let mut agent = MovingObjectAgent::new(
+            ObjectId(1),
+            Properties::new().with("color", "blue"),
+            0.03,
+            Point::new(55.0, 55.0),
+            Vec2::ZERO,
+            Arc::clone(&cfg),
+        );
+        let mut n = net();
+        let mon = GridRect { x0: 4, y0: 4, x1: 6, y1: 6 };
+        let mut info = group_info(0, 3.0, Point::new(55.0, 55.0), mon);
+        info.queries = Arc::new(vec![QuerySpec {
+            qid: QueryId(0),
+            region: QueryRegion::circle(3.0),
+            filter: Arc::new(Filter::Eq("color".into(), "red".into())),
+            slot: 0,
+        }]);
+        agent.tick(0.0, Point::new(55.0, 55.0), Vec2::ZERO, &[Downlink::QueryState { info }], &mut n);
+        assert_eq!(agent.lqt_len(), 0, "filter mismatch must not install");
+    }
+
+    #[test]
+    fn cell_change_drops_stale_queries_and_notifies() {
+        let cfg = config();
+        let mut agent = MovingObjectAgent::new(
+            ObjectId(1),
+            Properties::new(),
+            0.03,
+            Point::new(55.0, 55.0),
+            Vec2::ZERO,
+            Arc::clone(&cfg),
+        );
+        let mut n = net();
+        let mon = GridRect { x0: 4, y0: 4, x1: 6, y1: 6 };
+        let info = group_info(0, 3.0, Point::new(55.0, 55.0), mon);
+        agent.tick(0.0, Point::new(55.0, 55.0), Vec2::ZERO, &[Downlink::QueryState { info }], &mut n);
+        assert_eq!(agent.lqt_len(), 1);
+        n.drain_uplinks();
+        // Jump far outside the monitoring region.
+        agent.tick(30.0, Point::new(95.0, 95.0), Vec2::ZERO, &[], &mut n);
+        assert_eq!(agent.lqt_len(), 0, "stale query must be dropped on cell change");
+        let ups = n.drain_uplinks();
+        assert!(
+            ups.iter().any(|(_, m)| matches!(m, Uplink::CellChange { .. })),
+            "eager mode reports cell changes"
+        );
+    }
+
+    #[test]
+    fn lazy_non_focal_does_not_report_cell_change() {
+        let grid = Grid::new(Rect::new(0.0, 0.0, 100.0, 100.0), 10.0);
+        let cfg = Arc::new(ProtocolConfig::new(grid).with_propagation(Propagation::Lazy));
+        let mut agent = MovingObjectAgent::new(
+            ObjectId(1),
+            Properties::new(),
+            0.03,
+            Point::new(55.0, 55.0),
+            Vec2::ZERO,
+            cfg,
+        );
+        let mut n = net();
+        agent.tick(0.0, Point::new(95.0, 95.0), Vec2::ZERO, &[], &mut n);
+        assert_eq!(n.pending_uplinks(), 0, "lazy non-focal must stay silent");
+    }
+
+    #[test]
+    fn focal_dead_reckoning_reports_on_deviation() {
+        let cfg = config();
+        let mut agent = MovingObjectAgent::new(
+            ObjectId(1),
+            Properties::new(),
+            0.03,
+            Point::new(55.0, 55.0),
+            Vec2::ZERO,
+            Arc::clone(&cfg),
+        );
+        let mut n = net();
+        // Become focal; the position request seeds the advertised motion.
+        agent.tick(
+            0.0,
+            Point::new(55.0, 55.0),
+            Vec2::ZERO,
+            &[Downlink::PositionRequest, Downlink::FocalNotify { is_focal: true }],
+            &mut n,
+        );
+        n.drain_uplinks();
+        // Tiny drift below Δ=0.2: silent.
+        agent.tick(30.0, Point::new(55.05, 55.0), Vec2::ZERO, &[], &mut n);
+        assert_eq!(n.pending_uplinks(), 0);
+        // Larger drift: velocity report.
+        agent.tick(60.0, Point::new(56.0, 55.0), Vec2::ZERO, &[], &mut n);
+        let ups = n.drain_uplinks();
+        assert!(ups.iter().any(|(_, m)| matches!(m, Uplink::VelocityReport { .. })));
+    }
+
+    #[test]
+    fn containment_changes_are_differential() {
+        let cfg = config();
+        let mut agent = MovingObjectAgent::new(
+            ObjectId(1),
+            Properties::new(),
+            0.03,
+            Point::new(55.0, 55.0),
+            Vec2::ZERO,
+            Arc::clone(&cfg),
+        );
+        let mut n = net();
+        let mon = GridRect { x0: 0, y0: 0, x1: 9, y1: 9 };
+        let info = group_info(0, 3.0, Point::new(55.0, 55.0), mon);
+        agent.tick(0.0, Point::new(55.0, 55.0), Vec2::ZERO, &[Downlink::QueryState { info }], &mut n);
+        assert!(agent.is_target_of(QueryId(0)));
+        let first = n.drain_uplinks();
+        assert_eq!(first.len(), 1);
+        // Still inside: no new report.
+        agent.tick(30.0, Point::new(55.5, 55.0), Vec2::ZERO, &[], &mut n);
+        assert_eq!(n.pending_uplinks(), 0);
+        // Move outside radius 3 (but stay in the same grid cell).
+        agent.tick(60.0, Point::new(59.0, 55.0), Vec2::ZERO, &[], &mut n);
+        let ups = n.drain_uplinks();
+        assert_eq!(ups.len(), 1);
+        match &ups[0].1 {
+            Uplink::ResultUpdate { changes, .. } => assert_eq!(changes, &vec![(QueryId(0), false)]),
+            other => panic!("expected ResultUpdate, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn velocity_change_updates_prediction() {
+        let cfg = config();
+        let mut agent = MovingObjectAgent::new(
+            ObjectId(1),
+            Properties::new(),
+            0.03,
+            Point::new(55.0, 55.0),
+            Vec2::ZERO,
+            Arc::clone(&cfg),
+        );
+        let mut n = net();
+        let mon = GridRect { x0: 0, y0: 0, x1: 9, y1: 9 };
+        let info = group_info(0, 3.0, Point::new(55.0, 55.0), mon);
+        agent.tick(0.0, Point::new(55.0, 55.0), Vec2::ZERO, &[Downlink::QueryState { info }], &mut n);
+        assert!(agent.is_target_of(QueryId(0)));
+        // The focal reports it is now moving away fast; by t=60 its
+        // predicted position leaves us outside.
+        let vc = Downlink::VelocityChange {
+            focal: ObjectId(100),
+            motion: LinearMotion::new(Point::new(55.0, 55.0), Vec2::new(0.2, 0.0), 0.0),
+            qids: vec![QueryId(0)],
+        };
+        agent.tick(60.0, Point::new(55.0, 55.0), Vec2::ZERO, &[vc], &mut n);
+        assert!(!agent.is_target_of(QueryId(0)), "prediction must use updated velocity");
+    }
+
+    #[test]
+    fn safe_period_skips_faraway_queries() {
+        let grid = Grid::new(Rect::new(0.0, 0.0, 100.0, 100.0), 10.0);
+        let cfg = Arc::new(ProtocolConfig::new(grid).with_safe_period(true));
+        let mut agent = MovingObjectAgent::new(
+            ObjectId(1),
+            Properties::new(),
+            0.001, // very slow object
+            Point::new(55.0, 55.0),
+            Vec2::ZERO,
+            cfg,
+        );
+        let mut n = net();
+        let mon = GridRect { x0: 0, y0: 0, x1: 9, y1: 9 };
+        // Focal far away (distance ~42), slow (0.001/s + 0.001/s closing):
+        // safe period is huge.
+        let mut info = group_info(0, 3.0, Point::new(15.0, 15.0), mon);
+        info.max_vel = 0.001;
+        agent.tick(0.0, Point::new(55.0, 55.0), Vec2::ZERO, &[Downlink::QueryState { info }], &mut n);
+        let evaluated_first = agent.stats().evaluated;
+        assert_eq!(evaluated_first, 1);
+        for k in 1..=10 {
+            agent.tick(k as f64 * 30.0, Point::new(55.0, 55.0), Vec2::ZERO, &[], &mut n);
+        }
+        let s = agent.stats();
+        assert_eq!(s.evaluated, 1, "all later evaluations must be skipped");
+        assert_eq!(s.skipped_safe_period, 10);
+    }
+
+    #[test]
+    fn group_prune_skips_smaller_radii() {
+        let grid = Grid::new(Rect::new(0.0, 0.0, 100.0, 100.0), 10.0);
+        let cfg = Arc::new(ProtocolConfig::new(grid).with_grouping(true));
+        let mut agent = MovingObjectAgent::new(
+            ObjectId(1),
+            Properties::new(),
+            0.03,
+            Point::new(55.0, 55.0),
+            Vec2::ZERO,
+            cfg,
+        );
+        let mut n = net();
+        let mon = GridRect { x0: 0, y0: 0, x1: 9, y1: 9 };
+        // Two queries, same focal, radii 5 and 2; we sit 20 away: outside
+        // both. The radius-2 check must be pruned.
+        let info = QueryGroupInfo {
+            focal: ObjectId(100),
+            motion: LinearMotion::at_rest(Point::new(35.0, 55.0), 0.0),
+            max_vel: 0.03,
+            mon_region: mon,
+            queries: Arc::new(vec![
+                QuerySpec { qid: QueryId(0), region: QueryRegion::circle(5.0), filter: Arc::new(Filter::True), slot: 0 },
+                QuerySpec { qid: QueryId(1), region: QueryRegion::circle(2.0), filter: Arc::new(Filter::True), slot: 1 },
+            ]),
+        };
+        agent.tick(0.0, Point::new(55.0, 55.0), Vec2::ZERO, &[Downlink::QueryState { info }], &mut n);
+        let s = agent.stats();
+        assert_eq!(s.evaluated, 1, "only the largest radius is checked");
+        assert_eq!(s.skipped_group_prune, 1);
+        assert!(!agent.is_target_of(QueryId(0)));
+        assert!(!agent.is_target_of(QueryId(1)));
+    }
+
+    #[test]
+    fn grouped_result_reports_use_bitmaps() {
+        let grid = Grid::new(Rect::new(0.0, 0.0, 100.0, 100.0), 10.0);
+        let cfg = Arc::new(ProtocolConfig::new(grid).with_grouping(true));
+        let mut agent = MovingObjectAgent::new(
+            ObjectId(1),
+            Properties::new(),
+            0.03,
+            Point::new(55.0, 55.0),
+            Vec2::ZERO,
+            cfg,
+        );
+        let mut n = net();
+        let mon = GridRect { x0: 0, y0: 0, x1: 9, y1: 9 };
+        let info = QueryGroupInfo {
+            focal: ObjectId(100),
+            motion: LinearMotion::at_rest(Point::new(55.0, 55.0), 0.0),
+            max_vel: 0.03,
+            mon_region: mon,
+            queries: Arc::new(vec![
+                QuerySpec { qid: QueryId(0), region: QueryRegion::circle(5.0), filter: Arc::new(Filter::True), slot: 0 },
+                QuerySpec { qid: QueryId(1), region: QueryRegion::circle(2.0), filter: Arc::new(Filter::True), slot: 1 },
+            ]),
+        };
+        agent.tick(0.0, Point::new(56.0, 55.0), Vec2::ZERO, &[Downlink::QueryState { info }], &mut n);
+        let ups = n.drain_uplinks();
+        assert_eq!(ups.len(), 1);
+        match &ups[0].1 {
+            Uplink::GroupResultUpdate { focal, mask, targets, .. } => {
+                assert_eq!(*focal, ObjectId(100));
+                assert_eq!(*mask, 0b11);
+                // Distance 1: inside both radii 5 and 2.
+                assert_eq!(*targets, 0b11);
+            }
+            other => panic!("expected GroupResultUpdate, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn remove_query_downlink_clears_entry() {
+        let cfg = config();
+        let mut agent = MovingObjectAgent::new(
+            ObjectId(1),
+            Properties::new(),
+            0.03,
+            Point::new(55.0, 55.0),
+            Vec2::ZERO,
+            Arc::clone(&cfg),
+        );
+        let mut n = net();
+        let mon = GridRect { x0: 0, y0: 0, x1: 9, y1: 9 };
+        let info = group_info(3, 3.0, Point::new(55.0, 55.0), mon);
+        agent.tick(0.0, Point::new(55.0, 55.0), Vec2::ZERO, &[Downlink::QueryState { info }], &mut n);
+        assert_eq!(agent.lqt_len(), 1);
+        agent.tick(30.0, Point::new(55.0, 55.0), Vec2::ZERO, &[Downlink::RemoveQuery { qid: QueryId(3) }], &mut n);
+        assert_eq!(agent.lqt_len(), 0);
+    }
+
+    #[test]
+    fn duplicate_installs_are_idempotent() {
+        let cfg = config();
+        let mut agent = MovingObjectAgent::new(
+            ObjectId(1),
+            Properties::new(),
+            0.03,
+            Point::new(55.0, 55.0),
+            Vec2::ZERO,
+            Arc::clone(&cfg),
+        );
+        let mut n = net();
+        let mon = GridRect { x0: 0, y0: 0, x1: 9, y1: 9 };
+        let info = group_info(0, 3.0, Point::new(55.0, 55.0), mon);
+        let msgs = vec![
+            Downlink::QueryState { info: info.clone() },
+            Downlink::QueryState { info },
+        ];
+        agent.tick(0.0, Point::new(55.0, 55.0), Vec2::ZERO, &msgs, &mut n);
+        assert_eq!(agent.lqt_len(), 1, "duplicate broadcast must not duplicate state");
+        // is_target survived the duplicate (no flip-flop reports).
+        let ups = n.drain_uplinks();
+        assert_eq!(ups.len(), 1);
+    }
+}

@@ -1,0 +1,893 @@
+//! The MobiEyes server: a mediator between moving objects (paper §3).
+//!
+//! The server holds the focal object table (FOT), the server-side query
+//! table (SQT) and the reverse query index (RQI). It installs queries,
+//! relays significant focal-object position changes to the objects in the
+//! affected monitoring regions through minimal base-station broadcast sets,
+//! answers cell-change notifications with the queries of the new cell
+//! (eager propagation), and maintains query results differentially from
+//! object reports. It never computes containment itself — that work lives
+//! on the moving objects.
+
+use crate::config::{Propagation, ProtocolConfig};
+use crate::filter::Filter;
+use crate::messages::{Downlink, QueryGroupInfo, QuerySpec, Uplink};
+use crate::model::{ObjectId, QueryId};
+use mobieyes_geo::{CellId, GridRect, LinearMotion, QueryRegion, Region};
+use mobieyes_net::{NetworkSim, NodeId};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Arc;
+
+/// The network type the protocol runs over.
+pub type Net = NetworkSim<Uplink, Downlink>;
+
+/// FOT row: last reported motion of a focal object plus the queries bound
+/// to it.
+#[derive(Debug, Clone)]
+struct FotEntry {
+    motion: LinearMotion,
+    max_vel: f64,
+    /// Queries bound to this focal object, kept sorted by id.
+    queries: Vec<QueryId>,
+    /// Bitmap of group slots in use (for grouped result reports).
+    used_slots: u64,
+}
+
+/// SQT row: everything the server knows about one installed query.
+#[derive(Debug, Clone)]
+struct SqtEntry {
+    focal: ObjectId,
+    region: QueryRegion,
+    filter: Arc<Filter>,
+    curr_cell: CellId,
+    mon_region: GridRect,
+    /// Group slot within the focal object's query set (bit index in grouped
+    /// result reports).
+    slot: u8,
+    /// Absolute expiry time in seconds; the paper's query examples carry
+    /// durations ("during the next 2 hours"). `None` = no expiry.
+    expires_at: Option<f64>,
+    result: BTreeSet<ObjectId>,
+}
+
+/// A query whose installation is waiting for the focal object's position.
+#[derive(Debug)]
+struct PendingInstall {
+    qid: QueryId,
+    region: QueryRegion,
+    filter: Arc<Filter>,
+    expires_at: Option<f64>,
+}
+
+/// Deterministic counters of server-side work; the wall-clock server-load
+/// measurements of the figures sit on top of these in `mobieyes-sim`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    pub uplinks_processed: u64,
+    pub velocity_reports: u64,
+    pub cell_changes: u64,
+    pub result_updates: u64,
+    pub broadcast_ops: u64,
+    pub unicast_ops: u64,
+    pub rqi_updates: u64,
+}
+
+/// The MobiEyes server.
+#[derive(Debug)]
+pub struct Server {
+    config: Arc<ProtocolConfig>,
+    fot: HashMap<ObjectId, FotEntry>,
+    sqt: BTreeMap<QueryId, SqtEntry>,
+    /// RQI: per grid cell (flat row-major index), the queries whose
+    /// monitoring region intersects the cell.
+    rqi: Vec<Vec<QueryId>>,
+    pending: HashMap<ObjectId, Vec<PendingInstall>>,
+    next_qid: u32,
+    stats: ServerStats,
+}
+
+impl Server {
+    pub fn new(config: Arc<ProtocolConfig>) -> Self {
+        let cells = config.grid.num_cells();
+        Server {
+            config,
+            fot: HashMap::new(),
+            sqt: BTreeMap::new(),
+            rqi: vec![Vec::new(); cells],
+            pending: HashMap::new(),
+            next_qid: 0,
+            stats: ServerStats::default(),
+        }
+    }
+
+    pub fn config(&self) -> &ProtocolConfig {
+        &self.config
+    }
+
+    pub fn stats(&self) -> ServerStats {
+        self.stats
+    }
+
+    pub fn num_queries(&self) -> usize {
+        self.sqt.len()
+    }
+
+    pub fn query_ids(&self) -> impl Iterator<Item = QueryId> + '_ {
+        self.sqt.keys().copied()
+    }
+
+    /// Current result set of a query (object ids inside the region that
+    /// satisfy the filter, as reported by the moving objects).
+    pub fn query_result(&self, qid: QueryId) -> Option<&BTreeSet<ObjectId>> {
+        self.sqt.get(&qid).map(|e| &e.result)
+    }
+
+    /// The focal object of a query.
+    pub fn query_focal(&self, qid: QueryId) -> Option<ObjectId> {
+        self.sqt.get(&qid).map(|e| e.focal)
+    }
+
+    /// Queries whose monitoring region covers the given cell (RQI lookup).
+    pub fn nearby_queries(&self, cell: CellId) -> &[QueryId] {
+        &self.rqi[self.config.grid.flat_index(cell)]
+    }
+
+    /// Installs a moving query `(oid, region, filter)`. If the focal
+    /// object's position is unknown the installation is deferred: the
+    /// server unicasts a position request and completes the install when
+    /// the `PositionReply` arrives. Returns the assigned query id.
+    pub fn install_query(
+        &mut self,
+        focal: ObjectId,
+        region: QueryRegion,
+        filter: Filter,
+        net: &mut Net,
+    ) -> QueryId {
+        self.install_query_with_lifetime(focal, region, filter, None, net)
+    }
+
+    /// Installs a query that expires at an absolute time (the paper's
+    /// "during the next 2 hours" / "next 20 minutes" query durations).
+    /// Expired queries are torn down by [`expire_queries`](Self::expire_queries).
+    pub fn install_query_with_lifetime(
+        &mut self,
+        focal: ObjectId,
+        region: QueryRegion,
+        filter: Filter,
+        expires_at: Option<f64>,
+        net: &mut Net,
+    ) -> QueryId {
+        let qid = QueryId(self.next_qid);
+        self.next_qid += 1;
+        let filter = Arc::new(filter);
+        if self.fot.contains_key(&focal) {
+            self.complete_install(qid, focal, region, filter, expires_at, net);
+        } else {
+            let q = self.pending.entry(focal).or_default();
+            let first = q.is_empty();
+            q.push(PendingInstall { qid, region, filter, expires_at });
+            if first {
+                self.stats.unicast_ops += 1;
+                net.send_unicast(focal.node(), Downlink::PositionRequest);
+            }
+        }
+        qid
+    }
+
+    /// Removes every query whose lifetime has ended (call once per time
+    /// step with the current time). Returns the expired query ids.
+    pub fn expire_queries(&mut self, now: f64, net: &mut Net) -> Vec<QueryId> {
+        let expired: Vec<QueryId> = self
+            .sqt
+            .iter()
+            .filter(|(_, e)| e.expires_at.is_some_and(|t| t <= now))
+            .map(|(&q, _)| q)
+            .collect();
+        for &qid in &expired {
+            self.remove_query(qid, net);
+        }
+        expired
+    }
+
+    /// Finishes installation once the focal object's motion is in the FOT.
+    #[allow(clippy::too_many_arguments)]
+    fn complete_install(
+        &mut self,
+        qid: QueryId,
+        focal: ObjectId,
+        region: QueryRegion,
+        filter: Arc<Filter>,
+        expires_at: Option<f64>,
+        net: &mut Net,
+    ) {
+        let grid = self.config.grid.clone();
+        let fot = self.fot.get_mut(&focal).expect("complete_install requires FOT entry");
+        let curr_cell = grid.cell_of(fot.motion.pos);
+        let mon_region = grid.monitoring_region(curr_cell, region.reach());
+        // Assign the lowest free group slot (bit index for bitmap reports).
+        // A focal object with more than 64 queries exhausts the bitmap;
+        // such queries get the NO_SLOT sentinel and fall back to itemized
+        // result reports.
+        let slot = (0..64)
+            .find(|b| fot.used_slots & (1u64 << b) == 0)
+            .map(|b| b as u8)
+            .unwrap_or(crate::messages::NO_SLOT);
+        if slot != crate::messages::NO_SLOT {
+            fot.used_slots |= 1u64 << slot;
+        }
+        let newly_focal = fot.queries.is_empty();
+        fot.queries.push(qid);
+        fot.queries.sort_unstable();
+
+        self.sqt.insert(
+            qid,
+            SqtEntry {
+                focal,
+                region,
+                filter,
+                curr_cell,
+                mon_region,
+                slot,
+                expires_at,
+                result: BTreeSet::new(),
+            },
+        );
+        self.rqi_insert(qid, &mon_region);
+
+        // Make sure the focal object knows it must report motion changes.
+        if newly_focal {
+            self.stats.unicast_ops += 1;
+            net.send_unicast(focal.node(), Downlink::FocalNotify { is_focal: true });
+        }
+        // Ship the query to every object in the monitoring region.
+        let info = self.group_info_for(qid);
+        self.stats.broadcast_ops +=
+            net.broadcast_region(&self.config.grid, &mon_region, &Downlink::QueryState { info }) as u64;
+    }
+
+    /// Changes the spatial region of an installed query (e.g. adaptive
+    /// radius control for k-nearest-neighbor layers). Recomputes the
+    /// monitoring region, fixes the RQI and broadcasts the new query state
+    /// to the union of the old and new monitoring regions — objects
+    /// falling outside the new region uninstall (and report any lost
+    /// targethood), objects newly covered install.
+    pub fn update_query_region(&mut self, qid: QueryId, region: QueryRegion, net: &mut Net) -> bool {
+        let grid = self.config.grid.clone();
+        let Some(e) = self.sqt.get_mut(&qid) else {
+            return false;
+        };
+        let old_mon = e.mon_region;
+        let new_mon = grid.monitoring_region(e.curr_cell, region.reach());
+        e.region = region;
+        e.mon_region = new_mon;
+        self.rqi_remove(qid, &old_mon);
+        self.rqi_insert(qid, &new_mon);
+        let combined = old_mon.union(&new_mon);
+        let msg = Downlink::QueryState { info: self.group_info_for(qid) };
+        self.stats.broadcast_ops += net.broadcast_region(&grid, &combined, &msg) as u64;
+        true
+    }
+
+    /// Removes a query from the system, notifying its monitoring region.
+    pub fn remove_query(&mut self, qid: QueryId, net: &mut Net) -> bool {
+        let Some(entry) = self.sqt.remove(&qid) else {
+            return false;
+        };
+        self.rqi_remove(qid, &entry.mon_region);
+        if let Some(fot) = self.fot.get_mut(&entry.focal) {
+            fot.queries.retain(|&q| q != qid);
+            if entry.slot != crate::messages::NO_SLOT {
+                fot.used_slots &= !(1u64 << entry.slot);
+            }
+            if fot.queries.is_empty() {
+                self.fot.remove(&entry.focal);
+                self.stats.unicast_ops += 1;
+                net.send_unicast(entry.focal.node(), Downlink::FocalNotify { is_focal: false });
+            }
+        }
+        self.stats.broadcast_ops += net.broadcast_region(
+            &self.config.grid,
+            &entry.mon_region,
+            &Downlink::RemoveQuery { qid },
+        ) as u64;
+        true
+    }
+
+    /// Drains and processes all pending uplink messages. Call once per tick.
+    pub fn tick(&mut self, net: &mut Net) {
+        let uplinks = net.drain_uplinks();
+        for (from, msg) in uplinks {
+            self.handle_uplink(from, msg, net);
+        }
+    }
+
+    /// Processes one uplink message.
+    pub fn handle_uplink(&mut self, from: NodeId, msg: Uplink, net: &mut Net) {
+        self.stats.uplinks_processed += 1;
+        match msg {
+            Uplink::VelocityReport { oid, motion } => {
+                debug_assert_eq!(from.0, oid.0);
+                self.on_velocity_report(oid, motion, net);
+            }
+            Uplink::CellChange { oid, prev_cell, new_cell, motion } => {
+                self.on_cell_change(oid, prev_cell, new_cell, motion, net);
+            }
+            Uplink::ResultUpdate { oid, changes } => {
+                self.stats.result_updates += 1;
+                for (qid, is_target) in changes {
+                    if let Some(e) = self.sqt.get_mut(&qid) {
+                        let changed = if is_target {
+                            e.result.insert(oid)
+                        } else {
+                            e.result.remove(&oid)
+                        };
+                        if changed {
+                            self.deliver_result_delta(qid, oid, is_target, net);
+                        }
+                    }
+                }
+            }
+            Uplink::GroupResultUpdate { oid, focal, mask, targets } => {
+                self.stats.result_updates += 1;
+                let qids: Vec<QueryId> = self
+                    .fot
+                    .get(&focal)
+                    .map(|f| f.queries.clone())
+                    .unwrap_or_default();
+                for qid in qids {
+                    let Some(e) = self.sqt.get_mut(&qid) else { continue };
+                    if e.slot >= 64 {
+                        continue; // slotless queries report itemized
+                    }
+                    let bit = 1u64 << e.slot;
+                    if mask & bit == 0 {
+                        continue;
+                    }
+                    let is_target = targets & bit != 0;
+                    let changed = if is_target {
+                        e.result.insert(oid)
+                    } else {
+                        e.result.remove(&oid)
+                    };
+                    if changed {
+                        self.deliver_result_delta(qid, oid, is_target, net);
+                    }
+                }
+            }
+            Uplink::PositionReply { oid, motion, max_vel } => {
+                self.fot.entry(oid).or_insert(FotEntry {
+                    motion,
+                    max_vel,
+                    queries: Vec::new(),
+                    used_slots: 0,
+                });
+                // A fresher sample than what we had: keep it.
+                if let Some(f) = self.fot.get_mut(&oid) {
+                    if motion.tm >= f.motion.tm {
+                        f.motion = motion;
+                        f.max_vel = max_vel;
+                    }
+                }
+                if let Some(pending) = self.pending.remove(&oid) {
+                    for p in pending {
+                        self.complete_install(p.qid, oid, p.region, p.filter, p.expires_at, net);
+                    }
+                }
+            }
+        }
+    }
+
+    /// A focal object's dead-reckoning report: refresh the FOT and relay to
+    /// the monitoring regions of its queries.
+    fn on_velocity_report(&mut self, oid: ObjectId, motion: LinearMotion, net: &mut Net) {
+        self.stats.velocity_reports += 1;
+        let Some(fot) = self.fot.get_mut(&oid) else {
+            return; // Stale report from an object that is no longer focal.
+        };
+        fot.motion = motion;
+        let queries = fot.queries.clone();
+        for group in self.group_queries(&queries) {
+            let mon_region = self.sqt[&group[0]].mon_region;
+            let msg = match self.config.propagation {
+                Propagation::Eager => Downlink::VelocityChange {
+                    focal: oid,
+                    motion,
+                    qids: group.clone(),
+                },
+                // Lazy propagation expands velocity updates to full query
+                // state so objects that recently changed cells can install.
+                Propagation::Lazy => Downlink::QueryState { info: self.group_info_for(group[0]) },
+            };
+            self.stats.broadcast_ops +=
+                net.broadcast_region(&self.config.grid, &mon_region, &msg) as u64;
+        }
+    }
+
+    /// An object crossed a grid cell boundary.
+    fn on_cell_change(
+        &mut self,
+        oid: ObjectId,
+        prev_cell: CellId,
+        new_cell: CellId,
+        motion: LinearMotion,
+        net: &mut Net,
+    ) {
+        self.stats.cell_changes += 1;
+        let grid = self.config.grid.clone();
+
+        // Focal-object bookkeeping: recompute monitoring regions and push
+        // the new query state to the union of old and new regions.
+        if let Some(fot) = self.fot.get_mut(&oid) {
+            fot.motion = motion;
+            let queries = fot.queries.clone();
+            // Group by (old region, new region): queries that travel
+            // together must agree on both, otherwise each goes alone.
+            // (Same old region does not always imply same new region: the
+            // universe boundary clips monitoring regions asymmetrically.)
+            let mut groups: BTreeMap<(GridRect, GridRect), Vec<QueryId>> = BTreeMap::new();
+            for &qid in &queries {
+                let e = &self.sqt[&qid];
+                let old_region = e.mon_region;
+                let new_region = grid.monitoring_region(new_cell, e.region.reach());
+                let key = if self.config.grouping {
+                    (old_region, new_region)
+                } else {
+                    // Degenerate per-query key: single-cell marker regions
+                    // distinct per query id keep every query separate.
+                    (GridRect { x0: qid.0, y0: qid.0, x1: qid.0, y1: qid.0 }, new_region)
+                };
+                groups.entry(key).or_default().push(qid);
+            }
+            for ((_, _), group) in groups {
+                let old_region = self.sqt[&group[0]].mon_region;
+                let new_region = grid.monitoring_region(new_cell, self.sqt[&group[0]].region.reach());
+                for &qid in &group {
+                    let e = self.sqt.get_mut(&qid).expect("grouped query in SQT");
+                    e.curr_cell = new_cell;
+                    e.mon_region = new_region;
+                }
+                for &qid in &group {
+                    self.rqi_remove(qid, &old_region);
+                    self.rqi_insert(qid, &new_region);
+                }
+                let combined = old_region.union(&new_region);
+                let msg = Downlink::QueryState { info: self.group_info_for(group[0]) };
+                self.stats.broadcast_ops += net.broadcast_region(&grid, &combined, &msg) as u64;
+            }
+        }
+
+        // Eager propagation: tell the object which queries are new in its
+        // cell. (Under lazy propagation only focal objects send cell
+        // changes, and we answer them too — they contacted us anyway.)
+        let prev_qids = &self.rqi[grid.flat_index(prev_cell)];
+        let new_qids = &self.rqi[grid.flat_index(new_cell)];
+        let fresh: Vec<QueryId> = new_qids
+            .iter()
+            .filter(|q| !prev_qids.contains(q))
+            .copied()
+            .collect();
+        if !fresh.is_empty() {
+            let infos: Vec<QueryGroupInfo> = self
+                .group_queries(&fresh)
+                .into_iter()
+                .map(|g| self.group_info_for(g[0]))
+                .collect();
+            self.stats.unicast_ops += 1;
+            net.send_unicast(oid.node(), Downlink::NewQueries { infos });
+        }
+    }
+
+    /// Splits a set of same-focal queries into dissemination groups. With
+    /// grouping enabled, queries sharing focal *and* monitoring region
+    /// travel together (the paper's "MQs with matching monitoring
+    /// regions"); otherwise every query is its own group.
+    fn group_queries(&self, qids: &[QueryId]) -> Vec<Vec<QueryId>> {
+        if !self.config.grouping {
+            return qids.iter().map(|&q| vec![q]).collect();
+        }
+        let mut groups: BTreeMap<(ObjectId, GridRect), Vec<QueryId>> = BTreeMap::new();
+        for &qid in qids {
+            let e = &self.sqt[&qid];
+            groups.entry((e.focal, e.mon_region)).or_default().push(qid);
+        }
+        groups.into_values().collect()
+    }
+
+    /// Builds the full dissemination payload for the group containing
+    /// `qid` (the group is recomputed from current server state).
+    fn group_info_for(&self, qid: QueryId) -> QueryGroupInfo {
+        let e = &self.sqt[&qid];
+        let fot = &self.fot[&e.focal];
+        let members: Vec<QueryId> = if self.config.grouping {
+            fot.queries
+                .iter()
+                .filter(|q| self.sqt[q].mon_region == e.mon_region)
+                .copied()
+                .collect()
+        } else {
+            vec![qid]
+        };
+        let queries = members
+            .iter()
+            .map(|q| {
+                let s = &self.sqt[q];
+                QuerySpec { qid: *q, region: s.region, filter: Arc::clone(&s.filter), slot: s.slot }
+            })
+            .collect();
+        QueryGroupInfo {
+            focal: e.focal,
+            motion: fot.motion,
+            max_vel: fot.max_vel,
+            mon_region: e.mon_region,
+            queries: Arc::new(queries),
+        }
+    }
+
+    /// Pushes one membership change to the query's focal object when
+    /// result delivery is enabled (the paper's query examples expect the
+    /// issuer to *see* the result: "give me the positions of those
+    /// customers ... at each instance of time").
+    fn deliver_result_delta(&mut self, qid: QueryId, oid: ObjectId, entered: bool, net: &mut Net) {
+        if !self.config.deliver_results {
+            return;
+        }
+        let Some(e) = self.sqt.get(&qid) else { return };
+        self.stats.unicast_ops += 1;
+        net.send_unicast(
+            e.focal.node(),
+            Downlink::ResultDelta { qid, object: oid, entered },
+        );
+    }
+
+    fn rqi_insert(&mut self, qid: QueryId, region: &GridRect) {
+        let grid = &self.config.grid;
+        for cell in region.iter() {
+            let idx = grid.flat_index(cell);
+            if !self.rqi[idx].contains(&qid) {
+                self.rqi[idx].push(qid);
+            }
+        }
+        self.stats.rqi_updates += region.len() as u64;
+    }
+
+    fn rqi_remove(&mut self, qid: QueryId, region: &GridRect) {
+        let grid = &self.config.grid;
+        for cell in region.iter() {
+            let idx = grid.flat_index(cell);
+            self.rqi[idx].retain(|&q| q != qid);
+        }
+        self.stats.rqi_updates += region.len() as u64;
+    }
+
+    /// Structural self-check for tests: the RQI must exactly mirror the
+    /// monitoring regions in the SQT, FOT query lists must match SQT focal
+    /// assignments, and slots must be consistent.
+    pub fn check_invariants(&self) {
+        for (qid, e) in &self.sqt {
+            for cell in e.mon_region.iter() {
+                assert!(
+                    self.rqi[self.config.grid.flat_index(cell)].contains(qid),
+                    "RQI missing {qid:?} at {cell:?}"
+                );
+            }
+            let fot = self.fot.get(&e.focal).expect("focal of live query in FOT");
+            assert!(fot.queries.contains(qid), "FOT query list missing {qid:?}");
+            if e.slot != crate::messages::NO_SLOT {
+                assert!(fot.used_slots & (1u64 << e.slot) != 0, "slot not marked used");
+            }
+        }
+        for (idx, qids) in self.rqi.iter().enumerate() {
+            for qid in qids {
+                let e = self.sqt.get(qid).expect("RQI references live query");
+                let cell = CellId::new(
+                    (idx % self.config.grid.cols as usize) as u32,
+                    (idx / self.config.grid.cols as usize) as u32,
+                );
+                assert!(e.mon_region.contains(cell), "stale RQI entry for {qid:?}");
+            }
+        }
+        for (oid, fot) in &self.fot {
+            for qid in &fot.queries {
+                assert_eq!(self.sqt[qid].focal, *oid, "FOT/SQT focal mismatch");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobieyes_geo::{Grid, Point, Rect, Vec2};
+    use mobieyes_net::BaseStationLayout;
+
+    fn setup(propagation: Propagation, grouping: bool) -> (Server, Net, Arc<ProtocolConfig>) {
+        let universe = Rect::new(0.0, 0.0, 100.0, 100.0);
+        let grid = Grid::new(universe, 10.0);
+        let config = Arc::new(
+            ProtocolConfig::new(grid).with_propagation(propagation).with_grouping(grouping),
+        );
+        let server = Server::new(Arc::clone(&config));
+        let net = Net::new(BaseStationLayout::new(universe, 20.0));
+        (server, net, config)
+    }
+
+    fn motion_at(x: f64, y: f64) -> LinearMotion {
+        LinearMotion::new(Point::new(x, y), Vec2::new(0.001, 0.0), 0.0)
+    }
+
+    /// Puts `oid` into the FOT by replaying the position-request handshake.
+    fn register(server: &mut Server, net: &mut Net, oid: ObjectId, x: f64, y: f64) {
+        server.handle_uplink(
+            oid.node(),
+            Uplink::PositionReply { oid, motion: motion_at(x, y), max_vel: 0.03 },
+            net,
+        );
+    }
+
+    #[test]
+    fn install_with_unknown_focal_defers_and_requests_position() {
+        let (mut server, mut net, _) = setup(Propagation::Eager, false);
+        let qid = server.install_query(ObjectId(1), QueryRegion::circle(3.0), Filter::True, &mut net);
+        // Not installed yet; a position request went out.
+        assert_eq!(server.num_queries(), 0);
+        assert_eq!(net.meter().unicast_msgs, 1);
+        // The reply completes the install.
+        register(&mut server, &mut net, ObjectId(1), 55.0, 55.0);
+        assert_eq!(server.num_queries(), 1);
+        assert_eq!(server.query_focal(qid), Some(ObjectId(1)));
+        server.check_invariants();
+        // Install broadcast(s) plus the focal notification.
+        assert!(net.meter().broadcast_msgs >= 1);
+        assert!(net.meter().unicast_msgs >= 2);
+    }
+
+    #[test]
+    fn install_with_known_focal_is_immediate() {
+        let (mut server, mut net, _) = setup(Propagation::Eager, false);
+        register(&mut server, &mut net, ObjectId(1), 55.0, 55.0);
+        let qid = server.install_query(ObjectId(1), QueryRegion::circle(3.0), Filter::True, &mut net);
+        assert_eq!(server.num_queries(), 1);
+        server.check_invariants();
+        // Monitoring region covers the focal cell and neighbors.
+        let cell = server.config().grid.cell_of(Point::new(55.0, 55.0));
+        assert!(server.nearby_queries(cell).contains(&qid));
+    }
+
+    #[test]
+    fn multiple_pending_installs_one_position_request() {
+        let (mut server, mut net, _) = setup(Propagation::Eager, false);
+        server.install_query(ObjectId(9), QueryRegion::circle(2.0), Filter::True, &mut net);
+        server.install_query(ObjectId(9), QueryRegion::circle(5.0), Filter::True, &mut net);
+        assert_eq!(net.meter().unicast_msgs, 1, "one position request for both installs");
+        register(&mut server, &mut net, ObjectId(9), 20.0, 20.0);
+        assert_eq!(server.num_queries(), 2);
+        server.check_invariants();
+    }
+
+    #[test]
+    fn remove_query_cleans_all_state() {
+        let (mut server, mut net, _) = setup(Propagation::Eager, false);
+        register(&mut server, &mut net, ObjectId(1), 55.0, 55.0);
+        let qid = server.install_query(ObjectId(1), QueryRegion::circle(3.0), Filter::True, &mut net);
+        assert!(server.remove_query(qid, &mut net));
+        assert_eq!(server.num_queries(), 0);
+        let cell = server.config().grid.cell_of(Point::new(55.0, 55.0));
+        assert!(server.nearby_queries(cell).is_empty());
+        server.check_invariants();
+        assert!(!server.remove_query(qid, &mut net), "double remove fails");
+    }
+
+    #[test]
+    fn result_updates_are_differential() {
+        let (mut server, mut net, _) = setup(Propagation::Eager, false);
+        register(&mut server, &mut net, ObjectId(1), 55.0, 55.0);
+        let qid = server.install_query(ObjectId(1), QueryRegion::circle(3.0), Filter::True, &mut net);
+        server.handle_uplink(
+            NodeId(2),
+            Uplink::ResultUpdate { oid: ObjectId(2), changes: vec![(qid, true)] },
+            &mut net,
+        );
+        assert!(server.query_result(qid).unwrap().contains(&ObjectId(2)));
+        server.handle_uplink(
+            NodeId(2),
+            Uplink::ResultUpdate { oid: ObjectId(2), changes: vec![(qid, false)] },
+            &mut net,
+        );
+        assert!(!server.query_result(qid).unwrap().contains(&ObjectId(2)));
+    }
+
+    #[test]
+    fn velocity_report_triggers_region_broadcast() {
+        let (mut server, mut net, _) = setup(Propagation::Eager, false);
+        register(&mut server, &mut net, ObjectId(1), 55.0, 55.0);
+        server.install_query(ObjectId(1), QueryRegion::circle(3.0), Filter::True, &mut net);
+        let before = net.meter().broadcast_msgs;
+        server.handle_uplink(
+            NodeId(1),
+            Uplink::VelocityReport { oid: ObjectId(1), motion: motion_at(56.0, 55.0) },
+            &mut net,
+        );
+        assert!(net.meter().broadcast_msgs > before);
+        assert_eq!(server.stats().velocity_reports, 1);
+    }
+
+    #[test]
+    fn velocity_report_from_non_focal_is_ignored() {
+        let (mut server, mut net, _) = setup(Propagation::Eager, false);
+        let before = net.meter().broadcast_msgs;
+        server.handle_uplink(
+            NodeId(3),
+            Uplink::VelocityReport { oid: ObjectId(3), motion: motion_at(1.0, 1.0) },
+            &mut net,
+        );
+        assert_eq!(net.meter().broadcast_msgs, before);
+    }
+
+    #[test]
+    fn focal_cell_change_moves_monitoring_region() {
+        let (mut server, mut net, _) = setup(Propagation::Eager, false);
+        register(&mut server, &mut net, ObjectId(1), 55.0, 55.0);
+        let qid = server.install_query(ObjectId(1), QueryRegion::circle(3.0), Filter::True, &mut net);
+        let grid = server.config().grid.clone();
+        let old_cell = grid.cell_of(Point::new(55.0, 55.0));
+        let new_cell = grid.cell_of(Point::new(75.0, 55.0));
+        server.handle_uplink(
+            NodeId(1),
+            Uplink::CellChange {
+                oid: ObjectId(1),
+                prev_cell: old_cell,
+                new_cell,
+                motion: motion_at(75.0, 55.0),
+            },
+            &mut net,
+        );
+        server.check_invariants();
+        assert!(server.nearby_queries(new_cell).contains(&qid));
+        // The old cell is two cells away from the new one, outside the new
+        // monitoring region for r=3 < α=10.
+        assert!(!server.nearby_queries(old_cell).contains(&qid));
+    }
+
+    #[test]
+    fn non_focal_cell_change_gets_new_queries_unicast() {
+        let (mut server, mut net, _) = setup(Propagation::Eager, false);
+        register(&mut server, &mut net, ObjectId(1), 55.0, 55.0);
+        server.install_query(ObjectId(1), QueryRegion::circle(3.0), Filter::True, &mut net);
+        let grid = server.config().grid.clone();
+        // Object 2 moves from far away into the query's monitoring region.
+        let before = net.meter().unicast_msgs;
+        server.handle_uplink(
+            NodeId(2),
+            Uplink::CellChange {
+                oid: ObjectId(2),
+                prev_cell: grid.cell_of(Point::new(5.0, 5.0)),
+                new_cell: grid.cell_of(Point::new(55.0, 55.0)),
+                motion: motion_at(55.0, 55.0),
+            },
+            &mut net,
+        );
+        assert_eq!(net.meter().unicast_msgs, before + 1, "expected NewQueries unicast");
+        // Moving between two cells both outside any monitoring region sends
+        // nothing.
+        let before = net.meter().unicast_msgs;
+        server.handle_uplink(
+            NodeId(3),
+            Uplink::CellChange {
+                oid: ObjectId(3),
+                prev_cell: grid.cell_of(Point::new(5.0, 5.0)),
+                new_cell: grid.cell_of(Point::new(15.0, 5.0)),
+                motion: motion_at(15.0, 5.0),
+            },
+            &mut net,
+        );
+        assert_eq!(net.meter().unicast_msgs, before);
+    }
+
+    #[test]
+    fn grouping_coalesces_same_region_queries() {
+        // Two queries, same focal, same radius class -> same monitoring
+        // region -> one grouped broadcast per velocity report.
+        let (mut server, mut net, _) = setup(Propagation::Eager, true);
+        register(&mut server, &mut net, ObjectId(1), 55.0, 55.0);
+        server.install_query(ObjectId(1), QueryRegion::circle(3.0), Filter::True, &mut net);
+        server.install_query(ObjectId(1), QueryRegion::circle(2.5), Filter::True, &mut net);
+        let before = net.meter().broadcast_msgs;
+        server.handle_uplink(
+            NodeId(1),
+            Uplink::VelocityReport { oid: ObjectId(1), motion: motion_at(56.0, 55.0) },
+            &mut net,
+        );
+        let grouped_broadcasts = net.meter().broadcast_msgs - before;
+
+        // Same scenario without grouping: two broadcasts.
+        let (mut server2, mut net2, _) = setup(Propagation::Eager, false);
+        register(&mut server2, &mut net2, ObjectId(1), 55.0, 55.0);
+        server2.install_query(ObjectId(1), QueryRegion::circle(3.0), Filter::True, &mut net2);
+        server2.install_query(ObjectId(1), QueryRegion::circle(2.5), Filter::True, &mut net2);
+        let before2 = net2.meter().broadcast_msgs;
+        server2.handle_uplink(
+            NodeId(1),
+            Uplink::VelocityReport { oid: ObjectId(1), motion: motion_at(56.0, 55.0) },
+            &mut net2,
+        );
+        let ungrouped_broadcasts = net2.meter().broadcast_msgs - before2;
+        assert!(grouped_broadcasts < ungrouped_broadcasts);
+    }
+
+    #[test]
+    fn group_result_update_sets_membership_by_slot() {
+        let (mut server, mut net, _) = setup(Propagation::Eager, true);
+        register(&mut server, &mut net, ObjectId(1), 55.0, 55.0);
+        let q1 = server.install_query(ObjectId(1), QueryRegion::circle(3.0), Filter::True, &mut net);
+        let q2 = server.install_query(ObjectId(1), QueryRegion::circle(2.0), Filter::True, &mut net);
+        // Object 5 reports: inside q1 (slot 0), outside q2 (slot 1).
+        server.handle_uplink(
+            NodeId(5),
+            Uplink::GroupResultUpdate { oid: ObjectId(5), focal: ObjectId(1), mask: 0b11, targets: 0b01 },
+            &mut net,
+        );
+        assert!(server.query_result(q1).unwrap().contains(&ObjectId(5)));
+        assert!(!server.query_result(q2).unwrap().contains(&ObjectId(5)));
+        // Masked-out bits leave membership untouched.
+        server.handle_uplink(
+            NodeId(5),
+            Uplink::GroupResultUpdate { oid: ObjectId(5), focal: ObjectId(1), mask: 0b10, targets: 0b10 },
+            &mut net,
+        );
+        assert!(server.query_result(q1).unwrap().contains(&ObjectId(5)), "q1 untouched");
+        assert!(server.query_result(q2).unwrap().contains(&ObjectId(5)));
+    }
+
+    #[test]
+    fn lazy_propagation_sends_full_state_on_velocity_change() {
+        let (mut server, mut net, _) = setup(Propagation::Lazy, false);
+        register(&mut server, &mut net, ObjectId(1), 55.0, 55.0);
+        server.install_query(ObjectId(1), QueryRegion::circle(3.0), Filter::True, &mut net);
+        server.handle_uplink(
+            NodeId(1),
+            Uplink::VelocityReport { oid: ObjectId(1), motion: motion_at(56.0, 55.0) },
+            &mut net,
+        );
+        // Deliver at a point inside the monitoring region and inspect.
+        let mut inbox = Vec::new();
+        net.deliver(NodeId(7), Point::new(55.0, 55.0), &mut inbox);
+        assert!(
+            inbox.iter().any(|m| matches!(m, Downlink::QueryState { .. })),
+            "lazy mode must ship full query state, got {inbox:?}"
+        );
+        assert!(
+            !inbox.iter().any(|m| matches!(m, Downlink::VelocityChange { .. })),
+            "lazy mode must not ship bare velocity changes"
+        );
+    }
+
+    #[test]
+    fn slot_reuse_after_removal() {
+        let (mut server, mut net, _) = setup(Propagation::Eager, true);
+        register(&mut server, &mut net, ObjectId(1), 55.0, 55.0);
+        let _q1 = server.install_query(ObjectId(1), QueryRegion::circle(3.0), Filter::True, &mut net);
+        let q2 = server.install_query(ObjectId(1), QueryRegion::circle(2.0), Filter::True, &mut net);
+        server.remove_query(q2, &mut net);
+        let q3 = server.install_query(ObjectId(1), QueryRegion::circle(1.0), Filter::True, &mut net);
+        // q3 reuses q2's slot (slot 1).
+        server.check_invariants();
+        server.handle_uplink(
+            NodeId(5),
+            Uplink::GroupResultUpdate { oid: ObjectId(5), focal: ObjectId(1), mask: 0b10, targets: 0b10 },
+            &mut net,
+        );
+        assert!(server.query_result(q3).unwrap().contains(&ObjectId(5)));
+    }
+
+    #[test]
+    fn removing_last_query_clears_focal_flag() {
+        let (mut server, mut net, _) = setup(Propagation::Eager, false);
+        register(&mut server, &mut net, ObjectId(1), 55.0, 55.0);
+        let qid = server.install_query(ObjectId(1), QueryRegion::circle(3.0), Filter::True, &mut net);
+        server.remove_query(qid, &mut net);
+        // A FocalNotify{false} unicast went to the ex-focal object.
+        let mut inbox = Vec::new();
+        net.deliver(NodeId(1), Point::new(55.0, 55.0), &mut inbox);
+        assert!(inbox.contains(&Downlink::FocalNotify { is_focal: false }));
+    }
+}

@@ -1,0 +1,166 @@
+//! Codec property tests: for *arbitrary* protocol messages, the binary
+//! encoding must round-trip exactly and its length must equal the declared
+//! `wire_size` that drives all messaging-cost accounting.
+
+use mobieyes_core::codec::{decode_downlink, decode_uplink, downlink_bytes, uplink_bytes};
+use mobieyes_core::{Downlink, Filter, ObjectId, PropValue, QueryGroupInfo, QueryId, QuerySpec, Uplink};
+use mobieyes_geo::{CellId, GridRect, LinearMotion, Point, QueryRegion, Vec2};
+use mobieyes_net::WireSized;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn arb_motion() -> impl Strategy<Value = LinearMotion> {
+    (-1e3..1e3f64, -1e3..1e3f64, -1.0..1.0f64, -1.0..1.0f64, 0.0..1e6f64)
+        .prop_map(|(x, y, vx, vy, tm)| LinearMotion::new(Point::new(x, y), Vec2::new(vx, vy), tm))
+}
+
+fn arb_prop_value() -> impl Strategy<Value = PropValue> {
+    prop_oneof![
+        any::<i64>().prop_map(PropValue::Int),
+        (-1e6..1e6f64).prop_map(PropValue::Float),
+        "[a-z]{0,12}".prop_map(PropValue::Text),
+        any::<bool>().prop_map(PropValue::Bool),
+    ]
+}
+
+fn arb_filter() -> impl Strategy<Value = Filter> {
+    let leaf = prop_oneof![
+        Just(Filter::True),
+        Just(Filter::False),
+        (0.0..1.0f64, any::<u64>())
+            .prop_map(|(s, salt)| Filter::Selectivity { selectivity: s, salt }),
+        ("[a-z]{1,8}", arb_prop_value()).prop_map(|(k, v)| Filter::Eq(k, v)),
+        ("[a-z]{1,8}", -100.0..100.0f64).prop_map(|(k, x)| Filter::Lt(k, x)),
+        ("[a-z]{1,8}", -100.0..100.0f64).prop_map(|(k, x)| Filter::Gt(k, x)),
+    ];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Filter::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Filter::Or(Box::new(a), Box::new(b))),
+            inner.prop_map(|f| Filter::Not(Box::new(f))),
+        ]
+    })
+}
+
+fn arb_region() -> impl Strategy<Value = QueryRegion> {
+    prop_oneof![
+        (0.0..50.0f64).prop_map(QueryRegion::circle),
+        (0.0..50.0f64, 0.0..50.0f64).prop_map(|(w, h)| QueryRegion::rect(w, h)),
+    ]
+}
+
+fn arb_group_info() -> impl Strategy<Value = QueryGroupInfo> {
+    (
+        any::<u32>(),
+        arb_motion(),
+        0.0..0.1f64,
+        (0u32..100, 0u32..100, 0u32..10, 0u32..10),
+        prop::collection::vec((any::<u32>(), arb_region(), arb_filter(), any::<u8>()), 0..5),
+    )
+        .prop_map(|(focal, motion, max_vel, (x0, y0, dx, dy), specs)| QueryGroupInfo {
+            focal: ObjectId(focal),
+            motion,
+            max_vel,
+            mon_region: GridRect { x0, y0, x1: x0 + dx, y1: y0 + dy },
+            queries: Arc::new(
+                specs
+                    .into_iter()
+                    .map(|(qid, region, filter, slot)| QuerySpec {
+                        qid: QueryId(qid),
+                        region,
+                        filter: Arc::new(filter),
+                        slot,
+                    })
+                    .collect(),
+            ),
+        })
+}
+
+fn arb_uplink() -> impl Strategy<Value = Uplink> {
+    prop_oneof![
+        (any::<u32>(), arb_motion())
+            .prop_map(|(o, m)| Uplink::VelocityReport { oid: ObjectId(o), motion: m }),
+        (any::<u32>(), 0u32..100, 0u32..100, 0u32..100, 0u32..100, arb_motion()).prop_map(
+            |(o, a, b, c, d, m)| Uplink::CellChange {
+                oid: ObjectId(o),
+                prev_cell: CellId::new(a, b),
+                new_cell: CellId::new(c, d),
+                motion: m,
+            }
+        ),
+        (any::<u32>(), prop::collection::vec((any::<u32>(), any::<bool>()), 0..20)).prop_map(
+            |(o, ch)| Uplink::ResultUpdate {
+                oid: ObjectId(o),
+                changes: ch.into_iter().map(|(q, b)| (QueryId(q), b)).collect(),
+            }
+        ),
+        (any::<u32>(), any::<u32>(), any::<u64>(), any::<u64>()).prop_map(
+            |(o, f, mask, targets)| Uplink::GroupResultUpdate {
+                oid: ObjectId(o),
+                focal: ObjectId(f),
+                mask,
+                targets,
+            }
+        ),
+        (any::<u32>(), arb_motion(), 0.0..0.1f64).prop_map(|(o, m, v)| Uplink::PositionReply {
+            oid: ObjectId(o),
+            motion: m,
+            max_vel: v,
+        }),
+    ]
+}
+
+fn arb_downlink() -> impl Strategy<Value = Downlink> {
+    prop_oneof![
+        arb_group_info().prop_map(|info| Downlink::QueryState { info }),
+        (any::<u32>(), arb_motion(), prop::collection::vec(any::<u32>(), 0..20)).prop_map(
+            |(f, m, qids)| Downlink::VelocityChange {
+                focal: ObjectId(f),
+                motion: m,
+                qids: qids.into_iter().map(QueryId).collect(),
+            }
+        ),
+        prop::collection::vec(arb_group_info(), 0..3)
+            .prop_map(|infos| Downlink::NewQueries { infos }),
+        any::<u32>().prop_map(|q| Downlink::RemoveQuery { qid: QueryId(q) }),
+        any::<bool>().prop_map(|b| Downlink::FocalNotify { is_focal: b }),
+        Just(Downlink::PositionRequest),
+        (any::<u32>(), any::<u32>(), any::<bool>()).prop_map(|(q, o, e)| Downlink::ResultDelta {
+            qid: QueryId(q),
+            object: ObjectId(o),
+            entered: e,
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn uplink_roundtrip(msg in arb_uplink()) {
+        let bytes = uplink_bytes(&msg);
+        prop_assert_eq!(bytes.len(), msg.wire_size(), "wire_size mismatch");
+        let mut buf = bytes;
+        let decoded = decode_uplink(&mut buf).expect("decodes");
+        prop_assert_eq!(decoded, msg);
+        prop_assert_eq!(bytes::Buf::remaining(&buf), 0);
+    }
+
+    #[test]
+    fn downlink_roundtrip(msg in arb_downlink()) {
+        let bytes = downlink_bytes(&msg);
+        prop_assert_eq!(bytes.len(), msg.wire_size(), "wire_size mismatch");
+        let mut buf = bytes;
+        let decoded = decode_downlink(&mut buf).expect("decodes");
+        prop_assert_eq!(decoded, msg);
+        prop_assert_eq!(bytes::Buf::remaining(&buf), 0);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_garbage(data in prop::collection::vec(any::<u8>(), 0..200)) {
+        let mut buf = bytes::Bytes::from(data.clone());
+        let _ = decode_uplink(&mut buf);
+        let mut buf = bytes::Bytes::from(data);
+        let _ = decode_downlink(&mut buf);
+    }
+}

@@ -1,0 +1,105 @@
+//! Circle regions, `Circle(cx, cy, r)` in the paper's notation.
+
+use crate::point::Point;
+use crate::rect::Rect;
+
+/// A closed disc of radius `r` centered at `center`.
+///
+/// Circles are the canonical moving-query spatial region in the paper; the
+/// center doubles as the binding point to the focal object.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Circle {
+    pub center: Point,
+    pub r: f64,
+}
+
+impl Circle {
+    /// # Panics
+    /// Panics in debug builds on a negative or non-finite radius.
+    #[inline]
+    pub fn new(center: Point, r: f64) -> Self {
+        debug_assert!(r >= 0.0 && r.is_finite(), "bad circle radius {r}");
+        Circle { center, r }
+    }
+
+    /// Closed containment check (boundary points are inside). This is the
+    /// "computationally cheap point containment check" the paper requires of
+    /// query region shapes.
+    #[inline]
+    pub fn contains_point(&self, p: Point) -> bool {
+        self.center.distance_sq(p) <= self.r * self.r
+    }
+
+    /// Tight axis-aligned bounding rectangle.
+    #[inline]
+    pub fn bbox(&self) -> Rect {
+        Rect::new(self.center.x - self.r, self.center.y - self.r, 2.0 * self.r, 2.0 * self.r)
+    }
+
+    /// True when the disc and the (closed) rectangle share a point.
+    pub fn intersects_rect(&self, rect: &Rect) -> bool {
+        rect.distance_to_point(self.center) <= self.r
+    }
+
+    /// The same disc translated so it is centered on `p`. Used when the focal
+    /// object moves: the region shape is fixed, the binding point follows.
+    #[inline]
+    pub fn at(&self, p: Point) -> Circle {
+        Circle::new(p, self.r)
+    }
+
+    #[inline]
+    pub fn area(&self) -> f64 {
+        std::f64::consts::PI * self.r * self.r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn containment_closed_on_boundary() {
+        let c = Circle::new(Point::new(0.0, 0.0), 5.0);
+        assert!(c.contains_point(Point::new(3.0, 4.0))); // exactly on boundary
+        assert!(c.contains_point(Point::new(0.0, 0.0)));
+        assert!(!c.contains_point(Point::new(3.0, 4.1)));
+    }
+
+    #[test]
+    fn zero_radius_contains_only_center() {
+        let c = Circle::new(Point::new(1.0, 1.0), 0.0);
+        assert!(c.contains_point(Point::new(1.0, 1.0)));
+        assert!(!c.contains_point(Point::new(1.0, 1.0 + 1e-9)));
+    }
+
+    #[test]
+    fn bbox_is_tight() {
+        let c = Circle::new(Point::new(2.0, 3.0), 1.5);
+        assert_eq!(c.bbox(), Rect::new(0.5, 1.5, 3.0, 3.0));
+    }
+
+    #[test]
+    fn rect_intersection() {
+        let c = Circle::new(Point::new(0.0, 0.0), 1.0);
+        assert!(c.intersects_rect(&Rect::new(-0.5, -0.5, 1.0, 1.0))); // center inside
+        assert!(c.intersects_rect(&Rect::new(1.0, -0.5, 1.0, 1.0))); // touches edge
+        assert!(!c.intersects_rect(&Rect::new(1.1, 1.1, 1.0, 1.0))); // corner too far
+        // A rect whose corner region is near but diagonal distance > r.
+        assert!(!c.intersects_rect(&Rect::new(0.8, 0.8, 1.0, 1.0)));
+    }
+
+    #[test]
+    fn rebinding_moves_center_keeps_radius() {
+        let c = Circle::new(Point::new(0.0, 0.0), 2.0);
+        let moved = c.at(Point::new(7.0, -1.0));
+        assert_eq!(moved.center, Point::new(7.0, -1.0));
+        assert_eq!(moved.r, 2.0);
+    }
+
+    #[test]
+    fn area() {
+        let c = Circle::new(Point::ORIGIN, 2.0);
+        assert!((c.area() - 4.0 * std::f64::consts::PI).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,302 @@
+//! Axis-aligned rectangles, `Rect(lx, ly, w, h)` in the paper's notation.
+
+use crate::point::Point;
+
+/// A closed axis-aligned rectangle `[lx, hx] x [ly, hy]`.
+///
+/// Rectangles are the paper's `Rect(lx, ly, w, h)`; they are used for the
+/// universe of discourse, grid cells, query bounding boxes and R*-tree keys.
+///
+/// Internally the rectangle stores its two corners rather than
+/// lower-corner-plus-extent: corner storage keeps `union` exact in floating
+/// point (the union of rects contains every input corner bit-for-bit), which
+/// the R*-tree's closed-set containment invariants rely on.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rect {
+    pub lx: f64,
+    pub ly: f64,
+    hx: f64,
+    hy: f64,
+}
+
+impl Rect {
+    /// Creates a rectangle from its lower-left corner and extents (the
+    /// paper's `Rect(lx, ly, w, h)`).
+    ///
+    /// # Panics
+    /// Panics in debug builds if `w` or `h` is negative or any value is
+    /// non-finite.
+    #[inline]
+    pub fn new(lx: f64, ly: f64, w: f64, h: f64) -> Self {
+        debug_assert!(w >= 0.0 && h >= 0.0, "negative rect extents {w}x{h}");
+        debug_assert!(
+            lx.is_finite() && ly.is_finite() && w.is_finite() && h.is_finite(),
+            "non-finite rect"
+        );
+        Rect { lx, ly, hx: lx + w, hy: ly + h }
+    }
+
+    /// Creates a rectangle directly from corner bounds.
+    ///
+    /// # Panics
+    /// Panics in debug builds when `hx < lx` or `hy < ly`.
+    #[inline]
+    pub fn from_bounds(lx: f64, ly: f64, hx: f64, hy: f64) -> Self {
+        debug_assert!(hx >= lx && hy >= ly, "inverted rect bounds");
+        Rect { lx, ly, hx, hy }
+    }
+
+    /// Rectangle from two opposite corner points (any order).
+    pub fn from_corners(a: Point, b: Point) -> Self {
+        Rect {
+            lx: a.x.min(b.x),
+            ly: a.y.min(b.y),
+            hx: a.x.max(b.x),
+            hy: a.y.max(b.y),
+        }
+    }
+
+    /// Degenerate rectangle covering exactly one point.
+    #[inline]
+    pub fn from_point(p: Point) -> Self {
+        Rect { lx: p.x, ly: p.y, hx: p.x, hy: p.y }
+    }
+
+    #[inline]
+    pub fn hx(&self) -> f64 {
+        self.hx
+    }
+
+    #[inline]
+    pub fn hy(&self) -> f64 {
+        self.hy
+    }
+
+    /// Width (x-extent).
+    #[inline]
+    pub fn w(&self) -> f64 {
+        self.hx - self.lx
+    }
+
+    /// Height (y-extent).
+    #[inline]
+    pub fn h(&self) -> f64 {
+        self.hy - self.ly
+    }
+
+    #[inline]
+    pub fn low(&self) -> Point {
+        Point::new(self.lx, self.ly)
+    }
+
+    #[inline]
+    pub fn high(&self) -> Point {
+        Point::new(self.hx, self.hy)
+    }
+
+    #[inline]
+    pub fn center(&self) -> Point {
+        Point::new((self.lx + self.hx) / 2.0, (self.ly + self.hy) / 2.0)
+    }
+
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.w() * self.h()
+    }
+
+    /// Perimeter half-sum (the R* "margin").
+    #[inline]
+    pub fn margin(&self) -> f64 {
+        self.w() + self.h()
+    }
+
+    /// Closed containment: boundary points are inside.
+    #[inline]
+    pub fn contains_point(&self, p: Point) -> bool {
+        p.x >= self.lx && p.x <= self.hx && p.y >= self.ly && p.y <= self.hy
+    }
+
+    /// True when `other` lies entirely within `self` (closed).
+    #[inline]
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        other.lx >= self.lx && other.hx <= self.hx && other.ly >= self.ly && other.hy <= self.hy
+    }
+
+    /// Closed intersection test: rectangles sharing only a boundary count as
+    /// intersecting, matching the paper's `A_ij ∩ bound_box(q) ≠ ∅`.
+    #[inline]
+    pub fn intersects(&self, other: &Rect) -> bool {
+        self.lx <= other.hx && other.lx <= self.hx && self.ly <= other.hy && other.ly <= self.hy
+    }
+
+    /// The intersection rectangle, or `None` when disjoint.
+    pub fn intersection(&self, other: &Rect) -> Option<Rect> {
+        if !self.intersects(other) {
+            return None;
+        }
+        Some(Rect {
+            lx: self.lx.max(other.lx),
+            ly: self.ly.max(other.ly),
+            hx: self.hx.min(other.hx),
+            hy: self.hy.min(other.hy),
+        })
+    }
+
+    /// Area of overlap with `other` (0 when disjoint).
+    #[inline]
+    pub fn overlap_area(&self, other: &Rect) -> f64 {
+        let ox = (self.hx.min(other.hx) - self.lx.max(other.lx)).max(0.0);
+        let oy = (self.hy.min(other.hy) - self.ly.max(other.ly)).max(0.0);
+        ox * oy
+    }
+
+    /// Smallest rectangle covering both `self` and `other`. Exact: the
+    /// result's corners are bit-for-bit copies of input corners.
+    pub fn union(&self, other: &Rect) -> Rect {
+        Rect {
+            lx: self.lx.min(other.lx),
+            ly: self.ly.min(other.ly),
+            hx: self.hx.max(other.hx),
+            hy: self.hy.max(other.hy),
+        }
+    }
+
+    /// How much the area would grow if enlarged to cover `other`.
+    #[inline]
+    pub fn enlargement(&self, other: &Rect) -> f64 {
+        self.union(other).area() - self.area()
+    }
+
+    /// Rectangle grown by `d` on every side (shrunk when `d < 0`; extents are
+    /// clamped at zero, keeping the center fixed).
+    pub fn inflate(&self, d: f64) -> Rect {
+        let w = (self.w() + 2.0 * d).max(0.0);
+        let h = (self.h() + 2.0 * d).max(0.0);
+        let c = self.center();
+        Rect::new(c.x - w / 2.0, c.y - h / 2.0, w, h)
+    }
+
+    /// Minimum distance from `p` to this rectangle (0 when inside).
+    pub fn distance_to_point(&self, p: Point) -> f64 {
+        let dx = (self.lx - p.x).max(0.0).max(p.x - self.hx);
+        let dy = (self.ly - p.y).max(0.0).max(p.y - self.hy);
+        (dx * dx + dy * dy).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corners_and_accessors() {
+        let r = Rect::new(1.0, 2.0, 3.0, 4.0);
+        assert_eq!(r.hx(), 4.0);
+        assert_eq!(r.hy(), 6.0);
+        assert_eq!(r.w(), 3.0);
+        assert_eq!(r.h(), 4.0);
+        assert_eq!(r.center(), Point::new(2.5, 4.0));
+        assert_eq!(r.area(), 12.0);
+        assert_eq!(r.margin(), 7.0);
+    }
+
+    #[test]
+    fn from_corners_any_order() {
+        let a = Point::new(4.0, 6.0);
+        let b = Point::new(1.0, 2.0);
+        assert_eq!(Rect::from_corners(a, b), Rect::new(1.0, 2.0, 3.0, 4.0));
+        assert_eq!(Rect::from_corners(b, a), Rect::new(1.0, 2.0, 3.0, 4.0));
+    }
+
+    #[test]
+    fn from_bounds_matches_new() {
+        assert_eq!(Rect::from_bounds(1.0, 2.0, 4.0, 6.0), Rect::new(1.0, 2.0, 3.0, 4.0));
+    }
+
+    #[test]
+    fn containment_is_closed() {
+        let r = Rect::new(0.0, 0.0, 2.0, 2.0);
+        assert!(r.contains_point(Point::new(0.0, 0.0)));
+        assert!(r.contains_point(Point::new(2.0, 2.0)));
+        assert!(r.contains_point(Point::new(1.0, 1.0)));
+        assert!(!r.contains_point(Point::new(2.0 + 1e-9, 1.0)));
+    }
+
+    #[test]
+    fn rect_containment() {
+        let outer = Rect::new(0.0, 0.0, 10.0, 10.0);
+        assert!(outer.contains_rect(&Rect::new(2.0, 2.0, 3.0, 3.0)));
+        assert!(outer.contains_rect(&outer));
+        assert!(!outer.contains_rect(&Rect::new(8.0, 8.0, 3.0, 3.0)));
+    }
+
+    #[test]
+    fn intersection_tests() {
+        let a = Rect::new(0.0, 0.0, 2.0, 2.0);
+        let b = Rect::new(1.0, 1.0, 2.0, 2.0);
+        let c = Rect::new(5.0, 5.0, 1.0, 1.0);
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c));
+        assert_eq!(a.intersection(&b), Some(Rect::new(1.0, 1.0, 1.0, 1.0)));
+        assert_eq!(a.intersection(&c), None);
+        // Touching edges count as intersecting (closed semantics).
+        let d = Rect::new(2.0, 0.0, 1.0, 2.0);
+        assert!(a.intersects(&d));
+        assert_eq!(a.intersection(&d).unwrap().area(), 0.0);
+    }
+
+    #[test]
+    fn overlap_area_and_union() {
+        let a = Rect::new(0.0, 0.0, 2.0, 2.0);
+        let b = Rect::new(1.0, 1.0, 2.0, 2.0);
+        assert_eq!(a.overlap_area(&b), 1.0);
+        assert_eq!(a.overlap_area(&Rect::new(9.0, 9.0, 1.0, 1.0)), 0.0);
+        let u = a.union(&b);
+        assert_eq!(u, Rect::new(0.0, 0.0, 3.0, 3.0));
+        assert_eq!(a.enlargement(&b), 9.0 - 4.0);
+    }
+
+    #[test]
+    fn union_preserves_corners_exactly() {
+        // Regression test for the R*-tree MBR bug: the union of rects must
+        // contain every input corner bit-for-bit, even when extents would
+        // round.
+        let p = Point::new(6.360036374065704, 82.47893634992757);
+        let a = Rect::from_point(p);
+        let b = Rect::from_point(Point::new(-94.14328784832503, 38.97444383713389));
+        let u = a.union(&b);
+        assert!(u.contains_point(p));
+        assert_eq!(u.hx(), p.x);
+        assert_eq!(u.hy(), p.y);
+        assert!(u.intersects(&Rect::from_point(p)));
+    }
+
+    #[test]
+    fn inflate_grows_and_shrinks_around_center() {
+        let r = Rect::new(1.0, 1.0, 2.0, 2.0);
+        let g = r.inflate(0.5);
+        assert_eq!(g, Rect::new(0.5, 0.5, 3.0, 3.0));
+        let s = r.inflate(-0.5);
+        assert_eq!(s, Rect::new(1.5, 1.5, 1.0, 1.0));
+        // Over-shrinking clamps to a degenerate rect at the center.
+        let z = r.inflate(-5.0);
+        assert_eq!(z.area(), 0.0);
+        assert_eq!(z.center(), r.center());
+    }
+
+    #[test]
+    fn distance_to_point() {
+        let r = Rect::new(0.0, 0.0, 2.0, 2.0);
+        assert_eq!(r.distance_to_point(Point::new(1.0, 1.0)), 0.0);
+        assert_eq!(r.distance_to_point(Point::new(5.0, 1.0)), 3.0);
+        assert_eq!(r.distance_to_point(Point::new(5.0, 6.0)), 5.0);
+    }
+
+    #[test]
+    fn degenerate_point_rect() {
+        let r = Rect::from_point(Point::new(3.0, 4.0));
+        assert_eq!(r.area(), 0.0);
+        assert!(r.contains_point(Point::new(3.0, 4.0)));
+        assert!(r.intersects(&Rect::new(0.0, 0.0, 3.0, 4.0)));
+    }
+}

@@ -1,0 +1,111 @@
+//! Downlink fault injection for robustness testing.
+//!
+//! The protocol must tolerate lost or duplicated broadcasts (a moving object
+//! can be in a coverage dead spot, or hear two stations transmit the same
+//! message). `FaultPlan` deterministically decides, per delivery attempt,
+//! whether the message is dropped or duplicated, using a splitmix64 stream
+//! so test runs are reproducible.
+
+/// Deterministic per-delivery fault decisions.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// Probability in [0, 1] that a downlink delivery is silently dropped.
+    pub drop_rate: f64,
+    /// Probability in [0, 1] that a delivered message is duplicated.
+    pub duplicate_rate: f64,
+    state: u64,
+}
+
+impl FaultPlan {
+    /// A plan that never injects faults.
+    pub fn none() -> Self {
+        FaultPlan { drop_rate: 0.0, duplicate_rate: 0.0, state: 0 }
+    }
+
+    /// A fault plan with the given rates, seeded deterministically.
+    pub fn new(drop_rate: f64, duplicate_rate: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&drop_rate));
+        assert!((0.0..=1.0).contains(&duplicate_rate));
+        FaultPlan { drop_rate, duplicate_rate, state: seed }
+    }
+
+    pub fn is_noop(&self) -> bool {
+        self.drop_rate == 0.0 && self.duplicate_rate == 0.0
+    }
+
+    fn next_unit(&mut self) -> f64 {
+        // splitmix64
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z = z ^ (z >> 31);
+        (z >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// How many copies of this delivery the receiver sees: 0 (dropped),
+    /// 1 (normal) or 2 (duplicated).
+    pub fn copies(&mut self) -> usize {
+        if self.is_noop() {
+            return 1;
+        }
+        if self.next_unit() < self.drop_rate {
+            0
+        } else if self.next_unit() < self.duplicate_rate {
+            2
+        } else {
+            1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_plan_always_delivers_once() {
+        let mut p = FaultPlan::none();
+        assert!(p.is_noop());
+        for _ in 0..100 {
+            assert_eq!(p.copies(), 1);
+        }
+    }
+
+    #[test]
+    fn full_drop_never_delivers() {
+        let mut p = FaultPlan::new(1.0, 0.0, 42);
+        for _ in 0..100 {
+            assert_eq!(p.copies(), 0);
+        }
+    }
+
+    #[test]
+    fn full_duplicate_always_duplicates() {
+        let mut p = FaultPlan::new(0.0, 1.0, 42);
+        for _ in 0..100 {
+            assert_eq!(p.copies(), 2);
+        }
+    }
+
+    #[test]
+    fn rates_are_roughly_respected() {
+        let mut p = FaultPlan::new(0.3, 0.0, 7);
+        let dropped = (0..10_000).filter(|_| p.copies() == 0).count();
+        let rate = dropped as f64 / 10_000.0;
+        assert!((0.27..0.33).contains(&rate), "observed drop rate {rate}");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let seq1: Vec<usize> = {
+            let mut p = FaultPlan::new(0.5, 0.2, 99);
+            (0..50).map(|_| p.copies()).collect()
+        };
+        let seq2: Vec<usize> = {
+            let mut p = FaultPlan::new(0.5, 0.2, 99);
+            (0..50).map(|_| p.copies()).collect()
+        };
+        assert_eq!(seq1, seq2);
+    }
+}

@@ -1,0 +1,169 @@
+//! Message and byte accounting.
+//!
+//! The paper's messaging-cost experiments (Figures 4–8) count "the total
+//! number of messages sent on the wireless medium per second", split into
+//! uplink messages (object → server) and downlink messages (server →
+//! object(s), either one-to-one or broadcast — a broadcast counts once per
+//! transmitting base station, regardless of how many objects hear it). The
+//! power experiment (Figure 9) additionally needs per-object sent/received
+//! byte totals.
+
+/// Direction of a transmission on the wireless medium.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    Uplink,
+    /// One-to-one server → object message.
+    Unicast,
+    /// Server → base station broadcast (one transmission per station).
+    Broadcast,
+}
+
+/// Aggregated wireless traffic statistics.
+#[derive(Debug, Clone, Default)]
+pub struct MessageMeter {
+    pub uplink_msgs: u64,
+    pub uplink_bytes: u64,
+    pub unicast_msgs: u64,
+    pub unicast_bytes: u64,
+    pub broadcast_msgs: u64,
+    pub broadcast_bytes: u64,
+    /// Bytes physically sent per node (uplink transmissions).
+    sent_by_node: Vec<u64>,
+    /// Bytes physically received per node (unicasts addressed to it plus
+    /// every broadcast heard).
+    received_by_node: Vec<u64>,
+}
+
+impl MessageMeter {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a transmission on the medium.
+    pub fn record(&mut self, dir: Direction, bytes: usize) {
+        let b = bytes as u64;
+        match dir {
+            Direction::Uplink => {
+                self.uplink_msgs += 1;
+                self.uplink_bytes += b;
+            }
+            Direction::Unicast => {
+                self.unicast_msgs += 1;
+                self.unicast_bytes += b;
+            }
+            Direction::Broadcast => {
+                self.broadcast_msgs += 1;
+                self.broadcast_bytes += b;
+            }
+        }
+    }
+
+    /// Records that node `node` physically transmitted `bytes` uplink.
+    pub fn record_node_sent(&mut self, node: usize, bytes: usize) {
+        if self.sent_by_node.len() <= node {
+            self.sent_by_node.resize(node + 1, 0);
+        }
+        self.sent_by_node[node] += bytes as u64;
+    }
+
+    /// Records that node `node` physically received `bytes` downlink.
+    pub fn record_node_received(&mut self, node: usize, bytes: usize) {
+        if self.received_by_node.len() <= node {
+            self.received_by_node.resize(node + 1, 0);
+        }
+        self.received_by_node[node] += bytes as u64;
+    }
+
+    pub fn node_sent_bytes(&self, node: usize) -> u64 {
+        self.sent_by_node.get(node).copied().unwrap_or(0)
+    }
+
+    pub fn node_received_bytes(&self, node: usize) -> u64 {
+        self.received_by_node.get(node).copied().unwrap_or(0)
+    }
+
+    /// Total messages on the wireless medium (the paper's headline metric).
+    pub fn total_msgs(&self) -> u64 {
+        self.uplink_msgs + self.unicast_msgs + self.broadcast_msgs
+    }
+
+    /// Total downlink messages (unicast + broadcast transmissions).
+    pub fn downlink_msgs(&self) -> u64 {
+        self.unicast_msgs + self.broadcast_msgs
+    }
+
+    pub fn total_bytes(&self) -> u64 {
+        self.uplink_bytes + self.unicast_bytes + self.broadcast_bytes
+    }
+
+    /// Mean sent/received byte totals over the first `n` nodes; used for
+    /// per-object power (Figure 9).
+    pub fn mean_node_traffic(&self, n: usize) -> (f64, f64) {
+        if n == 0 {
+            return (0.0, 0.0);
+        }
+        let sent: u64 = (0..n).map(|i| self.node_sent_bytes(i)).sum();
+        let recv: u64 = (0..n).map(|i| self.node_received_bytes(i)).sum();
+        (sent as f64 / n as f64, recv as f64 / n as f64)
+    }
+
+    /// Resets all counters (per-experiment reuse).
+    pub fn reset(&mut self) {
+        *self = MessageMeter::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_by_direction() {
+        let mut m = MessageMeter::new();
+        m.record(Direction::Uplink, 10);
+        m.record(Direction::Uplink, 20);
+        m.record(Direction::Unicast, 5);
+        m.record(Direction::Broadcast, 100);
+        assert_eq!(m.uplink_msgs, 2);
+        assert_eq!(m.uplink_bytes, 30);
+        assert_eq!(m.unicast_msgs, 1);
+        assert_eq!(m.broadcast_msgs, 1);
+        assert_eq!(m.total_msgs(), 4);
+        assert_eq!(m.downlink_msgs(), 2);
+        assert_eq!(m.total_bytes(), 135);
+    }
+
+    #[test]
+    fn per_node_accounting_grows_on_demand() {
+        let mut m = MessageMeter::new();
+        m.record_node_sent(5, 100);
+        m.record_node_received(2, 50);
+        m.record_node_received(2, 25);
+        assert_eq!(m.node_sent_bytes(5), 100);
+        assert_eq!(m.node_sent_bytes(0), 0);
+        assert_eq!(m.node_received_bytes(2), 75);
+        assert_eq!(m.node_received_bytes(100), 0);
+    }
+
+    #[test]
+    fn mean_node_traffic() {
+        let mut m = MessageMeter::new();
+        m.record_node_sent(0, 100);
+        m.record_node_sent(1, 300);
+        m.record_node_received(0, 10);
+        let (sent, recv) = m.mean_node_traffic(2);
+        assert_eq!(sent, 200.0);
+        assert_eq!(recv, 5.0);
+        assert_eq!(m.mean_node_traffic(0), (0.0, 0.0));
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut m = MessageMeter::new();
+        m.record(Direction::Uplink, 10);
+        m.record_node_sent(0, 10);
+        m.reset();
+        assert_eq!(m.total_msgs(), 0);
+        assert_eq!(m.node_sent_bytes(0), 0);
+    }
+}

@@ -1,0 +1,115 @@
+//! The GSM/GPRS radio energy model of the paper's §5.3.
+//!
+//! The paper measures per-object power consumption due to communication
+//! "using a simple radio model where the transmission path consists of
+//! transmitter electronics and transmit amplifier where the receiver path
+//! consists of receiver electronics", with GPRS-typical bandwidths. The
+//! resulting constants are ~80 µJ/bit to transmit and ~5 µJ/bit to receive
+//! (footnote 2 of the paper).
+
+/// Radio energy model parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RadioModel {
+    /// Transmitter electronics power draw, watts.
+    pub tx_electronics_w: f64,
+    /// Receiver electronics power draw, watts.
+    pub rx_electronics_w: f64,
+    /// Transmit amplifier *output* power, watts.
+    pub amp_output_w: f64,
+    /// Transmit amplifier efficiency in (0, 1].
+    pub amp_efficiency: f64,
+    /// Uplink bandwidth, bits per second.
+    pub uplink_bps: f64,
+    /// Downlink bandwidth, bits per second.
+    pub downlink_bps: f64,
+}
+
+impl Default for RadioModel {
+    /// The paper's GPRS model: 150 mW TX electronics, 120 mW RX
+    /// electronics, 300 mW amplifier at 30 % efficiency, 14 kbps uplink,
+    /// 28 kbps downlink.
+    fn default() -> Self {
+        RadioModel {
+            tx_electronics_w: 0.150,
+            rx_electronics_w: 0.120,
+            amp_output_w: 0.300,
+            amp_efficiency: 0.30,
+            uplink_bps: 14_000.0,
+            downlink_bps: 28_000.0,
+        }
+    }
+}
+
+impl RadioModel {
+    /// Total electrical power drawn while transmitting, watts.
+    pub fn tx_power_w(&self) -> f64 {
+        self.tx_electronics_w + self.amp_output_w / self.amp_efficiency
+    }
+
+    /// Total electrical power drawn while receiving, watts.
+    pub fn rx_power_w(&self) -> f64 {
+        self.rx_electronics_w
+    }
+
+    /// Energy to transmit one bit uplink, joules.
+    pub fn tx_energy_per_bit(&self) -> f64 {
+        self.tx_power_w() / self.uplink_bps
+    }
+
+    /// Energy to receive one bit downlink, joules.
+    pub fn rx_energy_per_bit(&self) -> f64 {
+        self.rx_power_w() / self.downlink_bps
+    }
+
+    /// Energy to transmit `bytes` uplink, joules.
+    pub fn tx_energy(&self, bytes: u64) -> f64 {
+        bytes as f64 * 8.0 * self.tx_energy_per_bit()
+    }
+
+    /// Energy to receive `bytes` downlink, joules.
+    pub fn rx_energy(&self, bytes: u64) -> f64 {
+        bytes as f64 * 8.0 * self.rx_energy_per_bit()
+    }
+
+    /// Average communication power over a window, watts.
+    pub fn average_power(&self, sent_bytes: u64, received_bytes: u64, duration_s: f64) -> f64 {
+        debug_assert!(duration_s > 0.0);
+        (self.tx_energy(sent_bytes) + self.rx_energy(received_bytes)) / duration_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_constants() {
+        let r = RadioModel::default();
+        // ~1.15 W transmit draw -> ~82 µJ/bit at 14 kbps.
+        assert!((r.tx_power_w() - 1.15).abs() < 1e-12);
+        let tx_ujbit = r.tx_energy_per_bit() * 1e6;
+        assert!((75.0..90.0).contains(&tx_ujbit), "tx = {tx_ujbit} µJ/bit, expected ~80");
+        // 120 mW receive at 28 kbps -> ~4.3 µJ/bit (paper says ~5).
+        let rx_ujbit = r.rx_energy_per_bit() * 1e6;
+        assert!((3.5..5.5).contains(&rx_ujbit), "rx = {rx_ujbit} µJ/bit, expected ~5");
+        // Sending is much more expensive than receiving.
+        assert!(r.tx_energy_per_bit() > 10.0 * r.rx_energy_per_bit());
+    }
+
+    #[test]
+    fn energy_scales_linearly_with_bytes() {
+        let r = RadioModel::default();
+        assert!((r.tx_energy(200) - 2.0 * r.tx_energy(100)).abs() < 1e-15);
+        assert_eq!(r.tx_energy(0), 0.0);
+        assert_eq!(r.rx_energy(0), 0.0);
+    }
+
+    #[test]
+    fn average_power_combines_directions() {
+        let r = RadioModel::default();
+        let p = r.average_power(1000, 2000, 10.0);
+        let expect = (r.tx_energy(1000) + r.rx_energy(2000)) / 10.0;
+        assert_eq!(p, expect);
+        assert!(p > 0.0);
+    }
+}

@@ -1,0 +1,276 @@
+//! Tick-based network simulation with asymmetric links.
+//!
+//! Time advances in discrete ticks (the paper's 30-second time steps).
+//! Within a tick, moving objects push uplink messages; the server drains
+//! them, reacts, and pushes downlink messages (unicasts and per-station
+//! broadcasts); each object then polls its deliveries. `end_tick` clears the
+//! downlink queues.
+//!
+//! Delivery is *physical*: a broadcast from station `s` reaches an object
+//! iff the object's position lies inside `s`'s coverage circle — objects
+//! outside hear nothing, objects covered by two transmitting stations hear
+//! the message twice (the protocol layer must be idempotent, which the
+//! MobiEyes installation logic is).
+
+use crate::fault::FaultPlan;
+use crate::meter::{Direction, MessageMeter};
+use crate::station::{BaseStationLayout, StationId};
+use mobieyes_geo::{Grid, GridRect, Point};
+
+/// Identifier of a network endpoint (a moving object). The server is not a
+/// `NodeId`; it sits behind the base stations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+/// Anything that knows its serialized size on the wire. Message accounting
+/// (and thus the power model) is driven by these sizes.
+pub trait WireSized {
+    fn wire_size(&self) -> usize;
+}
+
+/// The simulated wireless network, generic over the uplink (`U`) and
+/// downlink (`D`) payload types.
+#[derive(Debug)]
+pub struct NetworkSim<U, D> {
+    layout: BaseStationLayout,
+    meter: MessageMeter,
+    fault: FaultPlan,
+    uplinks: Vec<(NodeId, U)>,
+    unicasts: Vec<(NodeId, D, usize)>,
+    broadcasts: Vec<(StationId, D, usize)>,
+}
+
+impl<U: WireSized, D: WireSized + Clone> NetworkSim<U, D> {
+    pub fn new(layout: BaseStationLayout) -> Self {
+        NetworkSim {
+            layout,
+            meter: MessageMeter::new(),
+            fault: FaultPlan::none(),
+            uplinks: Vec::new(),
+            unicasts: Vec::new(),
+            broadcasts: Vec::new(),
+        }
+    }
+
+    pub fn layout(&self) -> &BaseStationLayout {
+        &self.layout
+    }
+
+    pub fn meter(&self) -> &MessageMeter {
+        &self.meter
+    }
+
+    pub fn meter_mut(&mut self) -> &mut MessageMeter {
+        &mut self.meter
+    }
+
+    /// Installs a downlink fault plan (drops/duplicates).
+    pub fn set_fault(&mut self, plan: FaultPlan) {
+        self.fault = plan;
+    }
+
+    /// Object → server message. Always delivered (uplink faults are not
+    /// modeled; the paper's protocol treats uplink as reliable).
+    pub fn send_uplink(&mut self, from: NodeId, msg: U) {
+        let bytes = msg.wire_size();
+        self.meter.record(Direction::Uplink, bytes);
+        self.meter.record_node_sent(from.0 as usize, bytes);
+        self.uplinks.push((from, msg));
+    }
+
+    /// Server side: take all pending uplink messages.
+    pub fn drain_uplinks(&mut self) -> Vec<(NodeId, U)> {
+        std::mem::take(&mut self.uplinks)
+    }
+
+    /// Number of queued uplink messages (diagnostics).
+    pub fn pending_uplinks(&self) -> usize {
+        self.uplinks.len()
+    }
+
+    /// Server → one object. Counts as one downlink message on the medium.
+    pub fn send_unicast(&mut self, to: NodeId, msg: D) {
+        let bytes = msg.wire_size();
+        self.meter.record(Direction::Unicast, bytes);
+        self.unicasts.push((to, msg, bytes));
+    }
+
+    /// Server → everyone inside one station's coverage circle. Counts as one
+    /// downlink message on the medium regardless of audience size.
+    pub fn broadcast(&mut self, station: StationId, msg: D) {
+        let bytes = msg.wire_size();
+        self.meter.record(Direction::Broadcast, bytes);
+        self.broadcasts.push((station, msg, bytes));
+    }
+
+    /// Broadcasts `msg` through the minimal set of stations covering a
+    /// monitoring region — the paper's dissemination primitive. Returns the
+    /// number of station transmissions.
+    pub fn broadcast_region(&mut self, grid: &Grid, region: &GridRect, msg: &D) -> usize {
+        let stations = self.layout.minimal_cover(grid, region);
+        for &s in &stations {
+            self.broadcast(s, msg.clone());
+        }
+        stations.len()
+    }
+
+    /// Object side: collect everything addressed to / audible at this
+    /// object. Must be called at most once per object per tick, after the
+    /// server phase and before [`end_tick`](Self::end_tick).
+    pub fn deliver(&mut self, node: NodeId, pos: Point, out: &mut Vec<D>) {
+        for (to, msg, bytes) in &self.unicasts {
+            if *to == node {
+                for _ in 0..self.fault.copies() {
+                    self.meter.record_node_received(node.0 as usize, *bytes);
+                    out.push(msg.clone());
+                }
+            }
+        }
+        for (station, msg, bytes) in &self.broadcasts {
+            if self.layout.covers(*station, pos) {
+                for _ in 0..self.fault.copies() {
+                    self.meter.record_node_received(node.0 as usize, *bytes);
+                    out.push(msg.clone());
+                }
+            }
+        }
+    }
+
+    /// Takes the pending downlink queues out of the network, leaving them
+    /// empty. Used by deployments that distribute delivery themselves (the
+    /// threaded runtime): the caller becomes responsible for physical
+    /// delivery semantics and receive accounting.
+    #[allow(clippy::type_complexity)]
+    pub fn take_downlinks(&mut self) -> (Vec<(NodeId, D, usize)>, Vec<(StationId, D, usize)>) {
+        (std::mem::take(&mut self.unicasts), std::mem::take(&mut self.broadcasts))
+    }
+
+    /// Clears the downlink queues; call after every object polled.
+    pub fn end_tick(&mut self) {
+        self.unicasts.clear();
+        self.broadcasts.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobieyes_geo::Rect;
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct Msg(u32);
+
+    impl WireSized for Msg {
+        fn wire_size(&self) -> usize {
+            8
+        }
+    }
+
+    fn net() -> NetworkSim<Msg, Msg> {
+        NetworkSim::new(BaseStationLayout::new(Rect::new(0.0, 0.0, 100.0, 100.0), 10.0))
+    }
+
+    #[test]
+    fn uplink_roundtrip_and_accounting() {
+        let mut n = net();
+        n.send_uplink(NodeId(3), Msg(1));
+        n.send_uplink(NodeId(4), Msg(2));
+        assert_eq!(n.pending_uplinks(), 2);
+        let up = n.drain_uplinks();
+        assert_eq!(up, vec![(NodeId(3), Msg(1)), (NodeId(4), Msg(2))]);
+        assert_eq!(n.pending_uplinks(), 0);
+        assert_eq!(n.meter().uplink_msgs, 2);
+        assert_eq!(n.meter().uplink_bytes, 16);
+        assert_eq!(n.meter().node_sent_bytes(3), 8);
+    }
+
+    #[test]
+    fn unicast_reaches_only_addressee() {
+        let mut n = net();
+        n.send_unicast(NodeId(1), Msg(7));
+        let mut got = Vec::new();
+        n.deliver(NodeId(1), Point::new(50.0, 50.0), &mut got);
+        assert_eq!(got, vec![Msg(7)]);
+        let mut other = Vec::new();
+        n.deliver(NodeId(2), Point::new(50.0, 50.0), &mut other);
+        assert!(other.is_empty());
+        assert_eq!(n.meter().unicast_msgs, 1);
+        assert_eq!(n.meter().node_received_bytes(1), 8);
+        assert_eq!(n.meter().node_received_bytes(2), 0);
+    }
+
+    #[test]
+    fn broadcast_heard_only_inside_coverage() {
+        let mut n = net();
+        let s = n.layout().station_at(Point::new(5.0, 5.0)); // station 0, center (5,5), r≈7.07
+        n.broadcast(s, Msg(9));
+        let mut near = Vec::new();
+        n.deliver(NodeId(1), Point::new(6.0, 6.0), &mut near);
+        assert_eq!(near, vec![Msg(9)]);
+        let mut far = Vec::new();
+        n.deliver(NodeId(2), Point::new(80.0, 80.0), &mut far);
+        assert!(far.is_empty());
+        // One broadcast message on the medium no matter how many listeners.
+        assert_eq!(n.meter().broadcast_msgs, 1);
+    }
+
+    #[test]
+    fn broadcast_region_uses_minimal_cover() {
+        let mut n = net();
+        let grid = Grid::new(Rect::new(0.0, 0.0, 100.0, 100.0), 5.0);
+        let region = GridRect { x0: 0, y0: 0, x1: 3, y1: 3 }; // [0,20]^2
+        let sent = n.broadcast_region(&grid, &region, &Msg(5));
+        assert!(sent >= 1);
+        assert_eq!(n.meter().broadcast_msgs as usize, sent);
+        // An object anywhere inside the region hears >= 1 copy.
+        let mut got = Vec::new();
+        n.deliver(NodeId(0), Point::new(10.0, 10.0), &mut got);
+        assert!(!got.is_empty());
+    }
+
+    #[test]
+    fn end_tick_clears_downlink_not_uplink_meter() {
+        let mut n = net();
+        n.send_unicast(NodeId(1), Msg(1));
+        n.broadcast(StationId(0), Msg(2));
+        n.end_tick();
+        let mut got = Vec::new();
+        n.deliver(NodeId(1), Point::new(5.0, 5.0), &mut got);
+        assert!(got.is_empty());
+        // Meter totals persist across ticks.
+        assert_eq!(n.meter().downlink_msgs(), 2);
+    }
+
+    #[test]
+    fn faults_drop_downlink_messages() {
+        let mut n = net();
+        n.set_fault(FaultPlan::new(1.0, 0.0, 1));
+        n.send_unicast(NodeId(1), Msg(1));
+        let mut got = Vec::new();
+        n.deliver(NodeId(1), Point::new(5.0, 5.0), &mut got);
+        assert!(got.is_empty(), "full drop rate must suppress delivery");
+        // The transmission itself still happened (and is metered).
+        assert_eq!(n.meter().unicast_msgs, 1);
+    }
+
+    #[test]
+    fn faults_duplicate_downlink_messages() {
+        let mut n = net();
+        n.set_fault(FaultPlan::new(0.0, 1.0, 1));
+        n.send_unicast(NodeId(1), Msg(1));
+        let mut got = Vec::new();
+        n.deliver(NodeId(1), Point::new(5.0, 5.0), &mut got);
+        assert_eq!(got.len(), 2, "full duplicate rate must double delivery");
+    }
+
+    #[test]
+    fn object_between_two_stations_hears_both_copies() {
+        let mut n = net();
+        // Stations 0 (center 5,5) and 1 (center 15,5) both cover (10,5).
+        n.broadcast(StationId(0), Msg(1));
+        n.broadcast(StationId(1), Msg(1));
+        let mut got = Vec::new();
+        n.deliver(NodeId(0), Point::new(10.0, 5.0), &mut got);
+        assert_eq!(got.len(), 2);
+    }
+}

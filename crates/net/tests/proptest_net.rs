@@ -1,0 +1,74 @@
+//! Property tests for the network substrate: coverage guarantees that the
+//! protocol's delivery correctness depends on.
+
+use mobieyes_geo::{Grid, GridRect, Point, Rect};
+use mobieyes_net::BaseStationLayout;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn own_station_always_covers_the_object(
+        x in 0.0..100.0f64, y in 0.0..100.0f64, alen in 2.0..60.0f64
+    ) {
+        let layout = BaseStationLayout::new(Rect::new(0.0, 0.0, 100.0, 100.0), alen);
+        let s = layout.station_at(Point::new(x, y));
+        prop_assert!(layout.covers(s, Point::new(x, y)));
+    }
+
+    #[test]
+    fn minimal_cover_fully_covers_monitoring_regions(
+        cx in 0u32..20, cy in 0u32..20, radius in 0.1..12.0f64,
+        alen in 4.0..50.0f64,
+        px in 0.0..1.0f64, py in 0.0..1.0f64,
+    ) {
+        // Any point inside any cell of the region must be covered by at
+        // least one chosen station — otherwise an object there would miss
+        // the broadcast and the protocol would silently lose accuracy.
+        let universe = Rect::new(0.0, 0.0, 100.0, 100.0);
+        let grid = Grid::new(universe, 5.0);
+        let layout = BaseStationLayout::new(universe, alen);
+        let cell = mobieyes_geo::CellId::new(cx.min(grid.cols - 1), cy.min(grid.rows - 1));
+        let region = grid.monitoring_region(cell, radius);
+        let cover = layout.minimal_cover(&grid, &region);
+        prop_assert!(!cover.is_empty());
+        for c in region.iter() {
+            let r = grid.cell_rect(c);
+            // Clip to the universe: objects only exist inside it.
+            let Some(r) = r.intersection(&universe) else { continue };
+            let p = Point::new(r.lx + px * r.w(), r.ly + py * r.h());
+            prop_assert!(
+                cover.iter().any(|&s| layout.covers(s, p)),
+                "point {p:?} of region {region:?} uncovered (alen={alen})"
+            );
+        }
+    }
+
+    #[test]
+    fn bigger_stations_never_need_more_broadcasts(
+        cx in 0u32..18, cy in 0u32..18, radius in 0.1..12.0f64,
+    ) {
+        let universe = Rect::new(0.0, 0.0, 100.0, 100.0);
+        let grid = Grid::new(universe, 5.0);
+        let cell = mobieyes_geo::CellId::new(cx, cy);
+        let region = grid.monitoring_region(cell, radius);
+        let mut last = usize::MAX;
+        for alen in [5.0, 10.0, 20.0, 40.0, 80.0] {
+            let layout = BaseStationLayout::new(universe, alen);
+            let n = layout.minimal_cover(&grid, &region).len();
+            prop_assert!(n <= last, "cover grew from {last} to {n} at alen={alen}");
+            last = n;
+        }
+        // A single universe-sized station always suffices.
+        prop_assert!(last >= 1);
+    }
+
+    #[test]
+    fn empty_region_needs_no_stations(alen in 2.0..60.0f64) {
+        let universe = Rect::new(0.0, 0.0, 100.0, 100.0);
+        let grid = Grid::new(universe, 5.0);
+        let layout = BaseStationLayout::new(universe, alen);
+        prop_assert!(layout.minimal_cover(&grid, &GridRect::EMPTY).is_empty());
+    }
+}

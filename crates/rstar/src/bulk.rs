@@ -1,0 +1,191 @@
+//! Sort-Tile-Recursive (STR) bulk loading (Leutenegger et al., 1997).
+//!
+//! Builds a packed tree from a full entry set in O(n log n) — the natural
+//! way to initialize the centralized object index with the 10 000 initial
+//! positions instead of 10 000 one-at-a-time inserts.
+
+use crate::node::{ChildEntry, LeafEntry, Node};
+use crate::tree::RStarTree;
+use mobieyes_geo::Rect;
+
+impl<T> RStarTree<T> {
+    /// Builds a tree from `entries` using STR packing with the default
+    /// node capacity.
+    pub fn bulk_load(entries: Vec<(Rect, T)>) -> Self {
+        Self::bulk_load_with_max_entries(entries, crate::tree::DEFAULT_MAX_ENTRIES)
+    }
+
+    /// STR bulk load with an explicit node capacity (>= 4).
+    pub fn bulk_load_with_max_entries(entries: Vec<(Rect, T)>, max_entries: usize) -> Self {
+        let mut tree = RStarTree::with_max_entries(max_entries);
+        let n = entries.len();
+        if n == 0 {
+            return tree;
+        }
+        // --- Leaf level: tile entries into slabs by x, then chunk by y.
+        let mut leaf_entries: Vec<LeafEntry<T>> =
+            entries.into_iter().map(|(rect, item)| LeafEntry { rect, item }).collect();
+        let leaves = str_pack(
+            &mut leaf_entries,
+            max_entries,
+            |e| e.rect,
+            |group| Node::Leaf(group),
+        );
+        // --- Internal levels: repeat until a single node remains.
+        let mut level_nodes = leaves;
+        let mut levels = 0usize;
+        while level_nodes.len() > 1 {
+            let mut children: Vec<ChildEntry<T>> = level_nodes
+                .into_iter()
+                .map(|node| ChildEntry {
+                    rect: node.mbr().expect("packed node is non-empty"),
+                    child: Box::new(node),
+                })
+                .collect();
+            level_nodes = str_pack(
+                &mut children,
+                max_entries,
+                |c| c.rect,
+                |group| Node::Internal(group),
+            );
+            levels += 1;
+        }
+        let root = level_nodes.pop().expect("at least one node");
+        tree.replace_root(root, levels, n);
+        tree
+    }
+}
+
+/// Packs `items` into nodes of at most `cap` entries using one STR pass:
+/// sort by center-x, slice into √P vertical slabs, sort each slab by
+/// center-y, chunk evenly (even chunking keeps every node at least half
+/// full, satisfying the R* minimum-fill invariant).
+fn str_pack<E, N>(
+    items: &mut Vec<E>,
+    cap: usize,
+    rect_of: impl Fn(&E) -> Rect + Copy,
+    make_node: impl Fn(Vec<E>) -> N,
+) -> Vec<N> {
+    let n = items.len();
+    if n <= cap {
+        return vec![make_node(std::mem::take(items))];
+    }
+    let node_count = n.div_ceil(cap);
+    let slabs = (node_count as f64).sqrt().ceil() as usize;
+    let slab_size = n.div_ceil(slabs);
+
+    items.sort_by(|a, b| {
+        let (ca, cb) = (rect_of(a).center().x, rect_of(b).center().x);
+        ca.partial_cmp(&cb).unwrap_or(std::cmp::Ordering::Equal)
+    });
+
+    let mut out = Vec::with_capacity(node_count);
+    let mut rest = std::mem::take(items);
+    while !rest.is_empty() {
+        let take = slab_size.min(rest.len());
+        let mut slab: Vec<E> = rest.drain(..take).collect();
+        slab.sort_by(|a, b| {
+            let (ca, cb) = (rect_of(a).center().y, rect_of(b).center().y);
+            ca.partial_cmp(&cb).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        // Even chunking within the slab: groups differ in size by at most
+        // one, and each has at least ⌊len/groups⌋ ≥ cap/2 ≥ m entries.
+        let groups = slab.len().div_ceil(cap);
+        let base = slab.len() / groups;
+        let extra = slab.len() % groups;
+        for g in 0..groups {
+            let size = base + usize::from(g < extra);
+            let group: Vec<E> = slab.drain(..size).collect();
+            out.push(make_node(group));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobieyes_geo::Point;
+
+    fn pts(n: u32) -> Vec<(Rect, u32)> {
+        // Deterministic scattered points.
+        let mut s = 1u64;
+        (0..n)
+            .map(|i| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let x = ((s >> 33) % 1000) as f64 / 3.0;
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let y = ((s >> 33) % 1000) as f64 / 3.0;
+                (Rect::from_point(Point::new(x, y)), i)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn bulk_load_empty_and_tiny() {
+        let t: RStarTree<u32> = RStarTree::bulk_load(vec![]);
+        assert!(t.is_empty());
+        t.check_invariants();
+        let t = RStarTree::bulk_load(pts(3));
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.height(), 1);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn bulk_load_preserves_all_entries_and_invariants() {
+        for n in [50u32, 333, 1000, 5000] {
+            let entries = pts(n);
+            let t = RStarTree::bulk_load_with_max_entries(entries.clone(), 16);
+            assert_eq!(t.len(), n as usize, "n={n}");
+            t.check_invariants();
+            // Every entry findable.
+            for (rect, id) in &entries {
+                let hits = t.query_rect(rect);
+                assert!(hits.iter().any(|(_, &v)| v == *id), "lost {id} (n={n})");
+            }
+        }
+    }
+
+    #[test]
+    fn bulk_loaded_tree_answers_like_incremental() {
+        let entries = pts(800);
+        let bulk = RStarTree::bulk_load_with_max_entries(entries.clone(), 8);
+        let mut incr = RStarTree::with_max_entries(8);
+        for (r, v) in entries {
+            incr.insert(r, v);
+        }
+        let q = Rect::new(50.0, 50.0, 120.0, 90.0);
+        let mut a: Vec<u32> = bulk.query_rect(&q).iter().map(|(_, &v)| v).collect();
+        let mut b: Vec<u32> = incr.query_rect(&q).iter().map(|(_, &v)| v).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bulk_loaded_tree_is_shallower_or_equal() {
+        let entries = pts(2000);
+        let bulk = RStarTree::bulk_load_with_max_entries(entries.clone(), 8);
+        let mut incr = RStarTree::with_max_entries(8);
+        for (r, v) in entries {
+            incr.insert(r, v);
+        }
+        assert!(bulk.height() <= incr.height(), "packing must not deepen the tree");
+    }
+
+    #[test]
+    fn bulk_loaded_tree_supports_mutation() {
+        let mut t = RStarTree::bulk_load_with_max_entries(pts(500), 8);
+        // Delete half, insert new ones, stay valid.
+        for (rect, id) in pts(500).iter().step_by(2) {
+            assert!(t.remove(rect, id));
+        }
+        t.check_invariants();
+        for i in 0..100u32 {
+            t.insert(Rect::from_point(Point::new(i as f64, 400.0)), 10_000 + i);
+        }
+        t.check_invariants();
+        assert_eq!(t.len(), 250 + 100);
+    }
+}

@@ -1,0 +1,160 @@
+//! Best-first k-nearest-neighbor search (Hjaltason & Samet style).
+//!
+//! The centralized related work the paper cites evaluates nearest-neighbor
+//! queries over moving objects; this gives the substrate that capability:
+//! an incremental branch-and-bound traversal that expands tree nodes in
+//! order of their minimum distance to the query point.
+
+use crate::node::Node;
+use crate::tree::RStarTree;
+use mobieyes_geo::{Point, Rect};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A heap entry ordered by *ascending* distance (min-heap via reversed Ord).
+enum Candidate<'a, T> {
+    Node(f64, &'a Node<T>),
+    Item(f64, &'a Rect, &'a T),
+}
+
+impl<T> Candidate<'_, T> {
+    fn dist(&self) -> f64 {
+        match self {
+            Candidate::Node(d, _) | Candidate::Item(d, _, _) => *d,
+        }
+    }
+}
+
+impl<T> PartialEq for Candidate<'_, T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.dist() == other.dist()
+    }
+}
+
+impl<T> Eq for Candidate<'_, T> {}
+
+impl<T> PartialOrd for Candidate<'_, T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for Candidate<'_, T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the closest first.
+        // Distances are finite (asserted on insert), so total order holds.
+        other.dist().partial_cmp(&self.dist()).unwrap_or(Ordering::Equal)
+    }
+}
+
+impl<T> RStarTree<T> {
+    /// The `k` entries nearest to `p` (by minimum distance between `p` and
+    /// the entry rectangle), closest first. Ties break arbitrarily. Returns
+    /// fewer than `k` when the tree is smaller.
+    pub fn nearest(&self, p: Point, k: usize) -> Vec<(&Rect, &T, f64)> {
+        let mut out = Vec::with_capacity(k.min(self.len()));
+        if k == 0 || self.is_empty() {
+            return out;
+        }
+        let mut heap: BinaryHeap<Candidate<'_, T>> = BinaryHeap::new();
+        heap.push(Candidate::Node(0.0, self.root_node()));
+        while let Some(c) = heap.pop() {
+            match c {
+                Candidate::Item(d, rect, item) => {
+                    out.push((rect, item, d));
+                    if out.len() == k {
+                        break;
+                    }
+                }
+                Candidate::Node(_, node) => match node {
+                    Node::Leaf(entries) => {
+                        for e in entries {
+                            heap.push(Candidate::Item(e.rect.distance_to_point(p), &e.rect, &e.item));
+                        }
+                    }
+                    Node::Internal(children) => {
+                        for ch in children {
+                            heap.push(Candidate::Node(ch.rect.distance_to_point(p), &ch.child));
+                        }
+                    }
+                },
+            }
+        }
+        out
+    }
+
+    /// The single nearest entry to `p`, if any.
+    pub fn nearest_one(&self, p: Point) -> Option<(&Rect, &T, f64)> {
+        self.nearest(p, 1).into_iter().next()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(x: f64, y: f64) -> Rect {
+        Rect::from_point(Point::new(x, y))
+    }
+
+    fn grid_tree(n: u32) -> RStarTree<u32> {
+        let mut t = RStarTree::with_max_entries(8);
+        for i in 0..n {
+            t.insert(pt((i % 10) as f64 * 3.0, (i / 10) as f64 * 3.0), i);
+        }
+        t
+    }
+
+    #[test]
+    fn empty_and_zero_k() {
+        let t: RStarTree<u32> = RStarTree::new();
+        assert!(t.nearest(Point::new(0.0, 0.0), 5).is_empty());
+        assert!(t.nearest_one(Point::new(0.0, 0.0)).is_none());
+        let t = grid_tree(10);
+        assert!(t.nearest(Point::new(0.0, 0.0), 0).is_empty());
+    }
+
+    #[test]
+    fn nearest_one_is_the_closest_point() {
+        let t = grid_tree(100);
+        let (_, &item, d) = t.nearest_one(Point::new(3.1, 0.2)).unwrap();
+        assert_eq!(item, 1, "point (3,0) is item 1");
+        assert!((d - (0.1f64.powi(2) + 0.2f64.powi(2)).sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn knn_matches_brute_force() {
+        let t = grid_tree(100);
+        let points: Vec<(u32, Point)> =
+            (0..100).map(|i| (i, Point::new((i % 10) as f64 * 3.0, (i / 10) as f64 * 3.0))).collect();
+        for &(qx, qy) in &[(0.0, 0.0), (14.2, 7.7), (30.0, 30.0), (-5.0, 12.0)] {
+            let q = Point::new(qx, qy);
+            let got: Vec<u32> = t.nearest(q, 7).iter().map(|(_, &v, _)| v).collect();
+            let mut want: Vec<(f64, u32)> =
+                points.iter().map(|&(i, p)| (q.distance(p), i)).collect();
+            want.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            let want_d: Vec<f64> = want.iter().take(7).map(|&(d, _)| d).collect();
+            let got_d: Vec<f64> = t.nearest(q, 7).iter().map(|&(_, _, d)| d).collect();
+            // Compare by distance (ties may reorder ids).
+            for (g, w) in got_d.iter().zip(&want_d) {
+                assert!((g - w).abs() < 1e-9, "query {q:?}: distances {got_d:?} vs {want_d:?}");
+            }
+            assert_eq!(got.len(), 7);
+        }
+    }
+
+    #[test]
+    fn distances_are_sorted_ascending() {
+        let t = grid_tree(100);
+        let res = t.nearest(Point::new(11.0, 13.0), 20);
+        for w in res.windows(2) {
+            assert!(w[0].2 <= w[1].2, "distances must be non-decreasing");
+        }
+    }
+
+    #[test]
+    fn k_larger_than_tree_returns_everything() {
+        let t = grid_tree(15);
+        assert_eq!(t.nearest(Point::new(0.0, 0.0), 100).len(), 15);
+    }
+}

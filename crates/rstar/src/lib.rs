@@ -1,0 +1,36 @@
+//! An R*-tree (Beckmann, Kriegel, Schneider, Seeger — SIGMOD 1990).
+//!
+//! The MobiEyes paper evaluates its distributed protocol against two
+//! centralized baselines that both rely on an R*-tree: an *object index*
+//! (spatial index over moving-object positions) and a *query index* (spatial
+//! index over query regions). This crate provides that substrate from
+//! scratch: ChooseSubtree with minimum overlap enlargement at leaf parents,
+//! the R* margin-driven split, forced reinsertion on first overflow per
+//! level, and deletion with tree condensation.
+//!
+//! The tree stores `(Rect, T)` pairs. Points are stored as degenerate
+//! rectangles. `T` is an arbitrary payload; deletion identifies entries by
+//! payload equality within the given rectangle.
+//!
+//! # Example
+//! ```
+//! use mobieyes_rstar::RStarTree;
+//! use mobieyes_geo::{Point, Rect};
+//!
+//! let mut tree = RStarTree::new();
+//! for i in 0..100u32 {
+//!     let p = Point::new(i as f64, (i * 7 % 100) as f64);
+//!     tree.insert(Rect::from_point(p), i);
+//! }
+//! let hits = tree.query_rect(&Rect::new(0.0, 0.0, 10.0, 100.0));
+//! assert!(hits.iter().all(|(r, _)| r.lx <= 10.0));
+//! assert_eq!(tree.len(), 100);
+//! ```
+
+mod bulk;
+mod knn;
+mod node;
+mod split;
+mod tree;
+
+pub use tree::{RStarTree, DEFAULT_MAX_ENTRIES};

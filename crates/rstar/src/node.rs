@@ -1,0 +1,109 @@
+//! Tree node representation.
+
+use mobieyes_geo::Rect;
+
+/// A leaf-level entry: a bounding rectangle and its payload.
+#[derive(Debug, Clone)]
+pub(crate) struct LeafEntry<T> {
+    pub rect: Rect,
+    pub item: T,
+}
+
+/// An internal-level entry: the MBR of a child node and the child itself.
+#[derive(Debug)]
+pub(crate) struct ChildEntry<T> {
+    pub rect: Rect,
+    pub child: Box<Node<T>>,
+}
+
+/// A tree node. All leaves sit at the same depth; `level` 0 is the leaf
+/// level and grows towards the root.
+#[derive(Debug)]
+pub(crate) enum Node<T> {
+    Leaf(Vec<LeafEntry<T>>),
+    Internal(Vec<ChildEntry<T>>),
+}
+
+impl<T> Node<T> {
+    pub fn new_leaf() -> Self {
+        Node::Leaf(Vec::new())
+    }
+
+    pub fn len(&self) -> usize {
+        match self {
+            Node::Leaf(v) => v.len(),
+            Node::Internal(v) => v.len(),
+        }
+    }
+
+    #[cfg(test)]
+    pub fn is_leaf(&self) -> bool {
+        matches!(self, Node::Leaf(_))
+    }
+
+    /// MBR of all entries; `None` for an empty node.
+    pub fn mbr(&self) -> Option<Rect> {
+        match self {
+            Node::Leaf(v) => v.iter().map(|e| e.rect).reduce(|a, b| a.union(&b)),
+            Node::Internal(v) => v.iter().map(|e| e.rect).reduce(|a, b| a.union(&b)),
+        }
+    }
+
+    /// Number of leaf entries in the subtree (O(n); test/diagnostic use).
+    #[cfg(test)]
+    pub fn count_items(&self) -> usize {
+        match self {
+            Node::Leaf(v) => v.len(),
+            Node::Internal(v) => v.iter().map(|e| e.child.count_items()).sum(),
+        }
+    }
+
+    /// Height of the subtree: a leaf has height 1.
+    #[cfg(test)]
+    pub fn height(&self) -> usize {
+        match self {
+            Node::Leaf(_) => 1,
+            Node::Internal(v) => 1 + v.first().map_or(0, |e| e.child.height()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobieyes_geo::Point;
+
+    #[test]
+    fn empty_leaf_has_no_mbr() {
+        let n: Node<u32> = Node::new_leaf();
+        assert!(n.mbr().is_none());
+        assert_eq!(n.len(), 0);
+        assert!(n.is_leaf());
+        assert_eq!(n.height(), 1);
+    }
+
+    #[test]
+    fn leaf_mbr_is_union() {
+        let n = Node::Leaf(vec![
+            LeafEntry { rect: Rect::from_point(Point::new(0.0, 0.0)), item: 1u32 },
+            LeafEntry { rect: Rect::from_point(Point::new(4.0, 3.0)), item: 2 },
+        ]);
+        assert_eq!(n.mbr().unwrap(), Rect::new(0.0, 0.0, 4.0, 3.0));
+        assert_eq!(n.count_items(), 2);
+    }
+
+    #[test]
+    fn internal_height_counts_levels() {
+        let leaf = Node::Leaf(vec![LeafEntry {
+            rect: Rect::from_point(Point::new(1.0, 1.0)),
+            item: 7u32,
+        }]);
+        let internal = Node::Internal(vec![ChildEntry {
+            rect: leaf.mbr().unwrap(),
+            child: Box::new(leaf),
+        }]);
+        assert_eq!(internal.height(), 2);
+        assert_eq!(internal.count_items(), 1);
+        assert!(!internal.is_leaf());
+    }
+}

@@ -1,0 +1,171 @@
+//! The R* split algorithm: ChooseSplitAxis by minimum margin-sum, then
+//! ChooseSplitIndex by minimum overlap (ties broken by minimum area sum).
+//!
+//! The routine is generic over "anything with a rectangle" so the same code
+//! splits leaf and internal nodes.
+
+use mobieyes_geo::Rect;
+
+/// Splits `entries` (len == M+1) into two groups, each with at least
+/// `min_entries` members, following the R* heuristics. Returns the second
+/// group; the first group replaces `entries`.
+pub(crate) fn rstar_split<E>(entries: &mut Vec<E>, min_entries: usize, rect_of: impl Fn(&E) -> Rect) -> Vec<E> {
+    let total = entries.len();
+    debug_assert!(total >= 2 * min_entries, "split needs at least 2m entries (got {total})");
+
+    // --- ChooseSplitAxis: for each axis consider entries sorted by lower
+    // and by upper coordinate; sum the margins of every legal distribution;
+    // pick the axis with the smaller sum.
+    let mut best_axis = 0usize; // 0 = x, 1 = y
+    let mut best_margin = f64::INFINITY;
+    for axis in 0..2 {
+        let margin = margin_sum_for_axis(entries, axis, min_entries, &rect_of);
+        if margin < best_margin {
+            best_margin = margin;
+            best_axis = axis;
+        }
+    }
+
+    // --- ChooseSplitIndex: along the chosen axis, evaluate both sort orders
+    // and all legal split points; minimize overlap, tie-break on area sum.
+    let mut best: Option<(bool, usize, f64, f64)> = None; // (by_upper, k, overlap, area)
+    for by_upper in [false, true] {
+        sort_by_axis(entries, best_axis, by_upper, &rect_of);
+        let (prefix, suffix) = prefix_suffix_mbrs(entries, &rect_of);
+        for k in min_entries..=(total - min_entries) {
+            let r1 = prefix[k - 1];
+            let r2 = suffix[k];
+            let overlap = r1.overlap_area(&r2);
+            let area = r1.area() + r2.area();
+            let better = match best {
+                None => true,
+                Some((_, _, bo, ba)) => overlap < bo || (overlap == bo && area < ba),
+            };
+            if better {
+                best = Some((by_upper, k, overlap, area));
+            }
+        }
+    }
+    let (by_upper, split_at, _, _) = best.expect("at least one distribution exists");
+
+    // Re-establish the winning sort order (entries may be sorted by the
+    // other order after the loop) and split off the second group.
+    sort_by_axis(entries, best_axis, by_upper, &rect_of);
+    entries.split_off(split_at)
+}
+
+/// Sum of margins over all legal distributions for one axis (both sort
+/// orders), the quantity minimized by ChooseSplitAxis.
+fn margin_sum_for_axis<E>(entries: &mut [E], axis: usize, min_entries: usize, rect_of: &impl Fn(&E) -> Rect) -> f64 {
+    let total = entries.len();
+    let mut sum = 0.0;
+    for by_upper in [false, true] {
+        sort_by_axis(entries, axis, by_upper, rect_of);
+        let (prefix, suffix) = prefix_suffix_mbrs(entries, rect_of);
+        for k in min_entries..=(total - min_entries) {
+            sum += prefix[k - 1].margin() + suffix[k].margin();
+        }
+    }
+    sum
+}
+
+fn sort_by_axis<E>(entries: &mut [E], axis: usize, by_upper: bool, rect_of: &impl Fn(&E) -> Rect) {
+    entries.sort_by(|a, b| {
+        let (ra, rb) = (rect_of(a), rect_of(b));
+        let ka = key(ra, axis, by_upper);
+        let kb = key(rb, axis, by_upper);
+        ka.partial_cmp(&kb).unwrap_or(std::cmp::Ordering::Equal)
+    });
+}
+
+#[inline]
+fn key(r: Rect, axis: usize, by_upper: bool) -> f64 {
+    match (axis, by_upper) {
+        (0, false) => r.lx,
+        (0, true) => r.hx(),
+        (_, false) => r.ly,
+        (_, true) => r.hy(),
+    }
+}
+
+/// `prefix[i]` = MBR of entries[0..=i]; `suffix[i]` = MBR of entries[i..].
+fn prefix_suffix_mbrs<E>(entries: &[E], rect_of: &impl Fn(&E) -> Rect) -> (Vec<Rect>, Vec<Rect>) {
+    let n = entries.len();
+    let mut prefix = Vec::with_capacity(n);
+    let mut acc = rect_of(&entries[0]);
+    prefix.push(acc);
+    for e in &entries[1..] {
+        acc = acc.union(&rect_of(e));
+        prefix.push(acc);
+    }
+    let mut suffix = vec![Rect::new(0.0, 0.0, 0.0, 0.0); n];
+    let mut acc = rect_of(&entries[n - 1]);
+    suffix[n - 1] = acc;
+    for i in (0..n - 1).rev() {
+        acc = acc.union(&rect_of(&entries[i]));
+        suffix[i] = acc;
+    }
+    (prefix, suffix)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobieyes_geo::Point;
+
+    fn pt(x: f64, y: f64) -> Rect {
+        Rect::from_point(Point::new(x, y))
+    }
+
+    #[test]
+    fn split_respects_min_entries() {
+        let mut entries: Vec<Rect> = (0..10).map(|i| pt(i as f64, 0.0)).collect();
+        let second = rstar_split(&mut entries, 4, |r| *r);
+        assert!(entries.len() >= 4 && second.len() >= 4);
+        assert_eq!(entries.len() + second.len(), 10);
+    }
+
+    #[test]
+    fn split_separates_two_clusters() {
+        // Two clearly separated clusters along x must split cleanly. Unit
+        // squares (not degenerate points) so overlap/area tie-breaking is
+        // meaningful.
+        let mut entries: Vec<Rect> = (0..5)
+            .map(|i| Rect::new(i as f64 * 0.1, 0.0, 1.0, 1.0))
+            .chain((0..5).map(|i| Rect::new(100.0 + i as f64 * 0.1, 0.0, 1.0, 1.0)))
+            .collect();
+        let second = rstar_split(&mut entries, 2, |r| *r);
+        let mbr1 = entries.iter().copied().reduce(|a, b| a.union(&b)).unwrap();
+        let mbr2 = second.iter().copied().reduce(|a, b| a.union(&b)).unwrap();
+        assert_eq!(mbr1.overlap_area(&mbr2), 0.0, "clusters must not overlap");
+        assert_eq!(entries.len(), 5);
+        assert_eq!(second.len(), 5);
+    }
+
+    #[test]
+    fn split_prefers_axis_with_less_margin() {
+        // Entries spread along y, tight along x: the split must be on y.
+        let mut entries: Vec<Rect> = (0..8).map(|i| pt(0.0, i as f64 * 10.0)).collect();
+        let second = rstar_split(&mut entries, 3, |r| *r);
+        let max1 = entries.iter().map(|r| r.ly).fold(f64::MIN, f64::max);
+        let min2 = second.iter().map(|r| r.ly).fold(f64::MAX, f64::min);
+        assert!(max1 < min2 || min2 > max1 - 1e-9, "groups should be y-separated");
+    }
+
+    #[test]
+    fn split_handles_identical_rects() {
+        let mut entries: Vec<Rect> = (0..6).map(|_| pt(1.0, 1.0)).collect();
+        let second = rstar_split(&mut entries, 2, |r| *r);
+        assert_eq!(entries.len() + second.len(), 6);
+        assert!(entries.len() >= 2 && second.len() >= 2);
+    }
+
+    #[test]
+    fn prefix_suffix_cover_everything() {
+        let entries = vec![pt(0.0, 0.0), pt(2.0, 2.0), pt(5.0, 1.0)];
+        let (prefix, suffix) = prefix_suffix_mbrs(&entries, &|r: &Rect| *r);
+        assert_eq!(prefix[2], suffix[0]);
+        assert_eq!(prefix[0], entries[0]);
+        assert_eq!(suffix[2], entries[2]);
+    }
+}

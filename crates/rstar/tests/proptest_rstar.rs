@@ -1,0 +1,105 @@
+//! Property tests: the R*-tree must behave exactly like a brute-force
+//! multiset of (rect, id) pairs under arbitrary interleavings of inserts,
+//! removes, updates and queries, while keeping its structural invariants.
+
+use mobieyes_geo::{Point, Rect};
+use mobieyes_rstar::RStarTree;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert { x: f64, y: f64, w: f64, h: f64 },
+    /// Remove the i-th (mod len) currently-live entry.
+    Remove { pick: usize },
+    /// Move the i-th live entry to a new rect.
+    Update { pick: usize, x: f64, y: f64 },
+    Query { x: f64, y: f64, w: f64, h: f64 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let coord = -50.0..150.0f64;
+    let extent = 0.0..20.0f64;
+    prop_oneof![
+        4 => (coord.clone(), coord.clone(), extent.clone(), extent.clone())
+            .prop_map(|(x, y, w, h)| Op::Insert { x, y, w, h }),
+        2 => any::<usize>().prop_map(|pick| Op::Remove { pick }),
+        2 => (any::<usize>(), coord.clone(), coord.clone())
+            .prop_map(|(pick, x, y)| Op::Update { pick, x, y }),
+        3 => (coord.clone(), coord.clone(), extent.clone(), extent)
+            .prop_map(|(x, y, w, h)| Op::Query { x, y, w, h }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn tree_matches_brute_force(ops in prop::collection::vec(op_strategy(), 1..200)) {
+        let mut tree: RStarTree<u64> = RStarTree::with_max_entries(6);
+        let mut oracle: Vec<(Rect, u64)> = Vec::new();
+        let mut next_id = 0u64;
+
+        for op in ops {
+            match op {
+                Op::Insert { x, y, w, h } => {
+                    let r = Rect::new(x, y, w, h);
+                    tree.insert(r, next_id);
+                    oracle.push((r, next_id));
+                    next_id += 1;
+                }
+                Op::Remove { pick } => {
+                    if oracle.is_empty() {
+                        continue;
+                    }
+                    let i = pick % oracle.len();
+                    let (r, id) = oracle.swap_remove(i);
+                    prop_assert!(tree.remove(&r, &id), "oracle entry missing from tree");
+                }
+                Op::Update { pick, x, y } => {
+                    if oracle.is_empty() {
+                        continue;
+                    }
+                    let i = pick % oracle.len();
+                    let (old, id) = oracle[i];
+                    let newr = Rect::new(x, y, old.w(), old.h());
+                    prop_assert!(tree.update(&old, newr, id));
+                    oracle[i] = (newr, id);
+                }
+                Op::Query { x, y, w, h } => {
+                    let q = Rect::new(x, y, w, h);
+                    let mut got: Vec<u64> = tree.query_rect(&q).iter().map(|(_, &v)| v).collect();
+                    let mut want: Vec<u64> = oracle
+                        .iter()
+                        .filter(|(r, _)| r.intersects(&q))
+                        .map(|&(_, v)| v)
+                        .collect();
+                    got.sort_unstable();
+                    want.sort_unstable();
+                    prop_assert_eq!(got, want);
+                }
+            }
+            tree.check_invariants();
+            prop_assert_eq!(tree.len(), oracle.len());
+        }
+
+        // Final full scan agrees.
+        let mut got: Vec<u64> = tree.iter().map(|(_, &v)| v).collect();
+        let mut want: Vec<u64> = oracle.iter().map(|&(_, v)| v).collect();
+        got.sort_unstable();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn point_queries_find_inserted_points(points in prop::collection::vec((-100.0..100.0f64, -100.0..100.0f64), 1..300)) {
+        let mut tree = RStarTree::with_max_entries(8);
+        for (i, &(x, y)) in points.iter().enumerate() {
+            tree.insert(Rect::from_point(Point::new(x, y)), i);
+        }
+        tree.check_invariants();
+        for (i, &(x, y)) in points.iter().enumerate() {
+            let hits = tree.query_point(Point::new(x, y));
+            prop_assert!(hits.iter().any(|(_, &v)| v == i));
+        }
+    }
+}

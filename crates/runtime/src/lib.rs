@@ -1,0 +1,18 @@
+//! A threaded actor deployment of the MobiEyes protocol.
+//!
+//! The lock-step simulator (`mobieyes-sim`) drives server and agents from
+//! one thread. This crate runs the *same* protocol types across real
+//! threads: a coordinator owns the server and the network medium, and a
+//! pool of worker threads owns disjoint shards of moving-object agents,
+//! exchanging ticks and uplink batches over crossbeam channels.
+//!
+//! Determinism is preserved: agents are partitioned into contiguous index
+//! ranges, every worker processes its agents in index order, and the
+//! coordinator concatenates uplink batches in shard order — the server
+//! observes exactly the same uplink sequence as the lock-step simulator,
+//! so results, message counts and server state are bit-identical (verified
+//! by the `runtime_equivalence` integration test).
+
+pub mod threaded;
+
+pub use threaded::{ThreadedOutcome, ThreadedSim};

@@ -1,0 +1,305 @@
+//! Coordinator + sharded worker threads over crossbeam channels.
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use mobieyes_core::server::Net;
+use mobieyes_core::{
+    Downlink, Filter, MovingObjectAgent, ObjectId, Properties, ProtocolConfig, QueryId, Server,
+    Uplink,
+};
+use mobieyes_geo::{Grid, Point, QueryRegion, Vec2};
+use mobieyes_net::{BaseStationLayout, NodeId, StationId};
+use mobieyes_sim::{Mobility, SimConfig, Workload};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// Kinematic state of every object at one tick.
+struct KinFrame {
+    t: f64,
+    positions: Vec<Point>,
+    velocities: Vec<Vec2>,
+}
+
+/// Downlink messages taken from the network for distributed delivery.
+struct DownFrame {
+    unicasts: Vec<(NodeId, Downlink, usize)>,
+    broadcasts: Vec<(StationId, Downlink, usize)>,
+}
+
+enum Cmd {
+    /// Phase A: absorb kinematics, emit motion reports.
+    Motion { kin: Arc<KinFrame> },
+    /// Phase B: deliver downlinks, process and evaluate.
+    Process { down: Arc<DownFrame> },
+    Stop,
+}
+
+struct WorkerReply {
+    shard: usize,
+    /// Uplinks in agent-index order within the shard.
+    uplinks: Vec<(NodeId, Uplink)>,
+    /// (node, bytes) of every physically received downlink message.
+    rx: Vec<(u32, usize)>,
+    lqt_sum: u64,
+}
+
+/// Outcome of a threaded run: the final result of every query (in
+/// workload order) plus aggregate traffic numbers for comparisons.
+#[derive(Debug)]
+pub struct ThreadedOutcome {
+    pub results: Vec<BTreeSet<ObjectId>>,
+    pub total_msgs: u64,
+    pub uplink_msgs: u64,
+    pub downlink_msgs: u64,
+    pub avg_lqt_size: f64,
+}
+
+/// A threaded deployment of the protocol over a simulated mobility trace.
+pub struct ThreadedSim {
+    pub config: SimConfig,
+    pub shards: usize,
+}
+
+impl ThreadedSim {
+    pub fn new(config: SimConfig, shards: usize) -> Self {
+        assert!(shards >= 1);
+        ThreadedSim { config, shards }
+    }
+
+    /// Runs the full scenario (warm-up + measured ticks) and returns the
+    /// final query results and traffic totals.
+    pub fn run(&self) -> ThreadedOutcome {
+        let config = &self.config;
+        let workload = Workload::generate(config);
+        let grid = Grid::new(workload.universe, config.alpha);
+        let pconf = Arc::new(
+            ProtocolConfig::new(grid)
+                .with_propagation(config.propagation)
+                .with_grouping(config.grouping)
+                .with_safe_period(config.safe_period)
+                .with_delta(config.delta),
+        );
+        let layout = BaseStationLayout::new(workload.universe, config.alen);
+        let mut net = Net::new(layout.clone());
+        let mut server = Server::new(Arc::clone(&pconf));
+        let mut mobility = Mobility::with_kind(
+            &workload,
+            config.objects_changing_velocity,
+            config.time_step,
+            config.seed,
+            config.mobility,
+        );
+
+        // Install the query workload.
+        let qids: Vec<QueryId> = workload
+            .queries
+            .iter()
+            .map(|q| {
+                server.install_query(
+                    ObjectId(q.focal_idx as u32),
+                    QueryRegion::circle(q.radius),
+                    Filter::with_selectivity(workload.selectivity, q.filter_salt),
+                    &mut net,
+                )
+            })
+            .collect();
+
+        // Partition agents into contiguous shards.
+        let n = workload.objects.len();
+        let shards = self.shards.min(n.max(1));
+        let chunk = n.div_ceil(shards);
+        let mut worker_handles = Vec::new();
+        let mut cmd_txs: Vec<Sender<Cmd>> = Vec::new();
+        let (reply_tx, reply_rx): (Sender<WorkerReply>, Receiver<WorkerReply>) = bounded(shards);
+
+        for s in 0..shards {
+            let lo = s * chunk;
+            let hi = ((s + 1) * chunk).min(n);
+            let agents: Vec<MovingObjectAgent> = (lo..hi)
+                .map(|i| {
+                    MovingObjectAgent::new(
+                        ObjectId(i as u32),
+                        Properties::new(),
+                        workload.objects[i].max_speed,
+                        workload.objects[i].initial_pos,
+                        mobility.velocities[i],
+                        Arc::clone(&pconf),
+                    )
+                })
+                .collect();
+            let (tx, rx): (Sender<Cmd>, Receiver<Cmd>) = bounded(1);
+            cmd_txs.push(tx);
+            let reply = reply_tx.clone();
+            let wl = layout.clone();
+            worker_handles.push(std::thread::spawn(move || {
+                worker_loop(s, lo, agents, wl, rx, reply);
+            }));
+        }
+        drop(reply_tx);
+
+        let ticks = config.warmup_ticks + config.ticks;
+        let mut lqt_total = 0u64;
+        let mut lqt_samples = 0u64;
+        let collect = |net: &mut Net, reply_rx: &Receiver<WorkerReply>, lqt_total: &mut u64| {
+            let mut replies: Vec<WorkerReply> =
+                (0..shards).map(|_| reply_rx.recv().expect("worker reply")).collect();
+            replies.sort_by_key(|r| r.shard);
+            for r in replies {
+                for (node, bytes) in r.rx {
+                    net.meter_mut().record_node_received(node as usize, bytes);
+                }
+                for (node, up) in r.uplinks {
+                    net.send_uplink(node, up);
+                }
+                *lqt_total += r.lqt_sum;
+            }
+        };
+        for k in 0..ticks {
+            let t = (k + 1) as f64 * config.time_step;
+            mobility.step();
+            let kin = Arc::new(KinFrame {
+                t,
+                positions: mobility.positions.clone(),
+                velocities: mobility.velocities.clone(),
+            });
+            // Phase A: motion reports from every shard.
+            for tx in &cmd_txs {
+                tx.send(Cmd::Motion { kin: Arc::clone(&kin) }).expect("worker alive");
+            }
+            collect(&mut net, &reply_rx, &mut lqt_total);
+            // Server mediation.
+            server.tick(&mut net);
+            // Phase B: distributed delivery + evaluation.
+            let (unicasts, broadcasts) = net.take_downlinks();
+            let down = Arc::new(DownFrame { unicasts, broadcasts });
+            for tx in &cmd_txs {
+                tx.send(Cmd::Process { down: Arc::clone(&down) }).expect("worker alive");
+            }
+            collect(&mut net, &reply_rx, &mut lqt_total);
+            lqt_samples += 1;
+            // Server result ingestion.
+            server.tick(&mut net);
+        }
+        for tx in &cmd_txs {
+            let _ = tx.send(Cmd::Stop);
+        }
+        for h in worker_handles {
+            h.join().expect("worker thread panicked");
+        }
+
+        let meter = net.meter();
+        let results = qids
+            .iter()
+            .map(|&q| server.query_result(q).cloned().unwrap_or_default())
+            .collect();
+        ThreadedOutcome {
+            results,
+            total_msgs: meter.total_msgs(),
+            uplink_msgs: meter.uplink_msgs,
+            downlink_msgs: meter.downlink_msgs(),
+            avg_lqt_size: if lqt_samples > 0 {
+                lqt_total as f64 / (n.max(1) as f64 * ticks.max(1) as f64)
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+/// The worker thread: owns a contiguous range of agents, delivers downlink
+/// frames locally and batches uplinks back to the coordinator.
+fn worker_loop(
+    shard: usize,
+    lo: usize,
+    mut agents: Vec<MovingObjectAgent>,
+    layout: BaseStationLayout,
+    rx: Receiver<Cmd>,
+    reply: Sender<WorkerReply>,
+) {
+    // A private network used purely as an uplink buffer so the agent code
+    // is identical to the lock-step deployment.
+    let mut sink = Net::new(layout.clone());
+    let mut inbox: Vec<Downlink> = Vec::new();
+    let mut kin_frame: Option<Arc<KinFrame>> = None;
+    while let Ok(cmd) = rx.recv() {
+        match cmd {
+            Cmd::Stop => break,
+            Cmd::Motion { kin } => {
+                let mut uplinks: Vec<(NodeId, Uplink)> = Vec::new();
+                for (off, agent) in agents.iter_mut().enumerate() {
+                    let i = lo + off;
+                    agent.tick_motion(kin.t, kin.positions[i], kin.velocities[i], &mut sink);
+                    uplinks.extend(sink.drain_uplinks());
+                }
+                kin_frame = Some(kin);
+                reply
+                    .send(WorkerReply { shard, uplinks, rx: Vec::new(), lqt_sum: 0 })
+                    .expect("coordinator alive");
+            }
+            Cmd::Process { down } => {
+                let kin = kin_frame.as_ref().expect("Process follows Motion");
+                let mut rx_bytes: Vec<(u32, usize)> = Vec::new();
+                let mut uplinks: Vec<(NodeId, Uplink)> = Vec::new();
+                let mut lqt_sum = 0u64;
+                for (off, agent) in agents.iter_mut().enumerate() {
+                    let i = lo + off;
+                    let node = NodeId(i as u32);
+                    let pos = kin.positions[i];
+                    inbox.clear();
+                    // Physical delivery: unicasts addressed to us, broadcasts
+                    // whose station covers our position — same semantics as
+                    // `NetworkSim::deliver`.
+                    for (to, msg, bytes) in &down.unicasts {
+                        if *to == node {
+                            rx_bytes.push((node.0, *bytes));
+                            inbox.push(msg.clone());
+                        }
+                    }
+                    for (station, msg, bytes) in &down.broadcasts {
+                        if layout.covers(*station, pos) {
+                            rx_bytes.push((node.0, *bytes));
+                            inbox.push(msg.clone());
+                        }
+                    }
+                    agent.tick_process(kin.t, &inbox, &mut sink);
+                    uplinks.extend(sink.drain_uplinks());
+                    lqt_sum += agent.lqt_len() as u64;
+                }
+                reply
+                    .send(WorkerReply { shard, uplinks, rx: rx_bytes, lqt_sum })
+                    .expect("coordinator alive");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_shard_run_completes() {
+        let out = ThreadedSim::new(SimConfig::small_test(51), 1).run();
+        assert!(out.total_msgs > 0);
+        assert!(out.results.iter().any(|r| !r.is_empty()), "some query has results");
+    }
+
+    #[test]
+    fn shard_count_does_not_change_outcome() {
+        let a = ThreadedSim::new(SimConfig::small_test(52), 1).run();
+        let b = ThreadedSim::new(SimConfig::small_test(52), 4).run();
+        assert_eq!(a.results, b.results);
+        assert_eq!(a.total_msgs, b.total_msgs);
+        assert_eq!(a.uplink_msgs, b.uplink_msgs);
+        assert_eq!(a.avg_lqt_size, b.avg_lqt_size);
+    }
+
+    #[test]
+    fn more_shards_than_objects_is_fine() {
+        let mut c = SimConfig::small_test(53);
+        c.num_objects = 3;
+        c.num_queries = 2;
+        c.objects_changing_velocity = 1;
+        let out = ThreadedSim::new(c, 16).run();
+        assert!(out.total_msgs > 0);
+    }
+}

@@ -1,0 +1,205 @@
+//! Simulation parameters (Table 1 of the paper).
+
+use crate::mobility::MobilityKind;
+use mobieyes_core::Propagation;
+
+/// All knobs of a simulation run. `Default` reproduces Table 1's default
+/// column; the figure harnesses sweep individual fields.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Master seed; every run with the same seed and parameters produces
+    /// bit-identical traces and metrics.
+    pub seed: u64,
+    /// Time step `ts` in seconds (Table 1: 30 s).
+    pub time_step: f64,
+    /// Number of simulated time steps measured (after warm-up).
+    pub ticks: usize,
+    /// Warm-up steps excluded from metrics (query installation settles).
+    pub warmup_ticks: usize,
+    /// Grid cell side length α in miles (Table 1: 5, range 0.5–16).
+    pub alpha: f64,
+    /// Number of moving objects (Table 1: 10 000).
+    pub num_objects: usize,
+    /// Number of moving queries (Table 1: 1 000).
+    pub num_queries: usize,
+    /// Objects changing velocity vector per time step (Table 1: 1 000).
+    pub objects_changing_velocity: usize,
+    /// Area of the (square) universe of discourse in square miles
+    /// (Table 1: 100 000).
+    pub area: f64,
+    /// Base station side length in miles (Table 1: 10, range 5–80).
+    pub alen: f64,
+    /// Query radius means in miles, zipf-ordered (Table 1: {3,2,1,4,5}).
+    pub radius_means: Vec<f64>,
+    /// Zipf parameter for radius means and speed classes (paper: 0.8).
+    pub zipf_param: f64,
+    /// Multiplier applied to every query radius (Figure 12's radius
+    /// factor; 1.0 elsewhere).
+    pub radius_factor: f64,
+    /// Query filter selectivity (Table 1: 0.75).
+    pub selectivity: f64,
+    /// Object maximum speed classes in miles/hour, zipf-ordered
+    /// (Table 1: {100, 50, 150, 200, 250}).
+    pub speed_classes_mph: Vec<f64>,
+    /// Dead-reckoning threshold Δ in miles (see DESIGN.md: chosen so every
+    /// simulated velocity reset triggers a report on the next step).
+    pub delta: f64,
+    /// MobiEyes propagation mode.
+    pub propagation: Propagation,
+    /// MobiEyes query grouping optimization.
+    pub grouping: bool,
+    /// MobiEyes safe-period optimization.
+    pub safe_period: bool,
+    /// Trajectory generator (paper's velocity-reset model by default).
+    pub mobility: MobilityKind,
+    /// When set, query focal objects are drawn uniformly from the first
+    /// `k` objects only, skewing the query-per-focal distribution (used by
+    /// the grouping experiments; `None` = uniform over all objects, the
+    /// paper's default).
+    pub focal_pool: Option<usize>,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            seed: 0x4D6F6269_45796573, // "MobiEyes"
+            time_step: 30.0,
+            ticks: 40,
+            warmup_ticks: 5,
+            alpha: 5.0,
+            num_objects: 10_000,
+            num_queries: 1_000,
+            objects_changing_velocity: 1_000,
+            area: 100_000.0,
+            alen: 10.0,
+            radius_means: vec![3.0, 2.0, 1.0, 4.0, 5.0],
+            zipf_param: 0.8,
+            radius_factor: 1.0,
+            selectivity: 0.75,
+            speed_classes_mph: vec![100.0, 50.0, 150.0, 200.0, 250.0],
+            delta: 0.2,
+            propagation: Propagation::Eager,
+            grouping: false,
+            safe_period: false,
+            mobility: MobilityKind::default(),
+            focal_pool: None,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Side length of the square universe of discourse, miles.
+    pub fn side(&self) -> f64 {
+        self.area.sqrt()
+    }
+
+    /// A small configuration for tests: few objects, small area, fast.
+    pub fn small_test(seed: u64) -> Self {
+        SimConfig {
+            seed,
+            ticks: 15,
+            warmup_ticks: 3,
+            num_objects: 300,
+            num_queries: 30,
+            objects_changing_velocity: 30,
+            area: 10_000.0, // 100 x 100 miles
+            ..SimConfig::default()
+        }
+    }
+
+    /// Builder-style helpers for parameter sweeps.
+    pub fn with_queries(mut self, n: usize) -> Self {
+        self.num_queries = n;
+        self
+    }
+
+    pub fn with_objects(mut self, n: usize) -> Self {
+        self.num_objects = n;
+        self
+    }
+
+    pub fn with_alpha(mut self, alpha: f64) -> Self {
+        self.alpha = alpha;
+        self
+    }
+
+    pub fn with_alen(mut self, alen: f64) -> Self {
+        self.alen = alen;
+        self
+    }
+
+    pub fn with_nmo(mut self, nmo: usize) -> Self {
+        self.objects_changing_velocity = nmo;
+        self
+    }
+
+    pub fn with_propagation(mut self, p: Propagation) -> Self {
+        self.propagation = p;
+        self
+    }
+
+    pub fn with_grouping(mut self, on: bool) -> Self {
+        self.grouping = on;
+        self
+    }
+
+    pub fn with_safe_period(mut self, on: bool) -> Self {
+        self.safe_period = on;
+        self
+    }
+
+    pub fn with_radius_factor(mut self, f: f64) -> Self {
+        self.radius_factor = f;
+        self
+    }
+
+    pub fn with_focal_pool(mut self, k: usize) -> Self {
+        self.focal_pool = Some(k);
+        self
+    }
+
+    pub fn with_mobility(mut self, kind: MobilityKind) -> Self {
+        self.mobility = kind;
+        self
+    }
+
+    /// Total measured duration in seconds.
+    pub fn measured_seconds(&self) -> f64 {
+        self.ticks as f64 * self.time_step
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table_1() {
+        let c = SimConfig::default();
+        assert_eq!(c.time_step, 30.0);
+        assert_eq!(c.alpha, 5.0);
+        assert_eq!(c.num_objects, 10_000);
+        assert_eq!(c.num_queries, 1_000);
+        assert_eq!(c.objects_changing_velocity, 1_000);
+        assert_eq!(c.area, 100_000.0);
+        assert_eq!(c.alen, 10.0);
+        assert_eq!(c.radius_means, vec![3.0, 2.0, 1.0, 4.0, 5.0]);
+        assert_eq!(c.selectivity, 0.75);
+        assert_eq!(c.speed_classes_mph, vec![100.0, 50.0, 150.0, 200.0, 250.0]);
+        assert!((c.side() - 316.227766).abs() < 1e-6);
+    }
+
+    #[test]
+    fn builders_chain() {
+        let c = SimConfig::small_test(1).with_queries(5).with_alpha(2.0).with_nmo(7);
+        assert_eq!(c.num_queries, 5);
+        assert_eq!(c.alpha, 2.0);
+        assert_eq!(c.objects_changing_velocity, 7);
+    }
+
+    #[test]
+    fn measured_seconds() {
+        let c = SimConfig { ticks: 10, time_step: 30.0, ..SimConfig::default() };
+        assert_eq!(c.measured_seconds(), 300.0);
+    }
+}

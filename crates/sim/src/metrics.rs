@@ -1,0 +1,78 @@
+//! Aggregated per-run measurements — one `RunMetrics` per simulation run,
+//! covering every quantity the paper's figures plot.
+
+use mobieyes_net::RadioModel;
+
+/// Metrics of one measured simulation run (warm-up excluded).
+#[derive(Debug, Clone, Default)]
+pub struct RunMetrics {
+    /// Human-readable label ("mobieyes-eqp", "object-index", ...).
+    pub label: String,
+    /// Measured ticks.
+    pub ticks: usize,
+    /// Measured wall-clock span of simulated time, seconds.
+    pub duration_s: f64,
+    /// Mean wall-clock seconds the server/engine spent per tick
+    /// (Figures 1 and 3's server-load metric).
+    pub server_seconds_per_tick: f64,
+    /// Messages per second on the wireless medium (Figures 4, 5, 7, 8).
+    pub msgs_per_second: f64,
+    /// Uplink component (Figure 6).
+    pub uplink_msgs_per_second: f64,
+    /// Downlink component (unicasts + broadcasts).
+    pub downlink_msgs_per_second: f64,
+    pub uplink_bytes: u64,
+    pub downlink_bytes: u64,
+    /// Mean LQT size over objects and ticks (Figures 10–12).
+    pub avg_lqt_size: f64,
+    /// Mean queries evaluated per object per tick.
+    pub avg_evals_per_object_tick: f64,
+    /// Mean evaluations skipped by safe periods per object per tick.
+    pub avg_safe_period_skips: f64,
+    /// Mean microseconds per object per tick spent processing the LQT
+    /// (Figure 13's processing-load metric).
+    pub avg_eval_micros_per_object_tick: f64,
+    /// Mean result error vs exact ground truth (Figure 2's metric).
+    pub avg_result_error: f64,
+    /// Mean per-object communication power, milliwatts (Figure 9).
+    pub avg_power_mw: f64,
+    /// Mean bytes sent / received per object over the run.
+    pub avg_sent_bytes_per_object: f64,
+    pub avg_received_bytes_per_object: f64,
+}
+
+impl RunMetrics {
+    /// Fills the power fields from per-object byte means and a radio model.
+    pub fn set_power(&mut self, radio: &RadioModel, sent: f64, received: f64) {
+        self.avg_sent_bytes_per_object = sent;
+        self.avg_received_bytes_per_object = received;
+        if self.duration_s > 0.0 {
+            self.avg_power_mw =
+                radio.average_power(sent.round() as u64, received.round() as u64, self.duration_s) * 1e3;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_from_traffic() {
+        let mut m = RunMetrics { duration_s: 100.0, ..Default::default() };
+        m.set_power(&RadioModel::default(), 1000.0, 2000.0);
+        assert!(m.avg_power_mw > 0.0);
+        assert_eq!(m.avg_sent_bytes_per_object, 1000.0);
+        // More sent bytes -> strictly more power.
+        let mut m2 = RunMetrics { duration_s: 100.0, ..Default::default() };
+        m2.set_power(&RadioModel::default(), 2000.0, 2000.0);
+        assert!(m2.avg_power_mw > m.avg_power_mw);
+    }
+
+    #[test]
+    fn zero_duration_leaves_power_zero() {
+        let mut m = RunMetrics::default();
+        m.set_power(&RadioModel::default(), 1000.0, 2000.0);
+        assert_eq!(m.avg_power_mw, 0.0);
+    }
+}

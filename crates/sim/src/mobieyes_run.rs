@@ -1,0 +1,327 @@
+//! The MobiEyes simulation driver: server + agents + network over a shared
+//! mobility trace, with all the measurements of §5.
+
+use crate::config::SimConfig;
+use crate::metrics::RunMetrics;
+use crate::mobility::Mobility;
+use crate::truth::{result_error, GroundTruth};
+use crate::workload::Workload;
+use mobieyes_core::server::Net;
+use mobieyes_core::{
+    Downlink, Filter, MovingObjectAgent, ObjectId, Propagation, Properties, ProtocolConfig,
+    QueryId, Server,
+};
+use mobieyes_geo::{Grid, QueryRegion};
+use mobieyes_net::{BaseStationLayout, RadioModel};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A complete MobiEyes deployment under simulation.
+pub struct MobiEyesSim {
+    pub config: SimConfig,
+    pub workload: Workload,
+    mobility: Mobility,
+    server: Server,
+    net: Net,
+    agents: Vec<MovingObjectAgent>,
+    truth: GroundTruth,
+    /// Query ids aligned with `workload.queries`.
+    qids: Vec<QueryId>,
+    tick_index: usize,
+    inbox: Vec<Downlink>,
+    // Accumulators (measured ticks only).
+    server_seconds: f64,
+    lqt_size_sum: u64,
+    error_sum: f64,
+    error_samples: u64,
+}
+
+impl MobiEyesSim {
+    pub fn new(config: SimConfig) -> Self {
+        let workload = Workload::generate(&config);
+        let grid = Grid::new(workload.universe, config.alpha);
+        let pconf = Arc::new(
+            ProtocolConfig::new(grid)
+                .with_propagation(config.propagation)
+                .with_grouping(config.grouping)
+                .with_safe_period(config.safe_period)
+                .with_delta(config.delta),
+        );
+        let mut net = Net::new(BaseStationLayout::new(workload.universe, config.alen));
+        let mut server = Server::new(Arc::clone(&pconf));
+        let mobility = Mobility::with_kind(
+            &workload,
+            config.objects_changing_velocity,
+            config.time_step,
+            config.seed,
+            config.mobility,
+        );
+        let agents: Vec<MovingObjectAgent> = workload
+            .objects
+            .iter()
+            .enumerate()
+            .map(|(i, o)| {
+                MovingObjectAgent::new(
+                    ObjectId(i as u32),
+                    Properties::new(),
+                    o.max_speed,
+                    o.initial_pos,
+                    mobility.velocities[i],
+                    Arc::clone(&pconf),
+                )
+            })
+            .collect();
+        // Install the full query workload up front; the position-request
+        // handshake resolves during the warm-up ticks.
+        let qids: Vec<QueryId> = workload
+            .queries
+            .iter()
+            .map(|q| {
+                server.install_query(
+                    ObjectId(q.focal_idx as u32),
+                    QueryRegion::circle(q.radius),
+                    Filter::with_selectivity(workload.selectivity, q.filter_salt),
+                    &mut net,
+                )
+            })
+            .collect();
+        let max_radius = workload.queries.iter().map(|q| q.radius).fold(1.0f64, f64::max);
+        let truth = GroundTruth::new(&workload, max_radius.max(config.alpha));
+        MobiEyesSim {
+            config,
+            workload,
+            mobility,
+            server,
+            net,
+            agents,
+            truth,
+            qids,
+            tick_index: 0,
+            inbox: Vec::new(),
+            server_seconds: 0.0,
+            lqt_size_sum: 0,
+            error_sum: 0.0,
+            error_samples: 0,
+        }
+    }
+
+    /// Current simulated time in seconds.
+    pub fn now(&self) -> f64 {
+        self.tick_index as f64 * self.config.time_step
+    }
+
+    pub fn server(&self) -> &Server {
+        &self.server
+    }
+
+    pub fn net(&self) -> &Net {
+        &self.net
+    }
+
+    /// Installs a downlink fault plan (drops / duplicates) for
+    /// failure-injection experiments.
+    pub fn set_fault(&mut self, plan: mobieyes_net::FaultPlan) {
+        self.net.set_fault(plan);
+    }
+
+    pub fn query_ids(&self) -> &[QueryId] {
+        &self.qids
+    }
+
+    /// Advances the simulation one time step, accumulating measurements
+    /// when `measured` is true.
+    ///
+    /// The step mirrors the paper's within-step update resolution:
+    /// 1. mobility advances every object;
+    /// 2. objects report motion events (cell changes, dead-reckoning
+    ///    deviations) uplink;
+    /// 3. the server mediates — broadcasts focal updates and query state;
+    /// 4. objects receive the downlinks (including anything queued from
+    ///    the previous step), install/update queries and evaluate,
+    ///    reporting containment changes;
+    /// 5. the server ingests the result updates.
+    pub fn step(&mut self, measured: bool) {
+        self.tick_index += 1;
+        let t = self.now();
+        self.mobility.step();
+
+        // Phase A: motion reports.
+        for i in 0..self.agents.len() {
+            self.agents[i].tick_motion(t, self.mobility.positions[i], self.mobility.velocities[i], &mut self.net);
+        }
+
+        // Server mediation (timed: the Figure 1/3 server-load metric).
+        let start = Instant::now();
+        self.server.tick(&mut self.net);
+        let mut elapsed = start.elapsed().as_secs_f64();
+
+        // Phase B: downlink processing + local evaluation.
+        for i in 0..self.agents.len() {
+            self.inbox.clear();
+            let pos = self.mobility.positions[i];
+            self.net.deliver(mobieyes_net::NodeId(i as u32), pos, &mut self.inbox);
+            self.agents[i].tick_process(t, &self.inbox, &mut self.net);
+        }
+        self.net.end_tick();
+
+        // Server result ingestion.
+        let start = Instant::now();
+        self.server.tick(&mut self.net);
+        elapsed += start.elapsed().as_secs_f64();
+
+        if measured {
+            self.server_seconds += elapsed;
+            for a in &self.agents {
+                self.lqt_size_sum += a.lqt_len() as u64;
+            }
+            // Result accuracy vs exact ground truth.
+            let truth = self.truth.evaluate(&self.mobility.positions);
+            for (q, t_set) in truth.iter().enumerate() {
+                if let Some(reported) = self.server.query_result(self.qids[q]) {
+                    self.error_sum += result_error(t_set, reported);
+                    self.error_samples += 1;
+                }
+            }
+        }
+    }
+
+    /// Runs warm-up plus measured ticks and returns the aggregated metrics.
+    pub fn run(&mut self) -> RunMetrics {
+        for _ in 0..self.config.warmup_ticks {
+            self.step(false);
+        }
+        // Reset all counters after warm-up so installation traffic and
+        // transient state do not pollute the measurements.
+        self.net.meter_mut().reset();
+        for a in self.agents.iter_mut() {
+            a.reset_stats();
+        }
+        self.server_seconds = 0.0;
+        self.lqt_size_sum = 0;
+        self.error_sum = 0.0;
+        self.error_samples = 0;
+
+        for _ in 0..self.config.ticks {
+            self.step(true);
+        }
+        self.collect_metrics()
+    }
+
+    fn collect_metrics(&self) -> RunMetrics {
+        let n = self.agents.len().max(1);
+        let ticks = self.config.ticks.max(1);
+        let duration = self.config.measured_seconds();
+        let meter = self.net.meter();
+        let label = match (self.config.propagation, self.config.grouping, self.config.safe_period) {
+            (Propagation::Eager, false, false) => "mobieyes-eqp".to_string(),
+            (Propagation::Lazy, false, false) => "mobieyes-lqp".to_string(),
+            (p, g, s) => format!(
+                "mobieyes-{}{}{}",
+                if p == Propagation::Lazy { "lqp" } else { "eqp" },
+                if g { "+group" } else { "" },
+                if s { "+safe" } else { "" }
+            ),
+        };
+
+        let mut evals = 0u64;
+        let mut skips = 0u64;
+        let mut eval_nanos = 0u64;
+        for a in &self.agents {
+            let s = a.stats();
+            evals += s.evaluated;
+            skips += s.skipped_safe_period;
+            eval_nanos += s.eval_nanos;
+        }
+
+        let mut m = RunMetrics {
+            label,
+            ticks,
+            duration_s: duration,
+            server_seconds_per_tick: self.server_seconds / ticks as f64,
+            msgs_per_second: meter.total_msgs() as f64 / duration,
+            uplink_msgs_per_second: meter.uplink_msgs as f64 / duration,
+            downlink_msgs_per_second: meter.downlink_msgs() as f64 / duration,
+            uplink_bytes: meter.uplink_bytes,
+            downlink_bytes: meter.unicast_bytes + meter.broadcast_bytes,
+            avg_lqt_size: self.lqt_size_sum as f64 / (n as f64 * ticks as f64),
+            avg_evals_per_object_tick: evals as f64 / (n as f64 * ticks as f64),
+            avg_safe_period_skips: skips as f64 / (n as f64 * ticks as f64),
+            avg_eval_micros_per_object_tick: eval_nanos as f64 / 1e3 / (n as f64 * ticks as f64),
+            avg_result_error: if self.error_samples > 0 {
+                self.error_sum / self.error_samples as f64
+            } else {
+                0.0
+            },
+            ..Default::default()
+        };
+        let (sent, recv) = meter.mean_node_traffic(n);
+        m.set_power(&RadioModel::default(), sent, recv);
+        m
+    }
+
+    /// Direct access to one agent (tests).
+    pub fn agent(&self, i: usize) -> &MovingObjectAgent {
+        &self.agents[i]
+    }
+
+    /// Exact ground-truth results for the current positions (tests).
+    pub fn ground_truth(&mut self) -> Vec<std::collections::BTreeSet<ObjectId>> {
+        self.truth.evaluate(&self.mobility.positions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_run_produces_sane_metrics() {
+        let mut sim = MobiEyesSim::new(SimConfig::small_test(31));
+        let m = sim.run();
+        assert_eq!(m.ticks, 15);
+        assert!(m.msgs_per_second > 0.0, "protocol must exchange messages");
+        assert!(m.uplink_msgs_per_second > 0.0);
+        assert!(m.downlink_msgs_per_second > 0.0);
+        assert!(m.avg_lqt_size >= 0.0);
+        assert!(m.avg_power_mw > 0.0);
+        // Eager propagation keeps results close to the truth.
+        assert!(m.avg_result_error < 0.2, "EQP error too high: {}", m.avg_result_error);
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let a = MobiEyesSim::new(SimConfig::small_test(32)).run();
+        let b = MobiEyesSim::new(SimConfig::small_test(32)).run();
+        assert_eq!(a.msgs_per_second, b.msgs_per_second);
+        assert_eq!(a.avg_lqt_size, b.avg_lqt_size);
+        assert_eq!(a.avg_result_error, b.avg_result_error);
+    }
+
+    #[test]
+    fn queries_actually_get_results() {
+        let mut sim = MobiEyesSim::new(SimConfig::small_test(33));
+        sim.run();
+        let total: usize = sim
+            .query_ids()
+            .iter()
+            .filter_map(|&q| sim.server().query_result(q))
+            .map(|r| r.len())
+            .sum();
+        assert!(total > 0, "no query produced any result");
+    }
+
+    #[test]
+    fn lazy_propagation_reduces_uplink_traffic() {
+        let eager = MobiEyesSim::new(SimConfig::small_test(34)).run();
+        let lazy = MobiEyesSim::new(
+            SimConfig::small_test(34).with_propagation(Propagation::Lazy),
+        )
+        .run();
+        assert!(
+            lazy.uplink_msgs_per_second < eager.uplink_msgs_per_second,
+            "LQP uplink {} must be below EQP {}",
+            lazy.uplink_msgs_per_second,
+            eager.uplink_msgs_per_second
+        );
+    }
+}

@@ -1,0 +1,221 @@
+//! Deterministic random number generation and the samplers the paper's
+//! workload needs: zipf (query radius means, object speed classes) and
+//! normal (query radius spread).
+//!
+//! A hand-rolled splitmix64/xorshift generator keeps the whole simulation
+//! reproducible from a single `u64` seed with no external dependencies in
+//! the hot path.
+
+/// A small, fast, seedable PRNG (xoshiro256** seeded via splitmix64).
+#[derive(Debug, Clone)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        Rng { s: [next(), next(), next(), next()] }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform in [0, 1).
+    pub fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform in [lo, hi).
+    pub fn range(&mut self, lo: f64, hi: f64) -> f64 {
+        debug_assert!(hi >= lo);
+        lo + self.unit() * (hi - lo)
+    }
+
+    /// Uniform integer in [0, n).
+    pub fn below(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0);
+        (self.unit() * n as f64) as usize % n
+    }
+
+    /// A fresh independent generator (for splitting streams).
+    pub fn fork(&mut self) -> Rng {
+        Rng::new(self.next_u64())
+    }
+}
+
+/// Zipf distribution over ranks `0..k` with exponent `s`:
+/// `P(rank i) ∝ 1/(i+1)^s`. The paper draws query-radius means and object
+/// speed classes from their lists "following a zipf distribution with
+/// parameter 0.8" — earlier list entries are more likely.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    pub fn new(k: usize, s: f64) -> Self {
+        assert!(k > 0);
+        let mut cdf = Vec::with_capacity(k);
+        let mut acc = 0.0;
+        for i in 0..k {
+            acc += 1.0 / ((i + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in cdf.iter_mut() {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Samples a rank in `0..k`.
+    pub fn sample(&self, rng: &mut Rng) -> usize {
+        let u = rng.unit();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+/// Normal distribution via the Box–Muller transform. The paper draws each
+/// query's radius from a normal with the zipf-chosen mean and σ = mean/5.
+#[derive(Debug, Clone, Copy)]
+pub struct Normal {
+    pub mean: f64,
+    pub std_dev: f64,
+}
+
+impl Normal {
+    pub fn new(mean: f64, std_dev: f64) -> Self {
+        assert!(std_dev >= 0.0);
+        Normal { mean, std_dev }
+    }
+
+    pub fn sample(&self, rng: &mut Rng) -> f64 {
+        let u1 = rng.unit().max(f64::MIN_POSITIVE); // avoid ln(0)
+        let u2 = rng.unit();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        self.mean + self.std_dev * z
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng::new(43);
+        assert_ne!(Rng::new(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn unit_is_in_range_and_well_spread() {
+        let mut rng = Rng::new(1);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let u = rng.unit();
+            assert!((0.0..1.0).contains(&u));
+            sum += u;
+        }
+        let mean = sum / 10_000.0;
+        assert!((0.48..0.52).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    fn below_covers_all_values() {
+        let mut rng = Rng::new(2);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            seen[rng.below(7)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn range_respects_bounds() {
+        let mut rng = Rng::new(3);
+        for _ in 0..1000 {
+            let v = rng.range(-5.0, 5.0);
+            assert!((-5.0..5.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn fork_streams_differ() {
+        let mut rng = Rng::new(4);
+        let mut f1 = rng.fork();
+        let mut f2 = rng.fork();
+        assert_ne!(f1.next_u64(), f2.next_u64());
+    }
+
+    #[test]
+    fn zipf_favors_early_ranks() {
+        let z = Zipf::new(5, 0.8);
+        let mut rng = Rng::new(5);
+        let mut counts = [0usize; 5];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        // Monotone decreasing frequencies (allowing small noise).
+        for i in 1..5 {
+            assert!(
+                counts[i] < counts[i - 1] + 500,
+                "zipf counts not decreasing: {counts:?}"
+            );
+        }
+        // Rank 0 with s=0.8 over 5 ranks gets 1/Σ(1/k^0.8) ≈ 38.5 %.
+        let p0 = counts[0] as f64 / 50_000.0;
+        assert!((0.37..0.40).contains(&p0), "p0 = {p0}");
+    }
+
+    #[test]
+    fn zipf_single_rank() {
+        let z = Zipf::new(1, 0.8);
+        let mut rng = Rng::new(6);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn normal_moments() {
+        let n = Normal::new(3.0, 0.6);
+        let mut rng = Rng::new(7);
+        let samples: Vec<f64> = (0..50_000).map(|_| n.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / samples.len() as f64;
+        assert!((2.97..3.03).contains(&mean), "mean {mean}");
+        assert!((0.32..0.40).contains(&var), "var {var} (expect ~0.36)");
+    }
+
+    #[test]
+    fn zero_std_dev_is_constant() {
+        let n = Normal::new(2.5, 0.0);
+        let mut rng = Rng::new(8);
+        for _ in 0..10 {
+            assert_eq!(n.sample(&mut rng), 2.5);
+        }
+    }
+}

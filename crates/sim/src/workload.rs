@@ -1,0 +1,152 @@
+//! Workload generation per §5.1 of the paper.
+//!
+//! - Focal objects of queries: uniform over all objects.
+//! - Query radius: normal with mean drawn zipf(0.8) from {3,2,1,4,5} miles
+//!   and σ = mean/5 (clamped at a small positive minimum).
+//! - Query selectivity: 0.75 via the deterministic selectivity filter.
+//! - Object maximum speeds: zipf(0.8) over {100,50,150,200,250} mph.
+//! - Initial positions: uniform over the universe of discourse.
+
+use crate::config::SimConfig;
+use crate::rng::{Normal, Rng, Zipf};
+use mobieyes_geo::{Point, Rect};
+
+/// Static description of one moving object.
+#[derive(Debug, Clone, Copy)]
+pub struct ObjectSpec {
+    pub initial_pos: Point,
+    /// Maximum speed in miles per second.
+    pub max_speed: f64,
+}
+
+/// Static description of one moving query.
+#[derive(Debug, Clone, Copy)]
+pub struct QueryWorkloadSpec {
+    /// Index of the focal object in the objects vector.
+    pub focal_idx: usize,
+    /// Circle radius in miles (radius factor already applied).
+    pub radius: f64,
+    /// Salt for the deterministic selectivity filter.
+    pub filter_salt: u64,
+}
+
+/// A fully-generated workload: objects plus queries.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    pub universe: Rect,
+    pub objects: Vec<ObjectSpec>,
+    pub queries: Vec<QueryWorkloadSpec>,
+    pub selectivity: f64,
+}
+
+impl Workload {
+    /// Generates the workload for a configuration, deterministically from
+    /// `config.seed`.
+    pub fn generate(config: &SimConfig) -> Workload {
+        let side = config.side();
+        let universe = Rect::new(0.0, 0.0, side, side);
+        let mut rng = Rng::new(config.seed ^ 0xA5A5_5A5A);
+
+        let speed_zipf = Zipf::new(config.speed_classes_mph.len(), config.zipf_param);
+        let objects: Vec<ObjectSpec> = (0..config.num_objects)
+            .map(|_| {
+                let pos = Point::new(rng.range(0.0, side), rng.range(0.0, side));
+                let mph = config.speed_classes_mph[speed_zipf.sample(&mut rng)];
+                ObjectSpec { initial_pos: pos, max_speed: mph / 3600.0 }
+            })
+            .collect();
+
+        let radius_zipf = Zipf::new(config.radius_means.len(), config.zipf_param);
+        let queries: Vec<QueryWorkloadSpec> = (0..config.num_queries)
+            .map(|i| {
+                let pool = config.focal_pool.unwrap_or(config.num_objects).min(config.num_objects);
+                let focal_idx = rng.below(pool);
+                let mean = config.radius_means[radius_zipf.sample(&mut rng)];
+                let radius_raw = Normal::new(mean, mean / 5.0).sample(&mut rng);
+                // Clamp: a non-positive radius is meaningless; the normal
+                // tail can produce one (mean/5 σ makes it a 5σ event).
+                let radius = (radius_raw * config.radius_factor).max(0.05);
+                QueryWorkloadSpec { focal_idx, radius, filter_salt: config.seed ^ (i as u64) }
+            })
+            .collect();
+
+        Workload { universe, objects, queries, selectivity: config.selectivity }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let c = SimConfig::small_test(5);
+        let a = Workload::generate(&c);
+        let b = Workload::generate(&c);
+        assert_eq!(a.objects.len(), b.objects.len());
+        for (x, y) in a.objects.iter().zip(&b.objects) {
+            assert_eq!(x.initial_pos, y.initial_pos);
+            assert_eq!(x.max_speed, y.max_speed);
+        }
+        for (x, y) in a.queries.iter().zip(&b.queries) {
+            assert_eq!(x.focal_idx, y.focal_idx);
+            assert_eq!(x.radius, y.radius);
+        }
+    }
+
+    #[test]
+    fn objects_inside_universe() {
+        let c = SimConfig::small_test(6);
+        let w = Workload::generate(&c);
+        assert_eq!(w.objects.len(), c.num_objects);
+        for o in &w.objects {
+            assert!(w.universe.contains_point(o.initial_pos));
+            assert!(o.max_speed > 0.0);
+            // Max 250 mph = 0.0694 miles/sec.
+            assert!(o.max_speed <= 250.0 / 3600.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn speed_classes_follow_zipf_order() {
+        let c = SimConfig { num_objects: 20_000, num_queries: 1, ..SimConfig::default() };
+        let w = Workload::generate(&c);
+        // 100 mph (rank 0) must be the most common class, 250 mph (rank 4)
+        // the least common.
+        let count = |mph: f64| {
+            w.objects.iter().filter(|o| (o.max_speed - mph / 3600.0).abs() < 1e-12).count()
+        };
+        assert!(count(100.0) > count(50.0));
+        assert!(count(50.0) > count(250.0));
+    }
+
+    #[test]
+    fn radii_are_positive_and_scaled_by_factor() {
+        let c = SimConfig::small_test(7).with_radius_factor(2.0);
+        let base = SimConfig::small_test(7);
+        let w2 = Workload::generate(&c);
+        let w1 = Workload::generate(&base);
+        for (a, b) in w1.queries.iter().zip(&w2.queries) {
+            assert!(a.radius > 0.0);
+            assert!((b.radius - a.radius * 2.0).abs() < 1e-9 || b.radius == 0.05);
+        }
+    }
+
+    #[test]
+    fn focal_objects_are_valid_indices() {
+        let c = SimConfig::small_test(8);
+        let w = Workload::generate(&c);
+        for q in &w.queries {
+            assert!(q.focal_idx < w.objects.len());
+        }
+    }
+
+    #[test]
+    fn radius_distribution_centers_on_zipf_means() {
+        let c = SimConfig { num_queries: 20_000, num_objects: 100, ..SimConfig::default() };
+        let w = Workload::generate(&c);
+        let mean = w.queries.iter().map(|q| q.radius).sum::<f64>() / w.queries.len() as f64;
+        // Expected mean ≈ Σ zipf(i)·mean_i ≈ 2.7 for {3,2,1,4,5} at s=0.8.
+        assert!((2.2..3.2).contains(&mean), "mean radius {mean}");
+    }
+}

@@ -1,0 +1,52 @@
+//! Random-waypoint mobility: trajectory sanity plus end-to-end protocol
+//! accuracy under the alternative model.
+
+use mobieyes_sim::{MobiEyesSim, Mobility, MobilityKind, SimConfig, Workload};
+
+#[test]
+fn waypoint_trajectories_stay_in_bounds_and_turn() {
+    let c = SimConfig::small_test(61).with_mobility(MobilityKind::RandomWaypoint);
+    let w = Workload::generate(&c);
+    let mut m = Mobility::with_kind(&w, 0, c.time_step, c.seed, MobilityKind::RandomWaypoint);
+    let mut total_turns = 0usize;
+    for _ in 0..300 {
+        m.step();
+        total_turns += m.changed_velocity.len();
+        for p in &m.positions {
+            assert!(w.universe.contains_point(*p), "escaped: {p:?}");
+        }
+        for (v, &ms) in m.velocities.iter().zip(&m.max_speeds) {
+            assert!(v.norm() <= ms + 1e-12);
+        }
+    }
+    // Over 300 steps on a 100-mile square, plenty of waypoints are reached.
+    assert!(total_turns > m.len(), "objects never turned ({total_turns} turns)");
+}
+
+#[test]
+fn waypoint_trace_is_deterministic() {
+    let c = SimConfig::small_test(62);
+    let w = Workload::generate(&c);
+    let mut a = Mobility::with_kind(&w, 0, 30.0, 7, MobilityKind::RandomWaypoint);
+    let mut b = Mobility::with_kind(&w, 0, 30.0, 7, MobilityKind::RandomWaypoint);
+    for _ in 0..50 {
+        a.step();
+        b.step();
+    }
+    assert_eq!(a.positions, b.positions);
+}
+
+#[test]
+fn protocol_stays_accurate_under_waypoint_mobility() {
+    let eager = MobiEyesSim::new(
+        SimConfig::small_test(63).with_mobility(MobilityKind::RandomWaypoint),
+    )
+    .run();
+    assert!(
+        eager.avg_result_error < 0.15,
+        "EQP error {} under random waypoint",
+        eager.avg_result_error
+    );
+    // Dead reckoning still pays off: straight segments mean few reports.
+    assert!(eager.msgs_per_second > 0.0);
+}

@@ -1,0 +1,131 @@
+//! Command-line simulation driver: run any MobiEyes or baseline scenario
+//! with Table 1 defaults and per-flag overrides, printing the full metric
+//! set.
+//!
+//! ```console
+//! $ mobieyes --objects 5000 --queries 500 --mode lqp --alpha 4
+//! $ mobieyes --mode eqp --grouping --safe-period --ticks 60
+//! $ mobieyes --mode naive            # centralized messaging baselines
+//! $ mobieyes --mode object-index     # centralized engine baselines
+//! ```
+
+use mobieyes::core::Propagation;
+use mobieyes::sim::{
+    CentralKind, CentralSim, MessagingKind, MessagingModel, MobiEyesSim, RunMetrics, SimConfig,
+};
+
+const HELP: &str = "\
+mobieyes — distributed moving-query simulation driver
+
+USAGE:
+    mobieyes [OPTIONS]
+
+OPTIONS:
+    --mode <M>         eqp | lqp | naive | central-optimal | object-index |
+                       query-index            [default: eqp]
+    --objects <N>      number of moving objects          [default: 10000]
+    --queries <N>      number of moving queries          [default: 1000]
+    --nmo <N>          velocity changes per time step    [default: 1000]
+    --alpha <MILES>    grid cell side length             [default: 5]
+    --alen <MILES>     base station side length          [default: 10]
+    --area <SQMI>      universe area                     [default: 100000]
+    --ticks <N>        measured time steps               [default: 40]
+    --warmup <N>       warm-up time steps                [default: 5]
+    --delta <MILES>    dead-reckoning threshold          [default: 0.2]
+    --radius-factor <F> query radius multiplier          [default: 1]
+    --focal-pool <N>   draw focal objects from first N objects
+    --grouping         enable query grouping
+    --safe-period      enable safe-period optimization
+    --seed <N>         RNG seed
+    -h, --help         print this help
+";
+
+fn parse_args() -> Result<(String, SimConfig), String> {
+    let mut config = SimConfig::default();
+    let mut mode = "eqp".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().ok_or_else(|| format!("missing value for {name}"))
+        };
+        match arg.as_str() {
+            "--mode" => mode = value("--mode")?,
+            "--objects" => config.num_objects = parse(&value("--objects")?)?,
+            "--queries" => config.num_queries = parse(&value("--queries")?)?,
+            "--nmo" => config.objects_changing_velocity = parse(&value("--nmo")?)?,
+            "--alpha" => config.alpha = parse(&value("--alpha")?)?,
+            "--alen" => config.alen = parse(&value("--alen")?)?,
+            "--area" => config.area = parse(&value("--area")?)?,
+            "--ticks" => config.ticks = parse(&value("--ticks")?)?,
+            "--warmup" => config.warmup_ticks = parse(&value("--warmup")?)?,
+            "--delta" => config.delta = parse(&value("--delta")?)?,
+            "--radius-factor" => config.radius_factor = parse(&value("--radius-factor")?)?,
+            "--focal-pool" => config.focal_pool = Some(parse(&value("--focal-pool")?)?),
+            "--seed" => config.seed = parse(&value("--seed")?)?,
+            "--grouping" => config.grouping = true,
+            "--safe-period" => config.safe_period = true,
+            "-h" | "--help" => {
+                print!("{HELP}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok((mode, config))
+}
+
+fn parse<T: std::str::FromStr>(s: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("invalid value: {s}"))
+}
+
+fn print_metrics(m: &RunMetrics) {
+    println!("label:                        {}", m.label);
+    println!("measured ticks:               {}", m.ticks);
+    println!("simulated duration:           {:.0} s", m.duration_s);
+    println!("server load:                  {:.6} s/tick", m.server_seconds_per_tick);
+    println!("messages/second:              {:.2}", m.msgs_per_second);
+    println!("  uplink:                     {:.2}", m.uplink_msgs_per_second);
+    println!("  downlink:                   {:.2}", m.downlink_msgs_per_second);
+    println!("bytes (up/down):              {} / {}", m.uplink_bytes, m.downlink_bytes);
+    println!("avg LQT size:                 {:.3}", m.avg_lqt_size);
+    println!("avg evals/object/tick:        {:.3}", m.avg_evals_per_object_tick);
+    println!("avg safe-period skips:        {:.3}", m.avg_safe_period_skips);
+    println!("avg eval time:                {:.3} µs/object/tick", m.avg_eval_micros_per_object_tick);
+    println!("avg result error:             {:.5}", m.avg_result_error);
+    println!("avg power:                    {:.3} mW/object", m.avg_power_mw);
+}
+
+fn main() {
+    let (mode, mut config) = match parse_args() {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{HELP}");
+            std::process::exit(2);
+        }
+    };
+    eprintln!(
+        "running {mode}: {} objects, {} queries, alpha={}, alen={}, {} ticks (+{} warmup)...",
+        config.num_objects, config.num_queries, config.alpha, config.alen, config.ticks, config.warmup_ticks
+    );
+    let start = std::time::Instant::now();
+    let metrics = match mode.as_str() {
+        "eqp" => {
+            config.propagation = Propagation::Eager;
+            MobiEyesSim::new(config).run()
+        }
+        "lqp" => {
+            config.propagation = Propagation::Lazy;
+            MobiEyesSim::new(config).run()
+        }
+        "naive" => MessagingModel::new(config, MessagingKind::Naive).run(),
+        "central-optimal" => MessagingModel::new(config, MessagingKind::CentralOptimal).run(),
+        "object-index" => CentralSim::new(config, CentralKind::ObjectIndex).run(),
+        "query-index" => CentralSim::new(config, CentralKind::QueryIndex).run(),
+        other => {
+            eprintln!("error: unknown mode {other}\n\n{HELP}");
+            std::process::exit(2);
+        }
+    };
+    print_metrics(&metrics);
+    eprintln!("(wall time {:.1} s)", start.elapsed().as_secs_f64());
+}

@@ -1,0 +1,77 @@
+//! # MobiEyes
+//!
+//! A from-scratch Rust reproduction of *"MobiEyes: Distributed Processing
+//! of Continuously Moving Queries on Moving Objects in a Mobile System"*
+//! (Gedik & Liu, EDBT 2004): a distributed protocol that maintains the
+//! results of *moving queries over moving objects* by pushing containment
+//! evaluation onto the moving objects themselves, with the server acting
+//! only as a mediator.
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! - [`geo`]: geometry, the gridded universe of discourse, monitoring
+//!   regions, dead-reckoning motion model.
+//! - [`rstar`]: an R*-tree (used by the centralized baselines).
+//! - [`net`]: the simulated asymmetric wireless network with base-station
+//!   broadcast, message accounting and the GPRS radio energy model.
+//! - [`core`]: the MobiEyes protocol — server, moving-object agents,
+//!   messages, filters, and the lazy-propagation / grouping / safe-period
+//!   optimizations.
+//! - [`baselines`]: centralized engines (object index, query index, brute
+//!   force oracle).
+//! - [`sim`]: Table 1 workload generation, mobility, ground truth and the
+//!   measurement drivers behind every figure of the paper.
+//! - [`runtime`]: a threaded actor deployment of the same protocol.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use mobieyes::core::{Filter, MovingObjectAgent, ObjectId, Properties, ProtocolConfig, Server};
+//! use mobieyes::core::server::Net;
+//! use mobieyes::geo::{Grid, Point, QueryRegion, Rect, Vec2};
+//! use mobieyes::net::BaseStationLayout;
+//! use std::sync::Arc;
+//!
+//! // A 100x100 mile universe gridded into 10-mile cells.
+//! let universe = Rect::new(0.0, 0.0, 100.0, 100.0);
+//! let config = Arc::new(ProtocolConfig::new(Grid::new(universe, 10.0)));
+//! let mut net = Net::new(BaseStationLayout::new(universe, 20.0));
+//! let mut server = Server::new(Arc::clone(&config));
+//!
+//! // Two moving objects: a taxi driver (focal) and a customer.
+//! let mut driver = MovingObjectAgent::new(
+//!     ObjectId(0), Properties::new(), 0.02, Point::new(50.0, 50.0), Vec2::ZERO, Arc::clone(&config));
+//! let mut customer = MovingObjectAgent::new(
+//!     ObjectId(1), Properties::new().with("looking_for_taxi", true), 0.02,
+//!     Point::new(52.0, 50.0), Vec2::ZERO, Arc::clone(&config));
+//!
+//! // "Customers looking for a taxi within 5 miles of me."
+//! let qid = server.install_query(
+//!     ObjectId(0),
+//!     QueryRegion::circle(5.0),
+//!     Filter::Eq("looking_for_taxi".into(), true.into()),
+//!     &mut net,
+//! );
+//!
+//! // Run a few protocol rounds: deliver downlinks, tick agents, tick server.
+//! for step in 0..3 {
+//!     let t = step as f64 * 30.0;
+//!     for agent in [&mut driver, &mut customer] {
+//!         let mut inbox = Vec::new();
+//!         net.deliver(agent.oid().node(), agent.position(), &mut inbox);
+//!         let (pos, vel) = (agent.position(), Vec2::ZERO);
+//!         agent.tick(t, pos, vel, &inbox, &mut net);
+//!     }
+//!     net.end_tick();
+//!     server.tick(&mut net);
+//! }
+//! assert!(server.query_result(qid).unwrap().contains(&ObjectId(1)));
+//! ```
+
+pub use mobieyes_baselines as baselines;
+pub use mobieyes_core as core;
+pub use mobieyes_geo as geo;
+pub use mobieyes_net as net;
+pub use mobieyes_rstar as rstar;
+pub use mobieyes_runtime as runtime;
+pub use mobieyes_sim as sim;

@@ -1,0 +1,64 @@
+//! Robustness: dropped or duplicated downlink broadcasts must degrade
+//! accuracy gracefully — never panic, never corrupt server state.
+
+use mobieyes::net::FaultPlan;
+use mobieyes::sim::{MobiEyesSim, SimConfig};
+
+#[test]
+fn duplicated_downlinks_are_idempotent() {
+    let mut clean = MobiEyesSim::new(SimConfig::small_test(401));
+    let clean_m = clean.run();
+
+    let mut dup = MobiEyesSim::new(SimConfig::small_test(401));
+    dup.set_fault(FaultPlan::new(0.0, 1.0, 99));
+    let dup_m = dup.run();
+
+    // Every downlink delivered twice: installation and updates are
+    // idempotent, so accuracy must be essentially unchanged.
+    assert!(
+        (dup_m.avg_result_error - clean_m.avg_result_error).abs() < 0.05,
+        "duplication changed error: {} vs {}",
+        dup_m.avg_result_error,
+        clean_m.avg_result_error
+    );
+}
+
+#[test]
+fn dropped_downlinks_degrade_gracefully() {
+    let mut clean = MobiEyesSim::new(SimConfig::small_test(402));
+    let clean_m = clean.run();
+
+    let mut lossy = MobiEyesSim::new(SimConfig::small_test(402));
+    lossy.set_fault(FaultPlan::new(0.3, 0.0, 7));
+    let lossy_m = lossy.run();
+
+    // 30% loss hurts but must not collapse the system.
+    assert!(lossy_m.avg_result_error < 0.7, "error {} under loss", lossy_m.avg_result_error);
+    assert!(
+        lossy_m.avg_result_error >= clean_m.avg_result_error - 1e-9,
+        "loss cannot improve accuracy"
+    );
+}
+
+#[test]
+fn total_downlink_blackout_does_not_panic() {
+    let mut sim = MobiEyesSim::new(SimConfig::small_test(403));
+    sim.set_fault(FaultPlan::new(1.0, 0.0, 1));
+    let m = sim.run();
+    // Nothing installs, so objects report nothing; the server survives.
+    assert!(m.avg_result_error <= 1.0);
+    assert!(m.avg_lqt_size == 0.0, "no query should ever install");
+}
+
+#[test]
+fn faults_with_all_optimizations_enabled() {
+    let mut sim = MobiEyesSim::new(
+        SimConfig::small_test(404)
+            .with_grouping(true)
+            .with_safe_period(true)
+            .with_focal_pool(4),
+    );
+    sim.set_fault(FaultPlan::new(0.2, 0.2, 5));
+    let m = sim.run();
+    assert!(m.avg_result_error < 0.8);
+}
