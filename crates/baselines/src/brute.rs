@@ -59,7 +59,9 @@ impl CentralEngine for BruteForceEngine {
             };
             for (&oid, &pos) in &self.positions {
                 if def.region.contains_from(center, pos)
-                    && def.filter.matches(oid, self.props.get(&oid).unwrap_or(&empty))
+                    && def
+                        .filter
+                        .matches(oid, self.props.get(&oid).unwrap_or(&empty))
                 {
                     result.insert(oid);
                 }
@@ -84,7 +86,12 @@ mod tests {
     use std::sync::Arc;
 
     fn report(oid: u32, x: f64, y: f64) -> ObjectReport {
-        ObjectReport { oid: ObjectId(oid), pos: Point::new(x, y), vel: Vec2::ZERO, tm: 0.0 }
+        ObjectReport {
+            oid: ObjectId(oid),
+            pos: Point::new(x, y),
+            vel: Vec2::ZERO,
+            tm: 0.0,
+        }
     }
 
     fn def(qid: u32, focal: u32, r: f64) -> QueryDef {
@@ -103,7 +110,14 @@ mod tests {
             e.register_object(ObjectId(i), Properties::new());
         }
         e.install_query(def(0, 0, 2.0));
-        e.tick(&[report(0, 0.0, 0.0), report(1, 1.0, 0.0), report(2, 5.0, 0.0)], 0.0);
+        e.tick(
+            &[
+                report(0, 0.0, 0.0),
+                report(1, 1.0, 0.0),
+                report(2, 5.0, 0.0),
+            ],
+            0.0,
+        );
         let r = e.result(QueryId(0)).unwrap();
         assert!(r.contains(&ObjectId(1)));
         assert!(!r.contains(&ObjectId(2)));
@@ -125,7 +139,14 @@ mod tests {
         let mut d = def(0, 0, 10.0);
         d.filter = Arc::new(Filter::Eq("color".into(), "red".into()));
         e.install_query(d);
-        e.tick(&[report(0, 0.0, 0.0), report(1, 1.0, 0.0), report(2, 1.0, 1.0)], 0.0);
+        e.tick(
+            &[
+                report(0, 0.0, 0.0),
+                report(1, 1.0, 0.0),
+                report(2, 1.0, 1.0),
+            ],
+            0.0,
+        );
         let r = e.result(QueryId(0)).unwrap();
         assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec![ObjectId(1)]);
     }

@@ -53,9 +53,7 @@ impl ObjectIndexEngine {
             let exhausted = candidates.len() < want;
             let hits: Vec<(ObjectId, f64)> = candidates
                 .into_iter()
-                .filter(|(_, &oid, _)| {
-                    filter.matches(oid, self.props.get(&oid).unwrap_or(&empty))
-                })
+                .filter(|(_, &oid, _)| filter.matches(oid, self.props.get(&oid).unwrap_or(&empty)))
                 .map(|(_, &oid, d)| (oid, d))
                 .take(k)
                 .collect();
@@ -98,7 +96,8 @@ impl CentralEngine for ObjectIndexEngine {
             match self.positions.insert(r.oid, r.pos) {
                 Some(old) if old == r.pos => {} // did not move: index untouched
                 Some(old) => {
-                    self.tree.update(&Rect::from_point(old), Rect::from_point(r.pos), r.oid);
+                    self.tree
+                        .update(&Rect::from_point(old), Rect::from_point(r.pos), r.oid);
                 }
                 None => self.tree.insert(Rect::from_point(r.pos), r.oid),
             }
@@ -115,7 +114,9 @@ impl CentralEngine for ObjectIndexEngine {
             self.tree.for_each_intersecting(&window, |_, &oid| {
                 let pos = self.positions[&oid];
                 if def.region.contains_from(center, pos)
-                    && def.filter.matches(oid, self.props.get(&oid).unwrap_or(&empty))
+                    && def
+                        .filter
+                        .matches(oid, self.props.get(&oid).unwrap_or(&empty))
                 {
                     result.insert(oid);
                 }
@@ -141,7 +142,12 @@ mod tests {
     use std::sync::Arc;
 
     fn report(oid: u32, x: f64, y: f64) -> ObjectReport {
-        ObjectReport { oid: ObjectId(oid), pos: Point::new(x, y), vel: Vec2::ZERO, tm: 0.0 }
+        ObjectReport {
+            oid: ObjectId(oid),
+            pos: Point::new(x, y),
+            vel: Vec2::ZERO,
+            tm: 0.0,
+        }
     }
 
     fn def(qid: u32, focal: u32, r: f64) -> QueryDef {
@@ -155,7 +161,9 @@ mod tests {
 
     /// Deterministic pseudo-random stream.
     fn lcg(seed: &mut u64) -> f64 {
-        *seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        *seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         ((*seed >> 33) as f64) / ((1u64 << 31) as f64)
     }
 
@@ -173,15 +181,19 @@ mod tests {
             bf.install_query(def(q, q * 11, 8.0));
         }
         let mut seed = 7u64;
-        let mut positions: Vec<Point> =
-            (0..n).map(|_| Point::new(lcg(&mut seed) * 100.0, lcg(&mut seed) * 100.0)).collect();
+        let mut positions: Vec<Point> = (0..n)
+            .map(|_| Point::new(lcg(&mut seed) * 100.0, lcg(&mut seed) * 100.0))
+            .collect();
         for step in 0..10 {
             for p in positions.iter_mut() {
                 p.x = (p.x + (lcg(&mut seed) - 0.5) * 10.0).clamp(0.0, 100.0);
                 p.y = (p.y + (lcg(&mut seed) - 0.5) * 10.0).clamp(0.0, 100.0);
             }
-            let reports: Vec<ObjectReport> =
-                positions.iter().enumerate().map(|(i, p)| report(i as u32, p.x, p.y)).collect();
+            let reports: Vec<ObjectReport> = positions
+                .iter()
+                .enumerate()
+                .map(|(i, p)| report(i as u32, p.x, p.y))
+                .collect();
             oi.tick(&reports, step as f64);
             bf.tick(&reports, step as f64);
             oi.check();
@@ -218,21 +230,30 @@ mod tests {
             };
             oi.register_object(ObjectId(i), props);
         }
-        let reports: Vec<ObjectReport> =
-            (0..50).map(|i| report(i, i as f64, 0.0)).collect();
+        let reports: Vec<ObjectReport> = (0..50).map(|i| report(i, i as f64, 0.0)).collect();
         oi.tick(&reports, 0.0);
         // Nearest 3 to x=10.2: objects 10, 11, 9 (dist 0.2, 0.8, 1.2).
         let all = oi.k_nearest(Point::new(10.2, 0.0), 3, &Filter::True);
-        assert_eq!(all.iter().map(|&(o, _)| o.0).collect::<Vec<_>>(), vec![10, 11, 9]);
+        assert_eq!(
+            all.iter().map(|&(o, _)| o.0).collect::<Vec<_>>(),
+            vec![10, 11, 9]
+        );
         // Taxi-only: evens 10, 12, 8.
         let taxis = oi.k_nearest(
             Point::new(10.2, 0.0),
             3,
             &Filter::Eq("kind".into(), "taxi".into()),
         );
-        assert_eq!(taxis.iter().map(|&(o, _)| o.0).collect::<Vec<_>>(), vec![10, 12, 8]);
+        assert_eq!(
+            taxis.iter().map(|&(o, _)| o.0).collect::<Vec<_>>(),
+            vec![10, 12, 8]
+        );
         // k larger than matches returns all matches.
-        let many = oi.k_nearest(Point::new(0.0, 0.0), 100, &Filter::Eq("kind".into(), "taxi".into()));
+        let many = oi.k_nearest(
+            Point::new(0.0, 0.0),
+            100,
+            &Filter::Eq("kind".into(), "taxi".into()),
+        );
         assert_eq!(many.len(), 25);
         // Distances ascend.
         for w in many.windows(2) {
@@ -249,7 +270,14 @@ mod tests {
         let mut d = def(0, 0, 10.0);
         d.filter = Arc::new(Filter::Eq("kind".into(), "taxi".into()));
         oi.install_query(d);
-        oi.tick(&[report(0, 0.0, 0.0), report(1, 1.0, 1.0), report(2, 2.0, 2.0)], 0.0);
+        oi.tick(
+            &[
+                report(0, 0.0, 0.0),
+                report(1, 1.0, 1.0),
+                report(2, 2.0, 2.0),
+            ],
+            0.0,
+        );
         let r = oi.result(QueryId(0)).unwrap();
         assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec![ObjectId(1)]);
     }

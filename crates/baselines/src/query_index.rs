@@ -121,18 +121,24 @@ impl CentralEngine for QueryIndexEngine {
         let empty = Properties::new();
         for r in reports {
             let mut now: BTreeSet<QueryId> = BTreeSet::new();
-            self.tree.for_each_intersecting(&Rect::from_point(r.pos), |_, &qid| {
-                let def = &self.queries[&qid];
-                let center = self.focal_pos[&def.focal];
-                if def.region.contains_from(center, r.pos)
-                    && def.filter.matches(r.oid, self.props.get(&r.oid).unwrap_or(&empty))
-                {
-                    now.insert(qid);
-                }
-            });
+            self.tree
+                .for_each_intersecting(&Rect::from_point(r.pos), |_, &qid| {
+                    let def = &self.queries[&qid];
+                    let center = self.focal_pos[&def.focal];
+                    if def.region.contains_from(center, r.pos)
+                        && def
+                            .filter
+                            .matches(r.oid, self.props.get(&r.oid).unwrap_or(&empty))
+                    {
+                        now.insert(qid);
+                    }
+                });
             let before = self.memberships.entry(r.oid).or_default();
             for &qid in now.difference(before) {
-                self.results.get_mut(&qid).expect("live query").insert(r.oid);
+                self.results
+                    .get_mut(&qid)
+                    .expect("live query")
+                    .insert(r.oid);
             }
             for &qid in before.difference(&now) {
                 if let Some(res) = self.results.get_mut(&qid) {
@@ -161,7 +167,12 @@ mod tests {
     use std::sync::Arc;
 
     fn report(oid: u32, x: f64, y: f64) -> ObjectReport {
-        ObjectReport { oid: ObjectId(oid), pos: Point::new(x, y), vel: Vec2::ZERO, tm: 0.0 }
+        ObjectReport {
+            oid: ObjectId(oid),
+            pos: Point::new(x, y),
+            vel: Vec2::ZERO,
+            tm: 0.0,
+        }
     }
 
     fn def(qid: u32, focal: u32, r: f64) -> QueryDef {
@@ -174,7 +185,9 @@ mod tests {
     }
 
     fn lcg(seed: &mut u64) -> f64 {
-        *seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        *seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         ((*seed >> 33) as f64) / ((1u64 << 31) as f64)
     }
 
@@ -192,15 +205,19 @@ mod tests {
             bf.install_query(def(q, q * 11, 8.0));
         }
         let mut seed = 99u64;
-        let mut positions: Vec<Point> =
-            (0..n).map(|_| Point::new(lcg(&mut seed) * 100.0, lcg(&mut seed) * 100.0)).collect();
+        let mut positions: Vec<Point> = (0..n)
+            .map(|_| Point::new(lcg(&mut seed) * 100.0, lcg(&mut seed) * 100.0))
+            .collect();
         for step in 0..10 {
             for p in positions.iter_mut() {
                 p.x = (p.x + (lcg(&mut seed) - 0.5) * 10.0).clamp(0.0, 100.0);
                 p.y = (p.y + (lcg(&mut seed) - 0.5) * 10.0).clamp(0.0, 100.0);
             }
-            let reports: Vec<ObjectReport> =
-                positions.iter().enumerate().map(|(i, p)| report(i as u32, p.x, p.y)).collect();
+            let reports: Vec<ObjectReport> = positions
+                .iter()
+                .enumerate()
+                .map(|(i, p)| report(i as u32, p.x, p.y))
+                .collect();
             qi.tick(&reports, step as f64);
             bf.tick(&reports, step as f64);
             qi.check();
@@ -221,7 +238,14 @@ mod tests {
             qi.register_object(ObjectId(i), Properties::new());
         }
         qi.install_query(def(0, 0, 2.0));
-        qi.tick(&[report(0, 0.0, 0.0), report(1, 1.0, 0.0), report(2, 9.0, 0.0)], 0.0);
+        qi.tick(
+            &[
+                report(0, 0.0, 0.0),
+                report(1, 1.0, 0.0),
+                report(2, 9.0, 0.0),
+            ],
+            0.0,
+        );
         assert!(qi.result(QueryId(0)).unwrap().contains(&ObjectId(1)));
         assert!(!qi.result(QueryId(0)).unwrap().contains(&ObjectId(2)));
         // Object 1 leaves, object 2 enters.

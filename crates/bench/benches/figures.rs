@@ -1,13 +1,11 @@
-//! Smoke-scale figure regeneration under Criterion: measures one reduced
-//! sweep point per figure family so `cargo bench` exercises every
-//! experiment code path and tracks its cost over time. The full paper-scale
-//! sweeps are the `fig*` binaries.
+//! Smoke-scale figure regeneration: measures one reduced sweep point per
+//! figure family so `cargo bench` exercises every experiment code path and
+//! tracks its cost over time. The full paper-scale sweeps are the `fig*`
+//! binaries.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mobieyes_bench::harness::{black_box, Harness};
 use mobieyes_core::Propagation;
-use mobieyes_sim::{
-    CentralKind, CentralSim, MessagingKind, MessagingModel, MobiEyesSim, SimConfig,
-};
+use mobieyes_sim::{run_approach, Approach, SimConfig};
 
 fn smoke() -> SimConfig {
     let mut c = SimConfig::small_test(77);
@@ -16,71 +14,75 @@ fn smoke() -> SimConfig {
     c
 }
 
-fn bench_serverload_family(c: &mut Criterion) {
+fn main() {
+    let h = Harness::from_env();
+
     // Figures 1 and 3: server load for each approach.
-    c.bench_function("figures/serverload_mobieyes_eqp", |b| {
-        b.iter(|| black_box(MobiEyesSim::new(smoke()).run().server_seconds_per_tick))
+    h.bench("figures/serverload_mobieyes_eqp", || {
+        black_box(
+            run_approach(smoke(), Approach::MobiEyesEqp)
+                .metrics
+                .server_seconds_per_tick,
+        )
     });
-    c.bench_function("figures/serverload_object_index", |b| {
-        b.iter(|| {
-            black_box(CentralSim::new(smoke(), CentralKind::ObjectIndex).run().server_seconds_per_tick)
-        })
+    h.bench("figures/serverload_object_index", || {
+        black_box(
+            run_approach(smoke(), Approach::ObjectIndex)
+                .metrics
+                .server_seconds_per_tick,
+        )
     });
-    c.bench_function("figures/serverload_query_index", |b| {
-        b.iter(|| {
-            black_box(CentralSim::new(smoke(), CentralKind::QueryIndex).run().server_seconds_per_tick)
-        })
+    h.bench("figures/serverload_query_index", || {
+        black_box(
+            run_approach(smoke(), Approach::QueryIndex)
+                .metrics
+                .server_seconds_per_tick,
+        )
     });
-}
 
-fn bench_messaging_family(c: &mut Criterion) {
     // Figures 4–9: messaging-cost and power measurements.
-    c.bench_function("figures/messaging_eqp", |b| {
-        b.iter(|| black_box(MobiEyesSim::new(smoke()).run().msgs_per_second))
+    h.bench("figures/messaging_eqp", || {
+        black_box(
+            run_approach(smoke(), Approach::MobiEyesEqp)
+                .metrics
+                .msgs_per_second,
+        )
     });
-    c.bench_function("figures/messaging_lqp", |b| {
-        b.iter(|| {
-            black_box(
-                MobiEyesSim::new(smoke().with_propagation(Propagation::Lazy))
-                    .run()
-                    .msgs_per_second,
+    h.bench("figures/messaging_lqp", || {
+        black_box(
+            run_approach(
+                smoke().with_propagation(Propagation::Lazy),
+                Approach::MobiEyesLqp,
             )
-        })
+            .metrics
+            .msgs_per_second,
+        )
     });
-    c.bench_function("figures/messaging_naive_model", |b| {
-        b.iter(|| black_box(MessagingModel::new(smoke(), MessagingKind::Naive).run().msgs_per_second))
+    h.bench("figures/messaging_naive_model", || {
+        black_box(
+            run_approach(smoke(), Approach::Naive)
+                .metrics
+                .msgs_per_second,
+        )
     });
-    c.bench_function("figures/messaging_central_optimal_model", |b| {
-        b.iter(|| {
-            black_box(
-                MessagingModel::new(smoke(), MessagingKind::CentralOptimal).run().msgs_per_second,
-            )
-        })
+    h.bench("figures/messaging_central_optimal_model", || {
+        black_box(
+            run_approach(smoke(), Approach::CentralOptimal)
+                .metrics
+                .msgs_per_second,
+        )
     });
-}
 
-fn bench_objectside_family(c: &mut Criterion) {
     // Figures 10–13: LQT sizes and safe-period processing load.
-    c.bench_function("figures/lqt_and_error_eqp", |b| {
-        b.iter(|| {
-            let m = MobiEyesSim::new(smoke()).run();
-            black_box((m.avg_lqt_size, m.avg_result_error))
-        })
+    h.bench("figures/lqt_and_error_eqp", || {
+        let m = run_approach(smoke(), Approach::MobiEyesEqp).metrics;
+        black_box((m.avg_lqt_size, m.avg_result_error))
     });
-    c.bench_function("figures/safe_period_eval_load", |b| {
-        b.iter(|| {
-            black_box(
-                MobiEyesSim::new(smoke().with_safe_period(true))
-                    .run()
-                    .avg_eval_micros_per_object_tick,
-            )
-        })
+    h.bench("figures/safe_period_eval_load", || {
+        black_box(
+            run_approach(smoke().with_safe_period(true), Approach::MobiEyesEqp)
+                .metrics
+                .avg_eval_micros_per_object_tick,
+        )
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_serverload_family, bench_messaging_family, bench_objectside_family
-}
-criterion_main!(benches);

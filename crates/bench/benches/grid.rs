@@ -2,55 +2,37 @@
 //! monitoring-region computation and base-station cover selection — the
 //! hot geometric primitives of both server and agents.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mobieyes_bench::harness::{black_box, Harness};
 use mobieyes_geo::{CellId, Grid, Point, Rect};
 use mobieyes_net::BaseStationLayout;
 
-fn bench_cell_of(c: &mut Criterion) {
-    let grid = Grid::new(Rect::new(0.0, 0.0, 316.0, 316.0), 5.0);
-    c.bench_function("grid/cell_of", |b| {
-        let mut x = 0.0f64;
-        b.iter(|| {
-            x = (x + 7.3) % 316.0;
-            black_box(grid.cell_of(Point::new(x, 316.0 - x)))
-        })
-    });
-}
+fn main() {
+    let h = Harness::from_env();
 
-fn bench_monitoring_region(c: &mut Criterion) {
     let grid = Grid::new(Rect::new(0.0, 0.0, 316.0, 316.0), 5.0);
-    c.bench_function("grid/monitoring_region", |b| {
-        let mut i = 0u32;
-        b.iter(|| {
-            i = (i + 1) % 60;
-            black_box(grid.monitoring_region(CellId::new(i, 60 - i), 3.0))
-        })
+    let mut x = 0.0f64;
+    h.bench("grid/cell_of", || {
+        x = (x + 7.3) % 316.0;
+        black_box(grid.cell_of(Point::new(x, 316.0 - x)))
     });
-}
 
-fn bench_minimal_cover(c: &mut Criterion) {
-    let grid = Grid::new(Rect::new(0.0, 0.0, 316.0, 316.0), 5.0);
+    let mut i = 0u32;
+    h.bench("grid/monitoring_region", || {
+        i = (i + 1) % 60;
+        black_box(grid.monitoring_region(CellId::new(i, 60 - i), 3.0))
+    });
+
     let layout = BaseStationLayout::new(Rect::new(0.0, 0.0, 316.0, 316.0), 10.0);
-    c.bench_function("net/minimal_cover", |b| {
-        let mut i = 0u32;
-        b.iter(|| {
-            i = (i + 1) % 55;
-            let region = grid.monitoring_region(CellId::new(i + 2, i + 2), 4.0);
-            black_box(layout.minimal_cover(&grid, &region).len())
-        })
+    let mut i = 0u32;
+    h.bench("net/minimal_cover", || {
+        i = (i + 1) % 55;
+        let region = grid.monitoring_region(CellId::new(i + 2, i + 2), 4.0);
+        black_box(layout.minimal_cover(&grid, &region).len())
+    });
+
+    let mut x = 0.0f64;
+    h.bench("net/station_at", || {
+        x = (x + 3.7) % 316.0;
+        black_box(layout.station_at(Point::new(x, x)))
     });
 }
-
-fn bench_station_at(c: &mut Criterion) {
-    let layout = BaseStationLayout::new(Rect::new(0.0, 0.0, 316.0, 316.0), 10.0);
-    c.bench_function("net/station_at", |b| {
-        let mut x = 0.0f64;
-        b.iter(|| {
-            x = (x + 3.7) % 316.0;
-            black_box(layout.station_at(Point::new(x, x)))
-        })
-    });
-}
-
-criterion_group!(benches, bench_cell_of, bench_monitoring_region, bench_minimal_cover, bench_station_at);
-criterion_main!(benches);

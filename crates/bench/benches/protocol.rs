@@ -2,8 +2,10 @@
 //! MobiEyes and for each centralized engine, at a reduced but structurally
 //! faithful scale (1 000 objects, 100 queries).
 
-use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
-use mobieyes_baselines::{CentralEngine, ObjectIndexEngine, ObjectReport, QueryDef, QueryIndexEngine};
+use mobieyes_baselines::{
+    CentralEngine, ObjectIndexEngine, ObjectReport, QueryDef, QueryIndexEngine,
+};
+use mobieyes_bench::harness::{black_box, Harness};
 use mobieyes_core::{Filter, ObjectId, Properties, QueryId};
 use mobieyes_geo::QueryRegion;
 use mobieyes_sim::{MobiEyesSim, Mobility, SimConfig, Workload};
@@ -19,74 +21,70 @@ fn bench_config() -> SimConfig {
     }
 }
 
-fn bench_mobieyes_step(c: &mut Criterion) {
-    c.bench_function("protocol/mobieyes_full_tick_1k_objects", |b| {
-        let mut sim = MobiEyesSim::new(bench_config());
-        // Settle installation first.
-        for _ in 0..5 {
-            sim.step(false);
-        }
-        b.iter(|| {
-            sim.step(false);
-            black_box(sim.now())
-        })
-    });
-}
-
-fn engine_tick_bench(c: &mut Criterion, name: &str, make: impl Fn() -> Box<dyn CentralEngine>) {
+fn engine_tick_bench(h: &Harness, name: &str, make: impl Fn() -> Box<dyn CentralEngine>) {
     let config = bench_config();
     let workload = Workload::generate(&config);
-    c.bench_function(name, |b| {
-        let mut engine = make();
-        for i in 0..workload.objects.len() {
-            engine.register_object(ObjectId(i as u32), Properties::new());
-        }
-        for (q, spec) in workload.queries.iter().enumerate() {
-            engine.install_query(QueryDef {
-                qid: QueryId(q as u32),
-                focal: ObjectId(spec.focal_idx as u32),
-                region: QueryRegion::circle(spec.radius),
-                filter: Arc::new(Filter::with_selectivity(workload.selectivity, spec.filter_salt)),
-            });
-        }
-        let mut mobility = Mobility::new(
-            &workload,
-            config.objects_changing_velocity,
-            config.time_step,
-            config.seed,
-        );
-        let mut t = 0.0;
-        b.iter_batched(
-            || {
-                mobility.step();
-                t += config.time_step;
-                let reports = (0..mobility.len())
-                    .map(|i| ObjectReport {
-                        oid: ObjectId(i as u32),
-                        pos: mobility.positions[i],
-                        vel: mobility.velocities[i],
-                        tm: t,
-                    })
-                    .collect::<Vec<_>>();
-                (t, reports)
-            },
-            |(t, reports)| {
-                engine.tick(&reports, t);
-                black_box(engine.num_queries())
-            },
-            BatchSize::LargeInput,
-        )
-    });
+    let mut engine = make();
+    for i in 0..workload.objects.len() {
+        engine.register_object(ObjectId(i as u32), Properties::new());
+    }
+    for (q, spec) in workload.queries.iter().enumerate() {
+        engine.install_query(QueryDef {
+            qid: QueryId(q as u32),
+            focal: ObjectId(spec.focal_idx as u32),
+            region: QueryRegion::circle(spec.radius),
+            filter: Arc::new(Filter::with_selectivity(
+                workload.selectivity,
+                spec.filter_salt,
+            )),
+        });
+    }
+    let mut mobility = Mobility::new(
+        &workload,
+        config.objects_changing_velocity,
+        config.time_step,
+        config.seed,
+    );
+    let mut t = 0.0;
+    h.bench_batched(
+        name,
+        || {
+            mobility.step();
+            t += config.time_step;
+            let reports = (0..mobility.len())
+                .map(|i| ObjectReport {
+                    oid: ObjectId(i as u32),
+                    pos: mobility.positions[i],
+                    vel: mobility.velocities[i],
+                    tm: t,
+                })
+                .collect::<Vec<_>>();
+            (t, reports)
+        },
+        |(t, reports)| {
+            engine.tick(&reports, t);
+            black_box(engine.num_queries())
+        },
+    );
 }
 
-fn bench_central_ticks(c: &mut Criterion) {
-    engine_tick_bench(c, "protocol/object_index_tick_1k_objects", || {
+fn main() {
+    let h = Harness::from_env();
+
+    let mut sim = MobiEyesSim::new(bench_config());
+    // Settle installation first.
+    for _ in 0..5 {
+        sim.step(false);
+    }
+    h.bench("protocol/mobieyes_full_tick_1k_objects", || {
+        sim.step(false);
+        black_box(sim.now())
+    });
+
+    engine_tick_bench(&h, "protocol/object_index_tick_1k_objects", || {
         Box::new(ObjectIndexEngine::new())
     });
-    engine_tick_bench(c, "protocol/query_index_tick_1k_objects", || {
+    engine_tick_bench(&h, "protocol/query_index_tick_1k_objects", || {
         Box::new(QueryIndexEngine::new())
     });
 }
-
-criterion_group!(benches, bench_mobieyes_step, bench_central_ticks);
-criterion_main!(benches);

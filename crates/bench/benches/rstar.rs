@@ -2,18 +2,22 @@
 //! centralized baselines): insertion, point/range queries, and the
 //! delete+insert "update" the object index performs per position report.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mobieyes_bench::harness::{black_box, Harness};
 use mobieyes_geo::{Point, Rect};
 use mobieyes_rstar::RStarTree;
 
 fn lcg(seed: &mut u64) -> f64 {
-    *seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    *seed = seed
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
     ((*seed >> 33) as f64) / ((1u64 << 31) as f64)
 }
 
 fn random_points(n: usize, seed: u64) -> Vec<Point> {
     let mut s = seed;
-    (0..n).map(|_| Point::new(lcg(&mut s) * 316.0, lcg(&mut s) * 316.0)).collect()
+    (0..n)
+        .map(|_| Point::new(lcg(&mut s) * 316.0, lcg(&mut s) * 316.0))
+        .collect()
 }
 
 fn build_tree(points: &[Point]) -> RStarTree<u32> {
@@ -24,81 +28,64 @@ fn build_tree(points: &[Point]) -> RStarTree<u32> {
     t
 }
 
-fn bench_insert(c: &mut Criterion) {
-    let points = random_points(10_000, 1);
-    c.bench_function("rstar/insert_10k_points", |b| {
-        b.iter(|| {
-            let t = build_tree(black_box(&points));
-            black_box(t.len())
-        })
-    });
-}
+fn main() {
+    let h = Harness::from_env();
 
-fn bench_query(c: &mut Criterion) {
+    let points = random_points(10_000, 1);
+    h.bench("rstar/insert_10k_points", || {
+        let t = build_tree(black_box(&points));
+        black_box(t.len())
+    });
+
     let points = random_points(10_000, 2);
     let tree = build_tree(&points);
-    c.bench_function("rstar/range_query_10mi_window", |b| {
-        let mut s = 3u64;
-        b.iter(|| {
-            let x = lcg(&mut s) * 300.0;
-            let y = lcg(&mut s) * 300.0;
-            let hits = tree.query_rect(&Rect::new(x, y, 10.0, 10.0));
-            black_box(hits.len())
-        })
+    let mut s = 3u64;
+    h.bench("rstar/range_query_10mi_window", || {
+        let x = lcg(&mut s) * 300.0;
+        let y = lcg(&mut s) * 300.0;
+        let hits = tree.query_rect(&Rect::new(x, y, 10.0, 10.0));
+        black_box(hits.len())
     });
-    c.bench_function("rstar/point_query", |b| {
-        let mut i = 0usize;
-        b.iter(|| {
-            let p = points[i % points.len()];
-            i += 1;
-            black_box(tree.query_point(p).len())
-        })
+    let mut i = 0usize;
+    h.bench("rstar/point_query", || {
+        let p = points[i % points.len()];
+        i += 1;
+        black_box(tree.query_point(p).len())
     });
-}
 
-fn bench_update(c: &mut Criterion) {
     let points = random_points(10_000, 4);
-    c.bench_function("rstar/update_position", |b| {
-        let mut tree = build_tree(&points);
-        let mut pos = points.clone();
-        let mut s = 5u64;
-        let mut i = 0usize;
-        b.iter(|| {
-            let idx = i % pos.len();
-            i += 1;
-            let new = Point::new(lcg(&mut s) * 316.0, lcg(&mut s) * 316.0);
-            tree.update(&Rect::from_point(pos[idx]), Rect::from_point(new), idx as u32);
-            pos[idx] = new;
-        })
+    let mut tree = build_tree(&points);
+    let mut pos = points.clone();
+    let mut s = 5u64;
+    let mut i = 0usize;
+    h.bench("rstar/update_position", || {
+        let idx = i % pos.len();
+        i += 1;
+        let new = Point::new(lcg(&mut s) * 316.0, lcg(&mut s) * 316.0);
+        tree.update(
+            &Rect::from_point(pos[idx]),
+            Rect::from_point(new),
+            idx as u32,
+        );
+        pos[idx] = new;
     });
-}
 
-fn bench_bulk_load(c: &mut Criterion) {
     let points = random_points(10_000, 6);
-    c.bench_function("rstar/bulk_load_10k_points", |b| {
-        b.iter(|| {
-            let entries: Vec<_> = points
-                .iter()
-                .enumerate()
-                .map(|(i, p)| (Rect::from_point(*p), i as u32))
-                .collect();
-            let t = RStarTree::bulk_load(entries);
-            black_box(t.len())
-        })
+    h.bench("rstar/bulk_load_10k_points", || {
+        let entries: Vec<_> = points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (Rect::from_point(*p), i as u32))
+            .collect();
+        let t = RStarTree::bulk_load(entries);
+        black_box(t.len())
     });
-}
 
-fn bench_knn(c: &mut Criterion) {
     let points = random_points(10_000, 7);
     let tree = build_tree(&points);
-    c.bench_function("rstar/knn_10_of_10k", |b| {
-        let mut s = 8u64;
-        b.iter(|| {
-            let q = Point::new(lcg(&mut s) * 316.0, lcg(&mut s) * 316.0);
-            black_box(tree.nearest(q, 10).len())
-        })
+    let mut s = 8u64;
+    h.bench("rstar/knn_10_of_10k", || {
+        let q = Point::new(lcg(&mut s) * 316.0, lcg(&mut s) * 316.0);
+        black_box(tree.nearest(q, 10).len())
     });
 }
-
-criterion_group!(benches, bench_insert, bench_query, bench_update, bench_bulk_load, bench_knn);
-criterion_main!(benches);

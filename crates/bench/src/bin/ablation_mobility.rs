@@ -3,7 +3,7 @@
 //! random waypoint concentrates turns at waypoints. Run with `--release`.
 
 use mobieyes_bench::{scaled, Table};
-use mobieyes_sim::{MobiEyesSim, MobilityKind, SimConfig};
+use mobieyes_sim::{run_approach, Approach, MobilityKind, SimConfig};
 
 fn main() {
     let mut t = Table::new(
@@ -11,14 +11,23 @@ fn main() {
         "Velocity-reset (paper) vs random-waypoint mobility",
         "num_queries",
         "messages per second / error",
-        &["msgs/s reset", "msgs/s waypoint", "error reset", "error waypoint", "uplink/s reset", "uplink/s waypoint"],
+        &[
+            "msgs/s reset",
+            "msgs/s waypoint",
+            "error reset",
+            "error waypoint",
+            "uplink/s reset",
+            "uplink/s waypoint",
+        ],
     );
     for &nmq in &[100usize, 500, 1000] {
-        let reset = MobiEyesSim::new(scaled(SimConfig::default().with_queries(nmq))).run();
-        let waypoint = MobiEyesSim::new(scaled(
-            SimConfig::default().with_queries(nmq).with_mobility(MobilityKind::RandomWaypoint),
-        ))
-        .run();
+        let base = scaled(SimConfig::default().with_queries(nmq));
+        let reset = run_approach(base.clone(), Approach::MobiEyesEqp).metrics;
+        let waypoint = run_approach(
+            base.with_mobility(MobilityKind::RandomWaypoint),
+            Approach::MobiEyesEqp,
+        )
+        .metrics;
         t.push(
             nmq as f64,
             vec![

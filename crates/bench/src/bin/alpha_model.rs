@@ -5,7 +5,7 @@
 //! Run with `--release`; set `MOBIEYES_QUICK=1` for a fast smoke run.
 
 use mobieyes_bench::{scaled, sweeps, Table};
-use mobieyes_sim::{alpha_model, MobiEyesSim, SimConfig, WorkloadMoments};
+use mobieyes_sim::{alpha_model, run_approach, Approach, SimConfig, WorkloadMoments};
 
 fn main() {
     let mut t = Table::new(
@@ -19,12 +19,20 @@ fn main() {
     let moments = WorkloadMoments::from_config(&config);
     for &alpha in sweeps::ALPHA {
         let pred = alpha_model::predict(&config, &moments, alpha);
-        let measured = MobiEyesSim::new(scaled(SimConfig::default().with_alpha(alpha)))
-            .run()
-            .msgs_per_second;
+        let measured = run_approach(
+            scaled(SimConfig::default().with_alpha(alpha)),
+            Approach::MobiEyesEqp,
+        )
+        .metrics
+        .msgs_per_second;
         t.push(
             alpha,
-            vec![pred.total(), pred.cell_change_uplinks, pred.broadcasts, measured],
+            vec![
+                pred.total(),
+                pred.cell_change_uplinks,
+                pred.broadcasts,
+                measured,
+            ],
         );
         eprintln!("[alpha_model] alpha={alpha} done");
     }

@@ -1,21 +1,23 @@
 //! One function per table/figure of the paper's evaluation (§5).
 //!
-//! Every function runs the corresponding parameter sweep over the paired
-//! simulation drivers and returns a [`Table`] with exactly the series the
-//! paper plots. Absolute numbers differ from the paper (different hardware,
-//! different substrate); the *shapes* — who wins, by what order of
-//! magnitude, where the crossovers and optima sit — are the reproduction
-//! targets (see EXPERIMENTS.md).
+//! Every function runs the corresponding parameter sweep through the
+//! unified [`run_approach`] entry point and returns a [`Table`] with
+//! exactly the series the paper plots. Absolute numbers differ from the
+//! paper (different hardware, different substrate); the *shapes* — who
+//! wins, by what order of magnitude, where the crossovers and optima sit
+//! — are the reproduction targets (see EXPERIMENTS.md).
 
 use crate::table::Table;
 use crate::{scaled, sweeps};
-use mobieyes_core::Propagation;
-use mobieyes_sim::{
-    CentralKind, CentralSim, MessagingKind, MessagingModel, MobiEyesSim, SimConfig,
-};
+use mobieyes_sim::{run_approach, Approach, RunMetrics, SimConfig, SimConfigBuilder};
 
 fn progress(fig: &str, msg: &str) {
     eprintln!("[{fig}] {msg}");
+}
+
+/// Runs one engine over one configuration and returns the metrics view.
+fn run(config: SimConfig, approach: Approach) -> RunMetrics {
+    run_approach(config, approach).metrics
 }
 
 /// Table 1: the simulation parameters (printed, not measured).
@@ -54,23 +56,23 @@ pub fn fig1() -> Table {
         "Impact of distributed query processing on server load",
         "num_queries",
         "server seconds per time step (log scale)",
-        &["object-index", "query-index", "mobieyes-eqp", "mobieyes-lqp"],
+        &[
+            "object-index",
+            "query-index",
+            "mobieyes-eqp",
+            "mobieyes-lqp",
+        ],
     );
     for &nmq in sweeps::NMQ {
         let base = scaled(SimConfig::default().with_queries(nmq));
-        let oi = CentralSim::new(base.clone(), CentralKind::ObjectIndex).run();
-        let qi = CentralSim::new(base.clone(), CentralKind::QueryIndex).run();
-        let eqp = MobiEyesSim::new(base.clone()).run();
-        let lqp = MobiEyesSim::new(base.with_propagation(Propagation::Lazy)).run();
-        t.push(
-            nmq as f64,
-            vec![
-                oi.server_seconds_per_tick,
-                qi.server_seconds_per_tick,
-                eqp.server_seconds_per_tick,
-                lqp.server_seconds_per_tick,
-            ],
-        );
+        let ys = [
+            Approach::ObjectIndex,
+            Approach::QueryIndex,
+            Approach::MobiEyesEqp,
+            Approach::MobiEyesLqp,
+        ]
+        .map(|a| run(base.clone(), a).server_seconds_per_tick);
+        t.push(nmq as f64, ys.to_vec());
         progress("fig1", &format!("nmq={nmq} done"));
     }
     t
@@ -90,13 +92,8 @@ pub fn fig2() -> Table {
     for &nmo in sweeps::NMO {
         let mut ys = Vec::new();
         for &alpha in &alphas {
-            let config = scaled(
-                SimConfig::default()
-                    .with_nmo(nmo)
-                    .with_alpha(alpha)
-                    .with_propagation(Propagation::Lazy),
-            );
-            ys.push(MobiEyesSim::new(config).run().avg_result_error);
+            let config = scaled(SimConfig::default().with_nmo(nmo).with_alpha(alpha));
+            ys.push(run(config, Approach::MobiEyesLqp).avg_result_error);
         }
         t.push(nmo as f64, ys);
         progress("fig2", &format!("nmo={nmo} done"));
@@ -112,17 +109,20 @@ pub fn fig3() -> Table {
         "Effect of alpha on server load",
         "alpha",
         "server seconds per time step (log scale)",
-        &["object-index", "query-index", "mobieyes-eqp", "mobieyes-lqp"],
+        &[
+            "object-index",
+            "query-index",
+            "mobieyes-eqp",
+            "mobieyes-lqp",
+        ],
     );
     let base = scaled(SimConfig::default());
-    let oi = CentralSim::new(base.clone(), CentralKind::ObjectIndex).run().server_seconds_per_tick;
-    let qi = CentralSim::new(base, CentralKind::QueryIndex).run().server_seconds_per_tick;
+    let oi = run(base.clone(), Approach::ObjectIndex).server_seconds_per_tick;
+    let qi = run(base, Approach::QueryIndex).server_seconds_per_tick;
     for &alpha in sweeps::ALPHA {
         let base = scaled(SimConfig::default().with_alpha(alpha));
-        let eqp = MobiEyesSim::new(base.clone()).run().server_seconds_per_tick;
-        let lqp = MobiEyesSim::new(base.with_propagation(Propagation::Lazy))
-            .run()
-            .server_seconds_per_tick;
+        let eqp = run(base.clone(), Approach::MobiEyesEqp).server_seconds_per_tick;
+        let lqp = run(base, Approach::MobiEyesLqp).server_seconds_per_tick;
         t.push(alpha, vec![oi, qi, eqp, lqp]);
         progress("fig3", &format!("alpha={alpha} done"));
     }
@@ -143,7 +143,7 @@ pub fn fig4() -> Table {
         let mut ys = Vec::new();
         for &nmq in &nmqs {
             let config = scaled(SimConfig::default().with_alpha(alpha).with_queries(nmq));
-            ys.push(MobiEyesSim::new(config).run().msgs_per_second);
+            ys.push(run(config, Approach::MobiEyesEqp).msgs_per_second);
         }
         t.push(alpha, ys);
         progress("fig4", &format!("alpha={alpha} done"));
@@ -183,14 +183,19 @@ pub fn fig5_6() -> (Table, Table) {
     for &no in sweeps::NO {
         let nmo = no / 10; // keep the ratio at its Table 1 default
         let mk = |nmq: usize| {
-            scaled(SimConfig::default().with_objects(no).with_nmo(nmo).with_queries(nmq))
+            scaled(
+                SimConfig::default()
+                    .with_objects(no)
+                    .with_nmo(nmo)
+                    .with_queries(nmq),
+            )
         };
         // Naive and central-optimal do not depend on the query count.
-        let naive = MessagingModel::new(mk(100), MessagingKind::Naive).run();
+        let naive = run(mk(100), Approach::Naive);
         let mut total = vec![naive.msgs_per_second];
         let mut uplink = vec![naive.uplink_msgs_per_second];
         for &nmq in &nmqs {
-            let m = MessagingModel::new(mk(nmq), MessagingKind::CentralOptimal).run();
+            let m = run(mk(nmq), Approach::CentralOptimal);
             total.push(m.msgs_per_second);
             uplink.push(m.uplink_msgs_per_second);
         }
@@ -200,15 +205,12 @@ pub fn fig5_6() -> (Table, Table) {
         total[2] = co;
         let cu = uplink[1];
         uplink[2] = cu;
-        for &nmq in &nmqs {
-            let m = MobiEyesSim::new(mk(nmq)).run();
-            total.push(m.msgs_per_second);
-            uplink.push(m.uplink_msgs_per_second);
-        }
-        for &nmq in &nmqs {
-            let m = MobiEyesSim::new(mk(nmq).with_propagation(Propagation::Lazy)).run();
-            total.push(m.msgs_per_second);
-            uplink.push(m.uplink_msgs_per_second);
+        for approach in [Approach::MobiEyesEqp, Approach::MobiEyesLqp] {
+            for &nmq in &nmqs {
+                let m = run(mk(nmq), approach);
+                total.push(m.msgs_per_second);
+                uplink.push(m.uplink_msgs_per_second);
+            }
         }
         t5.push(no as f64, total);
         t6.push(no as f64, uplink);
@@ -225,21 +227,21 @@ pub fn fig7() -> Table {
         "Effect of velocity changes per time step on messaging cost",
         "objects_changing_velocity",
         "messages per second",
-        &["central-optimal", "eqp nmq=100", "eqp nmq=1000", "lqp nmq=100", "lqp nmq=1000"],
+        &[
+            "central-optimal",
+            "eqp nmq=100",
+            "eqp nmq=1000",
+            "lqp nmq=100",
+            "lqp nmq=1000",
+        ],
     );
     for &nmo in sweeps::NMO {
         let mk = |nmq: usize| scaled(SimConfig::default().with_nmo(nmo).with_queries(nmq));
-        let co = MessagingModel::new(mk(100), MessagingKind::CentralOptimal).run().msgs_per_second;
-        let mut ys = vec![co];
-        for &nmq in &[100usize, 1000] {
-            ys.push(MobiEyesSim::new(mk(nmq)).run().msgs_per_second);
-        }
-        for &nmq in &[100usize, 1000] {
-            ys.push(
-                MobiEyesSim::new(mk(nmq).with_propagation(Propagation::Lazy))
-                    .run()
-                    .msgs_per_second,
-            );
+        let mut ys = vec![run(mk(100), Approach::CentralOptimal).msgs_per_second];
+        for approach in [Approach::MobiEyesEqp, Approach::MobiEyesLqp] {
+            for &nmq in &[100usize, 1000] {
+                ys.push(run(mk(nmq), approach).msgs_per_second);
+            }
         }
         t.push(nmo as f64, ys);
         progress("fig7", &format!("nmo={nmo} done"));
@@ -261,7 +263,7 @@ pub fn fig8() -> Table {
         let mut ys = Vec::new();
         for &nmq in &nmqs {
             let config = scaled(SimConfig::default().with_alen(alen).with_queries(nmq));
-            ys.push(MobiEyesSim::new(config).run().msgs_per_second);
+            ys.push(run(config, Approach::MobiEyesEqp).msgs_per_second);
         }
         t.push(alen, ys);
         progress("fig8", &format!("alen={alen} done"));
@@ -281,11 +283,13 @@ pub fn fig9() -> Table {
     );
     for &nmq in sweeps::NMQ {
         let base = scaled(SimConfig::default().with_queries(nmq));
-        let naive = MessagingModel::new(base.clone(), MessagingKind::Naive).run().avg_power_mw;
-        let co =
-            MessagingModel::new(base.clone(), MessagingKind::CentralOptimal).run().avg_power_mw;
-        let me = MobiEyesSim::new(base).run().avg_power_mw;
-        t.push(nmq as f64, vec![naive, co, me]);
+        let ys = [
+            Approach::Naive,
+            Approach::CentralOptimal,
+            Approach::MobiEyesEqp,
+        ]
+        .map(|a| run(base.clone(), a).avg_power_mw);
+        t.push(nmq as f64, ys.to_vec());
         progress("fig9", &format!("nmq={nmq} done"));
     }
     t
@@ -305,7 +309,7 @@ pub fn fig10() -> Table {
         let mut ys = Vec::new();
         for &nmq in &nmqs {
             let config = scaled(SimConfig::default().with_alpha(alpha).with_queries(nmq));
-            ys.push(MobiEyesSim::new(config).run().avg_lqt_size);
+            ys.push(run(config, Approach::MobiEyesEqp).avg_lqt_size);
         }
         t.push(alpha, ys);
         progress("fig10", &format!("alpha={alpha} done"));
@@ -327,7 +331,7 @@ pub fn fig11() -> Table {
         let mut ys = Vec::new();
         for &alpha in &alphas {
             let config = scaled(SimConfig::default().with_queries(nmq).with_alpha(alpha));
-            ys.push(MobiEyesSim::new(config).run().avg_lqt_size);
+            ys.push(run(config, Approach::MobiEyesEqp).avg_lqt_size);
         }
         t.push(nmq as f64, ys);
         progress("fig11", &format!("nmq={nmq} done"));
@@ -346,7 +350,7 @@ pub fn fig12() -> Table {
     );
     for &f in sweeps::RADIUS_FACTOR {
         let config = scaled(SimConfig::default().with_radius_factor(f));
-        t.push(f, vec![MobiEyesSim::new(config).run().avg_lqt_size]);
+        t.push(f, vec![run(config, Approach::MobiEyesEqp).avg_lqt_size]);
         progress("fig12", &format!("factor={f} done"));
     }
     t
@@ -361,13 +365,27 @@ pub fn fig13() -> Table {
         "Effect of the safe period optimization on processing load",
         "alpha",
         "avg microseconds per object per time step",
-        &["base", "safe-period", "evals base", "evals safe", "skips safe"],
+        &[
+            "base",
+            "safe-period",
+            "evals base",
+            "evals safe",
+            "skips safe",
+        ],
     );
     for &alpha in &alphas {
-        let base = MobiEyesSim::new(scaled(SimConfig::default().with_alpha(alpha))).run();
-        let safe =
-            MobiEyesSim::new(scaled(SimConfig::default().with_alpha(alpha).with_safe_period(true)))
-                .run();
+        let base = run(
+            scaled(SimConfig::default().with_alpha(alpha)),
+            Approach::MobiEyesEqp,
+        );
+        let safe = run(
+            scaled(
+                SimConfig::default()
+                    .with_alpha(alpha)
+                    .with_safe_period(true),
+            ),
+            Approach::MobiEyesEqp,
+        );
         t.push(
             alpha,
             vec![
@@ -393,12 +411,21 @@ pub fn ablation_grouping() -> Table {
         "Query grouping vs focal-object skew (smaller pool = more skew)",
         "focal_pool",
         "messages per second / evaluations per object-tick",
-        &["msgs/s plain", "msgs/s grouped", "evals plain", "evals grouped", "error plain", "error grouped"],
+        &[
+            "msgs/s plain",
+            "msgs/s grouped",
+            "evals plain",
+            "evals grouped",
+            "error plain",
+            "error grouped",
+        ],
     );
     for &pool in &pools {
-        let base = scaled(SimConfig::default().with_queries(200)).with_focal_pool(pool);
-        let plain = MobiEyesSim::new(base.clone()).run();
-        let grouped = MobiEyesSim::new(base.with_grouping(true)).run();
+        let base = SimConfigBuilder::from_config(scaled(SimConfig::default().with_queries(200)))
+            .focal_pool(pool)
+            .build_or_panic();
+        let plain = run(base.clone(), Approach::MobiEyesEqp);
+        let grouped = run(base.with_grouping(true), Approach::MobiEyesEqp);
         t.push(
             pool as f64,
             vec![
@@ -427,10 +454,18 @@ pub fn ablation_delta() -> Table {
         &["msgs/s", "uplink msgs/s", "avg error"],
     );
     for &d in &deltas {
-        let mut config = scaled(SimConfig::default());
-        config.delta = d;
-        let m = MobiEyesSim::new(config).run();
-        t.push(d, vec![m.msgs_per_second, m.uplink_msgs_per_second, m.avg_result_error]);
+        let config = SimConfigBuilder::from_config(scaled(SimConfig::default()))
+            .delta(d)
+            .build_or_panic();
+        let m = run(config, Approach::MobiEyesEqp);
+        t.push(
+            d,
+            vec![
+                m.msgs_per_second,
+                m.uplink_msgs_per_second,
+                m.avg_result_error,
+            ],
+        );
         progress("ablation_delta", &format!("delta={d} done"));
     }
     t

@@ -1,0 +1,142 @@
+//! Minimal manual-timing bench harness.
+//!
+//! The `[[bench]]` targets run as plain `harness = false` binaries: each
+//! benchmark is warmed up, then timed either for a fixed iteration count
+//! (`MOBIEYES_BENCH_ITERS`) or until a small time budget is exhausted.
+//! Reported numbers are mean / min ns per iteration — enough to spot
+//! order-of-magnitude regressions without external dependencies.
+
+use std::time::{Duration, Instant};
+
+/// Re-export so benches have a single import for the optimization barrier.
+pub use std::hint::black_box;
+
+/// One bench run's configuration.
+pub struct Harness {
+    /// Fixed iteration count; `None` means "run until the time budget".
+    iters: Option<u64>,
+    /// Per-benchmark time budget when no fixed count is set.
+    budget: Duration,
+    warmup: u64,
+}
+
+impl Default for Harness {
+    fn default() -> Self {
+        Harness {
+            iters: None,
+            budget: Duration::from_secs(2),
+            warmup: 1,
+        }
+    }
+}
+
+impl Harness {
+    /// Reads `MOBIEYES_BENCH_ITERS` (fixed count) and
+    /// `MOBIEYES_BENCH_MS` (time budget, milliseconds) from the
+    /// environment.
+    pub fn from_env() -> Self {
+        let mut h = Harness::default();
+        if let Ok(v) = std::env::var("MOBIEYES_BENCH_ITERS") {
+            if let Ok(n) = v.parse::<u64>() {
+                h.iters = Some(n.max(1));
+            }
+        }
+        if let Ok(v) = std::env::var("MOBIEYES_BENCH_MS") {
+            if let Ok(ms) = v.parse::<u64>() {
+                h.budget = Duration::from_millis(ms.max(1));
+            }
+        }
+        h
+    }
+
+    /// Times `f`, printing `name: mean ns/iter (min, iters)`.
+    pub fn bench<T>(&self, name: &str, mut f: impl FnMut() -> T) {
+        self.bench_batched(name, || (), |_| f());
+    }
+
+    /// Like [`bench`](Self::bench) but with per-iteration setup excluded
+    /// from the timing.
+    pub fn bench_batched<S, T>(
+        &self,
+        name: &str,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(S) -> T,
+    ) {
+        for _ in 0..self.warmup {
+            let input = setup();
+            black_box(routine(input));
+        }
+        let mut timings: Vec<u64> = Vec::new();
+        let started = Instant::now();
+        loop {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            timings.push(t0.elapsed().as_nanos() as u64);
+            match self.iters {
+                Some(n) => {
+                    if timings.len() as u64 >= n {
+                        break;
+                    }
+                }
+                None => {
+                    if started.elapsed() >= self.budget && !timings.is_empty() {
+                        break;
+                    }
+                }
+            }
+        }
+        let n = timings.len() as u64;
+        let mean = timings.iter().sum::<u64>() / n.max(1);
+        let min = timings.iter().copied().min().unwrap_or(0);
+        println!(
+            "{name:<45} {:>12} ns/iter  (min {:>12}, n={})",
+            fmt(mean),
+            fmt(min),
+            n
+        );
+    }
+}
+
+fn fmt(n: u64) -> String {
+    // Thousands separators keep the nanosecond columns readable.
+    let s = n.to_string();
+    let mut out = String::new();
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
+            out.push('_');
+        }
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_iteration_count_is_respected() {
+        let h = Harness {
+            iters: Some(3),
+            ..Harness::default()
+        };
+        let mut runs = 0u32;
+        h.bench("test/fixed", || runs += 1);
+        // warmup (1) + measured (3)
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn batched_setup_runs_once_per_iteration() {
+        let h = Harness {
+            iters: Some(5),
+            ..Harness::default()
+        };
+        let mut setups = 0u32;
+        let mut routines = 0u32;
+        h.bench_batched("test/batched", || setups += 1, |_| routines += 1);
+        assert_eq!(setups, 6);
+        assert_eq!(routines, 6);
+    }
+}

@@ -8,30 +8,36 @@
 //! Set `MOBIEYES_QUICK=1` to shrink workloads ~10x for smoke runs.
 
 pub mod figures;
+pub mod harness;
 pub mod table;
 
+pub use harness::Harness;
 pub use table::Table;
 
-use mobieyes_sim::SimConfig;
+use mobieyes_sim::{SimConfig, SimConfigBuilder};
 
 /// Is quick mode requested (smaller workloads, same shapes)?
 pub fn quick() -> bool {
-    std::env::var("MOBIEYES_QUICK").map(|v| v == "1" || v == "true").unwrap_or(false)
+    std::env::var("MOBIEYES_QUICK")
+        .map(|v| v == "1" || v == "true")
+        .unwrap_or(false)
 }
 
 /// Applies quick-mode scaling to a configuration produced by a sweep. The
 /// object/query counts and the area shrink together so densities (and thus
 /// the figure shapes) are preserved.
-pub fn scaled(mut config: SimConfig) -> SimConfig {
-    if quick() {
-        config.num_objects = (config.num_objects / 10).max(50);
-        config.num_queries = (config.num_queries / 10).max(5);
-        config.objects_changing_velocity = (config.objects_changing_velocity / 10).max(5);
-        config.area /= 10.0;
-        config.ticks = config.ticks.min(15);
-        config.warmup_ticks = config.warmup_ticks.min(3);
+pub fn scaled(config: SimConfig) -> SimConfig {
+    if !quick() {
+        return config;
     }
-    config
+    SimConfigBuilder::from_config(config.clone())
+        .objects((config.num_objects / 10).max(50))
+        .queries((config.num_queries / 10).max(5))
+        .objects_changing_velocity((config.objects_changing_velocity / 10).max(5))
+        .area(config.area / 10.0)
+        .ticks(config.ticks.min(15))
+        .warmup_ticks(config.warmup_ticks.min(3))
+        .build_or_panic()
 }
 
 /// The sweep values used across figures (paper ranges).

@@ -1,11 +1,11 @@
 //! Result tables: aligned stdout rendering plus CSV and JSON artifacts.
 
-use serde::Serialize;
+use mobieyes_telemetry::json::Value;
 use std::fs;
 use std::path::PathBuf;
 
 /// One figure's data: an x column plus one y column per series.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table {
     /// Figure identifier, e.g. "fig1".
     pub id: String,
@@ -55,8 +55,11 @@ impl Table {
             .map(|c| grid.iter().map(|r| r[c].len()).max().unwrap_or(0))
             .collect();
         for row in &grid {
-            let line: Vec<String> =
-                row.iter().enumerate().map(|(c, v)| format!("{:>w$}", v, w = widths[c])).collect();
+            let line: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(c, v)| format!("{:>w$}", v, w = widths[c]))
+                .collect();
             out.push_str(&line.join("  "));
             out.push('\n');
         }
@@ -87,9 +90,40 @@ impl Table {
             csv.push('\n');
         }
         fs::write(dir.join(format!("{}.csv", self.id)), csv)?;
-        let json = serde_json::to_string_pretty(self).expect("table serializes");
-        fs::write(dir.join(format!("{}.json", self.id)), json)?;
+        fs::write(
+            dir.join(format!("{}.json", self.id)),
+            self.to_json().to_string_pretty(),
+        )?;
         Ok(())
+    }
+
+    /// The JSON document written next to the CSV:
+    /// `{id, title, xlabel, ylabel, columns, rows: [[x, [ys]], ...]}`.
+    pub fn to_json(&self) -> Value {
+        Value::Obj(vec![
+            ("id".into(), Value::str(&self.id)),
+            ("title".into(), Value::str(&self.title)),
+            ("xlabel".into(), Value::str(&self.xlabel)),
+            ("ylabel".into(), Value::str(&self.ylabel)),
+            (
+                "columns".into(),
+                Value::Arr(self.columns.iter().map(Value::str).collect()),
+            ),
+            (
+                "rows".into(),
+                Value::Arr(
+                    self.rows
+                        .iter()
+                        .map(|(x, ys)| {
+                            Value::Arr(vec![
+                                Value::Num(*x),
+                                Value::Arr(ys.iter().map(|y| Value::Num(*y)).collect()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
     }
 }
 
@@ -111,7 +145,11 @@ fn fmt_num(v: f64) -> String {
 pub fn results_dir() -> PathBuf {
     // CARGO_MANIFEST_DIR = crates/bench; the workspace root is two up.
     let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
-    manifest.parent().and_then(|p| p.parent()).map(|p| p.join("results")).unwrap_or_else(|| PathBuf::from("results"))
+    manifest
+        .parent()
+        .and_then(|p| p.parent())
+        .map(|p| p.join("results"))
+        .unwrap_or_else(|| PathBuf::from("results"))
 }
 
 #[cfg(test)]

@@ -24,16 +24,28 @@ fn fig1_shape_mobieyes_beats_centralized_indexes() {
         let (oi, qi, eqp, lqp) = (ys[0], ys[1], ys[2], ys[3]);
         assert!(eqp < oi, "nmq={nmq}: EQP {eqp} must beat object index {oi}");
         assert!(eqp < qi, "nmq={nmq}: EQP {eqp} must beat query index {qi}");
-        assert!(lqp <= eqp * 2.0, "nmq={nmq}: LQP {lqp} should not exceed EQP {eqp} much");
+        assert!(
+            lqp <= eqp * 2.0,
+            "nmq={nmq}: LQP {lqp} should not exceed EQP {eqp} much"
+        );
     }
     // Query index grows with nmq; object index stays within a small band.
     let first = &t.rows.first().unwrap().1;
     let last = &t.rows.last().unwrap().1;
-    assert!(last[1] > first[1], "query-index load must grow with queries");
-    assert!(last[0] < first[0] * 5.0, "object-index load must stay near constant");
+    assert!(
+        last[1] > first[1],
+        "query-index load must grow with queries"
+    );
+    assert!(
+        last[0] < first[0] * 5.0,
+        "object-index load must stay near constant"
+    );
     // MobiEyes sits far below the object index (two orders of magnitude at
     // paper scale; >5x even at quick scale under timing noise).
-    assert!(first[0] / first[2] > 5.0, "EQP should be far below object index at nmq=100");
+    assert!(
+        first[0] / first[2] > 5.0,
+        "EQP should be far below object index at nmq=100"
+    );
 }
 
 #[test]
@@ -54,7 +66,10 @@ fn fig2_shape_lqp_error_decreases_with_velocity_changes() {
         );
     }
     // The largest α is the most accurate at high velocity-change rates.
-    assert!(last[2] <= last[0] + 0.01, "alpha=10 should beat alpha=2 at nmo=max");
+    assert!(
+        last[2] <= last[0] + 0.01,
+        "alpha=10 should beat alpha=2 at nmo=max"
+    );
 }
 
 #[test]
@@ -63,7 +78,10 @@ fn fig9_shape_power_ordering() {
     let t = figures::fig9();
     for (nmq, ys) in &t.rows {
         let (naive, co, me) = (ys[0], ys[1], ys[2]);
-        assert!(naive > me, "nmq={nmq}: naive power {naive} must exceed MobiEyes {me}");
+        assert!(
+            naive > me,
+            "nmq={nmq}: naive power {naive} must exceed MobiEyes {me}"
+        );
         assert!(co < naive, "nmq={nmq}: central-optimal must beat naive");
     }
     // MobiEyes power grows with the query count.
@@ -85,7 +103,10 @@ fn fig10_shape_lqt_grows_with_alpha_and_queries() {
     }
     // More queries -> larger LQT at every α.
     for (alpha, ys) in &t.rows {
-        assert!(ys[2] >= ys[0], "alpha={alpha}: nmq=1000 LQT must be >= nmq=100");
+        assert!(
+            ys[2] >= ys[0],
+            "alpha={alpha}: nmq=1000 LQT must be >= nmq=100"
+        );
     }
 }
 
@@ -95,7 +116,10 @@ fn fig12_shape_lqt_grows_with_radius() {
     let t = figures::fig12();
     let first = t.rows.first().unwrap().1[0];
     let last = t.rows.last().unwrap().1[0];
-    assert!(last > first * 1.5, "radius factor 4 must clearly grow the LQT ({first} -> {last})");
+    assert!(
+        last > first * 1.5,
+        "radius factor 4 must clearly grow the LQT ({first} -> {last})"
+    );
 }
 
 #[test]
@@ -119,7 +143,10 @@ fn fig7_shape_central_optimal_grows_with_nmo_while_eqp_stays_flat() {
     let last = &t.rows.last().unwrap().1;
     // central-optimal (col 0) grows substantially with the velocity-change
     // rate; EQP at nmq=100 (col 1) moves far less in relative terms.
-    assert!(last[0] > first[0] * 2.0, "central-optimal must grow with nmo");
+    assert!(
+        last[0] > first[0] * 2.0,
+        "central-optimal must grow with nmo"
+    );
     assert!(
         last[1] < first[1] * 1.5,
         "EQP messaging must be nearly flat in nmo ({} -> {})",

@@ -13,9 +13,96 @@
 use crate::filter::Filter;
 use crate::messages::{Downlink, QueryGroupInfo, QuerySpec, Uplink};
 use crate::model::{ObjectId, PropValue, QueryId};
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use mobieyes_geo::{CellId, GridRect, LinearMotion, Point, QueryRegion, Vec2};
 use std::sync::Arc;
+
+/// Cursor over an encoded byte slice.
+#[derive(Debug, Clone)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> &'a [u8] {
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        out
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        self.take(1)[0]
+    }
+
+    fn get_u16_le(&mut self) -> u16 {
+        u16::from_le_bytes(self.take(2).try_into().unwrap())
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        u32::from_le_bytes(self.take(4).try_into().unwrap())
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        u64::from_le_bytes(self.take(8).try_into().unwrap())
+    }
+
+    fn get_i64_le(&mut self) -> i64 {
+        i64::from_le_bytes(self.take(8).try_into().unwrap())
+    }
+
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_le_bytes(self.take(8).try_into().unwrap())
+    }
+}
+
+/// Little-endian append helpers over the output buffer.
+trait Put {
+    fn put_u8(&mut self, v: u8);
+    fn put_u16_le(&mut self, v: u16);
+    fn put_u32_le(&mut self, v: u32);
+    fn put_u64_le(&mut self, v: u64);
+    fn put_i64_le(&mut self, v: i64);
+    fn put_f64_le(&mut self, v: f64);
+    fn put_slice(&mut self, v: &[u8]);
+}
+
+impl Put for Vec<u8> {
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+
+    fn put_u16_le(&mut self, v: u16) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_u32_le(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_u64_le(&mut self, v: u64) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_i64_le(&mut self, v: i64) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_f64_le(&mut self, v: f64) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_slice(&mut self, v: &[u8]) {
+        self.extend_from_slice(v);
+    }
+}
 
 /// Decoding failure: malformed or truncated input.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -35,7 +122,7 @@ fn err<T>(what: &str) -> Result<T> {
     Err(DecodeError(what.to_string()))
 }
 
-fn need(buf: &Bytes, n: usize, what: &str) -> Result<()> {
+fn need(buf: &Reader<'_>, n: usize, what: &str) -> Result<()> {
     if buf.remaining() < n {
         err(what)
     } else {
@@ -45,21 +132,20 @@ fn need(buf: &Bytes, n: usize, what: &str) -> Result<()> {
 
 // --- primitive helpers -----------------------------------------------------
 
-fn put_string(out: &mut BytesMut, s: &str) {
+fn put_string(out: &mut Vec<u8>, s: &str) {
     debug_assert!(s.len() <= u16::MAX as usize);
     out.put_u16_le(s.len() as u16);
     out.put_slice(s.as_bytes());
 }
 
-fn get_string(buf: &mut Bytes) -> Result<String> {
+fn get_string(buf: &mut Reader<'_>) -> Result<String> {
     need(buf, 2, "string length")?;
     let len = buf.get_u16_le() as usize;
     need(buf, len, "string body")?;
-    let bytes = buf.split_to(len);
-    String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError("invalid utf8".into()))
+    String::from_utf8(buf.take(len).to_vec()).map_err(|_| DecodeError("invalid utf8".into()))
 }
 
-fn put_motion(out: &mut BytesMut, m: &LinearMotion) {
+fn put_motion(out: &mut Vec<u8>, m: &LinearMotion) {
     out.put_f64_le(m.pos.x);
     out.put_f64_le(m.pos.y);
     out.put_f64_le(m.vel.x);
@@ -67,7 +153,7 @@ fn put_motion(out: &mut BytesMut, m: &LinearMotion) {
     out.put_f64_le(m.tm);
 }
 
-fn get_motion(buf: &mut Bytes) -> Result<LinearMotion> {
+fn get_motion(buf: &mut Reader<'_>) -> Result<LinearMotion> {
     need(buf, 40, "motion")?;
     Ok(LinearMotion::new(
         Point::new(buf.get_f64_le(), buf.get_f64_le()),
@@ -76,24 +162,24 @@ fn get_motion(buf: &mut Bytes) -> Result<LinearMotion> {
     ))
 }
 
-fn put_cell(out: &mut BytesMut, c: CellId) {
+fn put_cell(out: &mut Vec<u8>, c: CellId) {
     out.put_u32_le(c.x);
     out.put_u32_le(c.y);
 }
 
-fn get_cell(buf: &mut Bytes) -> Result<CellId> {
+fn get_cell(buf: &mut Reader<'_>) -> Result<CellId> {
     need(buf, 8, "cell id")?;
     Ok(CellId::new(buf.get_u32_le(), buf.get_u32_le()))
 }
 
-fn put_grid_rect(out: &mut BytesMut, r: &GridRect) {
+fn put_grid_rect(out: &mut Vec<u8>, r: &GridRect) {
     out.put_u32_le(r.x0);
     out.put_u32_le(r.y0);
     out.put_u32_le(r.x1);
     out.put_u32_le(r.y1);
 }
 
-fn get_grid_rect(buf: &mut Bytes) -> Result<GridRect> {
+fn get_grid_rect(buf: &mut Reader<'_>) -> Result<GridRect> {
     need(buf, 16, "grid rect")?;
     Ok(GridRect {
         x0: buf.get_u32_le(),
@@ -103,7 +189,7 @@ fn get_grid_rect(buf: &mut Bytes) -> Result<GridRect> {
     })
 }
 
-fn put_region(out: &mut BytesMut, r: &QueryRegion) {
+fn put_region(out: &mut Vec<u8>, r: &QueryRegion) {
     match *r {
         QueryRegion::Circle { radius } => {
             out.put_u8(0);
@@ -117,22 +203,27 @@ fn put_region(out: &mut BytesMut, r: &QueryRegion) {
     }
 }
 
-fn get_region(buf: &mut Bytes) -> Result<QueryRegion> {
+fn get_region(buf: &mut Reader<'_>) -> Result<QueryRegion> {
     need(buf, 1, "region tag")?;
     match buf.get_u8() {
         0 => {
             need(buf, 8, "circle radius")?;
-            Ok(QueryRegion::Circle { radius: buf.get_f64_le() })
+            Ok(QueryRegion::Circle {
+                radius: buf.get_f64_le(),
+            })
         }
         1 => {
             need(buf, 16, "rect extents")?;
-            Ok(QueryRegion::Rect { half_w: buf.get_f64_le(), half_h: buf.get_f64_le() })
+            Ok(QueryRegion::Rect {
+                half_w: buf.get_f64_le(),
+                half_h: buf.get_f64_le(),
+            })
         }
         t => err(&format!("unknown region tag {t}")),
     }
 }
 
-fn put_prop_value(out: &mut BytesMut, v: &PropValue) {
+fn put_prop_value(out: &mut Vec<u8>, v: &PropValue) {
     match v {
         PropValue::Int(i) => {
             out.put_u8(0);
@@ -153,7 +244,7 @@ fn put_prop_value(out: &mut BytesMut, v: &PropValue) {
     }
 }
 
-fn get_prop_value(buf: &mut Bytes) -> Result<PropValue> {
+fn get_prop_value(buf: &mut Reader<'_>) -> Result<PropValue> {
     need(buf, 1, "prop value tag")?;
     match buf.get_u8() {
         0 => {
@@ -173,7 +264,7 @@ fn get_prop_value(buf: &mut Bytes) -> Result<PropValue> {
     }
 }
 
-fn put_filter(out: &mut BytesMut, f: &Filter) {
+fn put_filter(out: &mut Vec<u8>, f: &Filter) {
     match f {
         Filter::True => out.put_u8(0),
         Filter::False => out.put_u8(1),
@@ -214,14 +305,17 @@ fn put_filter(out: &mut BytesMut, f: &Filter) {
     }
 }
 
-fn get_filter(buf: &mut Bytes) -> Result<Filter> {
+fn get_filter(buf: &mut Reader<'_>) -> Result<Filter> {
     need(buf, 1, "filter tag")?;
     Ok(match buf.get_u8() {
         0 => Filter::True,
         1 => Filter::False,
         2 => {
             need(buf, 16, "selectivity")?;
-            Filter::Selectivity { selectivity: buf.get_f64_le(), salt: buf.get_u64_le() }
+            Filter::Selectivity {
+                selectivity: buf.get_f64_le(),
+                salt: buf.get_u64_le(),
+            }
         }
         3 => Filter::Eq(get_string(buf)?, get_prop_value(buf)?),
         4 => {
@@ -241,7 +335,7 @@ fn get_filter(buf: &mut Bytes) -> Result<Filter> {
     })
 }
 
-fn put_group_info(out: &mut BytesMut, info: &QueryGroupInfo) {
+fn put_group_info(out: &mut Vec<u8>, info: &QueryGroupInfo) {
     out.put_u32_le(info.focal.0);
     put_motion(out, &info.motion);
     out.put_f64_le(info.max_vel);
@@ -256,7 +350,7 @@ fn put_group_info(out: &mut BytesMut, info: &QueryGroupInfo) {
     }
 }
 
-fn get_group_info(buf: &mut Bytes) -> Result<QueryGroupInfo> {
+fn get_group_info(buf: &mut Reader<'_>) -> Result<QueryGroupInfo> {
     need(buf, 4, "focal id")?;
     let focal = ObjectId(buf.get_u32_le());
     let motion = get_motion(buf)?;
@@ -272,22 +366,38 @@ fn get_group_info(buf: &mut Bytes) -> Result<QueryGroupInfo> {
         let slot = buf.get_u8();
         let region = get_region(buf)?;
         let filter = Arc::new(get_filter(buf)?);
-        queries.push(QuerySpec { qid, region, filter, slot });
+        queries.push(QuerySpec {
+            qid,
+            region,
+            filter,
+            slot,
+        });
     }
-    Ok(QueryGroupInfo { focal, motion, max_vel, mon_region, queries: Arc::new(queries) })
+    Ok(QueryGroupInfo {
+        focal,
+        motion,
+        max_vel,
+        mon_region,
+        queries: Arc::new(queries),
+    })
 }
 
 // --- uplink ------------------------------------------------------------------
 
 /// Encodes an uplink message into `out`.
-pub fn encode_uplink(msg: &Uplink, out: &mut BytesMut) {
+pub fn encode_uplink(msg: &Uplink, out: &mut Vec<u8>) {
     match msg {
         Uplink::VelocityReport { oid, motion } => {
             out.put_u8(0);
             out.put_u32_le(oid.0);
             put_motion(out, motion);
         }
-        Uplink::CellChange { oid, prev_cell, new_cell, motion } => {
+        Uplink::CellChange {
+            oid,
+            prev_cell,
+            new_cell,
+            motion,
+        } => {
             out.put_u8(1);
             out.put_u32_le(oid.0);
             put_cell(out, *prev_cell);
@@ -304,14 +414,23 @@ pub fn encode_uplink(msg: &Uplink, out: &mut BytesMut) {
                 out.put_u8(*is_target as u8);
             }
         }
-        Uplink::GroupResultUpdate { oid, focal, mask, targets } => {
+        Uplink::GroupResultUpdate {
+            oid,
+            focal,
+            mask,
+            targets,
+        } => {
             out.put_u8(3);
             out.put_u32_le(oid.0);
             out.put_u32_le(focal.0);
             out.put_u64_le(*mask);
             out.put_u64_le(*targets);
         }
-        Uplink::PositionReply { oid, motion, max_vel } => {
+        Uplink::PositionReply {
+            oid,
+            motion,
+            max_vel,
+        } => {
             out.put_u8(4);
             out.put_u32_le(oid.0);
             put_motion(out, motion);
@@ -321,12 +440,15 @@ pub fn encode_uplink(msg: &Uplink, out: &mut BytesMut) {
 }
 
 /// Decodes one uplink message from `buf`.
-pub fn decode_uplink(buf: &mut Bytes) -> Result<Uplink> {
+pub fn decode_uplink(buf: &mut Reader<'_>) -> Result<Uplink> {
     need(buf, 1, "uplink tag")?;
     Ok(match buf.get_u8() {
         0 => {
             need(buf, 4, "oid")?;
-            Uplink::VelocityReport { oid: ObjectId(buf.get_u32_le()), motion: get_motion(buf)? }
+            Uplink::VelocityReport {
+                oid: ObjectId(buf.get_u32_le()),
+                motion: get_motion(buf)?,
+            }
         }
         1 => {
             need(buf, 4, "oid")?;
@@ -362,7 +484,11 @@ pub fn decode_uplink(buf: &mut Bytes) -> Result<Uplink> {
             let oid = ObjectId(buf.get_u32_le());
             let motion = get_motion(buf)?;
             need(buf, 8, "max vel")?;
-            Uplink::PositionReply { oid, motion, max_vel: buf.get_f64_le() }
+            Uplink::PositionReply {
+                oid,
+                motion,
+                max_vel: buf.get_f64_le(),
+            }
         }
         t => return err(&format!("unknown uplink tag {t}")),
     })
@@ -371,13 +497,17 @@ pub fn decode_uplink(buf: &mut Bytes) -> Result<Uplink> {
 // --- downlink ----------------------------------------------------------------
 
 /// Encodes a downlink message into `out`.
-pub fn encode_downlink(msg: &Downlink, out: &mut BytesMut) {
+pub fn encode_downlink(msg: &Downlink, out: &mut Vec<u8>) {
     match msg {
         Downlink::QueryState { info } => {
             out.put_u8(0);
             put_group_info(out, info);
         }
-        Downlink::VelocityChange { focal, motion, qids } => {
+        Downlink::VelocityChange {
+            focal,
+            motion,
+            qids,
+        } => {
             out.put_u8(1);
             out.put_u32_le(focal.0);
             put_motion(out, motion);
@@ -404,7 +534,11 @@ pub fn encode_downlink(msg: &Downlink, out: &mut BytesMut) {
             out.put_u8(*is_focal as u8);
         }
         Downlink::PositionRequest => out.put_u8(5),
-        Downlink::ResultDelta { qid, object, entered } => {
+        Downlink::ResultDelta {
+            qid,
+            object,
+            entered,
+        } => {
             out.put_u8(6);
             out.put_u32_le(qid.0);
             out.put_u32_le(object.0);
@@ -414,10 +548,12 @@ pub fn encode_downlink(msg: &Downlink, out: &mut BytesMut) {
 }
 
 /// Decodes one downlink message from `buf`.
-pub fn decode_downlink(buf: &mut Bytes) -> Result<Downlink> {
+pub fn decode_downlink(buf: &mut Reader<'_>) -> Result<Downlink> {
     need(buf, 1, "downlink tag")?;
     Ok(match buf.get_u8() {
-        0 => Downlink::QueryState { info: get_group_info(buf)? },
+        0 => Downlink::QueryState {
+            info: get_group_info(buf)?,
+        },
         1 => {
             need(buf, 4, "focal id")?;
             let focal = ObjectId(buf.get_u32_le());
@@ -429,7 +565,11 @@ pub fn decode_downlink(buf: &mut Bytes) -> Result<Downlink> {
                 need(buf, 4, "qid")?;
                 qids.push(QueryId(buf.get_u32_le()));
             }
-            Downlink::VelocityChange { focal, motion, qids }
+            Downlink::VelocityChange {
+                focal,
+                motion,
+                qids,
+            }
         }
         2 => {
             need(buf, 2, "info count")?;
@@ -442,11 +582,15 @@ pub fn decode_downlink(buf: &mut Bytes) -> Result<Downlink> {
         }
         3 => {
             need(buf, 4, "qid")?;
-            Downlink::RemoveQuery { qid: QueryId(buf.get_u32_le()) }
+            Downlink::RemoveQuery {
+                qid: QueryId(buf.get_u32_le()),
+            }
         }
         4 => {
             need(buf, 1, "flag")?;
-            Downlink::FocalNotify { is_focal: buf.get_u8() != 0 }
+            Downlink::FocalNotify {
+                is_focal: buf.get_u8() != 0,
+            }
         }
         5 => Downlink::PositionRequest,
         6 => {
@@ -462,17 +606,17 @@ pub fn decode_downlink(buf: &mut Bytes) -> Result<Downlink> {
 }
 
 /// Convenience: encodes to a fresh buffer.
-pub fn uplink_bytes(msg: &Uplink) -> Bytes {
-    let mut out = BytesMut::new();
+pub fn uplink_bytes(msg: &Uplink) -> Vec<u8> {
+    let mut out = Vec::new();
     encode_uplink(msg, &mut out);
-    out.freeze()
+    out
 }
 
 /// Convenience: encodes to a fresh buffer.
-pub fn downlink_bytes(msg: &Downlink) -> Bytes {
-    let mut out = BytesMut::new();
+pub fn downlink_bytes(msg: &Downlink) -> Vec<u8> {
+    let mut out = Vec::new();
     encode_downlink(msg, &mut out);
-    out.freeze()
+    out
 }
 
 #[cfg(test)]
@@ -486,14 +630,20 @@ mod tests {
 
     fn sample_uplinks() -> Vec<Uplink> {
         vec![
-            Uplink::VelocityReport { oid: ObjectId(7), motion: motion() },
+            Uplink::VelocityReport {
+                oid: ObjectId(7),
+                motion: motion(),
+            },
             Uplink::CellChange {
                 oid: ObjectId(8),
                 prev_cell: CellId::new(1, 2),
                 new_cell: CellId::new(2, 2),
                 motion: motion(),
             },
-            Uplink::ResultUpdate { oid: ObjectId(9), changes: vec![] },
+            Uplink::ResultUpdate {
+                oid: ObjectId(9),
+                changes: vec![],
+            },
             Uplink::ResultUpdate {
                 oid: ObjectId(9),
                 changes: vec![(QueryId(1), true), (QueryId(2), false)],
@@ -504,7 +654,11 @@ mod tests {
                 mask: 0b1011,
                 targets: 0b0010,
             },
-            Uplink::PositionReply { oid: ObjectId(12), motion: motion(), max_vel: 0.069 },
+            Uplink::PositionReply {
+                oid: ObjectId(12),
+                motion: motion(),
+                max_vel: 0.069,
+            },
         ]
     }
 
@@ -530,7 +684,12 @@ mod tests {
             focal: ObjectId(3),
             motion: motion(),
             max_vel: 0.05,
-            mon_region: GridRect { x0: 1, y0: 2, x1: 4, y1: 5 },
+            mon_region: GridRect {
+                x0: 1,
+                y0: 2,
+                x1: 4,
+                y1: 5,
+            },
             queries: Arc::new(specs),
         };
         vec![
@@ -540,13 +699,19 @@ mod tests {
                 motion: motion(),
                 qids: vec![QueryId(1), QueryId(2), QueryId(3)],
             },
-            Downlink::NewQueries { infos: vec![info.clone(), info] },
+            Downlink::NewQueries {
+                infos: vec![info.clone(), info],
+            },
             Downlink::NewQueries { infos: vec![] },
             Downlink::RemoveQuery { qid: QueryId(42) },
             Downlink::FocalNotify { is_focal: true },
             Downlink::FocalNotify { is_focal: false },
             Downlink::PositionRequest,
-            Downlink::ResultDelta { qid: QueryId(9), object: ObjectId(77), entered: true },
+            Downlink::ResultDelta {
+                qid: QueryId(9),
+                object: ObjectId(77),
+                entered: true,
+            },
         ]
     }
 
@@ -559,7 +724,7 @@ mod tests {
                 msg.wire_size(),
                 "declared wire size mismatch for {msg:?}"
             );
-            let mut buf = bytes.clone();
+            let mut buf = Reader::new(&bytes);
             let decoded = decode_uplink(&mut buf).expect("decodes");
             assert_eq!(decoded, msg);
             assert_eq!(buf.remaining(), 0, "trailing bytes after {msg:?}");
@@ -575,7 +740,7 @@ mod tests {
                 msg.wire_size(),
                 "declared wire size mismatch for {msg:?}"
             );
-            let mut buf = bytes.clone();
+            let mut buf = Reader::new(&bytes);
             let decoded = decode_downlink(&mut buf).expect("decodes");
             assert_eq!(decoded, msg);
             assert_eq!(buf.remaining(), 0, "trailing bytes after {msg:?}");
@@ -587,7 +752,7 @@ mod tests {
         for msg in sample_downlinks() {
             let bytes = downlink_bytes(&msg);
             for cut in 0..bytes.len() {
-                let mut buf = bytes.slice(0..cut);
+                let mut buf = Reader::new(&bytes[0..cut]);
                 // Must never panic; empty PositionRequest-like prefixes may
                 // legitimately decode to a shorter message, but only if the
                 // cut produced a valid full message (impossible here since
@@ -599,20 +764,20 @@ mod tests {
 
     #[test]
     fn unknown_tags_error() {
-        let mut buf = Bytes::from_static(&[250u8, 0, 0]);
+        let mut buf = Reader::new(&[250u8, 0, 0]);
         assert!(decode_uplink(&mut buf).is_err());
-        let mut buf = Bytes::from_static(&[250u8, 0, 0]);
+        let mut buf = Reader::new(&[250u8, 0, 0]);
         assert!(decode_downlink(&mut buf).is_err());
     }
 
     #[test]
     fn back_to_back_messages_decode_in_sequence() {
-        let mut out = BytesMut::new();
+        let mut out = Vec::new();
         let msgs = sample_uplinks();
         for m in &msgs {
             encode_uplink(m, &mut out);
         }
-        let mut buf = out.freeze();
+        let mut buf = Reader::new(&out);
         for m in &msgs {
             assert_eq!(&decode_uplink(&mut buf).unwrap(), m);
         }

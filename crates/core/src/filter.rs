@@ -21,7 +21,10 @@ pub enum Filter {
     /// Deterministic pseudo-random filter: object `oid` passes iff
     /// `hash(salt, oid) < selectivity`. Models the paper's "query
     /// selectivity" parameter without attaching real attributes.
-    Selectivity { selectivity: f64, salt: u64 },
+    Selectivity {
+        selectivity: f64,
+        salt: u64,
+    },
     /// Property equals the given value.
     Eq(String, PropValue),
     /// Numeric property strictly less than the threshold (Int and Float
@@ -142,7 +145,9 @@ mod tests {
         let p = props();
         let red = Filter::Eq("color".into(), "red".into());
         let heavy = Filter::Gt("weight".into(), 2.0);
-        assert!(!Filter::And(Box::new(red.clone()), Box::new(heavy.clone())).matches(ObjectId(0), &p));
+        assert!(
+            !Filter::And(Box::new(red.clone()), Box::new(heavy.clone())).matches(ObjectId(0), &p)
+        );
         assert!(Filter::Or(Box::new(red.clone()), Box::new(heavy.clone())).matches(ObjectId(0), &p));
         assert!(Filter::Not(Box::new(heavy)).matches(ObjectId(0), &p));
     }
@@ -162,7 +167,10 @@ mod tests {
         let p = Properties::new();
         let hits = (0..10_000).filter(|&i| f.matches(ObjectId(i), &p)).count();
         let rate = hits as f64 / 10_000.0;
-        assert!((0.72..0.78).contains(&rate), "selectivity 0.75 observed {rate}");
+        assert!(
+            (0.72..0.78).contains(&rate),
+            "selectivity 0.75 observed {rate}"
+        );
     }
 
     #[test]

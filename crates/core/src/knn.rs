@@ -45,7 +45,13 @@ pub struct KnnConfig {
 
 impl Default for KnnConfig {
     fn default() -> Self {
-        KnnConfig { growth: 1.6, surplus: 4.0, patience: 2, min_radius: 0.25, max_radius: 1e4 }
+        KnnConfig {
+            growth: 1.6,
+            surplus: 4.0,
+            patience: 2,
+            min_radius: 0.25,
+            max_radius: 1e4,
+        }
     }
 }
 
@@ -72,7 +78,10 @@ impl KnnCoordinator {
     pub fn new(config: KnnConfig) -> Self {
         assert!(config.growth > 1.0);
         assert!(config.surplus > 1.0);
-        KnnCoordinator { config, entries: BTreeMap::new() }
+        KnnCoordinator {
+            config,
+            entries: BTreeMap::new(),
+        }
     }
 
     /// Installs a kNN moving query: the `k` nearest objects satisfying
@@ -91,7 +100,13 @@ impl KnnCoordinator {
         let qid = server.install_query(focal, QueryRegion::circle(radius), filter, net);
         self.entries.insert(
             qid,
-            KnnState { k, radius, low_streak: 0, high_streak: 0, adaptations: 0 },
+            KnnState {
+                k,
+                radius,
+                low_streak: 0,
+                high_streak: 0,
+                adaptations: 0,
+            },
         );
         qid
     }

@@ -99,7 +99,11 @@ pub enum Uplink {
     },
     /// Response to a server position request during query installation:
     /// the object's current motion sample and its maximum speed.
-    PositionReply { oid: ObjectId, motion: LinearMotion, max_vel: f64 },
+    PositionReply {
+        oid: ObjectId,
+        motion: LinearMotion,
+        max_vel: f64,
+    },
 }
 
 impl WireSized for Uplink {
@@ -143,15 +147,23 @@ pub enum Downlink {
     PositionRequest,
     /// One membership change of a query's result, pushed to the issuing
     /// focal object when result delivery is enabled.
-    ResultDelta { qid: QueryId, object: ObjectId, entered: bool },
+    ResultDelta {
+        qid: QueryId,
+        object: ObjectId,
+        entered: bool,
+    },
 }
 
 impl WireSized for Downlink {
     fn wire_size(&self) -> usize {
         1 + match self {
             Downlink::QueryState { info } => info.wire_size(),
-            Downlink::VelocityChange { qids, .. } => 4 + LinearMotion::WIRE_SIZE + 2 + qids.len() * 4,
-            Downlink::NewQueries { infos } => 2 + infos.iter().map(QueryGroupInfo::wire_size).sum::<usize>(),
+            Downlink::VelocityChange { qids, .. } => {
+                4 + LinearMotion::WIRE_SIZE + 2 + qids.len() * 4
+            }
+            Downlink::NewQueries { infos } => {
+                2 + infos.iter().map(QueryGroupInfo::wire_size).sum::<usize>()
+            }
             Downlink::RemoveQuery { .. } => 4,
             Downlink::FocalNotify { .. } => 1,
             Downlink::PositionRequest => 0,
@@ -183,14 +195,26 @@ mod tests {
             focal: ObjectId(7),
             motion: motion(),
             max_vel: 0.05,
-            mon_region: GridRect { x0: 0, y0: 0, x1: 2, y1: 2 },
+            mon_region: GridRect {
+                x0: 0,
+                y0: 0,
+                x1: 2,
+                y1: 2,
+            },
             queries: Arc::new((0..n).map(spec).collect()),
         }
     }
 
     #[test]
     fn uplink_sizes() {
-        assert_eq!(Uplink::VelocityReport { oid: ObjectId(1), motion: motion() }.wire_size(), 45);
+        assert_eq!(
+            Uplink::VelocityReport {
+                oid: ObjectId(1),
+                motion: motion()
+            }
+            .wire_size(),
+            45
+        );
         assert_eq!(
             Uplink::CellChange {
                 oid: ObjectId(1),
@@ -202,16 +226,30 @@ mod tests {
             61
         );
         assert_eq!(
-            Uplink::ResultUpdate { oid: ObjectId(1), changes: vec![(QueryId(1), true)] }.wire_size(),
+            Uplink::ResultUpdate {
+                oid: ObjectId(1),
+                changes: vec![(QueryId(1), true)]
+            }
+            .wire_size(),
             12
         );
         assert_eq!(
-            Uplink::GroupResultUpdate { oid: ObjectId(1), focal: ObjectId(2), mask: 1, targets: 1 }
-                .wire_size(),
+            Uplink::GroupResultUpdate {
+                oid: ObjectId(1),
+                focal: ObjectId(2),
+                mask: 1,
+                targets: 1
+            }
+            .wire_size(),
             25
         );
         assert_eq!(
-            Uplink::PositionReply { oid: ObjectId(1), motion: motion(), max_vel: 0.1 }.wire_size(),
+            Uplink::PositionReply {
+                oid: ObjectId(1),
+                motion: motion(),
+                max_vel: 0.1
+            }
+            .wire_size(),
             53
         );
     }
@@ -222,12 +260,18 @@ mod tests {
         // single-query messages: the focal motion/region header is shared.
         let grouped = Downlink::QueryState { info: group(3) }.wire_size();
         let single = Downlink::QueryState { info: group(1) }.wire_size();
-        assert!(grouped < 3 * single, "grouped {grouped} vs 3x single {single}");
+        assert!(
+            grouped < 3 * single,
+            "grouped {grouped} vs 3x single {single}"
+        );
     }
 
     #[test]
     fn result_update_grows_with_changes() {
-        let one = Uplink::ResultUpdate { oid: ObjectId(1), changes: vec![(QueryId(1), true)] };
+        let one = Uplink::ResultUpdate {
+            oid: ObjectId(1),
+            changes: vec![(QueryId(1), true)],
+        };
         let three = Uplink::ResultUpdate {
             oid: ObjectId(1),
             changes: vec![(QueryId(1), true), (QueryId(2), false), (QueryId(3), true)],
@@ -237,7 +281,12 @@ mod tests {
 
     #[test]
     fn bitmap_beats_itemized_updates_for_large_groups() {
-        let bitmap = Uplink::GroupResultUpdate { oid: ObjectId(1), focal: ObjectId(2), mask: u64::MAX, targets: 0 };
+        let bitmap = Uplink::GroupResultUpdate {
+            oid: ObjectId(1),
+            focal: ObjectId(2),
+            mask: u64::MAX,
+            targets: 0,
+        };
         let itemized = Uplink::ResultUpdate {
             oid: ObjectId(1),
             changes: (0..10).map(|i| (QueryId(i), true)).collect(),
@@ -250,7 +299,11 @@ mod tests {
         assert_eq!(Downlink::RemoveQuery { qid: QueryId(1) }.wire_size(), 5);
         assert_eq!(Downlink::FocalNotify { is_focal: true }.wire_size(), 2);
         assert_eq!(Downlink::PositionRequest.wire_size(), 1);
-        let vc = Downlink::VelocityChange { focal: ObjectId(1), motion: motion(), qids: vec![QueryId(1)] };
+        let vc = Downlink::VelocityChange {
+            focal: ObjectId(1),
+            motion: motion(),
+            qids: vec![QueryId(1)],
+        };
         assert_eq!(vc.wire_size(), 1 + 4 + 40 + 2 + 4);
     }
 

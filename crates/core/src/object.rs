@@ -19,8 +19,28 @@ use crate::messages::{Downlink, QueryGroupInfo, Uplink};
 use crate::model::{ObjectId, Properties, QueryId};
 use crate::server::Net;
 use mobieyes_geo::{CellId, GridRect, LinearMotion, Point, QueryRegion, Region, Vec2};
+use mobieyes_telemetry::{EventKind, MetricsSnapshot, Telemetry};
 use std::collections::BTreeMap;
 use std::sync::Arc;
+
+/// The `agent.*` telemetry keys recorded by [`MovingObjectAgent`].
+pub mod agent_keys {
+    /// Containment evaluations actually performed (counter).
+    pub const EVALUATED: &str = "agent.evaluated";
+    /// Evaluations skipped by the safe-period optimization (counter).
+    pub const SKIPPED_SAFE_PERIOD: &str = "agent.skipped_safe_period";
+    /// Evaluations skipped by nested-radius group pruning (counter).
+    pub const SKIPPED_GROUP_PRUNE: &str = "agent.skipped_group_prune";
+    /// Containment status flips reported to the server (counter).
+    pub const RESULT_CHANGES: &str = "agent.result_changes";
+    /// Uplink messages sent (counter).
+    pub const UPLINKS_SENT: &str = "agent.uplinks_sent";
+    /// Nanoseconds spent in LQT processing (wall timer, Figure 13).
+    pub const EVAL_NANOS: &str = "agent.eval_nanos";
+    /// LQT size observed once per processing tick (histogram,
+    /// Figures 10–12).
+    pub const LQT_SIZE: &str = "agent.lqt_size";
+}
 
 /// One LQT row: a nearby query this object is responsible for evaluating.
 #[derive(Debug, Clone)]
@@ -40,7 +60,9 @@ struct LqtEntry {
     ptm: f64,
 }
 
-/// Per-agent work counters (drive the paper's Figures 10–13).
+/// Per-agent work counters (drive the paper's Figures 10–13) — a view
+/// over the `agent.*` telemetry counters. When several agents share one
+/// [`Telemetry`] sink the view aggregates across all of them.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct AgentStats {
     /// Containment evaluations actually performed.
@@ -55,6 +77,20 @@ pub struct AgentStats {
     pub uplinks_sent: u64,
     /// Nanoseconds spent in LQT processing (the Figure 13 metric).
     pub eval_nanos: u64,
+}
+
+impl AgentStats {
+    /// Materializes the view from a metrics snapshot.
+    pub fn from_snapshot(snapshot: &MetricsSnapshot) -> Self {
+        AgentStats {
+            evaluated: snapshot.counter(agent_keys::EVALUATED),
+            skipped_safe_period: snapshot.counter(agent_keys::SKIPPED_SAFE_PERIOD),
+            skipped_group_prune: snapshot.counter(agent_keys::SKIPPED_GROUP_PRUNE),
+            result_changes: snapshot.counter(agent_keys::RESULT_CHANGES),
+            uplinks_sent: snapshot.counter(agent_keys::UPLINKS_SENT),
+            eval_nanos: snapshot.wall(agent_keys::EVAL_NANOS),
+        }
+    }
 }
 
 /// The moving-object protocol agent.
@@ -77,7 +113,7 @@ pub struct MovingObjectAgent {
     /// Departure reports produced while handling downlink messages
     /// (monitoring-region shrinks); flushed with the next evaluation.
     pending_departures: Vec<(QueryId, bool)>,
-    stats: AgentStats,
+    telemetry: Telemetry,
     /// Scratch buffers reused across ticks.
     scratch_changes: Vec<(QueryId, bool)>,
     scratch_groups: Vec<(ObjectId, QueryId, f64)>,
@@ -107,10 +143,20 @@ impl MovingObjectAgent {
             lqt: BTreeMap::new(),
             own_results: BTreeMap::new(),
             pending_departures: Vec::new(),
-            stats: AgentStats::default(),
+            telemetry: Telemetry::new(),
             scratch_changes: Vec::new(),
             scratch_groups: Vec::new(),
         }
+    }
+
+    /// Redirects this agent's instrumentation into a shared sink.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     pub fn oid(&self) -> ObjectId {
@@ -151,12 +197,10 @@ impl MovingObjectAgent {
         self.own_results.get(&qid)
     }
 
+    /// The agent-side work counters, materialized from the telemetry
+    /// sink. Aggregated across agents when the sink is shared.
     pub fn stats(&self) -> AgentStats {
-        self.stats
-    }
-
-    pub fn reset_stats(&mut self) {
-        self.stats = AgentStats::default();
+        AgentStats::from_snapshot(&self.telemetry.snapshot())
     }
 
     /// Phase A of a time step: absorb the new kinematic state and report
@@ -172,6 +216,12 @@ impl MovingObjectAgent {
         if new_cell != self.curr_cell {
             let prev = self.curr_cell;
             self.curr_cell = new_cell;
+            self.telemetry.event_at(
+                t,
+                EventKind::CellCrossing {
+                    oid: self.oid.0 as u64,
+                },
+            );
             // Drop queries whose monitoring region no longer covers us.
             // Leaving a monitoring region implies leaving the query region
             // (the circle is contained in it), so any entry we were a
@@ -188,14 +238,29 @@ impl MovingObjectAgent {
                 keep
             });
             if !departures.is_empty() {
-                self.stats.result_changes += departures.len() as u64;
-                self.send(net, Uplink::ResultUpdate { oid: self.oid, changes: departures });
+                self.telemetry
+                    .add(agent_keys::RESULT_CHANGES, departures.len() as u64);
+                self.send(
+                    net,
+                    Uplink::ResultUpdate {
+                        oid: self.oid,
+                        changes: departures,
+                    },
+                );
             }
             // Eagerly notify the server; under lazy propagation only focal
             // objects do (that is the whole point of LQP).
             if self.config.propagation == Propagation::Eager || self.has_mq {
                 let motion = LinearMotion::new(pos, vel, t);
-                self.send(net, Uplink::CellChange { oid: self.oid, prev_cell: prev, new_cell, motion });
+                self.send(
+                    net,
+                    Uplink::CellChange {
+                        oid: self.oid,
+                        prev_cell: prev,
+                        new_cell,
+                        motion,
+                    },
+                );
                 self.advertised = Some(motion);
             }
         } else if self.has_mq {
@@ -206,7 +271,13 @@ impl MovingObjectAgent {
             };
             if needs_report {
                 let motion = LinearMotion::new(pos, vel, t);
-                self.send(net, Uplink::VelocityReport { oid: self.oid, motion });
+                self.send(
+                    net,
+                    Uplink::VelocityReport {
+                        oid: self.oid,
+                        motion,
+                    },
+                );
                 self.advertised = Some(motion);
             }
         }
@@ -222,7 +293,10 @@ impl MovingObjectAgent {
         }
         let start = std::time::Instant::now();
         self.evaluate(t, net);
-        self.stats.eval_nanos += start.elapsed().as_nanos() as u64;
+        self.telemetry
+            .wall_add(agent_keys::EVAL_NANOS, start.elapsed().as_nanos() as u64);
+        self.telemetry
+            .observe(agent_keys::LQT_SIZE, self.lqt.len() as f64);
     }
 
     /// Advances the agent one full time step in one call (motion phase
@@ -236,7 +310,7 @@ impl MovingObjectAgent {
     }
 
     fn send(&mut self, net: &mut Net, msg: Uplink) {
-        self.stats.uplinks_sent += 1;
+        self.telemetry.incr(agent_keys::UPLINKS_SENT);
         net.send_uplink(self.oid.node(), msg);
     }
 
@@ -264,7 +338,11 @@ impl MovingObjectAgent {
                     self.advertised = None;
                 }
             }
-            Downlink::ResultDelta { qid, object, entered } => {
+            Downlink::ResultDelta {
+                qid,
+                object,
+                entered,
+            } => {
                 let set = self.own_results.entry(*qid).or_default();
                 if *entered {
                     set.insert(*object);
@@ -276,7 +354,11 @@ impl MovingObjectAgent {
                 let motion = LinearMotion::new(self.pos, self.vel, t);
                 self.send(
                     net,
-                    Uplink::PositionReply { oid: self.oid, motion, max_vel: self.max_vel },
+                    Uplink::PositionReply {
+                        oid: self.oid,
+                        motion,
+                        max_vel: self.max_vel,
+                    },
                 );
                 self.advertised = Some(motion);
             }
@@ -325,7 +407,8 @@ impl MovingObjectAgent {
                 }
             }
             if !departures.is_empty() {
-                self.stats.result_changes += departures.len() as u64;
+                self.telemetry
+                    .add(agent_keys::RESULT_CHANGES, departures.len() as u64);
                 self.pending_departures.extend(departures);
             }
         }
@@ -366,7 +449,15 @@ impl MovingObjectAgent {
                     }
                 }
                 if mask != 0 {
-                    self.send(net, Uplink::GroupResultUpdate { oid: self.oid, focal, mask, targets });
+                    self.send(
+                        net,
+                        Uplink::GroupResultUpdate {
+                            oid: self.oid,
+                            focal,
+                            mask,
+                            targets,
+                        },
+                    );
                 }
             }
             for &(qid, is_target) in &self.scratch_changes {
@@ -377,11 +468,23 @@ impl MovingObjectAgent {
                 }
             }
             if !itemized.is_empty() {
-                self.send(net, Uplink::ResultUpdate { oid: self.oid, changes: itemized });
+                self.send(
+                    net,
+                    Uplink::ResultUpdate {
+                        oid: self.oid,
+                        changes: itemized,
+                    },
+                );
             }
         } else {
             let changes = std::mem::take(&mut self.scratch_changes);
-            self.send(net, Uplink::ResultUpdate { oid: self.oid, changes });
+            self.send(
+                net,
+                Uplink::ResultUpdate {
+                    oid: self.oid,
+                    changes,
+                },
+            );
         }
         self.scratch_changes.clear();
     }
@@ -389,13 +492,18 @@ impl MovingObjectAgent {
     /// Evaluation without grouping: one independent prediction and
     /// containment check per LQT entry (plus safe-period skips).
     fn evaluate_plain(&mut self, t: f64, safe_period: bool) {
+        // Accumulate locally; one telemetry flush per call keeps the hot
+        // loop free of lock traffic.
+        let mut evaluated = 0u64;
+        let mut skipped_safe = 0u64;
+        let mut changes = 0u64;
         for (qid, e) in self.lqt.iter_mut() {
             if safe_period && e.ptm > t {
-                self.stats.skipped_safe_period += 1;
+                skipped_safe += 1;
                 continue;
             }
             let center = e.motion.predict(t);
-            self.stats.evaluated += 1;
+            evaluated += 1;
             let inside = e.region.contains_from(center, self.pos);
             if safe_period && !inside {
                 // Worst case: both objects approach head-on at max speed.
@@ -409,10 +517,11 @@ impl MovingObjectAgent {
             }
             if inside != e.is_target {
                 e.is_target = inside;
-                self.stats.result_changes += 1;
+                changes += 1;
                 self.scratch_changes.push((*qid, inside));
             }
         }
+        self.flush_eval_counters(evaluated, skipped_safe, 0, changes);
     }
 
     /// Grouped evaluation (§4.1): entries are processed per focal object,
@@ -424,9 +533,15 @@ impl MovingObjectAgent {
             self.scratch_groups.push((e.focal, *qid, e.region.reach()));
         }
         self.scratch_groups.sort_by(|a, b| {
-            (a.0, b.2).partial_cmp(&(b.0, a.2)).unwrap_or(std::cmp::Ordering::Equal)
+            (a.0, b.2)
+                .partial_cmp(&(b.0, a.2))
+                .unwrap_or(std::cmp::Ordering::Equal)
         });
 
+        let mut evaluated = 0u64;
+        let mut skipped_safe = 0u64;
+        let mut skipped_prune = 0u64;
+        let mut changes = 0u64;
         let mut i = 0;
         let groups = std::mem::take(&mut self.scratch_groups);
         while i < groups.len() {
@@ -443,17 +558,17 @@ impl MovingObjectAgent {
                 let e = self.lqt.get_mut(&qid).expect("scratch entry in LQT");
                 // Safe-period skip (§4.2).
                 if safe_period && e.ptm > t {
-                    self.stats.skipped_safe_period += 1;
+                    skipped_safe += 1;
                     j += 1;
                     continue;
                 }
                 let center = *predicted.get_or_insert_with(|| e.motion.predict(t));
                 let is_circle = matches!(e.region, QueryRegion::Circle { .. });
                 let inside = if is_circle && prune_below.is_some_and(|r| e.region.reach() <= r) {
-                    self.stats.skipped_group_prune += 1;
+                    skipped_prune += 1;
                     false
                 } else {
-                    self.stats.evaluated += 1;
+                    evaluated += 1;
                     let inside = e.region.contains_from(center, self.pos);
                     if is_circle && !inside {
                         prune_below = Some(e.region.reach());
@@ -473,7 +588,7 @@ impl MovingObjectAgent {
                 }
                 if inside != e.is_target {
                     e.is_target = inside;
-                    self.stats.result_changes += 1;
+                    changes += 1;
                     self.scratch_changes.push((qid, inside));
                     if !changed_focals.contains(&focal) {
                         changed_focals.push(focal);
@@ -484,6 +599,28 @@ impl MovingObjectAgent {
             i = j;
         }
         self.scratch_groups = groups;
+        self.flush_eval_counters(evaluated, skipped_safe, skipped_prune, changes);
+    }
+
+    /// Flushes locally accumulated evaluation counters into the sink,
+    /// touching the lock only for non-zero deltas.
+    fn flush_eval_counters(
+        &self,
+        evaluated: u64,
+        skipped_safe: u64,
+        skipped_prune: u64,
+        changes: u64,
+    ) {
+        for (key, n) in [
+            (agent_keys::EVALUATED, evaluated),
+            (agent_keys::SKIPPED_SAFE_PERIOD, skipped_safe),
+            (agent_keys::SKIPPED_GROUP_PRUNE, skipped_prune),
+            (agent_keys::RESULT_CHANGES, changes),
+        ] {
+            if n > 0 {
+                self.telemetry.add(key, n);
+            }
+        }
     }
 }
 
@@ -499,11 +636,17 @@ mod tests {
     use mobieyes_net::BaseStationLayout;
 
     fn config() -> Arc<ProtocolConfig> {
-        Arc::new(ProtocolConfig::new(Grid::new(Rect::new(0.0, 0.0, 100.0, 100.0), 10.0)))
+        Arc::new(ProtocolConfig::new(Grid::new(
+            Rect::new(0.0, 0.0, 100.0, 100.0),
+            10.0,
+        )))
     }
 
     fn net() -> Net {
-        Net::new(BaseStationLayout::new(Rect::new(0.0, 0.0, 100.0, 100.0), 20.0))
+        Net::new(BaseStationLayout::new(
+            Rect::new(0.0, 0.0, 100.0, 100.0),
+            20.0,
+        ))
     }
 
     fn group_info(qid: u32, radius: f64, focal_pos: Point, mon: GridRect) -> QueryGroupInfo {
@@ -533,9 +676,20 @@ mod tests {
             Arc::clone(&cfg),
         );
         let mut n = net();
-        let mon = GridRect { x0: 4, y0: 4, x1: 6, y1: 6 };
+        let mon = GridRect {
+            x0: 4,
+            y0: 4,
+            x1: 6,
+            y1: 6,
+        };
         let info = group_info(0, 3.0, Point::new(55.0, 55.0), mon);
-        agent.tick(0.0, Point::new(55.0, 55.0), Vec2::ZERO, &[Downlink::QueryState { info }], &mut n);
+        agent.tick(
+            0.0,
+            Point::new(55.0, 55.0),
+            Vec2::ZERO,
+            &[Downlink::QueryState { info }],
+            &mut n,
+        );
         assert_eq!(agent.lqt_len(), 1);
         // Inside radius 3 of the focal: the agent reported itself a target.
         assert!(agent.is_target_of(QueryId(0)));
@@ -554,9 +708,20 @@ mod tests {
             Arc::clone(&cfg),
         );
         let mut n = net();
-        let mon = GridRect { x0: 4, y0: 4, x1: 6, y1: 6 };
+        let mon = GridRect {
+            x0: 4,
+            y0: 4,
+            x1: 6,
+            y1: 6,
+        };
         let info = group_info(0, 3.0, Point::new(55.0, 55.0), mon);
-        agent.tick(0.0, Point::new(15.0, 15.0), Vec2::ZERO, &[Downlink::QueryState { info }], &mut n);
+        agent.tick(
+            0.0,
+            Point::new(15.0, 15.0),
+            Vec2::ZERO,
+            &[Downlink::QueryState { info }],
+            &mut n,
+        );
         assert_eq!(agent.lqt_len(), 0);
     }
 
@@ -572,7 +737,12 @@ mod tests {
             Arc::clone(&cfg),
         );
         let mut n = net();
-        let mon = GridRect { x0: 4, y0: 4, x1: 6, y1: 6 };
+        let mon = GridRect {
+            x0: 4,
+            y0: 4,
+            x1: 6,
+            y1: 6,
+        };
         let mut info = group_info(0, 3.0, Point::new(55.0, 55.0), mon);
         info.queries = Arc::new(vec![QuerySpec {
             qid: QueryId(0),
@@ -580,7 +750,13 @@ mod tests {
             filter: Arc::new(Filter::Eq("color".into(), "red".into())),
             slot: 0,
         }]);
-        agent.tick(0.0, Point::new(55.0, 55.0), Vec2::ZERO, &[Downlink::QueryState { info }], &mut n);
+        agent.tick(
+            0.0,
+            Point::new(55.0, 55.0),
+            Vec2::ZERO,
+            &[Downlink::QueryState { info }],
+            &mut n,
+        );
         assert_eq!(agent.lqt_len(), 0, "filter mismatch must not install");
     }
 
@@ -596,17 +772,33 @@ mod tests {
             Arc::clone(&cfg),
         );
         let mut n = net();
-        let mon = GridRect { x0: 4, y0: 4, x1: 6, y1: 6 };
+        let mon = GridRect {
+            x0: 4,
+            y0: 4,
+            x1: 6,
+            y1: 6,
+        };
         let info = group_info(0, 3.0, Point::new(55.0, 55.0), mon);
-        agent.tick(0.0, Point::new(55.0, 55.0), Vec2::ZERO, &[Downlink::QueryState { info }], &mut n);
+        agent.tick(
+            0.0,
+            Point::new(55.0, 55.0),
+            Vec2::ZERO,
+            &[Downlink::QueryState { info }],
+            &mut n,
+        );
         assert_eq!(agent.lqt_len(), 1);
         n.drain_uplinks();
         // Jump far outside the monitoring region.
         agent.tick(30.0, Point::new(95.0, 95.0), Vec2::ZERO, &[], &mut n);
-        assert_eq!(agent.lqt_len(), 0, "stale query must be dropped on cell change");
+        assert_eq!(
+            agent.lqt_len(),
+            0,
+            "stale query must be dropped on cell change"
+        );
         let ups = n.drain_uplinks();
         assert!(
-            ups.iter().any(|(_, m)| matches!(m, Uplink::CellChange { .. })),
+            ups.iter()
+                .any(|(_, m)| matches!(m, Uplink::CellChange { .. })),
             "eager mode reports cell changes"
         );
     }
@@ -645,7 +837,10 @@ mod tests {
             0.0,
             Point::new(55.0, 55.0),
             Vec2::ZERO,
-            &[Downlink::PositionRequest, Downlink::FocalNotify { is_focal: true }],
+            &[
+                Downlink::PositionRequest,
+                Downlink::FocalNotify { is_focal: true },
+            ],
             &mut n,
         );
         n.drain_uplinks();
@@ -655,7 +850,9 @@ mod tests {
         // Larger drift: velocity report.
         agent.tick(60.0, Point::new(56.0, 55.0), Vec2::ZERO, &[], &mut n);
         let ups = n.drain_uplinks();
-        assert!(ups.iter().any(|(_, m)| matches!(m, Uplink::VelocityReport { .. })));
+        assert!(ups
+            .iter()
+            .any(|(_, m)| matches!(m, Uplink::VelocityReport { .. })));
     }
 
     #[test]
@@ -670,9 +867,20 @@ mod tests {
             Arc::clone(&cfg),
         );
         let mut n = net();
-        let mon = GridRect { x0: 0, y0: 0, x1: 9, y1: 9 };
+        let mon = GridRect {
+            x0: 0,
+            y0: 0,
+            x1: 9,
+            y1: 9,
+        };
         let info = group_info(0, 3.0, Point::new(55.0, 55.0), mon);
-        agent.tick(0.0, Point::new(55.0, 55.0), Vec2::ZERO, &[Downlink::QueryState { info }], &mut n);
+        agent.tick(
+            0.0,
+            Point::new(55.0, 55.0),
+            Vec2::ZERO,
+            &[Downlink::QueryState { info }],
+            &mut n,
+        );
         assert!(agent.is_target_of(QueryId(0)));
         let first = n.drain_uplinks();
         assert_eq!(first.len(), 1);
@@ -701,9 +909,20 @@ mod tests {
             Arc::clone(&cfg),
         );
         let mut n = net();
-        let mon = GridRect { x0: 0, y0: 0, x1: 9, y1: 9 };
+        let mon = GridRect {
+            x0: 0,
+            y0: 0,
+            x1: 9,
+            y1: 9,
+        };
         let info = group_info(0, 3.0, Point::new(55.0, 55.0), mon);
-        agent.tick(0.0, Point::new(55.0, 55.0), Vec2::ZERO, &[Downlink::QueryState { info }], &mut n);
+        agent.tick(
+            0.0,
+            Point::new(55.0, 55.0),
+            Vec2::ZERO,
+            &[Downlink::QueryState { info }],
+            &mut n,
+        );
         assert!(agent.is_target_of(QueryId(0)));
         // The focal reports it is now moving away fast; by t=60 its
         // predicted position leaves us outside.
@@ -713,7 +932,10 @@ mod tests {
             qids: vec![QueryId(0)],
         };
         agent.tick(60.0, Point::new(55.0, 55.0), Vec2::ZERO, &[vc], &mut n);
-        assert!(!agent.is_target_of(QueryId(0)), "prediction must use updated velocity");
+        assert!(
+            !agent.is_target_of(QueryId(0)),
+            "prediction must use updated velocity"
+        );
     }
 
     #[test]
@@ -729,16 +951,33 @@ mod tests {
             cfg,
         );
         let mut n = net();
-        let mon = GridRect { x0: 0, y0: 0, x1: 9, y1: 9 };
+        let mon = GridRect {
+            x0: 0,
+            y0: 0,
+            x1: 9,
+            y1: 9,
+        };
         // Focal far away (distance ~42), slow (0.001/s + 0.001/s closing):
         // safe period is huge.
         let mut info = group_info(0, 3.0, Point::new(15.0, 15.0), mon);
         info.max_vel = 0.001;
-        agent.tick(0.0, Point::new(55.0, 55.0), Vec2::ZERO, &[Downlink::QueryState { info }], &mut n);
+        agent.tick(
+            0.0,
+            Point::new(55.0, 55.0),
+            Vec2::ZERO,
+            &[Downlink::QueryState { info }],
+            &mut n,
+        );
         let evaluated_first = agent.stats().evaluated;
         assert_eq!(evaluated_first, 1);
         for k in 1..=10 {
-            agent.tick(k as f64 * 30.0, Point::new(55.0, 55.0), Vec2::ZERO, &[], &mut n);
+            agent.tick(
+                k as f64 * 30.0,
+                Point::new(55.0, 55.0),
+                Vec2::ZERO,
+                &[],
+                &mut n,
+            );
         }
         let s = agent.stats();
         assert_eq!(s.evaluated, 1, "all later evaluations must be skipped");
@@ -758,7 +997,12 @@ mod tests {
             cfg,
         );
         let mut n = net();
-        let mon = GridRect { x0: 0, y0: 0, x1: 9, y1: 9 };
+        let mon = GridRect {
+            x0: 0,
+            y0: 0,
+            x1: 9,
+            y1: 9,
+        };
         // Two queries, same focal, radii 5 and 2; we sit 20 away: outside
         // both. The radius-2 check must be pruned.
         let info = QueryGroupInfo {
@@ -767,11 +1011,27 @@ mod tests {
             max_vel: 0.03,
             mon_region: mon,
             queries: Arc::new(vec![
-                QuerySpec { qid: QueryId(0), region: QueryRegion::circle(5.0), filter: Arc::new(Filter::True), slot: 0 },
-                QuerySpec { qid: QueryId(1), region: QueryRegion::circle(2.0), filter: Arc::new(Filter::True), slot: 1 },
+                QuerySpec {
+                    qid: QueryId(0),
+                    region: QueryRegion::circle(5.0),
+                    filter: Arc::new(Filter::True),
+                    slot: 0,
+                },
+                QuerySpec {
+                    qid: QueryId(1),
+                    region: QueryRegion::circle(2.0),
+                    filter: Arc::new(Filter::True),
+                    slot: 1,
+                },
             ]),
         };
-        agent.tick(0.0, Point::new(55.0, 55.0), Vec2::ZERO, &[Downlink::QueryState { info }], &mut n);
+        agent.tick(
+            0.0,
+            Point::new(55.0, 55.0),
+            Vec2::ZERO,
+            &[Downlink::QueryState { info }],
+            &mut n,
+        );
         let s = agent.stats();
         assert_eq!(s.evaluated, 1, "only the largest radius is checked");
         assert_eq!(s.skipped_group_prune, 1);
@@ -792,22 +1052,48 @@ mod tests {
             cfg,
         );
         let mut n = net();
-        let mon = GridRect { x0: 0, y0: 0, x1: 9, y1: 9 };
+        let mon = GridRect {
+            x0: 0,
+            y0: 0,
+            x1: 9,
+            y1: 9,
+        };
         let info = QueryGroupInfo {
             focal: ObjectId(100),
             motion: LinearMotion::at_rest(Point::new(55.0, 55.0), 0.0),
             max_vel: 0.03,
             mon_region: mon,
             queries: Arc::new(vec![
-                QuerySpec { qid: QueryId(0), region: QueryRegion::circle(5.0), filter: Arc::new(Filter::True), slot: 0 },
-                QuerySpec { qid: QueryId(1), region: QueryRegion::circle(2.0), filter: Arc::new(Filter::True), slot: 1 },
+                QuerySpec {
+                    qid: QueryId(0),
+                    region: QueryRegion::circle(5.0),
+                    filter: Arc::new(Filter::True),
+                    slot: 0,
+                },
+                QuerySpec {
+                    qid: QueryId(1),
+                    region: QueryRegion::circle(2.0),
+                    filter: Arc::new(Filter::True),
+                    slot: 1,
+                },
             ]),
         };
-        agent.tick(0.0, Point::new(56.0, 55.0), Vec2::ZERO, &[Downlink::QueryState { info }], &mut n);
+        agent.tick(
+            0.0,
+            Point::new(56.0, 55.0),
+            Vec2::ZERO,
+            &[Downlink::QueryState { info }],
+            &mut n,
+        );
         let ups = n.drain_uplinks();
         assert_eq!(ups.len(), 1);
         match &ups[0].1 {
-            Uplink::GroupResultUpdate { focal, mask, targets, .. } => {
+            Uplink::GroupResultUpdate {
+                focal,
+                mask,
+                targets,
+                ..
+            } => {
                 assert_eq!(*focal, ObjectId(100));
                 assert_eq!(*mask, 0b11);
                 // Distance 1: inside both radii 5 and 2.
@@ -829,11 +1115,28 @@ mod tests {
             Arc::clone(&cfg),
         );
         let mut n = net();
-        let mon = GridRect { x0: 0, y0: 0, x1: 9, y1: 9 };
+        let mon = GridRect {
+            x0: 0,
+            y0: 0,
+            x1: 9,
+            y1: 9,
+        };
         let info = group_info(3, 3.0, Point::new(55.0, 55.0), mon);
-        agent.tick(0.0, Point::new(55.0, 55.0), Vec2::ZERO, &[Downlink::QueryState { info }], &mut n);
+        agent.tick(
+            0.0,
+            Point::new(55.0, 55.0),
+            Vec2::ZERO,
+            &[Downlink::QueryState { info }],
+            &mut n,
+        );
         assert_eq!(agent.lqt_len(), 1);
-        agent.tick(30.0, Point::new(55.0, 55.0), Vec2::ZERO, &[Downlink::RemoveQuery { qid: QueryId(3) }], &mut n);
+        agent.tick(
+            30.0,
+            Point::new(55.0, 55.0),
+            Vec2::ZERO,
+            &[Downlink::RemoveQuery { qid: QueryId(3) }],
+            &mut n,
+        );
         assert_eq!(agent.lqt_len(), 0);
     }
 
@@ -849,14 +1152,23 @@ mod tests {
             Arc::clone(&cfg),
         );
         let mut n = net();
-        let mon = GridRect { x0: 0, y0: 0, x1: 9, y1: 9 };
+        let mon = GridRect {
+            x0: 0,
+            y0: 0,
+            x1: 9,
+            y1: 9,
+        };
         let info = group_info(0, 3.0, Point::new(55.0, 55.0), mon);
         let msgs = vec![
             Downlink::QueryState { info: info.clone() },
             Downlink::QueryState { info },
         ];
         agent.tick(0.0, Point::new(55.0, 55.0), Vec2::ZERO, &msgs, &mut n);
-        assert_eq!(agent.lqt_len(), 1, "duplicate broadcast must not duplicate state");
+        assert_eq!(
+            agent.lqt_len(),
+            1,
+            "duplicate broadcast must not duplicate state"
+        );
         // is_target survived the duplicate (no flip-flop reports).
         let ups = n.drain_uplinks();
         assert_eq!(ups.len(), 1);

@@ -15,6 +15,7 @@ use crate::messages::{Downlink, QueryGroupInfo, QuerySpec, Uplink};
 use crate::model::{ObjectId, QueryId};
 use mobieyes_geo::{CellId, GridRect, LinearMotion, QueryRegion, Region};
 use mobieyes_net::{NetworkSim, NodeId};
+use mobieyes_telemetry::{EventKind, MetricsSnapshot, Telemetry};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
 
@@ -61,6 +62,10 @@ struct PendingInstall {
 
 /// Deterministic counters of server-side work; the wall-clock server-load
 /// measurements of the figures sit on top of these in `mobieyes-sim`.
+///
+/// Since the telemetry redesign this is a *view* over the `srv.*` counters
+/// of the unified registry; build one with [`Server::stats`] or
+/// [`ServerStats::from_snapshot`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServerStats {
     pub uplinks_processed: u64,
@@ -70,6 +75,32 @@ pub struct ServerStats {
     pub broadcast_ops: u64,
     pub unicast_ops: u64,
     pub rqi_updates: u64,
+}
+
+/// The `srv.*` telemetry counter keys.
+pub mod srv_keys {
+    pub const UPLINKS: &str = "srv.uplinks_processed";
+    pub const VELOCITY_REPORTS: &str = "srv.velocity_reports";
+    pub const CELL_CHANGES: &str = "srv.cell_changes";
+    pub const RESULT_UPDATES: &str = "srv.result_updates";
+    pub const BROADCAST_OPS: &str = "srv.broadcast_ops";
+    pub const UNICAST_OPS: &str = "srv.unicast_ops";
+    pub const RQI_UPDATES: &str = "srv.rqi_updates";
+}
+
+impl ServerStats {
+    /// Materializes the view from a metrics snapshot.
+    pub fn from_snapshot(s: &MetricsSnapshot) -> Self {
+        ServerStats {
+            uplinks_processed: s.counter(srv_keys::UPLINKS),
+            velocity_reports: s.counter(srv_keys::VELOCITY_REPORTS),
+            cell_changes: s.counter(srv_keys::CELL_CHANGES),
+            result_updates: s.counter(srv_keys::RESULT_UPDATES),
+            broadcast_ops: s.counter(srv_keys::BROADCAST_OPS),
+            unicast_ops: s.counter(srv_keys::UNICAST_OPS),
+            rqi_updates: s.counter(srv_keys::RQI_UPDATES),
+        }
+    }
 }
 
 /// The MobiEyes server.
@@ -83,7 +114,7 @@ pub struct Server {
     rqi: Vec<Vec<QueryId>>,
     pending: HashMap<ObjectId, Vec<PendingInstall>>,
     next_qid: u32,
-    stats: ServerStats,
+    telemetry: Telemetry,
 }
 
 impl Server {
@@ -96,16 +127,30 @@ impl Server {
             rqi: vec![Vec::new(); cells],
             pending: HashMap::new(),
             next_qid: 0,
-            stats: ServerStats::default(),
+            telemetry: Telemetry::new(),
         }
+    }
+
+    /// Redirects instrumentation into a shared telemetry sink (builder
+    /// style). By default a private sink is used.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     pub fn config(&self) -> &ProtocolConfig {
         &self.config
     }
 
+    /// Server-side work counters, materialized from the telemetry
+    /// registry. When the sink is shared the view aggregates everything
+    /// recorded into it.
     pub fn stats(&self) -> ServerStats {
-        self.stats
+        ServerStats::from_snapshot(&self.telemetry.snapshot())
     }
 
     pub fn num_queries(&self) -> usize {
@@ -165,9 +210,14 @@ impl Server {
         } else {
             let q = self.pending.entry(focal).or_default();
             let first = q.is_empty();
-            q.push(PendingInstall { qid, region, filter, expires_at });
+            q.push(PendingInstall {
+                qid,
+                region,
+                filter,
+                expires_at,
+            });
             if first {
-                self.stats.unicast_ops += 1;
+                self.telemetry.incr(srv_keys::UNICAST_OPS);
                 net.send_unicast(focal.node(), Downlink::PositionRequest);
             }
         }
@@ -184,6 +234,8 @@ impl Server {
             .map(|(&q, _)| q)
             .collect();
         for &qid in &expired {
+            self.telemetry
+                .event(EventKind::QueryExpired { qid: qid.0 as u64 });
             self.remove_query(qid, net);
         }
         expired
@@ -201,7 +253,10 @@ impl Server {
         net: &mut Net,
     ) {
         let grid = self.config.grid.clone();
-        let fot = self.fot.get_mut(&focal).expect("complete_install requires FOT entry");
+        let fot = self
+            .fot
+            .get_mut(&focal)
+            .expect("complete_install requires FOT entry");
         let curr_cell = grid.cell_of(fot.motion.pos);
         let mon_region = grid.monitoring_region(curr_cell, region.reach());
         // Assign the lowest free group slot (bit index for bitmap reports).
@@ -233,16 +288,26 @@ impl Server {
             },
         );
         self.rqi_insert(qid, &mon_region);
+        self.telemetry.event(EventKind::QueryInstalled {
+            qid: qid.0 as u64,
+            focal: focal.0 as u64,
+        });
 
         // Make sure the focal object knows it must report motion changes.
         if newly_focal {
-            self.stats.unicast_ops += 1;
+            self.telemetry.incr(srv_keys::UNICAST_OPS);
             net.send_unicast(focal.node(), Downlink::FocalNotify { is_focal: true });
         }
         // Ship the query to every object in the monitoring region.
         let info = self.group_info_for(qid);
-        self.stats.broadcast_ops +=
-            net.broadcast_region(&self.config.grid, &mon_region, &Downlink::QueryState { info }) as u64;
+        self.telemetry.add(
+            srv_keys::BROADCAST_OPS,
+            net.broadcast_region(
+                &self.config.grid,
+                &mon_region,
+                &Downlink::QueryState { info },
+            ) as u64,
+        );
     }
 
     /// Changes the spatial region of an installed query (e.g. adaptive
@@ -251,7 +316,12 @@ impl Server {
     /// to the union of the old and new monitoring regions — objects
     /// falling outside the new region uninstall (and report any lost
     /// targethood), objects newly covered install.
-    pub fn update_query_region(&mut self, qid: QueryId, region: QueryRegion, net: &mut Net) -> bool {
+    pub fn update_query_region(
+        &mut self,
+        qid: QueryId,
+        region: QueryRegion,
+        net: &mut Net,
+    ) -> bool {
         let grid = self.config.grid.clone();
         let Some(e) = self.sqt.get_mut(&qid) else {
             return false;
@@ -263,8 +333,13 @@ impl Server {
         self.rqi_remove(qid, &old_mon);
         self.rqi_insert(qid, &new_mon);
         let combined = old_mon.union(&new_mon);
-        let msg = Downlink::QueryState { info: self.group_info_for(qid) };
-        self.stats.broadcast_ops += net.broadcast_region(&grid, &combined, &msg) as u64;
+        let msg = Downlink::QueryState {
+            info: self.group_info_for(qid),
+        };
+        self.telemetry.add(
+            srv_keys::BROADCAST_OPS,
+            net.broadcast_region(&grid, &combined, &msg) as u64,
+        );
         true
     }
 
@@ -281,15 +356,23 @@ impl Server {
             }
             if fot.queries.is_empty() {
                 self.fot.remove(&entry.focal);
-                self.stats.unicast_ops += 1;
-                net.send_unicast(entry.focal.node(), Downlink::FocalNotify { is_focal: false });
+                self.telemetry.incr(srv_keys::UNICAST_OPS);
+                net.send_unicast(
+                    entry.focal.node(),
+                    Downlink::FocalNotify { is_focal: false },
+                );
             }
         }
-        self.stats.broadcast_ops += net.broadcast_region(
-            &self.config.grid,
-            &entry.mon_region,
-            &Downlink::RemoveQuery { qid },
-        ) as u64;
+        self.telemetry.add(
+            srv_keys::BROADCAST_OPS,
+            net.broadcast_region(
+                &self.config.grid,
+                &entry.mon_region,
+                &Downlink::RemoveQuery { qid },
+            ) as u64,
+        );
+        self.telemetry
+            .event(EventKind::QueryRemoved { qid: qid.0 as u64 });
         true
     }
 
@@ -303,17 +386,22 @@ impl Server {
 
     /// Processes one uplink message.
     pub fn handle_uplink(&mut self, from: NodeId, msg: Uplink, net: &mut Net) {
-        self.stats.uplinks_processed += 1;
+        self.telemetry.incr(srv_keys::UPLINKS);
         match msg {
             Uplink::VelocityReport { oid, motion } => {
                 debug_assert_eq!(from.0, oid.0);
                 self.on_velocity_report(oid, motion, net);
             }
-            Uplink::CellChange { oid, prev_cell, new_cell, motion } => {
+            Uplink::CellChange {
+                oid,
+                prev_cell,
+                new_cell,
+                motion,
+            } => {
                 self.on_cell_change(oid, prev_cell, new_cell, motion, net);
             }
             Uplink::ResultUpdate { oid, changes } => {
-                self.stats.result_updates += 1;
+                self.telemetry.incr(srv_keys::RESULT_UPDATES);
                 for (qid, is_target) in changes {
                     if let Some(e) = self.sqt.get_mut(&qid) {
                         let changed = if is_target {
@@ -327,15 +415,22 @@ impl Server {
                     }
                 }
             }
-            Uplink::GroupResultUpdate { oid, focal, mask, targets } => {
-                self.stats.result_updates += 1;
+            Uplink::GroupResultUpdate {
+                oid,
+                focal,
+                mask,
+                targets,
+            } => {
+                self.telemetry.incr(srv_keys::RESULT_UPDATES);
                 let qids: Vec<QueryId> = self
                     .fot
                     .get(&focal)
                     .map(|f| f.queries.clone())
                     .unwrap_or_default();
                 for qid in qids {
-                    let Some(e) = self.sqt.get_mut(&qid) else { continue };
+                    let Some(e) = self.sqt.get_mut(&qid) else {
+                        continue;
+                    };
                     if e.slot >= 64 {
                         continue; // slotless queries report itemized
                     }
@@ -354,7 +449,11 @@ impl Server {
                     }
                 }
             }
-            Uplink::PositionReply { oid, motion, max_vel } => {
+            Uplink::PositionReply {
+                oid,
+                motion,
+                max_vel,
+            } => {
                 self.fot.entry(oid).or_insert(FotEntry {
                     motion,
                     max_vel,
@@ -380,7 +479,9 @@ impl Server {
     /// A focal object's dead-reckoning report: refresh the FOT and relay to
     /// the monitoring regions of its queries.
     fn on_velocity_report(&mut self, oid: ObjectId, motion: LinearMotion, net: &mut Net) {
-        self.stats.velocity_reports += 1;
+        self.telemetry.incr(srv_keys::VELOCITY_REPORTS);
+        self.telemetry
+            .event(EventKind::VelocityReport { oid: oid.0 as u64 });
         let Some(fot) = self.fot.get_mut(&oid) else {
             return; // Stale report from an object that is no longer focal.
         };
@@ -396,10 +497,14 @@ impl Server {
                 },
                 // Lazy propagation expands velocity updates to full query
                 // state so objects that recently changed cells can install.
-                Propagation::Lazy => Downlink::QueryState { info: self.group_info_for(group[0]) },
+                Propagation::Lazy => Downlink::QueryState {
+                    info: self.group_info_for(group[0]),
+                },
             };
-            self.stats.broadcast_ops +=
-                net.broadcast_region(&self.config.grid, &mon_region, &msg) as u64;
+            self.telemetry.add(
+                srv_keys::BROADCAST_OPS,
+                net.broadcast_region(&self.config.grid, &mon_region, &msg) as u64,
+            );
         }
     }
 
@@ -412,7 +517,7 @@ impl Server {
         motion: LinearMotion,
         net: &mut Net,
     ) {
-        self.stats.cell_changes += 1;
+        self.telemetry.incr(srv_keys::CELL_CHANGES);
         let grid = self.config.grid.clone();
 
         // Focal-object bookkeeping: recompute monitoring regions and push
@@ -434,13 +539,22 @@ impl Server {
                 } else {
                     // Degenerate per-query key: single-cell marker regions
                     // distinct per query id keep every query separate.
-                    (GridRect { x0: qid.0, y0: qid.0, x1: qid.0, y1: qid.0 }, new_region)
+                    (
+                        GridRect {
+                            x0: qid.0,
+                            y0: qid.0,
+                            x1: qid.0,
+                            y1: qid.0,
+                        },
+                        new_region,
+                    )
                 };
                 groups.entry(key).or_default().push(qid);
             }
             for ((_, _), group) in groups {
                 let old_region = self.sqt[&group[0]].mon_region;
-                let new_region = grid.monitoring_region(new_cell, self.sqt[&group[0]].region.reach());
+                let new_region =
+                    grid.monitoring_region(new_cell, self.sqt[&group[0]].region.reach());
                 for &qid in &group {
                     let e = self.sqt.get_mut(&qid).expect("grouped query in SQT");
                     e.curr_cell = new_cell;
@@ -451,8 +565,13 @@ impl Server {
                     self.rqi_insert(qid, &new_region);
                 }
                 let combined = old_region.union(&new_region);
-                let msg = Downlink::QueryState { info: self.group_info_for(group[0]) };
-                self.stats.broadcast_ops += net.broadcast_region(&grid, &combined, &msg) as u64;
+                let msg = Downlink::QueryState {
+                    info: self.group_info_for(group[0]),
+                };
+                self.telemetry.add(
+                    srv_keys::BROADCAST_OPS,
+                    net.broadcast_region(&grid, &combined, &msg) as u64,
+                );
             }
         }
 
@@ -472,7 +591,7 @@ impl Server {
                 .into_iter()
                 .map(|g| self.group_info_for(g[0]))
                 .collect();
-            self.stats.unicast_ops += 1;
+            self.telemetry.incr(srv_keys::UNICAST_OPS);
             net.send_unicast(oid.node(), Downlink::NewQueries { infos });
         }
     }
@@ -511,7 +630,12 @@ impl Server {
             .iter()
             .map(|q| {
                 let s = &self.sqt[q];
-                QuerySpec { qid: *q, region: s.region, filter: Arc::clone(&s.filter), slot: s.slot }
+                QuerySpec {
+                    qid: *q,
+                    region: s.region,
+                    filter: Arc::clone(&s.filter),
+                    slot: s.slot,
+                }
             })
             .collect();
         QueryGroupInfo {
@@ -532,10 +656,14 @@ impl Server {
             return;
         }
         let Some(e) = self.sqt.get(&qid) else { return };
-        self.stats.unicast_ops += 1;
+        self.telemetry.incr(srv_keys::UNICAST_OPS);
         net.send_unicast(
             e.focal.node(),
-            Downlink::ResultDelta { qid, object: oid, entered },
+            Downlink::ResultDelta {
+                qid,
+                object: oid,
+                entered,
+            },
         );
     }
 
@@ -547,7 +675,8 @@ impl Server {
                 self.rqi[idx].push(qid);
             }
         }
-        self.stats.rqi_updates += region.len() as u64;
+        self.telemetry
+            .add(srv_keys::RQI_UPDATES, region.len() as u64);
     }
 
     fn rqi_remove(&mut self, qid: QueryId, region: &GridRect) {
@@ -556,7 +685,8 @@ impl Server {
             let idx = grid.flat_index(cell);
             self.rqi[idx].retain(|&q| q != qid);
         }
-        self.stats.rqi_updates += region.len() as u64;
+        self.telemetry
+            .add(srv_keys::RQI_UPDATES, region.len() as u64);
     }
 
     /// Structural self-check for tests: the RQI must exactly mirror the
@@ -573,7 +703,10 @@ impl Server {
             let fot = self.fot.get(&e.focal).expect("focal of live query in FOT");
             assert!(fot.queries.contains(qid), "FOT query list missing {qid:?}");
             if e.slot != crate::messages::NO_SLOT {
-                assert!(fot.used_slots & (1u64 << e.slot) != 0, "slot not marked used");
+                assert!(
+                    fot.used_slots & (1u64 << e.slot) != 0,
+                    "slot not marked used"
+                );
             }
         }
         for (idx, qids) in self.rqi.iter().enumerate() {
@@ -604,7 +737,9 @@ mod tests {
         let universe = Rect::new(0.0, 0.0, 100.0, 100.0);
         let grid = Grid::new(universe, 10.0);
         let config = Arc::new(
-            ProtocolConfig::new(grid).with_propagation(propagation).with_grouping(grouping),
+            ProtocolConfig::new(grid)
+                .with_propagation(propagation)
+                .with_grouping(grouping),
         );
         let server = Server::new(Arc::clone(&config));
         let net = Net::new(BaseStationLayout::new(universe, 20.0));
@@ -619,7 +754,11 @@ mod tests {
     fn register(server: &mut Server, net: &mut Net, oid: ObjectId, x: f64, y: f64) {
         server.handle_uplink(
             oid.node(),
-            Uplink::PositionReply { oid, motion: motion_at(x, y), max_vel: 0.03 },
+            Uplink::PositionReply {
+                oid,
+                motion: motion_at(x, y),
+                max_vel: 0.03,
+            },
             net,
         );
     }
@@ -627,7 +766,12 @@ mod tests {
     #[test]
     fn install_with_unknown_focal_defers_and_requests_position() {
         let (mut server, mut net, _) = setup(Propagation::Eager, false);
-        let qid = server.install_query(ObjectId(1), QueryRegion::circle(3.0), Filter::True, &mut net);
+        let qid = server.install_query(
+            ObjectId(1),
+            QueryRegion::circle(3.0),
+            Filter::True,
+            &mut net,
+        );
         // Not installed yet; a position request went out.
         assert_eq!(server.num_queries(), 0);
         assert_eq!(net.meter().unicast_msgs, 1);
@@ -645,7 +789,12 @@ mod tests {
     fn install_with_known_focal_is_immediate() {
         let (mut server, mut net, _) = setup(Propagation::Eager, false);
         register(&mut server, &mut net, ObjectId(1), 55.0, 55.0);
-        let qid = server.install_query(ObjectId(1), QueryRegion::circle(3.0), Filter::True, &mut net);
+        let qid = server.install_query(
+            ObjectId(1),
+            QueryRegion::circle(3.0),
+            Filter::True,
+            &mut net,
+        );
         assert_eq!(server.num_queries(), 1);
         server.check_invariants();
         // Monitoring region covers the focal cell and neighbors.
@@ -656,9 +805,23 @@ mod tests {
     #[test]
     fn multiple_pending_installs_one_position_request() {
         let (mut server, mut net, _) = setup(Propagation::Eager, false);
-        server.install_query(ObjectId(9), QueryRegion::circle(2.0), Filter::True, &mut net);
-        server.install_query(ObjectId(9), QueryRegion::circle(5.0), Filter::True, &mut net);
-        assert_eq!(net.meter().unicast_msgs, 1, "one position request for both installs");
+        server.install_query(
+            ObjectId(9),
+            QueryRegion::circle(2.0),
+            Filter::True,
+            &mut net,
+        );
+        server.install_query(
+            ObjectId(9),
+            QueryRegion::circle(5.0),
+            Filter::True,
+            &mut net,
+        );
+        assert_eq!(
+            net.meter().unicast_msgs,
+            1,
+            "one position request for both installs"
+        );
         register(&mut server, &mut net, ObjectId(9), 20.0, 20.0);
         assert_eq!(server.num_queries(), 2);
         server.check_invariants();
@@ -668,7 +831,12 @@ mod tests {
     fn remove_query_cleans_all_state() {
         let (mut server, mut net, _) = setup(Propagation::Eager, false);
         register(&mut server, &mut net, ObjectId(1), 55.0, 55.0);
-        let qid = server.install_query(ObjectId(1), QueryRegion::circle(3.0), Filter::True, &mut net);
+        let qid = server.install_query(
+            ObjectId(1),
+            QueryRegion::circle(3.0),
+            Filter::True,
+            &mut net,
+        );
         assert!(server.remove_query(qid, &mut net));
         assert_eq!(server.num_queries(), 0);
         let cell = server.config().grid.cell_of(Point::new(55.0, 55.0));
@@ -681,16 +849,27 @@ mod tests {
     fn result_updates_are_differential() {
         let (mut server, mut net, _) = setup(Propagation::Eager, false);
         register(&mut server, &mut net, ObjectId(1), 55.0, 55.0);
-        let qid = server.install_query(ObjectId(1), QueryRegion::circle(3.0), Filter::True, &mut net);
+        let qid = server.install_query(
+            ObjectId(1),
+            QueryRegion::circle(3.0),
+            Filter::True,
+            &mut net,
+        );
         server.handle_uplink(
             NodeId(2),
-            Uplink::ResultUpdate { oid: ObjectId(2), changes: vec![(qid, true)] },
+            Uplink::ResultUpdate {
+                oid: ObjectId(2),
+                changes: vec![(qid, true)],
+            },
             &mut net,
         );
         assert!(server.query_result(qid).unwrap().contains(&ObjectId(2)));
         server.handle_uplink(
             NodeId(2),
-            Uplink::ResultUpdate { oid: ObjectId(2), changes: vec![(qid, false)] },
+            Uplink::ResultUpdate {
+                oid: ObjectId(2),
+                changes: vec![(qid, false)],
+            },
             &mut net,
         );
         assert!(!server.query_result(qid).unwrap().contains(&ObjectId(2)));
@@ -700,11 +879,19 @@ mod tests {
     fn velocity_report_triggers_region_broadcast() {
         let (mut server, mut net, _) = setup(Propagation::Eager, false);
         register(&mut server, &mut net, ObjectId(1), 55.0, 55.0);
-        server.install_query(ObjectId(1), QueryRegion::circle(3.0), Filter::True, &mut net);
+        server.install_query(
+            ObjectId(1),
+            QueryRegion::circle(3.0),
+            Filter::True,
+            &mut net,
+        );
         let before = net.meter().broadcast_msgs;
         server.handle_uplink(
             NodeId(1),
-            Uplink::VelocityReport { oid: ObjectId(1), motion: motion_at(56.0, 55.0) },
+            Uplink::VelocityReport {
+                oid: ObjectId(1),
+                motion: motion_at(56.0, 55.0),
+            },
             &mut net,
         );
         assert!(net.meter().broadcast_msgs > before);
@@ -717,7 +904,10 @@ mod tests {
         let before = net.meter().broadcast_msgs;
         server.handle_uplink(
             NodeId(3),
-            Uplink::VelocityReport { oid: ObjectId(3), motion: motion_at(1.0, 1.0) },
+            Uplink::VelocityReport {
+                oid: ObjectId(3),
+                motion: motion_at(1.0, 1.0),
+            },
             &mut net,
         );
         assert_eq!(net.meter().broadcast_msgs, before);
@@ -727,7 +917,12 @@ mod tests {
     fn focal_cell_change_moves_monitoring_region() {
         let (mut server, mut net, _) = setup(Propagation::Eager, false);
         register(&mut server, &mut net, ObjectId(1), 55.0, 55.0);
-        let qid = server.install_query(ObjectId(1), QueryRegion::circle(3.0), Filter::True, &mut net);
+        let qid = server.install_query(
+            ObjectId(1),
+            QueryRegion::circle(3.0),
+            Filter::True,
+            &mut net,
+        );
         let grid = server.config().grid.clone();
         let old_cell = grid.cell_of(Point::new(55.0, 55.0));
         let new_cell = grid.cell_of(Point::new(75.0, 55.0));
@@ -752,7 +947,12 @@ mod tests {
     fn non_focal_cell_change_gets_new_queries_unicast() {
         let (mut server, mut net, _) = setup(Propagation::Eager, false);
         register(&mut server, &mut net, ObjectId(1), 55.0, 55.0);
-        server.install_query(ObjectId(1), QueryRegion::circle(3.0), Filter::True, &mut net);
+        server.install_query(
+            ObjectId(1),
+            QueryRegion::circle(3.0),
+            Filter::True,
+            &mut net,
+        );
         let grid = server.config().grid.clone();
         // Object 2 moves from far away into the query's monitoring region.
         let before = net.meter().unicast_msgs;
@@ -766,7 +966,11 @@ mod tests {
             },
             &mut net,
         );
-        assert_eq!(net.meter().unicast_msgs, before + 1, "expected NewQueries unicast");
+        assert_eq!(
+            net.meter().unicast_msgs,
+            before + 1,
+            "expected NewQueries unicast"
+        );
         // Moving between two cells both outside any monitoring region sends
         // nothing.
         let before = net.meter().unicast_msgs;
@@ -789,12 +993,25 @@ mod tests {
         // region -> one grouped broadcast per velocity report.
         let (mut server, mut net, _) = setup(Propagation::Eager, true);
         register(&mut server, &mut net, ObjectId(1), 55.0, 55.0);
-        server.install_query(ObjectId(1), QueryRegion::circle(3.0), Filter::True, &mut net);
-        server.install_query(ObjectId(1), QueryRegion::circle(2.5), Filter::True, &mut net);
+        server.install_query(
+            ObjectId(1),
+            QueryRegion::circle(3.0),
+            Filter::True,
+            &mut net,
+        );
+        server.install_query(
+            ObjectId(1),
+            QueryRegion::circle(2.5),
+            Filter::True,
+            &mut net,
+        );
         let before = net.meter().broadcast_msgs;
         server.handle_uplink(
             NodeId(1),
-            Uplink::VelocityReport { oid: ObjectId(1), motion: motion_at(56.0, 55.0) },
+            Uplink::VelocityReport {
+                oid: ObjectId(1),
+                motion: motion_at(56.0, 55.0),
+            },
             &mut net,
         );
         let grouped_broadcasts = net.meter().broadcast_msgs - before;
@@ -802,12 +1019,25 @@ mod tests {
         // Same scenario without grouping: two broadcasts.
         let (mut server2, mut net2, _) = setup(Propagation::Eager, false);
         register(&mut server2, &mut net2, ObjectId(1), 55.0, 55.0);
-        server2.install_query(ObjectId(1), QueryRegion::circle(3.0), Filter::True, &mut net2);
-        server2.install_query(ObjectId(1), QueryRegion::circle(2.5), Filter::True, &mut net2);
+        server2.install_query(
+            ObjectId(1),
+            QueryRegion::circle(3.0),
+            Filter::True,
+            &mut net2,
+        );
+        server2.install_query(
+            ObjectId(1),
+            QueryRegion::circle(2.5),
+            Filter::True,
+            &mut net2,
+        );
         let before2 = net2.meter().broadcast_msgs;
         server2.handle_uplink(
             NodeId(1),
-            Uplink::VelocityReport { oid: ObjectId(1), motion: motion_at(56.0, 55.0) },
+            Uplink::VelocityReport {
+                oid: ObjectId(1),
+                motion: motion_at(56.0, 55.0),
+            },
             &mut net2,
         );
         let ungrouped_broadcasts = net2.meter().broadcast_msgs - before2;
@@ -818,12 +1048,27 @@ mod tests {
     fn group_result_update_sets_membership_by_slot() {
         let (mut server, mut net, _) = setup(Propagation::Eager, true);
         register(&mut server, &mut net, ObjectId(1), 55.0, 55.0);
-        let q1 = server.install_query(ObjectId(1), QueryRegion::circle(3.0), Filter::True, &mut net);
-        let q2 = server.install_query(ObjectId(1), QueryRegion::circle(2.0), Filter::True, &mut net);
+        let q1 = server.install_query(
+            ObjectId(1),
+            QueryRegion::circle(3.0),
+            Filter::True,
+            &mut net,
+        );
+        let q2 = server.install_query(
+            ObjectId(1),
+            QueryRegion::circle(2.0),
+            Filter::True,
+            &mut net,
+        );
         // Object 5 reports: inside q1 (slot 0), outside q2 (slot 1).
         server.handle_uplink(
             NodeId(5),
-            Uplink::GroupResultUpdate { oid: ObjectId(5), focal: ObjectId(1), mask: 0b11, targets: 0b01 },
+            Uplink::GroupResultUpdate {
+                oid: ObjectId(5),
+                focal: ObjectId(1),
+                mask: 0b11,
+                targets: 0b01,
+            },
             &mut net,
         );
         assert!(server.query_result(q1).unwrap().contains(&ObjectId(5)));
@@ -831,10 +1076,18 @@ mod tests {
         // Masked-out bits leave membership untouched.
         server.handle_uplink(
             NodeId(5),
-            Uplink::GroupResultUpdate { oid: ObjectId(5), focal: ObjectId(1), mask: 0b10, targets: 0b10 },
+            Uplink::GroupResultUpdate {
+                oid: ObjectId(5),
+                focal: ObjectId(1),
+                mask: 0b10,
+                targets: 0b10,
+            },
             &mut net,
         );
-        assert!(server.query_result(q1).unwrap().contains(&ObjectId(5)), "q1 untouched");
+        assert!(
+            server.query_result(q1).unwrap().contains(&ObjectId(5)),
+            "q1 untouched"
+        );
         assert!(server.query_result(q2).unwrap().contains(&ObjectId(5)));
     }
 
@@ -842,21 +1095,33 @@ mod tests {
     fn lazy_propagation_sends_full_state_on_velocity_change() {
         let (mut server, mut net, _) = setup(Propagation::Lazy, false);
         register(&mut server, &mut net, ObjectId(1), 55.0, 55.0);
-        server.install_query(ObjectId(1), QueryRegion::circle(3.0), Filter::True, &mut net);
+        server.install_query(
+            ObjectId(1),
+            QueryRegion::circle(3.0),
+            Filter::True,
+            &mut net,
+        );
         server.handle_uplink(
             NodeId(1),
-            Uplink::VelocityReport { oid: ObjectId(1), motion: motion_at(56.0, 55.0) },
+            Uplink::VelocityReport {
+                oid: ObjectId(1),
+                motion: motion_at(56.0, 55.0),
+            },
             &mut net,
         );
         // Deliver at a point inside the monitoring region and inspect.
         let mut inbox = Vec::new();
         net.deliver(NodeId(7), Point::new(55.0, 55.0), &mut inbox);
         assert!(
-            inbox.iter().any(|m| matches!(m, Downlink::QueryState { .. })),
+            inbox
+                .iter()
+                .any(|m| matches!(m, Downlink::QueryState { .. })),
             "lazy mode must ship full query state, got {inbox:?}"
         );
         assert!(
-            !inbox.iter().any(|m| matches!(m, Downlink::VelocityChange { .. })),
+            !inbox
+                .iter()
+                .any(|m| matches!(m, Downlink::VelocityChange { .. })),
             "lazy mode must not ship bare velocity changes"
         );
     }
@@ -865,15 +1130,35 @@ mod tests {
     fn slot_reuse_after_removal() {
         let (mut server, mut net, _) = setup(Propagation::Eager, true);
         register(&mut server, &mut net, ObjectId(1), 55.0, 55.0);
-        let _q1 = server.install_query(ObjectId(1), QueryRegion::circle(3.0), Filter::True, &mut net);
-        let q2 = server.install_query(ObjectId(1), QueryRegion::circle(2.0), Filter::True, &mut net);
+        let _q1 = server.install_query(
+            ObjectId(1),
+            QueryRegion::circle(3.0),
+            Filter::True,
+            &mut net,
+        );
+        let q2 = server.install_query(
+            ObjectId(1),
+            QueryRegion::circle(2.0),
+            Filter::True,
+            &mut net,
+        );
         server.remove_query(q2, &mut net);
-        let q3 = server.install_query(ObjectId(1), QueryRegion::circle(1.0), Filter::True, &mut net);
+        let q3 = server.install_query(
+            ObjectId(1),
+            QueryRegion::circle(1.0),
+            Filter::True,
+            &mut net,
+        );
         // q3 reuses q2's slot (slot 1).
         server.check_invariants();
         server.handle_uplink(
             NodeId(5),
-            Uplink::GroupResultUpdate { oid: ObjectId(5), focal: ObjectId(1), mask: 0b10, targets: 0b10 },
+            Uplink::GroupResultUpdate {
+                oid: ObjectId(5),
+                focal: ObjectId(1),
+                mask: 0b10,
+                targets: 0b10,
+            },
             &mut net,
         );
         assert!(server.query_result(q3).unwrap().contains(&ObjectId(5)));
@@ -883,7 +1168,12 @@ mod tests {
     fn removing_last_query_clears_focal_flag() {
         let (mut server, mut net, _) = setup(Propagation::Eager, false);
         register(&mut server, &mut net, ObjectId(1), 55.0, 55.0);
-        let qid = server.install_query(ObjectId(1), QueryRegion::circle(3.0), Filter::True, &mut net);
+        let qid = server.install_query(
+            ObjectId(1),
+            QueryRegion::circle(3.0),
+            Filter::True,
+            &mut net,
+        );
         server.remove_query(qid, &mut net);
         // A FocalNotify{false} unicast went to the ex-focal object.
         let mut inbox = Vec::new();

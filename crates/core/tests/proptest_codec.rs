@@ -1,166 +1,242 @@
-//! Codec property tests: for *arbitrary* protocol messages, the binary
+//! Codec property tests: for *randomized* protocol messages, the binary
 //! encoding must round-trip exactly and its length must equal the declared
 //! `wire_size` that drives all messaging-cost accounting.
+//!
+//! Uses a seeded splitmix64 sweep so every run checks the same cases.
 
-use mobieyes_core::codec::{decode_downlink, decode_uplink, downlink_bytes, uplink_bytes};
-use mobieyes_core::{Downlink, Filter, ObjectId, PropValue, QueryGroupInfo, QueryId, QuerySpec, Uplink};
+use mobieyes_core::codec::{decode_downlink, decode_uplink, downlink_bytes, uplink_bytes, Reader};
+use mobieyes_core::{
+    Downlink, Filter, ObjectId, PropValue, QueryGroupInfo, QueryId, QuerySpec, Uplink,
+};
 use mobieyes_geo::{CellId, GridRect, LinearMotion, Point, QueryRegion, Vec2};
 use mobieyes_net::WireSized;
-use proptest::prelude::*;
 use std::sync::Arc;
 
-fn arb_motion() -> impl Strategy<Value = LinearMotion> {
-    (-1e3..1e3f64, -1e3..1e3f64, -1.0..1.0f64, -1.0..1.0f64, 0.0..1e6f64)
-        .prop_map(|(x, y, vx, vy, tm)| LinearMotion::new(Point::new(x, y), Vec2::new(vx, vy), tm))
+/// Deterministic splitmix64 generator.
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + self.unit() * (hi - lo)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+
+    fn coin(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
 }
 
-fn arb_prop_value() -> impl Strategy<Value = PropValue> {
-    prop_oneof![
-        any::<i64>().prop_map(PropValue::Int),
-        (-1e6..1e6f64).prop_map(PropValue::Float),
-        "[a-z]{0,12}".prop_map(PropValue::Text),
-        any::<bool>().prop_map(PropValue::Bool),
-    ]
-}
-
-fn arb_filter() -> impl Strategy<Value = Filter> {
-    let leaf = prop_oneof![
-        Just(Filter::True),
-        Just(Filter::False),
-        (0.0..1.0f64, any::<u64>())
-            .prop_map(|(s, salt)| Filter::Selectivity { selectivity: s, salt }),
-        ("[a-z]{1,8}", arb_prop_value()).prop_map(|(k, v)| Filter::Eq(k, v)),
-        ("[a-z]{1,8}", -100.0..100.0f64).prop_map(|(k, x)| Filter::Lt(k, x)),
-        ("[a-z]{1,8}", -100.0..100.0f64).prop_map(|(k, x)| Filter::Gt(k, x)),
-    ];
-    leaf.prop_recursive(3, 16, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Filter::And(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Filter::Or(Box::new(a), Box::new(b))),
-            inner.prop_map(|f| Filter::Not(Box::new(f))),
-        ]
-    })
-}
-
-fn arb_region() -> impl Strategy<Value = QueryRegion> {
-    prop_oneof![
-        (0.0..50.0f64).prop_map(QueryRegion::circle),
-        (0.0..50.0f64, 0.0..50.0f64).prop_map(|(w, h)| QueryRegion::rect(w, h)),
-    ]
-}
-
-fn arb_group_info() -> impl Strategy<Value = QueryGroupInfo> {
-    (
-        any::<u32>(),
-        arb_motion(),
-        0.0..0.1f64,
-        (0u32..100, 0u32..100, 0u32..10, 0u32..10),
-        prop::collection::vec((any::<u32>(), arb_region(), arb_filter(), any::<u8>()), 0..5),
+fn rand_motion(rng: &mut Rng) -> LinearMotion {
+    LinearMotion::new(
+        Point::new(rng.range(-1e3, 1e3), rng.range(-1e3, 1e3)),
+        Vec2::new(rng.range(-1.0, 1.0), rng.range(-1.0, 1.0)),
+        rng.range(0.0, 1e6),
     )
-        .prop_map(|(focal, motion, max_vel, (x0, y0, dx, dy), specs)| QueryGroupInfo {
-            focal: ObjectId(focal),
-            motion,
-            max_vel,
-            mon_region: GridRect { x0, y0, x1: x0 + dx, y1: y0 + dy },
-            queries: Arc::new(
-                specs
-                    .into_iter()
-                    .map(|(qid, region, filter, slot)| QuerySpec {
-                        qid: QueryId(qid),
-                        region,
-                        filter: Arc::new(filter),
-                        slot,
-                    })
-                    .collect(),
-            ),
+}
+
+fn rand_text(rng: &mut Rng, max_len: u64) -> String {
+    let len = rng.below(max_len + 1);
+    (0..len)
+        .map(|_| (b'a' + rng.below(26) as u8) as char)
+        .collect()
+}
+
+fn rand_key(rng: &mut Rng) -> String {
+    let len = 1 + rng.below(8);
+    (0..len)
+        .map(|_| (b'a' + rng.below(26) as u8) as char)
+        .collect()
+}
+
+fn rand_prop_value(rng: &mut Rng) -> PropValue {
+    match rng.below(4) {
+        0 => PropValue::Int(rng.next_u64() as i64),
+        1 => PropValue::Float(rng.range(-1e6, 1e6)),
+        2 => PropValue::Text(rand_text(rng, 12)),
+        _ => PropValue::Bool(rng.coin()),
+    }
+}
+
+fn rand_filter(rng: &mut Rng, depth: u32) -> Filter {
+    let pick = if depth == 0 {
+        rng.below(6)
+    } else {
+        rng.below(9)
+    };
+    match pick {
+        0 => Filter::True,
+        1 => Filter::False,
+        2 => Filter::Selectivity {
+            selectivity: rng.unit(),
+            salt: rng.next_u64(),
+        },
+        3 => Filter::Eq(rand_key(rng), rand_prop_value(rng)),
+        4 => Filter::Lt(rand_key(rng), rng.range(-100.0, 100.0)),
+        5 => Filter::Gt(rand_key(rng), rng.range(-100.0, 100.0)),
+        6 => Filter::And(
+            Box::new(rand_filter(rng, depth - 1)),
+            Box::new(rand_filter(rng, depth - 1)),
+        ),
+        7 => Filter::Or(
+            Box::new(rand_filter(rng, depth - 1)),
+            Box::new(rand_filter(rng, depth - 1)),
+        ),
+        _ => Filter::Not(Box::new(rand_filter(rng, depth - 1))),
+    }
+}
+
+fn rand_region(rng: &mut Rng) -> QueryRegion {
+    if rng.coin() {
+        QueryRegion::circle(rng.range(0.0, 50.0))
+    } else {
+        QueryRegion::rect(rng.range(0.0, 50.0), rng.range(0.0, 50.0))
+    }
+}
+
+fn rand_group_info(rng: &mut Rng) -> QueryGroupInfo {
+    let x0 = rng.below(100) as u32;
+    let y0 = rng.below(100) as u32;
+    let specs: Vec<QuerySpec> = (0..rng.below(5))
+        .map(|_| QuerySpec {
+            qid: QueryId(rng.next_u64() as u32),
+            region: rand_region(rng),
+            filter: Arc::new(rand_filter(rng, 3)),
+            slot: rng.next_u64() as u8,
         })
+        .collect();
+    QueryGroupInfo {
+        focal: ObjectId(rng.next_u64() as u32),
+        motion: rand_motion(rng),
+        max_vel: rng.range(0.0, 0.1),
+        mon_region: GridRect {
+            x0,
+            y0,
+            x1: x0 + rng.below(10) as u32,
+            y1: y0 + rng.below(10) as u32,
+        },
+        queries: Arc::new(specs),
+    }
 }
 
-fn arb_uplink() -> impl Strategy<Value = Uplink> {
-    prop_oneof![
-        (any::<u32>(), arb_motion())
-            .prop_map(|(o, m)| Uplink::VelocityReport { oid: ObjectId(o), motion: m }),
-        (any::<u32>(), 0u32..100, 0u32..100, 0u32..100, 0u32..100, arb_motion()).prop_map(
-            |(o, a, b, c, d, m)| Uplink::CellChange {
-                oid: ObjectId(o),
-                prev_cell: CellId::new(a, b),
-                new_cell: CellId::new(c, d),
-                motion: m,
-            }
-        ),
-        (any::<u32>(), prop::collection::vec((any::<u32>(), any::<bool>()), 0..20)).prop_map(
-            |(o, ch)| Uplink::ResultUpdate {
-                oid: ObjectId(o),
-                changes: ch.into_iter().map(|(q, b)| (QueryId(q), b)).collect(),
-            }
-        ),
-        (any::<u32>(), any::<u32>(), any::<u64>(), any::<u64>()).prop_map(
-            |(o, f, mask, targets)| Uplink::GroupResultUpdate {
-                oid: ObjectId(o),
-                focal: ObjectId(f),
-                mask,
-                targets,
-            }
-        ),
-        (any::<u32>(), arb_motion(), 0.0..0.1f64).prop_map(|(o, m, v)| Uplink::PositionReply {
-            oid: ObjectId(o),
-            motion: m,
-            max_vel: v,
-        }),
-    ]
+fn rand_uplink(rng: &mut Rng) -> Uplink {
+    match rng.below(5) {
+        0 => Uplink::VelocityReport {
+            oid: ObjectId(rng.next_u64() as u32),
+            motion: rand_motion(rng),
+        },
+        1 => Uplink::CellChange {
+            oid: ObjectId(rng.next_u64() as u32),
+            prev_cell: CellId::new(rng.below(100) as u32, rng.below(100) as u32),
+            new_cell: CellId::new(rng.below(100) as u32, rng.below(100) as u32),
+            motion: rand_motion(rng),
+        },
+        2 => Uplink::ResultUpdate {
+            oid: ObjectId(rng.next_u64() as u32),
+            changes: (0..rng.below(20))
+                .map(|_| (QueryId(rng.next_u64() as u32), rng.coin()))
+                .collect(),
+        },
+        3 => Uplink::GroupResultUpdate {
+            oid: ObjectId(rng.next_u64() as u32),
+            focal: ObjectId(rng.next_u64() as u32),
+            mask: rng.next_u64(),
+            targets: rng.next_u64(),
+        },
+        _ => Uplink::PositionReply {
+            oid: ObjectId(rng.next_u64() as u32),
+            motion: rand_motion(rng),
+            max_vel: rng.range(0.0, 0.1),
+        },
+    }
 }
 
-fn arb_downlink() -> impl Strategy<Value = Downlink> {
-    prop_oneof![
-        arb_group_info().prop_map(|info| Downlink::QueryState { info }),
-        (any::<u32>(), arb_motion(), prop::collection::vec(any::<u32>(), 0..20)).prop_map(
-            |(f, m, qids)| Downlink::VelocityChange {
-                focal: ObjectId(f),
-                motion: m,
-                qids: qids.into_iter().map(QueryId).collect(),
-            }
-        ),
-        prop::collection::vec(arb_group_info(), 0..3)
-            .prop_map(|infos| Downlink::NewQueries { infos }),
-        any::<u32>().prop_map(|q| Downlink::RemoveQuery { qid: QueryId(q) }),
-        any::<bool>().prop_map(|b| Downlink::FocalNotify { is_focal: b }),
-        Just(Downlink::PositionRequest),
-        (any::<u32>(), any::<u32>(), any::<bool>()).prop_map(|(q, o, e)| Downlink::ResultDelta {
-            qid: QueryId(q),
-            object: ObjectId(o),
-            entered: e,
-        }),
-    ]
+fn rand_downlink(rng: &mut Rng) -> Downlink {
+    match rng.below(7) {
+        0 => Downlink::QueryState {
+            info: rand_group_info(rng),
+        },
+        1 => Downlink::VelocityChange {
+            focal: ObjectId(rng.next_u64() as u32),
+            motion: rand_motion(rng),
+            qids: (0..rng.below(20))
+                .map(|_| QueryId(rng.next_u64() as u32))
+                .collect(),
+        },
+        2 => Downlink::NewQueries {
+            infos: (0..rng.below(3)).map(|_| rand_group_info(rng)).collect(),
+        },
+        3 => Downlink::RemoveQuery {
+            qid: QueryId(rng.next_u64() as u32),
+        },
+        4 => Downlink::FocalNotify {
+            is_focal: rng.coin(),
+        },
+        5 => Downlink::PositionRequest,
+        _ => Downlink::ResultDelta {
+            qid: QueryId(rng.next_u64() as u32),
+            object: ObjectId(rng.next_u64() as u32),
+            entered: rng.coin(),
+        },
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn uplink_roundtrip(msg in arb_uplink()) {
+#[test]
+fn uplink_roundtrip() {
+    let mut rng = Rng(0x5eed_c0de_c001);
+    for case in 0..256 {
+        let msg = rand_uplink(&mut rng);
         let bytes = uplink_bytes(&msg);
-        prop_assert_eq!(bytes.len(), msg.wire_size(), "wire_size mismatch");
-        let mut buf = bytes;
+        assert_eq!(
+            bytes.len(),
+            msg.wire_size(),
+            "case {case}: wire_size mismatch for {msg:?}"
+        );
+        let mut buf = Reader::new(&bytes);
         let decoded = decode_uplink(&mut buf).expect("decodes");
-        prop_assert_eq!(decoded, msg);
-        prop_assert_eq!(bytes::Buf::remaining(&buf), 0);
+        assert_eq!(decoded, msg, "case {case}");
+        assert_eq!(buf.remaining(), 0, "case {case}: trailing bytes");
     }
+}
 
-    #[test]
-    fn downlink_roundtrip(msg in arb_downlink()) {
+#[test]
+fn downlink_roundtrip() {
+    let mut rng = Rng(0x5eed_c0de_c002);
+    for case in 0..256 {
+        let msg = rand_downlink(&mut rng);
         let bytes = downlink_bytes(&msg);
-        prop_assert_eq!(bytes.len(), msg.wire_size(), "wire_size mismatch");
-        let mut buf = bytes;
+        assert_eq!(
+            bytes.len(),
+            msg.wire_size(),
+            "case {case}: wire_size mismatch for {msg:?}"
+        );
+        let mut buf = Reader::new(&bytes);
         let decoded = decode_downlink(&mut buf).expect("decodes");
-        prop_assert_eq!(decoded, msg);
-        prop_assert_eq!(bytes::Buf::remaining(&buf), 0);
+        assert_eq!(decoded, msg, "case {case}");
+        assert_eq!(buf.remaining(), 0, "case {case}: trailing bytes");
     }
+}
 
-    #[test]
-    fn decoder_never_panics_on_garbage(data in prop::collection::vec(any::<u8>(), 0..200)) {
-        let mut buf = bytes::Bytes::from(data.clone());
-        let _ = decode_uplink(&mut buf);
-        let mut buf = bytes::Bytes::from(data);
-        let _ = decode_downlink(&mut buf);
+#[test]
+fn decoder_never_panics_on_garbage() {
+    let mut rng = Rng(0x5eed_c0de_c003);
+    for _ in 0..256 {
+        let data: Vec<u8> = (0..rng.below(200)).map(|_| rng.next_u64() as u8).collect();
+        let _ = decode_uplink(&mut Reader::new(&data));
+        let _ = decode_downlink(&mut Reader::new(&data));
     }
 }

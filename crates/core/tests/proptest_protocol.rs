@@ -1,6 +1,8 @@
 //! Protocol-level property test: random small scenarios must keep all
 //! server invariants intact, and once motion stops the distributed result
 //! must converge exactly to the brute-force answer.
+//!
+//! Uses a seeded splitmix64 sweep so every run checks the same cases.
 
 use mobieyes_core::server::Net;
 use mobieyes_core::{
@@ -8,11 +10,39 @@ use mobieyes_core::{
 };
 use mobieyes_geo::{Grid, Point, QueryRegion, Rect, Vec2};
 use mobieyes_net::BaseStationLayout;
-use proptest::prelude::*;
 use std::sync::Arc;
 
 const SIDE: f64 = 60.0;
 const TS: f64 = 30.0;
+
+/// Deterministic splitmix64 generator.
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + self.unit() * (hi - lo)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+
+    fn coin(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
 
 #[derive(Debug, Clone)]
 struct Scenario {
@@ -27,29 +57,35 @@ struct Scenario {
     safe_period: bool,
 }
 
-fn arb_scenario() -> impl Strategy<Value = Scenario> {
-    (3usize..10, 1usize..5, 2usize..6, any::<bool>(), any::<bool>(), any::<bool>()).prop_flat_map(
-        |(n, q, ticks, lazy, grouping, safe_period)| {
-            let objects = prop::collection::vec((5.0..55.0f64, 5.0..55.0f64), n);
-            let queries = prop::collection::vec((0..n, 1.0..12.0f64), q);
-            let moves = prop::collection::vec((-0.05..0.05f64, -0.05..0.05f64), n * ticks);
-            (objects, queries, moves).prop_map(move |(objects, queries, moves)| Scenario {
-                objects,
-                queries,
-                moves,
-                lazy,
-                grouping,
-                safe_period,
-            })
-        },
-    )
+fn rand_scenario(rng: &mut Rng) -> Scenario {
+    let n = 3 + rng.below(7) as usize;
+    let q = 1 + rng.below(4) as usize;
+    let ticks = 2 + rng.below(4) as usize;
+    Scenario {
+        objects: (0..n)
+            .map(|_| (rng.range(5.0, 55.0), rng.range(5.0, 55.0)))
+            .collect(),
+        queries: (0..q)
+            .map(|_| (rng.below(n as u64) as usize, rng.range(1.0, 12.0)))
+            .collect(),
+        moves: (0..n * ticks)
+            .map(|_| (rng.range(-0.05, 0.05), rng.range(-0.05, 0.05)))
+            .collect(),
+        lazy: rng.coin(),
+        grouping: rng.coin(),
+        safe_period: rng.coin(),
+    }
 }
 
-fn run_scenario(s: &Scenario) -> Result<(), TestCaseError> {
+fn run_scenario(case: usize, s: &Scenario) {
     let universe = Rect::new(0.0, 0.0, SIDE, SIDE);
     let config = Arc::new(
         ProtocolConfig::new(Grid::new(universe, 8.0))
-            .with_propagation(if s.lazy { Propagation::Lazy } else { Propagation::Eager })
+            .with_propagation(if s.lazy {
+                Propagation::Lazy
+            } else {
+                Propagation::Eager
+            })
             .with_grouping(s.grouping)
             .with_safe_period(s.safe_period)
             .with_delta(0.05),
@@ -62,24 +98,36 @@ fn run_scenario(s: &Scenario) -> Result<(), TestCaseError> {
         .iter()
         .enumerate()
         .map(|(i, &p)| {
-            MovingObjectAgent::new(ObjectId(i as u32), Properties::new(), 0.08, p, Vec2::ZERO, Arc::clone(&config))
+            MovingObjectAgent::new(
+                ObjectId(i as u32),
+                Properties::new(),
+                0.08,
+                p,
+                Vec2::ZERO,
+                Arc::clone(&config),
+            )
         })
         .collect();
     let qids: Vec<_> = s
         .queries
         .iter()
         .map(|&(f, r)| {
-            server.install_query(ObjectId(f as u32), QueryRegion::circle(r), Filter::True, &mut net)
+            server.install_query(
+                ObjectId(f as u32),
+                QueryRegion::circle(r),
+                Filter::True,
+                &mut net,
+            )
         })
         .collect();
 
     let ticks = s.moves.len() / n;
     let step = |t: f64,
-                    positions: &mut Vec<Point>,
-                    agents: &mut Vec<MovingObjectAgent>,
-                    server: &mut Server,
-                    net: &mut Net,
-                    vels: &[Vec2]| {
+                positions: &mut Vec<Point>,
+                agents: &mut Vec<MovingObjectAgent>,
+                server: &mut Server,
+                net: &mut Net,
+                vels: &[Vec2]| {
         for i in 0..n {
             let p = positions[i] + vels[i] * TS;
             positions[i] = Point::new(p.x.clamp(0.0, SIDE), p.y.clamp(0.0, SIDE));
@@ -100,9 +148,17 @@ fn run_scenario(s: &Scenario) -> Result<(), TestCaseError> {
 
     // Moving phase.
     for k in 0..ticks {
-        let vels: Vec<Vec2> =
-            (0..n).map(|i| Vec2::new(s.moves[k * n + i].0, s.moves[k * n + i].1)).collect();
-        step((k + 1) as f64 * TS, &mut positions, &mut agents, &mut server, &mut net, &vels);
+        let vels: Vec<Vec2> = (0..n)
+            .map(|i| Vec2::new(s.moves[k * n + i].0, s.moves[k * n + i].1))
+            .collect();
+        step(
+            (k + 1) as f64 * TS,
+            &mut positions,
+            &mut agents,
+            &mut server,
+            &mut net,
+            &vels,
+        );
     }
     // Freeze: everyone stops; dead reckoning converges; results must be
     // exactly the brute-force answer under every mode (safe periods only
@@ -132,26 +188,24 @@ fn run_scenario(s: &Scenario) -> Result<(), TestCaseError> {
         // focal event ever reached its cell; tolerate missing members under
         // lazy mode but never spurious ones.
         if s.lazy {
-            prop_assert!(
+            assert!(
                 got.is_subset(&expect),
-                "query {qi}: spurious members {got:?} vs {expect:?}"
+                "case {case} query {qi}: spurious members {got:?} vs {expect:?}"
             );
         } else {
-            prop_assert_eq!(
-                &got, &expect,
-                "query {} (focal {}, r {}): got {:?}, want {:?}",
-                qi, f, r, &got, &expect
+            assert_eq!(
+                got, expect,
+                "case {case} query {qi} (focal {f}, r {r}): got {got:?}, want {expect:?}"
             );
         }
     }
-    Ok(())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn random_scenarios_converge_to_exact_results(s in arb_scenario()) {
-        run_scenario(&s)?;
+#[test]
+fn random_scenarios_converge_to_exact_results() {
+    let mut rng = Rng(0x5eed_9207_0c01);
+    for case in 0..48 {
+        let s = rand_scenario(&mut rng);
+        run_scenario(case, &s);
     }
 }

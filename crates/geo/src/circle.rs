@@ -33,7 +33,12 @@ impl Circle {
     /// Tight axis-aligned bounding rectangle.
     #[inline]
     pub fn bbox(&self) -> Rect {
-        Rect::new(self.center.x - self.r, self.center.y - self.r, 2.0 * self.r, 2.0 * self.r)
+        Rect::new(
+            self.center.x - self.r,
+            self.center.y - self.r,
+            2.0 * self.r,
+            2.0 * self.r,
+        )
     }
 
     /// True when the disc and the (closed) rectangle share a point.
@@ -85,7 +90,7 @@ mod tests {
         assert!(c.intersects_rect(&Rect::new(-0.5, -0.5, 1.0, 1.0))); // center inside
         assert!(c.intersects_rect(&Rect::new(1.0, -0.5, 1.0, 1.0))); // touches edge
         assert!(!c.intersects_rect(&Rect::new(1.1, 1.1, 1.0, 1.0))); // corner too far
-        // A rect whose corner region is near but diagonal distance > r.
+                                                                     // A rect whose corner region is near but diagonal distance > r.
         assert!(!c.intersects_rect(&Rect::new(0.8, 0.8, 1.0, 1.0)));
     }
 

@@ -44,11 +44,22 @@ impl Grid {
     /// Panics when α is not strictly positive / finite or the universe is
     /// degenerate.
     pub fn new(universe: Rect, alpha: f64) -> Self {
-        assert!(alpha > 0.0 && alpha.is_finite(), "grid cell side must be positive");
-        assert!(universe.w() > 0.0 && universe.h() > 0.0, "degenerate universe of discourse");
+        assert!(
+            alpha > 0.0 && alpha.is_finite(),
+            "grid cell side must be positive"
+        );
+        assert!(
+            universe.w() > 0.0 && universe.h() > 0.0,
+            "degenerate universe of discourse"
+        );
         let cols = (universe.w() / alpha).ceil() as u32;
         let rows = (universe.h() / alpha).ceil() as u32;
-        Grid { universe, alpha, cols, rows }
+        Grid {
+            universe,
+            alpha,
+            cols,
+            rows,
+        }
     }
 
     /// Total number of cells `M * N`.
@@ -109,16 +120,35 @@ impl Grid {
         let hi_y = gy(rect.hy()).floor() as i64;
         // A high edge exactly on a boundary k*α touches cell k as well, which
         // floor already yields; a low edge on k*α touches cell k-1 too.
-        let lo_x = if gx(rect.lx).fract() == 0.0 { lo_x - 1 } else { lo_x };
-        let lo_y = if gy(rect.ly).fract() == 0.0 { lo_y - 1 } else { lo_y };
+        let lo_x = if gx(rect.lx).fract() == 0.0 {
+            lo_x - 1
+        } else {
+            lo_x
+        };
+        let lo_y = if gy(rect.ly).fract() == 0.0 {
+            lo_y - 1
+        } else {
+            lo_y
+        };
         let x0 = lo_x.clamp(0, self.cols as i64 - 1);
         let y0 = lo_y.clamp(0, self.rows as i64 - 1);
         let x1 = hi_x.clamp(-1, self.cols as i64 - 1);
         let y1 = hi_y.clamp(-1, self.rows as i64 - 1);
-        if hi_x < 0 || hi_y < 0 || lo_x >= self.cols as i64 || lo_y >= self.rows as i64 || x1 < x0 || y1 < y0 {
+        if hi_x < 0
+            || hi_y < 0
+            || lo_x >= self.cols as i64
+            || lo_y >= self.rows as i64
+            || x1 < x0
+            || y1 < y0
+        {
             return GridRect::EMPTY;
         }
-        GridRect { x0: x0 as u32, y0: y0 as u32, x1: x1 as u32, y1: y1 as u32 }
+        GridRect {
+            x0: x0 as u32,
+            y0: y0 as u32,
+            x1: x1 as u32,
+            y1: y1 as u32,
+        }
     }
 
     /// The paper's `bound_box(q)`: the focal cell's rectangle inflated by the
@@ -127,7 +157,12 @@ impl Grid {
     pub fn bound_box(&self, cell: CellId, reach: f64) -> Rect {
         debug_assert!(reach >= 0.0);
         let rc = self.cell_rect(cell);
-        Rect::new(rc.lx - reach, rc.ly - reach, rc.w() + 2.0 * reach, rc.h() + 2.0 * reach)
+        Rect::new(
+            rc.lx - reach,
+            rc.ly - reach,
+            rc.w() + 2.0 * reach,
+            rc.h() + 2.0 * reach,
+        )
     }
 
     /// The paper's `mon_region(q)`: all grid cells intersecting the bounding
@@ -152,11 +187,21 @@ pub struct GridRect {
 
 impl GridRect {
     /// The canonical empty range (x0 > x1).
-    pub const EMPTY: GridRect = GridRect { x0: 1, y0: 1, x1: 0, y1: 0 };
+    pub const EMPTY: GridRect = GridRect {
+        x0: 1,
+        y0: 1,
+        x1: 0,
+        y1: 0,
+    };
 
     #[inline]
     pub fn single(c: CellId) -> Self {
-        GridRect { x0: c.x, y0: c.y, x1: c.x, y1: c.y }
+        GridRect {
+            x0: c.x,
+            y0: c.y,
+            x1: c.x,
+            y1: c.y,
+        }
     }
 
     #[inline]
@@ -284,7 +329,15 @@ mod tests {
     fn cells_overlapping_interior_rect() {
         let g = grid10();
         let gr = g.cells_overlapping(&Rect::new(12.0, 12.0, 15.0, 5.0));
-        assert_eq!(gr, GridRect { x0: 1, y0: 1, x1: 2, y1: 1 });
+        assert_eq!(
+            gr,
+            GridRect {
+                x0: 1,
+                y0: 1,
+                x1: 2,
+                y1: 1
+            }
+        );
         assert_eq!(gr.len(), 2);
     }
 
@@ -294,16 +347,36 @@ mod tests {
         // Rect exactly [10,20]x[10,20] touches cells 0..=2 in each axis
         // under closed intersection semantics.
         let gr = g.cells_overlapping(&Rect::new(10.0, 10.0, 10.0, 10.0));
-        assert_eq!(gr, GridRect { x0: 0, y0: 0, x1: 2, y1: 2 });
+        assert_eq!(
+            gr,
+            GridRect {
+                x0: 0,
+                y0: 0,
+                x1: 2,
+                y1: 2
+            }
+        );
     }
 
     #[test]
     fn cells_overlapping_clamps_to_grid() {
         let g = grid10();
         let gr = g.cells_overlapping(&Rect::new(-50.0, -50.0, 200.0, 200.0));
-        assert_eq!(gr, GridRect { x0: 0, y0: 0, x1: 9, y1: 9 });
-        assert!(g.cells_overlapping(&Rect::new(200.0, 200.0, 5.0, 5.0)).is_empty());
-        assert!(g.cells_overlapping(&Rect::new(-50.0, -50.0, 5.0, 5.0)).is_empty());
+        assert_eq!(
+            gr,
+            GridRect {
+                x0: 0,
+                y0: 0,
+                x1: 9,
+                y1: 9
+            }
+        );
+        assert!(g
+            .cells_overlapping(&Rect::new(200.0, 200.0, 5.0, 5.0))
+            .is_empty());
+        assert!(g
+            .cells_overlapping(&Rect::new(-50.0, -50.0, 5.0, 5.0))
+            .is_empty());
     }
 
     #[test]
@@ -343,24 +416,63 @@ mod tests {
         // With radius < α and the focal cell interior, the monitoring region
         // is the focal cell plus its 8 neighbors (boundary-touching included).
         let mr = g.monitoring_region(CellId::new(5, 5), 3.0);
-        assert_eq!(mr, GridRect { x0: 4, y0: 4, x1: 6, y1: 6 });
+        assert_eq!(
+            mr,
+            GridRect {
+                x0: 4,
+                y0: 4,
+                x1: 6,
+                y1: 6
+            }
+        );
     }
 
     #[test]
     fn monitoring_region_at_corner_is_clipped() {
         let g = grid10();
         let mr = g.monitoring_region(CellId::new(0, 0), 3.0);
-        assert_eq!(mr, GridRect { x0: 0, y0: 0, x1: 1, y1: 1 });
+        assert_eq!(
+            mr,
+            GridRect {
+                x0: 0,
+                y0: 0,
+                x1: 1,
+                y1: 1
+            }
+        );
     }
 
     #[test]
     fn gridrect_ops() {
-        let a = GridRect { x0: 1, y0: 1, x1: 3, y1: 2 };
-        let b = GridRect { x0: 3, y0: 2, x1: 5, y1: 5 };
-        let c = GridRect { x0: 7, y0: 7, x1: 8, y1: 8 };
+        let a = GridRect {
+            x0: 1,
+            y0: 1,
+            x1: 3,
+            y1: 2,
+        };
+        let b = GridRect {
+            x0: 3,
+            y0: 2,
+            x1: 5,
+            y1: 5,
+        };
+        let c = GridRect {
+            x0: 7,
+            y0: 7,
+            x1: 8,
+            y1: 8,
+        };
         assert!(a.intersects(&b));
         assert!(!a.intersects(&c));
-        assert_eq!(a.union(&b), GridRect { x0: 1, y0: 1, x1: 5, y1: 5 });
+        assert_eq!(
+            a.union(&b),
+            GridRect {
+                x0: 1,
+                y0: 1,
+                x1: 5,
+                y1: 5
+            }
+        );
         assert_eq!(a.len(), 6);
         assert!(a.contains(CellId::new(2, 1)));
         assert!(!a.contains(CellId::new(4, 1)));
@@ -373,19 +485,39 @@ mod tests {
         assert_eq!(e.len(), 0);
         assert_eq!(e.iter().count(), 0);
         assert!(!e.contains(CellId::new(0, 0)));
-        assert!(!e.intersects(&GridRect { x0: 0, y0: 0, x1: 9, y1: 9 }));
-        let a = GridRect { x0: 1, y0: 1, x1: 2, y1: 2 };
+        assert!(!e.intersects(&GridRect {
+            x0: 0,
+            y0: 0,
+            x1: 9,
+            y1: 9
+        }));
+        let a = GridRect {
+            x0: 1,
+            y0: 1,
+            x1: 2,
+            y1: 2,
+        };
         assert_eq!(e.union(&a), a);
         assert_eq!(a.union(&e), a);
     }
 
     #[test]
     fn gridrect_iter_row_major() {
-        let a = GridRect { x0: 1, y0: 1, x1: 2, y1: 2 };
+        let a = GridRect {
+            x0: 1,
+            y0: 1,
+            x1: 2,
+            y1: 2,
+        };
         let cells: Vec<_> = a.iter().collect();
         assert_eq!(
             cells,
-            vec![CellId::new(1, 1), CellId::new(2, 1), CellId::new(1, 2), CellId::new(2, 2)]
+            vec![
+                CellId::new(1, 1),
+                CellId::new(2, 1),
+                CellId::new(1, 2),
+                CellId::new(2, 2)
+            ]
         );
     }
 

@@ -30,7 +30,11 @@ impl LinearMotion {
     /// A stationary sample.
     #[inline]
     pub fn at_rest(pos: Point, tm: f64) -> Self {
-        LinearMotion { pos, vel: Vec2::ZERO, tm }
+        LinearMotion {
+            pos,
+            vel: Vec2::ZERO,
+            tm,
+        }
     }
 
     /// Predicted position at time `t` (times before `tm` extrapolate

@@ -33,7 +33,12 @@ impl Rect {
             lx.is_finite() && ly.is_finite() && w.is_finite() && h.is_finite(),
             "non-finite rect"
         );
-        Rect { lx, ly, hx: lx + w, hy: ly + h }
+        Rect {
+            lx,
+            ly,
+            hx: lx + w,
+            hy: ly + h,
+        }
     }
 
     /// Creates a rectangle directly from corner bounds.
@@ -59,7 +64,12 @@ impl Rect {
     /// Degenerate rectangle covering exactly one point.
     #[inline]
     pub fn from_point(p: Point) -> Self {
-        Rect { lx: p.x, ly: p.y, hx: p.x, hy: p.y }
+        Rect {
+            lx: p.x,
+            ly: p.y,
+            hx: p.x,
+            hy: p.y,
+        }
     }
 
     #[inline]
@@ -210,7 +220,10 @@ mod tests {
 
     #[test]
     fn from_bounds_matches_new() {
-        assert_eq!(Rect::from_bounds(1.0, 2.0, 4.0, 6.0), Rect::new(1.0, 2.0, 3.0, 4.0));
+        assert_eq!(
+            Rect::from_bounds(1.0, 2.0, 4.0, 6.0),
+            Rect::new(1.0, 2.0, 3.0, 4.0)
+        );
     }
 
     #[test]

@@ -152,6 +152,9 @@ mod tests {
         let c = Circle::new(Point::ORIGIN, 3.0);
         assert!(c.contains_from(Point::new(1.0, 1.0), Point::new(2.0, 1.0)));
         assert_eq!(c.reach(), 3.0);
-        assert_eq!(c.bbox_from(Point::new(5.0, 5.0)), Rect::new(2.0, 2.0, 6.0, 6.0));
+        assert_eq!(
+            c.bbox_from(Point::new(5.0, 5.0)),
+            Rect::new(2.0, 2.0, 6.0, 6.0)
+        );
     }
 }

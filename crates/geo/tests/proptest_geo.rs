@@ -1,150 +1,223 @@
-//! Property tests for the geometry/grid substrate: the invariants the
-//! protocol's correctness rests on.
+//! Randomized (seeded, deterministic) tests for the geometry/grid
+//! substrate: the invariants the protocol's correctness rests on.
 
 use mobieyes_geo::{Circle, Grid, Point, Rect, Region};
-use proptest::prelude::*;
 
-fn arb_point() -> impl Strategy<Value = Point> {
-    (-50.0..150.0f64, -50.0..150.0f64).prop_map(|(x, y)| Point::new(x, y))
-}
+/// Tiny deterministic generator (splitmix64) so these sweeps are
+/// reproducible without an external property-testing dependency.
+struct Rng(u64);
 
-fn arb_rect() -> impl Strategy<Value = Rect> {
-    (-50.0..150.0f64, -50.0..150.0f64, 0.0..60.0f64, 0.0..60.0f64)
-        .prop_map(|(x, y, w, h)| Rect::new(x, y, w, h))
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn union_contains_both(a in arb_rect(), b in arb_rect()) {
-        let u = a.union(&b);
-        prop_assert!(u.contains_rect(&a));
-        prop_assert!(u.contains_rect(&b));
-        // Union is exact on corners: no larger than needed on any side.
-        prop_assert_eq!(u.lx, a.lx.min(b.lx));
-        prop_assert_eq!(u.hx(), a.hx().max(b.hx()));
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
     }
 
-    #[test]
-    fn intersection_is_contained_and_symmetric(a in arb_rect(), b in arb_rect()) {
+    fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + self.unit() * (hi - lo)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+}
+
+impl Rng {
+    fn point(&mut self) -> Point {
+        Point::new(self.range(-50.0, 150.0), self.range(-50.0, 150.0))
+    }
+
+    fn rect(&mut self) -> Rect {
+        Rect::new(
+            self.range(-50.0, 150.0),
+            self.range(-50.0, 150.0),
+            self.range(0.0, 60.0),
+            self.range(0.0, 60.0),
+        )
+    }
+}
+
+#[test]
+fn union_contains_both() {
+    let mut rng = Rng(1);
+    for _ in 0..256 {
+        let (a, b) = (rng.rect(), rng.rect());
+        let u = a.union(&b);
+        assert!(u.contains_rect(&a));
+        assert!(u.contains_rect(&b));
+        // Union is exact on corners: no larger than needed on any side.
+        assert_eq!(u.lx, a.lx.min(b.lx));
+        assert_eq!(u.hx(), a.hx().max(b.hx()));
+    }
+}
+
+#[test]
+fn intersection_is_contained_and_symmetric() {
+    let mut rng = Rng(2);
+    for _ in 0..256 {
+        let (a, b) = (rng.rect(), rng.rect());
         match (a.intersection(&b), b.intersection(&a)) {
             (Some(i1), Some(i2)) => {
-                prop_assert_eq!(i1, i2);
-                prop_assert!(a.contains_rect(&i1));
-                prop_assert!(b.contains_rect(&i1));
+                assert_eq!(i1, i2);
+                assert!(a.contains_rect(&i1));
+                assert!(b.contains_rect(&i1));
             }
-            (None, None) => prop_assert!(!a.intersects(&b)),
-            _ => prop_assert!(false, "intersection not symmetric"),
+            (None, None) => assert!(!a.intersects(&b)),
+            _ => panic!("intersection not symmetric"),
         }
     }
+}
 
-    #[test]
-    fn overlap_area_matches_intersection(a in arb_rect(), b in arb_rect()) {
+#[test]
+fn overlap_area_matches_intersection() {
+    let mut rng = Rng(3);
+    for _ in 0..256 {
+        let (a, b) = (rng.rect(), rng.rect());
         let via_area = a.overlap_area(&b);
         let via_rect = a.intersection(&b).map(|r| r.area()).unwrap_or(0.0);
-        prop_assert!((via_area - via_rect).abs() < 1e-9);
+        assert!((via_area - via_rect).abs() < 1e-9);
     }
+}
 
-    #[test]
-    fn point_containment_consistent_with_distance(r in arb_rect(), p in arb_point()) {
+#[test]
+fn point_containment_consistent_with_distance() {
+    let mut rng = Rng(4);
+    for _ in 0..256 {
+        let (r, p) = (rng.rect(), rng.point());
         if r.contains_point(p) {
-            prop_assert_eq!(r.distance_to_point(p), 0.0);
+            assert_eq!(r.distance_to_point(p), 0.0);
         } else {
-            prop_assert!(r.distance_to_point(p) > 0.0);
+            assert!(r.distance_to_point(p) > 0.0);
         }
     }
+}
 
-    #[test]
-    fn circle_rect_intersection_agrees_with_sampling(
-        cx in -20.0..120.0f64, cy in -20.0..120.0f64, radius in 0.1..40.0f64, r in arb_rect()
-    ) {
+#[test]
+fn circle_rect_intersection_agrees_with_closest_point() {
+    let mut rng = Rng(5);
+    for _ in 0..256 {
+        let (cx, cy) = (rng.range(-20.0, 120.0), rng.range(-20.0, 120.0));
+        let radius = rng.range(0.1, 40.0);
+        let r = rng.rect();
         let c = Circle::new(Point::new(cx, cy), radius);
-        // If any corner / center / closest point is inside the circle, they
-        // must intersect.
-        let closest = Point::new(
-            cx.clamp(r.lx, r.hx()),
-            cy.clamp(r.ly, r.hy()),
-        );
+        let closest = Point::new(cx.clamp(r.lx, r.hx()), cy.clamp(r.ly, r.hy()));
         let expect = c.contains_point(closest);
-        prop_assert_eq!(c.intersects_rect(&r), expect);
+        assert_eq!(c.intersects_rect(&r), expect);
     }
+}
 
-    #[test]
-    fn every_point_maps_to_the_cell_containing_it(p in arb_point(), alpha in 0.5..20.0f64) {
+#[test]
+fn every_point_maps_to_the_cell_containing_it() {
+    let mut rng = Rng(6);
+    for _ in 0..256 {
+        let p = rng.point();
+        let alpha = rng.range(0.5, 20.0);
         let grid = Grid::new(Rect::new(0.0, 0.0, 100.0, 100.0), alpha);
         let cell = grid.cell_of(p);
         let rect = grid.cell_rect(cell);
         // For in-universe points the cell rect must contain the point (with
         // closed upper boundaries possibly shared with the next cell).
         if grid.universe.contains_point(p) {
-            prop_assert!(
-                rect.contains_point(p) || (p.x - rect.hx()).abs() < 1e-9 || (p.y - rect.hy()).abs() < 1e-9,
+            assert!(
+                rect.contains_point(p)
+                    || (p.x - rect.hx()).abs() < 1e-9
+                    || (p.y - rect.hy()).abs() < 1e-9,
                 "point {p:?} not in its cell rect {rect:?}"
             );
         }
-        prop_assert!(grid.contains_cell(cell));
+        assert!(grid.contains_cell(cell));
     }
+}
 
-    #[test]
-    fn cells_overlapping_is_sound_and_complete(r in arb_rect(), alpha in 1.0..25.0f64) {
+#[test]
+fn cells_overlapping_is_sound_and_complete() {
+    let mut rng = Rng(7);
+    for _ in 0..128 {
+        let r = rng.rect();
+        let alpha = rng.range(1.0, 25.0);
         let grid = Grid::new(Rect::new(0.0, 0.0, 100.0, 100.0), alpha);
         let range = grid.cells_overlapping(&r);
         // Soundness: every cell in the range intersects the rect.
         for cell in range.iter() {
-            prop_assert!(grid.cell_rect(cell).intersects(&r), "cell {cell:?} does not intersect");
+            assert!(
+                grid.cell_rect(cell).intersects(&r),
+                "cell {cell:?} does not intersect"
+            );
         }
         // Completeness: every grid cell that intersects is in the range.
         for y in 0..grid.rows {
             for x in 0..grid.cols {
                 let cell = mobieyes_geo::CellId::new(x, y);
                 if grid.cell_rect(cell).intersects(&r) {
-                    prop_assert!(range.contains(cell), "missed intersecting cell {cell:?}");
+                    assert!(range.contains(cell), "missed intersecting cell {cell:?}");
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn monitoring_region_covers_every_reachable_query_position(
-        cell_x in 0u32..20, cell_y in 0u32..20, radius in 0.1..15.0f64,
-        fx in 0.0..1.0f64, fy in 0.0..1.0f64,
-    ) {
+#[test]
+fn monitoring_region_covers_every_reachable_query_position() {
+    let mut rng = Rng(8);
+    for _ in 0..256 {
         // The defining property of the monitoring region (§2.3): wherever
         // the focal object sits inside its current cell, the query circle
         // stays within the monitoring region's cells.
         let grid = Grid::new(Rect::new(0.0, 0.0, 100.0, 100.0), 5.0);
-        let cell = mobieyes_geo::CellId::new(cell_x.min(grid.cols - 1), cell_y.min(grid.rows - 1));
+        let cell = mobieyes_geo::CellId::new(
+            (rng.below(20) as u32).min(grid.cols - 1),
+            (rng.below(20) as u32).min(grid.rows - 1),
+        );
+        let radius = rng.range(0.1, 15.0);
         let mon = grid.monitoring_region(cell, radius);
         let rect = grid.cell_rect(cell);
-        let focal = Point::new(rect.lx + fx * rect.w(), rect.ly + fy * rect.h());
+        let focal = Point::new(
+            rect.lx + rng.unit() * rect.w(),
+            rect.ly + rng.unit() * rect.h(),
+        );
         let bbox = Circle::new(focal, radius).bbox();
         let covered = grid.cells_overlapping(&bbox);
         for c in covered.iter() {
-            prop_assert!(mon.contains(c), "query can reach cell {c:?} outside monitoring region {mon:?}");
+            assert!(
+                mon.contains(c),
+                "query can reach cell {c:?} outside monitoring region {mon:?}"
+            );
         }
     }
+}
 
-    #[test]
-    fn dead_reckoning_prediction_is_exact_for_linear_motion(
-        p in arb_point(),
-        vx in -0.1..0.1f64, vy in -0.1..0.1f64,
-        t0 in 0.0..1000.0f64, dt in 0.0..600.0f64,
-    ) {
+#[test]
+fn dead_reckoning_prediction_is_exact_for_linear_motion() {
+    let mut rng = Rng(9);
+    for _ in 0..256 {
+        let p = rng.point();
+        let (vx, vy) = (rng.range(-0.1, 0.1), rng.range(-0.1, 0.1));
+        let t0 = rng.range(0.0, 1000.0);
+        let dt = rng.range(0.0, 600.0);
         let m = mobieyes_geo::LinearMotion::new(p, mobieyes_geo::Vec2::new(vx, vy), t0);
         let truth = Point::new(p.x + vx * dt, p.y + vy * dt);
-        prop_assert!(m.predict(t0 + dt).distance(truth) < 1e-9);
+        assert!(m.predict(t0 + dt).distance(truth) < 1e-9);
         // An object moving exactly as advertised never triggers a report.
-        prop_assert!(!m.should_report(t0 + dt, truth, 1e-6));
+        assert!(!m.should_report(t0 + dt, truth, 1e-6));
     }
+}
 
-    #[test]
-    fn query_region_bbox_contains_region(
-        radius in 0.0..20.0f64, b in arb_point(), p in arb_point()
-    ) {
+#[test]
+fn query_region_bbox_contains_region() {
+    let mut rng = Rng(10);
+    for _ in 0..256 {
+        let radius = rng.range(0.0, 20.0);
+        let (b, p) = (rng.point(), rng.point());
         let q = mobieyes_geo::QueryRegion::circle(radius);
         if q.contains_from(b, p) {
-            prop_assert!(q.bbox_from(b).contains_point(p));
+            assert!(q.bbox_from(b).contains_point(p));
         }
     }
 }

@@ -19,14 +19,22 @@ pub struct FaultPlan {
 impl FaultPlan {
     /// A plan that never injects faults.
     pub fn none() -> Self {
-        FaultPlan { drop_rate: 0.0, duplicate_rate: 0.0, state: 0 }
+        FaultPlan {
+            drop_rate: 0.0,
+            duplicate_rate: 0.0,
+            state: 0,
+        }
     }
 
     /// A fault plan with the given rates, seeded deterministically.
     pub fn new(drop_rate: f64, duplicate_rate: f64, seed: u64) -> Self {
         assert!((0.0..=1.0).contains(&drop_rate));
         assert!((0.0..=1.0).contains(&duplicate_rate));
-        FaultPlan { drop_rate, duplicate_rate, state: seed }
+        FaultPlan {
+            drop_rate,
+            duplicate_rate,
+            state: seed,
+        }
     }
 
     pub fn is_noop(&self) -> bool {

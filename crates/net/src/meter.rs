@@ -7,6 +7,16 @@
 //! transmitting base station, regardless of how many objects hear it). The
 //! power experiment (Figure 9) additionally needs per-object sent/received
 //! byte totals.
+//!
+//! Since the telemetry redesign, traffic is recorded into the unified
+//! [`mobieyes_telemetry::MetricsRegistry`] under the `net.*` counter keys;
+//! `MessageMeter` is now a *view* materialized from those counters (plus
+//! the per-node byte vectors kept by
+//! [`NetworkSim`](crate::NetworkSim)). Build one with
+//! [`NetworkSim::meter`](crate::NetworkSim::meter) or
+//! [`MessageMeter::from_snapshot`].
+
+use mobieyes_telemetry::MetricsSnapshot;
 
 /// Direction of a transmission on the wireless medium.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -18,7 +28,31 @@ pub enum Direction {
     Broadcast,
 }
 
-/// Aggregated wireless traffic statistics.
+impl Direction {
+    /// Telemetry counter keys for this direction: `(messages, bytes)`.
+    pub fn counter_keys(self) -> (&'static str, &'static str) {
+        match self {
+            Direction::Uplink => (keys::UPLINK_MSGS, keys::UPLINK_BYTES),
+            Direction::Unicast => (keys::UNICAST_MSGS, keys::UNICAST_BYTES),
+            Direction::Broadcast => (keys::BROADCAST_MSGS, keys::BROADCAST_BYTES),
+        }
+    }
+}
+
+/// The `net.*` telemetry counter keys.
+pub mod keys {
+    pub const UPLINK_MSGS: &str = "net.uplink.msgs";
+    pub const UPLINK_BYTES: &str = "net.uplink.bytes";
+    pub const UNICAST_MSGS: &str = "net.unicast.msgs";
+    pub const UNICAST_BYTES: &str = "net.unicast.bytes";
+    pub const BROADCAST_MSGS: &str = "net.broadcast.msgs";
+    pub const BROADCAST_BYTES: &str = "net.broadcast.bytes";
+    pub const FAULT_DROPPED: &str = "net.fault.dropped";
+    pub const FAULT_DUPLICATED: &str = "net.fault.duplicated";
+}
+
+/// Aggregated wireless traffic statistics — a point-in-time view over the
+/// `net.*` telemetry counters.
 #[derive(Debug, Clone, Default)]
 pub struct MessageMeter {
     pub uplink_msgs: u64,
@@ -39,39 +73,24 @@ impl MessageMeter {
         Self::default()
     }
 
-    /// Records a transmission on the medium.
-    pub fn record(&mut self, dir: Direction, bytes: usize) {
-        let b = bytes as u64;
-        match dir {
-            Direction::Uplink => {
-                self.uplink_msgs += 1;
-                self.uplink_bytes += b;
-            }
-            Direction::Unicast => {
-                self.unicast_msgs += 1;
-                self.unicast_bytes += b;
-            }
-            Direction::Broadcast => {
-                self.broadcast_msgs += 1;
-                self.broadcast_bytes += b;
-            }
+    /// Builds the view from a metrics snapshot plus the per-node byte
+    /// vectors (which live outside the registry; pass empty vectors when
+    /// per-node traffic is not needed).
+    pub fn from_snapshot(
+        snapshot: &MetricsSnapshot,
+        sent_by_node: Vec<u64>,
+        received_by_node: Vec<u64>,
+    ) -> Self {
+        MessageMeter {
+            uplink_msgs: snapshot.counter(keys::UPLINK_MSGS),
+            uplink_bytes: snapshot.counter(keys::UPLINK_BYTES),
+            unicast_msgs: snapshot.counter(keys::UNICAST_MSGS),
+            unicast_bytes: snapshot.counter(keys::UNICAST_BYTES),
+            broadcast_msgs: snapshot.counter(keys::BROADCAST_MSGS),
+            broadcast_bytes: snapshot.counter(keys::BROADCAST_BYTES),
+            sent_by_node,
+            received_by_node,
         }
-    }
-
-    /// Records that node `node` physically transmitted `bytes` uplink.
-    pub fn record_node_sent(&mut self, node: usize, bytes: usize) {
-        if self.sent_by_node.len() <= node {
-            self.sent_by_node.resize(node + 1, 0);
-        }
-        self.sent_by_node[node] += bytes as u64;
-    }
-
-    /// Records that node `node` physically received `bytes` downlink.
-    pub fn record_node_received(&mut self, node: usize, bytes: usize) {
-        if self.received_by_node.len() <= node {
-            self.received_by_node.resize(node + 1, 0);
-        }
-        self.received_by_node[node] += bytes as u64;
     }
 
     pub fn node_sent_bytes(&self, node: usize) -> u64 {
@@ -106,24 +125,31 @@ impl MessageMeter {
         let recv: u64 = (0..n).map(|i| self.node_received_bytes(i)).sum();
         (sent as f64 / n as f64, recv as f64 / n as f64)
     }
-
-    /// Resets all counters (per-experiment reuse).
-    pub fn reset(&mut self) {
-        *self = MessageMeter::default();
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mobieyes_telemetry::Telemetry;
+
+    fn meter_via_registry() -> MessageMeter {
+        let tel = Telemetry::new();
+        for (dir, bytes) in [
+            (Direction::Uplink, 10),
+            (Direction::Uplink, 20),
+            (Direction::Unicast, 5),
+            (Direction::Broadcast, 100),
+        ] {
+            let (msgs_key, bytes_key) = dir.counter_keys();
+            tel.incr(msgs_key);
+            tel.add(bytes_key, bytes);
+        }
+        MessageMeter::from_snapshot(&tel.snapshot(), vec![100, 300], vec![10])
+    }
 
     #[test]
-    fn records_by_direction() {
-        let mut m = MessageMeter::new();
-        m.record(Direction::Uplink, 10);
-        m.record(Direction::Uplink, 20);
-        m.record(Direction::Unicast, 5);
-        m.record(Direction::Broadcast, 100);
+    fn view_reflects_registry_counters() {
+        let m = meter_via_registry();
         assert_eq!(m.uplink_msgs, 2);
         assert_eq!(m.uplink_bytes, 30);
         assert_eq!(m.unicast_msgs, 1);
@@ -134,36 +160,21 @@ mod tests {
     }
 
     #[test]
-    fn per_node_accounting_grows_on_demand() {
-        let mut m = MessageMeter::new();
-        m.record_node_sent(5, 100);
-        m.record_node_received(2, 50);
-        m.record_node_received(2, 25);
-        assert_eq!(m.node_sent_bytes(5), 100);
-        assert_eq!(m.node_sent_bytes(0), 0);
-        assert_eq!(m.node_received_bytes(2), 75);
+    fn per_node_accounting() {
+        let m = meter_via_registry();
+        assert_eq!(m.node_sent_bytes(0), 100);
+        assert_eq!(m.node_sent_bytes(1), 300);
+        assert_eq!(m.node_sent_bytes(9), 0);
+        assert_eq!(m.node_received_bytes(0), 10);
         assert_eq!(m.node_received_bytes(100), 0);
     }
 
     #[test]
     fn mean_node_traffic() {
-        let mut m = MessageMeter::new();
-        m.record_node_sent(0, 100);
-        m.record_node_sent(1, 300);
-        m.record_node_received(0, 10);
+        let m = meter_via_registry();
         let (sent, recv) = m.mean_node_traffic(2);
         assert_eq!(sent, 200.0);
         assert_eq!(recv, 5.0);
         assert_eq!(m.mean_node_traffic(0), (0.0, 0.0));
-    }
-
-    #[test]
-    fn reset_clears_everything() {
-        let mut m = MessageMeter::new();
-        m.record(Direction::Uplink, 10);
-        m.record_node_sent(0, 10);
-        m.reset();
-        assert_eq!(m.total_msgs(), 0);
-        assert_eq!(m.node_sent_bytes(0), 0);
     }
 }

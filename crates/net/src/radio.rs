@@ -88,10 +88,16 @@ mod tests {
         // ~1.15 W transmit draw -> ~82 µJ/bit at 14 kbps.
         assert!((r.tx_power_w() - 1.15).abs() < 1e-12);
         let tx_ujbit = r.tx_energy_per_bit() * 1e6;
-        assert!((75.0..90.0).contains(&tx_ujbit), "tx = {tx_ujbit} µJ/bit, expected ~80");
+        assert!(
+            (75.0..90.0).contains(&tx_ujbit),
+            "tx = {tx_ujbit} µJ/bit, expected ~80"
+        );
         // 120 mW receive at 28 kbps -> ~4.3 µJ/bit (paper says ~5).
         let rx_ujbit = r.rx_energy_per_bit() * 1e6;
-        assert!((3.5..5.5).contains(&rx_ujbit), "rx = {rx_ujbit} µJ/bit, expected ~5");
+        assert!(
+            (3.5..5.5).contains(&rx_ujbit),
+            "rx = {rx_ujbit} µJ/bit, expected ~5"
+        );
         // Sending is much more expensive than receiving.
         assert!(r.tx_energy_per_bit() > 10.0 * r.rx_energy_per_bit());
     }

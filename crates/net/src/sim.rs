@@ -13,9 +13,10 @@
 //! MobiEyes installation logic is).
 
 use crate::fault::FaultPlan;
-use crate::meter::{Direction, MessageMeter};
+use crate::meter::{keys, Direction, MessageMeter};
 use crate::station::{BaseStationLayout, StationId};
 use mobieyes_geo::{Grid, GridRect, Point};
+use mobieyes_telemetry::{EventKind, Telemetry};
 
 /// Identifier of a network endpoint (a moving object). The server is not a
 /// `NodeId`; it sits behind the base stations.
@@ -33,35 +34,85 @@ pub trait WireSized {
 #[derive(Debug)]
 pub struct NetworkSim<U, D> {
     layout: BaseStationLayout,
-    meter: MessageMeter,
+    telemetry: Telemetry,
     fault: FaultPlan,
     uplinks: Vec<(NodeId, U)>,
     unicasts: Vec<(NodeId, D, usize)>,
     broadcasts: Vec<(StationId, D, usize)>,
+    /// Bytes physically sent per node (uplink transmissions). Per-node
+    /// traffic is protocol data and stays out of the shared registry.
+    sent_by_node: Vec<u64>,
+    /// Bytes physically received per node.
+    received_by_node: Vec<u64>,
 }
 
 impl<U: WireSized, D: WireSized + Clone> NetworkSim<U, D> {
     pub fn new(layout: BaseStationLayout) -> Self {
         NetworkSim {
             layout,
-            meter: MessageMeter::new(),
+            telemetry: Telemetry::new(),
             fault: FaultPlan::none(),
             uplinks: Vec::new(),
             unicasts: Vec::new(),
             broadcasts: Vec::new(),
+            sent_by_node: Vec::new(),
+            received_by_node: Vec::new(),
         }
+    }
+
+    /// Redirects traffic recording into a shared telemetry sink (builder
+    /// style). By default a private sink is used.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     pub fn layout(&self) -> &BaseStationLayout {
         &self.layout
     }
 
-    pub fn meter(&self) -> &MessageMeter {
-        &self.meter
+    /// Materializes the traffic view from the telemetry counters and the
+    /// per-node byte vectors.
+    pub fn meter(&self) -> MessageMeter {
+        MessageMeter::from_snapshot(
+            &self.telemetry.snapshot(),
+            self.sent_by_node.clone(),
+            self.received_by_node.clone(),
+        )
     }
 
-    pub fn meter_mut(&mut self) -> &mut MessageMeter {
-        &mut self.meter
+    fn record(&self, dir: Direction, bytes: usize) {
+        let (msgs_key, bytes_key) = dir.counter_keys();
+        self.telemetry.incr(msgs_key);
+        self.telemetry.add(bytes_key, bytes as u64);
+    }
+
+    /// Records that `node` physically received `bytes` downlink. Exposed
+    /// for deployments that perform physical delivery themselves (the
+    /// threaded runtime).
+    pub fn record_node_received(&mut self, node: usize, bytes: usize) {
+        if self.received_by_node.len() <= node {
+            self.received_by_node.resize(node + 1, 0);
+        }
+        self.received_by_node[node] += bytes as u64;
+    }
+
+    fn record_node_sent(&mut self, node: usize, bytes: usize) {
+        if self.sent_by_node.len() <= node {
+            self.sent_by_node.resize(node + 1, 0);
+        }
+        self.sent_by_node[node] += bytes as u64;
+    }
+
+    /// Clears the per-node byte vectors (experiment warm-up reset; the
+    /// registry counters are reset through [`Telemetry::reset`]).
+    pub fn reset_node_traffic(&mut self) {
+        self.sent_by_node.clear();
+        self.received_by_node.clear();
     }
 
     /// Installs a downlink fault plan (drops/duplicates).
@@ -73,8 +124,8 @@ impl<U: WireSized, D: WireSized + Clone> NetworkSim<U, D> {
     /// modeled; the paper's protocol treats uplink as reliable).
     pub fn send_uplink(&mut self, from: NodeId, msg: U) {
         let bytes = msg.wire_size();
-        self.meter.record(Direction::Uplink, bytes);
-        self.meter.record_node_sent(from.0 as usize, bytes);
+        self.record(Direction::Uplink, bytes);
+        self.record_node_sent(from.0 as usize, bytes);
         self.uplinks.push((from, msg));
     }
 
@@ -91,7 +142,7 @@ impl<U: WireSized, D: WireSized + Clone> NetworkSim<U, D> {
     /// Server → one object. Counts as one downlink message on the medium.
     pub fn send_unicast(&mut self, to: NodeId, msg: D) {
         let bytes = msg.wire_size();
-        self.meter.record(Direction::Unicast, bytes);
+        self.record(Direction::Unicast, bytes);
         self.unicasts.push((to, msg, bytes));
     }
 
@@ -99,7 +150,7 @@ impl<U: WireSized, D: WireSized + Clone> NetworkSim<U, D> {
     /// downlink message on the medium regardless of audience size.
     pub fn broadcast(&mut self, station: StationId, msg: D) {
         let bytes = msg.wire_size();
-        self.meter.record(Direction::Broadcast, bytes);
+        self.record(Direction::Broadcast, bytes);
         self.broadcasts.push((station, msg, bytes));
     }
 
@@ -111,6 +162,9 @@ impl<U: WireSized, D: WireSized + Clone> NetworkSim<U, D> {
         for &s in &stations {
             self.broadcast(s, msg.clone());
         }
+        self.telemetry.event(EventKind::BroadcastFanout {
+            stations: stations.len() as u64,
+        });
         stations.len()
     }
 
@@ -118,21 +172,43 @@ impl<U: WireSized, D: WireSized + Clone> NetworkSim<U, D> {
     /// object. Must be called at most once per object per tick, after the
     /// server phase and before [`end_tick`](Self::end_tick).
     pub fn deliver(&mut self, node: NodeId, pos: Point, out: &mut Vec<D>) {
+        let mut received = Vec::new();
         for (to, msg, bytes) in &self.unicasts {
             if *to == node {
-                for _ in 0..self.fault.copies() {
-                    self.meter.record_node_received(node.0 as usize, *bytes);
+                let copies = self.fault.copies();
+                Self::note_fault(&self.telemetry, copies, node);
+                for _ in 0..copies {
+                    received.push(*bytes);
                     out.push(msg.clone());
                 }
             }
         }
         for (station, msg, bytes) in &self.broadcasts {
             if self.layout.covers(*station, pos) {
-                for _ in 0..self.fault.copies() {
-                    self.meter.record_node_received(node.0 as usize, *bytes);
+                let copies = self.fault.copies();
+                Self::note_fault(&self.telemetry, copies, node);
+                for _ in 0..copies {
+                    received.push(*bytes);
                     out.push(msg.clone());
                 }
             }
+        }
+        for bytes in received {
+            self.record_node_received(node.0 as usize, bytes);
+        }
+    }
+
+    fn note_fault(telemetry: &Telemetry, copies: usize, node: NodeId) {
+        match copies {
+            0 => {
+                telemetry.incr(keys::FAULT_DROPPED);
+                telemetry.event(EventKind::MessageDropped { oid: node.0 as u64 });
+            }
+            2 => {
+                telemetry.incr(keys::FAULT_DUPLICATED);
+                telemetry.event(EventKind::MessageDuplicated { oid: node.0 as u64 });
+            }
+            _ => {}
         }
     }
 
@@ -142,7 +218,10 @@ impl<U: WireSized, D: WireSized + Clone> NetworkSim<U, D> {
     /// delivery semantics and receive accounting.
     #[allow(clippy::type_complexity)]
     pub fn take_downlinks(&mut self) -> (Vec<(NodeId, D, usize)>, Vec<(StationId, D, usize)>) {
-        (std::mem::take(&mut self.unicasts), std::mem::take(&mut self.broadcasts))
+        (
+            std::mem::take(&mut self.unicasts),
+            std::mem::take(&mut self.broadcasts),
+        )
     }
 
     /// Clears the downlink queues; call after every object polled.
@@ -167,7 +246,10 @@ mod tests {
     }
 
     fn net() -> NetworkSim<Msg, Msg> {
-        NetworkSim::new(BaseStationLayout::new(Rect::new(0.0, 0.0, 100.0, 100.0), 10.0))
+        NetworkSim::new(BaseStationLayout::new(
+            Rect::new(0.0, 0.0, 100.0, 100.0),
+            10.0,
+        ))
     }
 
     #[test]
@@ -218,7 +300,12 @@ mod tests {
     fn broadcast_region_uses_minimal_cover() {
         let mut n = net();
         let grid = Grid::new(Rect::new(0.0, 0.0, 100.0, 100.0), 5.0);
-        let region = GridRect { x0: 0, y0: 0, x1: 3, y1: 3 }; // [0,20]^2
+        let region = GridRect {
+            x0: 0,
+            y0: 0,
+            x1: 3,
+            y1: 3,
+        }; // [0,20]^2
         let sent = n.broadcast_region(&grid, &region, &Msg(5));
         assert!(sent >= 1);
         assert_eq!(n.meter().broadcast_msgs as usize, sent);

@@ -29,7 +29,10 @@ pub struct BaseStationLayout {
 impl BaseStationLayout {
     /// Builds the lattice for `universe` with station side length `alen`.
     pub fn new(universe: Rect, alen: f64) -> Self {
-        assert!(alen > 0.0 && alen.is_finite(), "station side length must be positive");
+        assert!(
+            alen > 0.0 && alen.is_finite(),
+            "station side length must be positive"
+        );
         let cols = (universe.w() / alen).ceil().max(1.0) as u32;
         let rows = (universe.h() / alen).ceil().max(1.0) as u32;
         BaseStationLayout {
@@ -133,10 +136,14 @@ impl BaseStationLayout {
         // region area. Each station fully covers its own lattice square, so
         // taking every candidate guarantees full coverage; the greedy pass
         // below drops candidates whose squares add nothing.
-        let lo_x = (((area.lx - self.universe.lx) / self.alen).floor() as i64).clamp(0, self.cols as i64 - 1);
-        let lo_y = (((area.ly - self.universe.ly) / self.alen).floor() as i64).clamp(0, self.rows as i64 - 1);
-        let hi_x = (((area.hx() - self.universe.lx) / self.alen).ceil() as i64 - 1).clamp(lo_x, self.cols as i64 - 1);
-        let hi_y = (((area.hy() - self.universe.ly) / self.alen).ceil() as i64 - 1).clamp(lo_y, self.rows as i64 - 1);
+        let lo_x = (((area.lx - self.universe.lx) / self.alen).floor() as i64)
+            .clamp(0, self.cols as i64 - 1);
+        let lo_y = (((area.ly - self.universe.ly) / self.alen).floor() as i64)
+            .clamp(0, self.rows as i64 - 1);
+        let hi_x = (((area.hx() - self.universe.lx) / self.alen).ceil() as i64 - 1)
+            .clamp(lo_x, self.cols as i64 - 1);
+        let hi_y = (((area.hy() - self.universe.ly) / self.alen).ceil() as i64 - 1)
+            .clamp(lo_y, self.rows as i64 - 1);
         let mut out = Vec::new();
         for y in lo_y..=hi_y {
             for x in lo_x..=hi_x {
@@ -215,7 +222,12 @@ mod tests {
     fn minimal_cover_fully_covers_region() {
         let l = layout();
         let grid = Grid::new(Rect::new(0.0, 0.0, 100.0, 100.0), 5.0);
-        let region = GridRect { x0: 2, y0: 2, x1: 7, y1: 5 }; // [10,40]x[10,30]
+        let region = GridRect {
+            x0: 2,
+            y0: 2,
+            x1: 7,
+            y1: 5,
+        }; // [10,40]x[10,30]
         let cover = l.minimal_cover(&grid, &region);
         assert!(!cover.is_empty());
         // Sample many points of the region; each must be inside some chosen
@@ -241,10 +253,17 @@ mod tests {
     #[test]
     fn minimal_cover_shrinks_with_larger_stations() {
         let grid = Grid::new(Rect::new(0.0, 0.0, 100.0, 100.0), 5.0);
-        let region = GridRect { x0: 0, y0: 0, x1: 5, y1: 5 };
+        let region = GridRect {
+            x0: 0,
+            y0: 0,
+            x1: 5,
+            y1: 5,
+        };
         let small = BaseStationLayout::new(Rect::new(0.0, 0.0, 100.0, 100.0), 5.0);
         let large = BaseStationLayout::new(Rect::new(0.0, 0.0, 100.0, 100.0), 40.0);
-        assert!(small.minimal_cover(&grid, &region).len() > large.minimal_cover(&grid, &region).len());
+        assert!(
+            small.minimal_cover(&grid, &region).len() > large.minimal_cover(&grid, &region).len()
+        );
         // Huge stations need exactly one broadcast.
         let huge = BaseStationLayout::new(Rect::new(0.0, 0.0, 100.0, 100.0), 200.0);
         assert_eq!(huge.minimal_cover(&grid, &region).len(), 1);

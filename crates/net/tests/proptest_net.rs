@@ -1,74 +1,111 @@
-//! Property tests for the network substrate: coverage guarantees that the
-//! protocol's delivery correctness depends on.
+//! Randomized (seeded, deterministic) tests for the network substrate:
+//! coverage guarantees that the protocol's delivery correctness depends on.
 
 use mobieyes_geo::{Grid, GridRect, Point, Rect};
 use mobieyes_net::BaseStationLayout;
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+/// Tiny deterministic generator (splitmix64) so these sweeps are
+/// reproducible without an external property-testing dependency.
+struct Rng(u64);
 
-    #[test]
-    fn own_station_always_covers_the_object(
-        x in 0.0..100.0f64, y in 0.0..100.0f64, alen in 2.0..60.0f64
-    ) {
-        let layout = BaseStationLayout::new(Rect::new(0.0, 0.0, 100.0, 100.0), alen);
-        let s = layout.station_at(Point::new(x, y));
-        prop_assert!(layout.covers(s, Point::new(x, y)));
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
     }
 
-    #[test]
-    fn minimal_cover_fully_covers_monitoring_regions(
-        cx in 0u32..20, cy in 0u32..20, radius in 0.1..12.0f64,
-        alen in 4.0..50.0f64,
-        px in 0.0..1.0f64, py in 0.0..1.0f64,
-    ) {
+    fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + self.unit() * (hi - lo)
+    }
+
+    fn below(&mut self, n: u32) -> u32 {
+        (self.next_u64() % n as u64) as u32
+    }
+}
+
+#[test]
+fn own_station_always_covers_the_object() {
+    let mut rng = Rng(0xA11CE);
+    for _ in 0..128 {
+        let (x, y) = (rng.range(0.0, 100.0), rng.range(0.0, 100.0));
+        let alen = rng.range(2.0, 60.0);
+        let layout = BaseStationLayout::new(Rect::new(0.0, 0.0, 100.0, 100.0), alen);
+        let s = layout.station_at(Point::new(x, y));
+        assert!(
+            layout.covers(s, Point::new(x, y)),
+            "station misses ({x},{y}) at alen={alen}"
+        );
+    }
+}
+
+#[test]
+fn minimal_cover_fully_covers_monitoring_regions() {
+    let mut rng = Rng(0xB0B);
+    for _ in 0..128 {
         // Any point inside any cell of the region must be covered by at
         // least one chosen station — otherwise an object there would miss
         // the broadcast and the protocol would silently lose accuracy.
         let universe = Rect::new(0.0, 0.0, 100.0, 100.0);
         let grid = Grid::new(universe, 5.0);
+        let alen = rng.range(4.0, 50.0);
         let layout = BaseStationLayout::new(universe, alen);
-        let cell = mobieyes_geo::CellId::new(cx.min(grid.cols - 1), cy.min(grid.rows - 1));
-        let region = grid.monitoring_region(cell, radius);
+        let cell = mobieyes_geo::CellId::new(
+            rng.below(20).min(grid.cols - 1),
+            rng.below(20).min(grid.rows - 1),
+        );
+        let region = grid.monitoring_region(cell, rng.range(0.1, 12.0));
         let cover = layout.minimal_cover(&grid, &region);
-        prop_assert!(!cover.is_empty());
+        assert!(!cover.is_empty());
+        let (px, py) = (rng.unit(), rng.unit());
         for c in region.iter() {
             let r = grid.cell_rect(c);
             // Clip to the universe: objects only exist inside it.
-            let Some(r) = r.intersection(&universe) else { continue };
+            let Some(r) = r.intersection(&universe) else {
+                continue;
+            };
             let p = Point::new(r.lx + px * r.w(), r.ly + py * r.h());
-            prop_assert!(
+            assert!(
                 cover.iter().any(|&s| layout.covers(s, p)),
                 "point {p:?} of region {region:?} uncovered (alen={alen})"
             );
         }
     }
+}
 
-    #[test]
-    fn bigger_stations_never_need_more_broadcasts(
-        cx in 0u32..18, cy in 0u32..18, radius in 0.1..12.0f64,
-    ) {
+#[test]
+fn bigger_stations_never_need_more_broadcasts() {
+    let mut rng = Rng(0xC0FFEE);
+    for _ in 0..128 {
         let universe = Rect::new(0.0, 0.0, 100.0, 100.0);
         let grid = Grid::new(universe, 5.0);
-        let cell = mobieyes_geo::CellId::new(cx, cy);
-        let region = grid.monitoring_region(cell, radius);
+        let cell = mobieyes_geo::CellId::new(rng.below(18), rng.below(18));
+        let region = grid.monitoring_region(cell, rng.range(0.1, 12.0));
         let mut last = usize::MAX;
         for alen in [5.0, 10.0, 20.0, 40.0, 80.0] {
             let layout = BaseStationLayout::new(universe, alen);
             let n = layout.minimal_cover(&grid, &region).len();
-            prop_assert!(n <= last, "cover grew from {last} to {n} at alen={alen}");
+            assert!(n <= last, "cover grew from {last} to {n} at alen={alen}");
             last = n;
         }
         // A single universe-sized station always suffices.
-        prop_assert!(last >= 1);
+        assert!(last >= 1);
     }
+}
 
-    #[test]
-    fn empty_region_needs_no_stations(alen in 2.0..60.0f64) {
+#[test]
+fn empty_region_needs_no_stations() {
+    let mut rng = Rng(0xDEAD);
+    for _ in 0..32 {
         let universe = Rect::new(0.0, 0.0, 100.0, 100.0);
         let grid = Grid::new(universe, 5.0);
-        let layout = BaseStationLayout::new(universe, alen);
-        prop_assert!(layout.minimal_cover(&grid, &GridRect::EMPTY).is_empty());
+        let layout = BaseStationLayout::new(universe, rng.range(2.0, 60.0));
+        assert!(layout.minimal_cover(&grid, &GridRect::EMPTY).is_empty());
     }
 }

@@ -23,8 +23,10 @@ impl<T> RStarTree<T> {
             return tree;
         }
         // --- Leaf level: tile entries into slabs by x, then chunk by y.
-        let mut leaf_entries: Vec<LeafEntry<T>> =
-            entries.into_iter().map(|(rect, item)| LeafEntry { rect, item }).collect();
+        let mut leaf_entries: Vec<LeafEntry<T>> = entries
+            .into_iter()
+            .map(|(rect, item)| LeafEntry { rect, item })
+            .collect();
         let leaves = str_pack(
             &mut leaf_entries,
             max_entries,
@@ -112,9 +114,13 @@ mod tests {
         let mut s = 1u64;
         (0..n)
             .map(|i| {
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let x = ((s >> 33) % 1000) as f64 / 3.0;
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let y = ((s >> 33) % 1000) as f64 / 3.0;
                 (Rect::from_point(Point::new(x, y)), i)
             })
@@ -171,7 +177,10 @@ mod tests {
         for (r, v) in entries {
             incr.insert(r, v);
         }
-        assert!(bulk.height() <= incr.height(), "packing must not deepen the tree");
+        assert!(
+            bulk.height() <= incr.height(),
+            "packing must not deepen the tree"
+        );
     }
 
     #[test]

@@ -43,7 +43,10 @@ impl<T> Ord for Candidate<'_, T> {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reversed: BinaryHeap is a max-heap, we want the closest first.
         // Distances are finite (asserted on insert), so total order holds.
-        other.dist().partial_cmp(&self.dist()).unwrap_or(Ordering::Equal)
+        other
+            .dist()
+            .partial_cmp(&self.dist())
+            .unwrap_or(Ordering::Equal)
     }
 }
 
@@ -69,7 +72,11 @@ impl<T> RStarTree<T> {
                 Candidate::Node(_, node) => match node {
                     Node::Leaf(entries) => {
                         for e in entries {
-                            heap.push(Candidate::Item(e.rect.distance_to_point(p), &e.rect, &e.item));
+                            heap.push(Candidate::Item(
+                                e.rect.distance_to_point(p),
+                                &e.rect,
+                                &e.item,
+                            ));
                         }
                     }
                     Node::Internal(children) => {
@@ -125,8 +132,9 @@ mod tests {
     #[test]
     fn knn_matches_brute_force() {
         let t = grid_tree(100);
-        let points: Vec<(u32, Point)> =
-            (0..100).map(|i| (i, Point::new((i % 10) as f64 * 3.0, (i / 10) as f64 * 3.0))).collect();
+        let points: Vec<(u32, Point)> = (0..100)
+            .map(|i| (i, Point::new((i % 10) as f64 * 3.0, (i / 10) as f64 * 3.0)))
+            .collect();
         for &(qx, qy) in &[(0.0, 0.0), (14.2, 7.7), (30.0, 30.0), (-5.0, 12.0)] {
             let q = Point::new(qx, qy);
             let got: Vec<u32> = t.nearest(q, 7).iter().map(|(_, &v, _)| v).collect();
@@ -137,7 +145,10 @@ mod tests {
             let got_d: Vec<f64> = t.nearest(q, 7).iter().map(|&(_, _, d)| d).collect();
             // Compare by distance (ties may reorder ids).
             for (g, w) in got_d.iter().zip(&want_d) {
-                assert!((g - w).abs() < 1e-9, "query {q:?}: distances {got_d:?} vs {want_d:?}");
+                assert!(
+                    (g - w).abs() < 1e-9,
+                    "query {q:?}: distances {got_d:?} vs {want_d:?}"
+                );
             }
             assert_eq!(got.len(), 7);
         }

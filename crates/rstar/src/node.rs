@@ -85,8 +85,14 @@ mod tests {
     #[test]
     fn leaf_mbr_is_union() {
         let n = Node::Leaf(vec![
-            LeafEntry { rect: Rect::from_point(Point::new(0.0, 0.0)), item: 1u32 },
-            LeafEntry { rect: Rect::from_point(Point::new(4.0, 3.0)), item: 2 },
+            LeafEntry {
+                rect: Rect::from_point(Point::new(0.0, 0.0)),
+                item: 1u32,
+            },
+            LeafEntry {
+                rect: Rect::from_point(Point::new(4.0, 3.0)),
+                item: 2,
+            },
         ]);
         assert_eq!(n.mbr().unwrap(), Rect::new(0.0, 0.0, 4.0, 3.0));
         assert_eq!(n.count_items(), 2);

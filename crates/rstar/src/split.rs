@@ -9,9 +9,16 @@ use mobieyes_geo::Rect;
 /// Splits `entries` (len == M+1) into two groups, each with at least
 /// `min_entries` members, following the R* heuristics. Returns the second
 /// group; the first group replaces `entries`.
-pub(crate) fn rstar_split<E>(entries: &mut Vec<E>, min_entries: usize, rect_of: impl Fn(&E) -> Rect) -> Vec<E> {
+pub(crate) fn rstar_split<E>(
+    entries: &mut Vec<E>,
+    min_entries: usize,
+    rect_of: impl Fn(&E) -> Rect,
+) -> Vec<E> {
     let total = entries.len();
-    debug_assert!(total >= 2 * min_entries, "split needs at least 2m entries (got {total})");
+    debug_assert!(
+        total >= 2 * min_entries,
+        "split needs at least 2m entries (got {total})"
+    );
 
     // --- ChooseSplitAxis: for each axis consider entries sorted by lower
     // and by upper coordinate; sum the margins of every legal distribution;
@@ -56,7 +63,12 @@ pub(crate) fn rstar_split<E>(entries: &mut Vec<E>, min_entries: usize, rect_of: 
 
 /// Sum of margins over all legal distributions for one axis (both sort
 /// orders), the quantity minimized by ChooseSplitAxis.
-fn margin_sum_for_axis<E>(entries: &mut [E], axis: usize, min_entries: usize, rect_of: &impl Fn(&E) -> Rect) -> f64 {
+fn margin_sum_for_axis<E>(
+    entries: &mut [E],
+    axis: usize,
+    min_entries: usize,
+    rect_of: &impl Fn(&E) -> Rect,
+) -> f64 {
     let total = entries.len();
     let mut sum = 0.0;
     for by_upper in [false, true] {
@@ -149,7 +161,10 @@ mod tests {
         let second = rstar_split(&mut entries, 3, |r| *r);
         let max1 = entries.iter().map(|r| r.ly).fold(f64::MIN, f64::max);
         let min2 = second.iter().map(|r| r.ly).fold(f64::MAX, f64::min);
-        assert!(max1 < min2 || min2 > max1 - 1e-9, "groups should be y-separated");
+        assert!(
+            max1 < min2 || min2 > max1 - 1e-9,
+            "groups should be y-separated"
+        );
     }
 
     #[test]

@@ -13,7 +13,11 @@ pub const DEFAULT_MAX_ENTRIES: usize = 32;
 /// `attach_level` receives it as a child.
 enum Pending<T> {
     Leaf(LeafEntry<T>),
-    Subtree { rect: Rect, child: Box<Node<T>>, attach_level: usize },
+    Subtree {
+        rect: Rect,
+        child: Box<Node<T>>,
+        attach_level: usize,
+    },
 }
 
 impl<T> Pending<T> {
@@ -125,8 +129,14 @@ impl<T> RStarTree<T> {
                 let old_root = std::mem::replace(&mut self.root, Node::new_leaf());
                 let old_rect = old_root.mbr().expect("split root cannot be empty");
                 self.root = Node::Internal(vec![
-                    ChildEntry { rect: old_rect, child: Box::new(old_root) },
-                    ChildEntry { rect: sib_rect, child: Box::new(sib_node) },
+                    ChildEntry {
+                        rect: old_rect,
+                        child: Box::new(old_root),
+                    },
+                    ChildEntry {
+                        rect: sib_rect,
+                        child: Box::new(sib_node),
+                    },
                 ]);
                 self.root_level += 1;
             }
@@ -205,7 +215,10 @@ impl<T> RStarTree<T> {
                 .mbr()
                 .expect("child emptied during insert");
             if let Some((sib_rect, sib_node)) = split {
-                children.push(ChildEntry { rect: sib_rect, child: Box::new(sib_node) });
+                children.push(ChildEntry {
+                    rect: sib_rect,
+                    child: Box::new(sib_node),
+                });
                 if children.len() > max_entries {
                     return Self::overflow_internal(
                         children,
@@ -244,7 +257,11 @@ impl<T> RStarTree<T> {
                     overlap_before += c.rect.overlap_area(&other.rect);
                     overlap_after += enlarged.overlap_area(&other.rect);
                 }
-                (overlap_after - overlap_before, area_enlargement, c.rect.area())
+                (
+                    overlap_after - overlap_before,
+                    area_enlargement,
+                    c.rect.area(),
+                )
             } else {
                 (area_enlargement, c.rect.area(), 0.0)
             };
@@ -299,7 +316,11 @@ impl<T> RStarTree<T> {
             overflow_seen[level] = true;
             let removed = take_farthest(children, reinsert_count, |e| e.rect);
             for e in removed {
-                queue.push(Pending::Subtree { rect: e.rect, child: e.child, attach_level: level });
+                queue.push(Pending::Subtree {
+                    rect: e.rect,
+                    child: e.child,
+                    attach_level: level,
+                });
             }
             None
         } else {
@@ -364,7 +385,10 @@ impl<T> RStarTree<T> {
     {
         match node {
             Node::Leaf(entries) => {
-                if let Some(pos) = entries.iter().position(|e| e.rect == *rect && e.item == *item) {
+                if let Some(pos) = entries
+                    .iter()
+                    .position(|e| e.rect == *rect && e.item == *item)
+                {
                     entries.swap_remove(pos);
                     true
                 } else {
@@ -451,7 +475,12 @@ impl<T> RStarTree<T> {
             match node {
                 Node::Leaf(entries) => {
                     if !entries.is_empty() {
-                        return Some(entries.iter().map(|e| (&e.rect, &e.item)).collect::<Vec<_>>());
+                        return Some(
+                            entries
+                                .iter()
+                                .map(|e| (&e.rect, &e.item))
+                                .collect::<Vec<_>>(),
+                        );
                     }
                 }
                 Node::Internal(children) => {
@@ -521,7 +550,10 @@ impl<T> RStarTree<T> {
             &mut leaf_levels,
             &mut count,
         );
-        assert!(leaf_levels.iter().all(|&l| l == 0), "leaves at differing levels");
+        assert!(
+            leaf_levels.iter().all(|&l| l == 0),
+            "leaves at differing levels"
+        );
         assert_eq!(count, self.size, "size bookkeeping mismatch");
     }
 }
@@ -571,7 +603,12 @@ impl<T: std::fmt::Debug> RStarTree<T> {
                     for e in entries {
                         out.push_str(&format!(
                             "{}item {:?} @ ({:.3},{:.3},{:.3},{:.3})\n",
-                            pad, e.item, e.rect.lx, e.rect.ly, e.rect.w(), e.rect.h()
+                            pad,
+                            e.item,
+                            e.rect.lx,
+                            e.rect.ly,
+                            e.rect.w(),
+                            e.rect.h()
                         ));
                     }
                 }
@@ -579,7 +616,11 @@ impl<T: std::fmt::Debug> RStarTree<T> {
                     for c in children {
                         out.push_str(&format!(
                             "{}child mbr ({:.3},{:.3})-({:.3},{:.3})\n",
-                            pad, c.rect.lx, c.rect.ly, c.rect.hx(), c.rect.hy()
+                            pad,
+                            c.rect.lx,
+                            c.rect.ly,
+                            c.rect.hx(),
+                            c.rect.hy()
                         ));
                         walk(&c.child, depth + 1, out);
                     }
@@ -649,7 +690,9 @@ mod tests {
         // Deterministic pseudo-random points.
         let mut s = 0x9e3779b97f4a7c15u64;
         let mut next = || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((s >> 33) as f64) / ((1u64 << 31) as f64)
         };
         for i in 0..300u32 {
@@ -660,7 +703,11 @@ mod tests {
         t.check_invariants();
         let q = Rect::new(20.0, 20.0, 30.0, 30.0);
         let mut got: Vec<u32> = t.query_rect(&q).iter().map(|(_, &v)| v).collect();
-        let mut want: Vec<u32> = all.iter().filter(|(r, _)| r.intersects(&q)).map(|&(_, v)| v).collect();
+        let mut want: Vec<u32> = all
+            .iter()
+            .filter(|(r, _)| r.intersects(&q))
+            .map(|&(_, v)| v)
+            .collect();
         got.sort_unstable();
         want.sort_unstable();
         assert_eq!(got, want);
@@ -688,7 +735,10 @@ mod tests {
             t.insert(pt((i % 8) as f64, (i / 8) as f64), i);
         }
         for i in 0..64u32 {
-            assert!(t.remove(&pt((i % 8) as f64, (i / 8) as f64), &i), "lost {i}");
+            assert!(
+                t.remove(&pt((i % 8) as f64, (i / 8) as f64), &i),
+                "lost {i}"
+            );
             t.check_invariants();
         }
         assert!(t.is_empty());

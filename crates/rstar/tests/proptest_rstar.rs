@@ -1,72 +1,96 @@
-//! Property tests: the R*-tree must behave exactly like a brute-force
-//! multiset of (rect, id) pairs under arbitrary interleavings of inserts,
-//! removes, updates and queries, while keeping its structural invariants.
+//! Randomized (seeded, deterministic) tests: the R*-tree must behave
+//! exactly like a brute-force multiset of (rect, id) pairs under arbitrary
+//! interleavings of inserts, removes, updates and queries, while keeping
+//! its structural invariants.
 
 use mobieyes_geo::{Point, Rect};
 use mobieyes_rstar::RStarTree;
-use proptest::prelude::*;
 
-#[derive(Debug, Clone)]
-enum Op {
-    Insert { x: f64, y: f64, w: f64, h: f64 },
-    /// Remove the i-th (mod len) currently-live entry.
-    Remove { pick: usize },
-    /// Move the i-th live entry to a new rect.
-    Update { pick: usize, x: f64, y: f64 },
-    Query { x: f64, y: f64, w: f64, h: f64 },
+/// Tiny deterministic generator (splitmix64) so these sweeps are
+/// reproducible without an external property-testing dependency.
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + self.unit() * (hi - lo)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    let coord = -50.0..150.0f64;
-    let extent = 0.0..20.0f64;
-    prop_oneof![
-        4 => (coord.clone(), coord.clone(), extent.clone(), extent.clone())
-            .prop_map(|(x, y, w, h)| Op::Insert { x, y, w, h }),
-        2 => any::<usize>().prop_map(|pick| Op::Remove { pick }),
-        2 => (any::<usize>(), coord.clone(), coord.clone())
-            .prop_map(|(pick, x, y)| Op::Update { pick, x, y }),
-        3 => (coord.clone(), coord.clone(), extent.clone(), extent)
-            .prop_map(|(x, y, w, h)| Op::Query { x, y, w, h }),
-    ]
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn tree_matches_brute_force(ops in prop::collection::vec(op_strategy(), 1..200)) {
+#[test]
+fn tree_matches_brute_force() {
+    let mut rng = Rng(0x57A6);
+    for case in 0..64 {
         let mut tree: RStarTree<u64> = RStarTree::with_max_entries(6);
         let mut oracle: Vec<(Rect, u64)> = Vec::new();
         let mut next_id = 0u64;
+        let ops = 1 + rng.below(200);
 
-        for op in ops {
-            match op {
-                Op::Insert { x, y, w, h } => {
-                    let r = Rect::new(x, y, w, h);
+        for _ in 0..ops {
+            match rng.below(11) {
+                // Insert (weight 4)
+                0..=3 => {
+                    let r = Rect::new(
+                        rng.range(-50.0, 150.0),
+                        rng.range(-50.0, 150.0),
+                        rng.range(0.0, 20.0),
+                        rng.range(0.0, 20.0),
+                    );
                     tree.insert(r, next_id);
                     oracle.push((r, next_id));
                     next_id += 1;
                 }
-                Op::Remove { pick } => {
+                // Remove the i-th (mod len) currently-live entry (weight 2)
+                4..=5 => {
                     if oracle.is_empty() {
                         continue;
                     }
-                    let i = pick % oracle.len();
+                    let i = (rng.below(u64::MAX) % oracle.len() as u64) as usize;
                     let (r, id) = oracle.swap_remove(i);
-                    prop_assert!(tree.remove(&r, &id), "oracle entry missing from tree");
+                    assert!(
+                        tree.remove(&r, &id),
+                        "oracle entry missing from tree (case {case})"
+                    );
                 }
-                Op::Update { pick, x, y } => {
+                // Move the i-th live entry to a new rect (weight 2)
+                6..=7 => {
                     if oracle.is_empty() {
                         continue;
                     }
-                    let i = pick % oracle.len();
+                    let i = (rng.below(u64::MAX) % oracle.len() as u64) as usize;
                     let (old, id) = oracle[i];
-                    let newr = Rect::new(x, y, old.w(), old.h());
-                    prop_assert!(tree.update(&old, newr, id));
+                    let newr = Rect::new(
+                        rng.range(-50.0, 150.0),
+                        rng.range(-50.0, 150.0),
+                        old.w(),
+                        old.h(),
+                    );
+                    assert!(tree.update(&old, newr, id));
                     oracle[i] = (newr, id);
                 }
-                Op::Query { x, y, w, h } => {
-                    let q = Rect::new(x, y, w, h);
+                // Query (weight 3)
+                _ => {
+                    let q = Rect::new(
+                        rng.range(-50.0, 150.0),
+                        rng.range(-50.0, 150.0),
+                        rng.range(0.0, 20.0),
+                        rng.range(0.0, 20.0),
+                    );
                     let mut got: Vec<u64> = tree.query_rect(&q).iter().map(|(_, &v)| v).collect();
                     let mut want: Vec<u64> = oracle
                         .iter()
@@ -75,11 +99,11 @@ proptest! {
                         .collect();
                     got.sort_unstable();
                     want.sort_unstable();
-                    prop_assert_eq!(got, want);
+                    assert_eq!(got, want);
                 }
             }
             tree.check_invariants();
-            prop_assert_eq!(tree.len(), oracle.len());
+            assert_eq!(tree.len(), oracle.len());
         }
 
         // Final full scan agrees.
@@ -87,11 +111,18 @@ proptest! {
         let mut want: Vec<u64> = oracle.iter().map(|&(_, v)| v).collect();
         got.sort_unstable();
         want.sort_unstable();
-        prop_assert_eq!(got, want);
+        assert_eq!(got, want);
     }
+}
 
-    #[test]
-    fn point_queries_find_inserted_points(points in prop::collection::vec((-100.0..100.0f64, -100.0..100.0f64), 1..300)) {
+#[test]
+fn point_queries_find_inserted_points() {
+    let mut rng = Rng(0x901);
+    for _ in 0..32 {
+        let n = 1 + rng.below(300) as usize;
+        let points: Vec<(f64, f64)> = (0..n)
+            .map(|_| (rng.range(-100.0, 100.0), rng.range(-100.0, 100.0)))
+            .collect();
         let mut tree = RStarTree::with_max_entries(8);
         for (i, &(x, y)) in points.iter().enumerate() {
             tree.insert(Rect::from_point(Point::new(x, y)), i);
@@ -99,7 +130,7 @@ proptest! {
         tree.check_invariants();
         for (i, &(x, y)) in points.iter().enumerate() {
             let hits = tree.query_point(Point::new(x, y));
-            prop_assert!(hits.iter().any(|(_, &v)| v == i));
+            assert!(hits.iter().any(|(_, &v)| v == i));
         }
     }
 }

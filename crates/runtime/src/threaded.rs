@@ -1,6 +1,6 @@
-//! Coordinator + sharded worker threads over crossbeam channels.
+//! Coordinator + sharded worker threads over std::sync::mpsc channels.
 
-use crossbeam::channel::{bounded, Receiver, Sender};
+use mobieyes_core::object::agent_keys;
 use mobieyes_core::server::Net;
 use mobieyes_core::{
     Downlink, Filter, MovingObjectAgent, ObjectId, Properties, ProtocolConfig, QueryId, Server,
@@ -9,7 +9,9 @@ use mobieyes_core::{
 use mobieyes_geo::{Grid, Point, QueryRegion, Vec2};
 use mobieyes_net::{BaseStationLayout, NodeId, StationId};
 use mobieyes_sim::{Mobility, SimConfig, Workload};
+use mobieyes_telemetry::{MetricsSnapshot, Phase, Telemetry};
 use std::collections::BTreeSet;
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::Arc;
 
 /// Kinematic state of every object at one tick.
@@ -27,9 +29,13 @@ struct DownFrame {
 
 enum Cmd {
     /// Phase A: absorb kinematics, emit motion reports.
-    Motion { kin: Arc<KinFrame> },
+    Motion {
+        kin: Arc<KinFrame>,
+    },
     /// Phase B: deliver downlinks, process and evaluate.
-    Process { down: Arc<DownFrame> },
+    Process {
+        down: Arc<DownFrame>,
+    },
     Stop,
 }
 
@@ -39,11 +45,11 @@ struct WorkerReply {
     uplinks: Vec<(NodeId, Uplink)>,
     /// (node, bytes) of every physically received downlink message.
     rx: Vec<(u32, usize)>,
-    lqt_sum: u64,
 }
 
 /// Outcome of a threaded run: the final result of every query (in
-/// workload order) plus aggregate traffic numbers for comparisons.
+/// workload order), aggregate traffic numbers for comparisons, and the
+/// full telemetry snapshot of the shared registry.
 #[derive(Debug)]
 pub struct ThreadedOutcome {
     pub results: Vec<BTreeSet<ObjectId>>,
@@ -51,24 +57,48 @@ pub struct ThreadedOutcome {
     pub uplink_msgs: u64,
     pub downlink_msgs: u64,
     pub avg_lqt_size: f64,
+    /// Everything the deployment recorded. Protocol metrics (counters,
+    /// events, histograms) are bit-identical to the lock-step simulator;
+    /// wall-clock sections differ by construction.
+    pub snapshot: MetricsSnapshot,
 }
 
 /// A threaded deployment of the protocol over a simulated mobility trace.
 pub struct ThreadedSim {
     pub config: SimConfig,
     pub shards: usize,
+    telemetry: Telemetry,
 }
 
 impl ThreadedSim {
     pub fn new(config: SimConfig, shards: usize) -> Self {
         assert!(shards >= 1);
-        ThreadedSim { config, shards }
+        ThreadedSim {
+            config,
+            shards,
+            telemetry: Telemetry::new(),
+        }
+    }
+
+    /// Redirects recording into a shared telemetry sink. The server, the
+    /// coordinator network and every worker's agents record into it; the
+    /// workers' private uplink buffers do not (uplink traffic is counted
+    /// exactly once, when the coordinator forwards it).
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// The shared instrumentation sink.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Runs the full scenario (warm-up + measured ticks) and returns the
     /// final query results and traffic totals.
     pub fn run(&self) -> ThreadedOutcome {
         let config = &self.config;
+        let telemetry = self.telemetry.clone();
         let workload = Workload::generate(config);
         let grid = Grid::new(workload.universe, config.alpha);
         let pconf = Arc::new(
@@ -79,8 +109,8 @@ impl ThreadedSim {
                 .with_delta(config.delta),
         );
         let layout = BaseStationLayout::new(workload.universe, config.alen);
-        let mut net = Net::new(layout.clone());
-        let mut server = Server::new(Arc::clone(&pconf));
+        let mut net = Net::new(layout.clone()).with_telemetry(telemetry.clone());
+        let mut server = Server::new(Arc::clone(&pconf)).with_telemetry(telemetry.clone());
         let mut mobility = Mobility::with_kind(
             &workload,
             config.objects_changing_velocity,
@@ -108,12 +138,14 @@ impl ThreadedSim {
         let shards = self.shards.min(n.max(1));
         let chunk = n.div_ceil(shards);
         let mut worker_handles = Vec::new();
-        let mut cmd_txs: Vec<Sender<Cmd>> = Vec::new();
-        let (reply_tx, reply_rx): (Sender<WorkerReply>, Receiver<WorkerReply>) = bounded(shards);
+        let mut cmd_txs: Vec<SyncSender<Cmd>> = Vec::new();
+        let (reply_tx, reply_rx): (SyncSender<WorkerReply>, Receiver<WorkerReply>) =
+            sync_channel(shards);
 
         for s in 0..shards {
             let lo = s * chunk;
             let hi = ((s + 1) * chunk).min(n);
+            let shared = telemetry.clone();
             let agents: Vec<MovingObjectAgent> = (lo..hi)
                 .map(|i| {
                     MovingObjectAgent::new(
@@ -124,9 +156,10 @@ impl ThreadedSim {
                         mobility.velocities[i],
                         Arc::clone(&pconf),
                     )
+                    .with_telemetry(shared.clone())
                 })
                 .collect();
-            let (tx, rx): (Sender<Cmd>, Receiver<Cmd>) = bounded(1);
+            let (tx, rx): (SyncSender<Cmd>, Receiver<Cmd>) = sync_channel(1);
             cmd_txs.push(tx);
             let reply = reply_tx.clone();
             let wl = layout.clone();
@@ -137,47 +170,69 @@ impl ThreadedSim {
         drop(reply_tx);
 
         let ticks = config.warmup_ticks + config.ticks;
-        let mut lqt_total = 0u64;
-        let mut lqt_samples = 0u64;
-        let collect = |net: &mut Net, reply_rx: &Receiver<WorkerReply>, lqt_total: &mut u64| {
-            let mut replies: Vec<WorkerReply> =
-                (0..shards).map(|_| reply_rx.recv().expect("worker reply")).collect();
+        let collect = |net: &mut Net, reply_rx: &Receiver<WorkerReply>| {
+            let mut replies: Vec<WorkerReply> = (0..shards)
+                .map(|_| reply_rx.recv().expect("worker reply"))
+                .collect();
             replies.sort_by_key(|r| r.shard);
             for r in replies {
                 for (node, bytes) in r.rx {
-                    net.meter_mut().record_node_received(node as usize, bytes);
+                    net.record_node_received(node as usize, bytes);
                 }
                 for (node, up) in r.uplinks {
                     net.send_uplink(node, up);
                 }
-                *lqt_total += r.lqt_sum;
             }
         };
         for k in 0..ticks {
             let t = (k + 1) as f64 * config.time_step;
-            mobility.step();
+            telemetry.set_now(t);
+            {
+                let _span = telemetry.span(Phase::Mobility);
+                mobility.step();
+            }
             let kin = Arc::new(KinFrame {
                 t,
                 positions: mobility.positions.clone(),
                 velocities: mobility.velocities.clone(),
             });
             // Phase A: motion reports from every shard.
-            for tx in &cmd_txs {
-                tx.send(Cmd::Motion { kin: Arc::clone(&kin) }).expect("worker alive");
+            {
+                let _span = telemetry.span(Phase::Motion);
+                for tx in &cmd_txs {
+                    tx.send(Cmd::Motion {
+                        kin: Arc::clone(&kin),
+                    })
+                    .expect("worker alive");
+                }
+                collect(&mut net, &reply_rx);
             }
-            collect(&mut net, &reply_rx, &mut lqt_total);
             // Server mediation.
-            server.tick(&mut net);
-            // Phase B: distributed delivery + evaluation.
-            let (unicasts, broadcasts) = net.take_downlinks();
-            let down = Arc::new(DownFrame { unicasts, broadcasts });
-            for tx in &cmd_txs {
-                tx.send(Cmd::Process { down: Arc::clone(&down) }).expect("worker alive");
+            {
+                let _span = telemetry.span(Phase::Mediation);
+                server.tick(&mut net);
             }
-            collect(&mut net, &reply_rx, &mut lqt_total);
-            lqt_samples += 1;
+            // Phase B: distributed delivery + evaluation.
+            {
+                let _span = telemetry.span(Phase::Process);
+                let (unicasts, broadcasts) = net.take_downlinks();
+                let down = Arc::new(DownFrame {
+                    unicasts,
+                    broadcasts,
+                });
+                for tx in &cmd_txs {
+                    tx.send(Cmd::Process {
+                        down: Arc::clone(&down),
+                    })
+                    .expect("worker alive");
+                }
+                collect(&mut net, &reply_rx);
+            }
             // Server result ingestion.
-            server.tick(&mut net);
+            {
+                let _span = telemetry.span(Phase::Ingest);
+                server.tick(&mut net);
+            }
         }
         for tx in &cmd_txs {
             let _ = tx.send(Cmd::Stop);
@@ -187,6 +242,7 @@ impl ThreadedSim {
         }
 
         let meter = net.meter();
+        let snapshot = telemetry.snapshot();
         let results = qids
             .iter()
             .map(|&q| server.query_result(q).cloned().unwrap_or_default())
@@ -196,11 +252,11 @@ impl ThreadedSim {
             total_msgs: meter.total_msgs(),
             uplink_msgs: meter.uplink_msgs,
             downlink_msgs: meter.downlink_msgs(),
-            avg_lqt_size: if lqt_samples > 0 {
-                lqt_total as f64 / (n.max(1) as f64 * ticks.max(1) as f64)
-            } else {
-                0.0
-            },
+            avg_lqt_size: snapshot
+                .histogram(agent_keys::LQT_SIZE)
+                .map(|h| h.mean())
+                .unwrap_or(0.0),
+            snapshot,
         }
     }
 }
@@ -213,10 +269,11 @@ fn worker_loop(
     mut agents: Vec<MovingObjectAgent>,
     layout: BaseStationLayout,
     rx: Receiver<Cmd>,
-    reply: Sender<WorkerReply>,
+    reply: SyncSender<WorkerReply>,
 ) {
     // A private network used purely as an uplink buffer so the agent code
-    // is identical to the lock-step deployment.
+    // is identical to the lock-step deployment. Its (private) telemetry is
+    // discarded: uplink traffic is metered once, by the coordinator.
     let mut sink = Net::new(layout.clone());
     let mut inbox: Vec<Downlink> = Vec::new();
     let mut kin_frame: Option<Arc<KinFrame>> = None;
@@ -232,14 +289,17 @@ fn worker_loop(
                 }
                 kin_frame = Some(kin);
                 reply
-                    .send(WorkerReply { shard, uplinks, rx: Vec::new(), lqt_sum: 0 })
+                    .send(WorkerReply {
+                        shard,
+                        uplinks,
+                        rx: Vec::new(),
+                    })
                     .expect("coordinator alive");
             }
             Cmd::Process { down } => {
                 let kin = kin_frame.as_ref().expect("Process follows Motion");
                 let mut rx_bytes: Vec<(u32, usize)> = Vec::new();
                 let mut uplinks: Vec<(NodeId, Uplink)> = Vec::new();
-                let mut lqt_sum = 0u64;
                 for (off, agent) in agents.iter_mut().enumerate() {
                     let i = lo + off;
                     let node = NodeId(i as u32);
@@ -262,10 +322,13 @@ fn worker_loop(
                     }
                     agent.tick_process(kin.t, &inbox, &mut sink);
                     uplinks.extend(sink.drain_uplinks());
-                    lqt_sum += agent.lqt_len() as u64;
                 }
                 reply
-                    .send(WorkerReply { shard, uplinks, rx: rx_bytes, lqt_sum })
+                    .send(WorkerReply {
+                        shard,
+                        uplinks,
+                        rx: rx_bytes,
+                    })
                     .expect("coordinator alive");
             }
         }
@@ -280,7 +343,10 @@ mod tests {
     fn single_shard_run_completes() {
         let out = ThreadedSim::new(SimConfig::small_test(51), 1).run();
         assert!(out.total_msgs > 0);
-        assert!(out.results.iter().any(|r| !r.is_empty()), "some query has results");
+        assert!(
+            out.results.iter().any(|r| !r.is_empty()),
+            "some query has results"
+        );
     }
 
     #[test]
@@ -291,6 +357,10 @@ mod tests {
         assert_eq!(a.total_msgs, b.total_msgs);
         assert_eq!(a.uplink_msgs, b.uplink_msgs);
         assert_eq!(a.avg_lqt_size, b.avg_lqt_size);
+        assert!(
+            a.snapshot.protocol_eq(&b.snapshot),
+            "protocol metrics diverged across shards"
+        );
     }
 
     #[test]

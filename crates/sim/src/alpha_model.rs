@@ -71,10 +71,15 @@ impl WorkloadMoments {
     /// `n_o` objects.
     pub fn from_config(config: &SimConfig) -> Self {
         let zipf_mean = |values: &[f64]| {
-            let weights: Vec<f64> =
-                (1..=values.len()).map(|k| 1.0 / (k as f64).powf(config.zipf_param)).collect();
+            let weights: Vec<f64> = (1..=values.len())
+                .map(|k| 1.0 / (k as f64).powf(config.zipf_param))
+                .collect();
             let total: f64 = weights.iter().sum();
-            values.iter().zip(&weights).map(|(v, w)| v * w / total).sum::<f64>()
+            values
+                .iter()
+                .zip(&weights)
+                .map(|(v, w)| v * w / total)
+                .sum::<f64>()
         };
         let mean_max_speed_mph = zipf_mean(&config.speed_classes_mph);
         let mean_radius = zipf_mean(&config.radius_means) * config.radius_factor;
@@ -201,11 +206,23 @@ mod tests {
         let m = WorkloadMoments::from_config(&SimConfig::default());
         // Zipf mean of {100,50,150,200,250} at 0.8 is ~118 mph; half for
         // the uniform speed draw -> ~0.016 mi/s.
-        assert!((0.012..0.022).contains(&m.mean_speed), "mean speed {}", m.mean_speed);
+        assert!(
+            (0.012..0.022).contains(&m.mean_speed),
+            "mean speed {}",
+            m.mean_speed
+        );
         // Zipf mean of {3,2,1,4,5} ~ 2.7 miles.
-        assert!((2.2..3.2).contains(&m.mean_radius), "mean radius {}", m.mean_radius);
+        assert!(
+            (2.2..3.2).contains(&m.mean_radius),
+            "mean radius {}",
+            m.mean_radius
+        );
         // 1000 draws over 10000 objects -> ~951 distinct focals.
-        assert!((900.0..1000.0).contains(&m.num_focals), "focals {}", m.num_focals);
+        assert!(
+            (900.0..1000.0).contains(&m.num_focals),
+            "focals {}",
+            m.num_focals
+        );
     }
 
     #[test]
@@ -226,7 +243,10 @@ mod tests {
         // The paper observes α ∈ [4, 6] as ideal for its default workload;
         // the analytic model should land in the same ballpark.
         let a = optimal_alpha(&SimConfig::default());
-        assert!((2.0..10.0).contains(&a), "model optimum {a} outside plausible range");
+        assert!(
+            (2.0..10.0).contains(&a),
+            "model optimum {a} outside plausible range"
+        );
     }
 
     #[test]
@@ -268,8 +288,10 @@ mod tests {
         assert!(expected_lqt_size(&c, 16.0) > expected_lqt_size(&c, 4.0));
         assert!(expected_lqt_size(&c, 4.0) > expected_lqt_size(&c, 1.0));
         let more = SimConfig::default().with_queries(2000);
-        assert!((expected_lqt_size(&more, 5.0) / expected_lqt_size(&c, 5.0) - 2.0).abs() < 1e-9,
-            "LQT size is linear in the query count");
+        assert!(
+            (expected_lqt_size(&more, 5.0) / expected_lqt_size(&c, 5.0) - 2.0).abs() < 1e-9,
+            "LQT size is linear in the query count"
+        );
     }
 
     #[test]

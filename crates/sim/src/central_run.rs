@@ -11,16 +11,19 @@
 //!   send everything uplink and nothing downlink.
 
 use crate::config::SimConfig;
-use crate::metrics::RunMetrics;
+use crate::metrics::{sim_keys, RunMetrics};
 use crate::mobility::Mobility;
 use crate::truth::{result_error, GroundTruth};
 use crate::workload::Workload;
-use mobieyes_baselines::{CentralEngine, ObjectIndexEngine, ObjectReport, QueryDef, QueryIndexEngine};
+use mobieyes_baselines::{
+    CentralEngine, ObjectIndexEngine, ObjectReport, QueryDef, QueryIndexEngine,
+};
 use mobieyes_core::{Filter, ObjectId, Properties, QueryId};
 use mobieyes_geo::{LinearMotion, QueryRegion};
+use mobieyes_net::meter::keys as net_keys;
 use mobieyes_net::RadioModel;
+use mobieyes_telemetry::{Phase, Telemetry};
 use std::sync::Arc;
-use std::time::Instant;
 
 /// Which centralized engine to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,10 +42,16 @@ pub struct CentralSim {
     truth: GroundTruth,
     reports: Vec<ObjectReport>,
     tick_index: usize,
+    telemetry: Telemetry,
 }
 
 impl CentralSim {
     pub fn new(config: SimConfig, kind: CentralKind) -> Self {
+        Self::with_telemetry(config, kind, Telemetry::new())
+    }
+
+    /// Builds a centralized engine run recording into the injected sink.
+    pub fn with_telemetry(config: SimConfig, kind: CentralKind, telemetry: Telemetry) -> Self {
         let workload = Workload::generate(&config);
         let mobility = Mobility::with_kind(
             &workload,
@@ -66,11 +75,18 @@ impl CentralSim {
                     qid: QueryId(q as u32),
                     focal: ObjectId(spec.focal_idx as u32),
                     region: QueryRegion::circle(spec.radius),
-                    filter: Arc::new(Filter::with_selectivity(workload.selectivity, spec.filter_salt)),
+                    filter: Arc::new(Filter::with_selectivity(
+                        workload.selectivity,
+                        spec.filter_salt,
+                    )),
                 });
             }
         }
-        let max_radius = workload.queries.iter().map(|q| q.radius).fold(1.0f64, f64::max);
+        let max_radius = workload
+            .queries
+            .iter()
+            .map(|q| q.radius)
+            .fold(1.0f64, f64::max);
         let truth = GroundTruth::new(&workload, max_radius.max(config.alpha));
         CentralSim {
             config,
@@ -81,7 +97,13 @@ impl CentralSim {
             truth,
             reports: Vec::new(),
             tick_index: 0,
+            telemetry,
         }
+    }
+
+    /// The shared instrumentation sink.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     fn engine(&mut self) -> &mut dyn CentralEngine {
@@ -95,14 +117,19 @@ impl CentralSim {
     /// metrics (messaging for the centralized schemes is modeled by
     /// [`MessagingModel`]).
     pub fn run(&mut self) -> RunMetrics {
-        let mut server_seconds = 0.0;
-        let mut error_sum = 0.0;
-        let mut error_samples = 0u64;
         let total = self.config.warmup_ticks + self.config.ticks;
         for k in 0..total {
+            if k == self.config.warmup_ticks {
+                // Measurement starts here: drop warm-up wall time.
+                self.telemetry.reset();
+            }
             self.tick_index += 1;
             let t = self.tick_index as f64 * self.config.time_step;
-            self.mobility.step();
+            self.telemetry.set_now(t);
+            {
+                let _span = self.telemetry.span(Phase::Mobility);
+                self.mobility.step();
+            }
             self.reports.clear();
             for i in 0..self.mobility.len() {
                 self.reports.push(ObjectReport {
@@ -113,18 +140,19 @@ impl CentralSim {
                 });
             }
             let reports = std::mem::take(&mut self.reports);
-            let start = Instant::now();
-            self.engine().tick(&reports, t);
-            let elapsed = start.elapsed().as_secs_f64();
+            {
+                let _span = self.telemetry.span(Phase::Mediation);
+                self.engine().tick(&reports, t);
+            }
             self.reports = reports;
 
             if k >= self.config.warmup_ticks {
-                server_seconds += elapsed;
                 let truth = self.truth.evaluate(&self.mobility.positions);
                 for (q, t_set) in truth.iter().enumerate() {
                     if let Some(reported) = self.engine_result(QueryId(q as u32)) {
-                        error_sum += result_error(t_set, &reported);
-                        error_samples += 1;
+                        self.telemetry
+                            .gauge_add(sim_keys::TRUTH_ERROR_SUM, result_error(t_set, &reported));
+                        self.telemetry.incr(sim_keys::TRUTH_ERROR_SAMPLES);
                     }
                 }
             }
@@ -133,14 +161,13 @@ impl CentralSim {
             CentralKind::ObjectIndex => "object-index",
             CentralKind::QueryIndex => "query-index",
         };
-        RunMetrics {
-            label: name.to_string(),
-            ticks: self.config.ticks,
-            duration_s: self.config.measured_seconds(),
-            server_seconds_per_tick: server_seconds / self.config.ticks.max(1) as f64,
-            avg_result_error: if error_samples > 0 { error_sum / error_samples as f64 } else { 0.0 },
-            ..Default::default()
-        }
+        RunMetrics::from_snapshot(
+            name,
+            self.config.ticks,
+            self.config.measured_seconds(),
+            self.mobility.len(),
+            &self.telemetry.snapshot(),
+        )
     }
 
     fn engine_result(&self, qid: QueryId) -> Option<std::collections::BTreeSet<ObjectId>> {
@@ -173,6 +200,7 @@ pub struct MessagingModel {
     advertised: Vec<LinearMotion>,
     prev_positions: Vec<mobieyes_geo::Point>,
     tick_index: usize,
+    telemetry: Telemetry,
 }
 
 /// Wire size of a naive position report: tag + oid + pos + tm.
@@ -182,6 +210,11 @@ pub const VELOCITY_REPORT_BYTES: usize = 1 + 4 + 40;
 
 impl MessagingModel {
     pub fn new(config: SimConfig, kind: MessagingKind) -> Self {
+        Self::with_telemetry(config, kind, Telemetry::new())
+    }
+
+    /// Builds a messaging model recording into the injected sink.
+    pub fn with_telemetry(config: SimConfig, kind: MessagingKind, telemetry: Telemetry) -> Self {
         let workload = Workload::generate(&config);
         let mobility = Mobility::with_kind(
             &workload,
@@ -194,7 +227,20 @@ impl MessagingModel {
             .map(|i| LinearMotion::new(mobility.positions[i], mobility.velocities[i], 0.0))
             .collect();
         let prev_positions = mobility.positions.clone();
-        MessagingModel { config, kind, mobility, advertised, prev_positions, tick_index: 0 }
+        MessagingModel {
+            config,
+            kind,
+            mobility,
+            advertised,
+            prev_positions,
+            tick_index: 0,
+            telemetry,
+        }
+    }
+
+    /// The shared instrumentation sink.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     pub fn run(&mut self) -> RunMetrics {
@@ -204,7 +250,9 @@ impl MessagingModel {
         for k in 0..total {
             self.tick_index += 1;
             let t = self.tick_index as f64 * self.config.time_step;
-            self.prev_positions.copy_from_slice(&self.mobility.positions);
+            self.telemetry.set_now(t);
+            self.prev_positions
+                .copy_from_slice(&self.mobility.positions);
             self.mobility.step();
             if k < self.config.warmup_ticks {
                 // Keep dead-reckoning state warm but do not count traffic.
@@ -213,35 +261,43 @@ impl MessagingModel {
                 }
                 continue;
             }
-            match self.kind {
-                MessagingKind::Naive => {
-                    for i in 0..self.mobility.len() {
-                        if self.mobility.positions[i] != self.prev_positions[i] {
-                            msgs += 1;
-                            bytes += NAIVE_REPORT_BYTES as u64;
+            let (tick_msgs, tick_bytes) = {
+                let mut m = 0u64;
+                let mut b = 0u64;
+                match self.kind {
+                    MessagingKind::Naive => {
+                        for i in 0..self.mobility.len() {
+                            if self.mobility.positions[i] != self.prev_positions[i] {
+                                m += 1;
+                                b += NAIVE_REPORT_BYTES as u64;
+                            }
                         }
                     }
+                    MessagingKind::CentralOptimal => {
+                        self.reckon(t, &mut m, &mut b);
+                    }
                 }
-                MessagingKind::CentralOptimal => {
-                    self.reckon(t, &mut msgs, &mut bytes);
-                }
-            }
+                (m, b)
+            };
+            self.telemetry.add(net_keys::UPLINK_MSGS, tick_msgs);
+            self.telemetry.add(net_keys::UPLINK_BYTES, tick_bytes);
+            msgs += tick_msgs;
+            bytes += tick_bytes;
         }
         let duration = self.config.measured_seconds();
         let n = self.mobility.len().max(1);
-        let mut m = RunMetrics {
-            label: match self.kind {
-                MessagingKind::Naive => "naive".to_string(),
-                MessagingKind::CentralOptimal => "central-optimal".to_string(),
+        let mut m = RunMetrics::from_snapshot(
+            match self.kind {
+                MessagingKind::Naive => "naive",
+                MessagingKind::CentralOptimal => "central-optimal",
             },
-            ticks: self.config.ticks,
-            duration_s: duration,
-            msgs_per_second: msgs as f64 / duration,
-            uplink_msgs_per_second: msgs as f64 / duration,
-            downlink_msgs_per_second: 0.0,
-            uplink_bytes: bytes,
-            ..Default::default()
-        };
+            self.config.ticks,
+            duration,
+            n,
+            &self.telemetry.snapshot(),
+        );
+        debug_assert_eq!(m.uplink_bytes, bytes);
+        let _ = msgs;
         m.set_power(&RadioModel::default(), bytes as f64 / n as f64, 0.0);
         m
     }

@@ -88,6 +88,11 @@ impl Default for SimConfig {
 }
 
 impl SimConfig {
+    /// Starts a validated fluent builder from the Table 1 defaults.
+    pub fn builder() -> SimConfigBuilder {
+        SimConfigBuilder::default()
+    }
+
     /// Side length of the square universe of discourse, miles.
     pub fn side(&self) -> f64 {
         self.area.sqrt()
@@ -169,6 +174,168 @@ impl SimConfig {
     }
 }
 
+/// Fluent, validating construction of [`SimConfig`].
+///
+/// Unlike the raw struct (whose fields remain public for sweeps), the
+/// builder rejects configurations the simulator cannot meaningfully run:
+/// non-positive α, zero objects, a non-positive radius factor, and the
+/// analogous degenerate values for the remaining knobs.
+#[derive(Debug, Clone, Default)]
+pub struct SimConfigBuilder {
+    config: SimConfig,
+}
+
+impl SimConfigBuilder {
+    /// Starts from an existing configuration instead of the defaults.
+    pub fn from_config(config: SimConfig) -> Self {
+        SimConfigBuilder { config }
+    }
+
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    pub fn time_step(mut self, seconds: f64) -> Self {
+        self.config.time_step = seconds;
+        self
+    }
+
+    pub fn ticks(mut self, ticks: usize) -> Self {
+        self.config.ticks = ticks;
+        self
+    }
+
+    pub fn warmup_ticks(mut self, ticks: usize) -> Self {
+        self.config.warmup_ticks = ticks;
+        self
+    }
+
+    pub fn alpha(mut self, alpha: f64) -> Self {
+        self.config.alpha = alpha;
+        self
+    }
+
+    pub fn objects(mut self, n: usize) -> Self {
+        self.config.num_objects = n;
+        self
+    }
+
+    pub fn queries(mut self, n: usize) -> Self {
+        self.config.num_queries = n;
+        self
+    }
+
+    pub fn objects_changing_velocity(mut self, n: usize) -> Self {
+        self.config.objects_changing_velocity = n;
+        self
+    }
+
+    pub fn area(mut self, square_miles: f64) -> Self {
+        self.config.area = square_miles;
+        self
+    }
+
+    pub fn alen(mut self, miles: f64) -> Self {
+        self.config.alen = miles;
+        self
+    }
+
+    pub fn radius_factor(mut self, factor: f64) -> Self {
+        self.config.radius_factor = factor;
+        self
+    }
+
+    pub fn selectivity(mut self, s: f64) -> Self {
+        self.config.selectivity = s;
+        self
+    }
+
+    pub fn delta(mut self, miles: f64) -> Self {
+        self.config.delta = miles;
+        self
+    }
+
+    pub fn propagation(mut self, p: Propagation) -> Self {
+        self.config.propagation = p;
+        self
+    }
+
+    pub fn grouping(mut self, on: bool) -> Self {
+        self.config.grouping = on;
+        self
+    }
+
+    pub fn safe_period(mut self, on: bool) -> Self {
+        self.config.safe_period = on;
+        self
+    }
+
+    pub fn mobility(mut self, kind: MobilityKind) -> Self {
+        self.config.mobility = kind;
+        self
+    }
+
+    pub fn focal_pool(mut self, k: usize) -> Self {
+        self.config.focal_pool = Some(k);
+        self
+    }
+
+    /// Validates and returns the configuration.
+    pub fn build(self) -> Result<SimConfig, String> {
+        // Written to reject NaN along with non-positive values.
+        let positive = |v: f64| v.partial_cmp(&0.0) == Some(std::cmp::Ordering::Greater);
+        let c = self.config;
+        if !positive(c.alpha) {
+            return Err(format!("alpha must be > 0 (got {})", c.alpha));
+        }
+        if c.num_objects == 0 {
+            return Err("num_objects must be > 0".to_string());
+        }
+        if !positive(c.radius_factor) {
+            return Err(format!(
+                "radius_factor must be > 0 (got {})",
+                c.radius_factor
+            ));
+        }
+        if !positive(c.time_step) {
+            return Err(format!("time_step must be > 0 (got {})", c.time_step));
+        }
+        if !positive(c.area) {
+            return Err(format!("area must be > 0 (got {})", c.area));
+        }
+        if !positive(c.alen) {
+            return Err(format!("alen must be > 0 (got {})", c.alen));
+        }
+        if !positive(c.delta) {
+            return Err(format!("delta must be > 0 (got {})", c.delta));
+        }
+        if !(0.0..=1.0).contains(&c.selectivity) {
+            return Err(format!(
+                "selectivity must be within [0, 1] (got {})",
+                c.selectivity
+            ));
+        }
+        if c.ticks == 0 {
+            return Err("ticks must be > 0".to_string());
+        }
+        if c.radius_means.is_empty() || c.speed_classes_mph.is_empty() {
+            return Err("radius_means and speed_classes_mph must be non-empty".to_string());
+        }
+        if c.focal_pool == Some(0) {
+            return Err("focal_pool must be > 0 when set".to_string());
+        }
+        Ok(c)
+    }
+
+    /// [`build`](Self::build) that panics on invalid input — for the
+    /// figure binaries, where a bad sweep value is a programming error.
+    pub fn build_or_panic(self) -> SimConfig {
+        self.build()
+            .unwrap_or_else(|e| panic!("invalid SimConfig: {e}"))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -191,7 +358,10 @@ mod tests {
 
     #[test]
     fn builders_chain() {
-        let c = SimConfig::small_test(1).with_queries(5).with_alpha(2.0).with_nmo(7);
+        let c = SimConfig::small_test(1)
+            .with_queries(5)
+            .with_alpha(2.0)
+            .with_nmo(7);
         assert_eq!(c.num_queries, 5);
         assert_eq!(c.alpha, 2.0);
         assert_eq!(c.objects_changing_velocity, 7);
@@ -199,7 +369,52 @@ mod tests {
 
     #[test]
     fn measured_seconds() {
-        let c = SimConfig { ticks: 10, time_step: 30.0, ..SimConfig::default() };
+        let c = SimConfig {
+            ticks: 10,
+            time_step: 30.0,
+            ..SimConfig::default()
+        };
         assert_eq!(c.measured_seconds(), 300.0);
+    }
+
+    #[test]
+    fn builder_accepts_valid_configs() {
+        let c = SimConfig::builder()
+            .seed(7)
+            .alpha(2.0)
+            .objects(500)
+            .queries(50)
+            .radius_factor(1.5)
+            .build()
+            .unwrap();
+        assert_eq!(c.seed, 7);
+        assert_eq!(c.alpha, 2.0);
+        assert_eq!(c.num_objects, 500);
+        assert_eq!(c.num_queries, 50);
+        assert_eq!(c.radius_factor, 1.5);
+    }
+
+    #[test]
+    fn builder_rejects_degenerate_values() {
+        assert!(SimConfig::builder().alpha(0.0).build().is_err());
+        assert!(SimConfig::builder().alpha(-1.0).build().is_err());
+        assert!(SimConfig::builder().alpha(f64::NAN).build().is_err());
+        assert!(SimConfig::builder().objects(0).build().is_err());
+        assert!(SimConfig::builder().radius_factor(0.0).build().is_err());
+        assert!(SimConfig::builder().radius_factor(-2.0).build().is_err());
+        assert!(SimConfig::builder().time_step(0.0).build().is_err());
+        assert!(SimConfig::builder().selectivity(1.5).build().is_err());
+        assert!(SimConfig::builder().focal_pool(0).build().is_err());
+    }
+
+    #[test]
+    fn builder_starts_from_existing_config() {
+        let base = SimConfig::small_test(9);
+        let c = SimConfigBuilder::from_config(base.clone())
+            .queries(77)
+            .build()
+            .unwrap();
+        assert_eq!(c.num_objects, base.num_objects);
+        assert_eq!(c.num_queries, 77);
     }
 }

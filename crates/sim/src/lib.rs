@@ -8,6 +8,7 @@
 //! checks reported results against an exact grid-bucketed ground truth.
 
 pub mod alpha_model;
+pub mod approach;
 pub mod central_run;
 pub mod config;
 pub mod metrics;
@@ -18,8 +19,9 @@ pub mod truth;
 pub mod workload;
 
 pub use alpha_model::{optimal_alpha, AlphaCost, WorkloadMoments};
+pub use approach::{run_approach, run_approach_with, Approach, RunReport};
 pub use central_run::{CentralKind, CentralSim, MessagingKind, MessagingModel};
-pub use config::SimConfig;
+pub use config::{SimConfig, SimConfigBuilder};
 pub use metrics::RunMetrics;
 pub use mobieyes_run::MobiEyesSim;
 pub use mobility::{Mobility, MobilityKind};

@@ -2,7 +2,7 @@
 //! mobility trace, with all the measurements of §5.
 
 use crate::config::SimConfig;
-use crate::metrics::RunMetrics;
+use crate::metrics::{sim_keys, RunMetrics};
 use crate::mobility::Mobility;
 use crate::truth::{result_error, GroundTruth};
 use crate::workload::Workload;
@@ -13,8 +13,8 @@ use mobieyes_core::{
 };
 use mobieyes_geo::{Grid, QueryRegion};
 use mobieyes_net::{BaseStationLayout, RadioModel};
+use mobieyes_telemetry::{Phase, Telemetry};
 use std::sync::Arc;
-use std::time::Instant;
 
 /// A complete MobiEyes deployment under simulation.
 pub struct MobiEyesSim {
@@ -29,15 +29,18 @@ pub struct MobiEyesSim {
     qids: Vec<QueryId>,
     tick_index: usize,
     inbox: Vec<Downlink>,
-    // Accumulators (measured ticks only).
-    server_seconds: f64,
-    lqt_size_sum: u64,
-    error_sum: f64,
-    error_samples: u64,
+    /// Shared instrumentation sink every component records into.
+    telemetry: Telemetry,
 }
 
 impl MobiEyesSim {
     pub fn new(config: SimConfig) -> Self {
+        Self::with_telemetry(config, Telemetry::new())
+    }
+
+    /// Builds a deployment whose server, network and agents all record
+    /// into the injected telemetry sink.
+    pub fn with_telemetry(config: SimConfig, telemetry: Telemetry) -> Self {
         let workload = Workload::generate(&config);
         let grid = Grid::new(workload.universe, config.alpha);
         let pconf = Arc::new(
@@ -47,8 +50,9 @@ impl MobiEyesSim {
                 .with_safe_period(config.safe_period)
                 .with_delta(config.delta),
         );
-        let mut net = Net::new(BaseStationLayout::new(workload.universe, config.alen));
-        let mut server = Server::new(Arc::clone(&pconf));
+        let mut net = Net::new(BaseStationLayout::new(workload.universe, config.alen))
+            .with_telemetry(telemetry.clone());
+        let mut server = Server::new(Arc::clone(&pconf)).with_telemetry(telemetry.clone());
         let mobility = Mobility::with_kind(
             &workload,
             config.objects_changing_velocity,
@@ -69,6 +73,7 @@ impl MobiEyesSim {
                     mobility.velocities[i],
                     Arc::clone(&pconf),
                 )
+                .with_telemetry(telemetry.clone())
             })
             .collect();
         // Install the full query workload up front; the position-request
@@ -85,7 +90,11 @@ impl MobiEyesSim {
                 )
             })
             .collect();
-        let max_radius = workload.queries.iter().map(|q| q.radius).fold(1.0f64, f64::max);
+        let max_radius = workload
+            .queries
+            .iter()
+            .map(|q| q.radius)
+            .fold(1.0f64, f64::max);
         let truth = GroundTruth::new(&workload, max_radius.max(config.alpha));
         MobiEyesSim {
             config,
@@ -98,11 +107,13 @@ impl MobiEyesSim {
             qids,
             tick_index: 0,
             inbox: Vec::new(),
-            server_seconds: 0.0,
-            lqt_size_sum: 0,
-            error_sum: 0.0,
-            error_samples: 0,
+            telemetry,
         }
+    }
+
+    /// The shared instrumentation sink.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Current simulated time in seconds.
@@ -143,43 +154,58 @@ impl MobiEyesSim {
     pub fn step(&mut self, measured: bool) {
         self.tick_index += 1;
         let t = self.now();
-        self.mobility.step();
+        self.telemetry.set_now(t);
+        {
+            let _span = self.telemetry.span(Phase::Mobility);
+            self.mobility.step();
+        }
 
         // Phase A: motion reports.
-        for i in 0..self.agents.len() {
-            self.agents[i].tick_motion(t, self.mobility.positions[i], self.mobility.velocities[i], &mut self.net);
+        {
+            let _span = self.telemetry.span(Phase::Motion);
+            for i in 0..self.agents.len() {
+                self.agents[i].tick_motion(
+                    t,
+                    self.mobility.positions[i],
+                    self.mobility.velocities[i],
+                    &mut self.net,
+                );
+            }
         }
 
-        // Server mediation (timed: the Figure 1/3 server-load metric).
-        let start = Instant::now();
-        self.server.tick(&mut self.net);
-        let mut elapsed = start.elapsed().as_secs_f64();
+        // Server mediation (profiled: the Figure 1/3 server-load metric).
+        {
+            let _span = self.telemetry.span(Phase::Mediation);
+            self.server.tick(&mut self.net);
+        }
 
         // Phase B: downlink processing + local evaluation.
-        for i in 0..self.agents.len() {
-            self.inbox.clear();
-            let pos = self.mobility.positions[i];
-            self.net.deliver(mobieyes_net::NodeId(i as u32), pos, &mut self.inbox);
-            self.agents[i].tick_process(t, &self.inbox, &mut self.net);
+        {
+            let _span = self.telemetry.span(Phase::Process);
+            for i in 0..self.agents.len() {
+                self.inbox.clear();
+                let pos = self.mobility.positions[i];
+                self.net
+                    .deliver(mobieyes_net::NodeId(i as u32), pos, &mut self.inbox);
+                self.agents[i].tick_process(t, &self.inbox, &mut self.net);
+            }
+            self.net.end_tick();
         }
-        self.net.end_tick();
 
         // Server result ingestion.
-        let start = Instant::now();
-        self.server.tick(&mut self.net);
-        elapsed += start.elapsed().as_secs_f64();
+        {
+            let _span = self.telemetry.span(Phase::Ingest);
+            self.server.tick(&mut self.net);
+        }
 
         if measured {
-            self.server_seconds += elapsed;
-            for a in &self.agents {
-                self.lqt_size_sum += a.lqt_len() as u64;
-            }
             // Result accuracy vs exact ground truth.
             let truth = self.truth.evaluate(&self.mobility.positions);
             for (q, t_set) in truth.iter().enumerate() {
                 if let Some(reported) = self.server.query_result(self.qids[q]) {
-                    self.error_sum += result_error(t_set, reported);
-                    self.error_samples += 1;
+                    self.telemetry
+                        .gauge_add(sim_keys::TRUTH_ERROR_SUM, result_error(t_set, reported));
+                    self.telemetry.incr(sim_keys::TRUTH_ERROR_SAMPLES);
                 }
             }
         }
@@ -190,16 +216,10 @@ impl MobiEyesSim {
         for _ in 0..self.config.warmup_ticks {
             self.step(false);
         }
-        // Reset all counters after warm-up so installation traffic and
+        // Reset the registry after warm-up so installation traffic and
         // transient state do not pollute the measurements.
-        self.net.meter_mut().reset();
-        for a in self.agents.iter_mut() {
-            a.reset_stats();
-        }
-        self.server_seconds = 0.0;
-        self.lqt_size_sum = 0;
-        self.error_sum = 0.0;
-        self.error_samples = 0;
+        self.telemetry.reset();
+        self.net.reset_node_traffic();
 
         for _ in 0..self.config.ticks {
             self.step(true);
@@ -211,8 +231,11 @@ impl MobiEyesSim {
         let n = self.agents.len().max(1);
         let ticks = self.config.ticks.max(1);
         let duration = self.config.measured_seconds();
-        let meter = self.net.meter();
-        let label = match (self.config.propagation, self.config.grouping, self.config.safe_period) {
+        let label = match (
+            self.config.propagation,
+            self.config.grouping,
+            self.config.safe_period,
+        ) {
             (Propagation::Eager, false, false) => "mobieyes-eqp".to_string(),
             (Propagation::Lazy, false, false) => "mobieyes-lqp".to_string(),
             (p, g, s) => format!(
@@ -222,38 +245,9 @@ impl MobiEyesSim {
                 if s { "+safe" } else { "" }
             ),
         };
-
-        let mut evals = 0u64;
-        let mut skips = 0u64;
-        let mut eval_nanos = 0u64;
-        for a in &self.agents {
-            let s = a.stats();
-            evals += s.evaluated;
-            skips += s.skipped_safe_period;
-            eval_nanos += s.eval_nanos;
-        }
-
-        let mut m = RunMetrics {
-            label,
-            ticks,
-            duration_s: duration,
-            server_seconds_per_tick: self.server_seconds / ticks as f64,
-            msgs_per_second: meter.total_msgs() as f64 / duration,
-            uplink_msgs_per_second: meter.uplink_msgs as f64 / duration,
-            downlink_msgs_per_second: meter.downlink_msgs() as f64 / duration,
-            uplink_bytes: meter.uplink_bytes,
-            downlink_bytes: meter.unicast_bytes + meter.broadcast_bytes,
-            avg_lqt_size: self.lqt_size_sum as f64 / (n as f64 * ticks as f64),
-            avg_evals_per_object_tick: evals as f64 / (n as f64 * ticks as f64),
-            avg_safe_period_skips: skips as f64 / (n as f64 * ticks as f64),
-            avg_eval_micros_per_object_tick: eval_nanos as f64 / 1e3 / (n as f64 * ticks as f64),
-            avg_result_error: if self.error_samples > 0 {
-                self.error_sum / self.error_samples as f64
-            } else {
-                0.0
-            },
-            ..Default::default()
-        };
+        let snapshot = self.telemetry.snapshot();
+        let mut m = RunMetrics::from_snapshot(label, ticks, duration, n, &snapshot);
+        let meter = self.net.meter();
         let (sent, recv) = meter.mean_node_traffic(n);
         m.set_power(&RadioModel::default(), sent, recv);
         m
@@ -285,7 +279,11 @@ mod tests {
         assert!(m.avg_lqt_size >= 0.0);
         assert!(m.avg_power_mw > 0.0);
         // Eager propagation keeps results close to the truth.
-        assert!(m.avg_result_error < 0.2, "EQP error too high: {}", m.avg_result_error);
+        assert!(
+            m.avg_result_error < 0.2,
+            "EQP error too high: {}",
+            m.avg_result_error
+        );
     }
 
     #[test]
@@ -313,10 +311,8 @@ mod tests {
     #[test]
     fn lazy_propagation_reduces_uplink_traffic() {
         let eager = MobiEyesSim::new(SimConfig::small_test(34)).run();
-        let lazy = MobiEyesSim::new(
-            SimConfig::small_test(34).with_propagation(Propagation::Lazy),
-        )
-        .run();
+        let lazy =
+            MobiEyesSim::new(SimConfig::small_test(34).with_propagation(Propagation::Lazy)).run();
         assert!(
             lazy.uplink_msgs_per_second < eager.uplink_msgs_per_second,
             "LQP uplink {} must be below EQP {}",

@@ -87,7 +87,9 @@ impl Mobility {
                         rng.range(workload.universe.lx, workload.universe.hx()),
                         rng.range(workload.universe.ly, workload.universe.hy()),
                     );
-                    let speed = rng.range(0.0, max_speeds[i]).max(1e-6 * max_speeds[i].max(1e-9));
+                    let speed = rng
+                        .range(0.0, max_speeds[i])
+                        .max(1e-6 * max_speeds[i].max(1e-9));
                     velocities.push(positions[i].to(dest).normalized() * speed);
                     waypoints.push(dest);
                 }

@@ -58,13 +58,13 @@ impl GroundTruth {
             let center = positions[self.focal_idx[q]];
             let circle = Circle::new(center, self.radii[q]);
             let bbox = circle.bbox();
-            let cells = self.grid.cells_overlapping(&clip_to(&bbox, &self.grid.universe));
+            let cells = self
+                .grid
+                .cells_overlapping(&clip_to(&bbox, &self.grid.universe));
             for cell in cells.iter() {
                 for &oi in &self.buckets[self.grid.flat_index(cell)] {
                     let pos = positions[oi as usize];
-                    if circle.contains_point(pos)
-                        && self.filters[q].matches(ObjectId(oi), &props)
-                    {
+                    if circle.contains_point(pos) && self.filters[q].matches(ObjectId(oi), &props) {
                         set.insert(ObjectId(oi));
                     }
                 }
@@ -113,7 +113,8 @@ mod tests {
                 .iter()
                 .enumerate()
                 .filter(|(i, p)| {
-                    center.distance(**p) <= spec.radius && filter.matches(ObjectId(*i as u32), &props)
+                    center.distance(**p) <= spec.radius
+                        && filter.matches(ObjectId(*i as u32), &props)
                 })
                 .map(|(i, _)| ObjectId(i as u32))
                 .collect();

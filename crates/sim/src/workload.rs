@@ -52,25 +52,40 @@ impl Workload {
             .map(|_| {
                 let pos = Point::new(rng.range(0.0, side), rng.range(0.0, side));
                 let mph = config.speed_classes_mph[speed_zipf.sample(&mut rng)];
-                ObjectSpec { initial_pos: pos, max_speed: mph / 3600.0 }
+                ObjectSpec {
+                    initial_pos: pos,
+                    max_speed: mph / 3600.0,
+                }
             })
             .collect();
 
         let radius_zipf = Zipf::new(config.radius_means.len(), config.zipf_param);
         let queries: Vec<QueryWorkloadSpec> = (0..config.num_queries)
             .map(|i| {
-                let pool = config.focal_pool.unwrap_or(config.num_objects).min(config.num_objects);
+                let pool = config
+                    .focal_pool
+                    .unwrap_or(config.num_objects)
+                    .min(config.num_objects);
                 let focal_idx = rng.below(pool);
                 let mean = config.radius_means[radius_zipf.sample(&mut rng)];
                 let radius_raw = Normal::new(mean, mean / 5.0).sample(&mut rng);
                 // Clamp: a non-positive radius is meaningless; the normal
                 // tail can produce one (mean/5 σ makes it a 5σ event).
                 let radius = (radius_raw * config.radius_factor).max(0.05);
-                QueryWorkloadSpec { focal_idx, radius, filter_salt: config.seed ^ (i as u64) }
+                QueryWorkloadSpec {
+                    focal_idx,
+                    radius,
+                    filter_salt: config.seed ^ (i as u64),
+                }
             })
             .collect();
 
-        Workload { universe, objects, queries, selectivity: config.selectivity }
+        Workload {
+            universe,
+            objects,
+            queries,
+            selectivity: config.selectivity,
+        }
     }
 }
 
@@ -109,12 +124,19 @@ mod tests {
 
     #[test]
     fn speed_classes_follow_zipf_order() {
-        let c = SimConfig { num_objects: 20_000, num_queries: 1, ..SimConfig::default() };
+        let c = SimConfig {
+            num_objects: 20_000,
+            num_queries: 1,
+            ..SimConfig::default()
+        };
         let w = Workload::generate(&c);
         // 100 mph (rank 0) must be the most common class, 250 mph (rank 4)
         // the least common.
         let count = |mph: f64| {
-            w.objects.iter().filter(|o| (o.max_speed - mph / 3600.0).abs() < 1e-12).count()
+            w.objects
+                .iter()
+                .filter(|o| (o.max_speed - mph / 3600.0).abs() < 1e-12)
+                .count()
         };
         assert!(count(100.0) > count(50.0));
         assert!(count(50.0) > count(250.0));
@@ -143,7 +165,11 @@ mod tests {
 
     #[test]
     fn radius_distribution_centers_on_zipf_means() {
-        let c = SimConfig { num_queries: 20_000, num_objects: 100, ..SimConfig::default() };
+        let c = SimConfig {
+            num_queries: 20_000,
+            num_objects: 100,
+            ..SimConfig::default()
+        };
         let w = Workload::generate(&c);
         let mean = w.queries.iter().map(|q| q.radius).sum::<f64>() / w.queries.len() as f64;
         // Expected mean ≈ Σ zipf(i)·mean_i ≈ 2.7 for {3,2,1,4,5} at s=0.8.

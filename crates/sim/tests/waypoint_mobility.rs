@@ -20,7 +20,10 @@ fn waypoint_trajectories_stay_in_bounds_and_turn() {
         }
     }
     // Over 300 steps on a 100-mile square, plenty of waypoints are reached.
-    assert!(total_turns > m.len(), "objects never turned ({total_turns} turns)");
+    assert!(
+        total_turns > m.len(),
+        "objects never turned ({total_turns} turns)"
+    );
 }
 
 #[test]
@@ -38,10 +41,9 @@ fn waypoint_trace_is_deterministic() {
 
 #[test]
 fn protocol_stays_accurate_under_waypoint_mobility() {
-    let eager = MobiEyesSim::new(
-        SimConfig::small_test(63).with_mobility(MobilityKind::RandomWaypoint),
-    )
-    .run();
+    let eager =
+        MobiEyesSim::new(SimConfig::small_test(63).with_mobility(MobilityKind::RandomWaypoint))
+            .run();
     assert!(
         eager.avg_result_error < 0.15,
         "EQP error {} under random waypoint",

@@ -1,0 +1,209 @@
+//! `mobieyes-telemetry`: the unified instrumentation layer.
+//!
+//! One [`MetricsRegistry`] holds typed counters, gauges, fixed-bucket
+//! histograms, a per-tick phase profiler and a bounded structured event
+//! log. Components do not own bespoke stats structs; they record into an
+//! injected [`Telemetry`] handle (a cheaply cloneable `Arc<Mutex<_>>`),
+//! and the legacy stats types are reconstructed as views over
+//! [`MetricsSnapshot`]s.
+//!
+//! Design constraints, and how they are met:
+//!
+//! * **Deterministic.** Counter/gauge/histogram updates are commutative,
+//!   keys are `&'static str` in `BTreeMap`s, and events carry simulation
+//!   time and are canonically sorted at snapshot; the lock-step
+//!   simulator and the threaded runtime therefore produce identical
+//!   *protocol* snapshots ([`MetricsSnapshot::protocol_eq`]).
+//! * **Allocation-light.** Recording a counter is a `BTreeMap` upsert
+//!   under a short-lived mutex; events are pushed into a pre-bounded
+//!   buffer and counted (not stored) past capacity.
+//! * **Wall time is quarantined.** Only profiler spans and named `wall`
+//!   timers read the clock, and both live in snapshot sections excluded
+//!   from protocol equivalence.
+
+pub mod events;
+pub mod json;
+pub mod profiler;
+pub mod registry;
+pub mod snapshot;
+
+pub use events::{Event, EventKind, EventLog, DEFAULT_EVENT_CAPACITY};
+pub use profiler::{Phase, PhaseTiming, TickProfiler, PHASES};
+pub use registry::{Histogram, MetricsRegistry, DEFAULT_BUCKET_EDGES};
+pub use snapshot::{HistogramSnapshot, MetricsSnapshot};
+
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// A shared handle to a [`MetricsRegistry`]. Cloning is cheap (an `Arc`
+/// bump); every component of one deployment records into clones of the
+/// same handle. A fresh `Telemetry::new()` is a private sink, which is
+/// what components fall back to when nothing is injected.
+#[derive(Clone, Debug, Default)]
+pub struct Telemetry {
+    inner: Arc<Mutex<MetricsRegistry>>,
+}
+
+impl Telemetry {
+    pub fn new() -> Self {
+        Telemetry::default()
+    }
+
+    /// A handle whose event log holds up to `capacity` events.
+    pub fn with_event_capacity(capacity: usize) -> Self {
+        Telemetry {
+            inner: Arc::new(Mutex::new(MetricsRegistry::with_event_capacity(capacity))),
+        }
+    }
+
+    /// Whether two handles record into the same registry.
+    pub fn same_sink(&self, other: &Telemetry) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, MetricsRegistry> {
+        // A poisoned registry only means a panicking thread held the lock
+        // mid-update of plain counters; the data is still usable.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    pub fn incr(&self, key: &'static str) {
+        self.lock().incr(key);
+    }
+
+    pub fn add(&self, key: &'static str, n: u64) {
+        self.lock().add(key, n);
+    }
+
+    pub fn counter(&self, key: &str) -> u64 {
+        self.lock().counter(key)
+    }
+
+    pub fn gauge_set(&self, key: &'static str, v: f64) {
+        self.lock().gauge_set(key, v);
+    }
+
+    pub fn gauge_add(&self, key: &'static str, v: f64) {
+        self.lock().gauge_add(key, v);
+    }
+
+    pub fn gauge(&self, key: &str) -> f64 {
+        self.lock().gauge(key)
+    }
+
+    pub fn register_histogram(&self, key: &'static str, edges: Vec<f64>) {
+        self.lock().register_histogram(key, edges);
+    }
+
+    pub fn observe(&self, key: &'static str, v: f64) {
+        self.lock().observe(key, v);
+    }
+
+    pub fn wall_add(&self, key: &'static str, nanos: u64) {
+        self.lock().wall_add(key, nanos);
+    }
+
+    pub fn set_now(&self, t: f64) {
+        self.lock().set_now(t);
+    }
+
+    pub fn event(&self, kind: EventKind) {
+        self.lock().event(kind);
+    }
+
+    pub fn event_at(&self, time_s: f64, kind: EventKind) {
+        self.lock().event_at(time_s, kind);
+    }
+
+    /// Opens a wall-time span for `phase`; the elapsed time is added to
+    /// the profiler when the returned guard drops.
+    pub fn span(&self, phase: Phase) -> Span {
+        Span {
+            telemetry: self.clone(),
+            phase,
+            start: Instant::now(),
+        }
+    }
+
+    /// Runs `f` inside a [`span`](Self::span).
+    pub fn timed<T>(&self, phase: Phase, f: impl FnOnce() -> T) -> T {
+        let _guard = self.span(phase);
+        f()
+    }
+
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot::of(&self.lock())
+    }
+
+    /// Clears recorded data; see [`MetricsRegistry::reset`].
+    pub fn reset(&self) {
+        self.lock().reset();
+    }
+
+    /// Read access to the registry for anything not covered by the
+    /// forwarding methods.
+    pub fn with_registry<T>(&self, f: impl FnOnce(&MetricsRegistry) -> T) -> T {
+        f(&self.lock())
+    }
+}
+
+/// Drop guard produced by [`Telemetry::span`].
+pub struct Span {
+    telemetry: Telemetry,
+    phase: Phase,
+    start: Instant,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let nanos = self.start.elapsed().as_nanos() as u64;
+        self.telemetry.lock().profiler_add(self.phase, nanos);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_one_registry() {
+        let a = Telemetry::new();
+        let b = a.clone();
+        a.incr("x");
+        b.add("x", 2);
+        assert_eq!(a.counter("x"), 3);
+        assert!(a.same_sink(&b));
+        assert!(!a.same_sink(&Telemetry::new()));
+    }
+
+    #[test]
+    fn span_records_into_profiler() {
+        let t = Telemetry::new();
+        {
+            let _g = t.span(Phase::Process);
+        }
+        t.timed(Phase::Process, || ());
+        let snap = t.snapshot();
+        let process = snap.profiler.iter().find(|p| p.phase == "process").unwrap();
+        assert_eq!(process.spans, 2);
+    }
+
+    #[test]
+    fn concurrent_recording_is_safe() {
+        let t = Telemetry::new();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let t = t.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        t.incr("hits");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(t.counter("hits"), 4000);
+    }
+}

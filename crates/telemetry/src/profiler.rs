@@ -1,0 +1,132 @@
+//! Per-tick phase profiler.
+//!
+//! A [`TickProfiler`] accumulates wall-clock nanoseconds per simulation
+//! phase. Wall times are inherently nondeterministic, so they live in
+//! their own snapshot section and are excluded from protocol-equivalence
+//! comparisons (see `MetricsSnapshot::protocol_view`).
+
+/// The phases a simulation tick passes through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Phase {
+    /// Mobility model advancing object kinematics.
+    Mobility,
+    /// Object-side motion processing (cell changes, velocity reports).
+    Motion,
+    /// Server-side mediation (uplink handling, grouping, broadcasts).
+    Mediation,
+    /// Object-side downlink processing and query evaluation.
+    Process,
+    /// Result ingestion / truth accounting at the harness.
+    Ingest,
+}
+
+pub const PHASES: [Phase; 5] = [
+    Phase::Mobility,
+    Phase::Motion,
+    Phase::Mediation,
+    Phase::Process,
+    Phase::Ingest,
+];
+
+impl Phase {
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Mobility => "mobility",
+            Phase::Motion => "motion",
+            Phase::Mediation => "mediation",
+            Phase::Process => "process",
+            Phase::Ingest => "ingest",
+        }
+    }
+
+    pub fn from_name(name: &str) -> Option<Phase> {
+        PHASES.iter().copied().find(|p| p.name() == name)
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Phase::Mobility => 0,
+            Phase::Motion => 1,
+            Phase::Mediation => 2,
+            Phase::Process => 3,
+            Phase::Ingest => 4,
+        }
+    }
+}
+
+/// Accumulated wall time and span counts per phase.
+#[derive(Debug, Clone, Default)]
+pub struct TickProfiler {
+    nanos: [u64; 5],
+    spans: [u64; 5],
+}
+
+/// One phase's accumulated timing, as exported in snapshots.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseTiming {
+    pub phase: &'static str,
+    pub nanos: u64,
+    pub spans: u64,
+}
+
+impl TickProfiler {
+    pub fn add(&mut self, phase: Phase, nanos: u64) {
+        let i = phase.index();
+        self.nanos[i] += nanos;
+        self.spans[i] += 1;
+    }
+
+    pub fn nanos(&self, phase: Phase) -> u64 {
+        self.nanos[phase.index()]
+    }
+
+    pub fn spans(&self, phase: Phase) -> u64 {
+        self.spans[phase.index()]
+    }
+
+    /// Timings for every phase that recorded at least one span.
+    pub fn timings(&self) -> Vec<PhaseTiming> {
+        PHASES
+            .iter()
+            .filter(|p| self.spans[p.index()] > 0)
+            .map(|&p| PhaseTiming {
+                phase: p.name(),
+                nanos: self.nanos[p.index()],
+                spans: self.spans[p.index()],
+            })
+            .collect()
+    }
+
+    pub fn clear(&mut self) {
+        self.nanos = [0; 5];
+        self.spans = [0; 5];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_per_phase() {
+        let mut p = TickProfiler::default();
+        p.add(Phase::Mediation, 100);
+        p.add(Phase::Mediation, 50);
+        p.add(Phase::Motion, 7);
+        assert_eq!(p.nanos(Phase::Mediation), 150);
+        assert_eq!(p.spans(Phase::Mediation), 2);
+        let timings = p.timings();
+        assert_eq!(timings.len(), 2);
+        assert_eq!(timings[0].phase, "motion");
+        p.clear();
+        assert!(p.timings().is_empty());
+    }
+
+    #[test]
+    fn phase_names_round_trip() {
+        for phase in PHASES {
+            assert_eq!(Phase::from_name(phase.name()), Some(phase));
+        }
+        assert_eq!(Phase::from_name("bogus"), None);
+    }
+}

@@ -5,10 +5,7 @@
 //!
 //! Run with: `cargo run --example battlefield --release`
 
-use mobieyes::core::server::Net;
-use mobieyes::core::{Filter, MovingObjectAgent, ObjectId, Properties, ProtocolConfig, Server};
-use mobieyes::geo::{Grid, Point, QueryRegion, Rect, Vec2};
-use mobieyes::net::BaseStationLayout;
+use mobieyes::prelude::*;
 use mobieyes::sim::Rng;
 use std::sync::Arc;
 
@@ -54,7 +51,14 @@ fn main() {
     let commanders: Vec<ObjectId> = (0..10).map(|i| ObjectId(i * 17)).collect();
     let qids: Vec<_> = commanders
         .iter()
-        .map(|&c| server.install_query(c, QueryRegion::circle(5.0), friendly_filter.clone(), &mut net))
+        .map(|&c| {
+            server.install_query(
+                c,
+                QueryRegion::circle(5.0),
+                friendly_filter.clone(),
+                &mut net,
+            )
+        })
         .collect();
     // One commander also tracks nearby friendly medevac units (a second,
     // groupable query on the same focal object).
@@ -62,9 +66,14 @@ fn main() {
         Box::new(friendly_filter.clone()),
         Box::new(Filter::Eq("kind".into(), "medevac".into())),
     );
-    let medevac_q = server.install_query(commanders[0], QueryRegion::circle(8.0), medevac, &mut net);
+    let medevac_q =
+        server.install_query(commanders[0], QueryRegion::circle(8.0), medevac, &mut net);
 
-    println!("{} units, {} moving queries installed\n", UNITS, qids.len() + 1);
+    println!(
+        "{} units, {} moving queries installed\n",
+        UNITS,
+        qids.len() + 1
+    );
 
     // Two simulated hours.
     for step in 0..240 {

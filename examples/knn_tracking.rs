@@ -5,13 +5,8 @@
 //!
 //! Run with: `cargo run --example knn_tracking --release`
 
-use mobieyes::core::server::Net;
-use mobieyes::core::{
-    Filter, KnnConfig, KnnCoordinator, MovingObjectAgent, ObjectId, Properties, ProtocolConfig,
-    Server,
-};
-use mobieyes::geo::{Grid, Point, Rect, Vec2};
-use mobieyes::net::BaseStationLayout;
+use mobieyes::core::{KnnConfig, KnnCoordinator};
+use mobieyes::prelude::*;
 use mobieyes::sim::Rng;
 use std::sync::Arc;
 
@@ -33,7 +28,8 @@ fn main() {
     let mut agents: Vec<MovingObjectAgent> = (0..UNITS)
         .map(|i| {
             let pos = Point::new(rng.range(0.0, SIDE), rng.range(0.0, SIDE));
-            let vel = Vec2::from_angle(rng.range(0.0, std::f64::consts::TAU)) * rng.range(0.0, 0.012);
+            let vel =
+                Vec2::from_angle(rng.range(0.0, std::f64::consts::TAU)) * rng.range(0.0, 0.012);
             let friendly = rng.unit() < 0.7;
             positions.push(pos);
             velocities.push(vel);
@@ -85,8 +81,10 @@ fn main() {
             let ranked = knn.rank_candidates(&server, qid, positions[0], |oid| {
                 Some(positions[oid.0 as usize])
             });
-            let ids: Vec<String> =
-                ranked.iter().map(|(o, d)| format!("{}@{:.1}mi", o.0, d)).collect();
+            let ids: Vec<String> = ranked
+                .iter()
+                .map(|(o, d)| format!("{}@{:.1}mi", o.0, d))
+                .collect();
             println!(
                 "t = {:4.0}s  radius {:5.2} mi  candidates {:3}  top-{K}: [{}]",
                 t,

@@ -3,10 +3,7 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use mobieyes::core::server::Net;
-use mobieyes::core::{Filter, MovingObjectAgent, ObjectId, Properties, ProtocolConfig, Server};
-use mobieyes::geo::{Grid, Point, QueryRegion, Rect, Vec2};
-use mobieyes::net::BaseStationLayout;
+use mobieyes::prelude::*;
 use std::sync::Arc;
 
 fn main() {
@@ -49,7 +46,12 @@ fn main() {
         .collect();
 
     // "Everything within 5 miles of object 0, continuously."
-    let qid = server.install_query(ObjectId(0), QueryRegion::circle(5.0), Filter::True, &mut net);
+    let qid = server.install_query(
+        ObjectId(0),
+        QueryRegion::circle(5.0),
+        Filter::True,
+        &mut net,
+    );
     println!("installed moving query {qid:?} bound to object 0 (radius 5 mi)\n");
 
     // 30-second time steps for ~37 minutes of simulated time.

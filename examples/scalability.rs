@@ -5,9 +5,8 @@
 //!
 //! Run with: `cargo run --example scalability --release`
 
-use mobieyes::core::Propagation;
-use mobieyes::runtime::ThreadedSim;
-use mobieyes::sim::{MessagingKind, MessagingModel, MobiEyesSim, SimConfig};
+use mobieyes::prelude::*;
+use mobieyes::sim::{MessagingKind, MessagingModel};
 
 fn main() {
     // A mid-size workload (quarter of Table 1's defaults) so the example
@@ -21,15 +20,20 @@ fn main() {
         ..SimConfig::default()
     };
 
-    println!("workload: {} objects, {} queries, {} velocity changes/step, {:.0} sq-mi\n",
-        base.num_objects, base.num_queries, base.objects_changing_velocity, base.area);
+    println!(
+        "workload: {} objects, {} queries, {} velocity changes/step, {:.0} sq-mi\n",
+        base.num_objects, base.num_queries, base.objects_changing_velocity, base.area
+    );
 
     let naive = MessagingModel::new(base.clone(), MessagingKind::Naive).run();
     let optimal = MessagingModel::new(base.clone(), MessagingKind::CentralOptimal).run();
     let eager = MobiEyesSim::new(base.clone()).run();
     let lazy = MobiEyesSim::new(base.clone().with_propagation(Propagation::Lazy)).run();
 
-    println!("{:<18} {:>10} {:>10} {:>10} {:>9} {:>8}", "approach", "msgs/s", "uplink/s", "down/s", "power mW", "error");
+    println!(
+        "{:<18} {:>10} {:>10} {:>10} {:>9} {:>8}",
+        "approach", "msgs/s", "uplink/s", "down/s", "power mW", "error"
+    );
     for m in [&naive, &optimal, &eager, &lazy] {
         println!(
             "{:<18} {:>10.1} {:>10.1} {:>10.1} {:>9.2} {:>8.4}",
@@ -42,12 +46,19 @@ fn main() {
         );
     }
 
-    println!("\nMobiEyes object-side load: LQT size {:.2}, {:.2} evals/object/step",
-        eager.avg_lqt_size, eager.avg_evals_per_object_tick);
+    println!(
+        "\nMobiEyes object-side load: LQT size {:.2}, {:.2} evals/object/step",
+        eager.avg_lqt_size, eager.avg_evals_per_object_tick
+    );
 
     // The same protocol on the threaded actor runtime.
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(8);
-    println!("\nrunning the identical scenario on the threaded runtime ({threads} worker shards)...");
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(8);
+    println!(
+        "\nrunning the identical scenario on the threaded runtime ({threads} worker shards)..."
+    );
     let start = std::time::Instant::now();
     let out = ThreadedSim::new(base, threads).run();
     println!(

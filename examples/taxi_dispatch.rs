@@ -5,12 +5,7 @@
 //!
 //! Run with: `cargo run --example taxi_dispatch --release`
 
-use mobieyes::core::server::Net;
-use mobieyes::core::{
-    Filter, MovingObjectAgent, ObjectId, Propagation, Properties, ProtocolConfig, QueryId, Server,
-};
-use mobieyes::geo::{Grid, Point, QueryRegion, Rect, Vec2};
-use mobieyes::net::BaseStationLayout;
+use mobieyes::prelude::*;
 use mobieyes::sim::Rng;
 use std::sync::Arc;
 
@@ -47,10 +42,19 @@ fn build(propagation: Propagation, seed: u64) -> World {
             let is_taxi = i < TAXIS;
             // Roughly half the customers are currently looking for a ride.
             let looking = !is_taxi && rng.unit() < 0.5;
-            let props = Properties::new().with("taxi", is_taxi).with("looking_for_taxi", looking);
+            let props = Properties::new()
+                .with("taxi", is_taxi)
+                .with("looking_for_taxi", looking);
             positions.push(pos);
             velocities.push(dir * speed);
-            MovingObjectAgent::new(ObjectId(i as u32), props, 0.012, pos, dir * speed, Arc::clone(&config))
+            MovingObjectAgent::new(
+                ObjectId(i as u32),
+                props,
+                0.012,
+                pos,
+                dir * speed,
+                Arc::clone(&config),
+            )
         })
         .collect();
 
@@ -58,10 +62,22 @@ fn build(propagation: Propagation, seed: u64) -> World {
     let filter = Filter::Eq("looking_for_taxi".into(), true.into());
     let qids = (0..TAXIS)
         .map(|i| {
-            server.install_query(ObjectId(i as u32), QueryRegion::circle(5.0), filter.clone(), &mut net)
+            server.install_query(
+                ObjectId(i as u32),
+                QueryRegion::circle(5.0),
+                filter.clone(),
+                &mut net,
+            )
         })
         .collect();
-    World { positions, velocities, agents, server, net, qids }
+    World {
+        positions,
+        velocities,
+        agents,
+        server,
+        net,
+        qids,
+    }
 }
 
 fn run(world: &mut World, steps: usize, mut rng: Rng, report: bool) {
@@ -71,7 +87,8 @@ fn run(world: &mut World, steps: usize, mut rng: Rng, report: bool) {
             // Occasional direction changes (city corners).
             if rng.unit() < 0.05 {
                 let speed = world.velocities[i].norm();
-                world.velocities[i] = Vec2::from_angle(rng.range(0.0, std::f64::consts::TAU)) * speed;
+                world.velocities[i] =
+                    Vec2::from_angle(rng.range(0.0, std::f64::consts::TAU)) * speed;
             }
             let mut p = world.positions[i] + world.velocities[i] * TS;
             if p.x < 0.0 || p.x > CITY {
@@ -90,20 +107,25 @@ fn run(world: &mut World, steps: usize, mut rng: Rng, report: bool) {
         world.server.tick(&mut world.net);
         for (i, agent) in world.agents.iter_mut().enumerate() {
             let mut inbox = Vec::new();
-            world.net.deliver(agent.oid().node(), world.positions[i], &mut inbox);
+            world
+                .net
+                .deliver(agent.oid().node(), world.positions[i], &mut inbox);
             agent.tick_process(t, &inbox, &mut world.net);
         }
         world.net.end_tick();
         world.server.tick(&mut world.net);
 
         if report && step % 10 == 0 {
-            let total: usize =
-                world.qids.iter().filter_map(|&q| world.server.query_result(q)).map(|r| r.len()).sum();
-            let best = world
+            let total: usize = world
                 .qids
                 .iter()
-                .enumerate()
-                .max_by_key(|(_, &q)| world.server.query_result(q).map(|r| r.len()).unwrap_or(0));
+                .filter_map(|&q| world.server.query_result(q))
+                .map(|r| r.len())
+                .sum();
+            let best =
+                world.qids.iter().enumerate().max_by_key(|(_, &q)| {
+                    world.server.query_result(q).map(|r| r.len()).unwrap_or(0)
+                });
             if let Some((taxi, &q)) = best {
                 println!(
                     "t = {:4.0}s  {} customer sightings across {} taxis; taxi {:02} sees {}",
@@ -131,9 +153,20 @@ fn main() {
 
     let (em, lm) = (eager.net.meter(), lazy.net.meter());
     println!("\n                      eager      lazy");
-    println!("uplink msgs      {:>10} {:>9}", em.uplink_msgs, lm.uplink_msgs);
-    println!("downlink msgs    {:>10} {:>9}", em.downlink_msgs(), lm.downlink_msgs());
-    println!("total bytes      {:>10} {:>9}", em.total_bytes(), lm.total_bytes());
+    println!(
+        "uplink msgs      {:>10} {:>9}",
+        em.uplink_msgs, lm.uplink_msgs
+    );
+    println!(
+        "downlink msgs    {:>10} {:>9}",
+        em.downlink_msgs(),
+        lm.downlink_msgs()
+    );
+    println!(
+        "total bytes      {:>10} {:>9}",
+        em.total_bytes(),
+        lm.total_bytes()
+    );
     println!(
         "\nlazy propagation cut uplink messages by {:.0}% — non-focal objects\nnever contact the server when they cross grid cells",
         100.0 * (1.0 - lm.uplink_msgs as f64 / em.uplink_msgs.max(1) as f64)

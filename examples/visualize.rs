@@ -6,10 +6,7 @@
 //! Run with: `cargo run --example visualize --release`
 //! Output:   `results/snapshot.svg`
 
-use mobieyes::core::server::Net;
-use mobieyes::core::{Filter, MovingObjectAgent, ObjectId, Properties, ProtocolConfig, Server};
-use mobieyes::geo::{Grid, Point, QueryRegion, Rect, Region, Vec2};
-use mobieyes::net::BaseStationLayout;
+use mobieyes::prelude::*;
 use mobieyes::sim::Rng;
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -44,10 +41,18 @@ fn main() {
     let mut agents: Vec<MovingObjectAgent> = (0..n)
         .map(|i| {
             let pos = Point::new(rng.range(0.0, SIDE), rng.range(0.0, SIDE));
-            let vel = Vec2::from_angle(rng.range(0.0, std::f64::consts::TAU)) * rng.range(0.0, 0.02);
+            let vel =
+                Vec2::from_angle(rng.range(0.0, std::f64::consts::TAU)) * rng.range(0.0, 0.02);
             positions.push(pos);
             velocities.push(vel);
-            MovingObjectAgent::new(ObjectId(i as u32), Properties::new(), 0.02, pos, vel, Arc::clone(&config))
+            MovingObjectAgent::new(
+                ObjectId(i as u32),
+                Properties::new(),
+                0.02,
+                pos,
+                vel,
+                Arc::clone(&config),
+            )
         })
         .collect();
 
@@ -95,14 +100,23 @@ fn main() {
         svg,
         r##"<svg xmlns="http://www.w3.org/2000/svg" width="{size}" height="{size}" viewBox="0 0 {size} {size}">"##
     );
-    let _ = writeln!(svg, r##"<rect width="{size}" height="{size}" fill="#fbfbf8"/>"##);
+    let _ = writeln!(
+        svg,
+        r##"<rect width="{size}" height="{size}" fill="#fbfbf8"/>"##
+    );
 
     // Grid lines.
     let mut k = 0.0;
     while k <= SIDE + 1e-9 {
         let v = px(k);
-        let _ = writeln!(svg, r##"<line x1="{v}" y1="0" x2="{v}" y2="{size}" stroke="#ddd" stroke-width="1"/>"##);
-        let _ = writeln!(svg, r##"<line x1="0" y1="{v}" x2="{size}" y2="{v}" stroke="#ddd" stroke-width="1"/>"##);
+        let _ = writeln!(
+            svg,
+            r##"<line x1="{v}" y1="0" x2="{v}" y2="{size}" stroke="#ddd" stroke-width="1"/>"##
+        );
+        let _ = writeln!(
+            svg,
+            r##"<line x1="0" y1="{v}" x2="{size}" y2="{v}" stroke="#ddd" stroke-width="1"/>"##
+        );
         k += ALPHA;
     }
 
@@ -171,7 +185,12 @@ fn main() {
                 .unwrap_or(false)
         });
         if is_target {
-            let _ = writeln!(svg, r##"<circle cx="{}" cy="{}" r="3.5" fill="#333"/>"##, px(p.x), py(p.y));
+            let _ = writeln!(
+                svg,
+                r##"<circle cx="{}" cy="{}" r="3.5" fill="#333"/>"##,
+                px(p.x),
+                py(p.y)
+            );
         } else {
             let _ = writeln!(
                 svg,

@@ -1,28 +1,27 @@
 //! Command-line simulation driver: run any MobiEyes or baseline scenario
 //! with Table 1 defaults and per-flag overrides, printing the full metric
-//! set.
+//! set and optionally exporting the raw telemetry snapshot.
 //!
 //! ```console
-//! $ mobieyes --objects 5000 --queries 500 --mode lqp --alpha 4
-//! $ mobieyes --mode eqp --grouping --safe-period --ticks 60
+//! $ mobieyes --objects 5000 --queries 500 --mode mobieyes-lqp --alpha 4
+//! $ mobieyes --mode mobieyes-eqp --grouping --safe-period --ticks 60
 //! $ mobieyes --mode naive            # centralized messaging baselines
 //! $ mobieyes --mode object-index     # centralized engine baselines
+//! $ mobieyes run --metrics-out results/run.json
 //! ```
 
-use mobieyes::core::Propagation;
-use mobieyes::sim::{
-    CentralKind, CentralSim, MessagingKind, MessagingModel, MobiEyesSim, RunMetrics, SimConfig,
-};
+use mobieyes::prelude::*;
 
 const HELP: &str = "\
 mobieyes — distributed moving-query simulation driver
 
 USAGE:
-    mobieyes [OPTIONS]
+    mobieyes [run] [OPTIONS]
 
 OPTIONS:
-    --mode <M>         eqp | lqp | naive | central-optimal | object-index |
-                       query-index            [default: eqp]
+    --mode <M>         mobieyes-eqp | mobieyes-lqp | naive | central-optimal |
+                       object-index | query-index   [default: mobieyes-eqp]
+                       (eqp / lqp are accepted as short aliases)
     --objects <N>      number of moving objects          [default: 10000]
     --queries <N>      number of moving queries          [default: 1000]
     --nmo <N>          velocity changes per time step    [default: 1000]
@@ -37,33 +36,64 @@ OPTIONS:
     --grouping         enable query grouping
     --safe-period      enable safe-period optimization
     --seed <N>         RNG seed
+    --metrics-out <P>  write the telemetry snapshot (phase timings,
+                       message counters, query lifecycle events) to P;
+                       .csv extension selects CSV, anything else JSON
     -h, --help         print this help
 ";
 
-fn parse_args() -> Result<(String, SimConfig), String> {
-    let mut config = SimConfig::default();
-    let mut mode = "eqp".to_string();
-    let mut args = std::env::args().skip(1);
+struct Cli {
+    approach: Approach,
+    config: SimConfig,
+    metrics_out: Option<String>,
+}
+
+fn parse_approach(name: &str) -> Result<Approach, String> {
+    // Back-compat aliases from the pre-`Approach` CLI.
+    match name {
+        "eqp" => Ok(Approach::MobiEyesEqp),
+        "lqp" => Ok(Approach::MobiEyesLqp),
+        other => other.parse(),
+    }
+}
+
+fn parse_args() -> Result<Cli, String> {
+    let mut builder = SimConfig::builder();
+    let mut approach = Approach::MobiEyesEqp;
+    let mut metrics_out = None;
+    let mut args = std::env::args().skip(1).peekable();
+    // Accept an optional leading `run` subcommand (`mobieyes run ...`).
+    if args.peek().map(String::as_str) == Some("run") {
+        args.next();
+    }
     while let Some(arg) = args.next() {
         let mut value = |name: &str| {
-            args.next().ok_or_else(|| format!("missing value for {name}"))
+            args.next()
+                .ok_or_else(|| format!("missing value for {name}"))
         };
         match arg.as_str() {
-            "--mode" => mode = value("--mode")?,
-            "--objects" => config.num_objects = parse(&value("--objects")?)?,
-            "--queries" => config.num_queries = parse(&value("--queries")?)?,
-            "--nmo" => config.objects_changing_velocity = parse(&value("--nmo")?)?,
-            "--alpha" => config.alpha = parse(&value("--alpha")?)?,
-            "--alen" => config.alen = parse(&value("--alen")?)?,
-            "--area" => config.area = parse(&value("--area")?)?,
-            "--ticks" => config.ticks = parse(&value("--ticks")?)?,
-            "--warmup" => config.warmup_ticks = parse(&value("--warmup")?)?,
-            "--delta" => config.delta = parse(&value("--delta")?)?,
-            "--radius-factor" => config.radius_factor = parse(&value("--radius-factor")?)?,
-            "--focal-pool" => config.focal_pool = Some(parse(&value("--focal-pool")?)?),
-            "--seed" => config.seed = parse(&value("--seed")?)?,
-            "--grouping" => config.grouping = true,
-            "--safe-period" => config.safe_period = true,
+            "--mode" => approach = parse_approach(&value("--mode")?)?,
+            "--objects" => builder = builder.objects(parse(&value("--objects")?)?),
+            "--queries" => builder = builder.queries(parse(&value("--queries")?)?),
+            "--nmo" => {
+                builder = builder.objects_changing_velocity(parse(&value("--nmo")?)?);
+            }
+            "--alpha" => builder = builder.alpha(parse(&value("--alpha")?)?),
+            "--alen" => builder = builder.alen(parse(&value("--alen")?)?),
+            "--area" => builder = builder.area(parse(&value("--area")?)?),
+            "--ticks" => builder = builder.ticks(parse(&value("--ticks")?)?),
+            "--warmup" => builder = builder.warmup_ticks(parse(&value("--warmup")?)?),
+            "--delta" => builder = builder.delta(parse(&value("--delta")?)?),
+            "--radius-factor" => {
+                builder = builder.radius_factor(parse(&value("--radius-factor")?)?);
+            }
+            "--focal-pool" => {
+                builder = builder.focal_pool(parse(&value("--focal-pool")?)?);
+            }
+            "--seed" => builder = builder.seed(parse(&value("--seed")?)?),
+            "--grouping" => builder = builder.grouping(true),
+            "--safe-period" => builder = builder.safe_period(true),
+            "--metrics-out" => metrics_out = Some(value("--metrics-out")?),
             "-h" | "--help" => {
                 print!("{HELP}");
                 std::process::exit(0);
@@ -71,7 +101,11 @@ fn parse_args() -> Result<(String, SimConfig), String> {
             other => return Err(format!("unknown argument: {other}")),
         }
     }
-    Ok((mode, config))
+    Ok(Cli {
+        approach,
+        config: builder.build()?,
+        metrics_out,
+    })
 }
 
 fn parse<T: std::str::FromStr>(s: &str) -> Result<T, String> {
@@ -82,50 +116,87 @@ fn print_metrics(m: &RunMetrics) {
     println!("label:                        {}", m.label);
     println!("measured ticks:               {}", m.ticks);
     println!("simulated duration:           {:.0} s", m.duration_s);
-    println!("server load:                  {:.6} s/tick", m.server_seconds_per_tick);
+    println!(
+        "server load:                  {:.6} s/tick",
+        m.server_seconds_per_tick
+    );
     println!("messages/second:              {:.2}", m.msgs_per_second);
-    println!("  uplink:                     {:.2}", m.uplink_msgs_per_second);
-    println!("  downlink:                   {:.2}", m.downlink_msgs_per_second);
-    println!("bytes (up/down):              {} / {}", m.uplink_bytes, m.downlink_bytes);
+    println!(
+        "  uplink:                     {:.2}",
+        m.uplink_msgs_per_second
+    );
+    println!(
+        "  downlink:                   {:.2}",
+        m.downlink_msgs_per_second
+    );
+    println!(
+        "bytes (up/down):              {} / {}",
+        m.uplink_bytes, m.downlink_bytes
+    );
     println!("avg LQT size:                 {:.3}", m.avg_lqt_size);
-    println!("avg evals/object/tick:        {:.3}", m.avg_evals_per_object_tick);
-    println!("avg safe-period skips:        {:.3}", m.avg_safe_period_skips);
-    println!("avg eval time:                {:.3} µs/object/tick", m.avg_eval_micros_per_object_tick);
+    println!(
+        "avg evals/object/tick:        {:.3}",
+        m.avg_evals_per_object_tick
+    );
+    println!(
+        "avg safe-period skips:        {:.3}",
+        m.avg_safe_period_skips
+    );
+    println!(
+        "avg eval time:                {:.3} µs/object/tick",
+        m.avg_eval_micros_per_object_tick
+    );
     println!("avg result error:             {:.5}", m.avg_result_error);
-    println!("avg power:                    {:.3} mW/object", m.avg_power_mw);
+    println!(
+        "avg power:                    {:.3} mW/object",
+        m.avg_power_mw
+    );
+}
+
+fn export_snapshot(path: &str, snapshot: &MetricsSnapshot) -> std::io::Result<()> {
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    let body = if path.ends_with(".csv") {
+        snapshot.to_csv()
+    } else {
+        snapshot.to_json()
+    };
+    std::fs::write(path, body)
 }
 
 fn main() {
-    let (mode, mut config) = match parse_args() {
+    let cli = match parse_args() {
         Ok(v) => v,
         Err(e) => {
             eprintln!("error: {e}\n\n{HELP}");
             std::process::exit(2);
         }
     };
+    let config = cli.config;
     eprintln!(
-        "running {mode}: {} objects, {} queries, alpha={}, alen={}, {} ticks (+{} warmup)...",
-        config.num_objects, config.num_queries, config.alpha, config.alen, config.ticks, config.warmup_ticks
+        "running {}: {} objects, {} queries, alpha={}, alen={}, {} ticks (+{} warmup)...",
+        cli.approach.name(),
+        config.num_objects,
+        config.num_queries,
+        config.alpha,
+        config.alen,
+        config.ticks,
+        config.warmup_ticks
     );
     let start = std::time::Instant::now();
-    let metrics = match mode.as_str() {
-        "eqp" => {
-            config.propagation = Propagation::Eager;
-            MobiEyesSim::new(config).run()
+    let report = run_approach(config, cli.approach);
+    print_metrics(&report.metrics);
+    if let Some(path) = &cli.metrics_out {
+        match export_snapshot(path, &report.snapshot) {
+            Ok(()) => eprintln!("wrote telemetry snapshot to {path}"),
+            Err(e) => {
+                eprintln!("error: failed to write {path}: {e}");
+                std::process::exit(1);
+            }
         }
-        "lqp" => {
-            config.propagation = Propagation::Lazy;
-            MobiEyesSim::new(config).run()
-        }
-        "naive" => MessagingModel::new(config, MessagingKind::Naive).run(),
-        "central-optimal" => MessagingModel::new(config, MessagingKind::CentralOptimal).run(),
-        "object-index" => CentralSim::new(config, CentralKind::ObjectIndex).run(),
-        "query-index" => CentralSim::new(config, CentralKind::QueryIndex).run(),
-        other => {
-            eprintln!("error: unknown mode {other}\n\n{HELP}");
-            std::process::exit(2);
-        }
-    };
-    print_metrics(&metrics);
+    }
     eprintln!("(wall time {:.1} s)", start.elapsed().as_secs_f64());
 }

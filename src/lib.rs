@@ -75,3 +75,29 @@ pub use mobieyes_net as net;
 pub use mobieyes_rstar as rstar;
 pub use mobieyes_runtime as runtime;
 pub use mobieyes_sim as sim;
+pub use mobieyes_telemetry as telemetry;
+
+/// The common vocabulary in one import: `use mobieyes::prelude::*;`.
+///
+/// Re-exports the types almost every program touches — the protocol
+/// endpoints ([`Server`], [`MovingObjectAgent`]), the simulated network,
+/// geometry primitives, the simulation drivers and their configuration,
+/// the unified [`Approach`] entry point, and the telemetry sink every
+/// layer records into.
+pub mod prelude {
+    pub use mobieyes_core::server::Net;
+    pub use mobieyes_core::{
+        Filter, MovingObjectAgent, ObjectId, PropValue, Propagation, Properties, ProtocolConfig,
+        QueryId, Server,
+    };
+    pub use mobieyes_geo::{CellId, Grid, Point, QueryRegion, Rect, Region, Vec2};
+    pub use mobieyes_net::{BaseStationLayout, MessageMeter, NetworkSim, RadioModel};
+    pub use mobieyes_runtime::{ThreadedOutcome, ThreadedSim};
+    pub use mobieyes_sim::{
+        run_approach, run_approach_with, Approach, MobiEyesSim, Mobility, RunMetrics, RunReport,
+        SimConfig, SimConfigBuilder, Workload,
+    };
+    pub use mobieyes_telemetry::{
+        MetricsRegistry, MetricsSnapshot, Phase, Telemetry, TickProfiler,
+    };
+}

@@ -33,7 +33,11 @@ fn dropped_downlinks_degrade_gracefully() {
     let lossy_m = lossy.run();
 
     // 30% loss hurts but must not collapse the system.
-    assert!(lossy_m.avg_result_error < 0.7, "error {} under loss", lossy_m.avg_result_error);
+    assert!(
+        lossy_m.avg_result_error < 0.7,
+        "error {} under loss",
+        lossy_m.avg_result_error
+    );
     assert!(
         lossy_m.avg_result_error >= clean_m.avg_result_error - 1e-9,
         "loss cannot improve accuracy"

@@ -40,7 +40,14 @@ fn world(n: usize, seed: u64) -> World {
             let v = Vec2::from_angle(rng.range(0.0, std::f64::consts::TAU)) * rng.range(0.0, 0.01);
             positions.push(p);
             velocities.push(v);
-            MovingObjectAgent::new(ObjectId(i as u32), Properties::new(), 0.01, p, v, Arc::clone(&config))
+            MovingObjectAgent::new(
+                ObjectId(i as u32),
+                Properties::new(),
+                0.01,
+                p,
+                v,
+                Arc::clone(&config),
+            )
         })
         .collect();
     World {
@@ -76,7 +83,8 @@ impl World {
         self.server.tick(&mut self.net);
         for (i, a) in self.agents.iter_mut().enumerate() {
             let mut inbox = Vec::new();
-            self.net.deliver(ObjectId(i as u32).node(), self.positions[i], &mut inbox);
+            self.net
+                .deliver(ObjectId(i as u32).node(), self.positions[i], &mut inbox);
             a.tick_process(t, &inbox, &mut self.net);
         }
         self.net.end_tick();
@@ -104,7 +112,14 @@ impl World {
 fn radius_grows_until_candidates_cover_k() {
     let mut w = world(150, 81);
     // Start with a hopeless radius of 0.5 miles for k=10.
-    let qid = w.knn.install(&mut w.server, ObjectId(0), 10, 0.5, Filter::True, &mut w.net);
+    let qid = w.knn.install(
+        &mut w.server,
+        ObjectId(0),
+        10,
+        0.5,
+        Filter::True,
+        &mut w.net,
+    );
     for _ in 0..30 {
         w.step();
     }
@@ -122,7 +137,9 @@ fn radius_grows_until_candidates_cover_k() {
 fn candidates_contain_true_knn_and_rank_correctly() {
     let mut w = world(150, 82);
     let k = 8;
-    let qid = w.knn.install(&mut w.server, ObjectId(3), k, 2.0, Filter::True, &mut w.net);
+    let qid = w
+        .knn
+        .install(&mut w.server, ObjectId(3), k, 2.0, Filter::True, &mut w.net);
     for _ in 0..30 {
         w.step();
     }
@@ -136,7 +153,10 @@ fn candidates_contain_true_knn_and_rank_correctly() {
     let truth = w.true_knn(3, k);
     let candidates = w.knn.candidates(&w.server, qid).unwrap().clone();
     for oid in &truth {
-        assert!(candidates.contains(oid), "true neighbor {oid:?} missing from candidates");
+        assert!(
+            candidates.contains(oid),
+            "true neighbor {oid:?} missing from candidates"
+        );
     }
     // Ranking with exact positions reproduces the true kNN order.
     let positions = w.positions.clone();
@@ -144,7 +164,10 @@ fn candidates_contain_true_knn_and_rank_correctly() {
         Some(positions[oid.0 as usize])
     });
     let ranked_ids: Vec<ObjectId> = ranked.iter().map(|&(o, _)| o).collect();
-    assert_eq!(ranked_ids, truth, "ranked candidates must equal the true kNN");
+    assert_eq!(
+        ranked_ids, truth,
+        "ranked candidates must equal the true kNN"
+    );
     // Distances ascend.
     for pair in ranked.windows(2) {
         assert!(pair[0].1 <= pair[1].1);
@@ -155,20 +178,37 @@ fn candidates_contain_true_knn_and_rank_correctly() {
 fn radius_shrinks_when_result_is_overfull() {
     let mut w = world(200, 83);
     // Enormous initial radius for k=3: nearly everyone is a candidate.
-    let qid = w.knn.install(&mut w.server, ObjectId(0), 3, 80.0, Filter::True, &mut w.net);
+    let qid = w.knn.install(
+        &mut w.server,
+        ObjectId(0),
+        3,
+        80.0,
+        Filter::True,
+        &mut w.net,
+    );
     for _ in 0..40 {
         w.step();
     }
     let r = w.knn.radius(qid).unwrap();
     assert!(r < 80.0, "radius should have shrunk from 80 (is {r})");
     let n = w.knn.candidates(&w.server, qid).unwrap().len();
-    assert!(n >= 3, "despite shrinking, candidates must keep covering k (have {n})");
+    assert!(
+        n >= 3,
+        "despite shrinking, candidates must keep covering k (have {n})"
+    );
 }
 
 #[test]
 fn removing_knn_query_cleans_up() {
     let mut w = world(50, 84);
-    let qid = w.knn.install(&mut w.server, ObjectId(0), 5, 10.0, Filter::True, &mut w.net);
+    let qid = w.knn.install(
+        &mut w.server,
+        ObjectId(0),
+        5,
+        10.0,
+        Filter::True,
+        &mut w.net,
+    );
     for _ in 0..5 {
         w.step();
     }

@@ -3,9 +3,7 @@
 //! query lifetimes and focal-side result delivery, end to end.
 
 use mobieyes::core::server::Net;
-use mobieyes::core::{
-    Filter, MovingObjectAgent, ObjectId, Properties, ProtocolConfig, Server,
-};
+use mobieyes::core::{Filter, MovingObjectAgent, ObjectId, Properties, ProtocolConfig, Server};
 use mobieyes::geo::{Grid, Point, QueryRegion, Rect, Vec2};
 use mobieyes::net::BaseStationLayout;
 use std::sync::Arc;
@@ -28,16 +26,32 @@ fn stack(n: usize, deliver: bool) -> Stack {
         Arc::new(ProtocolConfig::new(Grid::new(universe, 10.0)).with_result_delivery(deliver));
     let net = Net::new(BaseStationLayout::new(universe, 20.0));
     let server = Server::new(Arc::clone(&config));
-    let positions: Vec<Point> = (0..n).map(|i| Point::new(20.0 + 3.0 * i as f64, 50.0)).collect();
+    let positions: Vec<Point> = (0..n)
+        .map(|i| Point::new(20.0 + 3.0 * i as f64, 50.0))
+        .collect();
     let velocities = vec![Vec2::ZERO; n];
     let agents = positions
         .iter()
         .enumerate()
         .map(|(i, &p)| {
-            MovingObjectAgent::new(ObjectId(i as u32), Properties::new(), 0.05, p, Vec2::ZERO, Arc::clone(&config))
+            MovingObjectAgent::new(
+                ObjectId(i as u32),
+                Properties::new(),
+                0.05,
+                p,
+                Vec2::ZERO,
+                Arc::clone(&config),
+            )
         })
         .collect();
-    Stack { net, server, agents, positions, velocities, tick: 0 }
+    Stack {
+        net,
+        server,
+        agents,
+        positions,
+        velocities,
+        tick: 0,
+    }
 }
 
 impl Stack {
@@ -58,7 +72,8 @@ impl Stack {
         self.server.tick(&mut self.net);
         for (i, a) in self.agents.iter_mut().enumerate() {
             let mut inbox = Vec::new();
-            self.net.deliver(ObjectId(i as u32).node(), self.positions[i], &mut inbox);
+            self.net
+                .deliver(ObjectId(i as u32).node(), self.positions[i], &mut inbox);
             a.tick_process(t, &inbox, &mut self.net);
         }
         self.net.end_tick();
@@ -86,9 +101,15 @@ fn expired_queries_are_removed_everywhere() {
     for _ in 0..3 {
         s.step();
     }
-    assert!(s.server.query_result(q).is_none(), "expired query must be gone");
+    assert!(
+        s.server.query_result(q).is_none(),
+        "expired query must be gone"
+    );
     for a in &s.agents {
-        assert!(!a.installed_queries().any(|x| x == q), "agent kept expired query");
+        assert!(
+            !a.installed_queries().any(|x| x == q),
+            "agent kept expired query"
+        );
     }
     assert!(!s.agents[0].has_mq(), "ex-focal must lose hasMQ");
 }
@@ -96,8 +117,12 @@ fn expired_queries_are_removed_everywhere() {
 #[test]
 fn unexpired_queries_survive() {
     let mut s = stack(4, false);
-    let forever =
-        s.server.install_query(ObjectId(0), QueryRegion::circle(4.0), Filter::True, &mut s.net);
+    let forever = s.server.install_query(
+        ObjectId(0),
+        QueryRegion::circle(4.0),
+        Filter::True,
+        &mut s.net,
+    );
     let brief = s.server.install_query_with_lifetime(
         ObjectId(0),
         QueryRegion::circle(6.0),
@@ -117,13 +142,21 @@ fn unexpired_queries_survive() {
 #[test]
 fn result_delivery_keeps_focal_view_in_sync() {
     let mut s = stack(6, true);
-    let q = s.server.install_query(ObjectId(0), QueryRegion::circle(4.0), Filter::True, &mut s.net);
+    let q = s.server.install_query(
+        ObjectId(0),
+        QueryRegion::circle(4.0),
+        Filter::True,
+        &mut s.net,
+    );
     for _ in 0..4 {
         s.step();
     }
     let server_view = s.server.query_result(q).unwrap().clone();
     let focal_view = s.agents[0].own_result(q).cloned().unwrap_or_default();
-    assert_eq!(focal_view, server_view, "focal must see the same result as the server");
+    assert_eq!(
+        focal_view, server_view,
+        "focal must see the same result as the server"
+    );
     assert!(focal_view.contains(&ObjectId(1)));
 
     // Object 1 leaves; the focal's view follows.
@@ -134,7 +167,10 @@ fn result_delivery_keeps_focal_view_in_sync() {
         s.step();
     }
     let focal_view = s.agents[0].own_result(q).cloned().unwrap_or_default();
-    assert!(!focal_view.contains(&ObjectId(1)), "departure must reach the focal");
+    assert!(
+        !focal_view.contains(&ObjectId(1)),
+        "departure must reach the focal"
+    );
     assert_eq!(&focal_view, s.server.query_result(q).unwrap());
 }
 
@@ -143,12 +179,19 @@ fn delivery_off_means_no_focal_view_and_fewer_unicasts() {
     let mut with = stack(6, true);
     let mut without = stack(6, false);
     for s in [&mut with, &mut without] {
-        s.server.install_query(ObjectId(0), QueryRegion::circle(4.0), Filter::True, &mut s.net);
+        s.server.install_query(
+            ObjectId(0),
+            QueryRegion::circle(4.0),
+            Filter::True,
+            &mut s.net,
+        );
         for _ in 0..4 {
             s.step();
         }
     }
-    assert!(without.agents[0].own_result(mobieyes::core::QueryId(0)).is_none());
+    assert!(without.agents[0]
+        .own_result(mobieyes::core::QueryId(0))
+        .is_none());
     assert!(
         with.net.meter().unicast_msgs > without.net.meter().unicast_msgs,
         "delivery must cost unicasts"

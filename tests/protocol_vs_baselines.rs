@@ -5,7 +5,10 @@
 use mobieyes::baselines::{CentralEngine, ObjectReport, QueryDef, QueryIndexEngine};
 use mobieyes::core::{Filter, ObjectId, QueryId};
 use mobieyes::geo::QueryRegion;
-use mobieyes::sim::{CentralKind, CentralSim, MessagingKind, MessagingModel, MobiEyesSim, Mobility, SimConfig, Workload};
+use mobieyes::sim::{
+    CentralKind, CentralSim, MessagingKind, MessagingModel, MobiEyesSim, Mobility, SimConfig,
+    Workload,
+};
 use std::sync::Arc;
 
 #[test]
@@ -40,7 +43,10 @@ fn mobieyes_results_overlap_with_central_results() {
             qid: QueryId(q as u32),
             focal: ObjectId(spec.focal_idx as u32),
             region: QueryRegion::circle(spec.radius),
-            filter: Arc::new(Filter::with_selectivity(workload.selectivity, spec.filter_salt)),
+            filter: Arc::new(Filter::with_selectivity(
+                workload.selectivity,
+                spec.filter_salt,
+            )),
         });
     }
 
@@ -66,12 +72,18 @@ fn mobieyes_results_overlap_with_central_results() {
     let mut common = 0usize;
     let mut central_total = 0usize;
     for (q, &qid) in sim.query_ids().iter().enumerate() {
-        let central = engine.result(QueryId(q as u32)).cloned().unwrap_or_default();
+        let central = engine
+            .result(QueryId(q as u32))
+            .cloned()
+            .unwrap_or_default();
         let distributed = sim.server().query_result(qid).cloned().unwrap_or_default();
         central_total += central.len();
         common += central.intersection(&distributed).count();
     }
-    assert!(central_total > 0, "central engine found nothing — workload broken");
+    assert!(
+        central_total > 0,
+        "central engine found nothing — workload broken"
+    );
     let overlap = common as f64 / central_total as f64;
     assert!(
         overlap > 0.85,

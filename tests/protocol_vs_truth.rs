@@ -17,12 +17,15 @@ fn eager_propagation_tracks_ground_truth_closely() {
 
 #[test]
 fn lazy_propagation_error_is_bounded() {
-    let mut sim =
-        MobiEyesSim::new(SimConfig::small_test(102).with_propagation(Propagation::Lazy));
+    let mut sim = MobiEyesSim::new(SimConfig::small_test(102).with_propagation(Propagation::Lazy));
     let m = sim.run();
     // LQP trades accuracy for messages: error is non-trivial but must stay
     // far from total failure.
-    assert!(m.avg_result_error < 0.5, "LQP error {} looks broken", m.avg_result_error);
+    assert!(
+        m.avg_result_error < 0.5,
+        "LQP error {} looks broken",
+        m.avg_result_error
+    );
 }
 
 #[test]
@@ -72,15 +75,22 @@ fn results_are_live_and_change_over_time() {
         .iter()
         .map(|&q| sim.server().query_result(q).cloned().unwrap_or_default())
         .collect();
-    assert_ne!(snapshot, later, "continuous queries must evolve as objects move");
+    assert_ne!(
+        snapshot, later,
+        "continuous queries must evolve as objects move"
+    );
 }
 
 #[test]
 fn grouping_preserves_accuracy() {
     // Skewed focal distribution so groups actually form.
     let plain = MobiEyesSim::new(SimConfig::small_test(106).with_focal_pool(5)).run();
-    let grouped =
-        MobiEyesSim::new(SimConfig::small_test(106).with_focal_pool(5).with_grouping(true)).run();
+    let grouped = MobiEyesSim::new(
+        SimConfig::small_test(106)
+            .with_focal_pool(5)
+            .with_grouping(true),
+    )
+    .run();
     assert!(
         (grouped.avg_result_error - plain.avg_result_error).abs() < 0.08,
         "grouping changed accuracy: {} vs {}",
@@ -100,7 +110,10 @@ fn safe_period_preserves_accuracy() {
         plain.avg_result_error
     );
     // And it must actually skip work.
-    assert!(safe.avg_safe_period_skips > 0.0, "safe period never skipped anything");
+    assert!(
+        safe.avg_safe_period_skips > 0.0,
+        "safe period never skipped anything"
+    );
     assert!(safe.avg_evals_per_object_tick < plain.avg_evals_per_object_tick);
 }
 
@@ -108,12 +121,20 @@ fn safe_period_preserves_accuracy() {
 fn tiny_alpha_still_works() {
     let mut sim = MobiEyesSim::new(SimConfig::small_test(108).with_alpha(1.0));
     let m = sim.run();
-    assert!(m.avg_result_error < 0.25, "α=1 error {}", m.avg_result_error);
+    assert!(
+        m.avg_result_error < 0.25,
+        "α=1 error {}",
+        m.avg_result_error
+    );
 }
 
 #[test]
 fn large_alpha_still_works() {
     let mut sim = MobiEyesSim::new(SimConfig::small_test(109).with_alpha(25.0));
     let m = sim.run();
-    assert!(m.avg_result_error < 0.15, "α=25 error {}", m.avg_result_error);
+    assert!(
+        m.avg_result_error < 0.15,
+        "α=25 error {}",
+        m.avg_result_error
+    );
 }

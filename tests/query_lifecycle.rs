@@ -3,9 +3,7 @@
 //! objects with more than 64 queries (bitmap slot exhaustion).
 
 use mobieyes::core::server::Net;
-use mobieyes::core::{
-    Filter, MovingObjectAgent, ObjectId, Properties, ProtocolConfig, Server,
-};
+use mobieyes::core::{Filter, MovingObjectAgent, ObjectId, Properties, ProtocolConfig, Server};
 use mobieyes::geo::{Grid, Point, QueryRegion, Rect, Vec2};
 use mobieyes::net::BaseStationLayout;
 use std::sync::Arc;
@@ -28,17 +26,32 @@ fn stack(n: usize, grouping: bool) -> Stack {
     let net = Net::new(BaseStationLayout::new(universe, 20.0));
     let server = Server::new(Arc::clone(&config));
     // Objects on a diagonal, 3 miles apart, standing still by default.
-    let positions: Vec<Point> =
-        (0..n).map(|i| Point::new(20.0 + 3.0 * i as f64, 50.0)).collect();
+    let positions: Vec<Point> = (0..n)
+        .map(|i| Point::new(20.0 + 3.0 * i as f64, 50.0))
+        .collect();
     let velocities = vec![Vec2::ZERO; n];
     let agents = positions
         .iter()
         .enumerate()
         .map(|(i, &p)| {
-            MovingObjectAgent::new(ObjectId(i as u32), Properties::new(), 0.05, p, Vec2::ZERO, Arc::clone(&config))
+            MovingObjectAgent::new(
+                ObjectId(i as u32),
+                Properties::new(),
+                0.05,
+                p,
+                Vec2::ZERO,
+                Arc::clone(&config),
+            )
         })
         .collect();
-    Stack { net, server, agents, positions, velocities, tick: 0 }
+    Stack {
+        net,
+        server,
+        agents,
+        positions,
+        velocities,
+        tick: 0,
+    }
 }
 
 impl Stack {
@@ -54,7 +67,8 @@ impl Stack {
         self.server.tick(&mut self.net);
         for (i, a) in self.agents.iter_mut().enumerate() {
             let mut inbox = Vec::new();
-            self.net.deliver(ObjectId(i as u32).node(), self.positions[i], &mut inbox);
+            self.net
+                .deliver(ObjectId(i as u32).node(), self.positions[i], &mut inbox);
             a.tick_process(t, &inbox, &mut self.net);
         }
         self.net.end_tick();
@@ -79,7 +93,10 @@ fn rectangular_query_regions_work_end_to_end() {
         s.step();
     }
     let result = s.server.query_result(qid).unwrap();
-    assert!(result.contains(&ObjectId(1)), "object 3 mi east inside 4-mi half-width");
+    assert!(
+        result.contains(&ObjectId(1)),
+        "object 3 mi east inside 4-mi half-width"
+    );
     assert!(!result.contains(&ObjectId(2)), "object 6 mi east outside");
     // Move object 1 north out of the 2-mile half-height but stay within x.
     s.velocities[1] = Vec2::new(0.0, 0.1);
@@ -97,14 +114,24 @@ fn rectangular_query_regions_work_end_to_end() {
 #[test]
 fn query_churn_installs_and_removes_cleanly() {
     let mut s = stack(6, false);
-    let q1 = s.server.install_query(ObjectId(0), QueryRegion::circle(4.0), Filter::True, &mut s.net);
+    let q1 = s.server.install_query(
+        ObjectId(0),
+        QueryRegion::circle(4.0),
+        Filter::True,
+        &mut s.net,
+    );
     for _ in 0..3 {
         s.step();
     }
     assert!(!s.server.query_result(q1).unwrap().is_empty());
 
     // Install a second query mid-run, on a different focal.
-    let q2 = s.server.install_query(ObjectId(3), QueryRegion::circle(4.0), Filter::True, &mut s.net);
+    let q2 = s.server.install_query(
+        ObjectId(3),
+        QueryRegion::circle(4.0),
+        Filter::True,
+        &mut s.net,
+    );
     for _ in 0..3 {
         s.step();
     }
@@ -117,7 +144,10 @@ fn query_churn_installs_and_removes_cleanly() {
     }
     assert!(s.server.query_result(q1).is_none());
     for a in &s.agents {
-        assert!(!a.installed_queries().any(|q| q == q1), "agent kept removed query");
+        assert!(
+            !a.installed_queries().any(|q| q == q1),
+            "agent kept removed query"
+        );
     }
     // The second query keeps working.
     assert!(s.server.query_result(q2).unwrap().contains(&ObjectId(2)));
@@ -167,7 +197,12 @@ fn reinstalled_focal_keeps_reporting() {
     // object: the hasMQ flag must flip off and on again and dead reckoning
     // must resume.
     let mut s = stack(3, false);
-    let q1 = s.server.install_query(ObjectId(0), QueryRegion::circle(5.0), Filter::True, &mut s.net);
+    let q1 = s.server.install_query(
+        ObjectId(0),
+        QueryRegion::circle(5.0),
+        Filter::True,
+        &mut s.net,
+    );
     for _ in 0..3 {
         s.step();
     }
@@ -177,7 +212,12 @@ fn reinstalled_focal_keeps_reporting() {
         s.step();
     }
     assert!(!s.agents[0].has_mq());
-    let q2 = s.server.install_query(ObjectId(0), QueryRegion::circle(5.0), Filter::True, &mut s.net);
+    let q2 = s.server.install_query(
+        ObjectId(0),
+        QueryRegion::circle(5.0),
+        Filter::True,
+        &mut s.net,
+    );
     for _ in 0..3 {
         s.step();
     }

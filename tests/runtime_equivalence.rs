@@ -6,6 +6,7 @@
 use mobieyes::core::Propagation;
 use mobieyes::runtime::ThreadedSim;
 use mobieyes::sim::{MobiEyesSim, SimConfig};
+use mobieyes::telemetry::Telemetry;
 use std::collections::BTreeSet;
 
 fn lockstep_results(config: SimConfig) -> (Vec<BTreeSet<mobieyes::core::ObjectId>>, u64) {
@@ -39,6 +40,40 @@ fn threaded_matches_lockstep_lazy() {
     let out = ThreadedSim::new(config, 3).run();
     assert_eq!(out.results, expect);
     assert_eq!(out.total_msgs, expect_msgs);
+}
+
+/// With telemetry enabled in both deployments, the full metric snapshots
+/// must agree on every protocol-level section — counters, gauges,
+/// histograms and the canonicalized event log — with only the wall-time
+/// sections (profiler spans, wall accumulators) allowed to differ.
+#[test]
+fn threaded_snapshot_matches_lockstep_protocol_metrics() {
+    let config = SimConfig::small_test(204);
+    let telemetry = Telemetry::new();
+    let mut sim = MobiEyesSim::with_telemetry(config.clone(), telemetry.clone());
+    for _ in 0..(config.warmup_ticks + config.ticks) {
+        sim.step(false);
+    }
+    let lockstep = telemetry.snapshot();
+    let threaded = ThreadedSim::new(config, 4).run().snapshot;
+    // The comparison is meaningful: the snapshots carry real traffic and
+    // protocol events on both sides.
+    assert!(lockstep.counter("net.uplink.msgs") > 0);
+    assert!(!lockstep.events.is_empty());
+    assert!(
+        lockstep.protocol_eq(&threaded),
+        "protocol metrics diverged between lock-step and threaded runs"
+    );
+    // Wall time was recorded (the exclusion is doing real work), and the
+    // phase structure itself is deterministic even if the nanos are not.
+    assert!(!threaded.profiler.is_empty());
+    let phases = |s: &mobieyes::telemetry::MetricsSnapshot| {
+        s.profiler
+            .iter()
+            .map(|p| (p.phase, p.spans))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(phases(&lockstep), phases(&threaded));
 }
 
 #[test]

@@ -16,9 +16,8 @@ const TS: f64 = 30.0;
 
 fn build(propagation: Propagation) -> (Server, Net, Arc<ProtocolConfig>) {
     let universe = Rect::new(0.0, 0.0, SIDE, SIDE);
-    let config = Arc::new(
-        ProtocolConfig::new(Grid::new(universe, 10.0)).with_propagation(propagation),
-    );
+    let config =
+        Arc::new(ProtocolConfig::new(Grid::new(universe, 10.0)).with_propagation(propagation));
     let server = Server::new(Arc::clone(&config));
     let net = Net::new(BaseStationLayout::new(universe, 25.0));
     (server, net, config)
@@ -54,14 +53,40 @@ fn fast_exit_reports_departure() {
     for propagation in [Propagation::Eager, Propagation::Lazy] {
         let (mut server, mut net, config) = build(propagation);
         let mut agents = vec![
-            MovingObjectAgent::new(ObjectId(0), Properties::new(), 0.1, Point::new(55.0, 55.0), Vec2::ZERO, Arc::clone(&config)),
-            MovingObjectAgent::new(ObjectId(1), Properties::new(), 0.1, Point::new(56.0, 55.0), Vec2::ZERO, Arc::clone(&config)),
+            MovingObjectAgent::new(
+                ObjectId(0),
+                Properties::new(),
+                0.1,
+                Point::new(55.0, 55.0),
+                Vec2::ZERO,
+                Arc::clone(&config),
+            ),
+            MovingObjectAgent::new(
+                ObjectId(1),
+                Properties::new(),
+                0.1,
+                Point::new(56.0, 55.0),
+                Vec2::ZERO,
+                Arc::clone(&config),
+            ),
         ];
         let mut positions = vec![Point::new(55.0, 55.0), Point::new(56.0, 55.0)];
         let velocities = vec![Vec2::ZERO; 2];
-        let qid = server.install_query(ObjectId(0), QueryRegion::circle(4.0), Filter::True, &mut net);
+        let qid = server.install_query(
+            ObjectId(0),
+            QueryRegion::circle(4.0),
+            Filter::True,
+            &mut net,
+        );
         for k in 1..=3 {
-            step(k as f64 * TS, &mut agents, &positions, &velocities, &mut server, &mut net);
+            step(
+                k as f64 * TS,
+                &mut agents,
+                &positions,
+                &velocities,
+                &mut server,
+                &mut net,
+            );
         }
         assert!(
             server.query_result(qid).unwrap().contains(&ObjectId(1)),
@@ -71,7 +96,14 @@ fn fast_exit_reports_departure() {
         // region in a single step).
         positions[1] = Point::new(5.0, 5.0);
         for k in 4..=6 {
-            step(k as f64 * TS, &mut agents, &positions, &velocities, &mut server, &mut net);
+            step(
+                k as f64 * TS,
+                &mut agents,
+                &positions,
+                &velocities,
+                &mut server,
+                &mut net,
+            );
         }
         assert!(
             !server.query_result(qid).unwrap().contains(&ObjectId(1)),
@@ -97,13 +129,26 @@ fn region_shrink_evicts_far_targets() {
             )
         })
         .collect();
-    let positions: Vec<Point> =
-        (0..3).map(|i| Point::new(50.0 + 12.0 * i as f64, 55.0)).collect();
+    let positions: Vec<Point> = (0..3)
+        .map(|i| Point::new(50.0 + 12.0 * i as f64, 55.0))
+        .collect();
     let velocities = vec![Vec2::ZERO; 3];
     // Radius 30: both other objects (12 and 24 miles away) are targets.
-    let qid = server.install_query(ObjectId(0), QueryRegion::circle(30.0), Filter::True, &mut net);
+    let qid = server.install_query(
+        ObjectId(0),
+        QueryRegion::circle(30.0),
+        Filter::True,
+        &mut net,
+    );
     for k in 1..=3 {
-        step(k as f64 * TS, &mut agents, &positions, &velocities, &mut server, &mut net);
+        step(
+            k as f64 * TS,
+            &mut agents,
+            &positions,
+            &velocities,
+            &mut server,
+            &mut net,
+        );
     }
     let r = server.query_result(qid).unwrap();
     assert!(r.contains(&ObjectId(1)) && r.contains(&ObjectId(2)));
@@ -112,17 +157,40 @@ fn region_shrink_evicts_far_targets() {
     // region entirely; object 1 (12 mi) stays in it but outside the circle.
     assert!(server.update_query_region(qid, QueryRegion::circle(4.0), &mut net));
     for k in 4..=6 {
-        step(k as f64 * TS, &mut agents, &positions, &velocities, &mut server, &mut net);
+        step(
+            k as f64 * TS,
+            &mut agents,
+            &positions,
+            &velocities,
+            &mut server,
+            &mut net,
+        );
     }
     let r = server.query_result(qid).unwrap();
-    assert!(!r.contains(&ObjectId(1)), "object inside region but outside circle must leave");
-    assert!(!r.contains(&ObjectId(2)), "object outside shrunk region must leave");
+    assert!(
+        !r.contains(&ObjectId(1)),
+        "object inside region but outside circle must leave"
+    );
+    assert!(
+        !r.contains(&ObjectId(2)),
+        "object outside shrunk region must leave"
+    );
 
     // Growing it back re-admits them.
     assert!(server.update_query_region(qid, QueryRegion::circle(30.0), &mut net));
     for k in 7..=9 {
-        step(k as f64 * TS, &mut agents, &positions, &velocities, &mut server, &mut net);
+        step(
+            k as f64 * TS,
+            &mut agents,
+            &positions,
+            &velocities,
+            &mut server,
+            &mut net,
+        );
     }
     let r = server.query_result(qid).unwrap();
-    assert!(r.contains(&ObjectId(1)) && r.contains(&ObjectId(2)), "grown region re-admits");
+    assert!(
+        r.contains(&ObjectId(1)) && r.contains(&ObjectId(2)),
+        "grown region re-admits"
+    );
 }
