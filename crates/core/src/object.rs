@@ -286,7 +286,14 @@ impl MovingObjectAgent {
     /// Phase B of a time step: process downlink messages (installs,
     /// updates, removals, focal motion changes), then evaluate the LQT and
     /// report containment changes (§3.6).
-    pub fn tick_process(&mut self, t: f64, inbox: &[Downlink], net: &mut Net) {
+    ///
+    /// Generic over the inbox so callers can hand over a plain
+    /// `&[Downlink]` slice or borrow out of `Arc`-shared deliveries
+    /// (`inbox.iter().map(|m| &**m)`) without copying messages.
+    pub fn tick_process<'a, I>(&mut self, t: f64, inbox: I, net: &mut Net)
+    where
+        I: IntoIterator<Item = &'a Downlink>,
+    {
         let my_cell = self.config.grid.cell_of(self.pos);
         for msg in inbox {
             self.handle_downlink(t, my_cell, msg, net);
@@ -304,7 +311,10 @@ impl MovingObjectAgent {
     /// server phase between the two — which lets motion broadcasts take
     /// effect within the same step — call [`tick_motion`](Self::tick_motion)
     /// and [`tick_process`](Self::tick_process) directly.
-    pub fn tick(&mut self, t: f64, pos: Point, vel: Vec2, inbox: &[Downlink], net: &mut Net) {
+    pub fn tick<'a, I>(&mut self, t: f64, pos: Point, vel: Vec2, inbox: I, net: &mut Net)
+    where
+        I: IntoIterator<Item = &'a Downlink>,
+    {
         self.tick_motion(t, pos, vel, net);
         self.tick_process(t, inbox, net);
     }

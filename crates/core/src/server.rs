@@ -305,7 +305,7 @@ impl Server {
             net.broadcast_region(
                 &self.config.grid,
                 &mon_region,
-                &Downlink::QueryState { info },
+                Downlink::QueryState { info },
             ) as u64,
         );
     }
@@ -338,7 +338,7 @@ impl Server {
         };
         self.telemetry.add(
             srv_keys::BROADCAST_OPS,
-            net.broadcast_region(&grid, &combined, &msg) as u64,
+            net.broadcast_region(&grid, &combined, msg) as u64,
         );
         true
     }
@@ -368,7 +368,7 @@ impl Server {
             net.broadcast_region(
                 &self.config.grid,
                 &entry.mon_region,
-                &Downlink::RemoveQuery { qid },
+                Downlink::RemoveQuery { qid },
             ) as u64,
         );
         self.telemetry
@@ -503,7 +503,7 @@ impl Server {
             };
             self.telemetry.add(
                 srv_keys::BROADCAST_OPS,
-                net.broadcast_region(&self.config.grid, &mon_region, &msg) as u64,
+                net.broadcast_region(&self.config.grid, &mon_region, msg) as u64,
             );
         }
     }
@@ -570,7 +570,7 @@ impl Server {
                 };
                 self.telemetry.add(
                     srv_keys::BROADCAST_OPS,
-                    net.broadcast_region(&grid, &combined, &msg) as u64,
+                    net.broadcast_region(&grid, &combined, msg) as u64,
                 );
             }
         }
@@ -1115,13 +1115,13 @@ mod tests {
         assert!(
             inbox
                 .iter()
-                .any(|m| matches!(m, Downlink::QueryState { .. })),
+                .any(|m| matches!(&**m, Downlink::QueryState { .. })),
             "lazy mode must ship full query state, got {inbox:?}"
         );
         assert!(
             !inbox
                 .iter()
-                .any(|m| matches!(m, Downlink::VelocityChange { .. })),
+                .any(|m| matches!(&**m, Downlink::VelocityChange { .. })),
             "lazy mode must not ship bare velocity changes"
         );
     }
@@ -1178,6 +1178,8 @@ mod tests {
         // A FocalNotify{false} unicast went to the ex-focal object.
         let mut inbox = Vec::new();
         net.deliver(NodeId(1), Point::new(55.0, 55.0), &mut inbox);
-        assert!(inbox.contains(&Downlink::FocalNotify { is_focal: false }));
+        assert!(inbox
+            .iter()
+            .any(|m| **m == Downlink::FocalNotify { is_focal: false }));
     }
 }

@@ -139,7 +139,7 @@ fn run_scenario(case: usize, s: &Scenario) {
         for (i, a) in agents.iter_mut().enumerate() {
             let mut inbox = Vec::new();
             net.deliver(ObjectId(i as u32).node(), positions[i], &mut inbox);
-            a.tick_process(t, &inbox, net);
+            a.tick_process(t, inbox.iter().map(|m| &**m), net);
         }
         net.end_tick();
         server.tick(net);

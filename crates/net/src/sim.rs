@@ -17,6 +17,7 @@ use crate::meter::{keys, Direction, MessageMeter};
 use crate::station::{BaseStationLayout, StationId};
 use mobieyes_geo::{Grid, GridRect, Point};
 use mobieyes_telemetry::{EventKind, Telemetry};
+use std::sync::Arc;
 
 /// Identifier of a network endpoint (a moving object). The server is not a
 /// `NodeId`; it sits behind the base stations.
@@ -37,8 +38,11 @@ pub struct NetworkSim<U, D> {
     telemetry: Telemetry,
     fault: FaultPlan,
     uplinks: Vec<(NodeId, U)>,
-    unicasts: Vec<(NodeId, D, usize)>,
-    broadcasts: Vec<(StationId, D, usize)>,
+    /// Downlink queues hold `Arc`-shared payloads: a broadcast fanned out
+    /// to N stations and heard by M objects is allocated exactly once and
+    /// reference-counted everywhere else.
+    unicasts: Vec<(NodeId, Arc<D>, usize)>,
+    broadcasts: Vec<(StationId, Arc<D>, usize)>,
     /// Bytes physically sent per node (uplink transmissions). Per-node
     /// traffic is protocol data and stays out of the shared registry.
     sent_by_node: Vec<u64>,
@@ -46,7 +50,7 @@ pub struct NetworkSim<U, D> {
     received_by_node: Vec<u64>,
 }
 
-impl<U: WireSized, D: WireSized + Clone> NetworkSim<U, D> {
+impl<U: WireSized, D: WireSized> NetworkSim<U, D> {
     pub fn new(layout: BaseStationLayout) -> Self {
         NetworkSim {
             layout,
@@ -120,6 +124,13 @@ impl<U: WireSized, D: WireSized + Clone> NetworkSim<U, D> {
         self.fault = plan;
     }
 
+    /// The installed downlink fault plan. Parallel drivers check
+    /// [`FaultPlan::is_noop`] to decide whether delivery must stay
+    /// sequential (the plan is a stateful RNG consumed in delivery order).
+    pub fn fault(&self) -> &FaultPlan {
+        &self.fault
+    }
+
     /// Object → server message. Always delivered (uplink faults are not
     /// modeled; the paper's protocol treats uplink as reliable).
     pub fn send_uplink(&mut self, from: NodeId, msg: U) {
@@ -143,24 +154,30 @@ impl<U: WireSized, D: WireSized + Clone> NetworkSim<U, D> {
     pub fn send_unicast(&mut self, to: NodeId, msg: D) {
         let bytes = msg.wire_size();
         self.record(Direction::Unicast, bytes);
-        self.unicasts.push((to, msg, bytes));
+        self.unicasts.push((to, Arc::new(msg), bytes));
     }
 
     /// Server → everyone inside one station's coverage circle. Counts as one
     /// downlink message on the medium regardless of audience size.
     pub fn broadcast(&mut self, station: StationId, msg: D) {
+        self.broadcast_shared(station, Arc::new(msg));
+    }
+
+    fn broadcast_shared(&mut self, station: StationId, msg: Arc<D>) {
         let bytes = msg.wire_size();
         self.record(Direction::Broadcast, bytes);
         self.broadcasts.push((station, msg, bytes));
     }
 
     /// Broadcasts `msg` through the minimal set of stations covering a
-    /// monitoring region — the paper's dissemination primitive. Returns the
-    /// number of station transmissions.
-    pub fn broadcast_region(&mut self, grid: &Grid, region: &GridRect, msg: &D) -> usize {
+    /// monitoring region — the paper's dissemination primitive. The
+    /// payload is allocated once and shared across every covering station
+    /// (and every recipient). Returns the number of station transmissions.
+    pub fn broadcast_region(&mut self, grid: &Grid, region: &GridRect, msg: D) -> usize {
         let stations = self.layout.minimal_cover(grid, region);
+        let payload = Arc::new(msg);
         for &s in &stations {
-            self.broadcast(s, msg.clone());
+            self.broadcast_shared(s, Arc::clone(&payload));
         }
         self.telemetry.event(EventKind::BroadcastFanout {
             stations: stations.len() as u64,
@@ -170,8 +187,10 @@ impl<U: WireSized, D: WireSized + Clone> NetworkSim<U, D> {
 
     /// Object side: collect everything addressed to / audible at this
     /// object. Must be called at most once per object per tick, after the
-    /// server phase and before [`end_tick`](Self::end_tick).
-    pub fn deliver(&mut self, node: NodeId, pos: Point, out: &mut Vec<D>) {
+    /// server phase and before [`end_tick`](Self::end_tick). Delivered
+    /// payloads are `Arc` clones of the queued messages — no deep copy per
+    /// recipient.
+    pub fn deliver(&mut self, node: NodeId, pos: Point, out: &mut Vec<Arc<D>>) {
         let mut received = Vec::new();
         for (to, msg, bytes) in &self.unicasts {
             if *to == node {
@@ -179,7 +198,7 @@ impl<U: WireSized, D: WireSized + Clone> NetworkSim<U, D> {
                 Self::note_fault(&self.telemetry, copies, node);
                 for _ in 0..copies {
                     received.push(*bytes);
-                    out.push(msg.clone());
+                    out.push(Arc::clone(msg));
                 }
             }
         }
@@ -189,7 +208,7 @@ impl<U: WireSized, D: WireSized + Clone> NetworkSim<U, D> {
                 Self::note_fault(&self.telemetry, copies, node);
                 for _ in 0..copies {
                     received.push(*bytes);
-                    out.push(msg.clone());
+                    out.push(Arc::clone(msg));
                 }
             }
         }
@@ -217,7 +236,12 @@ impl<U: WireSized, D: WireSized + Clone> NetworkSim<U, D> {
     /// threaded runtime): the caller becomes responsible for physical
     /// delivery semantics and receive accounting.
     #[allow(clippy::type_complexity)]
-    pub fn take_downlinks(&mut self) -> (Vec<(NodeId, D, usize)>, Vec<(StationId, D, usize)>) {
+    pub fn take_downlinks(
+        &mut self,
+    ) -> (
+        Vec<(NodeId, Arc<D>, usize)>,
+        Vec<(StationId, Arc<D>, usize)>,
+    ) {
         (
             std::mem::take(&mut self.unicasts),
             std::mem::take(&mut self.broadcasts),
@@ -252,6 +276,11 @@ mod tests {
         ))
     }
 
+    /// Unwraps delivered `Arc` payloads for comparisons.
+    fn vals(delivered: &[Arc<Msg>]) -> Vec<Msg> {
+        delivered.iter().map(|m| (**m).clone()).collect()
+    }
+
     #[test]
     fn uplink_roundtrip_and_accounting() {
         let mut n = net();
@@ -272,7 +301,7 @@ mod tests {
         n.send_unicast(NodeId(1), Msg(7));
         let mut got = Vec::new();
         n.deliver(NodeId(1), Point::new(50.0, 50.0), &mut got);
-        assert_eq!(got, vec![Msg(7)]);
+        assert_eq!(vals(&got), vec![Msg(7)]);
         let mut other = Vec::new();
         n.deliver(NodeId(2), Point::new(50.0, 50.0), &mut other);
         assert!(other.is_empty());
@@ -288,7 +317,7 @@ mod tests {
         n.broadcast(s, Msg(9));
         let mut near = Vec::new();
         n.deliver(NodeId(1), Point::new(6.0, 6.0), &mut near);
-        assert_eq!(near, vec![Msg(9)]);
+        assert_eq!(vals(&near), vec![Msg(9)]);
         let mut far = Vec::new();
         n.deliver(NodeId(2), Point::new(80.0, 80.0), &mut far);
         assert!(far.is_empty());
@@ -306,13 +335,48 @@ mod tests {
             x1: 3,
             y1: 3,
         }; // [0,20]^2
-        let sent = n.broadcast_region(&grid, &region, &Msg(5));
+        let sent = n.broadcast_region(&grid, &region, Msg(5));
         assert!(sent >= 1);
         assert_eq!(n.meter().broadcast_msgs as usize, sent);
         // An object anywhere inside the region hears >= 1 copy.
         let mut got = Vec::new();
         n.deliver(NodeId(0), Point::new(10.0, 10.0), &mut got);
         assert!(!got.is_empty());
+    }
+
+    #[test]
+    fn broadcast_region_shares_one_payload_allocation() {
+        let mut n = net();
+        let grid = Grid::new(Rect::new(0.0, 0.0, 100.0, 100.0), 5.0);
+        let region = GridRect {
+            x0: 0,
+            y0: 0,
+            x1: 7,
+            y1: 7,
+        }; // [0,40]^2 — needs several stations
+        let sent = n.broadcast_region(&grid, &region, Msg(5));
+        assert!(sent > 1, "test region should need more than one station");
+        let (_, broadcasts) = n.take_downlinks();
+        assert_eq!(broadcasts.len(), sent);
+        let first = &broadcasts[0].1;
+        assert!(
+            broadcasts.iter().all(|(_, m, _)| Arc::ptr_eq(m, first)),
+            "every station transmission must share the same allocation"
+        );
+    }
+
+    #[test]
+    fn deliver_shares_the_queued_payload() {
+        let mut n = net();
+        n.send_unicast(NodeId(1), Msg(3));
+        let mut got = Vec::new();
+        n.deliver(NodeId(1), Point::new(50.0, 50.0), &mut got);
+        assert_eq!(got.len(), 1);
+        let (unicasts, _) = n.take_downlinks();
+        assert!(
+            Arc::ptr_eq(&got[0], &unicasts[0].1),
+            "delivery must hand out a reference, not a deep copy"
+        );
     }
 
     #[test]

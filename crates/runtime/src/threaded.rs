@@ -22,9 +22,12 @@ struct KinFrame {
 }
 
 /// Downlink messages taken from the network for distributed delivery.
+/// Payloads stay behind the network's `Arc`s: fanning a frame out to the
+/// workers shares the queue, and delivering a message to an agent clones
+/// a reference, never the payload.
 struct DownFrame {
-    unicasts: Vec<(NodeId, Downlink, usize)>,
-    broadcasts: Vec<(StationId, Downlink, usize)>,
+    unicasts: Vec<(NodeId, Arc<Downlink>, usize)>,
+    broadcasts: Vec<(StationId, Arc<Downlink>, usize)>,
 }
 
 enum Cmd {
@@ -275,7 +278,7 @@ fn worker_loop(
     // is identical to the lock-step deployment. Its (private) telemetry is
     // discarded: uplink traffic is metered once, by the coordinator.
     let mut sink = Net::new(layout.clone());
-    let mut inbox: Vec<Downlink> = Vec::new();
+    let mut inbox: Vec<Arc<Downlink>> = Vec::new();
     let mut kin_frame: Option<Arc<KinFrame>> = None;
     while let Ok(cmd) = rx.recv() {
         match cmd {
@@ -311,16 +314,16 @@ fn worker_loop(
                     for (to, msg, bytes) in &down.unicasts {
                         if *to == node {
                             rx_bytes.push((node.0, *bytes));
-                            inbox.push(msg.clone());
+                            inbox.push(Arc::clone(msg));
                         }
                     }
                     for (station, msg, bytes) in &down.broadcasts {
                         if layout.covers(*station, pos) {
                             rx_bytes.push((node.0, *bytes));
-                            inbox.push(msg.clone());
+                            inbox.push(Arc::clone(msg));
                         }
                     }
-                    agent.tick_process(kin.t, &inbox, &mut sink);
+                    agent.tick_process(kin.t, inbox.iter().map(|m| &**m), &mut sink);
                     uplinks.extend(sink.drain_uplinks());
                 }
                 reply

@@ -87,7 +87,8 @@ impl CentralSim {
             .iter()
             .map(|q| q.radius)
             .fold(1.0f64, f64::max);
-        let truth = GroundTruth::new(&workload, max_radius.max(config.alpha));
+        let truth = GroundTruth::new(&workload, max_radius.max(config.alpha))
+            .with_threads(config.resolved_threads());
         CentralSim {
             config,
             kind,
@@ -147,11 +148,17 @@ impl CentralSim {
             self.reports = reports;
 
             if k >= self.config.warmup_ticks {
+                // Borrow the engine by field (not through `&self`) so it can
+                // coexist with the mutable borrow the evaluator scratch needs.
+                let engine: &dyn CentralEngine = match self.kind {
+                    CentralKind::ObjectIndex => self.object_index.as_ref().unwrap(),
+                    CentralKind::QueryIndex => self.query_index.as_ref().unwrap(),
+                };
                 let truth = self.truth.evaluate(&self.mobility.positions);
                 for (q, t_set) in truth.iter().enumerate() {
-                    if let Some(reported) = self.engine_result(QueryId(q as u32)) {
+                    if let Some(reported) = engine.result(QueryId(q as u32)) {
                         self.telemetry
-                            .gauge_add(sim_keys::TRUTH_ERROR_SUM, result_error(t_set, &reported));
+                            .gauge_add(sim_keys::TRUTH_ERROR_SUM, result_error(t_set, reported));
                         self.telemetry.incr(sim_keys::TRUTH_ERROR_SAMPLES);
                     }
                 }
@@ -168,14 +175,6 @@ impl CentralSim {
             self.mobility.len(),
             &self.telemetry.snapshot(),
         )
-    }
-
-    fn engine_result(&self, qid: QueryId) -> Option<std::collections::BTreeSet<ObjectId>> {
-        let e: &dyn CentralEngine = match self.kind {
-            CentralKind::ObjectIndex => self.object_index.as_ref().unwrap(),
-            CentralKind::QueryIndex => self.query_index.as_ref().unwrap(),
-        };
-        e.result(qid).cloned()
     }
 }
 

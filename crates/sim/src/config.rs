@@ -57,6 +57,12 @@ pub struct SimConfig {
     /// the grouping experiments; `None` = uniform over all objects, the
     /// paper's default).
     pub focal_pool: Option<usize>,
+    /// Worker threads for the parallel tick engine. `0` (the default)
+    /// means auto: the `MOBIEYES_THREADS` environment variable if set,
+    /// otherwise the machine's available parallelism. Results are
+    /// byte-identical at every thread count (see
+    /// [`resolved_threads`](Self::resolved_threads)).
+    pub threads: usize,
 }
 
 impl Default for SimConfig {
@@ -83,6 +89,7 @@ impl Default for SimConfig {
             safe_period: false,
             mobility: MobilityKind::default(),
             focal_pool: None,
+            threads: 0,
         }
     }
 }
@@ -166,6 +173,31 @@ impl SimConfig {
     pub fn with_mobility(mut self, kind: MobilityKind) -> Self {
         self.mobility = kind;
         self
+    }
+
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Resolves the effective worker-thread count: an explicit
+    /// `threads > 0` wins; otherwise a positive `MOBIEYES_THREADS`
+    /// environment variable; otherwise the machine's available
+    /// parallelism. Always at least 1.
+    pub fn resolved_threads(&self) -> usize {
+        if self.threads > 0 {
+            return self.threads;
+        }
+        if let Ok(v) = std::env::var("MOBIEYES_THREADS") {
+            if let Ok(n) = v.parse::<usize>() {
+                if n > 0 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
     }
 
     /// Total measured duration in seconds.
@@ -278,6 +310,13 @@ impl SimConfigBuilder {
 
     pub fn focal_pool(mut self, k: usize) -> Self {
         self.config.focal_pool = Some(k);
+        self
+    }
+
+    /// Worker threads for the parallel tick engine; `0` = auto (see
+    /// [`SimConfig::resolved_threads`]).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.threads = threads;
         self
     }
 
@@ -405,6 +444,15 @@ mod tests {
         assert!(SimConfig::builder().time_step(0.0).build().is_err());
         assert!(SimConfig::builder().selectivity(1.5).build().is_err());
         assert!(SimConfig::builder().focal_pool(0).build().is_err());
+    }
+
+    #[test]
+    fn thread_resolution_precedence() {
+        // An explicit count always wins.
+        assert_eq!(SimConfig::default().with_threads(3).resolved_threads(), 3);
+        assert_eq!(SimConfig::builder().threads(2).build().unwrap().threads, 2);
+        // Auto resolves to something positive whatever the environment.
+        assert!(SimConfig::default().resolved_threads() >= 1);
     }
 
     #[test]

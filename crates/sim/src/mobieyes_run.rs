@@ -12,11 +12,22 @@ use mobieyes_core::{
     QueryId, Server,
 };
 use mobieyes_geo::{Grid, QueryRegion};
-use mobieyes_net::{BaseStationLayout, RadioModel};
+use mobieyes_net::{BaseStationLayout, NodeId, RadioModel};
 use mobieyes_telemetry::{Phase, Telemetry};
+use std::collections::HashMap;
 use std::sync::Arc;
 
 /// A complete MobiEyes deployment under simulation.
+///
+/// The tick engine shards agents into contiguous index ranges, one per
+/// worker thread (`SimConfig::threads`, 0 = auto). Each phase runs the
+/// shards under `std::thread::scope`; every worker buffers its agents'
+/// uplinks in a private per-shard network and its metrics in a per-shard
+/// telemetry sink, and the coordinator merges both in ascending shard
+/// (therefore node-id) order after the phase — so uplink queue order,
+/// counters, histograms and the event log are byte-identical to the
+/// sequential engine at any thread count. With one shard the same
+/// buffer-and-merge path runs inline, without spawning.
 pub struct MobiEyesSim {
     pub config: SimConfig,
     pub workload: Workload,
@@ -28,9 +39,21 @@ pub struct MobiEyesSim {
     /// Query ids aligned with `workload.queries`.
     qids: Vec<QueryId>,
     tick_index: usize,
-    inbox: Vec<Downlink>,
+    inbox: Vec<Arc<Downlink>>,
     /// Shared instrumentation sink every component records into.
     telemetry: Telemetry,
+    /// Station layout (cheap clone of the network's) for worker-side
+    /// physical broadcast delivery.
+    layout: BaseStationLayout,
+    /// Agents `[s * shard_chunk, (s + 1) * shard_chunk)` belong to shard `s`.
+    shard_chunk: usize,
+    /// Per-shard uplink buffers. Their private telemetry is discarded:
+    /// uplink traffic is metered exactly once, when the coordinator
+    /// forwards buffered messages into the real network in shard order.
+    shard_nets: Vec<Net>,
+    /// Per-shard metric accumulators the agents record into; drained and
+    /// merged into the shared sink once per phase.
+    shard_sinks: Vec<Telemetry>,
 }
 
 impl MobiEyesSim {
@@ -50,8 +73,8 @@ impl MobiEyesSim {
                 .with_safe_period(config.safe_period)
                 .with_delta(config.delta),
         );
-        let mut net = Net::new(BaseStationLayout::new(workload.universe, config.alen))
-            .with_telemetry(telemetry.clone());
+        let layout = BaseStationLayout::new(workload.universe, config.alen);
+        let mut net = Net::new(layout.clone()).with_telemetry(telemetry.clone());
         let mut server = Server::new(Arc::clone(&pconf)).with_telemetry(telemetry.clone());
         let mobility = Mobility::with_kind(
             &workload,
@@ -60,6 +83,12 @@ impl MobiEyesSim {
             config.seed,
             config.mobility,
         );
+        let n = workload.objects.len();
+        let threads = config.resolved_threads().min(n.max(1)).max(1);
+        let shard_chunk = n.max(1).div_ceil(threads);
+        let shards = n.max(1).div_ceil(shard_chunk);
+        let shard_sinks: Vec<Telemetry> = (0..shards).map(|_| Telemetry::new()).collect();
+        let shard_nets: Vec<Net> = (0..shards).map(|_| Net::new(layout.clone())).collect();
         let agents: Vec<MovingObjectAgent> = workload
             .objects
             .iter()
@@ -73,7 +102,7 @@ impl MobiEyesSim {
                     mobility.velocities[i],
                     Arc::clone(&pconf),
                 )
-                .with_telemetry(telemetry.clone())
+                .with_telemetry(shard_sinks[i / shard_chunk].clone())
             })
             .collect();
         // Install the full query workload up front; the position-request
@@ -95,7 +124,7 @@ impl MobiEyesSim {
             .iter()
             .map(|q| q.radius)
             .fold(1.0f64, f64::max);
-        let truth = GroundTruth::new(&workload, max_radius.max(config.alpha));
+        let truth = GroundTruth::new(&workload, max_radius.max(config.alpha)).with_threads(threads);
         MobiEyesSim {
             config,
             workload,
@@ -108,6 +137,10 @@ impl MobiEyesSim {
             tick_index: 0,
             inbox: Vec::new(),
             telemetry,
+            layout,
+            shard_chunk,
+            shard_nets,
+            shard_sinks,
         }
     }
 
@@ -155,6 +188,9 @@ impl MobiEyesSim {
         self.tick_index += 1;
         let t = self.now();
         self.telemetry.set_now(t);
+        for sink in &self.shard_sinks {
+            sink.set_now(t);
+        }
         {
             let _span = self.telemetry.span(Phase::Mobility);
             self.mobility.step();
@@ -163,14 +199,8 @@ impl MobiEyesSim {
         // Phase A: motion reports.
         {
             let _span = self.telemetry.span(Phase::Motion);
-            for i in 0..self.agents.len() {
-                self.agents[i].tick_motion(
-                    t,
-                    self.mobility.positions[i],
-                    self.mobility.velocities[i],
-                    &mut self.net,
-                );
-            }
+            self.run_motion_phase(t);
+            self.merge_shards();
         }
 
         // Server mediation (profiled: the Figure 1/3 server-load metric).
@@ -182,13 +212,8 @@ impl MobiEyesSim {
         // Phase B: downlink processing + local evaluation.
         {
             let _span = self.telemetry.span(Phase::Process);
-            for i in 0..self.agents.len() {
-                self.inbox.clear();
-                let pos = self.mobility.positions[i];
-                self.net
-                    .deliver(mobieyes_net::NodeId(i as u32), pos, &mut self.inbox);
-                self.agents[i].tick_process(t, &self.inbox, &mut self.net);
-            }
+            self.run_process_phase(t);
+            self.merge_shards();
             self.net.end_tick();
         }
 
@@ -208,6 +233,123 @@ impl MobiEyesSim {
                     self.telemetry.incr(sim_keys::TRUTH_ERROR_SAMPLES);
                 }
             }
+        }
+    }
+
+    /// Phase A over every shard: agents report motion events (cell
+    /// crossings, dead-reckoning violations) into their shard's private
+    /// uplink buffer and metric sink.
+    fn run_motion_phase(&mut self, t: f64) {
+        let chunk = self.shard_chunk;
+        let positions = &self.mobility.positions;
+        let velocities = &self.mobility.velocities;
+        if self.shard_nets.len() <= 1 {
+            let net = &mut self.shard_nets[0];
+            for (i, agent) in self.agents.iter_mut().enumerate() {
+                agent.tick_motion(t, positions[i], velocities[i], net);
+            }
+            return;
+        }
+        std::thread::scope(|s| {
+            for (c, (agents, net)) in self
+                .agents
+                .chunks_mut(chunk)
+                .zip(self.shard_nets.iter_mut())
+                .enumerate()
+            {
+                let base = c * chunk;
+                s.spawn(move || {
+                    for (off, agent) in agents.iter_mut().enumerate() {
+                        let i = base + off;
+                        agent.tick_motion(t, positions[i], velocities[i], net);
+                    }
+                });
+            }
+        });
+    }
+
+    /// Phase B over every shard: deliver the pending downlinks to each
+    /// agent and run local evaluation; result reports buffer in the shard
+    /// nets. The fault plan is a stateful RNG consumed per delivery, so
+    /// fault-injection runs walk the agents sequentially; the fault-free
+    /// path distributes physical delivery across the workers (read-only
+    /// over the `Arc`-shared queues) and accounts received bytes after the
+    /// scope ends.
+    fn run_process_phase(&mut self, t: f64) {
+        let chunk = self.shard_chunk;
+        if self.shard_nets.len() <= 1 || !self.net.fault().is_noop() {
+            for i in 0..self.agents.len() {
+                self.inbox.clear();
+                let pos = self.mobility.positions[i];
+                self.net.deliver(NodeId(i as u32), pos, &mut self.inbox);
+                let shard_net = &mut self.shard_nets[i / chunk];
+                self.agents[i].tick_process(t, self.inbox.iter().map(|m| &**m), shard_net);
+            }
+            return;
+        }
+        let (unicasts, broadcasts) = self.net.take_downlinks();
+        // Queue positions of each node's unicasts, so a worker touches only
+        // its own agents' messages while preserving queue order.
+        let mut by_node: HashMap<u32, Vec<usize>> = HashMap::new();
+        for (k, (to, _, _)) in unicasts.iter().enumerate() {
+            by_node.entry(to.0).or_default().push(k);
+        }
+        let positions = &self.mobility.positions;
+        let layout = &self.layout;
+        let (unicasts, broadcasts, by_node) = (&unicasts, &broadcasts, &by_node);
+        let received: Vec<Vec<(u32, usize)>> = std::thread::scope(|s| {
+            let handles: Vec<_> = self
+                .agents
+                .chunks_mut(chunk)
+                .zip(self.shard_nets.iter_mut())
+                .enumerate()
+                .map(|(c, (agents, net))| {
+                    let base = c * chunk;
+                    s.spawn(move || {
+                        let mut rx: Vec<(u32, usize)> = Vec::new();
+                        let mut inbox: Vec<&Downlink> = Vec::new();
+                        for (off, agent) in agents.iter_mut().enumerate() {
+                            let i = base + off;
+                            let pos = positions[i];
+                            inbox.clear();
+                            if let Some(ks) = by_node.get(&(i as u32)) {
+                                for &k in ks {
+                                    let (_, msg, bytes) = &unicasts[k];
+                                    rx.push((i as u32, *bytes));
+                                    inbox.push(&**msg);
+                                }
+                            }
+                            for (station, msg, bytes) in broadcasts {
+                                if layout.covers(*station, pos) {
+                                    rx.push((i as u32, *bytes));
+                                    inbox.push(&**msg);
+                                }
+                            }
+                            agent.tick_process(t, inbox.iter().copied(), net);
+                        }
+                        rx
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for shard in received {
+            for (node, bytes) in shard {
+                self.net.record_node_received(node as usize, bytes);
+            }
+        }
+    }
+
+    /// Forwards every shard's buffered uplinks into the real network and
+    /// folds the shard metric accumulators into the shared sink, walking
+    /// shards in ascending order — exactly the uplink queue order and
+    /// event order the sequential engine produces.
+    fn merge_shards(&mut self) {
+        for s in 0..self.shard_nets.len() {
+            for (node, up) in self.shard_nets[s].drain_uplinks() {
+                self.net.send_uplink(node, up);
+            }
+            self.telemetry.merge_registry(&self.shard_sinks[s].drain());
         }
     }
 
@@ -260,7 +402,7 @@ impl MobiEyesSim {
 
     /// Exact ground-truth results for the current positions (tests).
     pub fn ground_truth(&mut self) -> Vec<std::collections::BTreeSet<ObjectId>> {
-        self.truth.evaluate(&self.mobility.positions)
+        self.truth.evaluate(&self.mobility.positions).to_vec()
     }
 }
 

@@ -5,9 +5,15 @@
 //! (compared to the correct result) divided by the size of the correct
 //! query result". This module computes the correct results exactly from
 //! true positions (no dead reckoning, no network delay).
+//!
+//! Evaluation runs every measured tick, so the evaluator keeps a
+//! persistent per-query result set that is cleared and refilled instead
+//! of allocating a fresh `Vec<BTreeSet>` each call, and — queries being
+//! independent — splits the query range across worker threads when
+//! configured with more than one (see [`GroundTruth::with_threads`]).
 
 use crate::workload::Workload;
-use mobieyes_core::{Filter, ObjectId};
+use mobieyes_core::{Filter, ObjectId, Properties};
 use mobieyes_geo::{Circle, Grid, Point, Rect};
 use std::collections::BTreeSet;
 
@@ -20,6 +26,10 @@ pub struct GroundTruth {
     filters: Vec<Filter>,
     radii: Vec<f64>,
     focal_idx: Vec<usize>,
+    /// Per-query result scratch, reused across evaluations.
+    results: Vec<BTreeSet<ObjectId>>,
+    /// Worker threads for the per-query loop (1 = inline).
+    threads: usize,
 }
 
 impl GroundTruth {
@@ -27,7 +37,7 @@ impl GroundTruth {
     /// candidates per query; the max query radius is a good value.
     pub fn new(workload: &Workload, bucket_side: f64) -> Self {
         let grid = Grid::new(workload.universe, bucket_side.max(0.5));
-        let filters = workload
+        let filters: Vec<Filter> = workload
             .queries
             .iter()
             .map(|q| Filter::with_selectivity(workload.selectivity, q.filter_salt))
@@ -35,15 +45,25 @@ impl GroundTruth {
         GroundTruth {
             buckets: vec![Vec::new(); grid.num_cells()],
             grid,
+            results: vec![BTreeSet::new(); filters.len()],
             filters,
             radii: workload.queries.iter().map(|q| q.radius).collect(),
             focal_idx: workload.queries.iter().map(|q| q.focal_idx).collect(),
+            threads: 1,
         }
     }
 
+    /// Sets the worker-thread count for the per-query evaluation loop.
+    /// Results are identical at any count — queries write disjoint sets.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
     /// Computes the exact result of every query for the given positions.
-    /// Returns one set of object ids per query, in workload query order.
-    pub fn evaluate(&mut self, positions: &[Point]) -> Vec<BTreeSet<ObjectId>> {
+    /// Returns one set of object ids per query, in workload query order;
+    /// the sets live in the evaluator and stay valid until the next call.
+    pub fn evaluate(&mut self, positions: &[Point]) -> &[BTreeSet<ObjectId>] {
         for b in self.buckets.iter_mut() {
             b.clear();
         }
@@ -51,27 +71,73 @@ impl GroundTruth {
             let cell = self.grid.cell_of(p);
             self.buckets[self.grid.flat_index(cell)].push(i as u32);
         }
-        let props = mobieyes_core::Properties::new();
-        let mut results = Vec::with_capacity(self.radii.len());
-        for q in 0..self.radii.len() {
-            let mut set = BTreeSet::new();
-            let center = positions[self.focal_idx[q]];
-            let circle = Circle::new(center, self.radii[q]);
-            let bbox = circle.bbox();
-            let cells = self
-                .grid
-                .cells_overlapping(&clip_to(&bbox, &self.grid.universe));
-            for cell in cells.iter() {
-                for &oi in &self.buckets[self.grid.flat_index(cell)] {
-                    let pos = positions[oi as usize];
-                    if circle.contains_point(pos) && self.filters[q].matches(ObjectId(oi), &props) {
-                        set.insert(ObjectId(oi));
-                    }
-                }
+        // Destructure so the worker closures can borrow the read-only
+        // parts while the result chunks are borrowed mutably.
+        let GroundTruth {
+            grid,
+            buckets,
+            filters,
+            radii,
+            focal_idx,
+            results,
+            threads,
+        } = self;
+        // Reborrow the read-only parts as shared slices (`Copy`) so every
+        // worker closure can capture them.
+        let grid: &Grid = grid;
+        let buckets: &[Vec<u32>] = buckets;
+        let filters: &[Filter] = filters;
+        let radii: &[f64] = radii;
+        let focal_idx: &[usize] = focal_idx;
+        let nq = radii.len();
+        let workers = (*threads).min(nq.max(1));
+        if workers <= 1 {
+            for (q, set) in results.iter_mut().enumerate() {
+                eval_query(grid, buckets, filters, radii, focal_idx, positions, q, set);
             }
-            results.push(set);
+            return results;
         }
+        let chunk = nq.div_ceil(workers);
+        std::thread::scope(|s| {
+            for (c, res_chunk) in results.chunks_mut(chunk).enumerate() {
+                let base = c * chunk;
+                s.spawn(move || {
+                    for (off, set) in res_chunk.iter_mut().enumerate() {
+                        let q = base + off;
+                        eval_query(grid, buckets, filters, radii, focal_idx, positions, q, set);
+                    }
+                });
+            }
+        });
         results
+    }
+}
+
+/// Evaluates one query into its (reused) result set.
+#[allow(clippy::too_many_arguments)]
+fn eval_query(
+    grid: &Grid,
+    buckets: &[Vec<u32>],
+    filters: &[Filter],
+    radii: &[f64],
+    focal_idx: &[usize],
+    positions: &[Point],
+    q: usize,
+    set: &mut BTreeSet<ObjectId>,
+) {
+    set.clear();
+    let props = Properties::new();
+    let center = positions[focal_idx[q]];
+    let circle = Circle::new(center, radii[q]);
+    let bbox = circle.bbox();
+    let cells = grid.cells_overlapping(&clip_to(&bbox, &grid.universe));
+    for cell in cells.iter() {
+        for &oi in &buckets[grid.flat_index(cell)] {
+            let pos = positions[oi as usize];
+            if circle.contains_point(pos) && filters[q].matches(ObjectId(oi), &props) {
+                set.insert(ObjectId(oi));
+            }
+        }
     }
 }
 
@@ -95,7 +161,6 @@ mod tests {
     use super::*;
     use crate::config::SimConfig;
     use crate::workload::Workload;
-    use mobieyes_core::Properties;
 
     #[test]
     fn matches_naive_nested_loop() {
@@ -103,7 +168,7 @@ mod tests {
         let w = Workload::generate(&c);
         let mut gt = GroundTruth::new(&w, 5.0);
         let positions: Vec<Point> = w.objects.iter().map(|o| o.initial_pos).collect();
-        let results = gt.evaluate(&positions);
+        let results = gt.evaluate(&positions).to_vec();
         // Naive check.
         let props = Properties::new();
         for (q, spec) in w.queries.iter().enumerate() {
@@ -127,9 +192,39 @@ mod tests {
         let c = SimConfig::small_test(22);
         let w = Workload::generate(&c);
         let positions: Vec<Point> = w.objects.iter().map(|o| o.initial_pos).collect();
-        let a = GroundTruth::new(&w, 2.0).evaluate(&positions);
-        let b = GroundTruth::new(&w, 11.0).evaluate(&positions);
+        let a = GroundTruth::new(&w, 2.0).evaluate(&positions).to_vec();
+        let b = GroundTruth::new(&w, 11.0).evaluate(&positions).to_vec();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let c = SimConfig::small_test(23);
+        let w = Workload::generate(&c);
+        let positions: Vec<Point> = w.objects.iter().map(|o| o.initial_pos).collect();
+        let sequential = GroundTruth::new(&w, 5.0).evaluate(&positions).to_vec();
+        for threads in [2, 4, 8] {
+            let parallel = GroundTruth::new(&w, 5.0)
+                .with_threads(threads)
+                .evaluate(&positions)
+                .to_vec();
+            assert_eq!(sequential, parallel, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn scratch_is_cleared_between_evaluations() {
+        let c = SimConfig::small_test(24);
+        let w = Workload::generate(&c);
+        let mut gt = GroundTruth::new(&w, 5.0);
+        let positions: Vec<Point> = w.objects.iter().map(|o| o.initial_pos).collect();
+        let first = gt.evaluate(&positions).to_vec();
+        // Evaluate a completely different placement in between: the reused
+        // sets must not leak members from one call into the next.
+        let far: Vec<Point> = positions.iter().map(|_| Point::new(0.0, 0.0)).collect();
+        let _ = gt.evaluate(&far);
+        let again = gt.evaluate(&positions).to_vec();
+        assert_eq!(first, again);
     }
 
     #[test]

@@ -166,6 +166,12 @@ impl EventLog {
         self.dropped
     }
 
+    /// Carries overflow counts over from another log during a registry
+    /// merge, so a bounded merged log still reports every lost event.
+    pub fn add_dropped(&mut self, n: u64) {
+        self.dropped += n;
+    }
+
     pub fn capacity(&self) -> usize {
         self.capacity
     }

@@ -140,6 +140,20 @@ impl Telemetry {
         self.lock().reset();
     }
 
+    /// Takes everything recorded so far out of the sink, leaving histogram
+    /// registrations and event capacity in place; see
+    /// [`MetricsRegistry::drain`]. Used by parallel drivers to collect a
+    /// worker-local accumulator once per phase.
+    pub fn drain(&self) -> MetricsRegistry {
+        self.lock().drain()
+    }
+
+    /// Additively merges a (typically drained) registry into this sink;
+    /// see [`MetricsRegistry::merge_from`].
+    pub fn merge_registry(&self, other: &MetricsRegistry) {
+        self.lock().merge_from(other);
+    }
+
     /// Read access to the registry for anything not covered by the
     /// forwarding methods.
     pub fn with_registry<T>(&self, f: impl FnOnce(&MetricsRegistry) -> T) -> T {

@@ -97,6 +97,14 @@ impl TickProfiler {
             .collect()
     }
 
+    /// Adds another profiler's accumulated nanos and span counts.
+    pub fn merge_from(&mut self, other: &TickProfiler) {
+        for i in 0..self.nanos.len() {
+            self.nanos[i] += other.nanos[i];
+            self.spans[i] += other.spans[i];
+        }
+    }
+
     pub fn clear(&mut self) {
         self.nanos = [0; 5];
         self.spans = [0; 5];

@@ -80,6 +80,22 @@ impl Histogram {
         self.count = 0;
         self.sum = 0.0;
     }
+
+    /// Adds another histogram's observations bucket-wise. Both histograms
+    /// must have been registered with identical edges. Observed values in
+    /// this codebase are integer-valued (sizes, counts), so the `f64` sum
+    /// stays exact under any merge order.
+    fn merge_from(&mut self, other: &Histogram) {
+        assert_eq!(
+            self.edges, other.edges,
+            "histogram merge requires identical bucket edges"
+        );
+        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
 }
 
 /// The unified instrumentation sink. Not thread-safe by itself; share it
@@ -221,6 +237,60 @@ impl MetricsRegistry {
         self.events.reset();
     }
 
+    /// Adds everything `other` recorded into this registry: counters,
+    /// gauges and wall timers are summed, histograms are merged
+    /// bucket-wise (edges must match), profiler nanos/spans are added and
+    /// events are appended in `other`'s insertion order (respecting this
+    /// log's capacity; overflow from `other` carries over). This is the
+    /// shard-merge primitive of the parallel tick engine: merging shard
+    /// registries in ascending shard order reproduces the sequential
+    /// recording order exactly.
+    pub fn merge_from(&mut self, other: &MetricsRegistry) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            *self.gauges.entry(k).or_insert(0.0) += v;
+        }
+        for (k, h) in &other.histograms {
+            match self.histograms.entry(k) {
+                std::collections::btree_map::Entry::Occupied(e) => e.into_mut().merge_from(h),
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(h.clone());
+                }
+            }
+        }
+        for (k, v) in &other.wall {
+            *self.wall.entry(k).or_insert(0) += v;
+        }
+        self.profiler.merge_from(other.profiler());
+        for e in other.events.events() {
+            self.events.push(e.clone());
+        }
+        self.events.add_dropped(other.events.dropped());
+    }
+
+    /// Moves all recorded data out into a fresh registry and leaves this
+    /// one empty but reusable: histogram registrations (edges) and the
+    /// event-log capacity stay behind, mirroring [`reset`](Self::reset).
+    /// Worker sinks are drained once per phase and merged into the global
+    /// registry via [`merge_from`](Self::merge_from).
+    pub fn drain(&mut self) -> MetricsRegistry {
+        let mut out = MetricsRegistry::with_event_capacity(self.events.capacity());
+        std::mem::swap(&mut out.counters, &mut self.counters);
+        std::mem::swap(&mut out.gauges, &mut self.gauges);
+        std::mem::swap(&mut out.histograms, &mut self.histograms);
+        std::mem::swap(&mut out.wall, &mut self.wall);
+        std::mem::swap(&mut out.profiler, &mut self.profiler);
+        std::mem::swap(&mut out.events, &mut self.events);
+        out.now = self.now;
+        for (k, h) in &out.histograms {
+            self.histograms
+                .insert(k, Histogram::new(h.edges().to_vec()));
+        }
+        out
+    }
+
     pub(crate) fn counters_map(&self) -> &BTreeMap<&'static str, u64> {
         &self.counters
     }
@@ -287,6 +357,93 @@ mod tests {
         let h = r.histogram("h").unwrap();
         assert_eq!(h.edges(), &DEFAULT_BUCKET_EDGES);
         assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn merge_is_equivalent_to_direct_recording() {
+        // Record the same stream once directly and once split across two
+        // shard registries merged in order.
+        let mut direct = MetricsRegistry::new();
+        let mut shard_a = MetricsRegistry::new();
+        let mut shard_b = MetricsRegistry::new();
+        let record = |r: &mut MetricsRegistry, oid: u64| {
+            r.incr("c");
+            r.gauge_add("g", 0.5);
+            r.observe("h", oid as f64);
+            r.wall_add("w", 10);
+            r.profiler_add(Phase::Process, 5);
+            r.event_at(1.0, EventKind::CellCrossing { oid });
+        };
+        record(&mut shard_a, 1);
+        record(&mut shard_a, 2);
+        record(&mut shard_b, 3);
+        for oid in [1u64, 2, 3] {
+            direct.incr("c");
+            direct.gauge_add("g", 0.5);
+            direct.observe("h", oid as f64);
+            direct.wall_add("w", 10);
+            direct.profiler_add(Phase::Process, 5);
+            direct.event_at(1.0, EventKind::CellCrossing { oid });
+        }
+        let mut merged = MetricsRegistry::new();
+        merged.merge_from(&shard_a);
+        merged.merge_from(&shard_b);
+        assert_eq!(merged.counter("c"), direct.counter("c"));
+        assert_eq!(merged.gauge("g"), direct.gauge("g"));
+        assert_eq!(
+            merged.histogram("h").unwrap().counts(),
+            direct.histogram("h").unwrap().counts()
+        );
+        assert_eq!(merged.histogram("h").unwrap().sum(), 3.0 + 2.0 + 1.0);
+        assert_eq!(merged.wall("w"), 30);
+        assert_eq!(merged.profiler().spans(Phase::Process), 3);
+        assert_eq!(merged.events().events(), direct.events().events());
+    }
+
+    #[test]
+    fn merge_carries_event_overflow() {
+        let mut dst = MetricsRegistry::with_event_capacity(1);
+        let mut src = MetricsRegistry::with_event_capacity(4);
+        for oid in 0..3 {
+            src.event_at(1.0, EventKind::CellCrossing { oid });
+        }
+        dst.merge_from(&src);
+        assert_eq!(dst.events().len(), 1);
+        assert_eq!(dst.events().dropped(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical bucket edges")]
+    fn merge_rejects_mismatched_histogram_edges() {
+        let mut a = MetricsRegistry::new();
+        let mut b = MetricsRegistry::new();
+        a.register_histogram("h", vec![1.0, 2.0]);
+        b.register_histogram("h", vec![1.0, 3.0]);
+        b.observe("h", 1.5);
+        a.merge_from(&b);
+    }
+
+    #[test]
+    fn drain_takes_data_and_keeps_registrations() {
+        let mut r = MetricsRegistry::with_event_capacity(8);
+        r.register_histogram("h", vec![1.0, 2.0]);
+        r.observe("h", 1.5);
+        r.incr("c");
+        r.set_now(3.0);
+        r.event(EventKind::CellCrossing { oid: 7 });
+        let taken = r.drain();
+        assert_eq!(taken.counter("c"), 1);
+        assert_eq!(taken.histogram("h").unwrap().count(), 1);
+        assert_eq!(taken.events().len(), 1);
+        // The source keeps its shape but no data.
+        assert_eq!(r.counter("c"), 0);
+        assert!(r.events().is_empty());
+        assert_eq!(r.events().capacity(), 8);
+        let h = r.histogram("h").unwrap();
+        assert_eq!(h.edges(), &[1.0, 2.0]);
+        assert_eq!(h.count(), 0);
+        // Draining twice in a row yields an empty registry.
+        assert_eq!(r.drain().counter("c"), 0);
     }
 
     #[test]

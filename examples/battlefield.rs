@@ -98,7 +98,7 @@ fn main() {
         for (i, agent) in agents.iter_mut().enumerate() {
             let mut inbox = Vec::new();
             net.deliver(agent.oid().node(), positions[i], &mut inbox);
-            agent.tick_process(t, &inbox, &mut net);
+            agent.tick_process(t, inbox.iter().map(|m| &**m), &mut net);
         }
         net.end_tick();
         server.tick(&mut net);

@@ -70,7 +70,7 @@ fn main() {
         for (i, a) in agents.iter_mut().enumerate() {
             let mut inbox = Vec::new();
             net.deliver(ObjectId(i as u32).node(), positions[i], &mut inbox);
-            a.tick_process(t, &inbox, &mut net);
+            a.tick_process(t, inbox.iter().map(|m| &**m), &mut net);
         }
         net.end_tick();
         server.tick(&mut net);

@@ -110,7 +110,7 @@ fn run(world: &mut World, steps: usize, mut rng: Rng, report: bool) {
             world
                 .net
                 .deliver(agent.oid().node(), world.positions[i], &mut inbox);
-            agent.tick_process(t, &inbox, &mut world.net);
+            agent.tick_process(t, inbox.iter().map(|m| &**m), &mut world.net);
         }
         world.net.end_tick();
         world.server.tick(&mut world.net);

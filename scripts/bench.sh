@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Sequential-vs-parallel tick-engine benchmark: runs the in-tree harness
+# (crates/bench/src/bin/parallel.rs) over both engines — the sequential
+# engine is the 1-thread point, the parallel engine the 2- and 4-thread
+# points — and writes BENCH_parallel.json at the repository root.
+#
+# Run from the repository root: ./scripts/bench.sh
+# Set MOBIEYES_QUICK=1 for a ~10x smaller smoke run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo run --release -p mobieyes-bench --bin parallel

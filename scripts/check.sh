@@ -13,7 +13,10 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo build --release"
 cargo build --release --workspace
 
-echo "==> cargo test -q"
-cargo test -q --workspace
+echo "==> cargo test -q (MOBIEYES_THREADS=1)"
+MOBIEYES_THREADS=1 cargo test -q --workspace
+
+echo "==> cargo test -q (MOBIEYES_THREADS=4)"
+MOBIEYES_THREADS=4 cargo test -q --workspace
 
 echo "All checks passed."

@@ -35,6 +35,8 @@ OPTIONS:
     --focal-pool <N>   draw focal objects from first N objects
     --grouping         enable query grouping
     --safe-period      enable safe-period optimization
+    --threads <N>      tick-engine worker threads; 0 = auto from
+                       MOBIEYES_THREADS or the host CPU count [default: 0]
     --seed <N>         RNG seed
     --metrics-out <P>  write the telemetry snapshot (phase timings,
                        message counters, query lifecycle events) to P;
@@ -90,6 +92,7 @@ fn parse_args() -> Result<Cli, String> {
             "--focal-pool" => {
                 builder = builder.focal_pool(parse(&value("--focal-pool")?)?);
             }
+            "--threads" => builder = builder.threads(parse(&value("--threads")?)?),
             "--seed" => builder = builder.seed(parse(&value("--seed")?)?),
             "--grouping" => builder = builder.grouping(true),
             "--safe-period" => builder = builder.safe_period(true),

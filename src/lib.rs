@@ -60,7 +60,7 @@
 //!         let mut inbox = Vec::new();
 //!         net.deliver(agent.oid().node(), agent.position(), &mut inbox);
 //!         let (pos, vel) = (agent.position(), Vec2::ZERO);
-//!         agent.tick(t, pos, vel, &inbox, &mut net);
+//!         agent.tick(t, pos, vel, inbox.iter().map(|m| &**m), &mut net);
 //!     }
 //!     net.end_tick();
 //!     server.tick(&mut net);

@@ -74,7 +74,7 @@ impl Stack {
             let mut inbox = Vec::new();
             self.net
                 .deliver(ObjectId(i as u32).node(), self.positions[i], &mut inbox);
-            a.tick_process(t, &inbox, &mut self.net);
+            a.tick_process(t, inbox.iter().map(|m| &**m), &mut self.net);
         }
         self.net.end_tick();
         self.server.tick(&mut self.net);

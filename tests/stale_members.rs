@@ -38,7 +38,7 @@ fn step(
     for (i, a) in agents.iter_mut().enumerate() {
         let mut inbox = Vec::new();
         net.deliver(a.oid().node(), positions[i], &mut inbox);
-        a.tick_process(t, &inbox, net);
+        a.tick_process(t, inbox.iter().map(|m| &**m), net);
     }
     net.end_tick();
     server.tick(net);
