@@ -345,6 +345,7 @@ fn put_group_info(out: &mut Vec<u8>, info: &QueryGroupInfo) {
     for spec in info.queries.iter() {
         out.put_u32_le(spec.qid.0);
         out.put_u8(spec.slot);
+        out.put_u64_le(spec.seq);
         put_region(out, &spec.region);
         put_filter(out, &spec.filter);
     }
@@ -361,9 +362,10 @@ fn get_group_info(buf: &mut Reader<'_>) -> Result<QueryGroupInfo> {
     let n = buf.get_u16_le() as usize;
     let mut queries = Vec::with_capacity(n);
     for _ in 0..n {
-        need(buf, 5, "spec header")?;
+        need(buf, 13, "spec header")?;
         let qid = QueryId(buf.get_u32_le());
         let slot = buf.get_u8();
+        let seq = buf.get_u64_le();
         let region = get_region(buf)?;
         let filter = Arc::new(get_filter(buf)?);
         queries.push(QuerySpec {
@@ -371,6 +373,7 @@ fn get_group_info(buf: &mut Reader<'_>) -> Result<QueryGroupInfo> {
             region,
             filter,
             slot,
+            seq,
         });
     }
     Ok(QueryGroupInfo {
@@ -436,6 +439,30 @@ pub fn encode_uplink(msg: &Uplink, out: &mut Vec<u8>) {
             put_motion(out, motion);
             out.put_f64_le(*max_vel);
         }
+        Uplink::Resync {
+            oid,
+            cell,
+            motion,
+            max_vel,
+            fresh,
+        } => {
+            out.put_u8(5);
+            out.put_u32_le(oid.0);
+            put_cell(out, *cell);
+            put_motion(out, motion);
+            out.put_f64_le(*max_vel);
+            out.put_u8(*fresh as u8);
+        }
+        Uplink::LqtSync { oid, entries } => {
+            out.put_u8(6);
+            out.put_u32_le(oid.0);
+            debug_assert!(entries.len() <= u16::MAX as usize);
+            out.put_u16_le(entries.len() as u16);
+            for (qid, is_target) in entries {
+                out.put_u32_le(qid.0);
+                out.put_u8(*is_target as u8);
+            }
+        }
     }
 }
 
@@ -490,6 +517,31 @@ pub fn decode_uplink(buf: &mut Reader<'_>) -> Result<Uplink> {
                 max_vel: buf.get_f64_le(),
             }
         }
+        5 => {
+            need(buf, 4, "oid")?;
+            let oid = ObjectId(buf.get_u32_le());
+            let cell = get_cell(buf)?;
+            let motion = get_motion(buf)?;
+            need(buf, 9, "resync tail")?;
+            Uplink::Resync {
+                oid,
+                cell,
+                motion,
+                max_vel: buf.get_f64_le(),
+                fresh: buf.get_u8() != 0,
+            }
+        }
+        6 => {
+            need(buf, 6, "lqt sync header")?;
+            let oid = ObjectId(buf.get_u32_le());
+            let n = buf.get_u16_le() as usize;
+            let mut entries = Vec::with_capacity(n);
+            for _ in 0..n {
+                need(buf, 5, "lqt sync entry")?;
+                entries.push((QueryId(buf.get_u32_le()), buf.get_u8() != 0));
+            }
+            Uplink::LqtSync { oid, entries }
+        }
         t => return err(&format!("unknown uplink tag {t}")),
     })
 }
@@ -507,10 +559,12 @@ pub fn encode_downlink(msg: &Downlink, out: &mut Vec<u8>) {
             focal,
             motion,
             qids,
+            seq,
         } => {
             out.put_u8(1);
             out.put_u32_le(focal.0);
             put_motion(out, motion);
+            out.put_u64_le(*seq);
             debug_assert!(qids.len() <= u16::MAX as usize);
             out.put_u16_le(qids.len() as u16);
             for q in qids {
@@ -525,9 +579,10 @@ pub fn encode_downlink(msg: &Downlink, out: &mut Vec<u8>) {
                 put_group_info(out, info);
             }
         }
-        Downlink::RemoveQuery { qid } => {
+        Downlink::RemoveQuery { qid, epoch } => {
             out.put_u8(3);
             out.put_u32_le(qid.0);
+            out.put_u64_le(*epoch);
         }
         Downlink::FocalNotify { is_focal } => {
             out.put_u8(4);
@@ -544,6 +599,29 @@ pub fn encode_downlink(msg: &Downlink, out: &mut Vec<u8>) {
             out.put_u32_le(object.0);
             out.put_u8(*entered as u8);
         }
+        Downlink::Heartbeat {
+            epoch,
+            cell_digests,
+        } => {
+            out.put_u8(7);
+            out.put_u64_le(*epoch);
+            debug_assert!(cell_digests.len() <= u16::MAX as usize);
+            out.put_u16_le(cell_digests.len() as u16);
+            for (cell, digest) in cell_digests {
+                put_cell(out, *cell);
+                out.put_u64_le(*digest);
+            }
+        }
+        Downlink::CellSync { cell, epoch, infos } => {
+            out.put_u8(8);
+            put_cell(out, *cell);
+            out.put_u64_le(*epoch);
+            debug_assert!(infos.len() <= u16::MAX as usize);
+            out.put_u16_le(infos.len() as u16);
+            for info in infos {
+                put_group_info(out, info);
+            }
+        }
     }
 }
 
@@ -558,7 +636,8 @@ pub fn decode_downlink(buf: &mut Reader<'_>) -> Result<Downlink> {
             need(buf, 4, "focal id")?;
             let focal = ObjectId(buf.get_u32_le());
             let motion = get_motion(buf)?;
-            need(buf, 2, "qid count")?;
+            need(buf, 10, "seq + qid count")?;
+            let seq = buf.get_u64_le();
             let n = buf.get_u16_le() as usize;
             let mut qids = Vec::with_capacity(n);
             for _ in 0..n {
@@ -569,6 +648,7 @@ pub fn decode_downlink(buf: &mut Reader<'_>) -> Result<Downlink> {
                 focal,
                 motion,
                 qids,
+                seq,
             }
         }
         2 => {
@@ -581,9 +661,10 @@ pub fn decode_downlink(buf: &mut Reader<'_>) -> Result<Downlink> {
             Downlink::NewQueries { infos }
         }
         3 => {
-            need(buf, 4, "qid")?;
+            need(buf, 12, "remove query")?;
             Downlink::RemoveQuery {
                 qid: QueryId(buf.get_u32_le()),
+                epoch: buf.get_u64_le(),
             }
         }
         4 => {
@@ -600,6 +681,32 @@ pub fn decode_downlink(buf: &mut Reader<'_>) -> Result<Downlink> {
                 object: ObjectId(buf.get_u32_le()),
                 entered: buf.get_u8() != 0,
             }
+        }
+        7 => {
+            need(buf, 10, "heartbeat header")?;
+            let epoch = buf.get_u64_le();
+            let n = buf.get_u16_le() as usize;
+            let mut cell_digests = Vec::with_capacity(n);
+            for _ in 0..n {
+                let cell = get_cell(buf)?;
+                need(buf, 8, "cell digest")?;
+                cell_digests.push((cell, buf.get_u64_le()));
+            }
+            Downlink::Heartbeat {
+                epoch,
+                cell_digests,
+            }
+        }
+        8 => {
+            let cell = get_cell(buf)?;
+            need(buf, 10, "cell sync header")?;
+            let epoch = buf.get_u64_le();
+            let n = buf.get_u16_le() as usize;
+            let mut infos = Vec::with_capacity(n);
+            for _ in 0..n {
+                infos.push(get_group_info(buf)?);
+            }
+            Downlink::CellSync { cell, epoch, infos }
         }
         t => return err(&format!("unknown downlink tag {t}")),
     })
@@ -659,6 +766,28 @@ mod tests {
                 motion: motion(),
                 max_vel: 0.069,
             },
+            Uplink::Resync {
+                oid: ObjectId(13),
+                cell: CellId::new(4, 7),
+                motion: motion(),
+                max_vel: 0.05,
+                fresh: true,
+            },
+            Uplink::Resync {
+                oid: ObjectId(14),
+                cell: CellId::new(0, 0),
+                motion: motion(),
+                max_vel: 0.02,
+                fresh: false,
+            },
+            Uplink::LqtSync {
+                oid: ObjectId(15),
+                entries: vec![],
+            },
+            Uplink::LqtSync {
+                oid: ObjectId(15),
+                entries: vec![(QueryId(3), true), (QueryId(9), false)],
+            },
         ]
     }
 
@@ -669,6 +798,7 @@ mod tests {
                 region: QueryRegion::circle(3.5),
                 filter: Arc::new(Filter::True),
                 slot: 0,
+                seq: 11,
             },
             QuerySpec {
                 qid: QueryId(2),
@@ -678,6 +808,7 @@ mod tests {
                     Box::new(Filter::Not(Box::new(Filter::Lt("weight".into(), 2.5)))),
                 )),
                 slot: 5,
+                seq: 12,
             },
         ];
         let info = QueryGroupInfo {
@@ -698,12 +829,16 @@ mod tests {
                 focal: ObjectId(3),
                 motion: motion(),
                 qids: vec![QueryId(1), QueryId(2), QueryId(3)],
+                seq: 6,
             },
             Downlink::NewQueries {
-                infos: vec![info.clone(), info],
+                infos: vec![info.clone(), info.clone()],
             },
             Downlink::NewQueries { infos: vec![] },
-            Downlink::RemoveQuery { qid: QueryId(42) },
+            Downlink::RemoveQuery {
+                qid: QueryId(42),
+                epoch: 17,
+            },
             Downlink::FocalNotify { is_focal: true },
             Downlink::FocalNotify { is_focal: false },
             Downlink::PositionRequest,
@@ -711,6 +846,24 @@ mod tests {
                 qid: QueryId(9),
                 object: ObjectId(77),
                 entered: true,
+            },
+            Downlink::Heartbeat {
+                epoch: 0,
+                cell_digests: vec![],
+            },
+            Downlink::Heartbeat {
+                epoch: 99,
+                cell_digests: vec![(CellId::new(1, 2), 0xDEAD), (CellId::new(3, 4), 0xBEEF)],
+            },
+            Downlink::CellSync {
+                cell: CellId::new(5, 6),
+                epoch: 21,
+                infos: vec![info],
+            },
+            Downlink::CellSync {
+                cell: CellId::new(0, 0),
+                epoch: 0,
+                infos: vec![],
             },
         ]
     }

@@ -46,6 +46,17 @@ pub struct ProtocolConfig {
     /// second). Only used as a sanity default; safe periods use the
     /// per-object `max_vel` values carried in messages.
     pub system_max_speed: f64,
+    /// Focal-object lease duration in seconds. While positive, the server
+    /// runs the fault-tolerance layer: a focal object that stays silent
+    /// longer than the lease gets its queries torn down and re-announced.
+    /// 0 disables leases, heartbeats and soft-state refresh entirely (the
+    /// paper's fault-free protocol).
+    pub lease_secs: f64,
+    /// Interval in seconds between server heartbeats (epoch + per-cell
+    /// digest broadcasts). Objects answer with soft-state refresh; a
+    /// heartbeat answer renews the sender's lease. Must be positive when
+    /// `lease_secs` is.
+    pub heartbeat_secs: f64,
 }
 
 impl ProtocolConfig {
@@ -61,7 +72,26 @@ impl ProtocolConfig {
             deliver_results: false,
             // 250 mph in miles/second — the largest Table 1 speed class.
             system_max_speed: 250.0 / 3600.0,
+            lease_secs: 0.0,
+            heartbeat_secs: 0.0,
         }
+    }
+
+    /// Enables the lease / heartbeat fault-tolerance layer.
+    pub fn with_lease(mut self, lease_secs: f64, heartbeat_secs: f64) -> Self {
+        assert!(lease_secs >= 0.0 && heartbeat_secs >= 0.0);
+        assert!(
+            lease_secs == 0.0 || heartbeat_secs > 0.0,
+            "leases need a positive heartbeat interval"
+        );
+        self.lease_secs = lease_secs;
+        self.heartbeat_secs = heartbeat_secs;
+        self
+    }
+
+    /// Whether the lease / heartbeat layer is active.
+    pub fn fault_tolerant(&self) -> bool {
+        self.lease_secs > 0.0
     }
 
     pub fn with_propagation(mut self, p: Propagation) -> Self {
@@ -118,5 +148,22 @@ mod tests {
         assert!(!c.grouping);
         assert!(!c.safe_period);
         assert!(c.system_max_speed > 0.0);
+        assert!(!c.fault_tolerant());
+    }
+
+    #[test]
+    fn lease_configuration() {
+        let grid = Grid::new(Rect::new(0.0, 0.0, 100.0, 100.0), 5.0);
+        let c = ProtocolConfig::new(grid).with_lease(180.0, 90.0);
+        assert!(c.fault_tolerant());
+        assert_eq!(c.lease_secs, 180.0);
+        assert_eq!(c.heartbeat_secs, 90.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn lease_without_heartbeat_panics() {
+        let grid = Grid::new(Rect::new(0.0, 0.0, 100.0, 100.0), 5.0);
+        let _ = ProtocolConfig::new(grid).with_lease(180.0, 0.0);
     }
 }

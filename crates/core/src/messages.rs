@@ -16,6 +16,27 @@ use std::sync::Arc;
 /// report their containment itemized, never via bitmaps.
 pub const NO_SLOT: u8 = u8::MAX;
 
+/// Digest of an empty query set (no queries relevant to a cell). Cells
+/// absent from a heartbeat's digest list implicitly carry this value.
+pub const EMPTY_STATE_DIGEST: u64 = 0;
+
+/// Order-sensitive fold digest of `(query id, sequence number)` pairs.
+/// Callers must feed pairs in ascending query-id order; the server digests
+/// its RQI slice for a cell, objects digest their local query table, and a
+/// mismatch triggers a resync handshake. splitmix64-style mixing keeps
+/// accidental collisions vanishingly unlikely (and a collision only delays
+/// repair by one heartbeat, never corrupts state).
+pub fn state_digest<I: IntoIterator<Item = (QueryId, u64)>>(pairs: I) -> u64 {
+    let mut h = EMPTY_STATE_DIGEST;
+    for (qid, seq) in pairs {
+        let mut z = h ^ (qid.0 as u64).wrapping_mul(0x9E3779B97F4A7C15) ^ seq.rotate_left(32);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        h = z ^ (z >> 31);
+    }
+    h
+}
+
 /// One query inside a (possibly grouped) dissemination message.
 #[derive(Debug, Clone, PartialEq)]
 pub struct QuerySpec {
@@ -26,11 +47,15 @@ pub struct QuerySpec {
     /// Server-assigned group slot: the bit index this query occupies in
     /// grouped result bitmaps (unique among the focal object's queries).
     pub slot: u8,
+    /// Server epoch at the query's last state change. Receivers discard
+    /// specs whose `seq` is older than the state they already hold, which
+    /// makes reordered/duplicated broadcasts harmless.
+    pub seq: u64,
 }
 
 impl QuerySpec {
     fn wire_size(&self) -> usize {
-        4 + 1 + self.region.wire_size() + self.filter.wire_size()
+        4 + 1 + 8 + self.region.wire_size() + self.filter.wire_size()
     }
 }
 
@@ -104,6 +129,28 @@ pub enum Uplink {
         motion: LinearMotion,
         max_vel: f64,
     },
+    /// Reconnect / repair handshake: the object asks the server to replay
+    /// the query state for its current grid cell. Sent after an offline
+    /// period, and whenever the heartbeat digest for the cell disagrees
+    /// with the object's local query table. `fresh` means the object
+    /// restarted with empty state (crash) — the server must also purge the
+    /// object from all query results it can no longer vouch for.
+    Resync {
+        oid: ObjectId,
+        cell: CellId,
+        motion: LinearMotion,
+        max_vel: f64,
+        fresh: bool,
+    },
+    /// Soft-state refresh: the object's full local result view — every
+    /// installed query with its current containment bit. Doubles as a
+    /// lease keepalive for focal objects and lets the server drop stale
+    /// result members whose departure reports were lost.
+    LqtSync {
+        oid: ObjectId,
+        /// `(query, is_target)` for every query installed at the object.
+        entries: Vec<(QueryId, bool)>,
+    },
 }
 
 impl WireSized for Uplink {
@@ -114,6 +161,8 @@ impl WireSized for Uplink {
             Uplink::ResultUpdate { changes, .. } => 4 + 2 + changes.len() * 5,
             Uplink::GroupResultUpdate { .. } => 4 + 4 + 8 + 8,
             Uplink::PositionReply { .. } => 4 + LinearMotion::WIRE_SIZE + 8,
+            Uplink::Resync { .. } => 4 + 8 + LinearMotion::WIRE_SIZE + 8 + 1,
+            Uplink::LqtSync { entries, .. } => 4 + 2 + entries.len() * 5,
         }
     }
 }
@@ -132,13 +181,17 @@ pub enum Downlink {
         focal: ObjectId,
         motion: LinearMotion,
         qids: Vec<QueryId>,
+        /// Server epoch of the update; receivers ignore it for queries
+        /// whose installed state is already newer.
+        seq: u64,
     },
     /// Eager propagation: the queries an object must install after
     /// reporting a cell change (unicast).
     NewQueries { infos: Vec<QueryGroupInfo> },
     /// A query was removed from the system (broadcast to its monitoring
-    /// region).
-    RemoveQuery { qid: QueryId },
+    /// region). `epoch` tombstones the removal: a later `QueryState` for
+    /// the same query with an older sequence number must not resurrect it.
+    RemoveQuery { qid: QueryId, epoch: u64 },
     /// Tells an object whether it is (still) the focal object of at least
     /// one query (unicast; sets the paper's `hasMQ` flag).
     FocalNotify { is_focal: bool },
@@ -152,6 +205,25 @@ pub enum Downlink {
         object: ObjectId,
         entered: bool,
     },
+    /// Periodic soft-state beacon, broadcast through every base station.
+    /// Carries the server epoch and a digest of the RQI slice per grid
+    /// cell (only cells with at least one relevant query are listed).
+    /// Objects compare the digest for their cell against their local
+    /// query table and request a resync on mismatch.
+    Heartbeat {
+        epoch: u64,
+        /// `(cell, digest)` pairs, sorted by cell, for non-empty cells.
+        cell_digests: Vec<(CellId, u64)>,
+    },
+    /// Reconnect-handshake reply (unicast): the authoritative query state
+    /// for one grid cell — every query group whose monitoring region
+    /// covers `cell`. The receiver reconciles its local table to exactly
+    /// this set.
+    CellSync {
+        cell: CellId,
+        epoch: u64,
+        infos: Vec<QueryGroupInfo>,
+    },
 }
 
 impl WireSized for Downlink {
@@ -159,15 +231,19 @@ impl WireSized for Downlink {
         1 + match self {
             Downlink::QueryState { info } => info.wire_size(),
             Downlink::VelocityChange { qids, .. } => {
-                4 + LinearMotion::WIRE_SIZE + 2 + qids.len() * 4
+                4 + LinearMotion::WIRE_SIZE + 2 + qids.len() * 4 + 8
             }
             Downlink::NewQueries { infos } => {
                 2 + infos.iter().map(QueryGroupInfo::wire_size).sum::<usize>()
             }
-            Downlink::RemoveQuery { .. } => 4,
+            Downlink::RemoveQuery { .. } => 4 + 8,
             Downlink::FocalNotify { .. } => 1,
             Downlink::PositionRequest => 0,
             Downlink::ResultDelta { .. } => 4 + 4 + 1,
+            Downlink::Heartbeat { cell_digests, .. } => 8 + 2 + cell_digests.len() * 16,
+            Downlink::CellSync { infos, .. } => {
+                8 + 8 + 2 + infos.iter().map(QueryGroupInfo::wire_size).sum::<usize>()
+            }
         }
     }
 }
@@ -187,6 +263,7 @@ mod tests {
             region: QueryRegion::circle(3.0),
             filter: Arc::new(Filter::True),
             slot: qid as u8,
+            seq: qid as u64,
         }
     }
 
@@ -252,6 +329,25 @@ mod tests {
             .wire_size(),
             53
         );
+        assert_eq!(
+            Uplink::Resync {
+                oid: ObjectId(1),
+                cell: CellId::new(2, 3),
+                motion: motion(),
+                max_vel: 0.1,
+                fresh: true
+            }
+            .wire_size(),
+            62
+        );
+        assert_eq!(
+            Uplink::LqtSync {
+                oid: ObjectId(1),
+                entries: vec![(QueryId(1), true), (QueryId(2), false)]
+            }
+            .wire_size(),
+            17
+        );
     }
 
     #[test]
@@ -296,15 +392,40 @@ mod tests {
 
     #[test]
     fn downlink_sizes() {
-        assert_eq!(Downlink::RemoveQuery { qid: QueryId(1) }.wire_size(), 5);
+        assert_eq!(
+            Downlink::RemoveQuery {
+                qid: QueryId(1),
+                epoch: 9
+            }
+            .wire_size(),
+            13
+        );
         assert_eq!(Downlink::FocalNotify { is_focal: true }.wire_size(), 2);
         assert_eq!(Downlink::PositionRequest.wire_size(), 1);
         let vc = Downlink::VelocityChange {
             focal: ObjectId(1),
             motion: motion(),
             qids: vec![QueryId(1)],
+            seq: 3,
         };
-        assert_eq!(vc.wire_size(), 1 + 4 + 40 + 2 + 4);
+        assert_eq!(vc.wire_size(), 1 + 4 + 40 + 2 + 4 + 8);
+        assert_eq!(
+            Downlink::Heartbeat {
+                epoch: 1,
+                cell_digests: vec![(CellId::new(0, 0), 7), (CellId::new(1, 0), 9)]
+            }
+            .wire_size(),
+            1 + 8 + 2 + 2 * 16
+        );
+        let sync = Downlink::CellSync {
+            cell: CellId::new(1, 1),
+            epoch: 4,
+            infos: vec![group(2)],
+        };
+        assert_eq!(
+            sync.wire_size(),
+            1 + 8 + 8 + 2 + Downlink::QueryState { info: group(2) }.wire_size() - 1
+        );
     }
 
     #[test]
@@ -316,6 +437,7 @@ mod tests {
             focal: ObjectId(7),
             motion: motion(),
             qids: vec![QueryId(0), QueryId(1), QueryId(2)],
+            seq: 1,
         };
         let lqp = Downlink::QueryState { info: group(3) };
         assert!(eqp.wire_size() < lqp.wire_size());

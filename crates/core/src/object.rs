@@ -15,7 +15,7 @@
 //!    safe periods.
 
 use crate::config::{Propagation, ProtocolConfig};
-use crate::messages::{Downlink, QueryGroupInfo, Uplink};
+use crate::messages::{state_digest, Downlink, QueryGroupInfo, Uplink, EMPTY_STATE_DIGEST};
 use crate::model::{ObjectId, Properties, QueryId};
 use crate::server::Net;
 use mobieyes_geo::{CellId, GridRect, LinearMotion, Point, QueryRegion, Region, Vec2};
@@ -40,6 +40,14 @@ pub mod agent_keys {
     /// LQT size observed once per processing tick (histogram,
     /// Figures 10–12).
     pub const LQT_SIZE: &str = "agent.lqt_size";
+    /// Stale or duplicated downlink state discarded by epoch/sequence
+    /// checks (counter).
+    pub const STALE_DISCARDED: &str = "agent.stale_discarded";
+    /// Resync handshakes initiated (reconnects and heartbeat digest
+    /// mismatches; counter).
+    pub const RESYNC_REQUESTS: &str = "agent.resync_requests";
+    /// Full LQT snapshots sent in answer to server heartbeats (counter).
+    pub const LQT_SYNCS: &str = "agent.lqt_syncs";
 }
 
 /// One LQT row: a nearby query this object is responsible for evaluating.
@@ -58,6 +66,10 @@ struct LqtEntry {
     is_target: bool,
     /// Safe-period processing time: skip evaluation while `t < ptm`.
     ptm: f64,
+    /// Server epoch of the last applied state for this query. Older
+    /// downlink state (late duplicates, reordered broadcasts) is
+    /// discarded; equal state re-applies idempotently.
+    seq: u64,
 }
 
 /// Per-agent work counters (drive the paper's Figures 10–13) — a view
@@ -113,6 +125,19 @@ pub struct MovingObjectAgent {
     /// Departure reports produced while handling downlink messages
     /// (monitoring-region shrinks); flushed with the next evaluation.
     pending_departures: Vec<(QueryId, bool)>,
+    /// Queries covering our cell whose filter rejected us. Tracked (with
+    /// seq and monitoring region) so the heartbeat digest of "queries of
+    /// my cell" matches the server's RQI view even when we evaluate none
+    /// of them.
+    shadow: BTreeMap<QueryId, (u64, GridRect)>,
+    /// Tombstones of removed queries: qid → removal epoch. Installs with
+    /// an older or equal seq are resurrection attempts by late duplicates
+    /// and are discarded.
+    removed: BTreeMap<QueryId, u64>,
+    /// Epoch of the last server heartbeat answered; beacons arrive once
+    /// per covering base station (plus duplication faults) and must be
+    /// answered exactly once.
+    last_heartbeat_epoch: u64,
     telemetry: Telemetry,
     /// Scratch buffers reused across ticks.
     scratch_changes: Vec<(QueryId, bool)>,
@@ -143,6 +168,9 @@ impl MovingObjectAgent {
             lqt: BTreeMap::new(),
             own_results: BTreeMap::new(),
             pending_departures: Vec::new(),
+            shadow: BTreeMap::new(),
+            removed: BTreeMap::new(),
+            last_heartbeat_epoch: 0,
             telemetry: Telemetry::new(),
             scratch_changes: Vec::new(),
             scratch_groups: Vec::new(),
@@ -191,6 +219,16 @@ impl MovingObjectAgent {
         self.lqt.keys().copied()
     }
 
+    /// Full LQT fingerprint `(qid, is_target, seq)` in ascending qid
+    /// order — the observable protocol state duplicate-delivery and
+    /// reordering tests compare against.
+    pub fn lqt_entries(&self) -> Vec<(QueryId, bool, u64)> {
+        self.lqt
+            .iter()
+            .map(|(&q, e)| (q, e.is_target, e.seq))
+            .collect()
+    }
+
     /// The locally-known result of a query this object issued (only
     /// populated when the protocol runs with result delivery enabled).
     pub fn own_result(&self, qid: QueryId) -> Option<&std::collections::BTreeSet<ObjectId>> {
@@ -237,6 +275,7 @@ impl MovingObjectAgent {
                 }
                 keep
             });
+            self.shadow.retain(|_, (_, mon)| mon.contains(new_cell));
             if !departures.is_empty() {
                 self.telemetry
                     .add(agent_keys::RESULT_CHANGES, departures.len() as u64);
@@ -332,15 +371,100 @@ impl MovingObjectAgent {
                     self.apply_query_state(my_cell, info);
                 }
             }
-            Downlink::VelocityChange { motion, qids, .. } => {
+            Downlink::VelocityChange {
+                motion, qids, seq, ..
+            } => {
                 for qid in qids {
                     if let Some(e) = self.lqt.get_mut(qid) {
-                        e.motion = *motion;
+                        if *seq >= e.seq {
+                            e.motion = *motion;
+                            e.seq = *seq;
+                        } else {
+                            self.telemetry.incr(agent_keys::STALE_DISCARDED);
+                        }
+                    }
+                    if let Some(s) = self.shadow.get_mut(qid) {
+                        if *seq >= s.0 {
+                            s.0 = *seq;
+                        }
                     }
                 }
             }
-            Downlink::RemoveQuery { qid } => {
-                self.lqt.remove(qid);
+            Downlink::RemoveQuery { qid, epoch } => {
+                // A removal is stale when we already hold newer state for
+                // the query (a re-install after a lease teardown) or have
+                // already applied this or a later removal.
+                let newer_local = self.lqt.get(qid).is_some_and(|e| e.seq > *epoch)
+                    || self.shadow.get(qid).is_some_and(|s| s.0 > *epoch)
+                    || self.removed.get(qid).is_some_and(|&te| te >= *epoch);
+                if newer_local {
+                    self.telemetry.incr(agent_keys::STALE_DISCARDED);
+                } else {
+                    if self.lqt.remove(qid).is_some_and(|e| e.is_target) {
+                        // Targethood ends with the query; the server's
+                        // removal already cleared its result set.
+                    }
+                    self.shadow.remove(qid);
+                    self.removed.insert(*qid, *epoch);
+                }
+            }
+            Downlink::Heartbeat {
+                epoch,
+                cell_digests,
+            } => {
+                if *epoch <= self.last_heartbeat_epoch {
+                    // Same beacon via another station or a duplication
+                    // fault: already answered.
+                    self.telemetry.incr(agent_keys::STALE_DISCARDED);
+                } else {
+                    let prev = self.last_heartbeat_epoch;
+                    self.last_heartbeat_epoch = *epoch;
+                    // Tombstones older than the previous beacon can no
+                    // longer race any in-flight message.
+                    self.removed.retain(|_, te| *te >= prev);
+                    let expected = cell_digests
+                        .iter()
+                        .find(|(c, _)| *c == my_cell)
+                        .map(|&(_, d)| d)
+                        .unwrap_or(EMPTY_STATE_DIGEST);
+                    // Resync on a digest mismatch — and, if focal, on every
+                    // beacon: the resync re-asserts the (cell, motion) the
+                    // server should already hold, repairing a dropped
+                    // CellChange or VelocityReport we believe got through.
+                    // Focal objects send their *advertised* motion, so a
+                    // server that did receive it sees nothing new.
+                    if self.local_digest() != expected || self.has_mq {
+                        self.telemetry.incr(agent_keys::RESYNC_REQUESTS);
+                        let motion = match &self.advertised {
+                            Some(adv) if self.has_mq => *adv,
+                            _ => LinearMotion::new(self.pos, self.vel, t),
+                        };
+                        let (oid, max_vel) = (self.oid, self.max_vel);
+                        self.send(
+                            net,
+                            Uplink::Resync {
+                                oid,
+                                cell: my_cell,
+                                motion,
+                                max_vel,
+                                fresh: false,
+                            },
+                        );
+                    }
+                    // Soft-state refresh doubling as the lease keepalive:
+                    // every beacon is answered with the full local view —
+                    // an *empty* view matters just as much, because a lost
+                    // departure report (or a crash the server has not
+                    // noticed) must not strand a stale member server-side.
+                    self.telemetry.incr(agent_keys::LQT_SYNCS);
+                    let entries: Vec<(QueryId, bool)> =
+                        self.lqt.iter().map(|(&q, e)| (q, e.is_target)).collect();
+                    let oid = self.oid;
+                    self.send(net, Uplink::LqtSync { oid, entries });
+                }
+            }
+            Downlink::CellSync { cell, infos, .. } => {
+                self.apply_cell_sync(my_cell, *cell, infos);
             }
             Downlink::FocalNotify { is_focal } => {
                 self.has_mq = *is_focal;
@@ -381,14 +505,32 @@ impl MovingObjectAgent {
     fn apply_query_state(&mut self, my_cell: CellId, info: &QueryGroupInfo) {
         if info.mon_region.contains(my_cell) {
             for spec in info.queries.iter() {
+                // A removal we already applied supersedes this install:
+                // late duplicates must not resurrect dead queries.
+                if self
+                    .removed
+                    .get(&spec.qid)
+                    .is_some_and(|&te| spec.seq <= te)
+                {
+                    self.telemetry.incr(agent_keys::STALE_DISCARDED);
+                    continue;
+                }
+                self.removed.remove(&spec.qid);
                 if let Some(e) = self.lqt.get_mut(&spec.qid) {
-                    // Already installed: refresh motion and region state.
+                    if spec.seq < e.seq {
+                        self.telemetry.incr(agent_keys::STALE_DISCARDED);
+                        continue;
+                    }
+                    // Refresh motion and region state (idempotent on
+                    // equal seq, so duplicated broadcasts are harmless).
+                    e.seq = spec.seq;
                     e.motion = info.motion;
                     e.mon_region = info.mon_region;
                     e.region = spec.region;
                     e.focal_max_vel = info.max_vel;
                     e.slot = spec.slot;
                 } else if spec.filter.matches(self.oid, &self.props) {
+                    self.shadow.remove(&spec.qid);
                     self.lqt.insert(
                         spec.qid,
                         LqtEntry {
@@ -400,8 +542,20 @@ impl MovingObjectAgent {
                             focal_max_vel: info.max_vel,
                             is_target: false,
                             ptm: 0.0,
+                            seq: spec.seq,
                         },
                     );
+                } else {
+                    // Filter rejected: shadow the query so our view of
+                    // "queries covering my cell" (the heartbeat digest)
+                    // stays aligned with the server's RQI.
+                    let s = self
+                        .shadow
+                        .entry(spec.qid)
+                        .or_insert((spec.seq, info.mon_region));
+                    if spec.seq >= s.0 {
+                        *s = (spec.seq, info.mon_region);
+                    }
                 }
             }
         } else {
@@ -410,10 +564,18 @@ impl MovingObjectAgent {
             // lose so the server's result set stays clean.
             let mut departures: Vec<(QueryId, bool)> = Vec::new();
             for spec in info.queries.iter() {
+                if self.lqt.get(&spec.qid).is_some_and(|e| spec.seq < e.seq) {
+                    // Stale broadcast must not tear down newer state.
+                    self.telemetry.incr(agent_keys::STALE_DISCARDED);
+                    continue;
+                }
                 if let Some(e) = self.lqt.remove(&spec.qid) {
                     if e.is_target {
                         departures.push((spec.qid, false));
                     }
+                }
+                if self.shadow.get(&spec.qid).is_some_and(|s| spec.seq >= s.0) {
+                    self.shadow.remove(&spec.qid);
                 }
             }
             if !departures.is_empty() {
@@ -422,6 +584,107 @@ impl MovingObjectAgent {
                 self.pending_departures.extend(departures);
             }
         }
+    }
+
+    /// Authoritative rebuild of the local query view for `cell` from a
+    /// server `CellSync` reply. Anything the server does not list is gone;
+    /// listed queries install or refresh under the usual seq rules.
+    fn apply_cell_sync(&mut self, my_cell: CellId, cell: CellId, infos: &[QueryGroupInfo]) {
+        if cell != my_cell {
+            // We moved between requesting the resync and its arrival; the
+            // reply describes a cell we no longer occupy. The next
+            // heartbeat re-checks the new cell.
+            return;
+        }
+        let mut mentioned: Vec<QueryId> = infos
+            .iter()
+            .flat_map(|i| i.queries.iter().map(|s| s.qid))
+            .collect();
+        mentioned.sort_unstable();
+        let mut departures: Vec<(QueryId, bool)> = Vec::new();
+        self.lqt.retain(|qid, e| {
+            let keep = mentioned.binary_search(qid).is_ok();
+            if !keep && e.is_target {
+                departures.push((*qid, false));
+            }
+            keep
+        });
+        self.shadow
+            .retain(|qid, _| mentioned.binary_search(qid).is_ok());
+        if !departures.is_empty() {
+            self.telemetry
+                .add(agent_keys::RESULT_CHANGES, departures.len() as u64);
+            self.pending_departures.extend(departures);
+        }
+        for info in infos {
+            if info.focal == self.oid {
+                // The server still considers us focal; a lost FocalNotify
+                // must not silence dead reckoning forever.
+                self.has_mq = true;
+            }
+            self.apply_query_state(my_cell, info);
+        }
+    }
+
+    /// The digest of this object's view of the queries covering its cell
+    /// (installed ∪ filter-shadowed), compared against the server's
+    /// per-cell RQI digest in heartbeats.
+    fn local_digest(&self) -> u64 {
+        let mut pairs: Vec<(QueryId, u64)> = self.lqt.iter().map(|(&q, e)| (q, e.seq)).collect();
+        pairs.extend(self.shadow.iter().map(|(&q, s)| (q, s.0)));
+        pairs.sort_unstable_by_key(|p| p.0);
+        state_digest(pairs)
+    }
+
+    /// Rejoins the network after an offline window at time `t`. A `fresh`
+    /// rejoin models a crash: all soft protocol state is gone and must be
+    /// replayed by the server. A non-fresh rejoin keeps the LQT but prunes
+    /// entries whose monitoring region no longer covers the (possibly
+    /// changed) current cell. Either way the object announces itself with
+    /// a `Resync` uplink so the server replays its cell's query state and
+    /// completes any installs that were waiting for it.
+    pub fn reconnect(&mut self, t: f64, pos: Point, vel: Vec2, fresh: bool, net: &mut Net) {
+        self.pos = pos;
+        self.vel = vel;
+        self.curr_cell = self.config.grid.cell_of(pos);
+        if fresh {
+            self.lqt.clear();
+            self.shadow.clear();
+            self.removed.clear();
+            self.own_results.clear();
+            self.pending_departures.clear();
+            self.has_mq = false;
+        } else {
+            let cell = self.curr_cell;
+            let mut departures: Vec<(QueryId, bool)> = Vec::new();
+            self.lqt.retain(|qid, e| {
+                let keep = e.mon_region.contains(cell);
+                if !keep && e.is_target {
+                    departures.push((*qid, false));
+                }
+                keep
+            });
+            self.shadow.retain(|_, (_, mon)| mon.contains(cell));
+            if !departures.is_empty() {
+                self.telemetry
+                    .add(agent_keys::RESULT_CHANGES, departures.len() as u64);
+                self.pending_departures.extend(departures);
+            }
+        }
+        let motion = LinearMotion::new(pos, vel, t);
+        self.telemetry.incr(agent_keys::RESYNC_REQUESTS);
+        let (oid, max_vel, cell) = (self.oid, self.max_vel, self.curr_cell);
+        self.send(
+            net,
+            Uplink::Resync {
+                oid,
+                cell,
+                motion,
+                max_vel,
+                fresh,
+            },
+        );
+        self.advertised = Some(motion);
     }
 
     /// Evaluates all installed queries, reporting containment changes.
@@ -670,6 +933,7 @@ mod tests {
                 region: QueryRegion::circle(radius),
                 filter: Arc::new(Filter::True),
                 slot: 0,
+                seq: 1,
             }]),
         }
     }
@@ -759,6 +1023,7 @@ mod tests {
             region: QueryRegion::circle(3.0),
             filter: Arc::new(Filter::Eq("color".into(), "red".into())),
             slot: 0,
+            seq: 1,
         }]);
         agent.tick(
             0.0,
@@ -940,6 +1205,7 @@ mod tests {
             focal: ObjectId(100),
             motion: LinearMotion::new(Point::new(55.0, 55.0), Vec2::new(0.2, 0.0), 0.0),
             qids: vec![QueryId(0)],
+            seq: 2,
         };
         agent.tick(60.0, Point::new(55.0, 55.0), Vec2::ZERO, &[vc], &mut n);
         assert!(
@@ -1026,12 +1292,14 @@ mod tests {
                     region: QueryRegion::circle(5.0),
                     filter: Arc::new(Filter::True),
                     slot: 0,
+                    seq: 1,
                 },
                 QuerySpec {
                     qid: QueryId(1),
                     region: QueryRegion::circle(2.0),
                     filter: Arc::new(Filter::True),
                     slot: 1,
+                    seq: 2,
                 },
             ]),
         };
@@ -1079,12 +1347,14 @@ mod tests {
                     region: QueryRegion::circle(5.0),
                     filter: Arc::new(Filter::True),
                     slot: 0,
+                    seq: 1,
                 },
                 QuerySpec {
                     qid: QueryId(1),
                     region: QueryRegion::circle(2.0),
                     filter: Arc::new(Filter::True),
                     slot: 1,
+                    seq: 2,
                 },
             ]),
         };
@@ -1144,7 +1414,10 @@ mod tests {
             30.0,
             Point::new(55.0, 55.0),
             Vec2::ZERO,
-            &[Downlink::RemoveQuery { qid: QueryId(3) }],
+            &[Downlink::RemoveQuery {
+                qid: QueryId(3),
+                epoch: 2,
+            }],
             &mut n,
         );
         assert_eq!(agent.lqt_len(), 0);

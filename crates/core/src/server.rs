@@ -11,12 +11,12 @@
 
 use crate::config::{Propagation, ProtocolConfig};
 use crate::filter::Filter;
-use crate::messages::{Downlink, QueryGroupInfo, QuerySpec, Uplink};
+use crate::messages::{state_digest, Downlink, QueryGroupInfo, QuerySpec, Uplink};
 use crate::model::{ObjectId, QueryId};
 use mobieyes_geo::{CellId, GridRect, LinearMotion, QueryRegion, Region};
 use mobieyes_net::{NetworkSim, NodeId};
 use mobieyes_telemetry::{EventKind, MetricsSnapshot, Telemetry};
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 /// The network type the protocol runs over.
@@ -32,6 +32,10 @@ struct FotEntry {
     queries: Vec<QueryId>,
     /// Bitmap of group slots in use (for grouped result reports).
     used_slots: u64,
+    /// Server time of the last uplink heard from this object — the lease
+    /// timestamp. A focal object silent for longer than `lease_secs` gets
+    /// its queries torn down and re-announced.
+    last_heard: f64,
 }
 
 /// SQT row: everything the server knows about one installed query.
@@ -45,6 +49,10 @@ struct SqtEntry {
     /// Group slot within the focal object's query set (bit index in grouped
     /// result reports).
     slot: u8,
+    /// Server epoch at this query's last state change. Travels in every
+    /// dissemination message so receivers can discard stale or duplicated
+    /// broadcasts.
+    seq: u64,
     /// Absolute expiry time in seconds; the paper's query examples carry
     /// durations ("during the next 2 hours"). `None` = no expiry.
     expires_at: Option<f64>,
@@ -86,6 +94,11 @@ pub mod srv_keys {
     pub const BROADCAST_OPS: &str = "srv.broadcast_ops";
     pub const UNICAST_OPS: &str = "srv.unicast_ops";
     pub const RQI_UPDATES: &str = "srv.rqi_updates";
+    pub const HEARTBEATS: &str = "srv.heartbeats";
+    pub const LEASES_EXPIRED: &str = "srv.leases_expired";
+    pub const RESYNC_REPLIES: &str = "srv.resync_replies";
+    pub const LQT_SYNCS: &str = "srv.lqt_syncs";
+    pub const STALE_RESULTS_PURGED: &str = "srv.stale_results_purged";
 }
 
 impl ServerStats {
@@ -107,13 +120,26 @@ impl ServerStats {
 #[derive(Debug)]
 pub struct Server {
     config: Arc<ProtocolConfig>,
-    fot: HashMap<ObjectId, FotEntry>,
+    /// `BTreeMap` (not hash) so lease expiry and pending-install retries
+    /// iterate in a deterministic order — byte-identical runs at any
+    /// thread count depend on it.
+    fot: BTreeMap<ObjectId, FotEntry>,
     sqt: BTreeMap<QueryId, SqtEntry>,
     /// RQI: per grid cell (flat row-major index), the queries whose
     /// monitoring region intersects the cell.
     rqi: Vec<Vec<QueryId>>,
-    pending: HashMap<ObjectId, Vec<PendingInstall>>,
+    pending: BTreeMap<ObjectId, Vec<PendingInstall>>,
     next_qid: u32,
+    /// Monotone state-change counter. Bumped on every operation that
+    /// changes disseminated query state; the bumped value is stamped on
+    /// the affected queries (`SqtEntry::seq`) and on the outgoing
+    /// messages.
+    epoch: u64,
+    /// Current server time, cached from the driver's heartbeat call; lease
+    /// timestamps are taken from it.
+    now: f64,
+    /// Time of the last heartbeat broadcast.
+    last_heartbeat: f64,
     telemetry: Telemetry,
 }
 
@@ -122,11 +148,14 @@ impl Server {
         let cells = config.grid.num_cells();
         Server {
             config,
-            fot: HashMap::new(),
+            fot: BTreeMap::new(),
             sqt: BTreeMap::new(),
             rqi: vec![Vec::new(); cells],
-            pending: HashMap::new(),
+            pending: BTreeMap::new(),
             next_qid: 0,
+            epoch: 0,
+            now: 0.0,
+            last_heartbeat: f64::NEG_INFINITY,
             telemetry: Telemetry::new(),
         }
     }
@@ -274,6 +303,7 @@ impl Server {
         fot.queries.push(qid);
         fot.queries.sort_unstable();
 
+        self.epoch += 1;
         self.sqt.insert(
             qid,
             SqtEntry {
@@ -283,6 +313,7 @@ impl Server {
                 curr_cell,
                 mon_region,
                 slot,
+                seq: self.epoch,
                 expires_at,
                 result: BTreeSet::new(),
             },
@@ -330,6 +361,8 @@ impl Server {
         let new_mon = grid.monitoring_region(e.curr_cell, region.reach());
         e.region = region;
         e.mon_region = new_mon;
+        self.epoch += 1;
+        e.seq = self.epoch;
         self.rqi_remove(qid, &old_mon);
         self.rqi_insert(qid, &new_mon);
         let combined = old_mon.union(&new_mon);
@@ -363,12 +396,16 @@ impl Server {
                 );
             }
         }
+        self.epoch += 1;
         self.telemetry.add(
             srv_keys::BROADCAST_OPS,
             net.broadcast_region(
                 &self.config.grid,
                 &entry.mon_region,
-                Downlink::RemoveQuery { qid },
+                Downlink::RemoveQuery {
+                    qid,
+                    epoch: self.epoch,
+                },
             ) as u64,
         );
         self.telemetry
@@ -387,6 +424,10 @@ impl Server {
     /// Processes one uplink message.
     pub fn handle_uplink(&mut self, from: NodeId, msg: Uplink, net: &mut Net) {
         self.telemetry.incr(srv_keys::UPLINKS);
+        // Any uplink from a focal object renews its lease.
+        if let Some(f) = self.fot.get_mut(&ObjectId(from.0)) {
+            f.last_heard = self.now;
+        }
         match msg {
             Uplink::VelocityReport { oid, motion } => {
                 debug_assert_eq!(from.0, oid.0);
@@ -454,26 +495,253 @@ impl Server {
                 motion,
                 max_vel,
             } => {
-                self.fot.entry(oid).or_insert(FotEntry {
-                    motion,
-                    max_vel,
-                    queries: Vec::new(),
-                    used_slots: 0,
-                });
-                // A fresher sample than what we had: keep it.
-                if let Some(f) = self.fot.get_mut(&oid) {
-                    if motion.tm >= f.motion.tm {
-                        f.motion = motion;
-                        f.max_vel = max_vel;
-                    }
-                }
+                self.refresh_focal_motion(oid, motion, max_vel, true);
                 if let Some(pending) = self.pending.remove(&oid) {
                     for p in pending {
                         self.complete_install(p.qid, oid, p.region, p.filter, p.expires_at, net);
                     }
                 }
             }
+            Uplink::Resync {
+                oid,
+                cell,
+                motion,
+                max_vel,
+                fresh,
+            } => {
+                self.on_resync(oid, cell, motion, max_vel, fresh, net);
+            }
+            Uplink::LqtSync { oid, entries } => {
+                self.on_lqt_sync(oid, entries, net);
+            }
         }
+    }
+
+    /// Refreshes (or, when `insert` is set, creates) the FOT row for an
+    /// object that reported its motion, keeping the fresher sample.
+    fn refresh_focal_motion(
+        &mut self,
+        oid: ObjectId,
+        motion: LinearMotion,
+        max_vel: f64,
+        insert: bool,
+    ) {
+        let now = self.now;
+        if insert {
+            self.fot.entry(oid).or_insert(FotEntry {
+                motion,
+                max_vel,
+                queries: Vec::new(),
+                used_slots: 0,
+                last_heard: now,
+            });
+        }
+        if let Some(f) = self.fot.get_mut(&oid) {
+            if motion.tm >= f.motion.tm {
+                f.motion = motion;
+                f.max_vel = max_vel;
+            }
+            f.last_heard = now;
+        }
+    }
+
+    /// Reconnect / digest-mismatch handshake: refresh what we know about
+    /// the object, purge it from results it can no longer vouch for when
+    /// it restarted empty, complete any deferred installs, and replay the
+    /// authoritative query state of its grid cell.
+    fn on_resync(
+        &mut self,
+        oid: ObjectId,
+        cell: CellId,
+        motion: LinearMotion,
+        max_vel: f64,
+        fresh: bool,
+        net: &mut Net,
+    ) {
+        // Only materialize a FOT row if an install is waiting on this
+        // object; otherwise just refresh an existing one.
+        let has_pending = self.pending.contains_key(&oid);
+        let prior = self.fot.get(&oid).map(|f| (f.motion, f.queries.clone()));
+        self.refresh_focal_motion(oid, motion, max_vel, has_pending);
+        // Focal repair: a dropped CellChange or VelocityReport leaves our
+        // view of this focal stale — and the focal, believing its report
+        // arrived, would never re-send it. The resync carries the
+        // authoritative (cell, motion); push whichever piece disagrees
+        // back through the normal update machinery (a no-op when nothing
+        // is stale, since focals resync with their advertised motion).
+        if let Some((old_motion, queries)) = prior {
+            if !queries.is_empty() {
+                let stale_cell = queries
+                    .iter()
+                    .filter_map(|q| self.sqt.get(q))
+                    .any(|e| e.curr_cell != cell);
+                if stale_cell {
+                    let prev = self.sqt[&queries[0]].curr_cell;
+                    self.on_cell_change(oid, prev, cell, motion, net);
+                } else if motion.tm > old_motion.tm {
+                    self.on_velocity_report(oid, motion, net);
+                }
+            }
+        }
+        if fresh {
+            // A crashed object lost its local state: its containment
+            // reports are void until it re-evaluates.
+            let stale: Vec<QueryId> = self
+                .sqt
+                .iter_mut()
+                .filter_map(|(&q, e)| e.result.remove(&oid).then_some(q))
+                .collect();
+            self.telemetry
+                .add(srv_keys::STALE_RESULTS_PURGED, stale.len() as u64);
+            for qid in stale {
+                self.deliver_result_delta(qid, oid, false, net);
+            }
+        }
+        if let Some(pending) = self.pending.remove(&oid) {
+            for p in pending {
+                self.complete_install(p.qid, oid, p.region, p.filter, p.expires_at, net);
+            }
+        }
+        // Re-assert focality: the original FocalNotify may have been lost
+        // (or wiped by a crash), which would silence dead reckoning.
+        if self.fot.get(&oid).is_some_and(|f| !f.queries.is_empty()) {
+            self.telemetry.incr(srv_keys::UNICAST_OPS);
+            net.send_unicast(oid.node(), Downlink::FocalNotify { is_focal: true });
+        }
+        let qids = self.rqi[self.config.grid.flat_index(cell)].clone();
+        let infos: Vec<QueryGroupInfo> = self
+            .group_queries(&{
+                let mut sorted = qids;
+                sorted.sort_unstable();
+                sorted
+            })
+            .into_iter()
+            .map(|g| self.group_info_for(g[0]))
+            .collect();
+        self.telemetry.incr(srv_keys::RESYNC_REPLIES);
+        self.telemetry.incr(srv_keys::UNICAST_OPS);
+        net.send_unicast(
+            oid.node(),
+            Downlink::CellSync {
+                cell,
+                epoch: self.epoch,
+                infos,
+            },
+        );
+    }
+
+    /// Soft-state refresh: reconcile every query's result membership for
+    /// `oid` against the object's full local view. Queries the object does
+    /// not mention are queries it does not hold — it cannot be a target.
+    fn on_lqt_sync(&mut self, oid: ObjectId, entries: Vec<(QueryId, bool)>, net: &mut Net) {
+        self.telemetry.incr(srv_keys::LQT_SYNCS);
+        let mentioned: BTreeMap<QueryId, bool> = entries.into_iter().collect();
+        let mut deltas: Vec<(QueryId, bool)> = Vec::new();
+        let mut stale = 0u64;
+        for (&qid, e) in self.sqt.iter_mut() {
+            let is_target = mentioned.get(&qid).copied().unwrap_or(false);
+            let changed = if is_target {
+                e.result.insert(oid)
+            } else {
+                e.result.remove(&oid)
+            };
+            if changed {
+                if !is_target && !mentioned.contains_key(&qid) {
+                    stale += 1;
+                }
+                deltas.push((qid, is_target));
+            }
+        }
+        self.telemetry.add(srv_keys::STALE_RESULTS_PURGED, stale);
+        for (qid, entered) in deltas {
+            self.deliver_result_delta(qid, oid, entered, net);
+        }
+    }
+
+    /// Runs the periodic fault-tolerance duties; the driver calls this
+    /// once per time step with the current server time, before processing
+    /// the tick's uplinks. No-op unless [`ProtocolConfig::fault_tolerant`].
+    ///
+    /// Every `heartbeat_secs` the server: (1) expires leases — focal
+    /// objects silent for longer than `lease_secs` get their queries torn
+    /// down (with tombstoned removal broadcasts) and re-announced through
+    /// the position-request handshake; (2) retries the position request of
+    /// every still-pending install (the original unicast may have been
+    /// lost); (3) broadcasts a heartbeat through every base station with
+    /// the current epoch and a per-cell digest of the RQI, against which
+    /// objects verify their local query tables.
+    pub fn heartbeat(&mut self, now: f64, net: &mut Net) {
+        self.now = now;
+        if !self.config.fault_tolerant() || now - self.last_heartbeat < self.config.heartbeat_secs {
+            return;
+        }
+        self.last_heartbeat = now;
+        self.telemetry.incr(srv_keys::HEARTBEATS);
+
+        // (1) Lease expiry. Deterministic order via the BTreeMap.
+        let lease = self.config.lease_secs;
+        let expired: Vec<(ObjectId, Vec<QueryId>)> = self
+            .fot
+            .iter()
+            .filter(|(_, f)| !f.queries.is_empty() && now - f.last_heard > lease)
+            .map(|(&oid, f)| (oid, f.queries.clone()))
+            .collect();
+        for (oid, qids) in expired {
+            self.telemetry.incr(srv_keys::LEASES_EXPIRED);
+            self.telemetry
+                .event(EventKind::LeaseExpired { oid: oid.0 as u64 });
+            for qid in qids {
+                let e = &self.sqt[&qid];
+                let (region, filter, expires_at) = (e.region, Arc::clone(&e.filter), e.expires_at);
+                self.remove_query(qid, net);
+                // Re-announce under the same id; the install completes
+                // when the object answers the position request below.
+                self.pending.entry(oid).or_default().push(PendingInstall {
+                    qid,
+                    region,
+                    filter,
+                    expires_at,
+                });
+            }
+        }
+
+        // (2) Retry pending installs.
+        let waiting: Vec<ObjectId> = self.pending.keys().copied().collect();
+        for oid in waiting {
+            self.telemetry.incr(srv_keys::UNICAST_OPS);
+            net.send_unicast(oid.node(), Downlink::PositionRequest);
+        }
+
+        // (3) Digest beacon. A heartbeat is a state change of its own (it
+        // demands an answer), so it bumps the epoch — objects use the
+        // epoch to answer each beacon exactly once however many stations
+        // they hear it from.
+        self.epoch += 1;
+        let grid = &self.config.grid;
+        let mut cell_digests = Vec::new();
+        for (idx, qids) in self.rqi.iter().enumerate() {
+            if qids.is_empty() {
+                continue;
+            }
+            let mut sorted = qids.clone();
+            sorted.sort_unstable();
+            let digest = state_digest(sorted.iter().map(|q| (*q, self.sqt[q].seq)));
+            let cell = CellId::new(
+                (idx % grid.cols as usize) as u32,
+                (idx / grid.cols as usize) as u32,
+            );
+            cell_digests.push((cell, digest));
+        }
+        let sent = net.broadcast_all(Downlink::Heartbeat {
+            epoch: self.epoch,
+            cell_digests,
+        });
+        self.telemetry.add(srv_keys::BROADCAST_OPS, sent as u64);
+    }
+
+    /// The current server epoch (monotone state-change counter).
+    pub fn current_epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// A focal object's dead-reckoning report: refresh the FOT and relay to
@@ -487,6 +755,15 @@ impl Server {
         };
         fot.motion = motion;
         let queries = fot.queries.clone();
+        // One epoch bump covers the whole report; every affected query is
+        // stamped with it so receivers can discard stale duplicates.
+        self.epoch += 1;
+        let seq = self.epoch;
+        for &qid in &queries {
+            if let Some(e) = self.sqt.get_mut(&qid) {
+                e.seq = seq;
+            }
+        }
         for group in self.group_queries(&queries) {
             let mon_region = self.sqt[&group[0]].mon_region;
             let msg = match self.config.propagation {
@@ -494,6 +771,7 @@ impl Server {
                     focal: oid,
                     motion,
                     qids: group.clone(),
+                    seq,
                 },
                 // Lazy propagation expands velocity updates to full query
                 // state so objects that recently changed cells can install.
@@ -525,6 +803,14 @@ impl Server {
         if let Some(fot) = self.fot.get_mut(&oid) {
             fot.motion = motion;
             let queries = fot.queries.clone();
+            // One epoch bump for the whole cell change.
+            self.epoch += 1;
+            let seq = self.epoch;
+            for &qid in &queries {
+                if let Some(e) = self.sqt.get_mut(&qid) {
+                    e.seq = seq;
+                }
+            }
             // Group by (old region, new region): queries that travel
             // together must agree on both, otherwise each goes alone.
             // (Same old region does not always imply same new region: the
@@ -635,6 +921,7 @@ impl Server {
                     region: s.region,
                     filter: Arc::clone(&s.filter),
                     slot: s.slot,
+                    seq: s.seq,
                 }
             })
             .collect();

@@ -117,6 +117,7 @@ fn rand_group_info(rng: &mut Rng) -> QueryGroupInfo {
             region: rand_region(rng),
             filter: Arc::new(rand_filter(rng, 3)),
             slot: rng.next_u64() as u8,
+            seq: rng.next_u64(),
         })
         .collect();
     QueryGroupInfo {
@@ -134,7 +135,7 @@ fn rand_group_info(rng: &mut Rng) -> QueryGroupInfo {
 }
 
 fn rand_uplink(rng: &mut Rng) -> Uplink {
-    match rng.below(5) {
+    match rng.below(7) {
         0 => Uplink::VelocityReport {
             oid: ObjectId(rng.next_u64() as u32),
             motion: rand_motion(rng),
@@ -157,16 +158,29 @@ fn rand_uplink(rng: &mut Rng) -> Uplink {
             mask: rng.next_u64(),
             targets: rng.next_u64(),
         },
-        _ => Uplink::PositionReply {
+        4 => Uplink::PositionReply {
             oid: ObjectId(rng.next_u64() as u32),
             motion: rand_motion(rng),
             max_vel: rng.range(0.0, 0.1),
+        },
+        5 => Uplink::Resync {
+            oid: ObjectId(rng.next_u64() as u32),
+            cell: CellId::new(rng.below(100) as u32, rng.below(100) as u32),
+            motion: rand_motion(rng),
+            max_vel: rng.range(0.0, 0.1),
+            fresh: rng.coin(),
+        },
+        _ => Uplink::LqtSync {
+            oid: ObjectId(rng.next_u64() as u32),
+            entries: (0..rng.below(20))
+                .map(|_| (QueryId(rng.next_u64() as u32), rng.coin()))
+                .collect(),
         },
     }
 }
 
 fn rand_downlink(rng: &mut Rng) -> Downlink {
-    match rng.below(7) {
+    match rng.below(9) {
         0 => Downlink::QueryState {
             info: rand_group_info(rng),
         },
@@ -176,21 +190,39 @@ fn rand_downlink(rng: &mut Rng) -> Downlink {
             qids: (0..rng.below(20))
                 .map(|_| QueryId(rng.next_u64() as u32))
                 .collect(),
+            seq: rng.next_u64(),
         },
         2 => Downlink::NewQueries {
             infos: (0..rng.below(3)).map(|_| rand_group_info(rng)).collect(),
         },
         3 => Downlink::RemoveQuery {
             qid: QueryId(rng.next_u64() as u32),
+            epoch: rng.next_u64(),
         },
         4 => Downlink::FocalNotify {
             is_focal: rng.coin(),
         },
         5 => Downlink::PositionRequest,
-        _ => Downlink::ResultDelta {
+        6 => Downlink::ResultDelta {
             qid: QueryId(rng.next_u64() as u32),
             object: ObjectId(rng.next_u64() as u32),
             entered: rng.coin(),
+        },
+        7 => Downlink::Heartbeat {
+            epoch: rng.next_u64(),
+            cell_digests: (0..rng.below(12))
+                .map(|_| {
+                    (
+                        CellId::new(rng.below(100) as u32, rng.below(100) as u32),
+                        rng.next_u64(),
+                    )
+                })
+                .collect(),
+        },
+        _ => Downlink::CellSync {
+            cell: CellId::new(rng.below(100) as u32, rng.below(100) as u32),
+            epoch: rng.next_u64(),
+            infos: (0..rng.below(3)).map(|_| rand_group_info(rng)).collect(),
         },
     }
 }

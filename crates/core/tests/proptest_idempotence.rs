@@ -1,0 +1,229 @@
+//! Duplicate-delivery idempotence: the fault layer may deliver any
+//! downlink message twice (duplication faults) or let a stale removal
+//! arrive after a newer install (reordering across a heartbeat repair).
+//! The epoch/sequence scheme must make both harmless: for randomized
+//! query state, (1) applying a message twice leaves the agent's LQT
+//! byte-identical to applying it once, and (2) a removal and a newer
+//! install commute — either arrival order ends in the installed state.
+//!
+//! Uses a seeded splitmix64 sweep so every run checks the same cases.
+
+use mobieyes_core::server::Net;
+use mobieyes_core::{
+    Downlink, Filter, MovingObjectAgent, ObjectId, Properties, ProtocolConfig, QueryGroupInfo,
+    QueryId, QuerySpec, Uplink,
+};
+use mobieyes_geo::{Grid, GridRect, LinearMotion, Point, QueryRegion, Rect, Vec2};
+use mobieyes_net::BaseStationLayout;
+use std::sync::Arc;
+
+const SIDE: f64 = 60.0;
+
+/// Deterministic splitmix64 generator.
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + self.unit() * (hi - lo)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+
+    fn coin(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+fn config() -> Arc<ProtocolConfig> {
+    Arc::new(ProtocolConfig::new(Grid::new(
+        Rect::new(0.0, 0.0, SIDE, SIDE),
+        8.0,
+    )))
+}
+
+fn fresh_agent(config: &Arc<ProtocolConfig>, pos: Point) -> MovingObjectAgent {
+    MovingObjectAgent::new(
+        ObjectId(0),
+        Properties::new(),
+        0.08,
+        pos,
+        Vec2::ZERO,
+        Arc::clone(config),
+    )
+}
+
+/// A group info whose monitoring region covers the agent's cell, so the
+/// install path actually runs.
+fn rand_info(rng: &mut Rng, config: &ProtocolConfig, agent_pos: Point, seq: u64) -> QueryGroupInfo {
+    let cell = config.grid.cell_of(agent_pos);
+    let focal_pos = Point::new(rng.range(5.0, 55.0), rng.range(5.0, 55.0));
+    let specs: Vec<QuerySpec> = (0..1 + rng.below(3))
+        .map(|k| QuerySpec {
+            qid: QueryId(rng.below(6) as u32 * 7 + k as u32),
+            region: if rng.coin() {
+                QueryRegion::circle(rng.range(1.0, 12.0))
+            } else {
+                QueryRegion::rect(rng.range(1.0, 12.0), rng.range(1.0, 12.0))
+            },
+            filter: Arc::new(Filter::True),
+            slot: rng.below(64) as u8,
+            seq,
+        })
+        .collect();
+    QueryGroupInfo {
+        focal: ObjectId(1 + rng.below(9) as u32),
+        motion: LinearMotion::new(
+            focal_pos,
+            Vec2::new(rng.range(-0.05, 0.05), rng.range(-0.05, 0.05)),
+            rng.range(0.0, 100.0),
+        ),
+        max_vel: 0.08,
+        mon_region: GridRect {
+            x0: cell.x.saturating_sub(rng.below(2) as u32),
+            y0: cell.y.saturating_sub(rng.below(2) as u32),
+            x1: cell.x + rng.below(3) as u32,
+            y1: cell.y + rng.below(3) as u32,
+        },
+        queries: Arc::new(specs),
+    }
+}
+
+/// Full observable protocol state of an agent: the LQT rows plus any
+/// uplink traffic its processing produced.
+type Fingerprint = (Vec<(QueryId, bool, u64)>, Vec<(u32, Uplink)>);
+
+fn fingerprint(agent: &MovingObjectAgent, net: &mut Net) -> Fingerprint {
+    let ups = net
+        .drain_uplinks()
+        .into_iter()
+        .map(|(n, u)| (n.0, u))
+        .collect();
+    (agent.lqt_entries(), ups)
+}
+
+fn deliver(agent: &mut MovingObjectAgent, t: f64, msgs: &[Downlink], net: &mut Net) {
+    agent.tick_process(t, msgs.iter(), net);
+}
+
+#[test]
+fn double_delivery_leaves_lqt_identical() {
+    let mut rng = Rng(0x5eed_1de3_0001);
+    let config = config();
+    for case in 0..128 {
+        let pos = Point::new(rng.range(5.0, 55.0), rng.range(5.0, 55.0));
+        let seq = 1 + rng.below(50);
+        let info = rand_info(&mut rng, &config, pos, seq);
+        let once_msg = Downlink::QueryState { info: info.clone() };
+        let twice_msgs = [once_msg.clone(), once_msg.clone()];
+
+        let mut net_a = Net::new(BaseStationLayout::new(
+            Rect::new(0.0, 0.0, SIDE, SIDE),
+            15.0,
+        ));
+        let mut net_b = Net::new(BaseStationLayout::new(
+            Rect::new(0.0, 0.0, SIDE, SIDE),
+            15.0,
+        ));
+        let mut once = fresh_agent(&config, pos);
+        let mut twice = fresh_agent(&config, pos);
+        deliver(&mut once, 30.0, std::slice::from_ref(&once_msg), &mut net_a);
+        deliver(&mut twice, 30.0, &twice_msgs, &mut net_b);
+        assert_eq!(
+            fingerprint(&once, &mut net_a),
+            fingerprint(&twice, &mut net_b),
+            "case {case}: double delivery changed observable state"
+        );
+    }
+}
+
+#[test]
+fn removal_and_newer_install_commute() {
+    let mut rng = Rng(0x5eed_1de3_0002);
+    let config = config();
+    for case in 0..128 {
+        let pos = Point::new(rng.range(5.0, 55.0), rng.range(5.0, 55.0));
+        let remove_epoch = 1 + rng.below(40);
+        let install_seq = remove_epoch + 1 + rng.below(10);
+        let info = rand_info(&mut rng, &config, pos, install_seq);
+        let qid = info.queries[0].qid;
+        let install = Downlink::QueryState { info };
+        let remove = Downlink::RemoveQuery {
+            qid,
+            epoch: remove_epoch,
+        };
+
+        let run = |msgs: &[Downlink]| {
+            let mut net = Net::new(BaseStationLayout::new(
+                Rect::new(0.0, 0.0, SIDE, SIDE),
+                15.0,
+            ));
+            let mut agent = fresh_agent(&config, pos);
+            deliver(&mut agent, 30.0, msgs, &mut net);
+            (agent.lqt_entries(), net.drain_uplinks().len())
+        };
+        let (a, _) = run(&[install.clone(), remove.clone()]);
+        let (b, _) = run(&[remove.clone(), install.clone()]);
+        assert_eq!(
+            a, b,
+            "case {case}: removal (epoch {remove_epoch}) and newer install \
+             (seq {install_seq}) did not commute"
+        );
+        assert!(
+            a.iter().any(|(q, _, s)| *q == qid && *s == install_seq),
+            "case {case}: the newer install must win in both orders"
+        );
+    }
+}
+
+#[test]
+fn stale_removal_after_crash_does_not_resurrect() {
+    // A removal that raced a heartbeat repair: the agent already applied
+    // a *newer* removal tombstone; a duplicate of the old install must
+    // not resurrect the query.
+    let mut rng = Rng(0x5eed_1de3_0003);
+    let config = config();
+    for case in 0..64 {
+        let pos = Point::new(rng.range(5.0, 55.0), rng.range(5.0, 55.0));
+        let install_seq = 1 + rng.below(40);
+        let remove_epoch = install_seq + rng.below(10);
+        let info = rand_info(&mut rng, &config, pos, install_seq);
+        let qid = info.queries[0].qid;
+        let mut net = Net::new(BaseStationLayout::new(
+            Rect::new(0.0, 0.0, SIDE, SIDE),
+            15.0,
+        ));
+        let mut agent = fresh_agent(&config, pos);
+        deliver(
+            &mut agent,
+            30.0,
+            &[
+                Downlink::QueryState { info: info.clone() },
+                Downlink::RemoveQuery {
+                    qid,
+                    epoch: remove_epoch,
+                },
+                // Late duplicate of the original install.
+                Downlink::QueryState { info },
+            ],
+            &mut net,
+        );
+        assert!(
+            !agent.lqt_entries().iter().any(|(q, _, _)| *q == qid),
+            "case {case}: tombstoned query resurrected by a late duplicate"
+        );
+    }
+}

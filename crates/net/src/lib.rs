@@ -25,7 +25,7 @@ pub mod radio;
 pub mod sim;
 pub mod station;
 
-pub use fault::FaultPlan;
+pub use fault::{ChurnPlan, FaultPlan};
 pub use meter::{Direction, MessageMeter};
 pub use radio::RadioModel;
 pub use sim::{NetworkSim, NodeId, WireSized};

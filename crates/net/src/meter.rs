@@ -49,6 +49,8 @@ pub mod keys {
     pub const BROADCAST_BYTES: &str = "net.broadcast.bytes";
     pub const FAULT_DROPPED: &str = "net.fault.dropped";
     pub const FAULT_DUPLICATED: &str = "net.fault.duplicated";
+    pub const FAULT_UPLINK_DROPPED: &str = "net.fault.uplink_dropped";
+    pub const FAULT_UPLINK_DUPLICATED: &str = "net.fault.uplink_duplicated";
 }
 
 /// Aggregated wireless traffic statistics — a point-in-time view over the

@@ -37,6 +37,7 @@ pub struct NetworkSim<U, D> {
     layout: BaseStationLayout,
     telemetry: Telemetry,
     fault: FaultPlan,
+    uplink_fault: FaultPlan,
     uplinks: Vec<(NodeId, U)>,
     /// Downlink queues hold `Arc`-shared payloads: a broadcast fanned out
     /// to N stations and heard by M objects is allocated exactly once and
@@ -56,6 +57,7 @@ impl<U: WireSized, D: WireSized> NetworkSim<U, D> {
             layout,
             telemetry: Telemetry::new(),
             fault: FaultPlan::none(),
+            uplink_fault: FaultPlan::none(),
             uplinks: Vec::new(),
             unicasts: Vec::new(),
             broadcasts: Vec::new(),
@@ -131,13 +133,37 @@ impl<U: WireSized, D: WireSized> NetworkSim<U, D> {
         &self.fault
     }
 
-    /// Object → server message. Always delivered (uplink faults are not
-    /// modeled; the paper's protocol treats uplink as reliable).
-    pub fn send_uplink(&mut self, from: NodeId, msg: U) {
+    /// Installs an uplink fault plan (drops/duplicates applied as messages
+    /// enter the network, before the server drains them).
+    pub fn set_uplink_fault(&mut self, plan: FaultPlan) {
+        self.uplink_fault = plan;
+    }
+
+    pub fn uplink_fault(&self) -> &FaultPlan {
+        &self.uplink_fault
+    }
+
+    /// Object → server message, subject to the uplink fault plan. The
+    /// object always pays the transmission (metered as sent), but the
+    /// server may see zero, one or two copies. Parallel drivers keep this
+    /// deterministic by routing all uplinks through one coordinator
+    /// network in shard order.
+    pub fn send_uplink(&mut self, from: NodeId, msg: U)
+    where
+        U: Clone,
+    {
         let bytes = msg.wire_size();
         self.record(Direction::Uplink, bytes);
         self.record_node_sent(from.0 as usize, bytes);
-        self.uplinks.push((from, msg));
+        match self.uplink_fault.copies() {
+            0 => self.telemetry.incr(keys::FAULT_UPLINK_DROPPED),
+            1 => self.uplinks.push((from, msg)),
+            _ => {
+                self.telemetry.incr(keys::FAULT_UPLINK_DUPLICATED);
+                self.uplinks.push((from, msg.clone()));
+                self.uplinks.push((from, msg));
+            }
+        }
     }
 
     /// Server side: take all pending uplink messages.
@@ -167,6 +193,21 @@ impl<U: WireSized, D: WireSized> NetworkSim<U, D> {
         let bytes = msg.wire_size();
         self.record(Direction::Broadcast, bytes);
         self.broadcasts.push((station, msg, bytes));
+    }
+
+    /// Broadcasts `msg` through *every* base station, reaching the whole
+    /// universe — the dissemination primitive for server heartbeats. The
+    /// payload is allocated once and shared. Returns the number of station
+    /// transmissions.
+    pub fn broadcast_all(&mut self, msg: D) -> usize {
+        let n = self.layout.num_stations();
+        let payload = Arc::new(msg);
+        for s in 0..n {
+            self.broadcast_shared(StationId(s as u32), Arc::clone(&payload));
+        }
+        self.telemetry
+            .event(EventKind::BroadcastFanout { stations: n as u64 });
+        n
     }
 
     /// Broadcasts `msg` through the minimal set of stations covering a
@@ -412,6 +453,52 @@ mod tests {
         let mut got = Vec::new();
         n.deliver(NodeId(1), Point::new(5.0, 5.0), &mut got);
         assert_eq!(got.len(), 2, "full duplicate rate must double delivery");
+    }
+
+    #[test]
+    fn uplink_faults_drop_but_still_meter_the_transmission() {
+        let mut n = net();
+        n.set_uplink_fault(FaultPlan::new(1.0, 0.0, 3));
+        n.send_uplink(NodeId(2), Msg(1));
+        assert_eq!(n.pending_uplinks(), 0, "dropped uplink must not queue");
+        // The object transmitted (and pays the energy) regardless.
+        assert_eq!(n.meter().uplink_msgs, 1);
+        assert_eq!(n.meter().node_sent_bytes(2), 8);
+        assert_eq!(
+            n.telemetry().snapshot().counter(keys::FAULT_UPLINK_DROPPED),
+            1
+        );
+    }
+
+    #[test]
+    fn uplink_faults_duplicate_the_queued_message() {
+        let mut n = net();
+        n.set_uplink_fault(FaultPlan::new(0.0, 1.0, 3));
+        n.send_uplink(NodeId(2), Msg(9));
+        let up = n.drain_uplinks();
+        assert_eq!(up, vec![(NodeId(2), Msg(9)), (NodeId(2), Msg(9))]);
+        // One transmission on the medium; the duplication is in the air.
+        assert_eq!(n.meter().uplink_msgs, 1);
+        assert_eq!(
+            n.telemetry()
+                .snapshot()
+                .counter(keys::FAULT_UPLINK_DUPLICATED),
+            1
+        );
+    }
+
+    #[test]
+    fn broadcast_all_reaches_every_station() {
+        let mut n = net();
+        let sent = n.broadcast_all(Msg(4));
+        assert_eq!(sent, n.layout().num_stations());
+        // Any position in the universe hears at least one copy.
+        let mut got = Vec::new();
+        n.deliver(NodeId(0), Point::new(73.0, 21.0), &mut got);
+        assert!(!got.is_empty());
+        let (_, broadcasts) = n.take_downlinks();
+        let first = &broadcasts[0].1;
+        assert!(broadcasts.iter().all(|(_, m, _)| Arc::ptr_eq(m, first)));
     }
 
     #[test]

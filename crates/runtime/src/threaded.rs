@@ -104,12 +104,17 @@ impl ThreadedSim {
         let telemetry = self.telemetry.clone();
         let workload = Workload::generate(config);
         let grid = Grid::new(workload.universe, config.alpha);
+        // Same lease wiring as the lock-step simulator: durations are
+        // configured in ticks, heartbeats fire twice per lease.
+        let lease_secs = config.lease_ticks as f64 * config.time_step;
+        let heartbeat_secs = (config.lease_ticks / 2).max(1) as f64 * config.time_step;
         let pconf = Arc::new(
             ProtocolConfig::new(grid)
                 .with_propagation(config.propagation)
                 .with_grouping(config.grouping)
                 .with_safe_period(config.safe_period)
-                .with_delta(config.delta),
+                .with_delta(config.delta)
+                .with_lease(lease_secs, heartbeat_secs),
         );
         let layout = BaseStationLayout::new(workload.universe, config.alen);
         let mut net = Net::new(layout.clone()).with_telemetry(telemetry.clone());
@@ -210,6 +215,9 @@ impl ThreadedSim {
                 }
                 collect(&mut net, &reply_rx);
             }
+            // Fault-tolerance duties (no-op unless leases are configured),
+            // queued before mediation exactly as in the lock-step engine.
+            server.heartbeat(t, &mut net);
             // Server mediation.
             {
                 let _span = telemetry.span(Phase::Mediation);

@@ -63,6 +63,20 @@ pub struct SimConfig {
     /// byte-identical at every thread count (see
     /// [`resolved_threads`](Self::resolved_threads)).
     pub threads: usize,
+    /// Probability that an uplink message is dropped ([0, 1]; 0 = off).
+    pub uplink_drop: f64,
+    /// Probability that a downlink message is dropped ([0, 1]; 0 = off).
+    pub downlink_drop: f64,
+    /// Probability that a delivered message (either direction) is
+    /// duplicated ([0, 1]; 0 = off).
+    pub dup_rate: f64,
+    /// Fraction of objects that experience one offline window during the
+    /// faulty phase of the run ([0, 1]; 0 = no churn).
+    pub churn_rate: f64,
+    /// Focal-object lease duration in ticks; 0 disables the
+    /// fault-tolerance layer (leases, heartbeats, soft-state refresh).
+    /// Heartbeats fire every `max(1, lease_ticks / 2)` ticks.
+    pub lease_ticks: usize,
 }
 
 impl Default for SimConfig {
@@ -90,6 +104,11 @@ impl Default for SimConfig {
             mobility: MobilityKind::default(),
             focal_pool: None,
             threads: 0,
+            uplink_drop: 0.0,
+            downlink_drop: 0.0,
+            dup_rate: 0.0,
+            churn_rate: 0.0,
+            lease_ticks: 0,
         }
     }
 }
@@ -172,6 +191,11 @@ impl SimConfig {
 
     pub fn with_mobility(mut self, kind: MobilityKind) -> Self {
         self.mobility = kind;
+        self
+    }
+
+    pub fn with_lease_ticks(mut self, n: usize) -> Self {
+        self.lease_ticks = n;
         self
     }
 
@@ -320,6 +344,36 @@ impl SimConfigBuilder {
         self
     }
 
+    /// Uplink drop probability ([0, 1]).
+    pub fn uplink_drop(mut self, p: f64) -> Self {
+        self.config.uplink_drop = p;
+        self
+    }
+
+    /// Downlink drop probability ([0, 1]).
+    pub fn downlink_drop(mut self, p: f64) -> Self {
+        self.config.downlink_drop = p;
+        self
+    }
+
+    /// Duplication probability for delivered messages ([0, 1]).
+    pub fn dup_rate(mut self, p: f64) -> Self {
+        self.config.dup_rate = p;
+        self
+    }
+
+    /// Fraction of objects given an offline window ([0, 1]).
+    pub fn churn_rate(mut self, p: f64) -> Self {
+        self.config.churn_rate = p;
+        self
+    }
+
+    /// Focal-object lease duration in ticks (0 = fault tolerance off).
+    pub fn lease_ticks(mut self, ticks: usize) -> Self {
+        self.config.lease_ticks = ticks;
+        self
+    }
+
     /// Validates and returns the configuration.
     pub fn build(self) -> Result<SimConfig, String> {
         // Written to reject NaN along with non-positive values.
@@ -363,6 +417,17 @@ impl SimConfigBuilder {
         }
         if c.focal_pool == Some(0) {
             return Err("focal_pool must be > 0 when set".to_string());
+        }
+        for (name, v) in [
+            ("uplink_drop", c.uplink_drop),
+            ("downlink_drop", c.downlink_drop),
+            ("dup_rate", c.dup_rate),
+            ("churn_rate", c.churn_rate),
+        ] {
+            // `!(..).contains()` also rejects NaN.
+            if !(0.0..=1.0).contains(&v) {
+                return Err(format!("{name} must be within [0, 1] (got {v})"));
+            }
         }
         Ok(c)
     }
@@ -444,6 +509,27 @@ mod tests {
         assert!(SimConfig::builder().time_step(0.0).build().is_err());
         assert!(SimConfig::builder().selectivity(1.5).build().is_err());
         assert!(SimConfig::builder().focal_pool(0).build().is_err());
+        assert!(SimConfig::builder().uplink_drop(1.5).build().is_err());
+        assert!(SimConfig::builder().downlink_drop(-0.1).build().is_err());
+        assert!(SimConfig::builder().dup_rate(f64::NAN).build().is_err());
+        assert!(SimConfig::builder().churn_rate(2.0).build().is_err());
+    }
+
+    #[test]
+    fn builder_accepts_fault_knobs() {
+        let c = SimConfig::builder()
+            .uplink_drop(0.3)
+            .downlink_drop(0.2)
+            .dup_rate(0.1)
+            .churn_rate(0.15)
+            .lease_ticks(6)
+            .build()
+            .unwrap();
+        assert_eq!(c.uplink_drop, 0.3);
+        assert_eq!(c.downlink_drop, 0.2);
+        assert_eq!(c.dup_rate, 0.1);
+        assert_eq!(c.churn_rate, 0.15);
+        assert_eq!(c.lease_ticks, 6);
     }
 
     #[test]

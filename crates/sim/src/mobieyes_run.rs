@@ -11,9 +11,9 @@ use mobieyes_core::{
     Downlink, Filter, MovingObjectAgent, ObjectId, Propagation, Properties, ProtocolConfig,
     QueryId, Server,
 };
-use mobieyes_geo::{Grid, QueryRegion};
-use mobieyes_net::{BaseStationLayout, NodeId, RadioModel};
-use mobieyes_telemetry::{Phase, Telemetry};
+use mobieyes_geo::{Grid, QueryRegion, Vec2};
+use mobieyes_net::{BaseStationLayout, ChurnPlan, FaultPlan, NodeId, RadioModel};
+use mobieyes_telemetry::{EventKind, Phase, Telemetry};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -54,6 +54,24 @@ pub struct MobiEyesSim {
     /// Per-shard metric accumulators the agents record into; drained and
     /// merged into the shared sink once per phase.
     shard_sinks: Vec<Telemetry>,
+    /// Deterministic object churn schedule (no-op by default). The
+    /// schedule is a pure function of `(seed, oid)`, so it is identical
+    /// at every thread count.
+    churn: ChurnPlan,
+    /// Tick at which the current churn plan was installed; the plan's
+    /// windows are relative to it.
+    churn_base: usize,
+    /// Per-agent offline state: `Some(fresh)` while disconnected, where
+    /// `fresh` says whether the rejoin loses local state (a crash).
+    offline: Vec<Option<bool>>,
+    /// Rejoins to perform this step (computed once per step, read by the
+    /// motion phase): `Some(fresh)` triggers the reconnect handshake.
+    rejoin_now: Vec<Option<bool>>,
+    /// Agents to skip entirely this step (offline).
+    skip_now: Vec<bool>,
+    /// When set, mobility is frozen: objects stop moving but the protocol
+    /// keeps running. Used to measure recovery convergence.
+    frozen: bool,
 }
 
 impl MobiEyesSim {
@@ -66,12 +84,17 @@ impl MobiEyesSim {
     pub fn with_telemetry(config: SimConfig, telemetry: Telemetry) -> Self {
         let workload = Workload::generate(&config);
         let grid = Grid::new(workload.universe, config.alpha);
+        // Lease durations are configured in ticks; heartbeats fire twice
+        // per lease so one lost beacon does not expire a healthy object.
+        let lease_secs = config.lease_ticks as f64 * config.time_step;
+        let heartbeat_secs = (config.lease_ticks / 2).max(1) as f64 * config.time_step;
         let pconf = Arc::new(
             ProtocolConfig::new(grid)
                 .with_propagation(config.propagation)
                 .with_grouping(config.grouping)
                 .with_safe_period(config.safe_period)
-                .with_delta(config.delta),
+                .with_delta(config.delta)
+                .with_lease(lease_secs, heartbeat_secs),
         );
         let layout = BaseStationLayout::new(workload.universe, config.alen);
         let mut net = Net::new(layout.clone()).with_telemetry(telemetry.clone());
@@ -125,7 +148,7 @@ impl MobiEyesSim {
             .map(|q| q.radius)
             .fold(1.0f64, f64::max);
         let truth = GroundTruth::new(&workload, max_radius.max(config.alpha)).with_threads(threads);
-        MobiEyesSim {
+        let mut sim = MobiEyesSim {
             config,
             workload,
             mobility,
@@ -141,7 +164,30 @@ impl MobiEyesSim {
             shard_chunk,
             shard_nets,
             shard_sinks,
+            churn: ChurnPlan::none(),
+            churn_base: 0,
+            offline: vec![None; n],
+            rejoin_now: vec![None; n],
+            skip_now: vec![false; n],
+            frozen: false,
+        };
+        // Fault knobs from the configuration apply for the whole run; the
+        // chaos harness installs sharper-edged plans via `set_churn`.
+        let c = &sim.config;
+        if c.uplink_drop > 0.0 || c.downlink_drop > 0.0 || c.dup_rate > 0.0 || c.churn_rate > 0.0 {
+            let fault_ticks = (c.warmup_ticks + c.ticks) as u64;
+            let plan = ChurnPlan::new(
+                c.uplink_drop,
+                c.dup_rate,
+                c.downlink_drop,
+                c.dup_rate,
+                c.churn_rate,
+                fault_ticks,
+                c.seed ^ 0xC4A0_5EED,
+            );
+            sim.set_churn(plan);
         }
+        sim
     }
 
     /// The shared instrumentation sink.
@@ -166,6 +212,82 @@ impl MobiEyesSim {
     /// failure-injection experiments.
     pub fn set_fault(&mut self, plan: mobieyes_net::FaultPlan) {
         self.net.set_fault(plan);
+    }
+
+    /// Installs a combined fault-and-churn plan: downlink and uplink
+    /// drop/duplication plus the plan's deterministic object
+    /// disconnect/reconnect/crash schedule. The schedule's windows are
+    /// relative to the current tick.
+    pub fn set_churn(&mut self, plan: ChurnPlan) {
+        self.net.set_fault(plan.downlink_fault());
+        self.net.set_uplink_fault(plan.uplink_fault());
+        self.churn_base = self.tick_index;
+        self.churn = plan;
+    }
+
+    /// Removes all fault injection (drops, duplicates and churn). Agents
+    /// still offline rejoin on the next step, so the system enters a
+    /// fault-free recovery phase immediately.
+    pub fn clear_faults(&mut self) {
+        self.net.set_fault(FaultPlan::none());
+        self.net.set_uplink_fault(FaultPlan::none());
+        self.churn = ChurnPlan::none();
+    }
+
+    /// Freezes (or unfreezes) mobility: objects stop moving but the
+    /// protocol keeps running. Convergence measurements use this to hold
+    /// the ground truth still while the protocol repairs itself.
+    /// Freezing also zeroes the velocities agents report, so advertised
+    /// dead-reckoning motion settles onto the frozen true positions and
+    /// exact convergence is reachable.
+    pub fn freeze(&mut self, frozen: bool) {
+        self.frozen = frozen;
+        if frozen {
+            for v in &mut self.mobility.velocities {
+                *v = Vec2::new(0.0, 0.0);
+            }
+        }
+    }
+
+    /// Whether agent `i` is currently disconnected by the churn plan.
+    pub fn agent_offline(&self, i: usize) -> bool {
+        self.offline[i].is_some()
+    }
+
+    /// Computes this step's offline/rejoin sets from the churn schedule.
+    /// Transitions are driven by the plan's per-object windows; an object
+    /// still offline when the plan is cleared rejoins on the next step
+    /// with the crash flag captured at disconnect time.
+    fn apply_churn(&mut self) {
+        let any_offline = self.offline.iter().any(|o| o.is_some());
+        if !self.churn.has_churn() && !any_offline {
+            // Clear rejoin flags left over from the final reconnect step.
+            if self.rejoin_now.iter().any(|r| r.is_some()) {
+                self.rejoin_now.iter_mut().for_each(|r| *r = None);
+                self.skip_now.iter_mut().for_each(|s| *s = false);
+            }
+            return;
+        }
+        let rel = (self.tick_index - self.churn_base) as u64;
+        for i in 0..self.agents.len() {
+            self.rejoin_now[i] = None;
+            let oid = i as u32;
+            let want_off = self.churn.is_offline(rel, oid);
+            if want_off && self.offline[i].is_none() {
+                self.offline[i] = Some(self.churn.crashes(oid));
+                self.telemetry
+                    .event(EventKind::ObjectOffline { oid: oid as u64 });
+            } else if !want_off {
+                if let Some(fresh) = self.offline[i].take() {
+                    self.telemetry.event(EventKind::ObjectOnline {
+                        oid: oid as u64,
+                        fresh: fresh as u64,
+                    });
+                    self.rejoin_now[i] = Some(fresh);
+                }
+            }
+            self.skip_now[i] = self.offline[i].is_some();
+        }
     }
 
     pub fn query_ids(&self) -> &[QueryId] {
@@ -193,8 +315,16 @@ impl MobiEyesSim {
         }
         {
             let _span = self.telemetry.span(Phase::Mobility);
-            self.mobility.step();
+            if !self.frozen {
+                self.mobility.step();
+            }
         }
+
+        // Reconcile the churn schedule: take objects offline, flag the
+        // rejoins the motion phase must perform. Runs in ascending object
+        // order on the coordinator, so events and the resulting Resync
+        // uplinks are deterministic at any thread count.
+        self.apply_churn();
 
         // Phase A: motion reports.
         {
@@ -202,6 +332,12 @@ impl MobiEyesSim {
             self.run_motion_phase(t);
             self.merge_shards();
         }
+
+        // Periodic fault-tolerance duties (no-op unless leases are on):
+        // lease expiry, pending-install retries, epoch digest beacon. Runs
+        // before mediation so the beacon's digest describes the same state
+        // the tick's other broadcasts start from.
+        self.server.heartbeat(t, &mut self.net);
 
         // Server mediation (profiled: the Figure 1/3 server-load metric).
         {
@@ -243,10 +379,16 @@ impl MobiEyesSim {
         let chunk = self.shard_chunk;
         let positions = &self.mobility.positions;
         let velocities = &self.mobility.velocities;
+        let rejoin = &self.rejoin_now;
+        let skip = &self.skip_now;
         if self.shard_nets.len() <= 1 {
             let net = &mut self.shard_nets[0];
             for (i, agent) in self.agents.iter_mut().enumerate() {
-                agent.tick_motion(t, positions[i], velocities[i], net);
+                match rejoin[i] {
+                    Some(fresh) => agent.reconnect(t, positions[i], velocities[i], fresh, net),
+                    None if skip[i] => {}
+                    None => agent.tick_motion(t, positions[i], velocities[i], net),
+                }
             }
             return;
         }
@@ -261,7 +403,13 @@ impl MobiEyesSim {
                 s.spawn(move || {
                     for (off, agent) in agents.iter_mut().enumerate() {
                         let i = base + off;
-                        agent.tick_motion(t, positions[i], velocities[i], net);
+                        match rejoin[i] {
+                            Some(fresh) => {
+                                agent.reconnect(t, positions[i], velocities[i], fresh, net)
+                            }
+                            None if skip[i] => {}
+                            None => agent.tick_motion(t, positions[i], velocities[i], net),
+                        }
                     }
                 });
             }
@@ -277,8 +425,14 @@ impl MobiEyesSim {
     /// scope ends.
     fn run_process_phase(&mut self, t: f64) {
         let chunk = self.shard_chunk;
-        if self.shard_nets.len() <= 1 || !self.net.fault().is_noop() {
+        if self.shard_nets.len() <= 1 || !self.net.fault().is_noop() || self.churn.has_churn() {
             for i in 0..self.agents.len() {
+                if self.skip_now[i] {
+                    // Offline: the radio is off; pending downlinks stay
+                    // queued in the network and lapse at `end_tick`
+                    // (closed-loop delivery semantics, same as a drop).
+                    continue;
+                }
                 self.inbox.clear();
                 let pos = self.mobility.positions[i];
                 self.net.deliver(NodeId(i as u32), pos, &mut self.inbox);

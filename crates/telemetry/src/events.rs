@@ -35,6 +35,15 @@ pub enum EventKind {
     MessageDropped { oid: u64 },
     /// The fault plan duplicated a message addressed to `oid`.
     MessageDuplicated { oid: u64 },
+    /// A focal object's lease expired; its queries were torn down and
+    /// re-announced.
+    LeaseExpired { oid: u64 },
+    /// The churn plan took an object offline.
+    ObjectOffline { oid: u64 },
+    /// The churn plan brought an object back online. `fresh` is 1 when
+    /// the object crashed (lost its local state) rather than merely
+    /// disconnecting.
+    ObjectOnline { oid: u64, fresh: u64 },
 }
 
 impl EventKind {
@@ -49,6 +58,9 @@ impl EventKind {
             EventKind::BroadcastFanout { .. } => "broadcast_fanout",
             EventKind::MessageDropped { .. } => "message_dropped",
             EventKind::MessageDuplicated { .. } => "message_duplicated",
+            EventKind::LeaseExpired { .. } => "lease_expired",
+            EventKind::ObjectOffline { .. } => "object_offline",
+            EventKind::ObjectOnline { .. } => "object_online",
         }
     }
 
@@ -63,6 +75,9 @@ impl EventKind {
             EventKind::BroadcastFanout { stations } => vec![("stations", stations)],
             EventKind::MessageDropped { oid } => vec![("oid", oid)],
             EventKind::MessageDuplicated { oid } => vec![("oid", oid)],
+            EventKind::LeaseExpired { oid } => vec![("oid", oid)],
+            EventKind::ObjectOffline { oid } => vec![("oid", oid)],
+            EventKind::ObjectOnline { oid, fresh } => vec![("oid", oid), ("fresh", fresh)],
         }
     }
 
@@ -97,6 +112,12 @@ impl EventKind {
             },
             "message_dropped" => EventKind::MessageDropped { oid: get("oid")? },
             "message_duplicated" => EventKind::MessageDuplicated { oid: get("oid")? },
+            "lease_expired" => EventKind::LeaseExpired { oid: get("oid")? },
+            "object_offline" => EventKind::ObjectOffline { oid: get("oid")? },
+            "object_online" => EventKind::ObjectOnline {
+                oid: get("oid")?,
+                fresh: get("fresh")?,
+            },
             _ => return None,
         })
     }
@@ -280,6 +301,9 @@ mod tests {
             EventKind::BroadcastFanout { stations: 7 },
             EventKind::MessageDropped { oid: 8 },
             EventKind::MessageDuplicated { oid: 9 },
+            EventKind::LeaseExpired { oid: 10 },
+            EventKind::ObjectOffline { oid: 11 },
+            EventKind::ObjectOnline { oid: 12, fresh: 1 },
         ];
         for kind in kinds {
             let fields: Vec<(String, u64)> = kind

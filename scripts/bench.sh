@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
-# Sequential-vs-parallel tick-engine benchmark: runs the in-tree harness
-# (crates/bench/src/bin/parallel.rs) over both engines — the sequential
-# engine is the 1-thread point, the parallel engine the 2- and 4-thread
-# points — and writes BENCH_parallel.json at the repository root.
+# In-tree benchmark harnesses:
+#  - crates/bench/src/bin/parallel.rs: sequential-vs-parallel tick engine
+#    (the sequential engine is the 1-thread point) -> BENCH_parallel.json
+#  - crates/bench/src/bin/chaos.rs: chaos-recovery latency percentiles
+#    under faults + churn -> BENCH_chaos.json
+# Both JSON files land at the repository root.
 #
 # Run from the repository root: ./scripts/bench.sh
 # Set MOBIEYES_QUICK=1 for a ~10x smaller smoke run.
@@ -10,3 +12,4 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo run --release -p mobieyes-bench --bin parallel
+cargo run --release -p mobieyes-bench --bin chaos

@@ -19,4 +19,23 @@ MOBIEYES_THREADS=1 cargo test -q --workspace
 echo "==> cargo test -q (MOBIEYES_THREADS=4)"
 MOBIEYES_THREADS=4 cargo test -q --workspace
 
+echo "==> chaos smoke (seq/parallel equivalence + convergence)"
+# The chaos-recovery bench is fully deterministic; the same scenario must
+# produce byte-identical results and telemetry at 1 and 4 worker threads,
+# and every seed must converge back to exact ground truth (the bench caps
+# recovery at the documented contract bound, so a non-converging seed
+# shows up as recovery_ticks == contract_bound_ticks).
+chaos_out_1=$(mktemp) && chaos_out_4=$(mktemp)
+trap 'rm -f "$chaos_out_1" "$chaos_out_4"' EXIT
+MOBIEYES_QUICK=1 MOBIEYES_THREADS=1 cargo run -q --release -p mobieyes-bench --bin chaos
+mv BENCH_chaos.json "$chaos_out_1"
+MOBIEYES_QUICK=1 MOBIEYES_THREADS=4 cargo run -q --release -p mobieyes-bench --bin chaos
+mv BENCH_chaos.json "$chaos_out_4"
+diff "$chaos_out_1" "$chaos_out_4" \
+  || { echo "chaos smoke: thread counts disagree"; exit 1; }
+bound=$(grep -o '"contract_bound_ticks": [0-9]*' "$chaos_out_1" | grep -o '[0-9]*')
+if grep -q "\"recovery_ticks\": $bound[,}]" "$chaos_out_1"; then
+  echo "chaos smoke: a seed failed to converge within $bound ticks"; exit 1
+fi
+
 echo "All checks passed."

@@ -38,6 +38,12 @@ OPTIONS:
     --threads <N>      tick-engine worker threads; 0 = auto from
                        MOBIEYES_THREADS or the host CPU count [default: 0]
     --seed <N>         RNG seed
+    --uplink-drop <P>  uplink message drop probability (0..=1)   [default: 0]
+    --downlink-drop <P> downlink message drop probability (0..=1) [default: 0]
+    --dup-rate <P>     message duplication probability (0..=1)   [default: 0]
+    --churn-rate <P>   fraction of objects that disconnect (0..=1) [default: 0]
+    --lease-ticks <N>  focal-object lease duration in ticks; 0 disables
+                       the fault-tolerance layer             [default: 0]
     --metrics-out <P>  write the telemetry snapshot (phase timings,
                        message counters, query lifecycle events) to P;
                        .csv extension selects CSV, anything else JSON
@@ -94,6 +100,15 @@ fn parse_args() -> Result<Cli, String> {
             }
             "--threads" => builder = builder.threads(parse(&value("--threads")?)?),
             "--seed" => builder = builder.seed(parse(&value("--seed")?)?),
+            "--uplink-drop" => {
+                builder = builder.uplink_drop(parse(&value("--uplink-drop")?)?);
+            }
+            "--downlink-drop" => {
+                builder = builder.downlink_drop(parse(&value("--downlink-drop")?)?);
+            }
+            "--dup-rate" => builder = builder.dup_rate(parse(&value("--dup-rate")?)?),
+            "--churn-rate" => builder = builder.churn_rate(parse(&value("--churn-rate")?)?),
+            "--lease-ticks" => builder = builder.lease_ticks(parse(&value("--lease-ticks")?)?),
             "--grouping" => builder = builder.grouping(true),
             "--safe-period" => builder = builder.safe_period(true),
             "--metrics-out" => metrics_out = Some(value("--metrics-out")?),
