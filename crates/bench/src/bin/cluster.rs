@@ -1,0 +1,222 @@
+//! Cluster-scaling benchmark: runs the same deployment over 1, 2, 4 and 8
+//! grid-sharded server partitions and records how the server-side load —
+//! uplinks handled per partition and resident SQT entries — divides as the
+//! partition count grows, plus the inter-server bus traffic that sharding
+//! introduces (focal migrations and remote-region stub synchronization).
+//!
+//! Every partition count is also checked against the single-server run:
+//! per-query results must be identical and the protocol telemetry must
+//! compare equal under `MetricsSnapshot::protocol_eq`, so the bench doubles
+//! as an end-to-end equivalence gate. Fully deterministic: the same seeds
+//! produce the same JSON on every host and at every `MOBIEYES_THREADS`
+//! setting. Writes `BENCH_cluster.json`. Set `MOBIEYES_QUICK=1` for a
+//! smaller smoke run.
+
+use mobieyes_core::ObjectId;
+use mobieyes_sim::{ClusterSim, SimConfig};
+use mobieyes_telemetry::MetricsSnapshot;
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+const PARTITIONS: &[usize] = &[1, 2, 4, 8];
+const WARMUP: usize = 4;
+
+struct Load {
+    uplinks_handled: u64,
+    sqt_entries: usize,
+    stub_entries: usize,
+}
+
+struct Run {
+    results: Vec<BTreeSet<ObjectId>>,
+    snapshot: MetricsSnapshot,
+    per_partition: Vec<Load>,
+    bus_msgs: u64,
+    bus_bytes: u64,
+}
+
+fn run_one(config: &SimConfig, partitions: usize, ticks: usize) -> Run {
+    let mut sim = ClusterSim::new(config.clone(), partitions);
+    // Manual stepping without the post-warmup reset: uplink totals then
+    // cover the whole run, matching the per-partition op counters.
+    for _ in 0..WARMUP {
+        sim.step(false);
+    }
+    for _ in 0..ticks {
+        sim.step(true);
+    }
+    let results = sim
+        .query_ids()
+        .iter()
+        .map(|&q| sim.query_result(q).cloned().unwrap_or_default())
+        .collect();
+    let snapshot = sim.telemetry().snapshot();
+    let (per_partition, bus_msgs, bus_bytes) = match sim.cluster() {
+        Some(c) => {
+            let loads = (0..partitions)
+                .map(|p| Load {
+                    uplinks_handled: c.partition_ops(p),
+                    sqt_entries: c.partition(p).num_queries(),
+                    stub_entries: c.partition(p).num_stubs(),
+                })
+                .collect();
+            let meter = c.bus_meter();
+            (loads, meter.total_msgs(), meter.total_bytes())
+        }
+        None => (
+            vec![Load {
+                uplinks_handled: snapshot.counter("srv.uplinks_processed"),
+                sqt_entries: sim.sim().server().num_queries(),
+                stub_entries: 0,
+            }],
+            0,
+            0,
+        ),
+    };
+    Run {
+        results,
+        snapshot,
+        per_partition,
+        bus_msgs,
+        bus_bytes,
+    }
+}
+
+fn main() {
+    let quick = mobieyes_bench::quick();
+    let (config, ticks) = if quick {
+        (SimConfig::small_test(701), 10)
+    } else {
+        (
+            SimConfig::small_test(701)
+                .with_objects(2000)
+                .with_queries(200)
+                .with_nmo(200),
+            20,
+        )
+    };
+    eprintln!(
+        "cluster-scaling bench: {} objects, {} queries, {} ticks, partitions {PARTITIONS:?}",
+        config.num_objects, config.num_queries, ticks
+    );
+
+    let runs: Vec<Run> = PARTITIONS
+        .iter()
+        .map(|&n| run_one(&config, n, ticks))
+        .collect();
+    let reference = &runs[0];
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"cluster-scaling\",");
+    let _ = writeln!(json, "  {},", mobieyes_bench::host_fields());
+    let _ = writeln!(
+        json,
+        "  \"config\": {{ \"objects\": {}, \"queries\": {}, \"ticks\": {ticks}, \
+         \"warmup\": {WARMUP}, \"seed\": {}, \"quick\": {quick} }},",
+        config.num_objects, config.num_queries, config.seed
+    );
+    let _ = writeln!(
+        json,
+        "  \"note\": \"uplinks_handled counts the uplinks a partition processed as primary over \
+         the whole run; sqt/stub entries are resident table sizes at the end; every partition \
+         count is asserted byte-identical (results + protocol telemetry) to n = 1\","
+    );
+    let _ = writeln!(json, "  \"partitions\": [");
+    for (i, (&n, run)) in PARTITIONS.iter().zip(&runs).enumerate() {
+        // Equivalence gate: results and protocol telemetry must match the
+        // single-server reference exactly.
+        assert_eq!(
+            reference.results, run.results,
+            "query results diverged at {n} partitions"
+        );
+        assert!(
+            reference.snapshot.protocol_eq(&run.snapshot),
+            "protocol telemetry diverged at {n} partitions"
+        );
+        let max_uplinks = run
+            .per_partition
+            .iter()
+            .map(|l| l.uplinks_handled)
+            .max()
+            .unwrap_or(0);
+        let max_sqt = run
+            .per_partition
+            .iter()
+            .map(|l| l.sqt_entries)
+            .max()
+            .unwrap_or(0);
+        println!(
+            "n={n}: max uplinks/partition {max_uplinks}, max SQT entries {max_sqt}, \
+             bus {} msgs / {} bytes",
+            run.bus_msgs, run.bus_bytes
+        );
+        let _ = writeln!(json, "    {{ \"n\": {n},");
+        let _ = writeln!(
+            json,
+            "      \"max_uplinks_handled\": {max_uplinks}, \"max_sqt_entries\": {max_sqt},"
+        );
+        let _ = writeln!(
+            json,
+            "      \"bus_msgs\": {}, \"bus_bytes\": {},",
+            run.bus_msgs, run.bus_bytes
+        );
+        let _ = writeln!(json, "      \"per_partition\": [");
+        for (p, l) in run.per_partition.iter().enumerate() {
+            let _ = writeln!(
+                json,
+                "        {{ \"partition\": {p}, \"uplinks_handled\": {}, \"sqt_entries\": {}, \
+                 \"stub_entries\": {} }}{}",
+                l.uplinks_handled,
+                l.sqt_entries,
+                l.stub_entries,
+                if p + 1 == run.per_partition.len() {
+                    ""
+                } else {
+                    ","
+                }
+            );
+        }
+        let _ = writeln!(json, "      ]");
+        let _ = writeln!(
+            json,
+            "    }}{}",
+            if i + 1 == PARTITIONS.len() { "" } else { "," }
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+
+    // The point of sharding: per-partition load must actually divide.
+    let max_load = |run: &Run| {
+        run.per_partition
+            .iter()
+            .map(|l| l.uplinks_handled)
+            .max()
+            .unwrap_or(0)
+    };
+    let max_sqt = |run: &Run| {
+        run.per_partition
+            .iter()
+            .map(|l| l.sqt_entries)
+            .max()
+            .unwrap_or(0)
+    };
+    let single = &runs[0];
+    let widest = runs.last().expect("at least one partition count");
+    assert!(
+        max_load(widest) < max_load(single),
+        "per-partition uplink load must decrease with the partition count \
+         ({} at n={} vs {} at n=1)",
+        max_load(widest),
+        PARTITIONS.last().unwrap(),
+        max_load(single)
+    );
+    assert!(
+        max_sqt(widest) < max_sqt(single),
+        "per-partition SQT residency must decrease with the partition count"
+    );
+
+    std::fs::write("BENCH_cluster.json", &json).expect("write BENCH_cluster.json");
+    eprintln!("wrote BENCH_cluster.json");
+}

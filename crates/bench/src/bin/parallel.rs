@@ -72,6 +72,7 @@ fn main() {
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(json, "  \"bench\": \"parallel-tick-engine\",");
+    let _ = writeln!(json, "  {},", mobieyes_bench::host_fields());
     let _ = writeln!(
         json,
         "  \"config\": {{ \"objects\": {}, \"queries\": {}, \"measured_ticks\": {}, \"warmup_ticks\": {}, \"quick\": {} }},",

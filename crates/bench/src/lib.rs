@@ -23,6 +23,18 @@ pub fn quick() -> bool {
         .unwrap_or(false)
 }
 
+/// Host-provenance JSON fields every `BENCH_*.json` embeds: the machine's
+/// core count and the `MOBIEYES_THREADS` setting the run used (`"auto"`
+/// when unset). Returned as a fragment — `"host_cores": 8,
+/// "mobieyes_threads": "4"` — for splicing into a JSON object.
+pub fn host_fields() -> String {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let threads = std::env::var("MOBIEYES_THREADS").unwrap_or_else(|_| "auto".to_string());
+    format!("\"host_cores\": {cores}, \"mobieyes_threads\": \"{threads}\"")
+}
+
 /// Applies quick-mode scaling to a configuration produced by a sweep. The
 /// object/query counts and the area shrink together so densities (and thus
 /// the figure shapes) are preserved.

@@ -1,0 +1,622 @@
+//! The cluster coordinator: N partition-scoped [`Server`]s behind the
+//! single-server API.
+//!
+//! The coordinator decomposes every uplink into the same primitive
+//! operations the single server performs — executed at the partitions
+//! owning the affected state, in the same global order — and pumps the
+//! inter-server bus between operations so cross-partition state (RQI
+//! stubs, migrated FOT/SQT rows) is in place before the next operation
+//! reads it. That discipline is what makes an N-partition run
+//! byte-identical to the single server: same downlink byte stream on the
+//! shared agent network, same counters (summed across the per-partition
+//! sinks), same event log.
+
+use crate::partition::{PartitionMap, Router};
+use mobieyes_core::server::{srv_keys, Net};
+use mobieyes_core::{
+    ClusterMsg, Downlink, Filter, ObjectId, PartitionScope, ProtocolConfig, QueryId, Server, Uplink,
+};
+use mobieyes_geo::{CellId, LinearMotion, QueryRegion};
+use mobieyes_net::{BaseStationLayout, FaultPlan, MessageMeter, NetworkSim, NodeId, WireSized};
+use mobieyes_telemetry::{EventKind, Telemetry};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+
+/// One bus frame: an inter-server message plus its destination partition.
+#[derive(Debug, Clone)]
+pub struct Envelope {
+    pub to: u32,
+    pub msg: ClusterMsg,
+}
+
+impl WireSized for Envelope {
+    fn wire_size(&self) -> usize {
+        4 + self.msg.wire_size()
+    }
+}
+
+/// The server↔server link substrate: the same deterministic [`NetworkSim`]
+/// the agents use, so `FaultPlan` drop/duplication applies to handoff
+/// traffic too. Only the uplink path is used (partitions are peers; there
+/// is no broadcast tier between them).
+pub type Bus = NetworkSim<Envelope, Envelope>;
+
+/// A deferred install owned by the coordinator (the single server keeps
+/// these per-focal on its own pending table).
+#[derive(Debug)]
+struct PendingInstall {
+    qid: QueryId,
+    region: QueryRegion,
+    filter: Arc<Filter>,
+    expires_at: Option<f64>,
+}
+
+/// Grid-sharded MobiEyes server tier.
+///
+/// Mirrors the [`Server`] driver surface (`install_query`, `heartbeat`,
+/// `tick`, `query_result`, …) so simulation drivers can swap it in behind
+/// a `--partitions N` knob.
+pub struct ClusterServer {
+    config: Arc<ProtocolConfig>,
+    map: PartitionMap,
+    partitions: Vec<Server>,
+    /// Per-partition telemetry sinks, drained into the shared protocol
+    /// sink in partition order after every coordinator entry point.
+    sinks: Vec<Telemetry>,
+    /// The shared protocol sink (the one the agent network records into).
+    shared: Telemetry,
+    bus: Bus,
+    /// The bus records into its own sink so cluster-transport metrics
+    /// never leak into the protocol snapshot (which must compare equal
+    /// across partition counts).
+    bus_sink: Telemetry,
+    pending: BTreeMap<ObjectId, Vec<PendingInstall>>,
+    next_qid: u32,
+    now: f64,
+    last_heartbeat: f64,
+    /// Per-partition count of uplinks handled as primary (scaling bench).
+    ops: Vec<u64>,
+}
+
+impl ClusterServer {
+    pub fn new(config: Arc<ProtocolConfig>, n: usize, shared: Telemetry) -> Self {
+        let map = PartitionMap::contiguous(&config.grid, n);
+        let epoch = Arc::new(AtomicU64::new(0));
+        let sinks: Vec<Telemetry> = (0..n).map(|_| Telemetry::new()).collect();
+        let partitions: Vec<Server> = (0..n)
+            .map(|p| {
+                Server::new(Arc::clone(&config))
+                    .with_telemetry(sinks[p].clone())
+                    .with_scope(PartitionScope::new(
+                        p as u32,
+                        Arc::clone(map.bounds()),
+                        Arc::clone(&epoch),
+                    ))
+            })
+            .collect();
+        let bus_sink = Telemetry::new();
+        let bus = Bus::new(BaseStationLayout::new(
+            config.grid.universe,
+            config.grid.alpha,
+        ))
+        .with_telemetry(bus_sink.clone());
+        ClusterServer {
+            config,
+            map,
+            partitions,
+            sinks,
+            shared,
+            bus,
+            bus_sink,
+            pending: BTreeMap::new(),
+            next_qid: 0,
+            now: 0.0,
+            last_heartbeat: f64::NEG_INFINITY,
+            ops: vec![0; n],
+        }
+    }
+
+    pub fn config(&self) -> &ProtocolConfig {
+        &self.config
+    }
+
+    pub fn num_partitions(&self) -> usize {
+        self.partitions.len()
+    }
+
+    pub fn partition(&self, p: usize) -> &Server {
+        &self.partitions[p]
+    }
+
+    pub fn partition_map(&self) -> &PartitionMap {
+        &self.map
+    }
+
+    /// Message-bus traffic meter (handoff + stub synchronization).
+    pub fn bus_meter(&self) -> MessageMeter {
+        self.bus.meter()
+    }
+
+    /// The bus's private telemetry sink (fault events, byte counters).
+    pub fn bus_telemetry(&self) -> &Telemetry {
+        &self.bus_sink
+    }
+
+    /// Injects a fault plan on the server↔server links: handoff and stub
+    /// traffic gets dropped/duplicated like any other message.
+    pub fn set_bus_fault(&mut self, plan: FaultPlan) {
+        self.bus.set_uplink_fault(plan);
+    }
+
+    /// Uplinks handled with partition `p` as primary (scaling bench).
+    pub fn partition_ops(&self, p: usize) -> u64 {
+        self.ops[p]
+    }
+
+    pub fn current_epoch(&self) -> u64 {
+        self.partitions[0].current_epoch()
+    }
+
+    pub fn num_queries(&self) -> usize {
+        self.partitions.iter().map(|s| s.num_queries()).sum()
+    }
+
+    /// All installed query ids, ascending (merged across partitions).
+    pub fn query_ids(&self) -> Vec<QueryId> {
+        let mut ids: Vec<QueryId> = self.partitions.iter().flat_map(|s| s.query_ids()).collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Current result set of a query, wherever it is homed.
+    pub fn query_result(&self, qid: QueryId) -> Option<&BTreeSet<ObjectId>> {
+        self.partitions.iter().find_map(|s| s.query_result(qid))
+    }
+
+    pub fn query_focal(&self, qid: QueryId) -> Option<ObjectId> {
+        self.partitions.iter().find_map(|s| s.query_focal(qid))
+    }
+
+    /// The partition currently holding the FOT row of `oid` (its home).
+    fn find_focal(&self, oid: ObjectId) -> Option<usize> {
+        self.partitions.iter().position(|s| s.has_focal(oid))
+    }
+
+    /// The partition currently homing query `qid`.
+    fn find_query(&self, qid: QueryId) -> Option<usize> {
+        self.partitions.iter().position(|s| s.has_query(qid))
+    }
+
+    /// Drains every partition's outbox onto the bus (partition order) and
+    /// applies the surviving frames. Called after every primitive
+    /// operation so cross-partition state is in place before the next
+    /// operation reads it. Message applications never emit follow-ups, so
+    /// one round drains the system.
+    fn pump_bus(&mut self) {
+        for p in 0..self.partitions.len() {
+            for (to, msg) in self.partitions[p].take_outbox() {
+                self.bus.send_uplink(NodeId(p as u32), Envelope { to, msg });
+            }
+        }
+        for (_, env) in self.bus.drain_uplinks() {
+            self.partitions[env.to as usize].apply_cluster_msg(&env.msg);
+        }
+        debug_assert!(self
+            .partitions
+            .iter_mut()
+            .all(|s| s.take_outbox().is_empty()));
+    }
+
+    /// Folds the per-partition sinks into the shared protocol sink, in
+    /// partition order.
+    fn merge_sinks(&mut self) {
+        for s in &self.sinks {
+            self.shared.merge_registry(&s.drain());
+        }
+    }
+
+    pub fn install_query(
+        &mut self,
+        focal: ObjectId,
+        region: QueryRegion,
+        filter: Filter,
+        net: &mut Net,
+    ) -> QueryId {
+        self.install_query_with_lifetime(focal, region, filter, None, net)
+    }
+
+    pub fn install_query_with_lifetime(
+        &mut self,
+        focal: ObjectId,
+        region: QueryRegion,
+        filter: Filter,
+        expires_at: Option<f64>,
+        net: &mut Net,
+    ) -> QueryId {
+        let qid = QueryId(self.next_qid);
+        self.next_qid += 1;
+        let filter = Arc::new(filter);
+        if let Some(home) = self.find_focal(focal) {
+            self.partitions[home].complete_install_at(qid, focal, region, filter, expires_at, net);
+            self.pump_bus();
+        } else {
+            let q = self.pending.entry(focal).or_default();
+            let first = q.is_empty();
+            q.push(PendingInstall {
+                qid,
+                region,
+                filter,
+                expires_at,
+            });
+            if first {
+                self.sinks[0].incr(srv_keys::UNICAST_OPS);
+                net.send_unicast(focal.node(), Downlink::PositionRequest);
+            }
+        }
+        self.merge_sinks();
+        qid
+    }
+
+    /// Removes a query from the system, wherever it is homed.
+    pub fn remove_query(&mut self, qid: QueryId, net: &mut Net) -> bool {
+        let Some(home) = self.find_query(qid) else {
+            return false;
+        };
+        let removed = self.partitions[home].remove_query(qid, net);
+        self.pump_bus();
+        self.merge_sinks();
+        removed
+    }
+
+    /// Removes every query whose lifetime has ended; ascending query-id
+    /// order across all partitions, like the single server's SQT scan.
+    pub fn expire_queries(&mut self, now: f64, net: &mut Net) -> Vec<QueryId> {
+        let mut expired: Vec<(usize, QueryId)> = Vec::new();
+        for (p, s) in self.partitions.iter().enumerate() {
+            expired.extend(s.expired_query_ids(now).into_iter().map(|q| (p, q)));
+        }
+        expired.sort_unstable_by_key(|&(_, q)| q);
+        let mut out = Vec::with_capacity(expired.len());
+        for (home, qid) in expired {
+            self.sinks[home].event(EventKind::QueryExpired { qid: qid.0 as u64 });
+            self.partitions[home].remove_query(qid, net);
+            self.pump_bus();
+            out.push(qid);
+        }
+        self.merge_sinks();
+        out
+    }
+
+    /// Periodic fault-tolerance duties; mirrors [`Server::heartbeat`]
+    /// with the lease table sharded across partitions (expiry runs in
+    /// ascending object order merged across them) and the digest beacon
+    /// concatenating per-partition digests in partition order — exactly
+    /// the single server's ascending-flat-index scan.
+    pub fn heartbeat(&mut self, now: f64, net: &mut Net) {
+        self.now = now;
+        for (p, s) in self.partitions.iter_mut().enumerate() {
+            s.set_time(now);
+            self.sinks[p].set_now(now);
+        }
+        if !self.config.fault_tolerant() || now - self.last_heartbeat < self.config.heartbeat_secs {
+            self.merge_sinks();
+            return;
+        }
+        self.last_heartbeat = now;
+        self.sinks[0].incr(srv_keys::HEARTBEATS);
+
+        // (1) Lease expiry, ascending object id across all partitions.
+        let mut expired: Vec<(usize, ObjectId, Vec<QueryId>)> = Vec::new();
+        for (p, s) in self.partitions.iter().enumerate() {
+            expired.extend(s.expired_leases().into_iter().map(|(o, q)| (p, o, q)));
+        }
+        expired.sort_unstable_by_key(|&(_, oid, _)| oid);
+        for (home, oid, qids) in expired {
+            self.sinks[home].incr(srv_keys::LEASES_EXPIRED);
+            self.sinks[home].event(EventKind::LeaseExpired { oid: oid.0 as u64 });
+            for qid in qids {
+                let (region, filter, expires_at) = self.partitions[home]
+                    .reinstall_info(qid)
+                    .expect("leased query in SQT");
+                self.partitions[home].remove_query(qid, net);
+                self.pump_bus();
+                self.pending.entry(oid).or_default().push(PendingInstall {
+                    qid,
+                    region,
+                    filter,
+                    expires_at,
+                });
+            }
+        }
+
+        // (2) Retry pending installs.
+        let waiting: Vec<ObjectId> = self.pending.keys().copied().collect();
+        for oid in waiting {
+            self.sinks[0].incr(srv_keys::UNICAST_OPS);
+            net.send_unicast(oid.node(), Downlink::PositionRequest);
+        }
+
+        // (3) Digest beacon over the shared epoch (partitions share the
+        // sequencer, so bumping through partition 0 is global).
+        let epoch = self.bump_shared_epoch();
+        let mut cell_digests = Vec::new();
+        for s in &self.partitions {
+            cell_digests.extend(s.digest_cells());
+        }
+        let sent = net.broadcast_all(Downlink::Heartbeat {
+            epoch,
+            cell_digests,
+        });
+        self.sinks[0].add(srv_keys::BROADCAST_OPS, sent as u64);
+        self.merge_sinks();
+    }
+
+    fn bump_shared_epoch(&mut self) -> u64 {
+        self.partitions[0].bump_epoch_for_coordinator()
+    }
+
+    /// Drains and processes all pending uplink messages. Call once per
+    /// tick — the shared agent network carries exactly the same uplink
+    /// stream, in the same order, as a single-server deployment.
+    pub fn tick(&mut self, net: &mut Net) {
+        let uplinks = net.drain_uplinks();
+        for (from, msg) in uplinks {
+            self.handle_uplink(from, msg, net);
+        }
+        self.merge_sinks();
+    }
+
+    /// Processes one uplink, decomposed into owner-partition primitives.
+    pub fn handle_uplink(&mut self, from: NodeId, msg: Uplink, net: &mut Net) {
+        let grid = &self.config.grid;
+        let primary = Router::primary(&self.map, grid, &msg)
+            .map(|p| p as usize)
+            .or_else(|| match &msg {
+                Uplink::ResultUpdate { changes, .. } => {
+                    changes.first().and_then(|(q, _)| self.find_query(*q))
+                }
+                Uplink::GroupResultUpdate { focal, .. } => self.find_focal(*focal),
+                _ => None,
+            })
+            .unwrap_or(0);
+        self.ops[primary] += 1;
+        self.sinks[primary].incr(srv_keys::UPLINKS);
+        // Any uplink from a focal object renews its lease, wherever the
+        // FOT row is homed.
+        for s in self.partitions.iter_mut() {
+            s.renew_lease(ObjectId(from.0));
+        }
+        match msg {
+            Uplink::VelocityReport { oid, motion } => {
+                debug_assert_eq!(from.0, oid.0);
+                let target = self.find_focal(oid).unwrap_or(primary);
+                self.partitions[target].on_velocity_report(oid, motion, net);
+                self.pump_bus();
+            }
+            Uplink::CellChange {
+                oid,
+                prev_cell,
+                new_cell,
+                motion,
+            } => {
+                self.sinks[primary].incr(srv_keys::CELL_CHANGES);
+                self.cell_change(oid, prev_cell, new_cell, motion, net);
+            }
+            Uplink::ResultUpdate { oid, changes } => {
+                self.sinks[primary].incr(srv_keys::RESULT_UPDATES);
+                for (qid, is_target) in changes {
+                    if let Some(home) = self.find_query(qid) {
+                        self.partitions[home].apply_result_change(qid, oid, is_target, net);
+                    }
+                }
+            }
+            Uplink::GroupResultUpdate {
+                oid,
+                focal,
+                mask,
+                targets,
+            } => {
+                self.sinks[primary].incr(srv_keys::RESULT_UPDATES);
+                if let Some(home) = self.find_focal(focal) {
+                    self.partitions[home].apply_group_result_update(oid, focal, mask, targets, net);
+                }
+            }
+            Uplink::PositionReply {
+                oid,
+                motion,
+                max_vel,
+            } => {
+                let target = self.find_focal(oid).unwrap_or(primary);
+                self.partitions[target].refresh_focal_motion(oid, motion, max_vel, true);
+                self.pump_bus();
+                self.complete_pending(oid, net);
+            }
+            Uplink::Resync {
+                oid,
+                cell,
+                motion,
+                max_vel,
+                fresh,
+            } => {
+                self.resync(oid, cell, motion, max_vel, fresh, net);
+            }
+            Uplink::LqtSync { oid, entries } => {
+                self.lqt_sync(oid, entries, net);
+            }
+        }
+    }
+
+    /// Cross-partition cell change: migrate the focal object's FOT/SQT
+    /// rows to the partition owning the new cell (border handoff), then
+    /// run the focal and fresh halves at their owners — the same primitive
+    /// sequence, in the same order, as the single server.
+    fn cell_change(
+        &mut self,
+        oid: ObjectId,
+        prev_cell: CellId,
+        new_cell: CellId,
+        motion: LinearMotion,
+        net: &mut Net,
+    ) {
+        let new_home = self.map.owner_of_cell(&self.config.grid, new_cell) as usize;
+        if let Some(home) = self.find_focal(oid) {
+            if home != new_home {
+                if let Some(m) = self.partitions[home].extract_focal(oid) {
+                    self.bus.send_uplink(
+                        NodeId(home as u32),
+                        Envelope {
+                            to: new_home as u32,
+                            msg: m,
+                        },
+                    );
+                    self.pump_bus();
+                }
+            }
+            // Re-resolve: under a faulty bus the migration may have been
+            // lost, leaving the object temporarily homeless (repaired by
+            // lease expiry, like any other lost state).
+            if let Some(h) = self.find_focal(oid) {
+                self.partitions[h].apply_cell_change_focal(oid, new_cell, motion, net);
+                self.pump_bus();
+            }
+        }
+        self.partitions[new_home].apply_cell_change_fresh(oid, prev_cell, new_cell, net);
+        self.pump_bus();
+    }
+
+    /// Completes the coordinator-owned deferred installs of `oid` at its
+    /// home partition.
+    fn complete_pending(&mut self, oid: ObjectId, net: &mut Net) {
+        let Some(pending) = self.pending.remove(&oid) else {
+            return;
+        };
+        let home = self
+            .find_focal(oid)
+            .expect("pending install completes after FOT row exists");
+        for p in pending {
+            self.partitions[home].complete_install_at(
+                p.qid,
+                oid,
+                p.region,
+                p.filter,
+                p.expires_at,
+                net,
+            );
+            self.pump_bus();
+        }
+    }
+
+    /// The reconnect / digest-mismatch handshake, decomposed across
+    /// partitions (see [`Server`]'s `on_resync` for the single-server
+    /// original this mirrors step for step).
+    fn resync(
+        &mut self,
+        oid: ObjectId,
+        cell: CellId,
+        motion: LinearMotion,
+        max_vel: f64,
+        fresh: bool,
+        net: &mut Net,
+    ) {
+        let has_pending = self.pending.contains_key(&oid);
+        let home0 = self.find_focal(oid);
+        let prior = home0.map(|h| {
+            (
+                self.partitions[h].focal_motion(oid).unwrap(),
+                self.partitions[h].focal_queries(oid).unwrap(),
+            )
+        });
+        let target = home0.unwrap_or_else(|| {
+            self.map
+                .owner_of_cell(&self.config.grid, self.config.grid.cell_of(motion.pos))
+                as usize
+        });
+        self.partitions[target].refresh_focal_motion(oid, motion, max_vel, has_pending);
+        self.pump_bus();
+        if let Some((old_motion, queries)) = prior {
+            if !queries.is_empty() {
+                let home = home0.expect("prior implies a home");
+                let stale_cell = queries
+                    .iter()
+                    .filter_map(|q| self.partitions[home].query_cell(*q))
+                    .any(|c| c != cell);
+                if stale_cell {
+                    let prev = self.partitions[home]
+                        .query_cell(queries[0])
+                        .expect("focal query in SQT");
+                    self.sinks[self.map.owner_of_cell(&self.config.grid, cell) as usize]
+                        .incr(srv_keys::CELL_CHANGES);
+                    self.cell_change(oid, prev, cell, motion, net);
+                } else if motion.tm > old_motion.tm {
+                    self.partitions[home].on_velocity_report(oid, motion, net);
+                    self.pump_bus();
+                }
+            }
+        }
+        if fresh {
+            // Purge the crashed object from every result set, delivering
+            // the deltas in ascending query order across all partitions.
+            let mut stale: Vec<(usize, QueryId)> = Vec::new();
+            for (p, s) in self.partitions.iter_mut().enumerate() {
+                stale.extend(s.purge_object(oid).into_iter().map(|q| (p, q)));
+            }
+            stale.sort_unstable_by_key(|&(_, q)| q);
+            self.sinks[0].add(srv_keys::STALE_RESULTS_PURGED, stale.len() as u64);
+            for (home, qid) in stale {
+                self.partitions[home].deliver_result_delta(qid, oid, false, net);
+            }
+        }
+        self.complete_pending(oid, net);
+        if let Some(home) = self.find_focal(oid) {
+            self.partitions[home].focal_reassert(oid, net);
+        }
+        let owner = self.map.owner_of_cell(&self.config.grid, cell) as usize;
+        self.partitions[owner].cell_sync_reply(oid, cell, net);
+    }
+
+    /// Soft-state refresh against an object's full local view, walked in
+    /// ascending query order across all partitions.
+    fn lqt_sync(&mut self, oid: ObjectId, entries: Vec<(QueryId, bool)>, net: &mut Net) {
+        self.sinks[0].incr(srv_keys::LQT_SYNCS);
+        let mentioned: BTreeMap<QueryId, bool> = entries.into_iter().collect();
+        let mut qids: Vec<(usize, QueryId)> = Vec::new();
+        for (p, s) in self.partitions.iter().enumerate() {
+            qids.extend(s.query_ids().map(|q| (p, q)));
+        }
+        qids.sort_unstable_by_key(|&(_, q)| q);
+        let mut deltas: Vec<(usize, QueryId, bool)> = Vec::new();
+        let mut stale = 0u64;
+        for (home, qid) in qids {
+            let is_target = mentioned.get(&qid).copied().unwrap_or(false);
+            if self.partitions[home].lqt_reconcile_one(qid, oid, is_target) {
+                if !is_target && !mentioned.contains_key(&qid) {
+                    stale += 1;
+                }
+                deltas.push((home, qid, is_target));
+            }
+        }
+        self.sinks[0].add(srv_keys::STALE_RESULTS_PURGED, stale);
+        for (home, qid, entered) in deltas {
+            self.partitions[home].deliver_result_delta(qid, oid, entered, net);
+        }
+    }
+
+    /// Structural self-check: every partition's local invariants, plus
+    /// the cross-partition ones — each query homed on exactly one
+    /// partition, each focal object on exactly one partition.
+    pub fn check_invariants(&self) {
+        for s in &self.partitions {
+            s.check_invariants();
+        }
+        let mut seen_q: BTreeSet<QueryId> = BTreeSet::new();
+        for s in &self.partitions {
+            for q in s.query_ids() {
+                assert!(seen_q.insert(q), "query {q:?} homed on two partitions");
+            }
+        }
+        let mut ids = self.query_ids();
+        ids.dedup();
+        assert_eq!(ids.len(), seen_q.len());
+    }
+}

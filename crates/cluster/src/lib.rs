@@ -1,0 +1,14 @@
+//! Grid-sharded MobiEyes server tier.
+//!
+//! Splits the α-grid into contiguous blocks of cells owned by independent
+//! partition servers, routes each agent uplink to the partition owning the
+//! sender's cell, and runs an inter-server handoff protocol (focal-object
+//! migration + remote-region stubs) over a deterministic, fault-injectable
+//! message bus so that an N-partition deployment produces byte-identical
+//! query results and telemetry to the single-server protocol.
+
+pub mod cluster_server;
+pub mod partition;
+
+pub use cluster_server::{Bus, ClusterServer, Envelope};
+pub use partition::{PartitionMap, Router};

@@ -1,0 +1,122 @@
+//! Partition map and stateless uplink router for the sharded server tier.
+
+use mobieyes_core::Uplink;
+use mobieyes_geo::{CellId, Grid};
+use std::sync::Arc;
+
+/// Assignment of contiguous grid-cell blocks (flat row-major indices) to
+/// partition ids.
+///
+/// `bounds` has `N + 1` entries; partition `p` owns flat indices
+/// `[bounds[p], bounds[p+1])`. Contiguity keeps ownership tests a single
+/// comparison and makes the concatenation of per-partition digests (in
+/// partition order) equal the single server's ascending-index scan.
+#[derive(Debug, Clone)]
+pub struct PartitionMap {
+    bounds: Arc<Vec<usize>>,
+}
+
+impl PartitionMap {
+    /// Splits the grid's cells into `n` near-equal contiguous blocks (the
+    /// first `num_cells % n` partitions get one extra cell).
+    pub fn contiguous(grid: &Grid, n: usize) -> Self {
+        assert!(n >= 1, "at least one partition");
+        let cells = grid.num_cells();
+        assert!(cells >= n, "more partitions than grid cells");
+        let base = cells / n;
+        let rem = cells % n;
+        let mut bounds = Vec::with_capacity(n + 1);
+        let mut at = 0usize;
+        bounds.push(at);
+        for p in 0..n {
+            at += base + usize::from(p < rem);
+            bounds.push(at);
+        }
+        debug_assert_eq!(*bounds.last().unwrap(), cells);
+        PartitionMap {
+            bounds: Arc::new(bounds),
+        }
+    }
+
+    pub fn num_partitions(&self) -> usize {
+        self.bounds.len() - 1
+    }
+
+    /// The shared bounds vector (for [`mobieyes_core::PartitionScope`]).
+    pub fn bounds(&self) -> &Arc<Vec<usize>> {
+        &self.bounds
+    }
+
+    pub fn owner_of_flat(&self, flat: usize) -> u32 {
+        debug_assert!(flat < *self.bounds.last().unwrap());
+        (self.bounds.partition_point(|&b| b <= flat) - 1) as u32
+    }
+
+    pub fn owner_of_cell(&self, grid: &Grid, cell: CellId) -> u32 {
+        self.owner_of_flat(grid.flat_index(cell))
+    }
+
+    /// Number of cells a partition owns.
+    pub fn partition_cells(&self, p: u32) -> usize {
+        self.bounds[p as usize + 1] - self.bounds[p as usize]
+    }
+}
+
+/// Stateless uplink router: picks the *primary* partition for a message —
+/// the partition owning the cell the sender reports from. Messages that
+/// carry no position (result reports, LQT syncs) have no primary and are
+/// resolved by the coordinator against the query/focal home tables.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Router;
+
+impl Router {
+    /// The partition owning the sender's cell, when the message names one.
+    pub fn primary(map: &PartitionMap, grid: &Grid, msg: &Uplink) -> Option<u32> {
+        let cell = match msg {
+            Uplink::VelocityReport { motion, .. } => grid.cell_of(motion.pos),
+            Uplink::CellChange { new_cell, .. } => *new_cell,
+            Uplink::PositionReply { motion, .. } => grid.cell_of(motion.pos),
+            Uplink::Resync { cell, .. } => *cell,
+            Uplink::ResultUpdate { .. }
+            | Uplink::GroupResultUpdate { .. }
+            | Uplink::LqtSync { .. } => return None,
+        };
+        Some(map.owner_of_cell(grid, cell))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobieyes_geo::Rect;
+
+    #[test]
+    fn contiguous_blocks_tile_the_grid() {
+        let grid = Grid::new(Rect::new(0.0, 0.0, 100.0, 100.0), 10.0);
+        for n in [1usize, 2, 3, 4, 7] {
+            let map = PartitionMap::contiguous(&grid, n);
+            assert_eq!(map.num_partitions(), n);
+            let mut total = 0usize;
+            for p in 0..n {
+                total += map.partition_cells(p as u32);
+            }
+            assert_eq!(total, grid.num_cells());
+            for flat in 0..grid.num_cells() {
+                let p = map.owner_of_flat(flat);
+                assert!((p as usize) < n);
+                let lo = map.bounds()[p as usize];
+                let hi = map.bounds()[p as usize + 1];
+                assert!((lo..hi).contains(&flat));
+            }
+        }
+    }
+
+    #[test]
+    fn remainder_cells_go_to_leading_partitions() {
+        let grid = Grid::new(Rect::new(0.0, 0.0, 100.0, 100.0), 10.0); // 100 cells
+        let map = PartitionMap::contiguous(&grid, 3);
+        assert_eq!(map.partition_cells(0), 34);
+        assert_eq!(map.partition_cells(1), 33);
+        assert_eq!(map.partition_cells(2), 33);
+    }
+}

@@ -11,7 +11,7 @@
 //! is a transparent, auditable cost model, not maximal density.
 
 use crate::filter::Filter;
-use crate::messages::{Downlink, QueryGroupInfo, QuerySpec, Uplink};
+use crate::messages::{ClusterMsg, Downlink, QueryGroupInfo, QueryMigration, QuerySpec, Uplink};
 use crate::model::{ObjectId, PropValue, QueryId};
 use mobieyes_geo::{CellId, GridRect, LinearMotion, Point, QueryRegion, Vec2};
 use std::sync::Arc;
@@ -343,11 +343,7 @@ fn put_group_info(out: &mut Vec<u8>, info: &QueryGroupInfo) {
     debug_assert!(info.queries.len() <= u16::MAX as usize);
     out.put_u16_le(info.queries.len() as u16);
     for spec in info.queries.iter() {
-        out.put_u32_le(spec.qid.0);
-        out.put_u8(spec.slot);
-        out.put_u64_le(spec.seq);
-        put_region(out, &spec.region);
-        put_filter(out, &spec.filter);
+        put_spec(out, spec);
     }
 }
 
@@ -362,19 +358,7 @@ fn get_group_info(buf: &mut Reader<'_>) -> Result<QueryGroupInfo> {
     let n = buf.get_u16_le() as usize;
     let mut queries = Vec::with_capacity(n);
     for _ in 0..n {
-        need(buf, 13, "spec header")?;
-        let qid = QueryId(buf.get_u32_le());
-        let slot = buf.get_u8();
-        let seq = buf.get_u64_le();
-        let region = get_region(buf)?;
-        let filter = Arc::new(get_filter(buf)?);
-        queries.push(QuerySpec {
-            qid,
-            region,
-            filter,
-            slot,
-            seq,
-        });
+        queries.push(get_spec(buf)?);
     }
     Ok(QueryGroupInfo {
         focal,
@@ -712,6 +696,250 @@ pub fn decode_downlink(buf: &mut Reader<'_>) -> Result<Downlink> {
     })
 }
 
+// --- cluster (server ↔ server) ----------------------------------------------
+
+fn put_spec(out: &mut Vec<u8>, spec: &QuerySpec) {
+    out.put_u32_le(spec.qid.0);
+    out.put_u8(spec.slot);
+    out.put_u64_le(spec.seq);
+    put_region(out, &spec.region);
+    put_filter(out, &spec.filter);
+}
+
+fn get_spec(buf: &mut Reader<'_>) -> Result<QuerySpec> {
+    need(buf, 13, "spec header")?;
+    let qid = QueryId(buf.get_u32_le());
+    let slot = buf.get_u8();
+    let seq = buf.get_u64_le();
+    let region = get_region(buf)?;
+    let filter = Arc::new(get_filter(buf)?);
+    Ok(QuerySpec {
+        qid,
+        region,
+        filter,
+        slot,
+        seq,
+    })
+}
+
+fn put_migration(out: &mut Vec<u8>, m: &QueryMigration) {
+    put_spec(out, &m.spec);
+    put_cell(out, m.curr_cell);
+    put_grid_rect(out, &m.mon_region);
+    match m.expires_at {
+        Some(t) => {
+            out.put_u8(1);
+            out.put_f64_le(t);
+        }
+        None => out.put_u8(0),
+    }
+    debug_assert!(m.result.len() <= u16::MAX as usize);
+    out.put_u16_le(m.result.len() as u16);
+    for oid in &m.result {
+        out.put_u32_le(oid.0);
+    }
+}
+
+fn get_migration(buf: &mut Reader<'_>) -> Result<QueryMigration> {
+    let spec = get_spec(buf)?;
+    let curr_cell = get_cell(buf)?;
+    let mon_region = get_grid_rect(buf)?;
+    need(buf, 1, "expiry flag")?;
+    let expires_at = if buf.get_u8() != 0 {
+        need(buf, 8, "expiry time")?;
+        Some(buf.get_f64_le())
+    } else {
+        None
+    };
+    need(buf, 2, "result count")?;
+    let n = buf.get_u16_le() as usize;
+    let mut result = Vec::with_capacity(n);
+    for _ in 0..n {
+        need(buf, 4, "result member")?;
+        result.push(ObjectId(buf.get_u32_le()));
+    }
+    Ok(QueryMigration {
+        spec,
+        curr_cell,
+        mon_region,
+        expires_at,
+        result,
+    })
+}
+
+/// Encodes an inter-server cluster message into `out`.
+pub fn encode_cluster(msg: &ClusterMsg, out: &mut Vec<u8>) {
+    match msg {
+        ClusterMsg::MigrateFocal {
+            oid,
+            motion,
+            max_vel,
+            used_slots,
+            last_heard,
+            epoch,
+            queries,
+        } => {
+            out.put_u8(0);
+            out.put_u32_le(oid.0);
+            put_motion(out, motion);
+            out.put_f64_le(*max_vel);
+            out.put_u64_le(*used_slots);
+            out.put_f64_le(*last_heard);
+            out.put_u64_le(*epoch);
+            debug_assert!(queries.len() <= u16::MAX as usize);
+            out.put_u16_le(queries.len() as u16);
+            for q in queries {
+                put_migration(out, q);
+            }
+        }
+        ClusterMsg::StubUpdate {
+            focal,
+            motion,
+            max_vel,
+            curr_cell,
+            mon_region,
+            old_mon,
+            spec,
+        } => {
+            out.put_u8(1);
+            out.put_u32_le(focal.0);
+            put_motion(out, motion);
+            out.put_f64_le(*max_vel);
+            put_cell(out, *curr_cell);
+            put_grid_rect(out, mon_region);
+            match old_mon {
+                Some(r) => {
+                    out.put_u8(1);
+                    put_grid_rect(out, r);
+                }
+                None => out.put_u8(0),
+            }
+            put_spec(out, spec);
+        }
+        ClusterMsg::StubMotion {
+            focal,
+            motion,
+            max_vel,
+            qids,
+        } => {
+            out.put_u8(2);
+            out.put_u32_le(focal.0);
+            put_motion(out, motion);
+            out.put_f64_le(*max_vel);
+            debug_assert!(qids.len() <= u16::MAX as usize);
+            out.put_u16_le(qids.len() as u16);
+            for (qid, seq) in qids {
+                out.put_u32_le(qid.0);
+                out.put_u64_le(*seq);
+            }
+        }
+        ClusterMsg::StubRemove {
+            qid,
+            mon_region,
+            epoch,
+        } => {
+            out.put_u8(3);
+            out.put_u32_le(qid.0);
+            put_grid_rect(out, mon_region);
+            out.put_u64_le(*epoch);
+        }
+    }
+}
+
+/// Decodes one inter-server cluster message from `buf`.
+pub fn decode_cluster(buf: &mut Reader<'_>) -> Result<ClusterMsg> {
+    need(buf, 1, "cluster tag")?;
+    Ok(match buf.get_u8() {
+        0 => {
+            need(buf, 4, "oid")?;
+            let oid = ObjectId(buf.get_u32_le());
+            let motion = get_motion(buf)?;
+            need(buf, 34, "migrate header")?;
+            let max_vel = buf.get_f64_le();
+            let used_slots = buf.get_u64_le();
+            let last_heard = buf.get_f64_le();
+            let epoch = buf.get_u64_le();
+            let n = buf.get_u16_le() as usize;
+            let mut queries = Vec::with_capacity(n);
+            for _ in 0..n {
+                queries.push(get_migration(buf)?);
+            }
+            ClusterMsg::MigrateFocal {
+                oid,
+                motion,
+                max_vel,
+                used_slots,
+                last_heard,
+                epoch,
+                queries,
+            }
+        }
+        1 => {
+            need(buf, 4, "focal")?;
+            let focal = ObjectId(buf.get_u32_le());
+            let motion = get_motion(buf)?;
+            need(buf, 8, "max vel")?;
+            let max_vel = buf.get_f64_le();
+            let curr_cell = get_cell(buf)?;
+            let mon_region = get_grid_rect(buf)?;
+            need(buf, 1, "old-region flag")?;
+            let old_mon = if buf.get_u8() != 0 {
+                Some(get_grid_rect(buf)?)
+            } else {
+                None
+            };
+            let spec = get_spec(buf)?;
+            ClusterMsg::StubUpdate {
+                focal,
+                motion,
+                max_vel,
+                curr_cell,
+                mon_region,
+                old_mon,
+                spec,
+            }
+        }
+        2 => {
+            need(buf, 4, "focal")?;
+            let focal = ObjectId(buf.get_u32_le());
+            let motion = get_motion(buf)?;
+            need(buf, 10, "stub motion header")?;
+            let max_vel = buf.get_f64_le();
+            let n = buf.get_u16_le() as usize;
+            let mut qids = Vec::with_capacity(n);
+            for _ in 0..n {
+                need(buf, 12, "stub motion entry")?;
+                qids.push((QueryId(buf.get_u32_le()), buf.get_u64_le()));
+            }
+            ClusterMsg::StubMotion {
+                focal,
+                motion,
+                max_vel,
+                qids,
+            }
+        }
+        3 => {
+            need(buf, 4, "qid")?;
+            let qid = QueryId(buf.get_u32_le());
+            let mon_region = get_grid_rect(buf)?;
+            need(buf, 8, "epoch")?;
+            ClusterMsg::StubRemove {
+                qid,
+                mon_region,
+                epoch: buf.get_u64_le(),
+            }
+        }
+        t => return err(&format!("unknown cluster tag {t}")),
+    })
+}
+
+/// Convenience: encodes to a fresh buffer.
+pub fn cluster_bytes(msg: &ClusterMsg) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_cluster(msg, &mut out);
+    out
+}
+
 /// Convenience: encodes to a fresh buffer.
 pub fn uplink_bytes(msg: &Uplink) -> Vec<u8> {
     let mut out = Vec::new();
@@ -866,6 +1094,126 @@ mod tests {
                 infos: vec![],
             },
         ]
+    }
+
+    fn sample_cluster_msgs() -> Vec<ClusterMsg> {
+        let spec = QuerySpec {
+            qid: QueryId(5),
+            region: QueryRegion::circle(2.5),
+            filter: Arc::new(Filter::Gt("speed".into(), 1.5)),
+            slot: 3,
+            seq: 21,
+        };
+        let mon = GridRect {
+            x0: 2,
+            y0: 3,
+            x1: 5,
+            y1: 6,
+        };
+        vec![
+            ClusterMsg::MigrateFocal {
+                oid: ObjectId(9),
+                motion: motion(),
+                max_vel: 0.04,
+                used_slots: 0b1001,
+                last_heard: 120.0,
+                epoch: 33,
+                queries: vec![
+                    QueryMigration {
+                        spec: spec.clone(),
+                        curr_cell: CellId::new(3, 4),
+                        mon_region: mon,
+                        expires_at: Some(600.0),
+                        result: vec![ObjectId(1), ObjectId(2), ObjectId(8)],
+                    },
+                    QueryMigration {
+                        spec: spec.clone(),
+                        curr_cell: CellId::new(3, 4),
+                        mon_region: mon,
+                        expires_at: None,
+                        result: vec![],
+                    },
+                ],
+            },
+            ClusterMsg::MigrateFocal {
+                oid: ObjectId(10),
+                motion: motion(),
+                max_vel: 0.01,
+                used_slots: 0,
+                last_heard: 0.0,
+                epoch: 1,
+                queries: vec![],
+            },
+            ClusterMsg::StubUpdate {
+                focal: ObjectId(9),
+                motion: motion(),
+                max_vel: 0.04,
+                curr_cell: CellId::new(3, 4),
+                mon_region: mon,
+                old_mon: Some(GridRect {
+                    x0: 1,
+                    y0: 2,
+                    x1: 4,
+                    y1: 5,
+                }),
+                spec: spec.clone(),
+            },
+            ClusterMsg::StubUpdate {
+                focal: ObjectId(9),
+                motion: motion(),
+                max_vel: 0.04,
+                curr_cell: CellId::new(3, 4),
+                mon_region: mon,
+                old_mon: None,
+                spec,
+            },
+            ClusterMsg::StubMotion {
+                focal: ObjectId(9),
+                motion: motion(),
+                max_vel: 0.04,
+                qids: vec![(QueryId(5), 22), (QueryId(6), 22)],
+            },
+            ClusterMsg::StubMotion {
+                focal: ObjectId(9),
+                motion: motion(),
+                max_vel: 0.04,
+                qids: vec![],
+            },
+            ClusterMsg::StubRemove {
+                qid: QueryId(5),
+                mon_region: mon,
+                epoch: 40,
+            },
+        ]
+    }
+
+    #[test]
+    fn cluster_roundtrip_and_size() {
+        for msg in sample_cluster_msgs() {
+            let bytes = cluster_bytes(&msg);
+            assert_eq!(
+                bytes.len(),
+                msg.wire_size(),
+                "declared wire size mismatch for {msg:?}"
+            );
+            let mut buf = Reader::new(&bytes);
+            let decoded = decode_cluster(&mut buf).expect("decodes");
+            assert_eq!(decoded, msg);
+            assert_eq!(buf.remaining(), 0, "trailing bytes after {msg:?}");
+        }
+    }
+
+    #[test]
+    fn cluster_truncated_input_errors_cleanly() {
+        for msg in sample_cluster_msgs() {
+            let bytes = cluster_bytes(&msg);
+            for cut in 0..bytes.len() {
+                let mut buf = Reader::new(&bytes[0..cut]);
+                let _ = decode_cluster(&mut buf);
+            }
+        }
+        let mut buf = Reader::new(&[250u8, 0, 0]);
+        assert!(decode_cluster(&mut buf).is_err());
     }
 
     #[test]

@@ -248,6 +248,122 @@ impl WireSized for Downlink {
     }
 }
 
+/// One query's full server-side state in flight during a focal handoff:
+/// the SQT row (including the current result set) that migrates to the
+/// partition taking ownership of the focal object's new cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryMigration {
+    pub spec: QuerySpec,
+    pub curr_cell: CellId,
+    pub mon_region: GridRect,
+    /// Absolute expiry time; `None` = no lifetime bound.
+    pub expires_at: Option<f64>,
+    /// Current result membership, ascending object id.
+    pub result: Vec<ObjectId>,
+}
+
+impl QueryMigration {
+    fn wire_size(&self) -> usize {
+        self.spec.wire_size()
+            + 8
+            + GridRect::WIRE_SIZE
+            + 1
+            + if self.expires_at.is_some() { 8 } else { 0 }
+            + 2
+            + self.result.len() * 4
+    }
+}
+
+/// Server ↔ server messages of the partitioned cluster tier.
+///
+/// Carried over a dedicated inter-server [`mobieyes_net::NetworkSim`]
+/// link, so the same fault plans that perturb the wireless legs can
+/// drop/duplicate handoff traffic too. Every variant is stamped with the
+/// epoch/seq machinery of the fault-tolerance layer: receivers discard
+/// anything not strictly newer than the state they already hold, which
+/// makes replayed or duplicated handoffs no-ops.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClusterMsg {
+    /// Full focal-object handoff when a focal's cell change crosses a
+    /// partition border: the FOT row plus every SQT row bound to it.
+    MigrateFocal {
+        oid: ObjectId,
+        motion: LinearMotion,
+        max_vel: f64,
+        used_slots: u64,
+        /// Lease timestamp travels with the row so the new owner does not
+        /// spuriously expire a healthy focal.
+        last_heard: f64,
+        /// Sender's view of the global epoch when the handoff was cut.
+        epoch: u64,
+        queries: Vec<QueryMigration>,
+    },
+    /// Install or refresh a *remote-region stub*: a read-only replica of a
+    /// query homed on another partition whose monitoring region covers
+    /// some of the receiver's cells, so RQI lookups (fresh-query replies,
+    /// cell syncs, heartbeat digests) stay complete at the border.
+    /// `old_mon` is the previous monitoring region whose RQI entries the
+    /// receiver must clear first (region moved or grew).
+    StubUpdate {
+        focal: ObjectId,
+        motion: LinearMotion,
+        max_vel: f64,
+        curr_cell: CellId,
+        mon_region: GridRect,
+        old_mon: Option<GridRect>,
+        spec: QuerySpec,
+    },
+    /// Motion-only refresh of existing stubs after the focal object
+    /// reported new motion (velocity report or position reply). `qids`
+    /// carries the per-query seq stamps of the update.
+    StubMotion {
+        focal: ObjectId,
+        motion: LinearMotion,
+        max_vel: f64,
+        qids: Vec<(QueryId, u64)>,
+    },
+    /// Drop a stub: the query was removed or its monitoring region no
+    /// longer reaches the receiver's cells.
+    StubRemove {
+        qid: QueryId,
+        mon_region: GridRect,
+        epoch: u64,
+    },
+}
+
+impl WireSized for ClusterMsg {
+    fn wire_size(&self) -> usize {
+        1 + match self {
+            ClusterMsg::MigrateFocal { queries, .. } => {
+                4 + LinearMotion::WIRE_SIZE
+                    + 8
+                    + 8
+                    + 8
+                    + 8
+                    + 2
+                    + queries.iter().map(QueryMigration::wire_size).sum::<usize>()
+            }
+            ClusterMsg::StubUpdate { old_mon, spec, .. } => {
+                4 + LinearMotion::WIRE_SIZE
+                    + 8
+                    + 8
+                    + GridRect::WIRE_SIZE
+                    + 1
+                    + if old_mon.is_some() {
+                        GridRect::WIRE_SIZE
+                    } else {
+                        0
+                    }
+                    + spec.wire_size()
+            }
+            ClusterMsg::StubMotion { qids, .. } => {
+                4 + LinearMotion::WIRE_SIZE + 8 + 2 + qids.len() * 12
+            }
+            ClusterMsg::StubRemove { .. } => 4 + GridRect::WIRE_SIZE + 8,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -426,6 +542,69 @@ mod tests {
             sync.wire_size(),
             1 + 8 + 8 + 2 + Downlink::QueryState { info: group(2) }.wire_size() - 1
         );
+    }
+
+    #[test]
+    fn cluster_msg_sizes() {
+        let mig = ClusterMsg::MigrateFocal {
+            oid: ObjectId(1),
+            motion: motion(),
+            max_vel: 0.05,
+            used_slots: 0b11,
+            last_heard: 42.0,
+            epoch: 9,
+            queries: vec![QueryMigration {
+                spec: spec(0),
+                curr_cell: CellId::new(1, 1),
+                mon_region: GridRect {
+                    x0: 0,
+                    y0: 0,
+                    x1: 2,
+                    y1: 2,
+                },
+                expires_at: Some(99.0),
+                result: vec![ObjectId(4), ObjectId(5)],
+            }],
+        };
+        // tag + oid + motion + 3 f64/u64 + epoch + count + one migration.
+        let one = spec(0).wire_size() + 8 + 16 + 1 + 8 + 2 + 8;
+        assert_eq!(mig.wire_size(), 1 + 4 + 40 + 8 + 8 + 8 + 8 + 2 + one);
+        let stub = ClusterMsg::StubUpdate {
+            focal: ObjectId(1),
+            motion: motion(),
+            max_vel: 0.05,
+            curr_cell: CellId::new(0, 0),
+            mon_region: GridRect {
+                x0: 0,
+                y0: 0,
+                x1: 1,
+                y1: 1,
+            },
+            old_mon: None,
+            spec: spec(0),
+        };
+        assert_eq!(
+            stub.wire_size(),
+            1 + 4 + 40 + 8 + 8 + 16 + 1 + spec(0).wire_size()
+        );
+        let refresh = ClusterMsg::StubMotion {
+            focal: ObjectId(1),
+            motion: motion(),
+            max_vel: 0.05,
+            qids: vec![(QueryId(1), 7), (QueryId(2), 7)],
+        };
+        assert_eq!(refresh.wire_size(), 1 + 4 + 40 + 8 + 2 + 24);
+        let rm = ClusterMsg::StubRemove {
+            qid: QueryId(1),
+            mon_region: GridRect {
+                x0: 0,
+                y0: 0,
+                x1: 1,
+                y1: 1,
+            },
+            epoch: 3,
+        };
+        assert_eq!(rm.wire_size(), 1 + 4 + 16 + 8);
     }
 
     #[test]

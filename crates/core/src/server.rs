@@ -11,12 +11,15 @@
 
 use crate::config::{Propagation, ProtocolConfig};
 use crate::filter::Filter;
-use crate::messages::{state_digest, Downlink, QueryGroupInfo, QuerySpec, Uplink};
+use crate::messages::{
+    state_digest, ClusterMsg, Downlink, QueryGroupInfo, QueryMigration, QuerySpec, Uplink,
+};
 use crate::model::{ObjectId, QueryId};
 use mobieyes_geo::{CellId, GridRect, LinearMotion, QueryRegion, Region};
 use mobieyes_net::{NetworkSim, NodeId};
 use mobieyes_telemetry::{EventKind, MetricsSnapshot, Telemetry};
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// The network type the protocol runs over.
@@ -66,6 +69,75 @@ struct PendingInstall {
     region: QueryRegion,
     filter: Arc<Filter>,
     expires_at: Option<f64>,
+}
+
+/// The slice of the α-grid a partitioned server owns, plus the shared
+/// epoch sequencer of the cluster.
+///
+/// Partitions own contiguous blocks of flat (row-major) cell indices:
+/// `bounds` has `N + 1` entries and partition `p` owns `[bounds[p],
+/// bounds[p+1])`. A scoped server maintains FOT/SQT rows only for focal
+/// objects homed in its cells, RQI entries only for its own cells, and
+/// *stub* rows for border-straddling queries homed elsewhere. The epoch
+/// counter is shared by all partitions so seq stamps remain a single
+/// global total order — the key to byte-identical cross-partition runs.
+#[derive(Debug, Clone)]
+pub struct PartitionScope {
+    partition: u32,
+    bounds: Arc<Vec<usize>>,
+    epoch: Arc<AtomicU64>,
+}
+
+impl PartitionScope {
+    pub fn new(partition: u32, bounds: Arc<Vec<usize>>, epoch: Arc<AtomicU64>) -> Self {
+        assert!(
+            (partition as usize) < bounds.len() - 1,
+            "partition out of range"
+        );
+        PartitionScope {
+            partition,
+            bounds,
+            epoch,
+        }
+    }
+
+    pub fn partition(&self) -> u32 {
+        self.partition
+    }
+
+    pub fn num_partitions(&self) -> usize {
+        self.bounds.len() - 1
+    }
+
+    /// The partition owning the given flat cell index.
+    pub fn owner_of(&self, flat: usize) -> u32 {
+        debug_assert!(flat < *self.bounds.last().unwrap());
+        (self.bounds.partition_point(|&b| b <= flat) - 1) as u32
+    }
+
+    pub fn owns(&self, flat: usize) -> bool {
+        self.owned_range().contains(&flat)
+    }
+
+    pub fn owned_range(&self) -> std::ops::Range<usize> {
+        self.bounds[self.partition as usize]..self.bounds[self.partition as usize + 1]
+    }
+}
+
+/// Remote-region stub: the local image of a query homed on another
+/// partition whose monitoring region straddles into our cells. Stubs back
+/// our RQI entries so region broadcasts and digests stay complete; they
+/// carry everything needed to rebuild `QueryGroupInfo` payloads locally.
+#[derive(Debug, Clone)]
+struct StubEntry {
+    focal: ObjectId,
+    motion: LinearMotion,
+    max_vel: f64,
+    mon_region: GridRect,
+    region: QueryRegion,
+    filter: Arc<Filter>,
+    slot: u8,
+    seq: u64,
 }
 
 /// Deterministic counters of server-side work; the wall-clock server-load
@@ -141,6 +213,15 @@ pub struct Server {
     /// Time of the last heartbeat broadcast.
     last_heartbeat: f64,
     telemetry: Telemetry,
+    /// `Some` when this server is one partition of a cluster; `None` for
+    /// the classic single-server deployment (whose code paths are
+    /// untouched by the scope machinery).
+    scope: Option<PartitionScope>,
+    /// Remote-region stubs for border-straddling queries homed elsewhere.
+    stubs: BTreeMap<QueryId, StubEntry>,
+    /// Outgoing inter-server messages `(destination partition, msg)`,
+    /// drained by the cluster coordinator after every operation.
+    outbox: Vec<(u32, ClusterMsg)>,
 }
 
 impl Server {
@@ -157,6 +238,9 @@ impl Server {
             now: 0.0,
             last_heartbeat: f64::NEG_INFINITY,
             telemetry: Telemetry::new(),
+            scope: None,
+            stubs: BTreeMap::new(),
+            outbox: Vec::new(),
         }
     }
 
@@ -165,6 +249,41 @@ impl Server {
     pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
         self.telemetry = telemetry;
         self
+    }
+
+    /// Scopes this server to one partition of a grid-sharded cluster
+    /// (builder style). See [`PartitionScope`].
+    pub fn with_scope(mut self, scope: PartitionScope) -> Self {
+        self.scope = Some(scope);
+        self
+    }
+
+    /// The partition scope, when this server is part of a cluster.
+    pub fn scope(&self) -> Option<&PartitionScope> {
+        self.scope.as_ref()
+    }
+
+    /// Number of remote-region stubs currently installed.
+    pub fn num_stubs(&self) -> usize {
+        self.stubs.len()
+    }
+
+    /// Bumps the state-change epoch and returns the new value. Scoped
+    /// servers share one atomic sequencer across the cluster so seq
+    /// stamps form a single global order; the single-server path keeps
+    /// its private counter.
+    fn bump_epoch(&mut self) -> u64 {
+        match &self.scope {
+            Some(s) => {
+                let v = s.epoch.fetch_add(1, Ordering::Relaxed) + 1;
+                self.epoch = v;
+                v
+            }
+            None => {
+                self.epoch += 1;
+                self.epoch
+            }
+        }
     }
 
     pub fn telemetry(&self) -> &Telemetry {
@@ -256,12 +375,7 @@ impl Server {
     /// Removes every query whose lifetime has ended (call once per time
     /// step with the current time). Returns the expired query ids.
     pub fn expire_queries(&mut self, now: f64, net: &mut Net) -> Vec<QueryId> {
-        let expired: Vec<QueryId> = self
-            .sqt
-            .iter()
-            .filter(|(_, e)| e.expires_at.is_some_and(|t| t <= now))
-            .map(|(&q, _)| q)
-            .collect();
+        let expired = self.expired_query_ids(now);
         for &qid in &expired {
             self.telemetry
                 .event(EventKind::QueryExpired { qid: qid.0 as u64 });
@@ -303,7 +417,7 @@ impl Server {
         fot.queries.push(qid);
         fot.queries.sort_unstable();
 
-        self.epoch += 1;
+        let seq = self.bump_epoch();
         self.sqt.insert(
             qid,
             SqtEntry {
@@ -313,12 +427,13 @@ impl Server {
                 curr_cell,
                 mon_region,
                 slot,
-                seq: self.epoch,
+                seq,
                 expires_at,
                 result: BTreeSet::new(),
             },
         );
         self.rqi_insert(qid, &mon_region);
+        self.emit_stub_update(qid, None);
         self.telemetry.event(EventKind::QueryInstalled {
             qid: qid.0 as u64,
             focal: focal.0 as u64,
@@ -354,17 +469,19 @@ impl Server {
         net: &mut Net,
     ) -> bool {
         let grid = self.config.grid.clone();
-        let Some(e) = self.sqt.get_mut(&qid) else {
+        if !self.sqt.contains_key(&qid) {
             return false;
-        };
+        }
+        let seq = self.bump_epoch();
+        let e = self.sqt.get_mut(&qid).expect("checked above");
         let old_mon = e.mon_region;
         let new_mon = grid.monitoring_region(e.curr_cell, region.reach());
         e.region = region;
         e.mon_region = new_mon;
-        self.epoch += 1;
-        e.seq = self.epoch;
+        e.seq = seq;
         self.rqi_remove(qid, &old_mon);
         self.rqi_insert(qid, &new_mon);
+        self.emit_stub_update(qid, Some(old_mon));
         let combined = old_mon.union(&new_mon);
         let msg = Downlink::QueryState {
             info: self.group_info_for(qid),
@@ -396,16 +513,14 @@ impl Server {
                 );
             }
         }
-        self.epoch += 1;
+        let epoch = self.bump_epoch();
+        self.emit_stub_remove(qid, entry.mon_region, epoch);
         self.telemetry.add(
             srv_keys::BROADCAST_OPS,
             net.broadcast_region(
                 &self.config.grid,
                 &entry.mon_region,
-                Downlink::RemoveQuery {
-                    qid,
-                    epoch: self.epoch,
-                },
+                Downlink::RemoveQuery { qid, epoch },
             ) as u64,
         );
         self.telemetry
@@ -425,9 +540,7 @@ impl Server {
     pub fn handle_uplink(&mut self, from: NodeId, msg: Uplink, net: &mut Net) {
         self.telemetry.incr(srv_keys::UPLINKS);
         // Any uplink from a focal object renews its lease.
-        if let Some(f) = self.fot.get_mut(&ObjectId(from.0)) {
-            f.last_heard = self.now;
-        }
+        self.renew_lease(ObjectId(from.0));
         match msg {
             Uplink::VelocityReport { oid, motion } => {
                 debug_assert_eq!(from.0, oid.0);
@@ -444,16 +557,7 @@ impl Server {
             Uplink::ResultUpdate { oid, changes } => {
                 self.telemetry.incr(srv_keys::RESULT_UPDATES);
                 for (qid, is_target) in changes {
-                    if let Some(e) = self.sqt.get_mut(&qid) {
-                        let changed = if is_target {
-                            e.result.insert(oid)
-                        } else {
-                            e.result.remove(&oid)
-                        };
-                        if changed {
-                            self.deliver_result_delta(qid, oid, is_target, net);
-                        }
-                    }
+                    self.apply_result_change(qid, oid, is_target, net);
                 }
             }
             Uplink::GroupResultUpdate {
@@ -463,32 +567,7 @@ impl Server {
                 targets,
             } => {
                 self.telemetry.incr(srv_keys::RESULT_UPDATES);
-                let qids: Vec<QueryId> = self
-                    .fot
-                    .get(&focal)
-                    .map(|f| f.queries.clone())
-                    .unwrap_or_default();
-                for qid in qids {
-                    let Some(e) = self.sqt.get_mut(&qid) else {
-                        continue;
-                    };
-                    if e.slot >= 64 {
-                        continue; // slotless queries report itemized
-                    }
-                    let bit = 1u64 << e.slot;
-                    if mask & bit == 0 {
-                        continue;
-                    }
-                    let is_target = targets & bit != 0;
-                    let changed = if is_target {
-                        e.result.insert(oid)
-                    } else {
-                        e.result.remove(&oid)
-                    };
-                    if changed {
-                        self.deliver_result_delta(qid, oid, is_target, net);
-                    }
-                }
+                self.apply_group_result_update(oid, focal, mask, targets, net);
             }
             Uplink::PositionReply {
                 oid,
@@ -519,7 +598,8 @@ impl Server {
 
     /// Refreshes (or, when `insert` is set, creates) the FOT row for an
     /// object that reported its motion, keeping the fresher sample.
-    fn refresh_focal_motion(
+    #[doc(hidden)]
+    pub fn refresh_focal_motion(
         &mut self,
         oid: ObjectId,
         motion: LinearMotion,
@@ -536,12 +616,27 @@ impl Server {
                 last_heard: now,
             });
         }
+        let mut refreshed: Option<(f64, Vec<QueryId>)> = None;
         if let Some(f) = self.fot.get_mut(&oid) {
             if motion.tm >= f.motion.tm {
                 f.motion = motion;
                 f.max_vel = max_vel;
+                if !f.queries.is_empty() {
+                    refreshed = Some((f.max_vel, f.queries.clone()));
+                }
             }
             f.last_heard = now;
+        }
+        // Keep remote stubs' motion in step (seqs unchanged: a motion
+        // refresh is not a disseminated state change).
+        if self.scope.is_some() {
+            if let Some((max_vel, queries)) = refreshed {
+                let stamped: Vec<(QueryId, u64)> = queries
+                    .iter()
+                    .filter_map(|q| self.sqt.get(q).map(|e| (*q, e.seq)))
+                    .collect();
+                self.emit_stub_motion(oid, motion, max_vel, &stamped);
+            }
         }
     }
 
@@ -586,11 +681,7 @@ impl Server {
         if fresh {
             // A crashed object lost its local state: its containment
             // reports are void until it re-evaluates.
-            let stale: Vec<QueryId> = self
-                .sqt
-                .iter_mut()
-                .filter_map(|(&q, e)| e.result.remove(&oid).then_some(q))
-                .collect();
+            let stale = self.purge_object(oid);
             self.telemetry
                 .add(srv_keys::STALE_RESULTS_PURGED, stale.len() as u64);
             for qid in stale {
@@ -602,12 +693,34 @@ impl Server {
                 self.complete_install(p.qid, oid, p.region, p.filter, p.expires_at, net);
             }
         }
-        // Re-assert focality: the original FocalNotify may have been lost
-        // (or wiped by a crash), which would silence dead reckoning.
+        self.focal_reassert(oid, net);
+        self.cell_sync_reply(oid, cell, net);
+    }
+
+    /// Removes `oid` from every local result set, returning the queries it
+    /// was purged from (result deltas and counters are the caller's job).
+    #[doc(hidden)]
+    pub fn purge_object(&mut self, oid: ObjectId) -> Vec<QueryId> {
+        self.sqt
+            .iter_mut()
+            .filter_map(|(&q, e)| e.result.remove(&oid).then_some(q))
+            .collect()
+    }
+
+    /// Re-asserts focality: the original FocalNotify may have been lost
+    /// (or wiped by a crash), which would silence dead reckoning.
+    #[doc(hidden)]
+    pub fn focal_reassert(&mut self, oid: ObjectId, net: &mut Net) {
         if self.fot.get(&oid).is_some_and(|f| !f.queries.is_empty()) {
             self.telemetry.incr(srv_keys::UNICAST_OPS);
             net.send_unicast(oid.node(), Downlink::FocalNotify { is_focal: true });
         }
+    }
+
+    /// Replays the authoritative query state of `cell` to a resyncing
+    /// object.
+    #[doc(hidden)]
+    pub fn cell_sync_reply(&mut self, oid: ObjectId, cell: CellId, net: &mut Net) {
         let qids = self.rqi[self.config.grid.flat_index(cell)].clone();
         let infos: Vec<QueryGroupInfo> = self
             .group_queries(&{
@@ -624,7 +737,7 @@ impl Server {
             oid.node(),
             Downlink::CellSync {
                 cell,
-                epoch: self.epoch,
+                epoch: self.current_epoch(),
                 infos,
             },
         );
@@ -636,16 +749,12 @@ impl Server {
     fn on_lqt_sync(&mut self, oid: ObjectId, entries: Vec<(QueryId, bool)>, net: &mut Net) {
         self.telemetry.incr(srv_keys::LQT_SYNCS);
         let mentioned: BTreeMap<QueryId, bool> = entries.into_iter().collect();
+        let qids: Vec<QueryId> = self.sqt.keys().copied().collect();
         let mut deltas: Vec<(QueryId, bool)> = Vec::new();
         let mut stale = 0u64;
-        for (&qid, e) in self.sqt.iter_mut() {
+        for qid in qids {
             let is_target = mentioned.get(&qid).copied().unwrap_or(false);
-            let changed = if is_target {
-                e.result.insert(oid)
-            } else {
-                e.result.remove(&oid)
-            };
-            if changed {
+            if self.lqt_reconcile_one(qid, oid, is_target) {
                 if !is_target && !mentioned.contains_key(&qid) {
                     stale += 1;
                 }
@@ -655,6 +764,21 @@ impl Server {
         self.telemetry.add(srv_keys::STALE_RESULTS_PURGED, stale);
         for (qid, entered) in deltas {
             self.deliver_result_delta(qid, oid, entered, net);
+        }
+    }
+
+    /// Reconciles one query's result membership for `oid`; returns whether
+    /// the membership changed. Counters and delta delivery are the
+    /// caller's job.
+    #[doc(hidden)]
+    pub fn lqt_reconcile_one(&mut self, qid: QueryId, oid: ObjectId, is_target: bool) -> bool {
+        let Some(e) = self.sqt.get_mut(&qid) else {
+            return false;
+        };
+        if is_target {
+            e.result.insert(oid)
+        } else {
+            e.result.remove(&oid)
         }
     }
 
@@ -679,20 +803,14 @@ impl Server {
         self.telemetry.incr(srv_keys::HEARTBEATS);
 
         // (1) Lease expiry. Deterministic order via the BTreeMap.
-        let lease = self.config.lease_secs;
-        let expired: Vec<(ObjectId, Vec<QueryId>)> = self
-            .fot
-            .iter()
-            .filter(|(_, f)| !f.queries.is_empty() && now - f.last_heard > lease)
-            .map(|(&oid, f)| (oid, f.queries.clone()))
-            .collect();
+        let expired = self.expired_leases();
         for (oid, qids) in expired {
             self.telemetry.incr(srv_keys::LEASES_EXPIRED);
             self.telemetry
                 .event(EventKind::LeaseExpired { oid: oid.0 as u64 });
             for qid in qids {
-                let e = &self.sqt[&qid];
-                let (region, filter, expires_at) = (e.region, Arc::clone(&e.filter), e.expires_at);
+                let (region, filter, expires_at) =
+                    self.reinstall_info(qid).expect("leased query in SQT");
                 self.remove_query(qid, net);
                 // Re-announce under the same id; the install completes
                 // when the object answers the position request below.
@@ -716,7 +834,43 @@ impl Server {
         // demands an answer), so it bumps the epoch — objects use the
         // epoch to answer each beacon exactly once however many stations
         // they hear it from.
-        self.epoch += 1;
+        let epoch = self.bump_epoch();
+        let cell_digests = self.digest_cells();
+        let sent = net.broadcast_all(Downlink::Heartbeat {
+            epoch,
+            cell_digests,
+        });
+        self.telemetry.add(srv_keys::BROADCAST_OPS, sent as u64);
+    }
+
+    /// Focal objects whose lease has lapsed, with their queries (in
+    /// deterministic ascending order). Read-only; tear-down is the
+    /// caller's job.
+    #[doc(hidden)]
+    pub fn expired_leases(&self) -> Vec<(ObjectId, Vec<QueryId>)> {
+        let lease = self.config.lease_secs;
+        let now = self.now;
+        self.fot
+            .iter()
+            .filter(|(_, f)| !f.queries.is_empty() && now - f.last_heard > lease)
+            .map(|(&oid, f)| (oid, f.queries.clone()))
+            .collect()
+    }
+
+    /// What it takes to re-announce a query under the same id after a
+    /// lease expiry.
+    #[doc(hidden)]
+    pub fn reinstall_info(&self, qid: QueryId) -> Option<(QueryRegion, Arc<Filter>, Option<f64>)> {
+        self.sqt
+            .get(&qid)
+            .map(|e| (e.region, Arc::clone(&e.filter), e.expires_at))
+    }
+
+    /// Per-cell RQI digests over this server's (owned) cells, in ascending
+    /// flat-index order. Stub-backed entries digest with their stub seq,
+    /// which tracks the home partition's seq.
+    #[doc(hidden)]
+    pub fn digest_cells(&self) -> Vec<(CellId, u64)> {
         let grid = &self.config.grid;
         let mut cell_digests = Vec::new();
         for (idx, qids) in self.rqi.iter().enumerate() {
@@ -725,28 +879,36 @@ impl Server {
             }
             let mut sorted = qids.clone();
             sorted.sort_unstable();
-            let digest = state_digest(sorted.iter().map(|q| (*q, self.sqt[q].seq)));
+            let digest = state_digest(sorted.iter().map(|q| (*q, self.q_seq(*q))));
             let cell = CellId::new(
                 (idx % grid.cols as usize) as u32,
                 (idx / grid.cols as usize) as u32,
             );
             cell_digests.push((cell, digest));
         }
-        let sent = net.broadcast_all(Downlink::Heartbeat {
-            epoch: self.epoch,
-            cell_digests,
-        });
-        self.telemetry.add(srv_keys::BROADCAST_OPS, sent as u64);
+        cell_digests
     }
 
-    /// The current server epoch (monotone state-change counter).
+    /// The current server epoch (monotone state-change counter; shared
+    /// across the cluster when this server is a partition).
     pub fn current_epoch(&self) -> u64 {
-        self.epoch
+        match &self.scope {
+            Some(s) => s.epoch.load(Ordering::Relaxed),
+            None => self.epoch,
+        }
+    }
+
+    /// Advances the (shared) epoch on behalf of a cluster coordinator —
+    /// the sequencing primitive behind the heartbeat beacon.
+    #[doc(hidden)]
+    pub fn bump_epoch_for_coordinator(&mut self) -> u64 {
+        self.bump_epoch()
     }
 
     /// A focal object's dead-reckoning report: refresh the FOT and relay to
     /// the monitoring regions of its queries.
-    fn on_velocity_report(&mut self, oid: ObjectId, motion: LinearMotion, net: &mut Net) {
+    #[doc(hidden)]
+    pub fn on_velocity_report(&mut self, oid: ObjectId, motion: LinearMotion, net: &mut Net) {
         self.telemetry.incr(srv_keys::VELOCITY_REPORTS);
         self.telemetry
             .event(EventKind::VelocityReport { oid: oid.0 as u64 });
@@ -754,15 +916,20 @@ impl Server {
             return; // Stale report from an object that is no longer focal.
         };
         fot.motion = motion;
+        let max_vel = fot.max_vel;
         let queries = fot.queries.clone();
         // One epoch bump covers the whole report; every affected query is
         // stamped with it so receivers can discard stale duplicates.
-        self.epoch += 1;
-        let seq = self.epoch;
+        let seq = self.bump_epoch();
+        let mut stamped: Vec<(QueryId, u64)> = Vec::new();
         for &qid in &queries {
             if let Some(e) = self.sqt.get_mut(&qid) {
                 e.seq = seq;
+                stamped.push((qid, seq));
             }
+        }
+        if self.scope.is_some() {
+            self.emit_stub_motion(oid, motion, max_vel, &stamped);
         }
         for group in self.group_queries(&queries) {
             let mon_region = self.sqt[&group[0]].mon_region;
@@ -796,79 +963,108 @@ impl Server {
         net: &mut Net,
     ) {
         self.telemetry.incr(srv_keys::CELL_CHANGES);
-        let grid = self.config.grid.clone();
+        self.apply_cell_change_focal(oid, new_cell, motion, net);
+        self.apply_cell_change_fresh(oid, prev_cell, new_cell, net);
+    }
 
-        // Focal-object bookkeeping: recompute monitoring regions and push
-        // the new query state to the union of old and new regions.
-        if let Some(fot) = self.fot.get_mut(&oid) {
-            fot.motion = motion;
-            let queries = fot.queries.clone();
-            // One epoch bump for the whole cell change.
-            self.epoch += 1;
-            let seq = self.epoch;
-            for &qid in &queries {
-                if let Some(e) = self.sqt.get_mut(&qid) {
-                    e.seq = seq;
-                }
-            }
-            // Group by (old region, new region): queries that travel
-            // together must agree on both, otherwise each goes alone.
-            // (Same old region does not always imply same new region: the
-            // universe boundary clips monitoring regions asymmetrically.)
-            let mut groups: BTreeMap<(GridRect, GridRect), Vec<QueryId>> = BTreeMap::new();
-            for &qid in &queries {
-                let e = &self.sqt[&qid];
-                let old_region = e.mon_region;
-                let new_region = grid.monitoring_region(new_cell, e.region.reach());
-                let key = if self.config.grouping {
-                    (old_region, new_region)
-                } else {
-                    // Degenerate per-query key: single-cell marker regions
-                    // distinct per query id keep every query separate.
-                    (
-                        GridRect {
-                            x0: qid.0,
-                            y0: qid.0,
-                            x1: qid.0,
-                            y1: qid.0,
-                        },
-                        new_region,
-                    )
-                };
-                groups.entry(key).or_default().push(qid);
-            }
-            for ((_, _), group) in groups {
-                let old_region = self.sqt[&group[0]].mon_region;
-                let new_region =
-                    grid.monitoring_region(new_cell, self.sqt[&group[0]].region.reach());
-                for &qid in &group {
-                    let e = self.sqt.get_mut(&qid).expect("grouped query in SQT");
-                    e.curr_cell = new_cell;
-                    e.mon_region = new_region;
-                }
-                for &qid in &group {
-                    self.rqi_remove(qid, &old_region);
-                    self.rqi_insert(qid, &new_region);
-                }
-                let combined = old_region.union(&new_region);
-                let msg = Downlink::QueryState {
-                    info: self.group_info_for(group[0]),
-                };
-                self.telemetry.add(
-                    srv_keys::BROADCAST_OPS,
-                    net.broadcast_region(&grid, &combined, msg) as u64,
-                );
+    /// Focal-object half of a cell change: recompute monitoring regions
+    /// and push the new query state to the union of old and new regions.
+    /// In a cluster this runs on the focal object's home partition (after
+    /// any cross-border migration); the coordinator counts the cell
+    /// change itself.
+    #[doc(hidden)]
+    pub fn apply_cell_change_focal(
+        &mut self,
+        oid: ObjectId,
+        new_cell: CellId,
+        motion: LinearMotion,
+        net: &mut Net,
+    ) {
+        let grid = self.config.grid.clone();
+        let Some(fot) = self.fot.get_mut(&oid) else {
+            return;
+        };
+        fot.motion = motion;
+        let queries = fot.queries.clone();
+        // One epoch bump for the whole cell change.
+        let seq = self.bump_epoch();
+        for &qid in &queries {
+            if let Some(e) = self.sqt.get_mut(&qid) {
+                e.seq = seq;
             }
         }
+        // Group by (old region, new region): queries that travel
+        // together must agree on both, otherwise each goes alone.
+        // (Same old region does not always imply same new region: the
+        // universe boundary clips monitoring regions asymmetrically.)
+        let mut groups: BTreeMap<(GridRect, GridRect), Vec<QueryId>> = BTreeMap::new();
+        for &qid in &queries {
+            let e = &self.sqt[&qid];
+            let old_region = e.mon_region;
+            let new_region = grid.monitoring_region(new_cell, e.region.reach());
+            let key = if self.config.grouping {
+                (old_region, new_region)
+            } else {
+                // Degenerate per-query key: single-cell marker regions
+                // distinct per query id keep every query separate.
+                (
+                    GridRect {
+                        x0: qid.0,
+                        y0: qid.0,
+                        x1: qid.0,
+                        y1: qid.0,
+                    },
+                    new_region,
+                )
+            };
+            groups.entry(key).or_default().push(qid);
+        }
+        for ((_, _), group) in groups {
+            let old_region = self.sqt[&group[0]].mon_region;
+            let new_region = grid.monitoring_region(new_cell, self.sqt[&group[0]].region.reach());
+            for &qid in &group {
+                let e = self.sqt.get_mut(&qid).expect("grouped query in SQT");
+                e.curr_cell = new_cell;
+                e.mon_region = new_region;
+            }
+            for &qid in &group {
+                self.rqi_remove(qid, &old_region);
+                self.rqi_insert(qid, &new_region);
+            }
+            for &qid in &group {
+                self.emit_stub_update(qid, Some(old_region));
+            }
+            let combined = old_region.union(&new_region);
+            let msg = Downlink::QueryState {
+                info: self.group_info_for(group[0]),
+            };
+            self.telemetry.add(
+                srv_keys::BROADCAST_OPS,
+                net.broadcast_region(&grid, &combined, msg) as u64,
+            );
+        }
+    }
 
-        // Eager propagation: tell the object which queries are new in its
-        // cell. (Under lazy propagation only focal objects send cell
-        // changes, and we answer them too — they contacted us anyway.)
-        let prev_qids = &self.rqi[grid.flat_index(prev_cell)];
+    /// Non-focal half of a cell change. Eager propagation: tell the object
+    /// which queries are new in its cell. (Under lazy propagation only
+    /// focal objects send cell changes, and we answer them too — they
+    /// contacted us anyway.) In a cluster this runs on the partition
+    /// owning `new_cell`; freshness is decided by the monitoring region
+    /// (partition-independent), which on a single server agrees exactly
+    /// with the `RQI[prev]` membership test by the RQI/SQT invariant.
+    #[doc(hidden)]
+    pub fn apply_cell_change_fresh(
+        &mut self,
+        oid: ObjectId,
+        prev_cell: CellId,
+        new_cell: CellId,
+        net: &mut Net,
+    ) {
+        let grid = &self.config.grid;
         let new_qids = &self.rqi[grid.flat_index(new_cell)];
         let fresh: Vec<QueryId> = new_qids
             .iter()
-            .filter(|q| !prev_qids.contains(q))
+            .filter(|q| !self.q_mon(**q).is_some_and(|m| m.contains(prev_cell)))
             .copied()
             .collect();
         if !fresh.is_empty() {
@@ -892,45 +1088,86 @@ impl Server {
         }
         let mut groups: BTreeMap<(ObjectId, GridRect), Vec<QueryId>> = BTreeMap::new();
         for &qid in qids {
-            let e = &self.sqt[&qid];
-            groups.entry((e.focal, e.mon_region)).or_default().push(qid);
+            let (focal, mon) = self
+                .sqt
+                .get(&qid)
+                .map(|e| (e.focal, e.mon_region))
+                .or_else(|| self.stubs.get(&qid).map(|s| (s.focal, s.mon_region)))
+                .expect("grouped query in SQT or stub table");
+            groups.entry((focal, mon)).or_default().push(qid);
         }
         groups.into_values().collect()
     }
 
     /// Builds the full dissemination payload for the group containing
-    /// `qid` (the group is recomputed from current server state).
+    /// `qid` (the group is recomputed from current server state). On a
+    /// cluster partition the query may be a remote-region stub; stubs of
+    /// the same focal + monitoring region always travel together (the
+    /// home partition updates them as one group), so the stub table can
+    /// reconstruct the same group payload the home would build.
     fn group_info_for(&self, qid: QueryId) -> QueryGroupInfo {
-        let e = &self.sqt[&qid];
-        let fot = &self.fot[&e.focal];
-        let members: Vec<QueryId> = if self.config.grouping {
-            fot.queries
+        if let Some(e) = self.sqt.get(&qid) {
+            let fot = &self.fot[&e.focal];
+            let members: Vec<QueryId> = if self.config.grouping {
+                fot.queries
+                    .iter()
+                    .filter(|q| self.sqt[q].mon_region == e.mon_region)
+                    .copied()
+                    .collect()
+            } else {
+                vec![qid]
+            };
+            let queries = members
                 .iter()
-                .filter(|q| self.sqt[q].mon_region == e.mon_region)
-                .copied()
-                .collect()
+                .map(|q| {
+                    let s = &self.sqt[q];
+                    QuerySpec {
+                        qid: *q,
+                        region: s.region,
+                        filter: Arc::clone(&s.filter),
+                        slot: s.slot,
+                        seq: s.seq,
+                    }
+                })
+                .collect();
+            QueryGroupInfo {
+                focal: e.focal,
+                motion: fot.motion,
+                max_vel: fot.max_vel,
+                mon_region: e.mon_region,
+                queries: Arc::new(queries),
+            }
         } else {
-            vec![qid]
-        };
-        let queries = members
-            .iter()
-            .map(|q| {
-                let s = &self.sqt[q];
-                QuerySpec {
-                    qid: *q,
-                    region: s.region,
-                    filter: Arc::clone(&s.filter),
-                    slot: s.slot,
-                    seq: s.seq,
-                }
-            })
-            .collect();
-        QueryGroupInfo {
-            focal: e.focal,
-            motion: fot.motion,
-            max_vel: fot.max_vel,
-            mon_region: e.mon_region,
-            queries: Arc::new(queries),
+            let e = &self.stubs[&qid];
+            let members: Vec<QueryId> = if self.config.grouping {
+                self.stubs
+                    .iter()
+                    .filter(|(_, s)| s.focal == e.focal && s.mon_region == e.mon_region)
+                    .map(|(&q, _)| q)
+                    .collect()
+            } else {
+                vec![qid]
+            };
+            let queries = members
+                .iter()
+                .map(|q| {
+                    let s = &self.stubs[q];
+                    QuerySpec {
+                        qid: *q,
+                        region: s.region,
+                        filter: Arc::clone(&s.filter),
+                        slot: s.slot,
+                        seq: s.seq,
+                    }
+                })
+                .collect();
+            QueryGroupInfo {
+                focal: e.focal,
+                motion: e.motion,
+                max_vel: e.max_vel,
+                mon_region: e.mon_region,
+                queries: Arc::new(queries),
+            }
         }
     }
 
@@ -938,7 +1175,14 @@ impl Server {
     /// result delivery is enabled (the paper's query examples expect the
     /// issuer to *see* the result: "give me the positions of those
     /// customers ... at each instance of time").
-    fn deliver_result_delta(&mut self, qid: QueryId, oid: ObjectId, entered: bool, net: &mut Net) {
+    #[doc(hidden)]
+    pub fn deliver_result_delta(
+        &mut self,
+        qid: QueryId,
+        oid: ObjectId,
+        entered: bool,
+        net: &mut Net,
+    ) {
         if !self.config.deliver_results {
             return;
         }
@@ -954,36 +1198,525 @@ impl Server {
         );
     }
 
+    /// Whether this server maintains the RQI row at flat index `idx`
+    /// (always true for a single server; owned cells only on a cluster
+    /// partition).
+    fn owns_flat(idx: usize, owned: &Option<std::ops::Range<usize>>) -> bool {
+        match owned {
+            None => true,
+            Some(r) => r.contains(&idx),
+        }
+    }
+
+    fn owned_span(&self) -> Option<std::ops::Range<usize>> {
+        self.scope.as_ref().map(|s| s.owned_range())
+    }
+
     fn rqi_insert(&mut self, qid: QueryId, region: &GridRect) {
+        let owned = self.owned_span();
         let grid = &self.config.grid;
+        let mut touched = 0u64;
         for cell in region.iter() {
             let idx = grid.flat_index(cell);
+            if !Self::owns_flat(idx, &owned) {
+                continue;
+            }
+            touched += 1;
             if !self.rqi[idx].contains(&qid) {
                 self.rqi[idx].push(qid);
             }
         }
-        self.telemetry
-            .add(srv_keys::RQI_UPDATES, region.len() as u64);
+        // Partitions tile the grid, so per-query RQI work summed across a
+        // cluster equals the single server's `region.len()` exactly.
+        self.telemetry.add(srv_keys::RQI_UPDATES, touched);
     }
 
     fn rqi_remove(&mut self, qid: QueryId, region: &GridRect) {
+        let owned = self.owned_span();
         let grid = &self.config.grid;
+        let mut touched = 0u64;
         for cell in region.iter() {
             let idx = grid.flat_index(cell);
+            if !Self::owns_flat(idx, &owned) {
+                continue;
+            }
+            touched += 1;
             self.rqi[idx].retain(|&q| q != qid);
         }
-        self.telemetry
-            .add(srv_keys::RQI_UPDATES, region.len() as u64);
+        self.telemetry.add(srv_keys::RQI_UPDATES, touched);
+    }
+
+    /// Monitoring region of a query, whether homed here or stubbed.
+    fn q_mon(&self, qid: QueryId) -> Option<GridRect> {
+        self.sqt
+            .get(&qid)
+            .map(|e| e.mon_region)
+            .or_else(|| self.stubs.get(&qid).map(|s| s.mon_region))
+    }
+
+    /// Seq stamp of a query, whether homed here or stubbed.
+    fn q_seq(&self, qid: QueryId) -> u64 {
+        self.sqt
+            .get(&qid)
+            .map(|e| e.seq)
+            .or_else(|| self.stubs.get(&qid).map(|s| s.seq))
+            .expect("RQI query in SQT or stub table")
+    }
+
+    // --- Cluster support -------------------------------------------------
+    //
+    // The methods below exist for the `mobieyes-cluster` coordinator: it
+    // decomposes each uplink into the same primitive operations the
+    // single server performs, executed at the partitions owning the
+    // affected state. They are `#[doc(hidden)]` — not part of the
+    // protocol's public surface.
+
+    /// Renews the lease of a focal object (any uplink from it counts).
+    #[doc(hidden)]
+    pub fn renew_lease(&mut self, oid: ObjectId) {
+        if let Some(f) = self.fot.get_mut(&oid) {
+            f.last_heard = self.now;
+        }
+    }
+
+    /// Sets the server clock (the single server does this in
+    /// [`heartbeat`](Self::heartbeat); the cluster coordinator owns the
+    /// heartbeat gate and pushes time down to every partition).
+    #[doc(hidden)]
+    pub fn set_time(&mut self, now: f64) {
+        self.now = now;
+    }
+
+    #[doc(hidden)]
+    pub fn has_focal(&self, oid: ObjectId) -> bool {
+        self.fot.contains_key(&oid)
+    }
+
+    #[doc(hidden)]
+    pub fn focal_motion(&self, oid: ObjectId) -> Option<LinearMotion> {
+        self.fot.get(&oid).map(|f| f.motion)
+    }
+
+    #[doc(hidden)]
+    pub fn focal_queries(&self, oid: ObjectId) -> Option<Vec<QueryId>> {
+        self.fot.get(&oid).map(|f| f.queries.clone())
+    }
+
+    #[doc(hidden)]
+    pub fn has_query(&self, qid: QueryId) -> bool {
+        self.sqt.contains_key(&qid)
+    }
+
+    /// Current cell of a query homed on this server.
+    #[doc(hidden)]
+    pub fn query_cell(&self, qid: QueryId) -> Option<CellId> {
+        self.sqt.get(&qid).map(|e| e.curr_cell)
+    }
+
+    /// Queries whose lifetime has ended (tear-down is the caller's job).
+    #[doc(hidden)]
+    pub fn expired_query_ids(&self, now: f64) -> Vec<QueryId> {
+        self.sqt
+            .iter()
+            .filter(|(_, e)| e.expires_at.is_some_and(|t| t <= now))
+            .map(|(&q, _)| q)
+            .collect()
+    }
+
+    /// One membership flip of a `ResultUpdate`; returns whether the
+    /// result actually changed (the delta is delivered if so).
+    #[doc(hidden)]
+    pub fn apply_result_change(
+        &mut self,
+        qid: QueryId,
+        oid: ObjectId,
+        is_target: bool,
+        net: &mut Net,
+    ) -> bool {
+        let Some(e) = self.sqt.get_mut(&qid) else {
+            return false;
+        };
+        let changed = if is_target {
+            e.result.insert(oid)
+        } else {
+            e.result.remove(&oid)
+        };
+        if changed {
+            self.deliver_result_delta(qid, oid, is_target, net);
+        }
+        changed
+    }
+
+    /// Applies a bitmap result report for a whole query group (the
+    /// `RESULT_UPDATES` counter is the caller's job).
+    #[doc(hidden)]
+    pub fn apply_group_result_update(
+        &mut self,
+        oid: ObjectId,
+        focal: ObjectId,
+        mask: u64,
+        targets: u64,
+        net: &mut Net,
+    ) {
+        let qids: Vec<QueryId> = self
+            .fot
+            .get(&focal)
+            .map(|f| f.queries.clone())
+            .unwrap_or_default();
+        for qid in qids {
+            let Some(e) = self.sqt.get(&qid) else {
+                continue;
+            };
+            if e.slot >= 64 {
+                continue; // slotless queries report itemized
+            }
+            let bit = 1u64 << e.slot;
+            if mask & bit == 0 {
+                continue;
+            }
+            let is_target = targets & bit != 0;
+            self.apply_result_change(qid, oid, is_target, net);
+        }
+    }
+
+    /// Finishes a deferred install whose pending bookkeeping lives with
+    /// the cluster coordinator. The focal object's FOT row must already
+    /// be on this partition.
+    #[doc(hidden)]
+    #[allow(clippy::too_many_arguments)]
+    pub fn complete_install_at(
+        &mut self,
+        qid: QueryId,
+        focal: ObjectId,
+        region: QueryRegion,
+        filter: Arc<Filter>,
+        expires_at: Option<f64>,
+        net: &mut Net,
+    ) {
+        self.complete_install(qid, focal, region, filter, expires_at, net);
+    }
+
+    /// Drains the inter-server outbox: `(destination partition, message)`
+    /// pairs in emission order.
+    #[doc(hidden)]
+    pub fn take_outbox(&mut self) -> Vec<(u32, ClusterMsg)> {
+        std::mem::take(&mut self.outbox)
+    }
+
+    /// Evicts a focal object and all its queries for migration to another
+    /// partition, returning the `MigrateFocal` payload. Monitoring-region
+    /// overlap with our own cells degrades to stubs — RQI rows and their
+    /// counters are deliberately untouched, the region coverage itself
+    /// did not change.
+    #[doc(hidden)]
+    pub fn extract_focal(&mut self, oid: ObjectId) -> Option<ClusterMsg> {
+        debug_assert!(self.scope.is_some(), "migration needs a scoped server");
+        let owned = self.owned_span();
+        let grid = self.config.grid.clone();
+        let fot = self.fot.remove(&oid)?;
+        let mut queries = Vec::new();
+        for &qid in &fot.queries {
+            let e = self.sqt.remove(&qid).expect("FOT query in SQT");
+            let overlap = e
+                .mon_region
+                .iter()
+                .any(|c| Self::owns_flat(grid.flat_index(c), &owned));
+            if overlap {
+                self.stubs.insert(
+                    qid,
+                    StubEntry {
+                        focal: oid,
+                        motion: fot.motion,
+                        max_vel: fot.max_vel,
+                        mon_region: e.mon_region,
+                        region: e.region,
+                        filter: Arc::clone(&e.filter),
+                        slot: e.slot,
+                        seq: e.seq,
+                    },
+                );
+            }
+            queries.push(QueryMigration {
+                spec: QuerySpec {
+                    qid,
+                    region: e.region,
+                    filter: e.filter,
+                    slot: e.slot,
+                    seq: e.seq,
+                },
+                curr_cell: e.curr_cell,
+                mon_region: e.mon_region,
+                expires_at: e.expires_at,
+                result: e.result.into_iter().collect(),
+            });
+        }
+        Some(ClusterMsg::MigrateFocal {
+            oid,
+            motion: fot.motion,
+            max_vel: fot.max_vel,
+            used_slots: fot.used_slots,
+            last_heard: fot.last_heard,
+            epoch: self.current_epoch(),
+            queries,
+        })
+    }
+
+    /// Applies one inter-server message. Every application is idempotent
+    /// under replay (seq guards), so a duplicating fault plan on the
+    /// server↔server links leaves state *and* telemetry untouched.
+    #[doc(hidden)]
+    pub fn apply_cluster_msg(&mut self, msg: &ClusterMsg) {
+        match msg {
+            ClusterMsg::MigrateFocal {
+                oid,
+                motion,
+                max_vel,
+                used_slots,
+                last_heard,
+                epoch: _,
+                queries,
+            } => {
+                // The FOT row must materialize even for a query-less focal
+                // (created by a PositionReply): its later cell changes
+                // still drive the shared epoch, like on the single server.
+                // `or_insert` keeps this idempotent under bus duplication.
+                self.fot.entry(*oid).or_insert(FotEntry {
+                    motion: *motion,
+                    max_vel: *max_vel,
+                    queries: Vec::new(),
+                    used_slots: *used_slots,
+                    last_heard: *last_heard,
+                });
+                for q in queries {
+                    let qid = q.spec.qid;
+                    // Replay guard: an already-applied (or newer) row wins.
+                    if self.sqt.get(&qid).is_some_and(|e| e.seq >= q.spec.seq) {
+                        continue;
+                    }
+                    self.stubs.remove(&qid);
+                    self.sqt.insert(
+                        qid,
+                        SqtEntry {
+                            focal: *oid,
+                            region: q.spec.region,
+                            filter: Arc::clone(&q.spec.filter),
+                            curr_cell: q.curr_cell,
+                            mon_region: q.mon_region,
+                            slot: q.spec.slot,
+                            seq: q.spec.seq,
+                            expires_at: q.expires_at,
+                            result: q.result.iter().copied().collect(),
+                        },
+                    );
+                    let f = self.fot.get_mut(oid).expect("FOT row created above");
+                    if !f.queries.contains(&qid) {
+                        f.queries.push(qid);
+                        f.queries.sort_unstable();
+                    }
+                }
+                if let Some(f) = self.fot.get_mut(oid) {
+                    if motion.tm >= f.motion.tm {
+                        f.motion = *motion;
+                        f.max_vel = *max_vel;
+                    }
+                    f.used_slots = *used_slots;
+                    f.last_heard = f.last_heard.max(*last_heard);
+                }
+            }
+            ClusterMsg::StubUpdate {
+                focal,
+                motion,
+                max_vel,
+                curr_cell: _,
+                mon_region,
+                old_mon,
+                spec,
+            } => {
+                // Home rows are authoritative; stale or replayed stub
+                // updates are dropped whole so RQI counters stay exact.
+                if self.sqt.contains_key(&spec.qid) {
+                    return;
+                }
+                if self.stubs.get(&spec.qid).is_some_and(|s| s.seq >= spec.seq) {
+                    return;
+                }
+                if let Some(old) = old_mon {
+                    self.rqi_remove(spec.qid, old);
+                }
+                self.rqi_insert(spec.qid, mon_region);
+                let owned = self.owned_span();
+                let grid = &self.config.grid;
+                let overlap = mon_region
+                    .iter()
+                    .any(|c| Self::owns_flat(grid.flat_index(c), &owned));
+                if overlap {
+                    self.stubs.insert(
+                        spec.qid,
+                        StubEntry {
+                            focal: *focal,
+                            motion: *motion,
+                            max_vel: *max_vel,
+                            mon_region: *mon_region,
+                            region: spec.region,
+                            filter: Arc::clone(&spec.filter),
+                            slot: spec.slot,
+                            seq: spec.seq,
+                        },
+                    );
+                } else {
+                    self.stubs.remove(&spec.qid);
+                }
+            }
+            ClusterMsg::StubMotion {
+                focal: _,
+                motion,
+                max_vel,
+                qids,
+            } => {
+                for (qid, seq) in qids {
+                    if let Some(s) = self.stubs.get_mut(qid) {
+                        if *seq >= s.seq {
+                            s.motion = *motion;
+                            s.max_vel = *max_vel;
+                            s.seq = *seq;
+                        }
+                    }
+                }
+            }
+            ClusterMsg::StubRemove {
+                qid,
+                mon_region,
+                epoch: _,
+            } => {
+                if self.stubs.remove(qid).is_some() {
+                    self.rqi_remove(*qid, mon_region);
+                }
+            }
+        }
+    }
+
+    /// Queues a `StubUpdate` for every other partition overlapping the
+    /// query's (new ∪ old) monitoring region.
+    fn emit_stub_update(&mut self, qid: QueryId, old_mon: Option<GridRect>) {
+        let Some(scope) = self.scope.clone() else {
+            return;
+        };
+        let (msg, owners) = {
+            let e = &self.sqt[&qid];
+            let fot = &self.fot[&e.focal];
+            let msg = ClusterMsg::StubUpdate {
+                focal: e.focal,
+                motion: fot.motion,
+                max_vel: fot.max_vel,
+                curr_cell: e.curr_cell,
+                mon_region: e.mon_region,
+                old_mon,
+                spec: QuerySpec {
+                    qid,
+                    region: e.region,
+                    filter: Arc::clone(&e.filter),
+                    slot: e.slot,
+                    seq: e.seq,
+                },
+            };
+            let grid = &self.config.grid;
+            let mut owners: BTreeSet<u32> = BTreeSet::new();
+            for cell in e.mon_region.iter() {
+                owners.insert(scope.owner_of(grid.flat_index(cell)));
+            }
+            if let Some(old) = &old_mon {
+                for cell in old.iter() {
+                    owners.insert(scope.owner_of(grid.flat_index(cell)));
+                }
+            }
+            owners.remove(&scope.partition());
+            (msg, owners)
+        };
+        for p in owners {
+            self.outbox.push((p, msg.clone()));
+        }
+    }
+
+    /// Queues a `StubRemove` for every other partition overlapping the
+    /// removed query's monitoring region.
+    fn emit_stub_remove(&mut self, qid: QueryId, mon_region: GridRect, epoch: u64) {
+        let Some(scope) = self.scope.clone() else {
+            return;
+        };
+        let grid = &self.config.grid;
+        let mut owners: BTreeSet<u32> = BTreeSet::new();
+        for cell in mon_region.iter() {
+            owners.insert(scope.owner_of(grid.flat_index(cell)));
+        }
+        owners.remove(&scope.partition());
+        for p in owners {
+            self.outbox.push((
+                p,
+                ClusterMsg::StubRemove {
+                    qid,
+                    mon_region,
+                    epoch,
+                },
+            ));
+        }
+    }
+
+    /// Queues per-partition `StubMotion` messages for the given freshly
+    /// stamped queries of a focal object.
+    fn emit_stub_motion(
+        &mut self,
+        oid: ObjectId,
+        motion: LinearMotion,
+        max_vel: f64,
+        stamped: &[(QueryId, u64)],
+    ) {
+        let Some(scope) = self.scope.clone() else {
+            return;
+        };
+        if stamped.is_empty() {
+            return;
+        }
+        let grid = self.config.grid.clone();
+        let mut per: BTreeMap<u32, Vec<(QueryId, u64)>> = BTreeMap::new();
+        for &(qid, seq) in stamped {
+            let Some(mon) = self.q_mon(qid) else {
+                continue;
+            };
+            let mut owners: BTreeSet<u32> = BTreeSet::new();
+            for cell in mon.iter() {
+                owners.insert(scope.owner_of(grid.flat_index(cell)));
+            }
+            owners.remove(&scope.partition());
+            for p in owners {
+                per.entry(p).or_default().push((qid, seq));
+            }
+        }
+        for (p, qids) in per {
+            self.outbox.push((
+                p,
+                ClusterMsg::StubMotion {
+                    focal: oid,
+                    motion,
+                    max_vel,
+                    qids,
+                },
+            ));
+        }
     }
 
     /// Structural self-check for tests: the RQI must exactly mirror the
     /// monitoring regions in the SQT, FOT query lists must match SQT focal
     /// assignments, and slots must be consistent.
     pub fn check_invariants(&self) {
+        let owned = self.owned_span();
         for (qid, e) in &self.sqt {
             for cell in e.mon_region.iter() {
+                let idx = self.config.grid.flat_index(cell);
+                if !Self::owns_flat(idx, &owned) {
+                    continue; // a neighbor partition's RQI row
+                }
                 assert!(
-                    self.rqi[self.config.grid.flat_index(cell)].contains(qid),
+                    self.rqi[idx].contains(qid),
                     "RQI missing {qid:?} at {cell:?}"
                 );
             }
@@ -997,19 +1730,28 @@ impl Server {
             }
         }
         for (idx, qids) in self.rqi.iter().enumerate() {
+            if !qids.is_empty() {
+                assert!(Self::owns_flat(idx, &owned), "RQI entry in an unowned cell");
+            }
             for qid in qids {
-                let e = self.sqt.get(qid).expect("RQI references live query");
+                let mon = self.q_mon(*qid).expect("RQI references live query or stub");
                 let cell = CellId::new(
                     (idx % self.config.grid.cols as usize) as u32,
                     (idx / self.config.grid.cols as usize) as u32,
                 );
-                assert!(e.mon_region.contains(cell), "stale RQI entry for {qid:?}");
+                assert!(mon.contains(cell), "stale RQI entry for {qid:?}");
             }
         }
         for (oid, fot) in &self.fot {
             for qid in &fot.queries {
                 assert_eq!(self.sqt[qid].focal, *oid, "FOT/SQT focal mismatch");
             }
+        }
+        for (qid, _) in self.stubs.iter() {
+            assert!(
+                !self.sqt.contains_key(qid),
+                "query {qid:?} both homed and stubbed"
+            );
         }
     }
 }

@@ -4,9 +4,13 @@
 //!
 //! Uses a seeded splitmix64 sweep so every run checks the same cases.
 
-use mobieyes_core::codec::{decode_downlink, decode_uplink, downlink_bytes, uplink_bytes, Reader};
+use mobieyes_core::codec::{
+    cluster_bytes, decode_cluster, decode_downlink, decode_uplink, downlink_bytes, uplink_bytes,
+    Reader,
+};
 use mobieyes_core::{
-    Downlink, Filter, ObjectId, PropValue, QueryGroupInfo, QueryId, QuerySpec, Uplink,
+    ClusterMsg, Downlink, Filter, ObjectId, PropValue, QueryGroupInfo, QueryId, QueryMigration,
+    QuerySpec, Uplink,
 };
 use mobieyes_geo::{CellId, GridRect, LinearMotion, Point, QueryRegion, Vec2};
 use mobieyes_net::WireSized;
@@ -227,6 +231,75 @@ fn rand_downlink(rng: &mut Rng) -> Downlink {
     }
 }
 
+fn rand_spec(rng: &mut Rng) -> QuerySpec {
+    QuerySpec {
+        qid: QueryId(rng.next_u64() as u32),
+        region: rand_region(rng),
+        filter: Arc::new(rand_filter(rng, 3)),
+        slot: rng.next_u64() as u8,
+        seq: rng.next_u64(),
+    }
+}
+
+fn rand_grid_rect(rng: &mut Rng) -> GridRect {
+    let x0 = rng.below(100) as u32;
+    let y0 = rng.below(100) as u32;
+    GridRect {
+        x0,
+        y0,
+        x1: x0 + rng.below(10) as u32,
+        y1: y0 + rng.below(10) as u32,
+    }
+}
+
+fn rand_migration(rng: &mut Rng) -> QueryMigration {
+    QueryMigration {
+        spec: rand_spec(rng),
+        curr_cell: CellId::new(rng.below(100) as u32, rng.below(100) as u32),
+        mon_region: rand_grid_rect(rng),
+        expires_at: rng.coin().then(|| rng.range(0.0, 1e6)),
+        result: (0..rng.below(20))
+            .map(|_| ObjectId(rng.next_u64() as u32))
+            .collect(),
+    }
+}
+
+fn rand_cluster(rng: &mut Rng) -> ClusterMsg {
+    match rng.below(4) {
+        0 => ClusterMsg::MigrateFocal {
+            oid: ObjectId(rng.next_u64() as u32),
+            motion: rand_motion(rng),
+            max_vel: rng.range(0.0, 0.1),
+            used_slots: rng.next_u64(),
+            last_heard: rng.range(0.0, 1e6),
+            epoch: rng.next_u64(),
+            queries: (0..rng.below(5)).map(|_| rand_migration(rng)).collect(),
+        },
+        1 => ClusterMsg::StubUpdate {
+            focal: ObjectId(rng.next_u64() as u32),
+            motion: rand_motion(rng),
+            max_vel: rng.range(0.0, 0.1),
+            curr_cell: CellId::new(rng.below(100) as u32, rng.below(100) as u32),
+            mon_region: rand_grid_rect(rng),
+            old_mon: rng.coin().then(|| rand_grid_rect(rng)),
+            spec: rand_spec(rng),
+        },
+        2 => ClusterMsg::StubMotion {
+            focal: ObjectId(rng.next_u64() as u32),
+            motion: rand_motion(rng),
+            max_vel: rng.range(0.0, 0.1),
+            qids: (0..rng.below(20))
+                .map(|_| (QueryId(rng.next_u64() as u32), rng.next_u64()))
+                .collect(),
+        },
+        _ => ClusterMsg::StubRemove {
+            qid: QueryId(rng.next_u64() as u32),
+            mon_region: rand_grid_rect(rng),
+            epoch: rng.next_u64(),
+        },
+    }
+}
+
 #[test]
 fn uplink_roundtrip() {
     let mut rng = Rng(0x5eed_c0de_c001);
@@ -264,11 +337,30 @@ fn downlink_roundtrip() {
 }
 
 #[test]
+fn cluster_roundtrip() {
+    let mut rng = Rng(0x5eed_c0de_c004);
+    for case in 0..256 {
+        let msg = rand_cluster(&mut rng);
+        let bytes = cluster_bytes(&msg);
+        assert_eq!(
+            bytes.len(),
+            msg.wire_size(),
+            "case {case}: wire_size mismatch for {msg:?}"
+        );
+        let mut buf = Reader::new(&bytes);
+        let decoded = decode_cluster(&mut buf).expect("decodes");
+        assert_eq!(decoded, msg, "case {case}");
+        assert_eq!(buf.remaining(), 0, "case {case}: trailing bytes");
+    }
+}
+
+#[test]
 fn decoder_never_panics_on_garbage() {
     let mut rng = Rng(0x5eed_c0de_c003);
     for _ in 0..256 {
         let data: Vec<u8> = (0..rng.below(200)).map(|_| rng.next_u64() as u8).collect();
         let _ = decode_uplink(&mut Reader::new(&data));
         let _ = decode_downlink(&mut Reader::new(&data));
+        let _ = decode_cluster(&mut Reader::new(&data));
     }
 }

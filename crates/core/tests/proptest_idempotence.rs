@@ -10,11 +10,13 @@
 
 use mobieyes_core::server::Net;
 use mobieyes_core::{
-    Downlink, Filter, MovingObjectAgent, ObjectId, Properties, ProtocolConfig, QueryGroupInfo,
-    QueryId, QuerySpec, Uplink,
+    Downlink, Filter, MovingObjectAgent, ObjectId, PartitionScope, Properties, ProtocolConfig,
+    QueryGroupInfo, QueryId, QuerySpec, Server, Uplink,
 };
-use mobieyes_geo::{Grid, GridRect, LinearMotion, Point, QueryRegion, Rect, Vec2};
+use mobieyes_geo::{CellId, Grid, GridRect, LinearMotion, Point, QueryRegion, Rect, Vec2};
 use mobieyes_net::BaseStationLayout;
+use std::collections::BTreeSet;
+use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 
 const SIDE: f64 = 60.0;
@@ -185,6 +187,125 @@ fn removal_and_newer_install_commute() {
         assert!(
             a.iter().any(|(q, _, s)| *q == qid && *s == install_seq),
             "case {case}: the newer install must win in both orders"
+        );
+    }
+}
+
+/// Everything a neighbor partition can observe after a handoff: table
+/// sizes, the per-cell digest that drives heartbeat broadcasts, and the
+/// full result set of every homed query.
+type ServerFingerprint = (
+    usize,
+    usize,
+    Vec<(CellId, u64)>,
+    Vec<(QueryId, BTreeSet<ObjectId>)>,
+);
+
+fn server_fingerprint(s: &Server) -> ServerFingerprint {
+    let mut results: Vec<(QueryId, BTreeSet<ObjectId>)> = s
+        .query_ids()
+        .map(|q| (q, s.query_result(q).cloned().unwrap_or_default()))
+        .collect();
+    results.sort();
+    (s.num_queries(), s.num_stubs(), s.digest_cells(), results)
+}
+
+/// Drives one randomized border-crossing handoff — stub installs, a stub
+/// motion refresh, an optional stub removal, then a full `MigrateFocal` —
+/// and applies the resulting inter-server messages to the receiving
+/// partition. When `duplicate` is set every message is delivered twice
+/// (the bus duplication fault), and the final migration a third time.
+fn run_handoff(case: u64, duplicate: bool) -> (usize, ServerFingerprint) {
+    let mut rng = Rng(0x5eed_1de3_0004 ^ case.wrapping_mul(0x9e37));
+    let config = config();
+    let total = config.grid.num_cells();
+    let bounds = Arc::new(vec![0, total / 2, total]);
+    let epoch = Arc::new(AtomicU64::new(0));
+    let mut p0 = Server::new(Arc::clone(&config)).with_scope(PartitionScope::new(
+        0,
+        Arc::clone(&bounds),
+        Arc::clone(&epoch),
+    ));
+    let mut p1 = Server::new(Arc::clone(&config)).with_scope(PartitionScope::new(1, bounds, epoch));
+    let mut net = Net::new(BaseStationLayout::new(
+        Rect::new(0.0, 0.0, SIDE, SIDE),
+        15.0,
+    ));
+
+    // Focal homed on partition 0 (rows y < 4), close enough to the y = 32
+    // border that its monitoring regions straddle into partition 1.
+    let focal = ObjectId(1 + rng.below(9) as u32);
+    let pos = Point::new(rng.range(5.0, 55.0), rng.range(25.0, 31.0));
+    let vel = Vec2::new(rng.range(-0.05, 0.05), rng.range(-0.05, 0.05));
+    p0.refresh_focal_motion(
+        focal,
+        LinearMotion::new(pos, vel, rng.range(0.0, 50.0)),
+        0.08,
+        true,
+    );
+
+    let mut msgs = Vec::new();
+    let drain = |p0: &mut Server, msgs: &mut Vec<_>| {
+        for (to, m) in p0.take_outbox() {
+            assert_eq!(to, 1, "two-partition split: all stubs go to partition 1");
+            msgs.push(m);
+        }
+    };
+    let qids: Vec<QueryId> = (0..1 + rng.below(3))
+        .map(|_| {
+            p0.install_query(
+                focal,
+                QueryRegion::circle(rng.range(6.0, 12.0)),
+                Filter::True,
+                &mut net,
+            )
+        })
+        .collect();
+    drain(&mut p0, &mut msgs); // StubUpdate per straddling query
+    let newer = LinearMotion::new(
+        Point::new(pos.x, pos.y + 0.4),
+        vel,
+        60.0 + rng.range(0.0, 5.0),
+    );
+    p0.refresh_focal_motion(focal, newer, 0.08, false);
+    drain(&mut p0, &mut msgs); // StubMotion
+    if rng.coin() && qids.len() > 1 {
+        p0.remove_query(qids[0], &mut net);
+        drain(&mut p0, &mut msgs); // StubRemove
+    }
+    let migration = p0.extract_focal(focal).expect("focal homed on p0");
+    msgs.push(migration.clone());
+    assert!(
+        msgs.len() >= 2,
+        "case {case}: handoff produced no stub traffic"
+    );
+
+    for m in &msgs {
+        p1.apply_cluster_msg(m);
+        if duplicate {
+            p1.apply_cluster_msg(m);
+        }
+    }
+    if duplicate {
+        p1.apply_cluster_msg(&migration);
+    }
+    let _ = net.drain_uplinks();
+    (msgs.len(), server_fingerprint(&p1))
+}
+
+#[test]
+fn replayed_handoff_migration_is_a_no_op() {
+    for case in 0..128 {
+        let (n_once, once) = run_handoff(case, false);
+        let (n_twice, twice) = run_handoff(case, true);
+        assert_eq!(n_once, n_twice, "case {case}: scenario not deterministic");
+        assert!(
+            once.0 > 0,
+            "case {case}: migration must home queries on the receiver"
+        );
+        assert_eq!(
+            once, twice,
+            "case {case}: duplicated handoff delivery changed receiver state"
         );
     }
 }

@@ -77,6 +77,12 @@ pub struct SimConfig {
     /// fault-tolerance layer (leases, heartbeats, soft-state refresh).
     /// Heartbeats fire every `max(1, lease_ticks / 2)` ticks.
     pub lease_ticks: usize,
+    /// Server partitions for the grid-sharded cluster tier. `0` (the
+    /// default) means auto: the `MOBIEYES_PARTITIONS` environment variable
+    /// if set, otherwise 1. A resolved count of 1 runs the plain
+    /// single-server path; results are byte-identical at every partition
+    /// count (see [`resolved_partitions`](Self::resolved_partitions)).
+    pub partitions: usize,
 }
 
 impl Default for SimConfig {
@@ -109,6 +115,7 @@ impl Default for SimConfig {
             dup_rate: 0.0,
             churn_rate: 0.0,
             lease_ticks: 0,
+            partitions: 0,
         }
     }
 }
@@ -204,6 +211,11 @@ impl SimConfig {
         self
     }
 
+    pub fn with_partitions(mut self, partitions: usize) -> Self {
+        self.partitions = partitions;
+        self
+    }
+
     /// Resolves the effective worker-thread count: an explicit
     /// `threads > 0` wins; otherwise a positive `MOBIEYES_THREADS`
     /// environment variable; otherwise the machine's available
@@ -222,6 +234,23 @@ impl SimConfig {
         std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1)
+    }
+
+    /// Resolves the effective server-partition count: an explicit
+    /// `partitions > 0` wins; otherwise a positive `MOBIEYES_PARTITIONS`
+    /// environment variable; otherwise 1 (the single-server path).
+    pub fn resolved_partitions(&self) -> usize {
+        if self.partitions > 0 {
+            return self.partitions;
+        }
+        if let Ok(v) = std::env::var("MOBIEYES_PARTITIONS") {
+            if let Ok(n) = v.parse::<usize>() {
+                if n > 0 {
+                    return n;
+                }
+            }
+        }
+        1
     }
 
     /// Total measured duration in seconds.
@@ -371,6 +400,13 @@ impl SimConfigBuilder {
     /// Focal-object lease duration in ticks (0 = fault tolerance off).
     pub fn lease_ticks(mut self, ticks: usize) -> Self {
         self.config.lease_ticks = ticks;
+        self
+    }
+
+    /// Server partitions for the sharded cluster tier; `0` = auto (see
+    /// [`SimConfig::resolved_partitions`]).
+    pub fn partitions(mut self, partitions: usize) -> Self {
+        self.config.partitions = partitions;
         self
     }
 
@@ -539,6 +575,27 @@ mod tests {
         assert_eq!(SimConfig::builder().threads(2).build().unwrap().threads, 2);
         // Auto resolves to something positive whatever the environment.
         assert!(SimConfig::default().resolved_threads() >= 1);
+    }
+
+    #[test]
+    fn partition_resolution_precedence() {
+        // An explicit count always wins; auto defaults to 1 when the
+        // environment doesn't say otherwise.
+        assert_eq!(
+            SimConfig::default()
+                .with_partitions(4)
+                .resolved_partitions(),
+            4
+        );
+        assert_eq!(
+            SimConfig::builder()
+                .partitions(2)
+                .build()
+                .unwrap()
+                .partitions,
+            2
+        );
+        assert!(SimConfig::default().resolved_partitions() >= 1);
     }
 
     #[test]

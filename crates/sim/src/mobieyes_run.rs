@@ -6,6 +6,7 @@ use crate::metrics::{sim_keys, RunMetrics};
 use crate::mobility::Mobility;
 use crate::truth::{result_error, GroundTruth};
 use crate::workload::Workload;
+use mobieyes_cluster::ClusterServer;
 use mobieyes_core::server::Net;
 use mobieyes_core::{
     Downlink, Filter, MovingObjectAgent, ObjectId, Propagation, Properties, ProtocolConfig,
@@ -14,8 +15,53 @@ use mobieyes_core::{
 use mobieyes_geo::{Grid, QueryRegion, Vec2};
 use mobieyes_net::{BaseStationLayout, ChurnPlan, FaultPlan, NodeId, RadioModel};
 use mobieyes_telemetry::{EventKind, Phase, Telemetry};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
+
+/// The server tier behind a deployment: the plain single server, or the
+/// grid-sharded cluster (`SimConfig::partitions` > 1). Both speak the same
+/// agent-facing protocol over the same network; a resolved partition count
+/// of 1 runs the single-server code path literally.
+enum ServerTier {
+    Single(Box<Server>),
+    Cluster(Box<ClusterServer>),
+}
+
+impl ServerTier {
+    fn install_query(
+        &mut self,
+        focal: ObjectId,
+        region: QueryRegion,
+        filter: Filter,
+        net: &mut Net,
+    ) -> QueryId {
+        match self {
+            ServerTier::Single(s) => s.install_query(focal, region, filter, net),
+            ServerTier::Cluster(c) => c.install_query(focal, region, filter, net),
+        }
+    }
+
+    fn heartbeat(&mut self, now: f64, net: &mut Net) {
+        match self {
+            ServerTier::Single(s) => s.heartbeat(now, net),
+            ServerTier::Cluster(c) => c.heartbeat(now, net),
+        }
+    }
+
+    fn tick(&mut self, net: &mut Net) {
+        match self {
+            ServerTier::Single(s) => s.tick(net),
+            ServerTier::Cluster(c) => c.tick(net),
+        }
+    }
+
+    fn query_result(&self, qid: QueryId) -> Option<&BTreeSet<ObjectId>> {
+        match self {
+            ServerTier::Single(s) => s.query_result(qid),
+            ServerTier::Cluster(c) => c.query_result(qid),
+        }
+    }
+}
 
 /// A complete MobiEyes deployment under simulation.
 ///
@@ -32,7 +78,7 @@ pub struct MobiEyesSim {
     pub config: SimConfig,
     pub workload: Workload,
     mobility: Mobility,
-    server: Server,
+    tier: ServerTier,
     net: Net,
     agents: Vec<MovingObjectAgent>,
     truth: GroundTruth,
@@ -98,7 +144,18 @@ impl MobiEyesSim {
         );
         let layout = BaseStationLayout::new(workload.universe, config.alen);
         let mut net = Net::new(layout.clone()).with_telemetry(telemetry.clone());
-        let mut server = Server::new(Arc::clone(&pconf)).with_telemetry(telemetry.clone());
+        let partitions = config.resolved_partitions();
+        let mut tier = if partitions > 1 {
+            ServerTier::Cluster(Box::new(ClusterServer::new(
+                Arc::clone(&pconf),
+                partitions,
+                telemetry.clone(),
+            )))
+        } else {
+            ServerTier::Single(Box::new(
+                Server::new(Arc::clone(&pconf)).with_telemetry(telemetry.clone()),
+            ))
+        };
         let mobility = Mobility::with_kind(
             &workload,
             config.objects_changing_velocity,
@@ -134,7 +191,7 @@ impl MobiEyesSim {
             .queries
             .iter()
             .map(|q| {
-                server.install_query(
+                tier.install_query(
                     ObjectId(q.focal_idx as u32),
                     QueryRegion::circle(q.radius),
                     Filter::with_selectivity(workload.selectivity, q.filter_salt),
@@ -152,7 +209,7 @@ impl MobiEyesSim {
             config,
             workload,
             mobility,
-            server,
+            tier,
             net,
             agents,
             truth,
@@ -200,8 +257,41 @@ impl MobiEyesSim {
         self.tick_index as f64 * self.config.time_step
     }
 
+    /// The single server (panics on a cluster deployment — use
+    /// [`cluster`](Self::cluster) or the tier-agnostic
+    /// [`query_result`](Self::query_result) there).
     pub fn server(&self) -> &Server {
-        &self.server
+        match &self.tier {
+            ServerTier::Single(s) => s,
+            ServerTier::Cluster(_) => {
+                panic!("server(): this deployment is partitioned; use cluster()")
+            }
+        }
+    }
+
+    /// The partitioned server tier (panics on a single-server deployment).
+    pub fn cluster(&self) -> &ClusterServer {
+        match &self.tier {
+            ServerTier::Cluster(c) => c,
+            ServerTier::Single(_) => {
+                panic!("cluster(): this deployment is single-server; use server()")
+            }
+        }
+    }
+
+    /// Mutable access to the partitioned tier (fault-injection tests).
+    pub fn cluster_mut(&mut self) -> &mut ClusterServer {
+        match &mut self.tier {
+            ServerTier::Cluster(c) => c,
+            ServerTier::Single(_) => {
+                panic!("cluster_mut(): this deployment is single-server")
+            }
+        }
+    }
+
+    /// Current result set of a query, whatever the server tier.
+    pub fn query_result(&self, qid: QueryId) -> Option<&BTreeSet<ObjectId>> {
+        self.tier.query_result(qid)
     }
 
     pub fn net(&self) -> &Net {
@@ -337,12 +427,12 @@ impl MobiEyesSim {
         // lease expiry, pending-install retries, epoch digest beacon. Runs
         // before mediation so the beacon's digest describes the same state
         // the tick's other broadcasts start from.
-        self.server.heartbeat(t, &mut self.net);
+        self.tier.heartbeat(t, &mut self.net);
 
         // Server mediation (profiled: the Figure 1/3 server-load metric).
         {
             let _span = self.telemetry.span(Phase::Mediation);
-            self.server.tick(&mut self.net);
+            self.tier.tick(&mut self.net);
         }
 
         // Phase B: downlink processing + local evaluation.
@@ -356,14 +446,14 @@ impl MobiEyesSim {
         // Server result ingestion.
         {
             let _span = self.telemetry.span(Phase::Ingest);
-            self.server.tick(&mut self.net);
+            self.tier.tick(&mut self.net);
         }
 
         if measured {
             // Result accuracy vs exact ground truth.
             let truth = self.truth.evaluate(&self.mobility.positions);
             for (q, t_set) in truth.iter().enumerate() {
-                if let Some(reported) = self.server.query_result(self.qids[q]) {
+                if let Some(reported) = self.tier.query_result(self.qids[q]) {
                     self.telemetry
                         .gauge_add(sim_keys::TRUTH_ERROR_SUM, result_error(t_set, reported));
                     self.telemetry.incr(sim_keys::TRUTH_ERROR_SAMPLES);

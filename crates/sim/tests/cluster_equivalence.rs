@@ -1,0 +1,126 @@
+//! The partitioned tier's headline invariant: for any seed and fault
+//! plan, an N-partition deployment produces byte-identical per-tick query
+//! results, result-change uplink counts and protocol telemetry to the
+//! single-server deployment — at any thread count of the tick engine.
+//!
+//! The reference run is `partitions = 1` (literally the existing
+//! single-server code path); each cluster run is stepped tick by tick
+//! against the reference's captured per-tick result sets, then the final
+//! protocol snapshots are compared with
+//! [`MetricsSnapshot::protocol_eq`](mobieyes_telemetry::MetricsSnapshot::protocol_eq).
+
+use mobieyes_core::server::srv_keys;
+use mobieyes_core::{ObjectId, Propagation};
+use mobieyes_sim::{MobiEyesSim, SimConfig};
+use mobieyes_telemetry::MetricsSnapshot;
+use std::collections::BTreeSet;
+
+/// Ticks stepped in every run (warm-up is part of the comparison: the
+/// handshake traffic must match too).
+const TICKS: usize = 12;
+
+fn base_config(seed: u64, propagation: Propagation, chaos: bool) -> SimConfig {
+    let mut c = SimConfig::small_test(seed).with_propagation(propagation);
+    if chaos {
+        c = SimConfig::builder()
+            .seed(c.seed)
+            .objects(c.num_objects)
+            .queries(c.num_queries)
+            .objects_changing_velocity(c.objects_changing_velocity)
+            .area(c.area)
+            .propagation(propagation)
+            .uplink_drop(0.12)
+            .downlink_drop(0.08)
+            .dup_rate(0.05)
+            .churn_rate(0.10)
+            .lease_ticks(4)
+            .build()
+            .expect("valid chaos config");
+    }
+    c
+}
+
+struct Trace {
+    /// `results[tick][query]` — every query's result set after each tick.
+    results: Vec<Vec<BTreeSet<ObjectId>>>,
+    snapshot: MetricsSnapshot,
+}
+
+fn run_traced(config: SimConfig) -> Trace {
+    let mut sim = MobiEyesSim::new(config);
+    let mut results = Vec::with_capacity(TICKS);
+    for _ in 0..TICKS {
+        sim.step(true);
+        results.push(
+            sim.query_ids()
+                .iter()
+                .map(|&q| sim.query_result(q).cloned().unwrap_or_default())
+                .collect(),
+        );
+    }
+    Trace {
+        results,
+        snapshot: sim.telemetry().snapshot(),
+    }
+}
+
+fn assert_equivalent(seed: u64, propagation: Propagation, chaos: bool) {
+    let reference = run_traced(base_config(seed, propagation, chaos));
+    assert!(
+        reference.snapshot.counter(srv_keys::RESULT_UPDATES) > 0,
+        "reference run must exercise result reporting (seed {seed})"
+    );
+    for partitions in [2usize, 4] {
+        for threads in [1usize, 4] {
+            let config = base_config(seed, propagation, chaos)
+                .with_partitions(partitions)
+                .with_threads(threads);
+            let run = run_traced(config);
+            for (tick, (a, b)) in reference.results.iter().zip(&run.results).enumerate() {
+                assert_eq!(
+                    a, b,
+                    "per-tick results diverged: seed {seed} {propagation:?} chaos={chaos} \
+                     partitions={partitions} threads={threads} tick {tick}"
+                );
+            }
+            assert_eq!(
+                reference.snapshot.counter(srv_keys::RESULT_UPDATES),
+                run.snapshot.counter(srv_keys::RESULT_UPDATES),
+                "result-change uplink count diverged: seed {seed} partitions={partitions}"
+            );
+            assert!(
+                reference.snapshot.protocol_eq(&run.snapshot),
+                "protocol telemetry diverged: seed {seed} {propagation:?} chaos={chaos} \
+                 partitions={partitions} threads={threads}"
+            );
+        }
+    }
+}
+
+#[test]
+fn eqp_fault_free_matches_single_server() {
+    for seed in [61, 62] {
+        assert_equivalent(seed, Propagation::Eager, false);
+    }
+}
+
+#[test]
+fn lqp_fault_free_matches_single_server() {
+    for seed in [63, 64] {
+        assert_equivalent(seed, Propagation::Lazy, false);
+    }
+}
+
+#[test]
+fn eqp_chaos_matches_single_server() {
+    for seed in [65, 66] {
+        assert_equivalent(seed, Propagation::Eager, true);
+    }
+}
+
+#[test]
+fn lqp_chaos_matches_single_server() {
+    for seed in [67, 68] {
+        assert_equivalent(seed, Propagation::Lazy, true);
+    }
+}

@@ -4,12 +4,21 @@
 #    (the sequential engine is the 1-thread point) -> BENCH_parallel.json
 #  - crates/bench/src/bin/chaos.rs: chaos-recovery latency percentiles
 #    under faults + churn -> BENCH_chaos.json
-# Both JSON files land at the repository root.
+#  - crates/bench/src/bin/cluster.rs: grid-sharded server-tier scaling
+#    (per-partition load + bus traffic over 1..8 partitions)
+#    -> BENCH_cluster.json
+# All JSON files land at the repository root. Every file records host
+# provenance — the machine's core count and the MOBIEYES_THREADS setting
+# in effect — so numbers from different machines stay attributable.
 #
 # Run from the repository root: ./scripts/bench.sh
 # Set MOBIEYES_QUICK=1 for a ~10x smaller smoke run.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "host: $(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo '?') cores," \
+     "MOBIEYES_THREADS=${MOBIEYES_THREADS:-auto}"
+
 cargo run --release -p mobieyes-bench --bin parallel
 cargo run --release -p mobieyes-bench --bin chaos
+cargo run --release -p mobieyes-bench --bin cluster

@@ -19,6 +19,16 @@ MOBIEYES_THREADS=1 cargo test -q --workspace
 echo "==> cargo test -q (MOBIEYES_THREADS=4)"
 MOBIEYES_THREADS=4 cargo test -q --workspace
 
+# JSON field assertions go through the assert-json helper instead of
+# fragile grep -o pipelines.
+assert_json() { cargo run -q --release -p mobieyes-bench --bin assert-json -- "$@"; }
+# The BENCH_*.json files embed host provenance (host_cores,
+# mobieyes_threads) that legitimately differs between the 1- and 4-thread
+# runs; everything else must be byte-identical.
+diff_benches() {
+  diff <(grep -v '"host_cores"' "$1") <(grep -v '"host_cores"' "$2")
+}
+
 echo "==> chaos smoke (seq/parallel equivalence + convergence)"
 # The chaos-recovery bench is fully deterministic; the same scenario must
 # produce byte-identical results and telemetry at 1 and 4 worker threads,
@@ -26,16 +36,30 @@ echo "==> chaos smoke (seq/parallel equivalence + convergence)"
 # recovery at the documented contract bound, so a non-converging seed
 # shows up as recovery_ticks == contract_bound_ticks).
 chaos_out_1=$(mktemp) && chaos_out_4=$(mktemp)
-trap 'rm -f "$chaos_out_1" "$chaos_out_4"' EXIT
+cluster_out_1=$(mktemp) && cluster_out_4=$(mktemp)
+trap 'rm -f "$chaos_out_1" "$chaos_out_4" "$cluster_out_1" "$cluster_out_4"' EXIT
 MOBIEYES_QUICK=1 MOBIEYES_THREADS=1 cargo run -q --release -p mobieyes-bench --bin chaos
 mv BENCH_chaos.json "$chaos_out_1"
 MOBIEYES_QUICK=1 MOBIEYES_THREADS=4 cargo run -q --release -p mobieyes-bench --bin chaos
 mv BENCH_chaos.json "$chaos_out_4"
-diff "$chaos_out_1" "$chaos_out_4" \
+diff_benches "$chaos_out_1" "$chaos_out_4" \
   || { echo "chaos smoke: thread counts disagree"; exit 1; }
-bound=$(grep -o '"contract_bound_ticks": [0-9]*' "$chaos_out_1" | grep -o '[0-9]*')
-if grep -q "\"recovery_ticks\": $bound[,}]" "$chaos_out_1"; then
-  echo "chaos smoke: a seed failed to converge within $bound ticks"; exit 1
-fi
+bound=$(assert_json "$chaos_out_1" get contract_bound_ticks)
+assert_json "$chaos_out_1" forbid recovery_ticks "$bound" \
+  || { echo "chaos smoke: a seed failed to converge within $bound ticks"; exit 1; }
+
+echo "==> cluster smoke (partitioned-tier equivalence)"
+# The cluster-scaling bench runs the same deployment over 1, 2, 4 and 8
+# partitions and asserts internally that results and protocol telemetry
+# are byte-identical to the single server. Running it at 1 and 4 worker
+# threads and diffing the JSON additionally proves the partitioned tier is
+# thread-count independent.
+MOBIEYES_QUICK=1 MOBIEYES_THREADS=1 cargo run -q --release -p mobieyes-bench --bin cluster
+mv BENCH_cluster.json "$cluster_out_1"
+MOBIEYES_QUICK=1 MOBIEYES_THREADS=4 cargo run -q --release -p mobieyes-bench --bin cluster
+mv BENCH_cluster.json "$cluster_out_4"
+diff_benches "$cluster_out_1" "$cluster_out_4" \
+  || { echo "cluster smoke: thread counts disagree"; exit 1; }
+assert_json "$cluster_out_1" require bench cluster-scaling
 
 echo "All checks passed."

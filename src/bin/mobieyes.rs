@@ -37,6 +37,9 @@ OPTIONS:
     --safe-period      enable safe-period optimization
     --threads <N>      tick-engine worker threads; 0 = auto from
                        MOBIEYES_THREADS or the host CPU count [default: 0]
+    --partitions <N>   grid-sharded server partitions; 0 = auto from
+                       MOBIEYES_PARTITIONS, else 1 (single server);
+                       results are byte-identical at every count [default: 0]
     --seed <N>         RNG seed
     --uplink-drop <P>  uplink message drop probability (0..=1)   [default: 0]
     --downlink-drop <P> downlink message drop probability (0..=1) [default: 0]
@@ -99,6 +102,7 @@ fn parse_args() -> Result<Cli, String> {
                 builder = builder.focal_pool(parse(&value("--focal-pool")?)?);
             }
             "--threads" => builder = builder.threads(parse(&value("--threads")?)?),
+            "--partitions" => builder = builder.partitions(parse(&value("--partitions")?)?),
             "--seed" => builder = builder.seed(parse(&value("--seed")?)?),
             "--uplink-drop" => {
                 builder = builder.uplink_drop(parse(&value("--uplink-drop")?)?);
