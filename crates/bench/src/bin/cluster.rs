@@ -20,6 +20,9 @@ use std::fmt::Write as _;
 
 const PARTITIONS: &[usize] = &[1, 2, 4, 8];
 const WARMUP: usize = 4;
+/// Rebalance cadence for the skew run: frequent enough to fire several
+/// times inside the bench window even in quick mode.
+const REBALANCE_TICKS: usize = 5;
 
 struct Load {
     uplinks_handled: u64,
@@ -80,6 +83,59 @@ fn run_one(config: &SimConfig, partitions: usize, ticks: usize) -> Run {
         bus_msgs,
         bus_bytes,
     }
+}
+
+struct RebalanceRun {
+    results: Vec<BTreeSet<ObjectId>>,
+    snapshot: MetricsSnapshot,
+    map_generation: u64,
+    /// Per-partition primary uplinks handled after the first map install —
+    /// the window where the load-driven bounds are in effect.
+    window_ops: Vec<u64>,
+}
+
+/// Runs `partitions` servers with periodic load-driven rebalancing and
+/// measures how evenly the primary-uplink load divides once the first
+/// recomputed partition map is installed.
+fn run_rebalanced(config: &SimConfig, partitions: usize, ticks: usize) -> RebalanceRun {
+    let mut sim = ClusterSim::new(
+        config.clone().with_rebalance_ticks(REBALANCE_TICKS),
+        partitions,
+    );
+    let mut base: Option<Vec<u64>> = None;
+    let ops = |sim: &ClusterSim| -> Vec<u64> {
+        let c = sim.cluster().expect("rebalance run is partitioned");
+        (0..partitions).map(|p| c.partition_ops(p)).collect()
+    };
+    for i in 0..WARMUP + ticks {
+        sim.step(i >= WARMUP);
+        if base.is_none() && sim.cluster().expect("partitioned").map_generation() > 0 {
+            base = Some(ops(&sim));
+        }
+    }
+    let base = base.expect("rebalance cadence must fire inside the bench window");
+    let window_ops = ops(&sim)
+        .iter()
+        .zip(&base)
+        .map(|(now, b)| now - b)
+        .collect();
+    RebalanceRun {
+        results: sim
+            .query_ids()
+            .iter()
+            .map(|&q| sim.query_result(q).cloned().unwrap_or_default())
+            .collect(),
+        snapshot: sim.telemetry().snapshot(),
+        map_generation: sim.cluster().expect("partitioned").map_generation(),
+        window_ops,
+    }
+}
+
+/// Load skew: heaviest partition over lightest (1.0 = perfectly even).
+fn skew(ops: &[u64]) -> f64 {
+    let max = ops.iter().copied().max().unwrap_or(0);
+    let min = ops.iter().copied().min().unwrap_or(0).max(1);
+    max as f64 / min as f64
 }
 
 fn main() {
@@ -184,7 +240,52 @@ fn main() {
             if i + 1 == PARTITIONS.len() { "" } else { "," }
         );
     }
-    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "  ],");
+
+    // Load-skew measurement: the widest deployment again, now with the
+    // partition map recomputed from observed per-cell load every
+    // REBALANCE_TICKS ticks. Rebalancing must leave results and protocol
+    // telemetry untouched and flatten the per-partition uplink split.
+    let widest_n = *PARTITIONS.last().unwrap();
+    let rebalanced = run_rebalanced(&config, widest_n, ticks);
+    assert_eq!(
+        reference.results, rebalanced.results,
+        "rebalancing changed query results at {widest_n} partitions"
+    );
+    assert!(
+        reference.snapshot.protocol_eq(&rebalanced.snapshot),
+        "rebalancing changed protocol telemetry at {widest_n} partitions"
+    );
+    let static_ops: Vec<u64> = runs
+        .last()
+        .expect("at least one partition count")
+        .per_partition
+        .iter()
+        .map(|l| l.uplinks_handled)
+        .collect();
+    let skew_before = skew(&static_ops);
+    let skew_after = skew(&rebalanced.window_ops);
+    println!(
+        "n={widest_n} rebalanced: map generation {}, uplink skew {skew_before:.4} -> {skew_after:.4}",
+        rebalanced.map_generation
+    );
+    assert!(
+        skew_after < skew_before,
+        "rebalancing must flatten the uplink split ({skew_before:.4} -> {skew_after:.4})"
+    );
+    if !quick {
+        assert!(
+            skew_after <= 1.15,
+            "post-rebalance skew target missed: {skew_after:.4} > 1.15 at n={widest_n}"
+        );
+    }
+    let _ = writeln!(
+        json,
+        "  \"rebalance\": {{ \"n\": {widest_n}, \"rebalance_ticks\": {REBALANCE_TICKS}, \
+         \"map_generation\": {}, \"skew_before\": {skew_before:.4}, \
+         \"skew_after\": {skew_after:.4} }}",
+        rebalanced.map_generation
+    );
     let _ = writeln!(json, "}}");
 
     // The point of sharding: per-partition load must actually divide.

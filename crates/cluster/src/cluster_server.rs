@@ -11,7 +11,7 @@
 //! shared agent network, same counters (summed across the per-partition
 //! sinks), same event log.
 
-use crate::partition::{PartitionMap, Router};
+use crate::partition::{plan_bounds, PartitionMap, Router};
 use mobieyes_core::server::{srv_keys, Net};
 use mobieyes_core::{
     ClusterMsg, Downlink, Filter, ObjectId, PartitionScope, ProtocolConfig, QueryId, Server, Uplink,
@@ -77,6 +77,9 @@ pub struct ClusterServer {
     last_heartbeat: f64,
     /// Per-partition count of uplinks handled as primary (scaling bench).
     ops: Vec<u64>,
+    /// Per-cell (flat index) count of primary uplinks since the last
+    /// rebalance install — the load signal the rebalance planner cuts.
+    cell_ops: Vec<u64>,
 }
 
 impl ClusterServer {
@@ -90,7 +93,7 @@ impl ClusterServer {
                     .with_telemetry(sinks[p].clone())
                     .with_scope(PartitionScope::new(
                         p as u32,
-                        Arc::clone(map.bounds()),
+                        Arc::clone(map.table()),
                         Arc::clone(&epoch),
                     ))
             })
@@ -101,6 +104,7 @@ impl ClusterServer {
             config.grid.alpha,
         ))
         .with_telemetry(bus_sink.clone());
+        let cells = config.grid.num_cells();
         ClusterServer {
             config,
             map,
@@ -114,6 +118,7 @@ impl ClusterServer {
             now: 0.0,
             last_heartbeat: f64::NEG_INFINITY,
             ops: vec![0; n],
+            cell_ops: vec![0; cells],
         }
     }
 
@@ -152,6 +157,11 @@ impl ClusterServer {
     /// Uplinks handled with partition `p` as primary (scaling bench).
     pub fn partition_ops(&self, p: usize) -> u64 {
         self.ops[p]
+    }
+
+    /// The current partition-map generation (0 until the first rebalance).
+    pub fn map_generation(&self) -> u64 {
+        self.map.generation()
     }
 
     pub fn current_epoch(&self) -> u64 {
@@ -369,9 +379,10 @@ impl ClusterServer {
 
     /// Processes one uplink, decomposed into owner-partition primitives.
     pub fn handle_uplink(&mut self, from: NodeId, msg: Uplink, net: &mut Net) {
-        let grid = &self.config.grid;
-        let primary = Router::primary(&self.map, grid, &msg)
-            .map(|p| p as usize)
+        let primary_flat =
+            Router::primary_cell(&self.config.grid, &msg).map(|c| self.config.grid.flat_index(c));
+        let primary = primary_flat
+            .map(|f| self.map.owner_of_flat(f) as usize)
             .or_else(|| match &msg {
                 Uplink::ResultUpdate { changes, .. } => {
                     changes.first().and_then(|(q, _)| self.find_query(*q))
@@ -380,6 +391,9 @@ impl ClusterServer {
                 _ => None,
             })
             .unwrap_or(0);
+        if let Some(flat) = primary_flat {
+            self.cell_ops[flat] += 1;
+        }
         self.ops[primary] += 1;
         self.sinks[primary].incr(srv_keys::UPLINKS);
         // Any uplink from a focal object renews its lease, wherever the
@@ -459,6 +473,9 @@ impl ClusterServer {
         motion: LinearMotion,
         net: &mut Net,
     ) {
+        // Wire-carried cells may overshoot the grid (see Router docs);
+        // clamp before any flat-index lookup.
+        let new_cell = self.config.grid.clamp_cell(new_cell);
         let new_home = self.map.owner_of_cell(&self.config.grid, new_cell) as usize;
         if let Some(home) = self.find_focal(oid) {
             if home != new_home {
@@ -519,13 +536,19 @@ impl ClusterServer {
         fresh: bool,
         net: &mut Net,
     ) {
+        let cell = self.config.grid.clamp_cell(cell);
         let has_pending = self.pending.contains_key(&oid);
         let home0 = self.find_focal(oid);
-        let prior = home0.map(|h| {
-            (
-                self.partitions[h].focal_motion(oid).unwrap(),
-                self.partitions[h].focal_queries(oid).unwrap(),
-            )
+        // A focal crashed by a churn plan mid-handoff (or torn down by a
+        // concurrent lease expiry) may have no FOT row left even though a
+        // partition still answered `has_focal` a moment ago; treat any
+        // missing piece as "no prior state" instead of panicking — the
+        // lease teardown reclaims the queries.
+        let prior = home0.and_then(|h| {
+            Some((
+                self.partitions[h].focal_motion(oid)?,
+                self.partitions[h].focal_queries(oid)?,
+            ))
         });
         let target = home0.unwrap_or_else(|| {
             self.map
@@ -537,14 +560,16 @@ impl ClusterServer {
         if let Some((old_motion, queries)) = prior {
             if !queries.is_empty() {
                 let home = home0.expect("prior implies a home");
-                let stale_cell = queries
+                let reported: Vec<CellId> = queries
                     .iter()
                     .filter_map(|q| self.partitions[home].query_cell(*q))
-                    .any(|c| c != cell);
+                    .collect();
+                let stale_cell = reported.iter().any(|&c| c != cell);
                 if stale_cell {
-                    let prev = self.partitions[home]
-                        .query_cell(queries[0])
-                        .expect("focal query in SQT");
+                    // `reported` is non-empty here (`any` matched), so the
+                    // migration has a well-defined previous cell; a focal
+                    // whose queries vanished mid-handoff simply skips it.
+                    let prev = reported[0];
                     self.sinks[self.map.owner_of_cell(&self.config.grid, cell) as usize]
                         .incr(srv_keys::CELL_CHANGES);
                     self.cell_change(oid, prev, cell, motion, net);
@@ -600,6 +625,109 @@ impl ClusterServer {
         for (home, qid, entered) in deltas {
             self.partitions[home].deliver_result_delta(qid, oid, entered, net);
         }
+    }
+
+    /// Load-aware partition rebalancing: recomputes the block bounds from
+    /// the per-cell primary-uplink load observed since the last install
+    /// and migrates every piece of reassigned state under an *epoch
+    /// fence*. Returns `true` when a new map generation was installed.
+    ///
+    /// The fence sequence (DESIGN.md §10):
+    /// 1. quiesce the bus — drain any in-flight envelope against the old
+    ///    owner table, so no transfer straddles two generations;
+    /// 2. bump the shared epoch — a uniform shift of all later seq
+    ///    stamps, invisible to agents (they only compare stamps) but a
+    ///    clean pre/post separator in the event log;
+    /// 3. install the new bounds, bumping the map generation every
+    ///    [`PartitionScope`] resolves ownership through;
+    /// 4. transfer the RQI rows of every reassigned cell verbatim
+    ///    ([`ClusterMsg::RebalanceCells`], generation-stamped), then
+    ///    rehome focal objects whose anchor cell changed owner through
+    ///    the ordinary `MigrateFocal` machinery.
+    ///
+    /// Rebalancing must never change query results — every transfer is
+    /// counter-neutral and order-preserving, so an N-partition run stays
+    /// byte-identical to the single server whether or not (and whenever)
+    /// this runs. The bus fault plan is suspended for the fence window:
+    /// transfers are a coordinator control action whose loss would break
+    /// that invariant, unlike data-path handoffs which lease-repair.
+    pub fn rebalance(&mut self) -> bool {
+        let n = self.partitions.len();
+        if n <= 1 || self.cell_ops.iter().all(|&c| c == 0) {
+            return false;
+        }
+        let old_bounds = self.map.bounds_snapshot();
+        let new_bounds = plan_bounds(&self.cell_ops, n);
+        if new_bounds == old_bounds {
+            return false;
+        }
+        // (1) Quiesce: nothing may be in flight across the install.
+        self.pump_bus();
+        let saved_fault = self.bus.uplink_fault().clone();
+        self.bus.set_uplink_fault(FaultPlan::none());
+        // (2) + (3) Fence bump, then the install itself.
+        self.bump_shared_epoch();
+        let generation = self.map.install(&new_bounds);
+
+        // (4a) RQI rows of every reassigned cell, batched per (from, to)
+        // pair in ascending partition order.
+        let owner_in = |bounds: &[usize], flat: usize| -> u32 {
+            (bounds.partition_point(|&b| b <= flat) - 1) as u32
+        };
+        let mut moves: BTreeMap<(u32, u32), Vec<usize>> = BTreeMap::new();
+        for flat in 0..self.cell_ops.len() {
+            let from = owner_in(&old_bounds, flat);
+            let to = owner_in(&new_bounds, flat);
+            if from != to {
+                moves.entry((from, to)).or_default().push(flat);
+            }
+        }
+        for ((from, to), flats) in moves {
+            if let Some(msg) = self.partitions[from as usize].export_cells(&flats, generation) {
+                self.bus.send_uplink(NodeId(from), Envelope { to, msg });
+            }
+        }
+        self.pump_bus();
+
+        // (4b) Rehome focal objects whose anchor cell changed owner,
+        // ascending object id — the same MigrateFocal machinery as a
+        // border handoff.
+        let mut rehome: Vec<(ObjectId, usize, usize)> = Vec::new();
+        for (p, s) in self.partitions.iter().enumerate() {
+            for oid in s.focal_ids() {
+                let Some(cell) = s.focal_anchor_cell(oid) else {
+                    continue;
+                };
+                let to = self.map.owner_of_cell(&self.config.grid, cell) as usize;
+                if to != p {
+                    rehome.push((oid, p, to));
+                }
+            }
+        }
+        rehome.sort_unstable();
+        for (oid, from, to) in rehome {
+            if let Some(m) = self.partitions[from].extract_focal(oid) {
+                self.bus.send_uplink(
+                    NodeId(from as u32),
+                    Envelope {
+                        to: to as u32,
+                        msg: m,
+                    },
+                );
+            }
+        }
+        self.pump_bus();
+
+        // Hygiene: stubs whose monitoring region left a shrunk span.
+        for s in self.partitions.iter_mut() {
+            s.prune_stubs();
+        }
+        self.bus.set_uplink_fault(saved_fault);
+        // Start the next observation window fresh.
+        for c in self.cell_ops.iter_mut() {
+            *c = 0;
+        }
+        true
     }
 
     /// Structural self-check: every partition's local invariants, plus

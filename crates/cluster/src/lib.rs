@@ -11,4 +11,4 @@ pub mod cluster_server;
 pub mod partition;
 
 pub use cluster_server::{Bus, ClusterServer, Envelope};
-pub use partition::{PartitionMap, Router};
+pub use partition::{plan_bounds, PartitionMap, Router};

@@ -1,24 +1,28 @@
 //! Partition map and stateless uplink router for the sharded server tier.
 
-use mobieyes_core::Uplink;
+use mobieyes_core::{PartitionTable, Uplink};
 use mobieyes_geo::{CellId, Grid};
 use std::sync::Arc;
 
 /// Assignment of contiguous grid-cell blocks (flat row-major indices) to
-/// partition ids.
+/// partition ids, backed by a shared, versioned [`PartitionTable`].
 ///
-/// `bounds` has `N + 1` entries; partition `p` owns flat indices
+/// The table has `N + 1` bounds entries; partition `p` owns flat indices
 /// `[bounds[p], bounds[p+1])`. Contiguity keeps ownership tests a single
 /// comparison and makes the concatenation of per-partition digests (in
-/// partition order) equal the single server's ascending-index scan.
+/// partition order) equal the single server's ascending-index scan — for
+/// *any* bounds vector, which is what lets a coordinator re-split the
+/// blocks by observed load without perturbing the protocol (see
+/// DESIGN.md §10).
 #[derive(Debug, Clone)]
 pub struct PartitionMap {
-    bounds: Arc<Vec<usize>>,
+    table: Arc<PartitionTable>,
 }
 
 impl PartitionMap {
     /// Splits the grid's cells into `n` near-equal contiguous blocks (the
-    /// first `num_cells % n` partitions get one extra cell).
+    /// first `num_cells % n` partitions get one extra cell). This is
+    /// generation 0; rebalance installs produce later generations.
     pub fn contiguous(grid: &Grid, n: usize) -> Self {
         assert!(n >= 1, "at least one partition");
         let cells = grid.num_cells();
@@ -34,22 +38,38 @@ impl PartitionMap {
         }
         debug_assert_eq!(*bounds.last().unwrap(), cells);
         PartitionMap {
-            bounds: Arc::new(bounds),
+            table: Arc::new(PartitionTable::new(bounds)),
         }
     }
 
     pub fn num_partitions(&self) -> usize {
-        self.bounds.len() - 1
+        self.table.num_partitions()
     }
 
-    /// The shared bounds vector (for [`mobieyes_core::PartitionScope`]).
-    pub fn bounds(&self) -> &Arc<Vec<usize>> {
-        &self.bounds
+    /// The shared partition table (for [`mobieyes_core::PartitionScope`]).
+    pub fn table(&self) -> &Arc<PartitionTable> {
+        &self.table
+    }
+
+    /// The current map generation (0 until the first rebalance install).
+    pub fn generation(&self) -> u64 {
+        self.table.generation()
+    }
+
+    /// A plain copy of the current bounds vector (`N + 1` entries).
+    pub fn bounds_snapshot(&self) -> Vec<usize> {
+        self.table.bounds_snapshot()
+    }
+
+    /// Installs a new bounds vector, bumping the map generation; every
+    /// [`mobieyes_core::PartitionScope`] sharing the table sees the new
+    /// ownership immediately. Returns the new generation.
+    pub fn install(&self, bounds: &[usize]) -> u64 {
+        self.table.install(bounds)
     }
 
     pub fn owner_of_flat(&self, flat: usize) -> u32 {
-        debug_assert!(flat < *self.bounds.last().unwrap());
-        (self.bounds.partition_point(|&b| b <= flat) - 1) as u32
+        self.table.owner_of(flat)
     }
 
     pub fn owner_of_cell(&self, grid: &Grid, cell: CellId) -> u32 {
@@ -58,8 +78,37 @@ impl PartitionMap {
 
     /// Number of cells a partition owns.
     pub fn partition_cells(&self, p: u32) -> usize {
-        self.bounds[p as usize + 1] - self.bounds[p as usize]
+        self.table.owned_range(p).len()
     }
+}
+
+/// Computes load-balanced contiguous bounds from per-cell load counts:
+/// cut the prefix-sum of `cell_loads` at the `p/n` quantiles, so each
+/// block carries a near-equal share of the observed load. Every partition
+/// keeps at least one cell (empty blocks would break the `N + 1`-bounds
+/// shape), so heavily skewed loads converge over a few rounds rather
+/// than in one.
+pub fn plan_bounds(cell_loads: &[u64], n: usize) -> Vec<usize> {
+    let cells = cell_loads.len();
+    assert!(n >= 1 && cells >= n, "more partitions than cells");
+    let mut prefix = Vec::with_capacity(cells);
+    let mut total: u64 = 0;
+    for &l in cell_loads {
+        total += l;
+        prefix.push(total);
+    }
+    let mut bounds = Vec::with_capacity(n + 1);
+    bounds.push(0usize);
+    for p in 1..n {
+        let target = (total as u128 * p as u128 / n as u128) as u64;
+        let cut = prefix.partition_point(|&v| v <= target);
+        // Keep every block non-empty: at least one cell after the previous
+        // cut, and enough cells left for the remaining partitions.
+        let prev = *bounds.last().unwrap();
+        bounds.push(cut.clamp(prev + 1, cells - (n - p)));
+    }
+    bounds.push(cells);
+    bounds
 }
 
 /// Stateless uplink router: picks the *primary* partition for a message —
@@ -70,25 +119,33 @@ impl PartitionMap {
 pub struct Router;
 
 impl Router {
-    /// The partition owning the sender's cell, when the message names one.
-    pub fn primary(map: &PartitionMap, grid: &Grid, msg: &Uplink) -> Option<u32> {
-        let cell = match msg {
+    /// The grid cell a message reports from, when it names one. Carried
+    /// cells (cell changes, resyncs) are clamped to the grid — a sender
+    /// that dead-reckoned past the universe boundary must not produce an
+    /// out-of-range flat index downstream.
+    pub fn primary_cell(grid: &Grid, msg: &Uplink) -> Option<CellId> {
+        Some(match msg {
             Uplink::VelocityReport { motion, .. } => grid.cell_of(motion.pos),
-            Uplink::CellChange { new_cell, .. } => *new_cell,
+            Uplink::CellChange { new_cell, .. } => grid.clamp_cell(*new_cell),
             Uplink::PositionReply { motion, .. } => grid.cell_of(motion.pos),
-            Uplink::Resync { cell, .. } => *cell,
+            Uplink::Resync { cell, .. } => grid.clamp_cell(*cell),
             Uplink::ResultUpdate { .. }
             | Uplink::GroupResultUpdate { .. }
             | Uplink::LqtSync { .. } => return None,
-        };
-        Some(map.owner_of_cell(grid, cell))
+        })
+    }
+
+    /// The partition owning the sender's cell, when the message names one.
+    pub fn primary(map: &PartitionMap, grid: &Grid, msg: &Uplink) -> Option<u32> {
+        Self::primary_cell(grid, msg).map(|cell| map.owner_of_cell(grid, cell))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mobieyes_geo::Rect;
+    use mobieyes_core::ObjectId;
+    use mobieyes_geo::{LinearMotion, Point, Rect, Vec2};
 
     #[test]
     fn contiguous_blocks_tile_the_grid() {
@@ -104,8 +161,8 @@ mod tests {
             for flat in 0..grid.num_cells() {
                 let p = map.owner_of_flat(flat);
                 assert!((p as usize) < n);
-                let lo = map.bounds()[p as usize];
-                let hi = map.bounds()[p as usize + 1];
+                let lo = map.bounds_snapshot()[p as usize];
+                let hi = map.bounds_snapshot()[p as usize + 1];
                 assert!((lo..hi).contains(&flat));
             }
         }
@@ -118,5 +175,102 @@ mod tests {
         assert_eq!(map.partition_cells(0), 34);
         assert_eq!(map.partition_cells(1), 33);
         assert_eq!(map.partition_cells(2), 33);
+    }
+
+    #[test]
+    fn install_shifts_ownership_and_bumps_generation() {
+        let grid = Grid::new(Rect::new(0.0, 0.0, 100.0, 100.0), 10.0);
+        let map = PartitionMap::contiguous(&grid, 2);
+        assert_eq!(map.generation(), 0);
+        assert_eq!(map.owner_of_flat(49), 0);
+        let gen = map.install(&[0, 30, 100]);
+        assert_eq!(gen, 1);
+        assert_eq!(map.generation(), 1);
+        assert_eq!(map.owner_of_flat(49), 1);
+        assert_eq!(map.partition_cells(0), 30);
+        assert_eq!(map.partition_cells(1), 70);
+    }
+
+    #[test]
+    fn plan_bounds_splits_load_evenly() {
+        // All load in the first 10 cells: the planner pushes the cut
+        // towards them instead of the cell-count midpoint.
+        let mut loads = vec![0u64; 100];
+        for l in loads.iter_mut().take(10) {
+            *l = 100;
+        }
+        let bounds = plan_bounds(&loads, 2);
+        assert_eq!(bounds.len(), 3);
+        assert_eq!(bounds[0], 0);
+        assert_eq!(bounds[2], 100);
+        assert!(
+            bounds[1] <= 10,
+            "cut {} should land in the hot span",
+            bounds[1]
+        );
+        // Uniform load reproduces the near-equal cell split.
+        let uniform = vec![5u64; 100];
+        assert_eq!(plan_bounds(&uniform, 4), vec![0, 25, 50, 75, 100]);
+    }
+
+    #[test]
+    fn plan_bounds_keeps_every_block_nonempty() {
+        // Degenerate load (everything in one cell) must still yield n
+        // non-empty blocks.
+        let mut loads = vec![0u64; 8];
+        loads[7] = 1000;
+        let bounds = plan_bounds(&loads, 4);
+        assert_eq!(bounds.len(), 5);
+        for w in bounds.windows(2) {
+            assert!(w[0] < w[1], "empty block in {bounds:?}");
+        }
+        assert_eq!(bounds[4], 8);
+        // Zero total load falls back to leading cuts but stays well-formed.
+        let cold = vec![0u64; 6];
+        let b = plan_bounds(&cold, 3);
+        assert_eq!(b.len(), 4);
+        for w in b.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn router_clamps_boundary_crossing_trajectory() {
+        // 10×10 grid; an object dead-reckons past the east edge and
+        // reports a cell change into the out-of-grid column 10. The
+        // router must clamp instead of producing flat index >= 100.
+        let grid = Grid::new(Rect::new(0.0, 0.0, 100.0, 100.0), 10.0);
+        let map = PartitionMap::contiguous(&grid, 4);
+        let motion = LinearMotion::new(Point::new(99.5, 42.0), Vec2::new(0.2, 0.0), 0.0);
+        let msg = Uplink::CellChange {
+            oid: ObjectId(7),
+            prev_cell: CellId::new(9, 4),
+            new_cell: CellId::new(10, 4), // one past the boundary
+            motion,
+        };
+        let cell = Router::primary_cell(&grid, &msg).unwrap();
+        assert_eq!(cell, CellId::new(9, 4));
+        let p = Router::primary(&map, &grid, &msg).unwrap();
+        assert!((p as usize) < map.num_partitions());
+
+        // Same for a resync naming an out-of-grid cell on both axes.
+        let resync = Uplink::Resync {
+            oid: ObjectId(7),
+            cell: CellId::new(12, 11),
+            motion,
+            max_vel: 0.3,
+            fresh: false,
+        };
+        assert_eq!(
+            Router::primary_cell(&grid, &resync).unwrap(),
+            CellId::new(9, 9)
+        );
+
+        // Position-carrying messages already clamp through `cell_of`.
+        let vr = Uplink::VelocityReport {
+            oid: ObjectId(7),
+            motion: LinearMotion::new(Point::new(130.0, -4.0), Vec2::new(0.0, 0.0), 1.0),
+        };
+        assert_eq!(Router::primary_cell(&grid, &vr).unwrap(), CellId::new(9, 0));
     }
 }

@@ -11,7 +11,9 @@
 //! is a transparent, auditable cost model, not maximal density.
 
 use crate::filter::Filter;
-use crate::messages::{ClusterMsg, Downlink, QueryGroupInfo, QueryMigration, QuerySpec, Uplink};
+use crate::messages::{
+    ClusterMsg, Downlink, QueryGroupInfo, QueryMigration, QuerySpec, StubSeed, Uplink,
+};
 use crate::model::{ObjectId, PropValue, QueryId};
 use mobieyes_geo::{CellId, GridRect, LinearMotion, Point, QueryRegion, Vec2};
 use std::sync::Arc;
@@ -843,6 +845,35 @@ pub fn encode_cluster(msg: &ClusterMsg, out: &mut Vec<u8>) {
             put_grid_rect(out, mon_region);
             out.put_u64_le(*epoch);
         }
+        ClusterMsg::RebalanceCells {
+            generation,
+            epoch,
+            cells,
+            stubs,
+        } => {
+            out.put_u8(4);
+            out.put_u64_le(*generation);
+            out.put_u64_le(*epoch);
+            debug_assert!(cells.len() <= u16::MAX as usize);
+            out.put_u16_le(cells.len() as u16);
+            for (flat, qids) in cells {
+                out.put_u32_le(*flat);
+                debug_assert!(qids.len() <= u16::MAX as usize);
+                out.put_u16_le(qids.len() as u16);
+                for qid in qids {
+                    out.put_u32_le(qid.0);
+                }
+            }
+            debug_assert!(stubs.len() <= u16::MAX as usize);
+            out.put_u16_le(stubs.len() as u16);
+            for s in stubs {
+                out.put_u32_le(s.focal.0);
+                put_motion(out, &s.motion);
+                out.put_f64_le(s.max_vel);
+                put_grid_rect(out, &s.mon_region);
+                put_spec(out, &s.spec);
+            }
+        }
     }
 }
 
@@ -927,6 +958,49 @@ pub fn decode_cluster(buf: &mut Reader<'_>) -> Result<ClusterMsg> {
                 qid,
                 mon_region,
                 epoch: buf.get_u64_le(),
+            }
+        }
+        4 => {
+            need(buf, 18, "rebalance header")?;
+            let generation = buf.get_u64_le();
+            let epoch = buf.get_u64_le();
+            let n = buf.get_u16_le() as usize;
+            let mut cells = Vec::with_capacity(n);
+            for _ in 0..n {
+                need(buf, 6, "rebalance cell header")?;
+                let flat = buf.get_u32_le();
+                let k = buf.get_u16_le() as usize;
+                let mut qids = Vec::with_capacity(k);
+                for _ in 0..k {
+                    need(buf, 4, "rebalance qid")?;
+                    qids.push(QueryId(buf.get_u32_le()));
+                }
+                cells.push((flat, qids));
+            }
+            need(buf, 2, "stub seed count")?;
+            let m = buf.get_u16_le() as usize;
+            let mut stubs = Vec::with_capacity(m);
+            for _ in 0..m {
+                need(buf, 4, "stub seed focal")?;
+                let focal = ObjectId(buf.get_u32_le());
+                let motion = get_motion(buf)?;
+                need(buf, 8, "stub seed max vel")?;
+                let max_vel = buf.get_f64_le();
+                let mon_region = get_grid_rect(buf)?;
+                let spec = get_spec(buf)?;
+                stubs.push(StubSeed {
+                    focal,
+                    motion,
+                    max_vel,
+                    mon_region,
+                    spec,
+                });
+            }
+            ClusterMsg::RebalanceCells {
+                generation,
+                epoch,
+                cells,
+                stubs,
             }
         }
         t => return err(&format!("unknown cluster tag {t}")),
@@ -1183,6 +1257,34 @@ mod tests {
                 qid: QueryId(5),
                 mon_region: mon,
                 epoch: 40,
+            },
+            ClusterMsg::RebalanceCells {
+                generation: 3,
+                epoch: 44,
+                cells: vec![
+                    (17, vec![QueryId(5), QueryId(6)]),
+                    (18, vec![]),
+                    (19, vec![QueryId(6)]),
+                ],
+                stubs: vec![StubSeed {
+                    focal: ObjectId(9),
+                    motion: motion(),
+                    max_vel: 0.04,
+                    mon_region: mon,
+                    spec: QuerySpec {
+                        qid: QueryId(6),
+                        region: QueryRegion::circle(1.0),
+                        filter: Arc::new(Filter::True),
+                        slot: 0,
+                        seq: 44,
+                    },
+                }],
+            },
+            ClusterMsg::RebalanceCells {
+                generation: 1,
+                epoch: 2,
+                cells: vec![],
+                stubs: vec![],
             },
         ]
     }

@@ -34,7 +34,9 @@ pub mod server;
 pub use config::{Propagation, ProtocolConfig};
 pub use filter::Filter;
 pub use knn::{KnnConfig, KnnCoordinator};
-pub use messages::{ClusterMsg, Downlink, QueryGroupInfo, QueryMigration, QuerySpec, Uplink};
+pub use messages::{
+    ClusterMsg, Downlink, QueryGroupInfo, QueryMigration, QuerySpec, StubSeed, Uplink,
+};
 pub use model::{ObjectId, PropValue, Properties, QueryId};
 pub use object::{AgentStats, MovingObjectAgent};
-pub use server::{PartitionScope, Server, ServerStats};
+pub use server::{PartitionScope, PartitionTable, Server, ServerStats};

@@ -274,6 +274,24 @@ impl QueryMigration {
     }
 }
 
+/// Everything a partition needs to reconstruct one remote-region stub
+/// during a rebalance cell transfer: the query spec plus the focal
+/// object's motion state. See [`ClusterMsg::RebalanceCells`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct StubSeed {
+    pub focal: ObjectId,
+    pub motion: LinearMotion,
+    pub max_vel: f64,
+    pub mon_region: GridRect,
+    pub spec: QuerySpec,
+}
+
+impl StubSeed {
+    fn wire_size(&self) -> usize {
+        4 + LinearMotion::WIRE_SIZE + 8 + GridRect::WIRE_SIZE + self.spec.wire_size()
+    }
+}
+
 /// Server ↔ server messages of the partitioned cluster tier.
 ///
 /// Carried over a dedicated inter-server [`mobieyes_net::NetworkSim`]
@@ -329,6 +347,22 @@ pub enum ClusterMsg {
         mon_region: GridRect,
         epoch: u64,
     },
+    /// Rebalance cell transfer: the verbatim RQI rows of a batch of cells
+    /// reassigned to the receiver by a new partition-map generation, plus
+    /// the stub seeds needed to resolve the referenced queries locally.
+    /// Valid only for the exact `generation` it was cut for — receivers
+    /// drop the whole message on any mismatch, which makes duplicated or
+    /// stale deliveries no-ops.
+    RebalanceCells {
+        /// The partition-map generation this transfer belongs to.
+        generation: u64,
+        /// Sender's view of the global epoch when the transfer was cut.
+        epoch: u64,
+        /// `(flat cell index, RQI row in home insertion order)`.
+        cells: Vec<(u32, Vec<QueryId>)>,
+        /// Stub material for every distinct query named in `cells`.
+        stubs: Vec<StubSeed>,
+    },
 }
 
 impl WireSized for ClusterMsg {
@@ -360,6 +394,16 @@ impl WireSized for ClusterMsg {
                 4 + LinearMotion::WIRE_SIZE + 8 + 2 + qids.len() * 12
             }
             ClusterMsg::StubRemove { .. } => 4 + GridRect::WIRE_SIZE + 8,
+            ClusterMsg::RebalanceCells { cells, stubs, .. } => {
+                8 + 8
+                    + 2
+                    + cells
+                        .iter()
+                        .map(|(_, qids)| 4 + 2 + qids.len() * 4)
+                        .sum::<usize>()
+                    + 2
+                    + stubs.iter().map(StubSeed::wire_size).sum::<usize>()
+            }
         }
     }
 }
@@ -605,6 +649,28 @@ mod tests {
             epoch: 3,
         };
         assert_eq!(rm.wire_size(), 1 + 4 + 16 + 8);
+        let reb = ClusterMsg::RebalanceCells {
+            generation: 2,
+            epoch: 11,
+            cells: vec![(3, vec![QueryId(0), QueryId(1)]), (4, Vec::new())],
+            stubs: vec![StubSeed {
+                focal: ObjectId(1),
+                motion: motion(),
+                max_vel: 0.05,
+                mon_region: GridRect {
+                    x0: 0,
+                    y0: 0,
+                    x1: 1,
+                    y1: 1,
+                },
+                spec: spec(0),
+            }],
+        };
+        let seed = 4 + 40 + 8 + 16 + spec(0).wire_size();
+        assert_eq!(
+            reb.wire_size(),
+            1 + 8 + 8 + 2 + (4 + 2 + 8) + (4 + 2) + 2 + seed
+        );
     }
 
     #[test]

@@ -12,14 +12,14 @@
 use crate::config::{Propagation, ProtocolConfig};
 use crate::filter::Filter;
 use crate::messages::{
-    state_digest, ClusterMsg, Downlink, QueryGroupInfo, QueryMigration, QuerySpec, Uplink,
+    state_digest, ClusterMsg, Downlink, QueryGroupInfo, QueryMigration, QuerySpec, StubSeed, Uplink,
 };
 use crate::model::{ObjectId, QueryId};
 use mobieyes_geo::{CellId, GridRect, LinearMotion, QueryRegion, Region};
 use mobieyes_net::{NetworkSim, NodeId};
 use mobieyes_telemetry::{EventKind, MetricsSnapshot, Telemetry};
 use std::collections::{BTreeMap, BTreeSet};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// The network type the protocol runs over.
@@ -71,32 +71,129 @@ struct PendingInstall {
     expires_at: Option<f64>,
 }
 
-/// The slice of the α-grid a partitioned server owns, plus the shared
-/// epoch sequencer of the cluster.
+/// The versioned cell→partition assignment shared by every server of a
+/// cluster.
 ///
 /// Partitions own contiguous blocks of flat (row-major) cell indices:
 /// `bounds` has `N + 1` entries and partition `p` owns `[bounds[p],
-/// bounds[p+1])`. A scoped server maintains FOT/SQT rows only for focal
-/// objects homed in its cells, RQI entries only for its own cells, and
-/// *stub* rows for border-straddling queries homed elsewhere. The epoch
-/// counter is shared by all partitions so seq stamps remain a single
-/// global total order — the key to byte-identical cross-partition runs.
+/// bounds[p+1])`. The bounds are atomics so a coordinator can *install* a
+/// new split in place — every [`PartitionScope`] holding this table sees
+/// the new ownership immediately — and each install bumps `generation`,
+/// the stamp that makes rebalance state transfers replay-safe: a
+/// [`ClusterMsg::RebalanceCells`] is valid only for the exact generation
+/// it was cut for.
+///
+/// All accesses use relaxed ordering: installs happen only from the
+/// single-threaded coordinator while no partition work is in flight
+/// (under the epoch fence), so there is nothing to synchronize against.
+#[derive(Debug)]
+pub struct PartitionTable {
+    bounds: Vec<AtomicUsize>,
+    generation: AtomicU64,
+}
+
+impl PartitionTable {
+    /// Builds generation 0 of the table from an initial bounds vector
+    /// (`N + 1` ascending entries; see type docs).
+    pub fn new(bounds: Vec<usize>) -> Self {
+        assert!(bounds.len() >= 2, "bounds needs N + 1 entries, N >= 1");
+        assert!(
+            bounds.windows(2).all(|w| w[0] <= w[1]),
+            "bounds must be ascending"
+        );
+        PartitionTable {
+            bounds: bounds.into_iter().map(AtomicUsize::new).collect(),
+            generation: AtomicU64::new(0),
+        }
+    }
+
+    pub fn num_partitions(&self) -> usize {
+        self.bounds.len() - 1
+    }
+
+    /// The current map generation (0 until the first rebalance install).
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Relaxed)
+    }
+
+    /// A plain copy of the current bounds vector.
+    pub fn bounds_snapshot(&self) -> Vec<usize> {
+        self.bounds
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// The partition owning the given flat cell index.
+    pub fn owner_of(&self, flat: usize) -> u32 {
+        debug_assert!(flat < self.bounds.last().unwrap().load(Ordering::Relaxed));
+        // partition_point over the atomic bounds.
+        let (mut lo, mut hi) = (0usize, self.bounds.len());
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if self.bounds[mid].load(Ordering::Relaxed) <= flat {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        (lo - 1) as u32
+    }
+
+    /// The flat-index range a partition owns.
+    pub fn owned_range(&self, partition: u32) -> std::ops::Range<usize> {
+        let p = partition as usize;
+        self.bounds[p].load(Ordering::Relaxed)..self.bounds[p + 1].load(Ordering::Relaxed)
+    }
+
+    /// Installs a new bounds vector in place and bumps the generation;
+    /// returns the new generation. Must only be called by a cluster
+    /// coordinator with the bus quiesced (see DESIGN.md §10).
+    pub fn install(&self, bounds: &[usize]) -> u64 {
+        assert_eq!(bounds.len(), self.bounds.len(), "partition count is fixed");
+        assert!(
+            bounds.windows(2).all(|w| w[0] <= w[1]),
+            "bounds must be ascending"
+        );
+        assert_eq!(
+            bounds.last(),
+            Some(&self.bounds.last().unwrap().load(Ordering::Relaxed)),
+            "total cell count is fixed"
+        );
+        assert_eq!(bounds.first(), Some(&0));
+        for (slot, &b) in self.bounds.iter().zip(bounds) {
+            slot.store(b, Ordering::Relaxed);
+        }
+        self.generation.fetch_add(1, Ordering::Relaxed) + 1
+    }
+}
+
+/// The slice of the α-grid a partitioned server owns, plus the shared
+/// epoch sequencer of the cluster.
+///
+/// A scoped server maintains FOT/SQT rows only for focal objects homed in
+/// its cells, RQI entries only for its own cells, and *stub* rows for
+/// border-straddling queries homed elsewhere. Ownership is resolved
+/// through the shared [`PartitionTable`], which a coordinator may rewrite
+/// between ticks (rebalancing). The epoch counter is shared by all
+/// partitions so seq stamps remain a single global total order — the key
+/// to byte-identical cross-partition runs.
 #[derive(Debug, Clone)]
 pub struct PartitionScope {
     partition: u32,
-    bounds: Arc<Vec<usize>>,
+    table: Arc<PartitionTable>,
     epoch: Arc<AtomicU64>,
 }
 
 impl PartitionScope {
-    pub fn new(partition: u32, bounds: Arc<Vec<usize>>, epoch: Arc<AtomicU64>) -> Self {
+    pub fn new(partition: u32, table: Arc<PartitionTable>, epoch: Arc<AtomicU64>) -> Self {
         assert!(
-            (partition as usize) < bounds.len() - 1,
+            (partition as usize) < table.num_partitions(),
             "partition out of range"
         );
         PartitionScope {
             partition,
-            bounds,
+            table,
             epoch,
         }
     }
@@ -106,13 +203,17 @@ impl PartitionScope {
     }
 
     pub fn num_partitions(&self) -> usize {
-        self.bounds.len() - 1
+        self.table.num_partitions()
+    }
+
+    /// The current generation of the shared partition table.
+    pub fn generation(&self) -> u64 {
+        self.table.generation()
     }
 
     /// The partition owning the given flat cell index.
     pub fn owner_of(&self, flat: usize) -> u32 {
-        debug_assert!(flat < *self.bounds.last().unwrap());
-        (self.bounds.partition_point(|&b| b <= flat) - 1) as u32
+        self.table.owner_of(flat)
     }
 
     pub fn owns(&self, flat: usize) -> bool {
@@ -120,7 +221,7 @@ impl PartitionScope {
     }
 
     pub fn owned_range(&self) -> std::ops::Range<usize> {
-        self.bounds[self.partition as usize]..self.bounds[self.partition as usize + 1]
+        self.table.owned_range(self.partition)
     }
 }
 
@@ -1461,6 +1562,109 @@ impl Server {
         })
     }
 
+    /// All focal objects with a FOT row on this partition, ascending.
+    #[doc(hidden)]
+    pub fn focal_ids(&self) -> Vec<ObjectId> {
+        self.fot.keys().copied().collect()
+    }
+
+    /// The cell a focal object is homed by: the reported cell of its
+    /// queries, falling back to the dead-reckoned position for query-less
+    /// focals. Drives rehoming decisions during a rebalance.
+    #[doc(hidden)]
+    pub fn focal_anchor_cell(&self, oid: ObjectId) -> Option<CellId> {
+        let f = self.fot.get(&oid)?;
+        f.queries
+            .first()
+            .and_then(|q| self.sqt.get(q).map(|e| e.curr_cell))
+            .or_else(|| Some(self.config.grid.cell_of(f.motion.pos)))
+    }
+
+    /// Cuts the verbatim RQI rows of `flats` — cells this partition just
+    /// lost to a rebalance — into a [`ClusterMsg::RebalanceCells`]
+    /// transfer, together with stub seeds for every query the rows name.
+    /// Counter-neutral by design: the region coverage does not change,
+    /// the rows only change hands. Returns `None` when every row is
+    /// empty (nothing to transfer).
+    #[doc(hidden)]
+    pub fn export_cells(&mut self, flats: &[usize], generation: u64) -> Option<ClusterMsg> {
+        debug_assert!(self.scope.is_some(), "rebalance needs a scoped server");
+        let mut cells = Vec::new();
+        let mut named: BTreeSet<QueryId> = BTreeSet::new();
+        for &flat in flats {
+            let row = std::mem::take(&mut self.rqi[flat]);
+            if row.is_empty() {
+                continue;
+            }
+            named.extend(row.iter().copied());
+            cells.push((flat as u32, row));
+        }
+        if cells.is_empty() {
+            return None;
+        }
+        let mut stubs = Vec::with_capacity(named.len());
+        for qid in named {
+            let seed = if let Some(e) = self.sqt.get(&qid) {
+                let f = &self.fot[&e.focal];
+                StubSeed {
+                    focal: e.focal,
+                    motion: f.motion,
+                    max_vel: f.max_vel,
+                    mon_region: e.mon_region,
+                    spec: QuerySpec {
+                        qid,
+                        region: e.region,
+                        filter: Arc::clone(&e.filter),
+                        slot: e.slot,
+                        seq: e.seq,
+                    },
+                }
+            } else {
+                let s = self
+                    .stubs
+                    .get(&qid)
+                    .expect("RQI query in SQT or stub table");
+                StubSeed {
+                    focal: s.focal,
+                    motion: s.motion,
+                    max_vel: s.max_vel,
+                    mon_region: s.mon_region,
+                    spec: QuerySpec {
+                        qid,
+                        region: s.region,
+                        filter: Arc::clone(&s.filter),
+                        slot: s.slot,
+                        seq: s.seq,
+                    },
+                }
+            };
+            stubs.push(seed);
+        }
+        Some(ClusterMsg::RebalanceCells {
+            generation,
+            epoch: self.current_epoch(),
+            cells,
+            stubs,
+        })
+    }
+
+    /// Drops stubs whose monitoring region no longer overlaps this
+    /// partition's (possibly just-shrunk) owned span. RQI rows are not
+    /// touched — any overlapping rows already left with the rebalance
+    /// transfer, so no owned row can still reference a pruned stub.
+    #[doc(hidden)]
+    pub fn prune_stubs(&mut self) {
+        let Some(owned) = self.owned_span() else {
+            return;
+        };
+        let grid = self.config.grid.clone();
+        self.stubs.retain(|_, s| {
+            s.mon_region
+                .iter()
+                .any(|c| owned.contains(&grid.flat_index(c)))
+        });
+    }
+
     /// Applies one inter-server message. Every application is idempotent
     /// under replay (seq guards), so a duplicating fault plan on the
     /// server↔server links leaves state *and* telemetry untouched.
@@ -1590,6 +1794,51 @@ impl Server {
             } => {
                 if self.stubs.remove(qid).is_some() {
                     self.rqi_remove(*qid, mon_region);
+                }
+            }
+            ClusterMsg::RebalanceCells {
+                generation,
+                epoch: _,
+                cells,
+                stubs,
+            } => {
+                // A transfer is valid only for the exact map generation it
+                // was cut for: anything stale (or replayed across a later
+                // install) is dropped whole.
+                let Some(scope) = &self.scope else {
+                    return;
+                };
+                if *generation != scope.generation() {
+                    return;
+                }
+                for (flat, qids) in cells {
+                    // Verbatim assignment preserves the home insertion
+                    // order (which drives fresh-query reply ordering) and
+                    // is idempotent under bus duplication. No RQI counter:
+                    // coverage did not change, the row changed hands.
+                    self.rqi[*flat as usize] = qids.clone();
+                }
+                for s in stubs {
+                    let qid = s.spec.qid;
+                    if self.sqt.contains_key(&qid) {
+                        continue; // homed here — the row resolves locally
+                    }
+                    if self.stubs.get(&qid).is_some_and(|e| e.seq >= s.spec.seq) {
+                        continue;
+                    }
+                    self.stubs.insert(
+                        qid,
+                        StubEntry {
+                            focal: s.focal,
+                            motion: s.motion,
+                            max_vel: s.max_vel,
+                            mon_region: s.mon_region,
+                            region: s.spec.region,
+                            filter: Arc::clone(&s.spec.filter),
+                            slot: s.spec.slot,
+                            seq: s.spec.seq,
+                        },
+                    );
                 }
             }
         }

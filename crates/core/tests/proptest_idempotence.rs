@@ -10,8 +10,8 @@
 
 use mobieyes_core::server::Net;
 use mobieyes_core::{
-    Downlink, Filter, MovingObjectAgent, ObjectId, PartitionScope, Properties, ProtocolConfig,
-    QueryGroupInfo, QueryId, QuerySpec, Server, Uplink,
+    ClusterMsg, Downlink, Filter, MovingObjectAgent, ObjectId, PartitionScope, PartitionTable,
+    Properties, ProtocolConfig, QueryGroupInfo, QueryId, QuerySpec, Server, Uplink,
 };
 use mobieyes_geo::{CellId, Grid, GridRect, LinearMotion, Point, QueryRegion, Rect, Vec2};
 use mobieyes_net::BaseStationLayout;
@@ -219,14 +219,14 @@ fn run_handoff(case: u64, duplicate: bool) -> (usize, ServerFingerprint) {
     let mut rng = Rng(0x5eed_1de3_0004 ^ case.wrapping_mul(0x9e37));
     let config = config();
     let total = config.grid.num_cells();
-    let bounds = Arc::new(vec![0, total / 2, total]);
+    let table = Arc::new(PartitionTable::new(vec![0, total / 2, total]));
     let epoch = Arc::new(AtomicU64::new(0));
     let mut p0 = Server::new(Arc::clone(&config)).with_scope(PartitionScope::new(
         0,
-        Arc::clone(&bounds),
+        Arc::clone(&table),
         Arc::clone(&epoch),
     ));
-    let mut p1 = Server::new(Arc::clone(&config)).with_scope(PartitionScope::new(1, bounds, epoch));
+    let mut p1 = Server::new(Arc::clone(&config)).with_scope(PartitionScope::new(1, table, epoch));
     let mut net = Net::new(BaseStationLayout::new(
         Rect::new(0.0, 0.0, SIDE, SIDE),
         15.0,
@@ -306,6 +306,111 @@ fn replayed_handoff_migration_is_a_no_op() {
         assert_eq!(
             once, twice,
             "case {case}: duplicated handoff delivery changed receiver state"
+        );
+    }
+}
+
+/// Drives one randomized partition-map rebalance: two scoped servers share
+/// a `PartitionTable`, partition 0 homes a focal whose monitoring regions
+/// sit in the cell range that a new generation reassigns to partition 1,
+/// and the reassigned rows travel in a `RebalanceCells` cut for exactly
+/// that generation. `duplicate` delivers the transfer twice (the bus
+/// duplication fault); `stale_replay` installs a further generation and
+/// replays the now-stale transfer, which must be dropped whole.
+fn run_rebalance(case: u64, duplicate: bool, stale_replay: bool) -> (usize, ServerFingerprint) {
+    let mut rng = Rng(0x5eed_1de3_0005 ^ case.wrapping_mul(0x9e37));
+    let config = config();
+    let total = config.grid.num_cells();
+    let table = Arc::new(PartitionTable::new(vec![0, total / 2, total]));
+    let epoch = Arc::new(AtomicU64::new(0));
+    let mut p0 = Server::new(Arc::clone(&config)).with_scope(PartitionScope::new(
+        0,
+        Arc::clone(&table),
+        Arc::clone(&epoch),
+    ));
+    let mut p1 = Server::new(Arc::clone(&config)).with_scope(PartitionScope::new(
+        1,
+        Arc::clone(&table),
+        epoch,
+    ));
+    let mut net = Net::new(BaseStationLayout::new(
+        Rect::new(0.0, 0.0, SIDE, SIDE),
+        15.0,
+    ));
+
+    // Focal homed on partition 0, inside the cell rows the new generation
+    // will hand to partition 1 (flats [total/4, total/2)).
+    let focal = ObjectId(1 + rng.below(9) as u32);
+    let pos = Point::new(rng.range(5.0, 55.0), rng.range(17.0, 30.0));
+    let vel = Vec2::new(rng.range(-0.05, 0.05), rng.range(-0.05, 0.05));
+    p0.refresh_focal_motion(
+        focal,
+        LinearMotion::new(pos, vel, rng.range(0.0, 50.0)),
+        0.08,
+        true,
+    );
+    for _ in 0..1 + rng.below(3) {
+        p0.install_query(
+            focal,
+            QueryRegion::circle(rng.range(4.0, 10.0)),
+            Filter::True,
+            &mut net,
+        );
+    }
+    // Forward any straddling-stub traffic so both partitions start consistent.
+    for (to, m) in p0.take_outbox() {
+        assert_eq!(to, 1, "two-partition split: all stubs go to partition 1");
+        p1.apply_cluster_msg(&m);
+    }
+
+    let generation = table.install(&[0, total / 4, total]);
+    let moved: Vec<usize> = (total / 4..total / 2).collect();
+    let msg = p0
+        .export_cells(&moved, generation)
+        .expect("focal's monitoring region occupies reassigned cells");
+    let exported = match &msg {
+        ClusterMsg::RebalanceCells { cells, .. } => cells.len(),
+        other => panic!("export_cells produced {other:?}"),
+    };
+
+    p1.apply_cluster_msg(&msg);
+    if duplicate {
+        p1.apply_cluster_msg(&msg);
+    }
+    if stale_replay {
+        table.install(&[0, total / 2, total]);
+        p1.apply_cluster_msg(&msg); // generation mismatch: dropped whole
+    }
+    let _ = net.drain_uplinks();
+    (exported, server_fingerprint(&p1))
+}
+
+#[test]
+fn duplicated_rebalance_transfer_is_a_no_op() {
+    for case in 0..128 {
+        let (n_once, once) = run_rebalance(case, false, false);
+        let (n_twice, twice) = run_rebalance(case, true, false);
+        assert_eq!(n_once, n_twice, "case {case}: scenario not deterministic");
+        assert!(
+            n_once > 0,
+            "case {case}: rebalance must transfer at least one RQI row"
+        );
+        assert_eq!(
+            once, twice,
+            "case {case}: duplicated RebalanceCells delivery changed receiver state"
+        );
+    }
+}
+
+#[test]
+fn stale_generation_rebalance_transfer_is_dropped() {
+    for case in 0..128 {
+        let (_, applied) = run_rebalance(case, false, false);
+        let (_, replayed) = run_rebalance(case, false, true);
+        assert_eq!(
+            applied, replayed,
+            "case {case}: a RebalanceCells cut for a superseded generation \
+             must be dropped without touching any table"
         );
     }
 }

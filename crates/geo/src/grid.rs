@@ -98,6 +98,18 @@ impl Grid {
         c.x < self.cols && c.y < self.rows
     }
 
+    /// Clamps a cell index to the grid. Wire-carried cells (cell changes,
+    /// resyncs) are computed by the sender and may name a coordinate past
+    /// the boundary after an aggressive dead-reckoning overshoot; clamping
+    /// keeps every downstream flat-index lookup in range.
+    #[inline]
+    pub fn clamp_cell(&self, c: CellId) -> CellId {
+        CellId {
+            x: c.x.min(self.cols - 1),
+            y: c.y.min(self.rows - 1),
+        }
+    }
+
     /// Flat index of a cell, row-major; used for matrix-shaped indexes such
     /// as the server's RQI.
     #[inline]

@@ -83,6 +83,13 @@ pub struct SimConfig {
     /// single-server path; results are byte-identical at every partition
     /// count (see [`resolved_partitions`](Self::resolved_partitions)).
     pub partitions: usize,
+    /// Rebalance cadence for the cluster tier: recompute the partition
+    /// map from observed load every `n` ticks. `0` (the default) means
+    /// auto: the `MOBIEYES_REBALANCE_TICKS` environment variable if set,
+    /// otherwise off. Ignored on the single-server path. Rebalancing
+    /// never changes query results — only the load split (see
+    /// [`resolved_rebalance_ticks`](Self::resolved_rebalance_ticks)).
+    pub rebalance_ticks: usize,
 }
 
 impl Default for SimConfig {
@@ -116,6 +123,7 @@ impl Default for SimConfig {
             churn_rate: 0.0,
             lease_ticks: 0,
             partitions: 0,
+            rebalance_ticks: 0,
         }
     }
 }
@@ -216,6 +224,11 @@ impl SimConfig {
         self
     }
 
+    pub fn with_rebalance_ticks(mut self, n: usize) -> Self {
+        self.rebalance_ticks = n;
+        self
+    }
+
     /// Resolves the effective worker-thread count: an explicit
     /// `threads > 0` wins; otherwise a positive `MOBIEYES_THREADS`
     /// environment variable; otherwise the machine's available
@@ -251,6 +264,32 @@ impl SimConfig {
             }
         }
         1
+    }
+
+    /// Resolves the effective rebalance cadence (in ticks): an explicit
+    /// `rebalance_ticks > 0` wins; otherwise a positive
+    /// `MOBIEYES_REBALANCE_TICKS` environment variable; otherwise 0
+    /// (rebalancing off).
+    pub fn resolved_rebalance_ticks(&self) -> usize {
+        if self.rebalance_ticks > 0 {
+            return self.rebalance_ticks;
+        }
+        if let Ok(v) = std::env::var("MOBIEYES_REBALANCE_TICKS") {
+            if let Ok(n) = v.parse::<usize>() {
+                if n > 0 {
+                    return n;
+                }
+            }
+        }
+        0
+    }
+
+    /// Number of grid cells the run's universe decomposes into, matching
+    /// `Grid::new(universe, alpha)` for the square universe the workload
+    /// builds (`ceil(side/alpha)²`).
+    pub fn grid_cells(&self) -> usize {
+        let cols = (self.side() / self.alpha).ceil() as usize;
+        cols * cols
     }
 
     /// Total measured duration in seconds.
@@ -410,6 +449,13 @@ impl SimConfigBuilder {
         self
     }
 
+    /// Rebalance cadence in ticks for the cluster tier; `0` = auto (see
+    /// [`SimConfig::resolved_rebalance_ticks`]).
+    pub fn rebalance_ticks(mut self, ticks: usize) -> Self {
+        self.config.rebalance_ticks = ticks;
+        self
+    }
+
     /// Validates and returns the configuration.
     pub fn build(self) -> Result<SimConfig, String> {
         // Written to reject NaN along with non-positive values.
@@ -464,6 +510,17 @@ impl SimConfigBuilder {
             if !(0.0..=1.0).contains(&v) {
                 return Err(format!("{name} must be within [0, 1] (got {v})"));
             }
+        }
+        // The cluster tier needs at least one grid cell per partition;
+        // catching this here turns a `PartitionMap::contiguous` panic
+        // deep inside the run into a clear configuration error.
+        let cells = c.grid_cells();
+        let partitions = c.resolved_partitions();
+        if partitions > cells {
+            return Err(format!(
+                "partitions ({partitions}) exceeds the grid's cell count ({cells}); \
+                 shrink --partitions (or MOBIEYES_PARTITIONS), lower alpha, or grow the area"
+            ));
         }
         Ok(c)
     }
@@ -596,6 +653,51 @@ mod tests {
             2
         );
         assert!(SimConfig::default().resolved_partitions() >= 1);
+    }
+
+    #[test]
+    fn builder_rejects_more_partitions_than_cells() {
+        // 100 mi² with α = 5 → a 2×2 grid of 4 cells; 8 partitions can
+        // never tile it and used to panic deep inside
+        // `PartitionMap::contiguous`.
+        let err = SimConfig::builder()
+            .area(100.0)
+            .alpha(5.0)
+            .partitions(8)
+            .build()
+            .unwrap_err();
+        assert!(
+            err.contains("exceeds the grid's cell count"),
+            "unhelpful message: {err}"
+        );
+        // The boundary case (one cell per partition) stays valid.
+        assert!(SimConfig::builder()
+            .area(100.0)
+            .alpha(5.0)
+            .partitions(4)
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn rebalance_resolution_precedence() {
+        assert_eq!(
+            SimConfig::default()
+                .with_rebalance_ticks(5)
+                .resolved_rebalance_ticks(),
+            5
+        );
+        assert_eq!(
+            SimConfig::builder()
+                .rebalance_ticks(3)
+                .build()
+                .unwrap()
+                .rebalance_ticks,
+            3
+        );
+        // Auto defaults to off (0) when the environment doesn't say
+        // otherwise; the suite never sets MOBIEYES_REBALANCE_TICKS.
+        assert_eq!(SimConfig::default().rebalance_ticks, 0);
     }
 
     #[test]

@@ -118,6 +118,9 @@ pub struct MobiEyesSim {
     /// When set, mobility is frozen: objects stop moving but the protocol
     /// keeps running. Used to measure recovery convergence.
     frozen: bool,
+    /// Rebalance cadence in ticks (0 = off); resolved once at build so
+    /// the environment is read exactly once per run.
+    rebalance_ticks: usize,
 }
 
 impl MobiEyesSim {
@@ -227,7 +230,9 @@ impl MobiEyesSim {
             rejoin_now: vec![None; n],
             skip_now: vec![false; n],
             frozen: false,
+            rebalance_ticks: 0,
         };
+        sim.rebalance_ticks = sim.config.resolved_rebalance_ticks();
         // Fault knobs from the configuration apply for the whole run; the
         // chaos harness installs sharper-edged plans via `set_churn`.
         let c = &sim.config;
@@ -447,6 +452,16 @@ impl MobiEyesSim {
         {
             let _span = self.telemetry.span(Phase::Ingest);
             self.tier.tick(&mut self.net);
+        }
+
+        // Load-aware partition rebalancing (cluster tier only). Runs at
+        // the tick boundary, after ingest, so the observation window the
+        // planner cuts holds whole ticks — and never changes query
+        // results, only the load split (DESIGN.md §10).
+        if self.rebalance_ticks > 0 && self.tick_index.is_multiple_of(self.rebalance_ticks) {
+            if let ServerTier::Cluster(c) = &mut self.tier {
+                c.rebalance();
+            }
         }
 
         if measured {

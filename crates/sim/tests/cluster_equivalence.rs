@@ -1,7 +1,8 @@
 //! The partitioned tier's headline invariant: for any seed and fault
 //! plan, an N-partition deployment produces byte-identical per-tick query
 //! results, result-change uplink counts and protocol telemetry to the
-//! single-server deployment — at any thread count of the tick engine.
+//! single-server deployment — at any thread count of the tick engine,
+//! with or without periodic load-driven partition-map rebalancing.
 //!
 //! The reference run is `partitions = 1` (literally the existing
 //! single-server code path); each cluster run is stepped tick by tick
@@ -44,9 +45,13 @@ struct Trace {
     /// `results[tick][query]` — every query's result set after each tick.
     results: Vec<Vec<BTreeSet<ObjectId>>>,
     snapshot: MetricsSnapshot,
+    /// Final partition-map generation (0 for single-server runs and for
+    /// cluster runs that never rebalanced).
+    map_generation: u64,
 }
 
 fn run_traced(config: SimConfig) -> Trace {
+    let partitions = config.resolved_partitions();
     let mut sim = MobiEyesSim::new(config);
     let mut results = Vec::with_capacity(TICKS);
     for _ in 0..TICKS {
@@ -58,9 +63,15 @@ fn run_traced(config: SimConfig) -> Trace {
                 .collect(),
         );
     }
+    let map_generation = if partitions > 1 {
+        sim.cluster().map_generation()
+    } else {
+        0
+    };
     Trace {
         results,
         snapshot: sim.telemetry().snapshot(),
+        map_generation,
     }
 }
 
@@ -70,28 +81,47 @@ fn assert_equivalent(seed: u64, propagation: Propagation, chaos: bool) {
         reference.snapshot.counter(srv_keys::RESULT_UPDATES) > 0,
         "reference run must exercise result reporting (seed {seed})"
     );
-    for partitions in [2usize, 4] {
-        for threads in [1usize, 4] {
-            let config = base_config(seed, propagation, chaos)
-                .with_partitions(partitions)
-                .with_threads(threads);
-            let run = run_traced(config);
-            for (tick, (a, b)) in reference.results.iter().zip(&run.results).enumerate() {
-                assert_eq!(
-                    a, b,
-                    "per-tick results diverged: seed {seed} {propagation:?} chaos={chaos} \
-                     partitions={partitions} threads={threads} tick {tick}"
-                );
-            }
+    // (partitions, threads, rebalance cadence). The rebalancing rows prove
+    // the headline invariant of the load balancer: recomputing the
+    // partition map mid-run from observed load must not change a single
+    // result byte or protocol counter.
+    let matrix = [
+        (2usize, 1usize, 0usize),
+        (2, 4, 0),
+        (4, 1, 0),
+        (4, 4, 0),
+        (2, 1, 3),
+        (4, 4, 3),
+    ];
+    for (partitions, threads, rebalance) in matrix {
+        let config = base_config(seed, propagation, chaos)
+            .with_partitions(partitions)
+            .with_threads(threads)
+            .with_rebalance_ticks(rebalance);
+        let run = run_traced(config);
+        for (tick, (a, b)) in reference.results.iter().zip(&run.results).enumerate() {
             assert_eq!(
-                reference.snapshot.counter(srv_keys::RESULT_UPDATES),
-                run.snapshot.counter(srv_keys::RESULT_UPDATES),
-                "result-change uplink count diverged: seed {seed} partitions={partitions}"
+                a, b,
+                "per-tick results diverged: seed {seed} {propagation:?} chaos={chaos} \
+                 partitions={partitions} threads={threads} rebalance={rebalance} tick {tick}"
             );
+        }
+        assert_eq!(
+            reference.snapshot.counter(srv_keys::RESULT_UPDATES),
+            run.snapshot.counter(srv_keys::RESULT_UPDATES),
+            "result-change uplink count diverged: seed {seed} partitions={partitions} \
+             rebalance={rebalance}"
+        );
+        assert!(
+            reference.snapshot.protocol_eq(&run.snapshot),
+            "protocol telemetry diverged: seed {seed} {propagation:?} chaos={chaos} \
+             partitions={partitions} threads={threads} rebalance={rebalance}"
+        );
+        if rebalance > 0 {
             assert!(
-                reference.snapshot.protocol_eq(&run.snapshot),
-                "protocol telemetry diverged: seed {seed} {propagation:?} chaos={chaos} \
-                 partitions={partitions} threads={threads}"
+                run.map_generation > 0,
+                "rebalance cadence never installed a new map generation: seed {seed} \
+                 partitions={partitions} rebalance={rebalance}"
             );
         }
     }

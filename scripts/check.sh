@@ -62,4 +62,19 @@ diff_benches "$cluster_out_1" "$cluster_out_4" \
   || { echo "cluster smoke: thread counts disagree"; exit 1; }
 assert_json "$cluster_out_1" require bench cluster-scaling
 
+echo "==> rebalance smoke (load-driven partition-map rebalancing)"
+# The cluster bench's rebalance section re-runs the widest deployment with
+# the partition map periodically recomputed from observed load, asserting
+# internally that results and protocol telemetry still match the single
+# server byte for byte. Here we additionally check the headline effect —
+# the post-rebalance uplink skew must come in below the static-map skew —
+# and drive the CLI path end to end with the new flag (a cadence short
+# enough to fire several times in an 8-tick run).
+skew_before=$(assert_json "$cluster_out_1" get skew_before)
+skew_after=$(assert_json "$cluster_out_1" get skew_after)
+awk -v a="$skew_after" -v b="$skew_before" 'BEGIN { exit !(a < b) }' \
+  || { echo "rebalance smoke: skew did not improve ($skew_before -> $skew_after)"; exit 1; }
+cargo run -q --release --bin mobieyes -- --partitions 4 --rebalance-ticks 3 \
+  --objects 400 --queries 40 --nmo 40 --ticks 8 --warmup 2 --area 10000 >/dev/null
+
 echo "All checks passed."

@@ -40,6 +40,10 @@ OPTIONS:
     --partitions <N>   grid-sharded server partitions; 0 = auto from
                        MOBIEYES_PARTITIONS, else 1 (single server);
                        results are byte-identical at every count [default: 0]
+    --rebalance-ticks <N> rebalance the partition map from observed load
+                       every N ticks; 0 = auto from
+                       MOBIEYES_REBALANCE_TICKS, else off. Never changes
+                       results, only the load split        [default: 0]
     --seed <N>         RNG seed
     --uplink-drop <P>  uplink message drop probability (0..=1)   [default: 0]
     --downlink-drop <P> downlink message drop probability (0..=1) [default: 0]
@@ -103,6 +107,9 @@ fn parse_args() -> Result<Cli, String> {
             }
             "--threads" => builder = builder.threads(parse(&value("--threads")?)?),
             "--partitions" => builder = builder.partitions(parse(&value("--partitions")?)?),
+            "--rebalance-ticks" => {
+                builder = builder.rebalance_ticks(parse(&value("--rebalance-ticks")?)?);
+            }
             "--seed" => builder = builder.seed(parse(&value("--seed")?)?),
             "--uplink-drop" => {
                 builder = builder.uplink_drop(parse(&value("--uplink-drop")?)?);
