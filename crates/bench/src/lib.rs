@@ -32,7 +32,10 @@ pub fn host_fields() -> String {
         .map(|n| n.get())
         .unwrap_or(1);
     let threads = std::env::var("MOBIEYES_THREADS").unwrap_or_else(|_| "auto".to_string());
-    format!("\"host_cores\": {cores}, \"mobieyes_threads\": \"{threads}\"")
+    let transport = std::env::var("MOBIEYES_TRANSPORT").unwrap_or_else(|_| "lockstep".to_string());
+    format!(
+        "\"host_cores\": {cores}, \"mobieyes_threads\": \"{threads}\", \"transport\": \"{transport}\""
+    )
 }
 
 /// Applies quick-mode scaling to a configuration produced by a sweep. The

@@ -11,13 +11,18 @@
 //! shared agent network, same counters (summed across the per-partition
 //! sinks), same event log.
 
+use crate::handle::{PartitionHandle, RemotePartition};
 use crate::partition::{plan_bounds, PartitionMap, Router};
+use crate::wire::InitConfig;
 use mobieyes_core::server::{srv_keys, Net};
 use mobieyes_core::{
     ClusterMsg, Downlink, Filter, ObjectId, PartitionScope, ProtocolConfig, QueryId, Server, Uplink,
 };
 use mobieyes_geo::{CellId, LinearMotion, QueryRegion};
-use mobieyes_net::{BaseStationLayout, FaultPlan, MessageMeter, NetworkSim, NodeId, WireSized};
+use mobieyes_net::{
+    BaseStationLayout, FaultPlan, FramedConn, LockstepTransport, MessageMeter, NetworkSim, NodeId,
+    SocketTransport, Transport, WireSized,
+};
 use mobieyes_telemetry::{EventKind, Telemetry};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::AtomicU64;
@@ -40,6 +45,10 @@ impl WireSized for Envelope {
 /// the agents use, so `FaultPlan` drop/duplication applies to handoff
 /// traffic too. Only the uplink path is used (partitions are peers; there
 /// is no broadcast tier between them).
+#[deprecated(
+    since = "0.6.0",
+    note = "the bus is behind the `Transport` trait now; use `LockstepTransport<Envelope>`"
+)]
 pub type Bus = NetworkSim<Envelope, Envelope>;
 
 /// A deferred install owned by the coordinator (the single server keeps
@@ -60,13 +69,13 @@ struct PendingInstall {
 pub struct ClusterServer {
     config: Arc<ProtocolConfig>,
     map: PartitionMap,
-    partitions: Vec<Server>,
+    partitions: Vec<PartitionHandle>,
     /// Per-partition telemetry sinks, drained into the shared protocol
     /// sink in partition order after every coordinator entry point.
     sinks: Vec<Telemetry>,
     /// The shared protocol sink (the one the agent network records into).
     shared: Telemetry,
-    bus: Bus,
+    bus: Box<dyn Transport<Envelope>>,
     /// The bus records into its own sink so cluster-transport metrics
     /// never leak into the protocol snapshot (which must compare equal
     /// across partition counts).
@@ -83,27 +92,125 @@ pub struct ClusterServer {
 }
 
 impl ClusterServer {
+    /// An all-local deployment over the deterministic lock-step bus — the
+    /// original configuration, byte-identical to the single server.
     pub fn new(config: Arc<ProtocolConfig>, n: usize, shared: Telemetry) -> Self {
-        let map = PartitionMap::contiguous(&config.grid, n);
-        let epoch = Arc::new(AtomicU64::new(0));
-        let sinks: Vec<Telemetry> = (0..n).map(|_| Telemetry::new()).collect();
-        let partitions: Vec<Server> = (0..n)
-            .map(|p| {
-                Server::new(Arc::clone(&config))
-                    .with_telemetry(sinks[p].clone())
-                    .with_scope(PartitionScope::new(
-                        p as u32,
-                        Arc::clone(map.table()),
-                        Arc::clone(&epoch),
-                    ))
-            })
-            .collect();
         let bus_sink = Telemetry::new();
-        let bus = Bus::new(BaseStationLayout::new(
+        let bus = LockstepTransport::new(BaseStationLayout::new(
             config.grid.universe,
             config.grid.alpha,
         ))
         .with_telemetry(bus_sink.clone());
+        Self::new_local_with_bus(config, n, shared, Box::new(bus), bus_sink)
+    }
+
+    /// An all-local deployment whose inter-server envelopes ride a real
+    /// loopback socket (`alen` is only used for the lock-step layout, so
+    /// any [`Transport`] with the contract's ordering works). Every frame
+    /// crosses the kernel: same results, real framing.
+    pub fn new_over_socket(
+        config: Arc<ProtocolConfig>,
+        n: usize,
+        shared: Telemetry,
+        bus: SocketTransport<Envelope>,
+    ) -> Self {
+        let bus_sink = Telemetry::new();
+        let bus = bus.with_telemetry(bus_sink.clone());
+        Self::new_local_with_bus(config, n, shared, Box::new(bus), bus_sink)
+    }
+
+    fn new_local_with_bus(
+        config: Arc<ProtocolConfig>,
+        n: usize,
+        shared: Telemetry,
+        bus: Box<dyn Transport<Envelope>>,
+        bus_sink: Telemetry,
+    ) -> Self {
+        let map = PartitionMap::contiguous(&config.grid, n);
+        let epoch = Arc::new(AtomicU64::new(0));
+        let sinks: Vec<Telemetry> = (0..n).map(|_| Telemetry::new()).collect();
+        let partitions: Vec<PartitionHandle> = (0..n)
+            .map(|p| {
+                PartitionHandle::Local(Box::new(
+                    Server::new(Arc::clone(&config))
+                        .with_telemetry(sinks[p].clone())
+                        .with_scope(PartitionScope::new(
+                            p as u32,
+                            Arc::clone(map.table()),
+                            Arc::clone(&epoch),
+                        )),
+                ))
+            })
+            .collect();
+        Self::assemble(config, map, partitions, sinks, shared, bus, bus_sink)
+    }
+
+    /// A multi-process deployment: each connection drives one partition
+    /// process (hello exchange already completed). `alen` is the shared
+    /// base-station coverage length, forwarded so every process builds the
+    /// identical downlink layout.
+    pub fn new_remote(
+        config: Arc<ProtocolConfig>,
+        shared: Telemetry,
+        conns: Vec<FramedConn>,
+        alen: f64,
+    ) -> Self {
+        let n = conns.len();
+        let map = PartitionMap::contiguous(&config.grid, n);
+        let epoch = Arc::new(AtomicU64::new(0));
+        let sinks: Vec<Telemetry> = (0..n).map(|_| Telemetry::new()).collect();
+        let partitions: Vec<PartitionHandle> = conns
+            .into_iter()
+            .enumerate()
+            .map(|(p, conn)| {
+                let remote = RemotePartition::new(p as u32, conn, Arc::clone(&epoch));
+                remote
+                    .init(InitConfig {
+                        universe: config.grid.universe,
+                        alpha: config.grid.alpha,
+                        alen,
+                        delta: config.delta,
+                        propagation: config.propagation,
+                        grouping: config.grouping,
+                        safe_period: config.safe_period,
+                        deliver_results: config.deliver_results,
+                        system_max_speed: config.system_max_speed,
+                        lease_secs: config.lease_secs,
+                        heartbeat_secs: config.heartbeat_secs,
+                        partition: p as u32,
+                        num_partitions: n as u32,
+                    })
+                    .unwrap_or_else(|e| panic!("partition {p} failed to initialize: {e}"));
+                PartitionHandle::Remote(remote)
+            })
+            .collect();
+        let bus_sink = Telemetry::new();
+        let bus = LockstepTransport::new(BaseStationLayout::new(
+            config.grid.universe,
+            config.grid.alpha,
+        ))
+        .with_telemetry(bus_sink.clone());
+        Self::assemble(
+            config,
+            map,
+            partitions,
+            sinks,
+            shared,
+            Box::new(bus),
+            bus_sink,
+        )
+    }
+
+    fn assemble(
+        config: Arc<ProtocolConfig>,
+        map: PartitionMap,
+        partitions: Vec<PartitionHandle>,
+        sinks: Vec<Telemetry>,
+        shared: Telemetry,
+        bus: Box<dyn Transport<Envelope>>,
+        bus_sink: Telemetry,
+    ) -> Self {
+        let n = partitions.len();
         let cells = config.grid.num_cells();
         ClusterServer {
             config,
@@ -122,6 +229,21 @@ impl ClusterServer {
         }
     }
 
+    /// Whether any partition is hosted out-of-process.
+    pub fn has_remote(&self) -> bool {
+        self.partitions.iter().any(|p| p.is_remote())
+    }
+
+    /// Tells every remote partition process to exit its service loop.
+    /// No-op for local partitions.
+    pub fn shutdown_remote(&mut self) {
+        for p in &self.partitions {
+            if let PartitionHandle::Remote(r) = p {
+                let _ = r.shutdown();
+            }
+        }
+    }
+
     pub fn config(&self) -> &ProtocolConfig {
         &self.config
     }
@@ -130,8 +252,14 @@ impl ClusterServer {
         self.partitions.len()
     }
 
+    /// The in-process server of partition `p` (lockstep deployments).
     pub fn partition(&self, p: usize) -> &Server {
-        &self.partitions[p]
+        self.partitions[p].local()
+    }
+
+    /// The backend carrying the inter-server bus.
+    pub fn bus_kind(&self) -> &'static str {
+        self.bus.kind()
     }
 
     pub fn partition_map(&self) -> &PartitionMap {
@@ -151,7 +279,7 @@ impl ClusterServer {
     /// Injects a fault plan on the server↔server links: handoff and stub
     /// traffic gets dropped/duplicated like any other message.
     pub fn set_bus_fault(&mut self, plan: FaultPlan) {
-        self.bus.set_uplink_fault(plan);
+        self.bus.set_fault(plan);
     }
 
     /// Uplinks handled with partition `p` as primary (scaling bench).
@@ -179,9 +307,18 @@ impl ClusterServer {
         ids
     }
 
-    /// Current result set of a query, wherever it is homed.
+    /// Current result set of a query, wherever it is homed. Borrowed —
+    /// available in lockstep deployments only; remote drivers use
+    /// [`Self::fetch_query_result`].
     pub fn query_result(&self, qid: QueryId) -> Option<&BTreeSet<ObjectId>> {
-        self.partitions.iter().find_map(|s| s.query_result(qid))
+        self.partitions.iter().find_map(|s| s.query_result_ref(qid))
+    }
+
+    /// Owned copy of a query's result set, local or remote.
+    pub fn fetch_query_result(&self, qid: QueryId) -> Option<Vec<ObjectId>> {
+        self.partitions
+            .iter()
+            .find_map(|s| s.query_result_owned(qid))
     }
 
     pub fn query_focal(&self, qid: QueryId) -> Option<ObjectId> {
@@ -206,10 +343,13 @@ impl ClusterServer {
     fn pump_bus(&mut self) {
         for p in 0..self.partitions.len() {
             for (to, msg) in self.partitions[p].take_outbox() {
-                self.bus.send_uplink(NodeId(p as u32), Envelope { to, msg });
+                self.bus
+                    .send(NodeId(p as u32), Envelope { to, msg })
+                    .expect("bus send failed");
             }
         }
-        for (_, env) in self.bus.drain_uplinks() {
+        self.bus.flush().expect("bus flush failed");
+        for (_, env) in self.bus.poll().expect("bus poll failed") {
             self.partitions[env.to as usize].apply_cluster_msg(&env.msg);
         }
         debug_assert!(self
@@ -397,9 +537,12 @@ impl ClusterServer {
         self.ops[primary] += 1;
         self.sinks[primary].incr(srv_keys::UPLINKS);
         // Any uplink from a focal object renews its lease, wherever the
-        // FOT row is homed.
-        for s in self.partitions.iter_mut() {
-            s.renew_lease(ObjectId(from.0));
+        // FOT row is homed. Leases only matter under the fault-tolerance
+        // layer; without it `last_heard` is never read.
+        if self.config.fault_tolerant() {
+            for s in self.partitions.iter_mut() {
+                s.renew_lease(ObjectId(from.0));
+            }
         }
         match msg {
             Uplink::VelocityReport { oid, motion } => {
@@ -480,13 +623,15 @@ impl ClusterServer {
         if let Some(home) = self.find_focal(oid) {
             if home != new_home {
                 if let Some(m) = self.partitions[home].extract_focal(oid) {
-                    self.bus.send_uplink(
-                        NodeId(home as u32),
-                        Envelope {
-                            to: new_home as u32,
-                            msg: m,
-                        },
-                    );
+                    self.bus
+                        .send(
+                            NodeId(home as u32),
+                            Envelope {
+                                to: new_home as u32,
+                                msg: m,
+                            },
+                        )
+                        .expect("bus send failed");
                     self.pump_bus();
                 }
             }
@@ -607,7 +752,7 @@ impl ClusterServer {
         let mentioned: BTreeMap<QueryId, bool> = entries.into_iter().collect();
         let mut qids: Vec<(usize, QueryId)> = Vec::new();
         for (p, s) in self.partitions.iter().enumerate() {
-            qids.extend(s.query_ids().map(|q| (p, q)));
+            qids.extend(s.query_ids().into_iter().map(|q| (p, q)));
         }
         qids.sort_unstable_by_key(|&(_, q)| q);
         let mut deltas: Vec<(usize, QueryId, bool)> = Vec::new();
@@ -653,6 +798,11 @@ impl ClusterServer {
     /// that invariant, unlike data-path handoffs which lease-repair.
     pub fn rebalance(&mut self) -> bool {
         let n = self.partitions.len();
+        // Rebalancing moves partition internals the RPC surface does not
+        // expose; multi-process deployments keep their install-time map.
+        if self.has_remote() {
+            return false;
+        }
         if n <= 1 || self.cell_ops.iter().all(|&c| c == 0) {
             return false;
         }
@@ -663,8 +813,8 @@ impl ClusterServer {
         }
         // (1) Quiesce: nothing may be in flight across the install.
         self.pump_bus();
-        let saved_fault = self.bus.uplink_fault().clone();
-        self.bus.set_uplink_fault(FaultPlan::none());
+        let saved_fault = self.bus.fault().clone();
+        self.bus.set_fault(FaultPlan::none());
         // (2) + (3) Fence bump, then the install itself.
         self.bump_shared_epoch();
         let generation = self.map.install(&new_bounds);
@@ -684,7 +834,9 @@ impl ClusterServer {
         }
         for ((from, to), flats) in moves {
             if let Some(msg) = self.partitions[from as usize].export_cells(&flats, generation) {
-                self.bus.send_uplink(NodeId(from), Envelope { to, msg });
+                self.bus
+                    .send(NodeId(from), Envelope { to, msg })
+                    .expect("bus send failed");
             }
         }
         self.pump_bus();
@@ -707,13 +859,15 @@ impl ClusterServer {
         rehome.sort_unstable();
         for (oid, from, to) in rehome {
             if let Some(m) = self.partitions[from].extract_focal(oid) {
-                self.bus.send_uplink(
-                    NodeId(from as u32),
-                    Envelope {
-                        to: to as u32,
-                        msg: m,
-                    },
-                );
+                self.bus
+                    .send(
+                        NodeId(from as u32),
+                        Envelope {
+                            to: to as u32,
+                            msg: m,
+                        },
+                    )
+                    .expect("bus send failed");
             }
         }
         self.pump_bus();
@@ -722,7 +876,7 @@ impl ClusterServer {
         for s in self.partitions.iter_mut() {
             s.prune_stubs();
         }
-        self.bus.set_uplink_fault(saved_fault);
+        self.bus.set_fault(saved_fault);
         // Start the next observation window fresh.
         for c in self.cell_ops.iter_mut() {
             *c = 0;

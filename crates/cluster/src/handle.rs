@@ -1,0 +1,626 @@
+//! Uniform handle over a partition server, local or remote.
+//!
+//! The coordinator drives every partition through [`PartitionHandle`],
+//! which mirrors the [`Server`] methods the decomposition uses. A
+//! [`Local`](PartitionHandle::Local) handle owns the `Server` in-process
+//! (the original deployment, zero overhead); a
+//! [`Remote`](PartitionHandle::Remote) handle speaks the
+//! [`wire`](crate::wire) RPC protocol to a partition process over a framed
+//! socket connection.
+//!
+//! Remote calls are strictly serialized (one request, one reply), carry
+//! the coordinator's epoch view as a floor, and fold the reply's epoch
+//! back with a `fetch_max` — reproducing the shared atomic epoch counter
+//! of the in-process deployment. Side effects come back in the reply: bus
+//! envelopes are buffered until [`PartitionHandle::take_outbox`] (so the
+//! coordinator's pump discipline is unchanged) and downlink traffic is
+//! replayed onto the real agent network in emission order.
+//!
+//! A mid-run transport failure on a remote handle panics with a labeled
+//! message: the coordinator's decomposition invariants do not survive a
+//! half-executed primitive, so there is nothing sensible to recover to.
+
+use crate::wire::{self, NetAction, PartitionOp, PartitionReply, ReplyPayload};
+use mobieyes_core::server::Net;
+use mobieyes_core::{ClusterMsg, Filter, ObjectId, QueryId, Server};
+use mobieyes_geo::{CellId, LinearMotion, QueryRegion};
+use mobieyes_net::{FramedConn, NodeId, StationId, TransportError};
+use std::cell::RefCell;
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A connected remote partition: the coordinator side of the RPC link.
+pub struct RemotePartition {
+    /// This partition's index (labels panic messages).
+    partition: u32,
+    conn: RefCell<FramedConn>,
+    /// Coordinator-side view of the shared epoch, updated from every
+    /// reply; shared across all remote handles of one deployment.
+    epoch: Arc<AtomicU64>,
+    /// Bus envelopes returned by replies, buffered until the coordinator
+    /// pumps the bus.
+    outbox: RefCell<Vec<(u32, ClusterMsg)>>,
+}
+
+impl RemotePartition {
+    /// Wraps a connected, hello-completed connection. `epoch` is the
+    /// coordinator's shared epoch view (one `Arc` across all handles).
+    pub fn new(partition: u32, conn: FramedConn, epoch: Arc<AtomicU64>) -> Self {
+        RemotePartition {
+            partition,
+            conn: RefCell::new(conn),
+            epoch,
+            outbox: RefCell::new(Vec::new()),
+        }
+    }
+
+    /// One strictly-serialized RPC round trip. The reply's outbox is
+    /// buffered; the net actions and payload are returned to the caller.
+    fn try_call(&self, op: &PartitionOp) -> Result<(Vec<NetAction>, ReplyPayload), TransportError> {
+        let floor = self.epoch.load(Ordering::Relaxed);
+        let mut frame = Vec::new();
+        wire::encode_request(floor, op, &mut frame);
+        let mut conn = self.conn.borrow_mut();
+        conn.write_frame(&frame)?;
+        conn.flush()?;
+        let reply_bytes = conn.read_frame()?;
+        drop(conn);
+        let PartitionReply {
+            epoch,
+            outbox,
+            net,
+            payload,
+        } = wire::decode_reply(&reply_bytes)?;
+        self.epoch.fetch_max(epoch, Ordering::Relaxed);
+        self.outbox.borrow_mut().extend(outbox);
+        Ok((net, payload))
+    }
+
+    fn call(&self, op: PartitionOp) -> (Vec<NetAction>, ReplyPayload) {
+        match self.try_call(&op) {
+            Ok(result) => result,
+            Err(e) => panic!(
+                "remote partition {} failed executing {:?}: {e}",
+                self.partition, op
+            ),
+        }
+    }
+
+    /// A call whose op must not emit downlink traffic.
+    fn call_quiet(&self, op: PartitionOp) -> ReplyPayload {
+        let (net, payload) = self.call(op);
+        debug_assert!(net.is_empty(), "op unexpectedly emitted downlinks");
+        payload
+    }
+
+    /// A call whose downlink side effects are replayed onto `net`.
+    fn call_net(&self, op: PartitionOp, net: &mut Net) -> ReplyPayload {
+        let (actions, payload) = self.call(op);
+        replay_net(actions, net);
+        payload
+    }
+
+    /// Configures the peer; must be the first call on the connection.
+    pub fn init(&self, init: wire::InitConfig) -> Result<(), TransportError> {
+        self.try_call(&PartitionOp::Init(init)).map(|_| ())
+    }
+
+    /// Sends the shutdown op; the peer replies and exits its service loop.
+    pub fn shutdown(&self) -> Result<(), TransportError> {
+        self.try_call(&PartitionOp::Shutdown).map(|_| ())
+    }
+}
+
+/// Replays captured downlink actions onto the real agent network, in
+/// emission order — the same queue entries the op would have pushed had
+/// it run in-process.
+fn replay_net(actions: Vec<NetAction>, net: &mut Net) {
+    for action in actions {
+        match action {
+            NetAction::Unicast { node, msg } => net.send_unicast(NodeId(node), msg),
+            NetAction::Broadcast { station, msg } => net.broadcast(StationId(station), msg),
+        }
+    }
+}
+
+fn bad_payload(what: &str, got: &ReplyPayload) -> ! {
+    panic!("remote partition returned wrong payload for {what}: {got:?}")
+}
+
+/// A partition server the coordinator can drive: in-process or over RPC.
+///
+/// Method-for-method mirror of the [`Server`] surface the coordinator's
+/// decomposition uses; see the `Server` docs for semantics.
+pub enum PartitionHandle {
+    Local(Box<Server>),
+    Remote(RemotePartition),
+}
+
+impl PartitionHandle {
+    /// The in-process server, for APIs that expose partition internals
+    /// (`ClusterServer::partition`, rebalancing). Panics for remote
+    /// handles — those surfaces are lockstep-only.
+    pub fn local(&self) -> &Server {
+        match self {
+            PartitionHandle::Local(s) => s,
+            PartitionHandle::Remote(r) => panic!(
+                "partition {} is remote: in-process surface unavailable",
+                r.partition
+            ),
+        }
+    }
+
+    fn local_mut(&mut self) -> Option<&mut Server> {
+        match self {
+            PartitionHandle::Local(s) => Some(s),
+            PartitionHandle::Remote(_) => None,
+        }
+    }
+
+    pub fn is_remote(&self) -> bool {
+        matches!(self, PartitionHandle::Remote(_))
+    }
+
+    pub fn set_time(&mut self, now: f64) {
+        match self {
+            PartitionHandle::Local(s) => s.set_time(now),
+            PartitionHandle::Remote(r) => {
+                r.call_quiet(PartitionOp::SetTime(now));
+            }
+        }
+    }
+
+    pub fn renew_lease(&mut self, oid: ObjectId) {
+        match self {
+            PartitionHandle::Local(s) => s.renew_lease(oid),
+            PartitionHandle::Remote(r) => {
+                r.call_quiet(PartitionOp::RenewLease(oid));
+            }
+        }
+    }
+
+    pub fn on_velocity_report(&mut self, oid: ObjectId, motion: LinearMotion, net: &mut Net) {
+        match self {
+            PartitionHandle::Local(s) => s.on_velocity_report(oid, motion, net),
+            PartitionHandle::Remote(r) => {
+                r.call_net(PartitionOp::VelocityReport { oid, motion }, net);
+            }
+        }
+    }
+
+    pub fn apply_cell_change_focal(
+        &mut self,
+        oid: ObjectId,
+        new_cell: CellId,
+        motion: LinearMotion,
+        net: &mut Net,
+    ) {
+        match self {
+            PartitionHandle::Local(s) => s.apply_cell_change_focal(oid, new_cell, motion, net),
+            PartitionHandle::Remote(r) => {
+                r.call_net(
+                    PartitionOp::CellChangeFocal {
+                        oid,
+                        new_cell,
+                        motion,
+                    },
+                    net,
+                );
+            }
+        }
+    }
+
+    pub fn apply_cell_change_fresh(
+        &mut self,
+        oid: ObjectId,
+        prev_cell: CellId,
+        new_cell: CellId,
+        net: &mut Net,
+    ) {
+        match self {
+            PartitionHandle::Local(s) => s.apply_cell_change_fresh(oid, prev_cell, new_cell, net),
+            PartitionHandle::Remote(r) => {
+                r.call_net(
+                    PartitionOp::CellChangeFresh {
+                        oid,
+                        prev_cell,
+                        new_cell,
+                    },
+                    net,
+                );
+            }
+        }
+    }
+
+    pub fn apply_result_change(
+        &mut self,
+        qid: QueryId,
+        oid: ObjectId,
+        is_target: bool,
+        net: &mut Net,
+    ) -> bool {
+        match self {
+            PartitionHandle::Local(s) => s.apply_result_change(qid, oid, is_target, net),
+            PartitionHandle::Remote(r) => {
+                match r.call_net(
+                    PartitionOp::ResultChange {
+                        qid,
+                        oid,
+                        is_target,
+                    },
+                    net,
+                ) {
+                    ReplyPayload::Bool(b) => b,
+                    other => bad_payload("ResultChange", &other),
+                }
+            }
+        }
+    }
+
+    pub fn apply_group_result_update(
+        &mut self,
+        oid: ObjectId,
+        focal: ObjectId,
+        mask: u64,
+        targets: u64,
+        net: &mut Net,
+    ) {
+        match self {
+            PartitionHandle::Local(s) => {
+                s.apply_group_result_update(oid, focal, mask, targets, net)
+            }
+            PartitionHandle::Remote(r) => {
+                r.call_net(
+                    PartitionOp::GroupResultUpdate {
+                        oid,
+                        focal,
+                        mask,
+                        targets,
+                    },
+                    net,
+                );
+            }
+        }
+    }
+
+    pub fn refresh_focal_motion(
+        &mut self,
+        oid: ObjectId,
+        motion: LinearMotion,
+        max_vel: f64,
+        insert: bool,
+    ) {
+        match self {
+            PartitionHandle::Local(s) => s.refresh_focal_motion(oid, motion, max_vel, insert),
+            PartitionHandle::Remote(r) => {
+                r.call_quiet(PartitionOp::RefreshFocalMotion {
+                    oid,
+                    motion,
+                    max_vel,
+                    insert,
+                });
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub fn complete_install_at(
+        &mut self,
+        qid: QueryId,
+        focal: ObjectId,
+        region: QueryRegion,
+        filter: Arc<Filter>,
+        expires_at: Option<f64>,
+        net: &mut Net,
+    ) {
+        match self {
+            PartitionHandle::Local(s) => {
+                s.complete_install_at(qid, focal, region, filter, expires_at, net)
+            }
+            PartitionHandle::Remote(r) => {
+                r.call_net(
+                    PartitionOp::CompleteInstall {
+                        qid,
+                        focal,
+                        region,
+                        filter,
+                        expires_at,
+                    },
+                    net,
+                );
+            }
+        }
+    }
+
+    pub fn remove_query(&mut self, qid: QueryId, net: &mut Net) -> bool {
+        match self {
+            PartitionHandle::Local(s) => s.remove_query(qid, net),
+            PartitionHandle::Remote(r) => match r.call_net(PartitionOp::RemoveQuery(qid), net) {
+                ReplyPayload::Bool(b) => b,
+                other => bad_payload("RemoveQuery", &other),
+            },
+        }
+    }
+
+    pub fn expired_query_ids(&self, now: f64) -> Vec<QueryId> {
+        match self {
+            PartitionHandle::Local(s) => s.expired_query_ids(now),
+            PartitionHandle::Remote(r) => match r.call_quiet(PartitionOp::ExpiredQueryIds(now)) {
+                ReplyPayload::Qids(qids) => qids,
+                other => bad_payload("ExpiredQueryIds", &other),
+            },
+        }
+    }
+
+    pub fn expired_leases(&self) -> Vec<(ObjectId, Vec<QueryId>)> {
+        match self {
+            PartitionHandle::Local(s) => s.expired_leases(),
+            PartitionHandle::Remote(r) => match r.call_quiet(PartitionOp::ExpiredLeases) {
+                ReplyPayload::Leases(leases) => leases,
+                other => bad_payload("ExpiredLeases", &other),
+            },
+        }
+    }
+
+    pub fn reinstall_info(&self, qid: QueryId) -> Option<(QueryRegion, Arc<Filter>, Option<f64>)> {
+        match self {
+            PartitionHandle::Local(s) => s.reinstall_info(qid),
+            PartitionHandle::Remote(r) => match r.call_quiet(PartitionOp::ReinstallInfo(qid)) {
+                ReplyPayload::Reinstall(info) => {
+                    info.map(|(region, filter, expires_at)| (region, Arc::new(filter), expires_at))
+                }
+                other => bad_payload("ReinstallInfo", &other),
+            },
+        }
+    }
+
+    pub fn digest_cells(&self) -> Vec<(CellId, u64)> {
+        match self {
+            PartitionHandle::Local(s) => s.digest_cells(),
+            PartitionHandle::Remote(r) => match r.call_quiet(PartitionOp::DigestCells) {
+                ReplyPayload::Digests(digests) => digests,
+                other => bad_payload("DigestCells", &other),
+            },
+        }
+    }
+
+    pub fn bump_epoch_for_coordinator(&mut self) -> u64 {
+        match self {
+            PartitionHandle::Local(s) => s.bump_epoch_for_coordinator(),
+            PartitionHandle::Remote(r) => match r.call_quiet(PartitionOp::BumpEpoch) {
+                ReplyPayload::U64(epoch) => epoch,
+                other => bad_payload("BumpEpoch", &other),
+            },
+        }
+    }
+
+    pub fn current_epoch(&self) -> u64 {
+        match self {
+            PartitionHandle::Local(s) => s.current_epoch(),
+            // Exact under strict serialization: every epoch movement flows
+            // through a reply this view already folded in.
+            PartitionHandle::Remote(r) => r.epoch.load(Ordering::Relaxed),
+        }
+    }
+
+    pub fn num_queries(&self) -> usize {
+        match self {
+            PartitionHandle::Local(s) => s.num_queries(),
+            PartitionHandle::Remote(r) => match r.call_quiet(PartitionOp::NumQueries) {
+                ReplyPayload::U64(n) => n as usize,
+                other => bad_payload("NumQueries", &other),
+            },
+        }
+    }
+
+    pub fn query_ids(&self) -> Vec<QueryId> {
+        match self {
+            PartitionHandle::Local(s) => s.query_ids().collect(),
+            PartitionHandle::Remote(r) => match r.call_quiet(PartitionOp::QueryIds) {
+                ReplyPayload::Qids(qids) => qids,
+                other => bad_payload("QueryIds", &other),
+            },
+        }
+    }
+
+    /// Borrowed result set — in-process handles only (the lockstep
+    /// deployments every existing caller runs). Remote callers use
+    /// [`Self::query_result_owned`].
+    pub fn query_result_ref(&self, qid: QueryId) -> Option<&BTreeSet<ObjectId>> {
+        match self {
+            PartitionHandle::Local(s) => s.query_result(qid),
+            PartitionHandle::Remote(r) => panic!(
+                "partition {} is remote: borrowed query results unavailable",
+                r.partition
+            ),
+        }
+    }
+
+    /// Owned copy of a query's result set, local or remote.
+    pub fn query_result_owned(&self, qid: QueryId) -> Option<Vec<ObjectId>> {
+        match self {
+            PartitionHandle::Local(s) => s.query_result(qid).map(|r| r.iter().copied().collect()),
+            PartitionHandle::Remote(r) => match r.call_quiet(PartitionOp::QueryResult(qid)) {
+                ReplyPayload::ResultSet(oids) => oids,
+                other => bad_payload("QueryResult", &other),
+            },
+        }
+    }
+
+    pub fn query_focal(&self, qid: QueryId) -> Option<ObjectId> {
+        match self {
+            PartitionHandle::Local(s) => s.query_focal(qid),
+            PartitionHandle::Remote(r) => match r.call_quiet(PartitionOp::QueryFocal(qid)) {
+                ReplyPayload::OptOid(oid) => oid,
+                other => bad_payload("QueryFocal", &other),
+            },
+        }
+    }
+
+    pub fn has_focal(&self, oid: ObjectId) -> bool {
+        match self {
+            PartitionHandle::Local(s) => s.has_focal(oid),
+            PartitionHandle::Remote(r) => match r.call_quiet(PartitionOp::HasFocal(oid)) {
+                ReplyPayload::Bool(b) => b,
+                other => bad_payload("HasFocal", &other),
+            },
+        }
+    }
+
+    pub fn has_query(&self, qid: QueryId) -> bool {
+        match self {
+            PartitionHandle::Local(s) => s.has_query(qid),
+            PartitionHandle::Remote(r) => match r.call_quiet(PartitionOp::HasQuery(qid)) {
+                ReplyPayload::Bool(b) => b,
+                other => bad_payload("HasQuery", &other),
+            },
+        }
+    }
+
+    pub fn focal_motion(&self, oid: ObjectId) -> Option<LinearMotion> {
+        match self {
+            PartitionHandle::Local(s) => s.focal_motion(oid),
+            PartitionHandle::Remote(r) => match r.call_quiet(PartitionOp::FocalMotion(oid)) {
+                ReplyPayload::OptMotion(m) => m,
+                other => bad_payload("FocalMotion", &other),
+            },
+        }
+    }
+
+    pub fn focal_queries(&self, oid: ObjectId) -> Option<Vec<QueryId>> {
+        match self {
+            PartitionHandle::Local(s) => s.focal_queries(oid),
+            PartitionHandle::Remote(r) => match r.call_quiet(PartitionOp::FocalQueries(oid)) {
+                ReplyPayload::OptQids(qids) => qids,
+                other => bad_payload("FocalQueries", &other),
+            },
+        }
+    }
+
+    pub fn query_cell(&self, qid: QueryId) -> Option<CellId> {
+        match self {
+            PartitionHandle::Local(s) => s.query_cell(qid),
+            PartitionHandle::Remote(r) => match r.call_quiet(PartitionOp::QueryCell(qid)) {
+                ReplyPayload::OptCell(cell) => cell,
+                other => bad_payload("QueryCell", &other),
+            },
+        }
+    }
+
+    pub fn purge_object(&mut self, oid: ObjectId) -> Vec<QueryId> {
+        match self {
+            PartitionHandle::Local(s) => s.purge_object(oid),
+            PartitionHandle::Remote(r) => match r.call_quiet(PartitionOp::PurgeObject(oid)) {
+                ReplyPayload::Qids(qids) => qids,
+                other => bad_payload("PurgeObject", &other),
+            },
+        }
+    }
+
+    pub fn deliver_result_delta(
+        &mut self,
+        qid: QueryId,
+        oid: ObjectId,
+        entered: bool,
+        net: &mut Net,
+    ) {
+        match self {
+            PartitionHandle::Local(s) => s.deliver_result_delta(qid, oid, entered, net),
+            PartitionHandle::Remote(r) => {
+                r.call_net(PartitionOp::DeliverResultDelta { qid, oid, entered }, net);
+            }
+        }
+    }
+
+    pub fn lqt_reconcile_one(&mut self, qid: QueryId, oid: ObjectId, is_target: bool) -> bool {
+        match self {
+            PartitionHandle::Local(s) => s.lqt_reconcile_one(qid, oid, is_target),
+            PartitionHandle::Remote(r) => {
+                match r.call_quiet(PartitionOp::LqtReconcileOne {
+                    qid,
+                    oid,
+                    is_target,
+                }) {
+                    ReplyPayload::Bool(b) => b,
+                    other => bad_payload("LqtReconcileOne", &other),
+                }
+            }
+        }
+    }
+
+    pub fn focal_reassert(&mut self, oid: ObjectId, net: &mut Net) {
+        match self {
+            PartitionHandle::Local(s) => s.focal_reassert(oid, net),
+            PartitionHandle::Remote(r) => {
+                r.call_net(PartitionOp::FocalReassert(oid), net);
+            }
+        }
+    }
+
+    pub fn cell_sync_reply(&mut self, oid: ObjectId, cell: CellId, net: &mut Net) {
+        match self {
+            PartitionHandle::Local(s) => s.cell_sync_reply(oid, cell, net),
+            PartitionHandle::Remote(r) => {
+                r.call_net(PartitionOp::CellSyncReply { oid, cell }, net);
+            }
+        }
+    }
+
+    pub fn extract_focal(&mut self, oid: ObjectId) -> Option<ClusterMsg> {
+        match self {
+            PartitionHandle::Local(s) => s.extract_focal(oid),
+            PartitionHandle::Remote(r) => match r.call_quiet(PartitionOp::ExtractFocal(oid)) {
+                ReplyPayload::OptCluster(msg) => msg,
+                other => bad_payload("ExtractFocal", &other),
+            },
+        }
+    }
+
+    pub fn take_outbox(&mut self) -> Vec<(u32, ClusterMsg)> {
+        match self {
+            PartitionHandle::Local(s) => s.take_outbox(),
+            PartitionHandle::Remote(r) => std::mem::take(&mut *r.outbox.borrow_mut()),
+        }
+    }
+
+    pub fn apply_cluster_msg(&mut self, msg: &ClusterMsg) {
+        match self {
+            PartitionHandle::Local(s) => s.apply_cluster_msg(msg),
+            PartitionHandle::Remote(r) => {
+                r.call_quiet(PartitionOp::Deliver(msg.clone()));
+            }
+        }
+    }
+
+    pub fn check_invariants(&self) {
+        match self {
+            PartitionHandle::Local(s) => s.check_invariants(),
+            PartitionHandle::Remote(r) => {
+                r.call_quiet(PartitionOp::CheckInvariants);
+            }
+        }
+    }
+
+    // --- rebalance-only surface (lockstep deployments) -------------------
+
+    pub fn export_cells(&mut self, flats: &[usize], generation: u64) -> Option<ClusterMsg> {
+        self.local_mut()
+            .expect("rebalancing is lockstep-only")
+            .export_cells(flats, generation)
+    }
+
+    pub fn prune_stubs(&mut self) {
+        self.local_mut()
+            .expect("rebalancing is lockstep-only")
+            .prune_stubs();
+    }
+
+    pub fn focal_ids(&self) -> Vec<ObjectId> {
+        self.local().focal_ids()
+    }
+
+    pub fn focal_anchor_cell(&self, oid: ObjectId) -> Option<CellId> {
+        self.local().focal_anchor_cell(oid)
+    }
+}

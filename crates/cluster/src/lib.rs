@@ -8,7 +8,15 @@
 //! query results and telemetry to the single-server protocol.
 
 pub mod cluster_server;
+pub mod handle;
 pub mod partition;
+pub mod serve;
+pub mod wire;
 
-pub use cluster_server::{Bus, ClusterServer, Envelope};
+#[allow(deprecated)]
+pub use cluster_server::Bus;
+pub use cluster_server::{ClusterServer, Envelope};
+pub use handle::{PartitionHandle, RemotePartition};
 pub use partition::{plan_bounds, PartitionMap, Router};
+pub use serve::{serve_connection, serve_partition};
+pub use wire::{InitConfig, NetAction, PartitionOp, PartitionReply, ReplyPayload};

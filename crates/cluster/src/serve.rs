@@ -1,0 +1,279 @@
+//! The partition-process service loop: one [`Server`] behind the
+//! [`wire`](crate::wire) RPC protocol.
+//!
+//! A partition process accepts exactly one coordinator connection, then
+//! executes strictly-serialized [`PartitionOp`]s until
+//! [`Shutdown`](PartitionOp::Shutdown). Per request it:
+//!
+//! 1. raises its local epoch to the request's floor (`fetch_max`), so the
+//!    distributed epoch behaves exactly like the shared atomic counter of
+//!    the in-process deployment;
+//! 2. executes the op against the `Server` and a *partition-local* agent
+//!    network built from the same deterministic base-station layout the
+//!    coordinator uses — so broadcast cover sets resolve identically;
+//! 3. replies with the post-op epoch, the drained inter-server outbox,
+//!    every downlink the op emitted (as [`NetAction`]s the coordinator
+//!    replays onto the real network) and the op's return value.
+//!
+//! The service is deliberately synchronous and single-connection: the
+//! coordinator's decomposition depends on one-op-at-a-time execution, and
+//! the process model (one partition per process) is the unit of scaling.
+
+use crate::partition::PartitionMap;
+use crate::wire::{self, InitConfig, NetAction, PartitionOp, PartitionReply, ReplyPayload};
+use mobieyes_core::server::Net;
+use mobieyes_core::{PartitionScope, ProtocolConfig, Server};
+use mobieyes_net::{BaseStationLayout, FramedConn, Listener, TransportError};
+use mobieyes_telemetry::Telemetry;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// The configured state of a running partition service.
+struct ServiceState {
+    server: Server,
+    /// Partition-local downlink capture network; never delivers to an
+    /// agent, only queues so the service can ship the actions back.
+    net: Net,
+    /// This process's shard of the distributed epoch.
+    epoch: Arc<AtomicU64>,
+}
+
+impl ServiceState {
+    fn build(init: &InitConfig) -> ServiceState {
+        let grid = mobieyes_geo::Grid::new(init.universe, init.alpha);
+        let mut config = ProtocolConfig::new(grid);
+        config.delta = init.delta;
+        config.propagation = init.propagation;
+        config.grouping = init.grouping;
+        config.safe_period = init.safe_period;
+        config.deliver_results = init.deliver_results;
+        config.system_max_speed = init.system_max_speed;
+        config.lease_secs = init.lease_secs;
+        config.heartbeat_secs = init.heartbeat_secs;
+        let config = Arc::new(config);
+        let map = PartitionMap::contiguous(&config.grid, init.num_partitions as usize);
+        let epoch = Arc::new(AtomicU64::new(0));
+        let server = Server::new(Arc::clone(&config))
+            .with_telemetry(Telemetry::new())
+            .with_scope(PartitionScope::new(
+                init.partition,
+                Arc::clone(map.table()),
+                Arc::clone(&epoch),
+            ));
+        let net = Net::new(BaseStationLayout::new(init.universe, init.alen));
+        ServiceState { server, net, epoch }
+    }
+
+    /// Drains the downlinks the last op queued on the local network into
+    /// replayable actions, preserving emission order within each kind.
+    fn drain_net_actions(&mut self) -> Vec<NetAction> {
+        let (unicasts, broadcasts) = self.net.take_downlinks();
+        let mut actions = Vec::with_capacity(unicasts.len() + broadcasts.len());
+        for (node, msg, _) in unicasts {
+            actions.push(NetAction::Unicast {
+                node: node.0,
+                msg: (*msg).clone(),
+            });
+        }
+        for (station, msg, _) in broadcasts {
+            actions.push(NetAction::Broadcast {
+                station: station.0,
+                msg: (*msg).clone(),
+            });
+        }
+        actions
+    }
+}
+
+/// Serves one coordinator connection until `Shutdown` or disconnect.
+///
+/// `conn` must already have completed the hello exchange. Returns `Ok(())`
+/// on a clean shutdown, or the transport error that ended the session.
+pub fn serve_connection(mut conn: FramedConn) -> Result<(), TransportError> {
+    let mut state: Option<ServiceState> = None;
+    loop {
+        let request = conn.read_frame()?;
+        let (floor, op) = wire::decode_request(&request)?;
+        if let PartitionOp::Shutdown = op {
+            let reply = PartitionReply {
+                epoch: state
+                    .as_ref()
+                    .map_or(0, |s| s.epoch.load(Ordering::Relaxed)),
+                outbox: Vec::new(),
+                net: Vec::new(),
+                payload: ReplyPayload::Unit,
+            };
+            let mut frame = Vec::new();
+            wire::encode_reply(&reply, &mut frame);
+            conn.write_frame(&frame)?;
+            conn.flush()?;
+            return Ok(());
+        }
+        if let PartitionOp::Init(init) = &op {
+            state = Some(ServiceState::build(init));
+            let reply = PartitionReply {
+                epoch: 0,
+                outbox: Vec::new(),
+                net: Vec::new(),
+                payload: ReplyPayload::Unit,
+            };
+            let mut frame = Vec::new();
+            wire::encode_reply(&reply, &mut frame);
+            conn.write_frame(&frame)?;
+            conn.flush()?;
+            continue;
+        }
+        let Some(s) = state.as_mut() else {
+            return Err(TransportError::Protocol(format!("op before Init: {op:?}")));
+        };
+        s.epoch.fetch_max(floor, Ordering::Relaxed);
+        let payload = execute(s, op);
+        let reply = PartitionReply {
+            epoch: s.epoch.load(Ordering::Relaxed),
+            outbox: s.server.take_outbox(),
+            net: s.drain_net_actions(),
+            payload,
+        };
+        let mut frame = Vec::new();
+        wire::encode_reply(&reply, &mut frame);
+        conn.write_frame(&frame)?;
+        conn.flush()?;
+    }
+}
+
+fn execute(s: &mut ServiceState, op: PartitionOp) -> ReplyPayload {
+    match op {
+        // Handled by the service loop before dispatch.
+        PartitionOp::Init(_) | PartitionOp::Shutdown => unreachable!(),
+        PartitionOp::SetTime(now) => {
+            s.server.set_time(now);
+            ReplyPayload::Unit
+        }
+        PartitionOp::RenewLease(oid) => {
+            s.server.renew_lease(oid);
+            ReplyPayload::Unit
+        }
+        PartitionOp::VelocityReport { oid, motion } => {
+            s.server.on_velocity_report(oid, motion, &mut s.net);
+            ReplyPayload::Unit
+        }
+        PartitionOp::CellChangeFocal {
+            oid,
+            new_cell,
+            motion,
+        } => {
+            s.server
+                .apply_cell_change_focal(oid, new_cell, motion, &mut s.net);
+            ReplyPayload::Unit
+        }
+        PartitionOp::CellChangeFresh {
+            oid,
+            prev_cell,
+            new_cell,
+        } => {
+            s.server
+                .apply_cell_change_fresh(oid, prev_cell, new_cell, &mut s.net);
+            ReplyPayload::Unit
+        }
+        PartitionOp::ResultChange {
+            qid,
+            oid,
+            is_target,
+        } => ReplyPayload::Bool(
+            s.server
+                .apply_result_change(qid, oid, is_target, &mut s.net),
+        ),
+        PartitionOp::GroupResultUpdate {
+            oid,
+            focal,
+            mask,
+            targets,
+        } => {
+            s.server
+                .apply_group_result_update(oid, focal, mask, targets, &mut s.net);
+            ReplyPayload::Unit
+        }
+        PartitionOp::RefreshFocalMotion {
+            oid,
+            motion,
+            max_vel,
+            insert,
+        } => {
+            s.server.refresh_focal_motion(oid, motion, max_vel, insert);
+            ReplyPayload::Unit
+        }
+        PartitionOp::CompleteInstall {
+            qid,
+            focal,
+            region,
+            filter,
+            expires_at,
+        } => {
+            s.server
+                .complete_install_at(qid, focal, region, filter, expires_at, &mut s.net);
+            ReplyPayload::Unit
+        }
+        PartitionOp::RemoveQuery(qid) => ReplyPayload::Bool(s.server.remove_query(qid, &mut s.net)),
+        PartitionOp::ExpiredQueryIds(now) => ReplyPayload::Qids(s.server.expired_query_ids(now)),
+        PartitionOp::ExpiredLeases => ReplyPayload::Leases(s.server.expired_leases()),
+        PartitionOp::ReinstallInfo(qid) => ReplyPayload::Reinstall(
+            s.server
+                .reinstall_info(qid)
+                .map(|(region, filter, expires_at)| (region, (*filter).clone(), expires_at)),
+        ),
+        PartitionOp::DigestCells => ReplyPayload::Digests(s.server.digest_cells()),
+        PartitionOp::BumpEpoch => ReplyPayload::U64(s.server.bump_epoch_for_coordinator()),
+        PartitionOp::CurrentEpoch => ReplyPayload::U64(s.server.current_epoch()),
+        PartitionOp::NumQueries => ReplyPayload::U64(s.server.num_queries() as u64),
+        PartitionOp::QueryIds => ReplyPayload::Qids(s.server.query_ids().collect()),
+        PartitionOp::QueryResult(qid) => ReplyPayload::ResultSet(
+            s.server
+                .query_result(qid)
+                .map(|r| r.iter().copied().collect()),
+        ),
+        PartitionOp::QueryFocal(qid) => ReplyPayload::OptOid(s.server.query_focal(qid)),
+        PartitionOp::HasFocal(oid) => ReplyPayload::Bool(s.server.has_focal(oid)),
+        PartitionOp::HasQuery(qid) => ReplyPayload::Bool(s.server.has_query(qid)),
+        PartitionOp::FocalMotion(oid) => ReplyPayload::OptMotion(s.server.focal_motion(oid)),
+        PartitionOp::FocalQueries(oid) => ReplyPayload::OptQids(s.server.focal_queries(oid)),
+        PartitionOp::QueryCell(qid) => ReplyPayload::OptCell(s.server.query_cell(qid)),
+        PartitionOp::PurgeObject(oid) => ReplyPayload::Qids(s.server.purge_object(oid)),
+        PartitionOp::DeliverResultDelta { qid, oid, entered } => {
+            s.server.deliver_result_delta(qid, oid, entered, &mut s.net);
+            ReplyPayload::Unit
+        }
+        PartitionOp::LqtReconcileOne {
+            qid,
+            oid,
+            is_target,
+        } => ReplyPayload::Bool(s.server.lqt_reconcile_one(qid, oid, is_target)),
+        PartitionOp::FocalReassert(oid) => {
+            s.server.focal_reassert(oid, &mut s.net);
+            ReplyPayload::Unit
+        }
+        PartitionOp::CellSyncReply { oid, cell } => {
+            s.server.cell_sync_reply(oid, cell, &mut s.net);
+            ReplyPayload::Unit
+        }
+        PartitionOp::ExtractFocal(oid) => ReplyPayload::OptCluster(s.server.extract_focal(oid)),
+        PartitionOp::Deliver(msg) => {
+            s.server.apply_cluster_msg(&msg);
+            ReplyPayload::Unit
+        }
+        PartitionOp::CheckInvariants => {
+            s.server.check_invariants();
+            ReplyPayload::Unit
+        }
+    }
+}
+
+/// Binds `listener`'s endpoint, accepts exactly one coordinator, completes
+/// the hello exchange (the partition announces its id, the coordinator
+/// its own node id 0) and runs the service loop to completion.
+pub fn serve_partition(listener: Listener, partition: u32) -> Result<(), TransportError> {
+    let stream = listener.accept()?;
+    let mut conn = FramedConn::new(stream);
+    conn.send_hello(partition)?;
+    let _coordinator = conn.expect_hello()?;
+    serve_connection(conn)
+}

@@ -1,0 +1,1092 @@
+//! RPC wire format for remote partitions.
+//!
+//! A remote partition process holds one [`mobieyes_core::Server`] and
+//! executes the same primitive operations the coordinator would call on an
+//! in-process partition, strictly serialized: the coordinator sends one
+//! [`PartitionOp`] at a time and waits for the [`PartitionReply`] before
+//! issuing the next. Each request carries the coordinator's epoch view
+//! (the *floor*); the partition raises its local epoch to at least the
+//! floor before executing, and the reply carries the post-op epoch back —
+//! under strict serialization this reproduces the shared atomic epoch
+//! counter of the in-process deployment exactly.
+//!
+//! Replies also carry every side effect the operation produced:
+//!
+//! - the partition's inter-server outbox (bus envelopes the coordinator
+//!   feeds through its [`Transport`](mobieyes_net::Transport), so fault
+//!   plans apply uniformly to local and remote partitions), and
+//! - the downlink traffic the operation emitted ([`NetAction`]), which the
+//!   coordinator replays onto the real agent network in operation order.
+//!
+//! Everything here rides on the bounds-checked primitives of
+//! [`mobieyes_core::codec`] — a malformed frame is a [`TransportError`],
+//! never a panic.
+
+use crate::cluster_server::Envelope;
+use mobieyes_core::codec::{
+    self, decode_cluster, decode_downlink, encode_cluster, encode_downlink, DecodeError, Put,
+    Reader,
+};
+use mobieyes_core::{ClusterMsg, Downlink, Filter, ObjectId, Propagation, QueryId};
+use mobieyes_geo::{CellId, LinearMotion, QueryRegion, Rect};
+use mobieyes_net::{Frame, Routed, TransportError};
+use std::sync::Arc;
+
+impl Frame for Envelope {
+    fn encode_frame(&self, out: &mut Vec<u8>) {
+        out.put_u32_le(self.to);
+        encode_cluster(&self.msg, out);
+    }
+
+    fn decode_frame(bytes: &[u8]) -> std::result::Result<Self, TransportError> {
+        let mut buf = Reader::new(bytes);
+        let to = buf.get_u32_le("envelope destination").map_err(frame_err)?;
+        let msg = decode_cluster(&mut buf).map_err(frame_err)?;
+        if buf.remaining() != 0 {
+            return Err(TransportError::Frame(format!(
+                "{} trailing bytes after envelope",
+                buf.remaining()
+            )));
+        }
+        Ok(Envelope { to, msg })
+    }
+}
+
+impl Routed for Envelope {
+    fn dest(&self) -> u32 {
+        self.to
+    }
+}
+
+fn frame_err(e: DecodeError) -> TransportError {
+    TransportError::Frame(e.to_string())
+}
+
+type Result<T> = std::result::Result<T, TransportError>;
+
+/// Everything a partition process needs to reconstruct the deployment the
+/// coordinator runs: the protocol configuration, the base-station layout
+/// (for downlink generation) and this partition's slot in the map.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InitConfig {
+    pub universe: Rect,
+    pub alpha: f64,
+    pub alen: f64,
+    pub delta: f64,
+    pub propagation: Propagation,
+    pub grouping: bool,
+    pub safe_period: bool,
+    pub deliver_results: bool,
+    pub system_max_speed: f64,
+    pub lease_secs: f64,
+    pub heartbeat_secs: f64,
+    pub partition: u32,
+    pub num_partitions: u32,
+}
+
+/// One primitive operation against a remote partition — the RPC mirror of
+/// the [`mobieyes_core::Server`] methods the coordinator drives.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PartitionOp {
+    /// Must be the first op on a connection; configures the partition.
+    Init(InitConfig),
+    SetTime(f64),
+    RenewLease(ObjectId),
+    VelocityReport {
+        oid: ObjectId,
+        motion: LinearMotion,
+    },
+    CellChangeFocal {
+        oid: ObjectId,
+        new_cell: CellId,
+        motion: LinearMotion,
+    },
+    CellChangeFresh {
+        oid: ObjectId,
+        prev_cell: CellId,
+        new_cell: CellId,
+    },
+    ResultChange {
+        qid: QueryId,
+        oid: ObjectId,
+        is_target: bool,
+    },
+    GroupResultUpdate {
+        oid: ObjectId,
+        focal: ObjectId,
+        mask: u64,
+        targets: u64,
+    },
+    RefreshFocalMotion {
+        oid: ObjectId,
+        motion: LinearMotion,
+        max_vel: f64,
+        insert: bool,
+    },
+    CompleteInstall {
+        qid: QueryId,
+        focal: ObjectId,
+        region: QueryRegion,
+        filter: Arc<Filter>,
+        expires_at: Option<f64>,
+    },
+    RemoveQuery(QueryId),
+    ExpiredQueryIds(f64),
+    ExpiredLeases,
+    ReinstallInfo(QueryId),
+    DigestCells,
+    BumpEpoch,
+    CurrentEpoch,
+    NumQueries,
+    QueryIds,
+    QueryResult(QueryId),
+    QueryFocal(QueryId),
+    HasFocal(ObjectId),
+    HasQuery(QueryId),
+    FocalMotion(ObjectId),
+    FocalQueries(ObjectId),
+    QueryCell(QueryId),
+    PurgeObject(ObjectId),
+    DeliverResultDelta {
+        qid: QueryId,
+        oid: ObjectId,
+        entered: bool,
+    },
+    LqtReconcileOne {
+        qid: QueryId,
+        oid: ObjectId,
+        is_target: bool,
+    },
+    FocalReassert(ObjectId),
+    CellSyncReply {
+        oid: ObjectId,
+        cell: CellId,
+    },
+    ExtractFocal(ObjectId),
+    /// A bus envelope that survived the coordinator's fault plan.
+    Deliver(ClusterMsg),
+    CheckInvariants,
+    /// Ends the service loop; the process exits cleanly.
+    Shutdown,
+}
+
+/// A downlink the partition emitted while executing an op. The coordinator
+/// replays these onto the real agent network in operation order, which
+/// reproduces the exact queue contents (and thus delivery and downlink
+/// fault-plan consumption) of an in-process run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetAction {
+    Unicast { node: u32, msg: Downlink },
+    Broadcast { station: u32, msg: Downlink },
+}
+
+/// The operation's return value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReplyPayload {
+    Unit,
+    Bool(bool),
+    U64(u64),
+    Qids(Vec<QueryId>),
+    OptQids(Option<Vec<QueryId>>),
+    OptCluster(Option<ClusterMsg>),
+    OptMotion(Option<LinearMotion>),
+    OptCell(Option<CellId>),
+    OptOid(Option<ObjectId>),
+    Digests(Vec<(CellId, u64)>),
+    Leases(Vec<(ObjectId, Vec<QueryId>)>),
+    Reinstall(Option<(QueryRegion, Filter, Option<f64>)>),
+    ResultSet(Option<Vec<ObjectId>>),
+}
+
+/// Reply to one [`PartitionOp`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionReply {
+    /// The partition's epoch after the op (the coordinator folds it into
+    /// its shared view with a `fetch_max`).
+    pub epoch: u64,
+    /// Inter-server envelopes the op queued (destination, message).
+    pub outbox: Vec<(u32, ClusterMsg)>,
+    /// Downlink traffic the op emitted, in emission order.
+    pub net: Vec<NetAction>,
+    pub payload: ReplyPayload,
+}
+
+// --- request encoding --------------------------------------------------------
+
+fn put_oid(out: &mut Vec<u8>, oid: ObjectId) {
+    out.put_u32_le(oid.0);
+}
+
+fn get_oid(buf: &mut Reader<'_>) -> std::result::Result<ObjectId, DecodeError> {
+    Ok(ObjectId(buf.get_u32_le("object id")?))
+}
+
+fn put_qid(out: &mut Vec<u8>, qid: QueryId) {
+    out.put_u32_le(qid.0);
+}
+
+fn get_qid(buf: &mut Reader<'_>) -> std::result::Result<QueryId, DecodeError> {
+    Ok(QueryId(buf.get_u32_le("query id")?))
+}
+
+fn put_opt_f64(out: &mut Vec<u8>, v: Option<f64>) {
+    match v {
+        Some(x) => {
+            out.put_u8(1);
+            out.put_f64_le(x);
+        }
+        None => out.put_u8(0),
+    }
+}
+
+fn get_opt_f64(buf: &mut Reader<'_>) -> std::result::Result<Option<f64>, DecodeError> {
+    Ok(if buf.get_u8("option flag")? != 0 {
+        Some(buf.get_f64_le("f64 value")?)
+    } else {
+        None
+    })
+}
+
+fn put_qids(out: &mut Vec<u8>, qids: &[QueryId]) {
+    out.put_u32_le(qids.len() as u32);
+    for q in qids {
+        put_qid(out, *q);
+    }
+}
+
+fn get_qids(buf: &mut Reader<'_>) -> std::result::Result<Vec<QueryId>, DecodeError> {
+    let n = buf.get_u32_le("qid count")? as usize;
+    if n * 4 > buf.remaining() {
+        return Err(DecodeError(format!("oversized qid count {n}")));
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(get_qid(buf)?);
+    }
+    Ok(out)
+}
+
+/// Encodes a request frame: the coordinator's epoch floor, then the op.
+pub fn encode_request(epoch_floor: u64, op: &PartitionOp, out: &mut Vec<u8>) {
+    out.put_u64_le(epoch_floor);
+    match op {
+        PartitionOp::Init(c) => {
+            out.put_u8(0);
+            out.put_f64_le(c.universe.lx);
+            out.put_f64_le(c.universe.ly);
+            out.put_f64_le(c.universe.hx());
+            out.put_f64_le(c.universe.hy());
+            out.put_f64_le(c.alpha);
+            out.put_f64_le(c.alen);
+            out.put_f64_le(c.delta);
+            out.put_u8(match c.propagation {
+                Propagation::Eager => 0,
+                Propagation::Lazy => 1,
+            });
+            out.put_u8(c.grouping as u8);
+            out.put_u8(c.safe_period as u8);
+            out.put_u8(c.deliver_results as u8);
+            out.put_f64_le(c.system_max_speed);
+            out.put_f64_le(c.lease_secs);
+            out.put_f64_le(c.heartbeat_secs);
+            out.put_u32_le(c.partition);
+            out.put_u32_le(c.num_partitions);
+        }
+        PartitionOp::SetTime(t) => {
+            out.put_u8(1);
+            out.put_f64_le(*t);
+        }
+        PartitionOp::RenewLease(oid) => {
+            out.put_u8(2);
+            put_oid(out, *oid);
+        }
+        PartitionOp::VelocityReport { oid, motion } => {
+            out.put_u8(3);
+            put_oid(out, *oid);
+            codec::put_motion(out, motion);
+        }
+        PartitionOp::CellChangeFocal {
+            oid,
+            new_cell,
+            motion,
+        } => {
+            out.put_u8(4);
+            put_oid(out, *oid);
+            codec::put_cell(out, *new_cell);
+            codec::put_motion(out, motion);
+        }
+        PartitionOp::CellChangeFresh {
+            oid,
+            prev_cell,
+            new_cell,
+        } => {
+            out.put_u8(5);
+            put_oid(out, *oid);
+            codec::put_cell(out, *prev_cell);
+            codec::put_cell(out, *new_cell);
+        }
+        PartitionOp::ResultChange {
+            qid,
+            oid,
+            is_target,
+        } => {
+            out.put_u8(6);
+            put_qid(out, *qid);
+            put_oid(out, *oid);
+            out.put_u8(*is_target as u8);
+        }
+        PartitionOp::GroupResultUpdate {
+            oid,
+            focal,
+            mask,
+            targets,
+        } => {
+            out.put_u8(7);
+            put_oid(out, *oid);
+            put_oid(out, *focal);
+            out.put_u64_le(*mask);
+            out.put_u64_le(*targets);
+        }
+        PartitionOp::RefreshFocalMotion {
+            oid,
+            motion,
+            max_vel,
+            insert,
+        } => {
+            out.put_u8(8);
+            put_oid(out, *oid);
+            codec::put_motion(out, motion);
+            out.put_f64_le(*max_vel);
+            out.put_u8(*insert as u8);
+        }
+        PartitionOp::CompleteInstall {
+            qid,
+            focal,
+            region,
+            filter,
+            expires_at,
+        } => {
+            out.put_u8(9);
+            put_qid(out, *qid);
+            put_oid(out, *focal);
+            codec::put_region(out, region);
+            codec::put_filter(out, filter);
+            put_opt_f64(out, *expires_at);
+        }
+        PartitionOp::RemoveQuery(qid) => {
+            out.put_u8(10);
+            put_qid(out, *qid);
+        }
+        PartitionOp::ExpiredQueryIds(now) => {
+            out.put_u8(11);
+            out.put_f64_le(*now);
+        }
+        PartitionOp::ExpiredLeases => out.put_u8(12),
+        PartitionOp::ReinstallInfo(qid) => {
+            out.put_u8(13);
+            put_qid(out, *qid);
+        }
+        PartitionOp::DigestCells => out.put_u8(14),
+        PartitionOp::BumpEpoch => out.put_u8(15),
+        PartitionOp::CurrentEpoch => out.put_u8(16),
+        PartitionOp::NumQueries => out.put_u8(17),
+        PartitionOp::QueryIds => out.put_u8(18),
+        PartitionOp::QueryResult(qid) => {
+            out.put_u8(19);
+            put_qid(out, *qid);
+        }
+        PartitionOp::QueryFocal(qid) => {
+            out.put_u8(20);
+            put_qid(out, *qid);
+        }
+        PartitionOp::HasFocal(oid) => {
+            out.put_u8(21);
+            put_oid(out, *oid);
+        }
+        PartitionOp::HasQuery(qid) => {
+            out.put_u8(22);
+            put_qid(out, *qid);
+        }
+        PartitionOp::FocalMotion(oid) => {
+            out.put_u8(23);
+            put_oid(out, *oid);
+        }
+        PartitionOp::FocalQueries(oid) => {
+            out.put_u8(24);
+            put_oid(out, *oid);
+        }
+        PartitionOp::QueryCell(qid) => {
+            out.put_u8(25);
+            put_qid(out, *qid);
+        }
+        PartitionOp::PurgeObject(oid) => {
+            out.put_u8(26);
+            put_oid(out, *oid);
+        }
+        PartitionOp::DeliverResultDelta { qid, oid, entered } => {
+            out.put_u8(27);
+            put_qid(out, *qid);
+            put_oid(out, *oid);
+            out.put_u8(*entered as u8);
+        }
+        PartitionOp::LqtReconcileOne {
+            qid,
+            oid,
+            is_target,
+        } => {
+            out.put_u8(28);
+            put_qid(out, *qid);
+            put_oid(out, *oid);
+            out.put_u8(*is_target as u8);
+        }
+        PartitionOp::FocalReassert(oid) => {
+            out.put_u8(29);
+            put_oid(out, *oid);
+        }
+        PartitionOp::CellSyncReply { oid, cell } => {
+            out.put_u8(30);
+            put_oid(out, *oid);
+            codec::put_cell(out, *cell);
+        }
+        PartitionOp::ExtractFocal(oid) => {
+            out.put_u8(31);
+            put_oid(out, *oid);
+        }
+        PartitionOp::Deliver(msg) => {
+            out.put_u8(32);
+            encode_cluster(msg, out);
+        }
+        PartitionOp::CheckInvariants => out.put_u8(33),
+        PartitionOp::Shutdown => out.put_u8(34),
+    }
+}
+
+/// Decodes a request frame into `(epoch_floor, op)`.
+pub fn decode_request(bytes: &[u8]) -> Result<(u64, PartitionOp)> {
+    let mut buf = Reader::new(bytes);
+    let mut inner = || -> std::result::Result<(u64, PartitionOp), DecodeError> {
+        let floor = buf.get_u64_le("epoch floor")?;
+        let op = match buf.get_u8("op tag")? {
+            0 => {
+                let lx = buf.get_f64_le("universe")?;
+                let ly = buf.get_f64_le("universe")?;
+                let hx = buf.get_f64_le("universe")?;
+                let hy = buf.get_f64_le("universe")?;
+                if !(lx.is_finite() && ly.is_finite() && hx >= lx && hy >= ly) {
+                    return Err(DecodeError("invalid universe bounds".into()));
+                }
+                PartitionOp::Init(InitConfig {
+                    universe: Rect::from_bounds(lx, ly, hx, hy),
+                    alpha: buf.get_f64_le("alpha")?,
+                    alen: buf.get_f64_le("alen")?,
+                    delta: buf.get_f64_le("delta")?,
+                    propagation: match buf.get_u8("propagation")? {
+                        0 => Propagation::Eager,
+                        1 => Propagation::Lazy,
+                        t => return Err(DecodeError(format!("unknown propagation tag {t}"))),
+                    },
+                    grouping: buf.get_u8("grouping")? != 0,
+                    safe_period: buf.get_u8("safe period")? != 0,
+                    deliver_results: buf.get_u8("deliver results")? != 0,
+                    system_max_speed: buf.get_f64_le("system max speed")?,
+                    lease_secs: buf.get_f64_le("lease secs")?,
+                    heartbeat_secs: buf.get_f64_le("heartbeat secs")?,
+                    partition: buf.get_u32_le("partition")?,
+                    num_partitions: buf.get_u32_le("num partitions")?,
+                })
+            }
+            1 => PartitionOp::SetTime(buf.get_f64_le("time")?),
+            2 => PartitionOp::RenewLease(get_oid(&mut buf)?),
+            3 => PartitionOp::VelocityReport {
+                oid: get_oid(&mut buf)?,
+                motion: codec::get_motion(&mut buf)?,
+            },
+            4 => PartitionOp::CellChangeFocal {
+                oid: get_oid(&mut buf)?,
+                new_cell: codec::get_cell(&mut buf)?,
+                motion: codec::get_motion(&mut buf)?,
+            },
+            5 => PartitionOp::CellChangeFresh {
+                oid: get_oid(&mut buf)?,
+                prev_cell: codec::get_cell(&mut buf)?,
+                new_cell: codec::get_cell(&mut buf)?,
+            },
+            6 => PartitionOp::ResultChange {
+                qid: get_qid(&mut buf)?,
+                oid: get_oid(&mut buf)?,
+                is_target: buf.get_u8("is target")? != 0,
+            },
+            7 => PartitionOp::GroupResultUpdate {
+                oid: get_oid(&mut buf)?,
+                focal: get_oid(&mut buf)?,
+                mask: buf.get_u64_le("mask")?,
+                targets: buf.get_u64_le("targets")?,
+            },
+            8 => PartitionOp::RefreshFocalMotion {
+                oid: get_oid(&mut buf)?,
+                motion: codec::get_motion(&mut buf)?,
+                max_vel: buf.get_f64_le("max vel")?,
+                insert: buf.get_u8("insert")? != 0,
+            },
+            9 => PartitionOp::CompleteInstall {
+                qid: get_qid(&mut buf)?,
+                focal: get_oid(&mut buf)?,
+                region: codec::get_region(&mut buf)?,
+                filter: Arc::new(codec::get_filter(&mut buf)?),
+                expires_at: get_opt_f64(&mut buf)?,
+            },
+            10 => PartitionOp::RemoveQuery(get_qid(&mut buf)?),
+            11 => PartitionOp::ExpiredQueryIds(buf.get_f64_le("now")?),
+            12 => PartitionOp::ExpiredLeases,
+            13 => PartitionOp::ReinstallInfo(get_qid(&mut buf)?),
+            14 => PartitionOp::DigestCells,
+            15 => PartitionOp::BumpEpoch,
+            16 => PartitionOp::CurrentEpoch,
+            17 => PartitionOp::NumQueries,
+            18 => PartitionOp::QueryIds,
+            19 => PartitionOp::QueryResult(get_qid(&mut buf)?),
+            20 => PartitionOp::QueryFocal(get_qid(&mut buf)?),
+            21 => PartitionOp::HasFocal(get_oid(&mut buf)?),
+            22 => PartitionOp::HasQuery(get_qid(&mut buf)?),
+            23 => PartitionOp::FocalMotion(get_oid(&mut buf)?),
+            24 => PartitionOp::FocalQueries(get_oid(&mut buf)?),
+            25 => PartitionOp::QueryCell(get_qid(&mut buf)?),
+            26 => PartitionOp::PurgeObject(get_oid(&mut buf)?),
+            27 => PartitionOp::DeliverResultDelta {
+                qid: get_qid(&mut buf)?,
+                oid: get_oid(&mut buf)?,
+                entered: buf.get_u8("entered")? != 0,
+            },
+            28 => PartitionOp::LqtReconcileOne {
+                qid: get_qid(&mut buf)?,
+                oid: get_oid(&mut buf)?,
+                is_target: buf.get_u8("is target")? != 0,
+            },
+            29 => PartitionOp::FocalReassert(get_oid(&mut buf)?),
+            30 => PartitionOp::CellSyncReply {
+                oid: get_oid(&mut buf)?,
+                cell: codec::get_cell(&mut buf)?,
+            },
+            31 => PartitionOp::ExtractFocal(get_oid(&mut buf)?),
+            32 => PartitionOp::Deliver(decode_cluster(&mut buf)?),
+            33 => PartitionOp::CheckInvariants,
+            34 => PartitionOp::Shutdown,
+            t => return Err(DecodeError(format!("unknown partition op tag {t}"))),
+        };
+        Ok((floor, op))
+    };
+    let (floor, op) = inner().map_err(frame_err)?;
+    if buf.remaining() != 0 {
+        return Err(TransportError::Frame(format!(
+            "{} trailing bytes after partition op",
+            buf.remaining()
+        )));
+    }
+    Ok((floor, op))
+}
+
+// --- reply encoding ----------------------------------------------------------
+
+/// Encodes a reply frame.
+pub fn encode_reply(reply: &PartitionReply, out: &mut Vec<u8>) {
+    out.put_u64_le(reply.epoch);
+    out.put_u32_le(reply.outbox.len() as u32);
+    for (to, msg) in &reply.outbox {
+        out.put_u32_le(*to);
+        encode_cluster(msg, out);
+    }
+    out.put_u32_le(reply.net.len() as u32);
+    for action in &reply.net {
+        match action {
+            NetAction::Unicast { node, msg } => {
+                out.put_u8(0);
+                out.put_u32_le(*node);
+                encode_downlink(msg, out);
+            }
+            NetAction::Broadcast { station, msg } => {
+                out.put_u8(1);
+                out.put_u32_le(*station);
+                encode_downlink(msg, out);
+            }
+        }
+    }
+    match &reply.payload {
+        ReplyPayload::Unit => out.put_u8(0),
+        ReplyPayload::Bool(b) => {
+            out.put_u8(1);
+            out.put_u8(*b as u8);
+        }
+        ReplyPayload::U64(v) => {
+            out.put_u8(2);
+            out.put_u64_le(*v);
+        }
+        ReplyPayload::Qids(qids) => {
+            out.put_u8(3);
+            put_qids(out, qids);
+        }
+        ReplyPayload::OptQids(v) => {
+            out.put_u8(4);
+            match v {
+                Some(qids) => {
+                    out.put_u8(1);
+                    put_qids(out, qids);
+                }
+                None => out.put_u8(0),
+            }
+        }
+        ReplyPayload::OptCluster(v) => {
+            out.put_u8(5);
+            match v {
+                Some(msg) => {
+                    out.put_u8(1);
+                    encode_cluster(msg, out);
+                }
+                None => out.put_u8(0),
+            }
+        }
+        ReplyPayload::OptMotion(v) => {
+            out.put_u8(6);
+            match v {
+                Some(m) => {
+                    out.put_u8(1);
+                    codec::put_motion(out, m);
+                }
+                None => out.put_u8(0),
+            }
+        }
+        ReplyPayload::OptCell(v) => {
+            out.put_u8(7);
+            match v {
+                Some(c) => {
+                    out.put_u8(1);
+                    codec::put_cell(out, *c);
+                }
+                None => out.put_u8(0),
+            }
+        }
+        ReplyPayload::OptOid(v) => {
+            out.put_u8(8);
+            match v {
+                Some(oid) => {
+                    out.put_u8(1);
+                    put_oid(out, *oid);
+                }
+                None => out.put_u8(0),
+            }
+        }
+        ReplyPayload::Digests(digests) => {
+            out.put_u8(9);
+            out.put_u32_le(digests.len() as u32);
+            for (cell, digest) in digests {
+                codec::put_cell(out, *cell);
+                out.put_u64_le(*digest);
+            }
+        }
+        ReplyPayload::Leases(leases) => {
+            out.put_u8(10);
+            out.put_u32_le(leases.len() as u32);
+            for (oid, qids) in leases {
+                put_oid(out, *oid);
+                put_qids(out, qids);
+            }
+        }
+        ReplyPayload::Reinstall(v) => {
+            out.put_u8(11);
+            match v {
+                Some((region, filter, expires_at)) => {
+                    out.put_u8(1);
+                    codec::put_region(out, region);
+                    codec::put_filter(out, filter);
+                    put_opt_f64(out, *expires_at);
+                }
+                None => out.put_u8(0),
+            }
+        }
+        ReplyPayload::ResultSet(v) => {
+            out.put_u8(12);
+            match v {
+                Some(oids) => {
+                    out.put_u8(1);
+                    out.put_u32_le(oids.len() as u32);
+                    for oid in oids {
+                        put_oid(out, *oid);
+                    }
+                }
+                None => out.put_u8(0),
+            }
+        }
+    }
+}
+
+/// Decodes a reply frame.
+pub fn decode_reply(bytes: &[u8]) -> Result<PartitionReply> {
+    let mut buf = Reader::new(bytes);
+    let mut inner = || -> std::result::Result<PartitionReply, DecodeError> {
+        let epoch = buf.get_u64_le("reply epoch")?;
+        let n = buf.get_u32_le("outbox count")? as usize;
+        if n * 5 > buf.remaining() {
+            return Err(DecodeError(format!("oversized outbox count {n}")));
+        }
+        let mut outbox = Vec::with_capacity(n);
+        for _ in 0..n {
+            let to = buf.get_u32_le("outbox destination")?;
+            outbox.push((to, decode_cluster(&mut buf)?));
+        }
+        let n = buf.get_u32_le("net action count")? as usize;
+        if n * 6 > buf.remaining() {
+            return Err(DecodeError(format!("oversized net action count {n}")));
+        }
+        let mut net = Vec::with_capacity(n);
+        for _ in 0..n {
+            let tag = buf.get_u8("net action tag")?;
+            let target = buf.get_u32_le("net action target")?;
+            let msg = decode_downlink(&mut buf)?;
+            net.push(match tag {
+                0 => NetAction::Unicast { node: target, msg },
+                1 => NetAction::Broadcast {
+                    station: target,
+                    msg,
+                },
+                t => return Err(DecodeError(format!("unknown net action tag {t}"))),
+            });
+        }
+        let payload = match buf.get_u8("payload tag")? {
+            0 => ReplyPayload::Unit,
+            1 => ReplyPayload::Bool(buf.get_u8("bool")? != 0),
+            2 => ReplyPayload::U64(buf.get_u64_le("u64")?),
+            3 => ReplyPayload::Qids(get_qids(&mut buf)?),
+            4 => ReplyPayload::OptQids(if buf.get_u8("option flag")? != 0 {
+                Some(get_qids(&mut buf)?)
+            } else {
+                None
+            }),
+            5 => ReplyPayload::OptCluster(if buf.get_u8("option flag")? != 0 {
+                Some(decode_cluster(&mut buf)?)
+            } else {
+                None
+            }),
+            6 => ReplyPayload::OptMotion(if buf.get_u8("option flag")? != 0 {
+                Some(codec::get_motion(&mut buf)?)
+            } else {
+                None
+            }),
+            7 => ReplyPayload::OptCell(if buf.get_u8("option flag")? != 0 {
+                Some(codec::get_cell(&mut buf)?)
+            } else {
+                None
+            }),
+            8 => ReplyPayload::OptOid(if buf.get_u8("option flag")? != 0 {
+                Some(get_oid(&mut buf)?)
+            } else {
+                None
+            }),
+            9 => {
+                let n = buf.get_u32_le("digest count")? as usize;
+                if n * 16 > buf.remaining() {
+                    return Err(DecodeError(format!("oversized digest count {n}")));
+                }
+                let mut digests = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let cell = codec::get_cell(&mut buf)?;
+                    digests.push((cell, buf.get_u64_le("digest")?));
+                }
+                ReplyPayload::Digests(digests)
+            }
+            10 => {
+                let n = buf.get_u32_le("lease count")? as usize;
+                if n * 8 > buf.remaining() {
+                    return Err(DecodeError(format!("oversized lease count {n}")));
+                }
+                let mut leases = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let oid = get_oid(&mut buf)?;
+                    leases.push((oid, get_qids(&mut buf)?));
+                }
+                ReplyPayload::Leases(leases)
+            }
+            11 => ReplyPayload::Reinstall(if buf.get_u8("option flag")? != 0 {
+                let region = codec::get_region(&mut buf)?;
+                let filter = codec::get_filter(&mut buf)?;
+                Some((region, filter, get_opt_f64(&mut buf)?))
+            } else {
+                None
+            }),
+            12 => ReplyPayload::ResultSet(if buf.get_u8("option flag")? != 0 {
+                let n = buf.get_u32_le("result count")? as usize;
+                if n * 4 > buf.remaining() {
+                    return Err(DecodeError(format!("oversized result count {n}")));
+                }
+                let mut oids = Vec::with_capacity(n);
+                for _ in 0..n {
+                    oids.push(get_oid(&mut buf)?);
+                }
+                Some(oids)
+            } else {
+                None
+            }),
+            t => return Err(DecodeError(format!("unknown reply payload tag {t}"))),
+        };
+        Ok(PartitionReply {
+            epoch,
+            outbox,
+            net,
+            payload,
+        })
+    };
+    let reply = inner().map_err(frame_err)?;
+    if buf.remaining() != 0 {
+        return Err(TransportError::Frame(format!(
+            "{} trailing bytes after partition reply",
+            buf.remaining()
+        )));
+    }
+    Ok(reply)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobieyes_geo::{GridRect, Point, Vec2};
+
+    fn motion() -> LinearMotion {
+        LinearMotion::new(Point::new(3.0, -1.5), Vec2::new(0.25, -0.125), 60.0)
+    }
+
+    fn sample_ops() -> Vec<PartitionOp> {
+        vec![
+            PartitionOp::Init(InitConfig {
+                universe: Rect::new(0.0, 0.0, 100.0, 100.0),
+                alpha: 5.0,
+                alen: 10.0,
+                delta: 0.2,
+                propagation: Propagation::Lazy,
+                grouping: true,
+                safe_period: false,
+                deliver_results: true,
+                system_max_speed: 0.07,
+                lease_secs: 120.0,
+                heartbeat_secs: 60.0,
+                partition: 2,
+                num_partitions: 4,
+            }),
+            PartitionOp::SetTime(90.0),
+            PartitionOp::RenewLease(ObjectId(7)),
+            PartitionOp::VelocityReport {
+                oid: ObjectId(8),
+                motion: motion(),
+            },
+            PartitionOp::CellChangeFocal {
+                oid: ObjectId(9),
+                new_cell: CellId::new(2, 3),
+                motion: motion(),
+            },
+            PartitionOp::CellChangeFresh {
+                oid: ObjectId(9),
+                prev_cell: CellId::new(1, 3),
+                new_cell: CellId::new(2, 3),
+            },
+            PartitionOp::ResultChange {
+                qid: QueryId(1),
+                oid: ObjectId(2),
+                is_target: true,
+            },
+            PartitionOp::GroupResultUpdate {
+                oid: ObjectId(3),
+                focal: ObjectId(4),
+                mask: 0b101,
+                targets: 0b001,
+            },
+            PartitionOp::RefreshFocalMotion {
+                oid: ObjectId(5),
+                motion: motion(),
+                max_vel: 0.05,
+                insert: true,
+            },
+            PartitionOp::CompleteInstall {
+                qid: QueryId(6),
+                focal: ObjectId(7),
+                region: QueryRegion::circle(4.0),
+                filter: Arc::new(Filter::Gt("speed".into(), 2.0)),
+                expires_at: Some(300.0),
+            },
+            PartitionOp::RemoveQuery(QueryId(6)),
+            PartitionOp::ExpiredQueryIds(120.0),
+            PartitionOp::ExpiredLeases,
+            PartitionOp::ReinstallInfo(QueryId(6)),
+            PartitionOp::DigestCells,
+            PartitionOp::BumpEpoch,
+            PartitionOp::CurrentEpoch,
+            PartitionOp::NumQueries,
+            PartitionOp::QueryIds,
+            PartitionOp::QueryResult(QueryId(6)),
+            PartitionOp::QueryFocal(QueryId(6)),
+            PartitionOp::HasFocal(ObjectId(7)),
+            PartitionOp::HasQuery(QueryId(6)),
+            PartitionOp::FocalMotion(ObjectId(7)),
+            PartitionOp::FocalQueries(ObjectId(7)),
+            PartitionOp::QueryCell(QueryId(6)),
+            PartitionOp::PurgeObject(ObjectId(7)),
+            PartitionOp::DeliverResultDelta {
+                qid: QueryId(6),
+                oid: ObjectId(7),
+                entered: false,
+            },
+            PartitionOp::LqtReconcileOne {
+                qid: QueryId(6),
+                oid: ObjectId(7),
+                is_target: true,
+            },
+            PartitionOp::FocalReassert(ObjectId(7)),
+            PartitionOp::CellSyncReply {
+                oid: ObjectId(7),
+                cell: CellId::new(4, 4),
+            },
+            PartitionOp::ExtractFocal(ObjectId(7)),
+            PartitionOp::Deliver(ClusterMsg::StubRemove {
+                qid: QueryId(6),
+                mon_region: GridRect {
+                    x0: 0,
+                    y0: 0,
+                    x1: 2,
+                    y1: 2,
+                },
+                epoch: 5,
+            }),
+            PartitionOp::CheckInvariants,
+            PartitionOp::Shutdown,
+        ]
+    }
+
+    fn sample_payloads() -> Vec<ReplyPayload> {
+        vec![
+            ReplyPayload::Unit,
+            ReplyPayload::Bool(true),
+            ReplyPayload::U64(42),
+            ReplyPayload::Qids(vec![QueryId(1), QueryId(9)]),
+            ReplyPayload::OptQids(None),
+            ReplyPayload::OptQids(Some(vec![QueryId(3)])),
+            ReplyPayload::OptCluster(None),
+            ReplyPayload::OptCluster(Some(ClusterMsg::StubMotion {
+                focal: ObjectId(1),
+                motion: motion(),
+                max_vel: 0.02,
+                qids: vec![(QueryId(2), 7)],
+            })),
+            ReplyPayload::OptMotion(Some(motion())),
+            ReplyPayload::OptMotion(None),
+            ReplyPayload::OptCell(Some(CellId::new(1, 2))),
+            ReplyPayload::OptCell(None),
+            ReplyPayload::OptOid(Some(ObjectId(5))),
+            ReplyPayload::OptOid(None),
+            ReplyPayload::Digests(vec![(CellId::new(0, 1), 0xFEED)]),
+            ReplyPayload::Leases(vec![(ObjectId(4), vec![QueryId(1)]), (ObjectId(9), vec![])]),
+            ReplyPayload::Reinstall(Some((
+                QueryRegion::rect(2.0, 3.0),
+                Filter::True,
+                Some(500.0),
+            ))),
+            ReplyPayload::Reinstall(None),
+            ReplyPayload::ResultSet(Some(vec![ObjectId(1), ObjectId(2)])),
+            ReplyPayload::ResultSet(None),
+        ]
+    }
+
+    #[test]
+    fn request_roundtrip_covers_every_op() {
+        for op in sample_ops() {
+            let mut bytes = Vec::new();
+            encode_request(17, &op, &mut bytes);
+            let (floor, decoded) = decode_request(&bytes).expect("request decodes");
+            assert_eq!(floor, 17);
+            assert_eq!(decoded, op, "op did not survive the wire");
+        }
+    }
+
+    #[test]
+    fn reply_roundtrip_covers_every_payload() {
+        for payload in sample_payloads() {
+            let reply = PartitionReply {
+                epoch: 9,
+                outbox: vec![(
+                    1,
+                    ClusterMsg::StubRemove {
+                        qid: QueryId(3),
+                        mon_region: GridRect {
+                            x0: 1,
+                            y0: 1,
+                            x1: 2,
+                            y1: 2,
+                        },
+                        epoch: 4,
+                    },
+                )],
+                net: vec![
+                    NetAction::Unicast {
+                        node: 7,
+                        msg: Downlink::PositionRequest,
+                    },
+                    NetAction::Broadcast {
+                        station: 3,
+                        msg: Downlink::FocalNotify { is_focal: true },
+                    },
+                ],
+                payload,
+            };
+            let mut bytes = Vec::new();
+            encode_reply(&reply, &mut bytes);
+            let decoded = decode_reply(&bytes).expect("reply decodes");
+            assert_eq!(decoded, reply, "reply did not survive the wire");
+        }
+    }
+
+    #[test]
+    fn truncated_requests_and_replies_error_cleanly() {
+        for op in sample_ops() {
+            let mut bytes = Vec::new();
+            encode_request(3, &op, &mut bytes);
+            for cut in 0..bytes.len() {
+                assert!(
+                    decode_request(&bytes[..cut]).is_err(),
+                    "truncated {op:?} must not decode"
+                );
+            }
+        }
+        let reply = PartitionReply {
+            epoch: 1,
+            outbox: vec![],
+            net: vec![],
+            payload: ReplyPayload::Qids(vec![QueryId(1)]),
+        };
+        let mut bytes = Vec::new();
+        encode_reply(&reply, &mut bytes);
+        for cut in 0..bytes.len() {
+            assert!(decode_reply(&bytes[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn envelope_frame_roundtrip() {
+        use mobieyes_net::Frame;
+        let env = Envelope {
+            to: 3,
+            msg: ClusterMsg::StubRemove {
+                qid: QueryId(8),
+                mon_region: GridRect {
+                    x0: 0,
+                    y0: 0,
+                    x1: 1,
+                    y1: 1,
+                },
+                epoch: 12,
+            },
+        };
+        let mut bytes = Vec::new();
+        env.encode_frame(&mut bytes);
+        use mobieyes_net::WireSized;
+        assert_eq!(bytes.len(), env.wire_size());
+        let back = Envelope::decode_frame(&bytes).expect("decodes");
+        assert_eq!(back.to, env.to);
+        assert_eq!(back.msg, env.msg);
+        assert!(Envelope::decode_frame(&bytes[..bytes.len() - 1]).is_err());
+    }
+}

@@ -9,6 +9,13 @@
 //! Format: little-endian fixed-width scalars, 1-byte enum tags, u16 length
 //! prefixes on strings and vectors. No varints, no compression — the point
 //! is a transparent, auditable cost model, not maximal density.
+//!
+//! Since the socket transport landed this is an *untrusted* boundary:
+//! every read through [`Reader`] is bounds-checked and returns a
+//! [`DecodeError`] on truncated or oversized input — malformed bytes can
+//! never panic the decoder. The primitive accessors and the composite
+//! helpers ([`put_motion`]/[`get_motion`] and friends) are public so the
+//! cluster RPC codec composes the same building blocks.
 
 use crate::filter::Filter;
 use crate::messages::{
@@ -18,7 +25,9 @@ use crate::model::{ObjectId, PropValue, QueryId};
 use mobieyes_geo::{CellId, GridRect, LinearMotion, Point, QueryRegion, Vec2};
 use std::sync::Arc;
 
-/// Cursor over an encoded byte slice.
+/// Cursor over an encoded byte slice. Every accessor is bounds-checked:
+/// reading past the end returns a [`DecodeError`] naming the field that
+/// was being read, never a slice panic.
 #[derive(Debug, Clone)]
 pub struct Reader<'a> {
     buf: &'a [u8],
@@ -34,39 +43,63 @@ impl<'a> Reader<'a> {
         self.buf.len() - self.pos
     }
 
-    fn take(&mut self, n: usize) -> &'a [u8] {
+    /// Takes the next `n` bytes, or errors (`what` names the field) when
+    /// fewer remain.
+    pub fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(DecodeError(format!(
+                "truncated input: {what} needs {n} bytes, {} remain",
+                self.remaining()
+            )));
+        }
         let out = &self.buf[self.pos..self.pos + n];
         self.pos += n;
-        out
+        Ok(out)
     }
 
-    fn get_u8(&mut self) -> u8 {
-        self.take(1)[0]
+    pub fn get_u8(&mut self, what: &str) -> Result<u8> {
+        Ok(self.take(1, what)?[0])
     }
 
-    fn get_u16_le(&mut self) -> u16 {
-        u16::from_le_bytes(self.take(2).try_into().unwrap())
+    pub fn get_u16_le(&mut self, what: &str) -> Result<u16> {
+        Ok(u16::from_le_bytes(self.take(2, what)?.try_into().unwrap()))
     }
 
-    fn get_u32_le(&mut self) -> u32 {
-        u32::from_le_bytes(self.take(4).try_into().unwrap())
+    pub fn get_u32_le(&mut self, what: &str) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
     }
 
-    fn get_u64_le(&mut self) -> u64 {
-        u64::from_le_bytes(self.take(8).try_into().unwrap())
+    pub fn get_u64_le(&mut self, what: &str) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
     }
 
-    fn get_i64_le(&mut self) -> i64 {
-        i64::from_le_bytes(self.take(8).try_into().unwrap())
+    pub fn get_i64_le(&mut self, what: &str) -> Result<i64> {
+        Ok(i64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
     }
 
-    fn get_f64_le(&mut self) -> f64 {
-        f64::from_le_bytes(self.take(8).try_into().unwrap())
+    pub fn get_f64_le(&mut self, what: &str) -> Result<f64> {
+        Ok(f64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+
+    /// Reads a u16 element count and sanity-checks it against the bytes
+    /// remaining: a count that could not possibly be satisfied (fewer than
+    /// `min_elem_size` bytes per element left) is an oversized-length
+    /// error, caught before any allocation.
+    pub fn get_count(&mut self, min_elem_size: usize, what: &str) -> Result<usize> {
+        let n = self.get_u16_le(what)? as usize;
+        if n * min_elem_size > self.remaining() {
+            return Err(DecodeError(format!(
+                "oversized length prefix: {what} claims {n} elements but only {} bytes remain",
+                self.remaining()
+            )));
+        }
+        Ok(n)
     }
 }
 
-/// Little-endian append helpers over the output buffer.
-trait Put {
+/// Little-endian append helpers over the output buffer. Public so other
+/// codecs (the cluster RPC wire format) compose the same primitives.
+pub trait Put {
     fn put_u8(&mut self, v: u8);
     fn put_u16_le(&mut self, v: u16);
     fn put_u32_le(&mut self, v: u32);
@@ -124,30 +157,21 @@ fn err<T>(what: &str) -> Result<T> {
     Err(DecodeError(what.to_string()))
 }
 
-fn need(buf: &Reader<'_>, n: usize, what: &str) -> Result<()> {
-    if buf.remaining() < n {
-        err(what)
-    } else {
-        Ok(())
-    }
-}
-
 // --- primitive helpers -----------------------------------------------------
 
-fn put_string(out: &mut Vec<u8>, s: &str) {
+pub fn put_string(out: &mut Vec<u8>, s: &str) {
     debug_assert!(s.len() <= u16::MAX as usize);
     out.put_u16_le(s.len() as u16);
     out.put_slice(s.as_bytes());
 }
 
-fn get_string(buf: &mut Reader<'_>) -> Result<String> {
-    need(buf, 2, "string length")?;
-    let len = buf.get_u16_le() as usize;
-    need(buf, len, "string body")?;
-    String::from_utf8(buf.take(len).to_vec()).map_err(|_| DecodeError("invalid utf8".into()))
+pub fn get_string(buf: &mut Reader<'_>) -> Result<String> {
+    let len = buf.get_u16_le("string length")? as usize;
+    String::from_utf8(buf.take(len, "string body")?.to_vec())
+        .map_err(|_| DecodeError("invalid utf8".into()))
 }
 
-fn put_motion(out: &mut Vec<u8>, m: &LinearMotion) {
+pub fn put_motion(out: &mut Vec<u8>, m: &LinearMotion) {
     out.put_f64_le(m.pos.x);
     out.put_f64_le(m.pos.y);
     out.put_f64_le(m.vel.x);
@@ -155,43 +179,43 @@ fn put_motion(out: &mut Vec<u8>, m: &LinearMotion) {
     out.put_f64_le(m.tm);
 }
 
-fn get_motion(buf: &mut Reader<'_>) -> Result<LinearMotion> {
-    need(buf, 40, "motion")?;
+pub fn get_motion(buf: &mut Reader<'_>) -> Result<LinearMotion> {
     Ok(LinearMotion::new(
-        Point::new(buf.get_f64_le(), buf.get_f64_le()),
-        Vec2::new(buf.get_f64_le(), buf.get_f64_le()),
-        buf.get_f64_le(),
+        Point::new(buf.get_f64_le("motion")?, buf.get_f64_le("motion")?),
+        Vec2::new(buf.get_f64_le("motion")?, buf.get_f64_le("motion")?),
+        buf.get_f64_le("motion")?,
     ))
 }
 
-fn put_cell(out: &mut Vec<u8>, c: CellId) {
+pub fn put_cell(out: &mut Vec<u8>, c: CellId) {
     out.put_u32_le(c.x);
     out.put_u32_le(c.y);
 }
 
-fn get_cell(buf: &mut Reader<'_>) -> Result<CellId> {
-    need(buf, 8, "cell id")?;
-    Ok(CellId::new(buf.get_u32_le(), buf.get_u32_le()))
+pub fn get_cell(buf: &mut Reader<'_>) -> Result<CellId> {
+    Ok(CellId::new(
+        buf.get_u32_le("cell id")?,
+        buf.get_u32_le("cell id")?,
+    ))
 }
 
-fn put_grid_rect(out: &mut Vec<u8>, r: &GridRect) {
+pub fn put_grid_rect(out: &mut Vec<u8>, r: &GridRect) {
     out.put_u32_le(r.x0);
     out.put_u32_le(r.y0);
     out.put_u32_le(r.x1);
     out.put_u32_le(r.y1);
 }
 
-fn get_grid_rect(buf: &mut Reader<'_>) -> Result<GridRect> {
-    need(buf, 16, "grid rect")?;
+pub fn get_grid_rect(buf: &mut Reader<'_>) -> Result<GridRect> {
     Ok(GridRect {
-        x0: buf.get_u32_le(),
-        y0: buf.get_u32_le(),
-        x1: buf.get_u32_le(),
-        y1: buf.get_u32_le(),
+        x0: buf.get_u32_le("grid rect")?,
+        y0: buf.get_u32_le("grid rect")?,
+        x1: buf.get_u32_le("grid rect")?,
+        y1: buf.get_u32_le("grid rect")?,
     })
 }
 
-fn put_region(out: &mut Vec<u8>, r: &QueryRegion) {
+pub fn put_region(out: &mut Vec<u8>, r: &QueryRegion) {
     match *r {
         QueryRegion::Circle { radius } => {
             out.put_u8(0);
@@ -205,22 +229,15 @@ fn put_region(out: &mut Vec<u8>, r: &QueryRegion) {
     }
 }
 
-fn get_region(buf: &mut Reader<'_>) -> Result<QueryRegion> {
-    need(buf, 1, "region tag")?;
-    match buf.get_u8() {
-        0 => {
-            need(buf, 8, "circle radius")?;
-            Ok(QueryRegion::Circle {
-                radius: buf.get_f64_le(),
-            })
-        }
-        1 => {
-            need(buf, 16, "rect extents")?;
-            Ok(QueryRegion::Rect {
-                half_w: buf.get_f64_le(),
-                half_h: buf.get_f64_le(),
-            })
-        }
+pub fn get_region(buf: &mut Reader<'_>) -> Result<QueryRegion> {
+    match buf.get_u8("region tag")? {
+        0 => Ok(QueryRegion::Circle {
+            radius: buf.get_f64_le("circle radius")?,
+        }),
+        1 => Ok(QueryRegion::Rect {
+            half_w: buf.get_f64_le("rect extents")?,
+            half_h: buf.get_f64_le("rect extents")?,
+        }),
         t => err(&format!("unknown region tag {t}")),
     }
 }
@@ -247,26 +264,16 @@ fn put_prop_value(out: &mut Vec<u8>, v: &PropValue) {
 }
 
 fn get_prop_value(buf: &mut Reader<'_>) -> Result<PropValue> {
-    need(buf, 1, "prop value tag")?;
-    match buf.get_u8() {
-        0 => {
-            need(buf, 8, "int value")?;
-            Ok(PropValue::Int(buf.get_i64_le()))
-        }
-        1 => {
-            need(buf, 8, "float value")?;
-            Ok(PropValue::Float(buf.get_f64_le()))
-        }
+    match buf.get_u8("prop value tag")? {
+        0 => Ok(PropValue::Int(buf.get_i64_le("int value")?)),
+        1 => Ok(PropValue::Float(buf.get_f64_le("float value")?)),
         2 => Ok(PropValue::Text(get_string(buf)?)),
-        3 => {
-            need(buf, 1, "bool value")?;
-            Ok(PropValue::Bool(buf.get_u8() != 0))
-        }
+        3 => Ok(PropValue::Bool(buf.get_u8("bool value")? != 0)),
         t => err(&format!("unknown prop value tag {t}")),
     }
 }
 
-fn put_filter(out: &mut Vec<u8>, f: &Filter) {
+pub fn put_filter(out: &mut Vec<u8>, f: &Filter) {
     match f {
         Filter::True => out.put_u8(0),
         Filter::False => out.put_u8(1),
@@ -307,28 +314,22 @@ fn put_filter(out: &mut Vec<u8>, f: &Filter) {
     }
 }
 
-fn get_filter(buf: &mut Reader<'_>) -> Result<Filter> {
-    need(buf, 1, "filter tag")?;
-    Ok(match buf.get_u8() {
+pub fn get_filter(buf: &mut Reader<'_>) -> Result<Filter> {
+    Ok(match buf.get_u8("filter tag")? {
         0 => Filter::True,
         1 => Filter::False,
-        2 => {
-            need(buf, 16, "selectivity")?;
-            Filter::Selectivity {
-                selectivity: buf.get_f64_le(),
-                salt: buf.get_u64_le(),
-            }
-        }
+        2 => Filter::Selectivity {
+            selectivity: buf.get_f64_le("selectivity")?,
+            salt: buf.get_u64_le("selectivity salt")?,
+        },
         3 => Filter::Eq(get_string(buf)?, get_prop_value(buf)?),
         4 => {
             let k = get_string(buf)?;
-            need(buf, 8, "lt threshold")?;
-            Filter::Lt(k, buf.get_f64_le())
+            Filter::Lt(k, buf.get_f64_le("lt threshold")?)
         }
         5 => {
             let k = get_string(buf)?;
-            need(buf, 8, "gt threshold")?;
-            Filter::Gt(k, buf.get_f64_le())
+            Filter::Gt(k, buf.get_f64_le("gt threshold")?)
         }
         6 => Filter::And(Box::new(get_filter(buf)?), Box::new(get_filter(buf)?)),
         7 => Filter::Or(Box::new(get_filter(buf)?), Box::new(get_filter(buf)?)),
@@ -350,14 +351,11 @@ fn put_group_info(out: &mut Vec<u8>, info: &QueryGroupInfo) {
 }
 
 fn get_group_info(buf: &mut Reader<'_>) -> Result<QueryGroupInfo> {
-    need(buf, 4, "focal id")?;
-    let focal = ObjectId(buf.get_u32_le());
+    let focal = ObjectId(buf.get_u32_le("focal id")?);
     let motion = get_motion(buf)?;
-    need(buf, 8, "max vel")?;
-    let max_vel = buf.get_f64_le();
+    let max_vel = buf.get_f64_le("max vel")?;
     let mon_region = get_grid_rect(buf)?;
-    need(buf, 2, "spec count")?;
-    let n = buf.get_u16_le() as usize;
+    let n = buf.get_count(14, "spec count")?;
     let mut queries = Vec::with_capacity(n);
     for _ in 0..n {
         queries.push(get_spec(buf)?);
@@ -454,77 +452,65 @@ pub fn encode_uplink(msg: &Uplink, out: &mut Vec<u8>) {
 
 /// Decodes one uplink message from `buf`.
 pub fn decode_uplink(buf: &mut Reader<'_>) -> Result<Uplink> {
-    need(buf, 1, "uplink tag")?;
-    Ok(match buf.get_u8() {
-        0 => {
-            need(buf, 4, "oid")?;
-            Uplink::VelocityReport {
-                oid: ObjectId(buf.get_u32_le()),
-                motion: get_motion(buf)?,
-            }
-        }
-        1 => {
-            need(buf, 4, "oid")?;
-            Uplink::CellChange {
-                oid: ObjectId(buf.get_u32_le()),
-                prev_cell: get_cell(buf)?,
-                new_cell: get_cell(buf)?,
-                motion: get_motion(buf)?,
-            }
-        }
+    Ok(match buf.get_u8("uplink tag")? {
+        0 => Uplink::VelocityReport {
+            oid: ObjectId(buf.get_u32_le("oid")?),
+            motion: get_motion(buf)?,
+        },
+        1 => Uplink::CellChange {
+            oid: ObjectId(buf.get_u32_le("oid")?),
+            prev_cell: get_cell(buf)?,
+            new_cell: get_cell(buf)?,
+            motion: get_motion(buf)?,
+        },
         2 => {
-            need(buf, 6, "result update header")?;
-            let oid = ObjectId(buf.get_u32_le());
-            let n = buf.get_u16_le() as usize;
+            let oid = ObjectId(buf.get_u32_le("oid")?);
+            let n = buf.get_count(5, "result change count")?;
             let mut changes = Vec::with_capacity(n);
             for _ in 0..n {
-                need(buf, 5, "result change")?;
-                changes.push((QueryId(buf.get_u32_le()), buf.get_u8() != 0));
+                changes.push((
+                    QueryId(buf.get_u32_le("result change qid")?),
+                    buf.get_u8("result change flag")? != 0,
+                ));
             }
             Uplink::ResultUpdate { oid, changes }
         }
-        3 => {
-            need(buf, 24, "group result update")?;
-            Uplink::GroupResultUpdate {
-                oid: ObjectId(buf.get_u32_le()),
-                focal: ObjectId(buf.get_u32_le()),
-                mask: buf.get_u64_le(),
-                targets: buf.get_u64_le(),
-            }
-        }
+        3 => Uplink::GroupResultUpdate {
+            oid: ObjectId(buf.get_u32_le("oid")?),
+            focal: ObjectId(buf.get_u32_le("focal")?),
+            mask: buf.get_u64_le("mask")?,
+            targets: buf.get_u64_le("targets")?,
+        },
         4 => {
-            need(buf, 4, "oid")?;
-            let oid = ObjectId(buf.get_u32_le());
+            let oid = ObjectId(buf.get_u32_le("oid")?);
             let motion = get_motion(buf)?;
-            need(buf, 8, "max vel")?;
             Uplink::PositionReply {
                 oid,
                 motion,
-                max_vel: buf.get_f64_le(),
+                max_vel: buf.get_f64_le("max vel")?,
             }
         }
         5 => {
-            need(buf, 4, "oid")?;
-            let oid = ObjectId(buf.get_u32_le());
+            let oid = ObjectId(buf.get_u32_le("oid")?);
             let cell = get_cell(buf)?;
             let motion = get_motion(buf)?;
-            need(buf, 9, "resync tail")?;
             Uplink::Resync {
                 oid,
                 cell,
                 motion,
-                max_vel: buf.get_f64_le(),
-                fresh: buf.get_u8() != 0,
+                max_vel: buf.get_f64_le("max vel")?,
+                fresh: buf.get_u8("fresh flag")? != 0,
             }
         }
         6 => {
-            need(buf, 6, "lqt sync header")?;
-            let oid = ObjectId(buf.get_u32_le());
-            let n = buf.get_u16_le() as usize;
+            let oid = ObjectId(buf.get_u32_le("oid")?);
+            let n = buf.get_count(5, "lqt sync count")?;
             let mut entries = Vec::with_capacity(n);
             for _ in 0..n {
-                need(buf, 5, "lqt sync entry")?;
-                entries.push((QueryId(buf.get_u32_le()), buf.get_u8() != 0));
+                entries.push((
+                    QueryId(buf.get_u32_le("lqt sync qid")?),
+                    buf.get_u8("lqt sync flag")? != 0,
+                ));
             }
             Uplink::LqtSync { oid, entries }
         }
@@ -613,22 +599,18 @@ pub fn encode_downlink(msg: &Downlink, out: &mut Vec<u8>) {
 
 /// Decodes one downlink message from `buf`.
 pub fn decode_downlink(buf: &mut Reader<'_>) -> Result<Downlink> {
-    need(buf, 1, "downlink tag")?;
-    Ok(match buf.get_u8() {
+    Ok(match buf.get_u8("downlink tag")? {
         0 => Downlink::QueryState {
             info: get_group_info(buf)?,
         },
         1 => {
-            need(buf, 4, "focal id")?;
-            let focal = ObjectId(buf.get_u32_le());
+            let focal = ObjectId(buf.get_u32_le("focal id")?);
             let motion = get_motion(buf)?;
-            need(buf, 10, "seq + qid count")?;
-            let seq = buf.get_u64_le();
-            let n = buf.get_u16_le() as usize;
+            let seq = buf.get_u64_le("seq")?;
+            let n = buf.get_count(4, "qid count")?;
             let mut qids = Vec::with_capacity(n);
             for _ in 0..n {
-                need(buf, 4, "qid")?;
-                qids.push(QueryId(buf.get_u32_le()));
+                qids.push(QueryId(buf.get_u32_le("qid")?));
             }
             Downlink::VelocityChange {
                 focal,
@@ -638,45 +620,33 @@ pub fn decode_downlink(buf: &mut Reader<'_>) -> Result<Downlink> {
             }
         }
         2 => {
-            need(buf, 2, "info count")?;
-            let n = buf.get_u16_le() as usize;
+            let n = buf.get_count(70, "info count")?;
             let mut infos = Vec::with_capacity(n);
             for _ in 0..n {
                 infos.push(get_group_info(buf)?);
             }
             Downlink::NewQueries { infos }
         }
-        3 => {
-            need(buf, 12, "remove query")?;
-            Downlink::RemoveQuery {
-                qid: QueryId(buf.get_u32_le()),
-                epoch: buf.get_u64_le(),
-            }
-        }
-        4 => {
-            need(buf, 1, "flag")?;
-            Downlink::FocalNotify {
-                is_focal: buf.get_u8() != 0,
-            }
-        }
+        3 => Downlink::RemoveQuery {
+            qid: QueryId(buf.get_u32_le("remove qid")?),
+            epoch: buf.get_u64_le("remove epoch")?,
+        },
+        4 => Downlink::FocalNotify {
+            is_focal: buf.get_u8("flag")? != 0,
+        },
         5 => Downlink::PositionRequest,
-        6 => {
-            need(buf, 9, "result delta")?;
-            Downlink::ResultDelta {
-                qid: QueryId(buf.get_u32_le()),
-                object: ObjectId(buf.get_u32_le()),
-                entered: buf.get_u8() != 0,
-            }
-        }
+        6 => Downlink::ResultDelta {
+            qid: QueryId(buf.get_u32_le("result delta qid")?),
+            object: ObjectId(buf.get_u32_le("result delta oid")?),
+            entered: buf.get_u8("result delta flag")? != 0,
+        },
         7 => {
-            need(buf, 10, "heartbeat header")?;
-            let epoch = buf.get_u64_le();
-            let n = buf.get_u16_le() as usize;
+            let epoch = buf.get_u64_le("heartbeat epoch")?;
+            let n = buf.get_count(16, "cell digest count")?;
             let mut cell_digests = Vec::with_capacity(n);
             for _ in 0..n {
                 let cell = get_cell(buf)?;
-                need(buf, 8, "cell digest")?;
-                cell_digests.push((cell, buf.get_u64_le()));
+                cell_digests.push((cell, buf.get_u64_le("cell digest")?));
             }
             Downlink::Heartbeat {
                 epoch,
@@ -685,9 +655,8 @@ pub fn decode_downlink(buf: &mut Reader<'_>) -> Result<Downlink> {
         }
         8 => {
             let cell = get_cell(buf)?;
-            need(buf, 10, "cell sync header")?;
-            let epoch = buf.get_u64_le();
-            let n = buf.get_u16_le() as usize;
+            let epoch = buf.get_u64_le("cell sync epoch")?;
+            let n = buf.get_count(70, "cell sync info count")?;
             let mut infos = Vec::with_capacity(n);
             for _ in 0..n {
                 infos.push(get_group_info(buf)?);
@@ -700,7 +669,7 @@ pub fn decode_downlink(buf: &mut Reader<'_>) -> Result<Downlink> {
 
 // --- cluster (server ↔ server) ----------------------------------------------
 
-fn put_spec(out: &mut Vec<u8>, spec: &QuerySpec) {
+pub fn put_spec(out: &mut Vec<u8>, spec: &QuerySpec) {
     out.put_u32_le(spec.qid.0);
     out.put_u8(spec.slot);
     out.put_u64_le(spec.seq);
@@ -708,11 +677,10 @@ fn put_spec(out: &mut Vec<u8>, spec: &QuerySpec) {
     put_filter(out, &spec.filter);
 }
 
-fn get_spec(buf: &mut Reader<'_>) -> Result<QuerySpec> {
-    need(buf, 13, "spec header")?;
-    let qid = QueryId(buf.get_u32_le());
-    let slot = buf.get_u8();
-    let seq = buf.get_u64_le();
+pub fn get_spec(buf: &mut Reader<'_>) -> Result<QuerySpec> {
+    let qid = QueryId(buf.get_u32_le("spec qid")?);
+    let slot = buf.get_u8("spec slot")?;
+    let seq = buf.get_u64_le("spec seq")?;
     let region = get_region(buf)?;
     let filter = Arc::new(get_filter(buf)?);
     Ok(QuerySpec {
@@ -746,19 +714,15 @@ fn get_migration(buf: &mut Reader<'_>) -> Result<QueryMigration> {
     let spec = get_spec(buf)?;
     let curr_cell = get_cell(buf)?;
     let mon_region = get_grid_rect(buf)?;
-    need(buf, 1, "expiry flag")?;
-    let expires_at = if buf.get_u8() != 0 {
-        need(buf, 8, "expiry time")?;
-        Some(buf.get_f64_le())
+    let expires_at = if buf.get_u8("expiry flag")? != 0 {
+        Some(buf.get_f64_le("expiry time")?)
     } else {
         None
     };
-    need(buf, 2, "result count")?;
-    let n = buf.get_u16_le() as usize;
+    let n = buf.get_count(4, "result count")?;
     let mut result = Vec::with_capacity(n);
     for _ in 0..n {
-        need(buf, 4, "result member")?;
-        result.push(ObjectId(buf.get_u32_le()));
+        result.push(ObjectId(buf.get_u32_le("result member")?));
     }
     Ok(QueryMigration {
         spec,
@@ -879,18 +843,15 @@ pub fn encode_cluster(msg: &ClusterMsg, out: &mut Vec<u8>) {
 
 /// Decodes one inter-server cluster message from `buf`.
 pub fn decode_cluster(buf: &mut Reader<'_>) -> Result<ClusterMsg> {
-    need(buf, 1, "cluster tag")?;
-    Ok(match buf.get_u8() {
+    Ok(match buf.get_u8("cluster tag")? {
         0 => {
-            need(buf, 4, "oid")?;
-            let oid = ObjectId(buf.get_u32_le());
+            let oid = ObjectId(buf.get_u32_le("oid")?);
             let motion = get_motion(buf)?;
-            need(buf, 34, "migrate header")?;
-            let max_vel = buf.get_f64_le();
-            let used_slots = buf.get_u64_le();
-            let last_heard = buf.get_f64_le();
-            let epoch = buf.get_u64_le();
-            let n = buf.get_u16_le() as usize;
+            let max_vel = buf.get_f64_le("max vel")?;
+            let used_slots = buf.get_u64_le("used slots")?;
+            let last_heard = buf.get_f64_le("last heard")?;
+            let epoch = buf.get_u64_le("epoch")?;
+            let n = buf.get_count(48, "migration count")?;
             let mut queries = Vec::with_capacity(n);
             for _ in 0..n {
                 queries.push(get_migration(buf)?);
@@ -906,15 +867,12 @@ pub fn decode_cluster(buf: &mut Reader<'_>) -> Result<ClusterMsg> {
             }
         }
         1 => {
-            need(buf, 4, "focal")?;
-            let focal = ObjectId(buf.get_u32_le());
+            let focal = ObjectId(buf.get_u32_le("focal")?);
             let motion = get_motion(buf)?;
-            need(buf, 8, "max vel")?;
-            let max_vel = buf.get_f64_le();
+            let max_vel = buf.get_f64_le("max vel")?;
             let curr_cell = get_cell(buf)?;
             let mon_region = get_grid_rect(buf)?;
-            need(buf, 1, "old-region flag")?;
-            let old_mon = if buf.get_u8() != 0 {
+            let old_mon = if buf.get_u8("old-region flag")? != 0 {
                 Some(get_grid_rect(buf)?)
             } else {
                 None
@@ -931,16 +889,16 @@ pub fn decode_cluster(buf: &mut Reader<'_>) -> Result<ClusterMsg> {
             }
         }
         2 => {
-            need(buf, 4, "focal")?;
-            let focal = ObjectId(buf.get_u32_le());
+            let focal = ObjectId(buf.get_u32_le("focal")?);
             let motion = get_motion(buf)?;
-            need(buf, 10, "stub motion header")?;
-            let max_vel = buf.get_f64_le();
-            let n = buf.get_u16_le() as usize;
+            let max_vel = buf.get_f64_le("max vel")?;
+            let n = buf.get_count(12, "stub motion count")?;
             let mut qids = Vec::with_capacity(n);
             for _ in 0..n {
-                need(buf, 12, "stub motion entry")?;
-                qids.push((QueryId(buf.get_u32_le()), buf.get_u64_le()));
+                qids.push((
+                    QueryId(buf.get_u32_le("stub motion qid")?),
+                    buf.get_u64_le("stub motion seq")?,
+                ));
             }
             ClusterMsg::StubMotion {
                 focal,
@@ -950,42 +908,34 @@ pub fn decode_cluster(buf: &mut Reader<'_>) -> Result<ClusterMsg> {
             }
         }
         3 => {
-            need(buf, 4, "qid")?;
-            let qid = QueryId(buf.get_u32_le());
+            let qid = QueryId(buf.get_u32_le("qid")?);
             let mon_region = get_grid_rect(buf)?;
-            need(buf, 8, "epoch")?;
             ClusterMsg::StubRemove {
                 qid,
                 mon_region,
-                epoch: buf.get_u64_le(),
+                epoch: buf.get_u64_le("epoch")?,
             }
         }
         4 => {
-            need(buf, 18, "rebalance header")?;
-            let generation = buf.get_u64_le();
-            let epoch = buf.get_u64_le();
-            let n = buf.get_u16_le() as usize;
+            let generation = buf.get_u64_le("generation")?;
+            let epoch = buf.get_u64_le("epoch")?;
+            let n = buf.get_count(6, "rebalance cell count")?;
             let mut cells = Vec::with_capacity(n);
             for _ in 0..n {
-                need(buf, 6, "rebalance cell header")?;
-                let flat = buf.get_u32_le();
-                let k = buf.get_u16_le() as usize;
+                let flat = buf.get_u32_le("rebalance cell flat")?;
+                let k = buf.get_count(4, "rebalance qid count")?;
                 let mut qids = Vec::with_capacity(k);
                 for _ in 0..k {
-                    need(buf, 4, "rebalance qid")?;
-                    qids.push(QueryId(buf.get_u32_le()));
+                    qids.push(QueryId(buf.get_u32_le("rebalance qid")?));
                 }
                 cells.push((flat, qids));
             }
-            need(buf, 2, "stub seed count")?;
-            let m = buf.get_u16_le() as usize;
+            let m = buf.get_count(85, "stub seed count")?;
             let mut stubs = Vec::with_capacity(m);
             for _ in 0..m {
-                need(buf, 4, "stub seed focal")?;
-                let focal = ObjectId(buf.get_u32_le());
+                let focal = ObjectId(buf.get_u32_le("stub seed focal")?);
                 let motion = get_motion(buf)?;
-                need(buf, 8, "stub seed max vel")?;
-                let max_vel = buf.get_f64_le();
+                let max_vel = buf.get_f64_le("stub seed max vel")?;
                 let mon_region = get_grid_rect(buf)?;
                 let spec = get_spec(buf)?;
                 stubs.push(StubSeed {
@@ -1037,7 +987,7 @@ mod tests {
         LinearMotion::new(Point::new(1.5, -2.25), Vec2::new(0.125, 0.0625), 90.0)
     }
 
-    fn sample_uplinks() -> Vec<Uplink> {
+    pub(crate) fn sample_uplinks() -> Vec<Uplink> {
         vec![
             Uplink::VelocityReport {
                 oid: ObjectId(7),
@@ -1170,7 +1120,7 @@ mod tests {
         ]
     }
 
-    fn sample_cluster_msgs() -> Vec<ClusterMsg> {
+    pub(crate) fn sample_cluster_msgs() -> Vec<ClusterMsg> {
         let spec = QuerySpec {
             qid: QueryId(5),
             region: QueryRegion::circle(2.5),
@@ -1371,6 +1321,42 @@ mod tests {
         assert!(decode_uplink(&mut buf).is_err());
         let mut buf = Reader::new(&[250u8, 0, 0]);
         assert!(decode_downlink(&mut buf).is_err());
+    }
+
+    #[test]
+    fn oversized_length_prefix_errors_before_allocating() {
+        // A ResultUpdate whose count claims 65535 entries with 3 bytes of
+        // body: the count sanity check must reject it up front.
+        let mut bytes = Vec::new();
+        bytes.put_u8(2); // ResultUpdate tag
+        bytes.put_u32_le(9); // oid
+        bytes.put_u16_le(u16::MAX); // hostile count
+        bytes.put_slice(&[0, 0, 0]); // far too short a body
+        let mut buf = Reader::new(&bytes);
+        let e = decode_uplink(&mut buf).unwrap_err();
+        assert!(
+            e.0.contains("oversized"),
+            "expected an oversized-length error, got: {e}"
+        );
+
+        // Same for a string length prefix overrunning the buffer.
+        let mut bytes = Vec::new();
+        bytes.put_u8(3); // Filter::Eq tag
+        bytes.put_u16_le(u16::MAX); // hostile string length
+        bytes.put_slice(b"abc");
+        let mut buf = Reader::new(&bytes);
+        assert!(get_filter(&mut buf).is_err());
+    }
+
+    #[test]
+    fn reader_take_is_checked() {
+        let mut buf = Reader::new(&[1u8, 2, 3]);
+        assert_eq!(buf.take(2, "x").unwrap(), &[1, 2]);
+        assert!(buf.take(2, "x").is_err(), "overrun must error, not panic");
+        // The failed take consumes nothing.
+        assert_eq!(buf.remaining(), 1);
+        assert_eq!(buf.get_u8("y").unwrap(), 3);
+        assert!(buf.get_u8("y").is_err());
     }
 
     #[test]

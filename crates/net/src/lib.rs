@@ -23,10 +23,14 @@ pub mod fault;
 pub mod meter;
 pub mod radio;
 pub mod sim;
+pub mod socket;
 pub mod station;
+pub mod transport;
 
 pub use fault::{ChurnPlan, FaultPlan};
 pub use meter::{Direction, MessageMeter};
 pub use radio::RadioModel;
 pub use sim::{NetworkSim, NodeId, WireSized};
+pub use socket::{Endpoint, FramedConn, Listener, SocketTransport, Stream, MAX_FRAME};
 pub use station::{BaseStationLayout, StationId};
+pub use transport::{Frame, LockstepTransport, Routed, Transport, TransportError};

@@ -1,0 +1,453 @@
+//! Real socket backends: length-prefixed framing over TCP or Unix-domain
+//! streams, the [`SocketTransport`] bus implementation, and the framed
+//! connection primitive the cluster RPC layer builds on.
+//!
+//! ## Framing
+//!
+//! Every frame on the wire is `[len: u32 LE][payload: len bytes]`. `len`
+//! is capped at [`MAX_FRAME`]; a peer announcing more is rejected with
+//! [`TransportError::Oversize`] before anything is allocated. Incoming
+//! bytes are accumulated in a connection buffer, so frames split across
+//! arbitrary read boundaries (or many frames arriving in one read)
+//! reassemble correctly.
+//!
+//! ## Handshake
+//!
+//! A connection opens with a `hello` frame: magic `MEYE`, a protocol
+//! version byte, and the sender's node id. Version or magic mismatches
+//! fail with [`TransportError::Handshake`] instead of silently decoding
+//! garbage.
+//!
+//! ## Delivery guarantees
+//!
+//! TCP and Unix-domain streams are reliable and ordered, so a
+//! [`SocketTransport`] delivers every sent frame exactly once, in send
+//! order — message loss exists only where a [`FaultPlan`] injects it,
+//! which keeps chaos semantics identical across backends.
+
+use crate::fault::FaultPlan;
+use crate::meter::{keys, Direction, MessageMeter};
+use crate::sim::NodeId;
+use crate::transport::{Frame, Transport, TransportError};
+use mobieyes_telemetry::Telemetry;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+
+/// Hard cap on a single frame's payload size (16 MiB). Far above any real
+/// cluster message; a length prefix beyond it means a corrupt or hostile
+/// peer.
+pub const MAX_FRAME: usize = 16 * 1024 * 1024;
+
+const HELLO_MAGIC: &[u8; 4] = b"MEYE";
+const WIRE_VERSION: u8 = 1;
+
+/// A transport address: `tcp:host:port` or `uds:/path/to.sock`. A bare
+/// `host:port` parses as TCP.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Endpoint {
+    Tcp(String),
+    Uds(PathBuf),
+}
+
+impl Endpoint {
+    pub fn parse(s: &str) -> Result<Endpoint, TransportError> {
+        if let Some(addr) = s.strip_prefix("tcp:") {
+            Ok(Endpoint::Tcp(addr.to_string()))
+        } else if let Some(path) = s.strip_prefix("uds:") {
+            Ok(Endpoint::Uds(PathBuf::from(path)))
+        } else if s.contains(':') {
+            Ok(Endpoint::Tcp(s.to_string()))
+        } else {
+            Err(TransportError::Handshake(format!(
+                "unparseable endpoint {s:?} (expected tcp:host:port or uds:/path)"
+            )))
+        }
+    }
+
+    /// Opens a client connection (TCP gets `TCP_NODELAY`: the bus and RPC
+    /// layers are latency-bound request/response traffic).
+    pub fn connect(&self) -> Result<Stream, TransportError> {
+        match self {
+            Endpoint::Tcp(addr) => {
+                let s = TcpStream::connect(addr)?;
+                s.set_nodelay(true)?;
+                Ok(Stream::Tcp(s))
+            }
+            Endpoint::Uds(path) => Ok(Stream::Unix(UnixStream::connect(path)?)),
+        }
+    }
+
+    /// Like [`Endpoint::connect`], retrying until the peer starts
+    /// listening or `timeout` elapses — for clients racing a freshly
+    /// spawned server process.
+    pub fn connect_with_retry(
+        &self,
+        timeout: std::time::Duration,
+    ) -> Result<Stream, TransportError> {
+        let start = std::time::Instant::now();
+        loop {
+            match self.connect() {
+                Ok(s) => return Ok(s),
+                Err(e) if start.elapsed() >= timeout => return Err(e),
+                Err(_) => std::thread::sleep(std::time::Duration::from_millis(10)),
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Endpoint::Tcp(addr) => write!(f, "tcp:{addr}"),
+            Endpoint::Uds(path) => write!(f, "uds:{}", path.display()),
+        }
+    }
+}
+
+/// A connected byte stream over either family.
+#[derive(Debug)]
+pub enum Stream {
+    Tcp(TcpStream),
+    Unix(UnixStream),
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.read(buf),
+            Stream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.write(buf),
+            Stream::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.flush(),
+            Stream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// A bound server socket. Unix-domain listeners unlink a stale socket file
+/// on bind and remove it again on drop.
+#[derive(Debug)]
+pub enum Listener {
+    Tcp(TcpListener),
+    Unix(UnixListener, PathBuf),
+}
+
+impl Listener {
+    pub fn bind(ep: &Endpoint) -> Result<Listener, TransportError> {
+        match ep {
+            Endpoint::Tcp(addr) => Ok(Listener::Tcp(TcpListener::bind(addr)?)),
+            Endpoint::Uds(path) => {
+                if path.exists() {
+                    std::fs::remove_file(path)?;
+                }
+                Ok(Listener::Unix(UnixListener::bind(path)?, path.clone()))
+            }
+        }
+    }
+
+    /// The actual bound address — resolves `port 0` to the assigned port.
+    pub fn local_endpoint(&self) -> Result<Endpoint, TransportError> {
+        match self {
+            Listener::Tcp(l) => Ok(Endpoint::Tcp(l.local_addr()?.to_string())),
+            Listener::Unix(_, path) => Ok(Endpoint::Uds(path.clone())),
+        }
+    }
+
+    pub fn accept(&self) -> Result<Stream, TransportError> {
+        match self {
+            Listener::Tcp(l) => {
+                let (s, _) = l.accept()?;
+                s.set_nodelay(true)?;
+                Ok(Stream::Tcp(s))
+            }
+            Listener::Unix(l, _) => {
+                let (s, _) = l.accept()?;
+                Ok(Stream::Unix(s))
+            }
+        }
+    }
+}
+
+impl Drop for Listener {
+    fn drop(&mut self) {
+        if let Listener::Unix(_, path) = self {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+/// A framed connection: buffered frame writes, bounds-checked frame reads
+/// that reassemble across arbitrary read boundaries.
+#[derive(Debug)]
+pub struct FramedConn {
+    stream: Stream,
+    /// Unconsumed incoming bytes (may hold partial or multiple frames).
+    rbuf: Vec<u8>,
+    /// Position of the first unconsumed byte in `rbuf`.
+    rpos: usize,
+    wbuf: Vec<u8>,
+}
+
+impl FramedConn {
+    pub fn new(stream: Stream) -> Self {
+        FramedConn {
+            stream,
+            rbuf: Vec::new(),
+            rpos: 0,
+            wbuf: Vec::new(),
+        }
+    }
+
+    /// Queues one frame (length prefix + payload) for sending.
+    pub fn write_frame(&mut self, payload: &[u8]) -> Result<(), TransportError> {
+        if payload.len() > MAX_FRAME {
+            return Err(TransportError::Oversize {
+                len: payload.len(),
+                max: MAX_FRAME,
+            });
+        }
+        self.wbuf
+            .extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        self.wbuf.extend_from_slice(payload);
+        Ok(())
+    }
+
+    pub fn flush(&mut self) -> Result<(), TransportError> {
+        if !self.wbuf.is_empty() {
+            self.stream.write_all(&self.wbuf)?;
+            self.wbuf.clear();
+        }
+        self.stream.flush()?;
+        Ok(())
+    }
+
+    /// Extracts one complete frame from the read buffer, if present.
+    fn buffered_frame(&mut self) -> Result<Option<Vec<u8>>, TransportError> {
+        let avail = self.rbuf.len() - self.rpos;
+        if avail < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(
+            self.rbuf[self.rpos..self.rpos + 4]
+                .try_into()
+                .expect("4-byte slice"),
+        ) as usize;
+        if len > MAX_FRAME {
+            return Err(TransportError::Oversize {
+                len,
+                max: MAX_FRAME,
+            });
+        }
+        if avail < 4 + len {
+            return Ok(None);
+        }
+        let frame = self.rbuf[self.rpos + 4..self.rpos + 4 + len].to_vec();
+        self.rpos += 4 + len;
+        // Reclaim consumed space once the buffer is fully drained (the
+        // common case) or the dead prefix dominates.
+        if self.rpos == self.rbuf.len() {
+            self.rbuf.clear();
+            self.rpos = 0;
+        } else if self.rpos > 64 * 1024 {
+            self.rbuf.drain(..self.rpos);
+            self.rpos = 0;
+        }
+        Ok(Some(frame))
+    }
+
+    /// Blocks until one full frame is available and returns its payload.
+    /// A cleanly closed peer surfaces as [`TransportError::Closed`].
+    pub fn read_frame(&mut self) -> Result<Vec<u8>, TransportError> {
+        loop {
+            if let Some(frame) = self.buffered_frame()? {
+                return Ok(frame);
+            }
+            let mut chunk = [0u8; 16 * 1024];
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(TransportError::Closed);
+            }
+            self.rbuf.extend_from_slice(&chunk[..n]);
+        }
+    }
+
+    /// Sends the opening hello frame (magic, version, node id).
+    pub fn send_hello(&mut self, node: u32) -> Result<(), TransportError> {
+        let mut payload = Vec::with_capacity(9);
+        payload.extend_from_slice(HELLO_MAGIC);
+        payload.push(WIRE_VERSION);
+        payload.extend_from_slice(&node.to_le_bytes());
+        self.write_frame(&payload)?;
+        self.flush()
+    }
+
+    /// Reads and validates the peer's hello frame, returning its node id.
+    pub fn expect_hello(&mut self) -> Result<u32, TransportError> {
+        let payload = self.read_frame()?;
+        if payload.len() != 9 || &payload[0..4] != HELLO_MAGIC {
+            return Err(TransportError::Handshake(
+                "bad hello frame (wrong magic or length)".into(),
+            ));
+        }
+        if payload[4] != WIRE_VERSION {
+            return Err(TransportError::Handshake(format!(
+                "wire version mismatch: peer speaks {}, this build speaks {WIRE_VERSION}",
+                payload[4]
+            )));
+        }
+        Ok(u32::from_le_bytes(
+            payload[5..9].try_into().expect("4 bytes"),
+        ))
+    }
+}
+
+/// The socket-backed bus: frames travel through a real kernel socket pair
+/// (loopback TCP or a Unix-domain socket) instead of an in-memory queue.
+///
+/// The cluster bus topology is coordinator-centric — the coordinator is
+/// both the only sender and the only receiver — so the transport tracks
+/// how many frames are in flight and [`SocketTransport::poll`] reads until
+/// it has them all. That preserves the lock-step guarantee ("poll returns
+/// everything previously sent") over a medium with real buffering.
+#[derive(Debug)]
+pub struct SocketTransport<M> {
+    tx: FramedConn,
+    rx: FramedConn,
+    in_flight: usize,
+    fault: FaultPlan,
+    telemetry: Telemetry,
+    sent_by_node: Vec<u64>,
+    kind: &'static str,
+    _msg: std::marker::PhantomData<M>,
+}
+
+impl<M: Frame> SocketTransport<M> {
+    /// A bus over a fresh loopback TCP socket pair (an OS-assigned port on
+    /// 127.0.0.1, `TCP_NODELAY` on both ends).
+    pub fn loopback_tcp() -> Result<Self, TransportError> {
+        let listener = Listener::bind(&Endpoint::Tcp("127.0.0.1:0".into()))?;
+        let tx = listener.local_endpoint()?.connect()?;
+        let rx = listener.accept()?;
+        Ok(Self::from_streams(tx, rx, "tcp"))
+    }
+
+    /// A bus over a fresh Unix-domain socket pair at `path`.
+    pub fn loopback_uds(path: &std::path::Path) -> Result<Self, TransportError> {
+        let listener = Listener::bind(&Endpoint::Uds(path.to_path_buf()))?;
+        let tx = listener.local_endpoint()?.connect()?;
+        let rx = listener.accept()?;
+        Ok(Self::from_streams(tx, rx, "uds"))
+    }
+
+    /// Builds a bus from an already-connected send/receive stream pair.
+    pub fn from_streams(tx: Stream, rx: Stream, kind: &'static str) -> Self {
+        SocketTransport {
+            tx: FramedConn::new(tx),
+            rx: FramedConn::new(rx),
+            in_flight: 0,
+            fault: FaultPlan::none(),
+            telemetry: Telemetry::new(),
+            sent_by_node: Vec::new(),
+            kind,
+            _msg: std::marker::PhantomData,
+        }
+    }
+
+    /// Records traffic into a shared telemetry sink (builder style).
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    fn write_one(&mut self, from: NodeId, body: &[u8]) -> Result<(), TransportError> {
+        let mut frame = Vec::with_capacity(4 + body.len());
+        frame.extend_from_slice(&from.0.to_le_bytes());
+        frame.extend_from_slice(body);
+        self.tx.write_frame(&frame)?;
+        self.in_flight += 1;
+        Ok(())
+    }
+}
+
+impl<M: Frame> Transport<M> for SocketTransport<M> {
+    fn send(&mut self, from: NodeId, msg: M) -> Result<(), TransportError> {
+        let bytes = msg.wire_size();
+        let (msgs_key, bytes_key) = Direction::Uplink.counter_keys();
+        self.telemetry.incr(msgs_key);
+        self.telemetry.add(bytes_key, bytes as u64);
+        let node = from.0 as usize;
+        if self.sent_by_node.len() <= node {
+            self.sent_by_node.resize(node + 1, 0);
+        }
+        self.sent_by_node[node] += bytes as u64;
+        let mut body = Vec::with_capacity(bytes);
+        msg.encode_frame(&mut body);
+        debug_assert_eq!(body.len(), bytes, "wire_size must match encoding");
+        match self.fault.copies() {
+            0 => self.telemetry.incr(keys::FAULT_UPLINK_DROPPED),
+            1 => self.write_one(from, &body)?,
+            _ => {
+                self.telemetry.incr(keys::FAULT_UPLINK_DUPLICATED);
+                self.write_one(from, &body)?;
+                self.write_one(from, &body)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn flush(&mut self) -> Result<(), TransportError> {
+        self.tx.flush()
+    }
+
+    fn poll(&mut self) -> Result<Vec<(NodeId, M)>, TransportError> {
+        self.tx.flush()?;
+        let mut out = Vec::with_capacity(self.in_flight);
+        while self.in_flight > 0 {
+            let frame = self.rx.read_frame()?;
+            if frame.len() < 4 {
+                return Err(TransportError::Frame(
+                    "bus frame too short for its node-id header".into(),
+                ));
+            }
+            let from = u32::from_le_bytes(frame[0..4].try_into().expect("4 bytes"));
+            let msg = M::decode_frame(&frame[4..])?;
+            out.push((NodeId(from), msg));
+            self.in_flight -= 1;
+        }
+        Ok(out)
+    }
+
+    fn set_fault(&mut self, plan: FaultPlan) {
+        self.fault = plan;
+    }
+
+    fn fault(&self) -> &FaultPlan {
+        &self.fault
+    }
+
+    fn meter(&self) -> MessageMeter {
+        MessageMeter::from_snapshot(
+            &self.telemetry.snapshot(),
+            self.sent_by_node.clone(),
+            Vec::new(),
+        )
+    }
+
+    fn kind(&self) -> &'static str {
+        self.kind
+    }
+}

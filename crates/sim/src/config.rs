@@ -3,6 +3,62 @@
 use crate::mobility::MobilityKind;
 use mobieyes_core::Propagation;
 
+/// Backend for the cluster tier's inter-server bus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransportKind {
+    /// Deterministic in-memory lock-step bus (the default; byte-identical
+    /// to the single server at any partition count).
+    #[default]
+    Lockstep,
+    /// Loopback TCP socket: every bus frame crosses the kernel with real
+    /// length-prefixed framing.
+    Tcp,
+    /// Loopback Unix-domain socket; same framing as TCP.
+    Uds,
+}
+
+impl TransportKind {
+    /// Parses `"lockstep"`, `"tcp"` or `"uds"` (case-insensitive).
+    pub fn parse(s: &str) -> Result<TransportKind, ConfigError> {
+        match s.to_ascii_lowercase().as_str() {
+            "lockstep" => Ok(TransportKind::Lockstep),
+            "tcp" => Ok(TransportKind::Tcp),
+            "uds" | "unix" => Ok(TransportKind::Uds),
+            other => Err(ConfigError(format!(
+                "unknown transport {other:?} (expected lockstep, tcp or uds)"
+            ))),
+        }
+    }
+
+    /// The backend name (`"lockstep"`, `"tcp"`, `"uds"`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            TransportKind::Lockstep => "lockstep",
+            TransportKind::Tcp => "tcp",
+            TransportKind::Uds => "uds",
+        }
+    }
+}
+
+impl std::fmt::Display for TransportKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A rejected simulation configuration: which knob, what value, and what
+/// the validator expected instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError(pub String);
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid configuration: {}", self.0)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// All knobs of a simulation run. `Default` reproduces Table 1's default
 /// column; the figure harnesses sweep individual fields.
 #[derive(Debug, Clone)]
@@ -90,6 +146,12 @@ pub struct SimConfig {
     /// never changes query results — only the load split (see
     /// [`resolved_rebalance_ticks`](Self::resolved_rebalance_ticks)).
     pub rebalance_ticks: usize,
+    /// Inter-server bus backend for the cluster tier. `None` (the
+    /// default) means auto: the `MOBIEYES_TRANSPORT` environment variable
+    /// if set, otherwise lock-step. Ignored on the single-server path;
+    /// results are identical on every backend (see
+    /// [`resolved_transport`](Self::resolved_transport)).
+    pub transport: Option<TransportKind>,
 }
 
 impl Default for SimConfig {
@@ -124,6 +186,7 @@ impl Default for SimConfig {
             lease_ticks: 0,
             partitions: 0,
             rebalance_ticks: 0,
+            transport: None,
         }
     }
 }
@@ -229,6 +292,11 @@ impl SimConfig {
         self
     }
 
+    pub fn with_transport(mut self, t: TransportKind) -> Self {
+        self.transport = Some(t);
+        self
+    }
+
     /// Resolves the effective worker-thread count: an explicit
     /// `threads > 0` wins; otherwise a positive `MOBIEYES_THREADS`
     /// environment variable; otherwise the machine's available
@@ -282,6 +350,21 @@ impl SimConfig {
             }
         }
         0
+    }
+
+    /// Resolves the effective bus backend: an explicit `transport` wins;
+    /// otherwise a valid `MOBIEYES_TRANSPORT` environment variable;
+    /// otherwise lock-step.
+    pub fn resolved_transport(&self) -> TransportKind {
+        if let Some(t) = self.transport {
+            return t;
+        }
+        if let Ok(v) = std::env::var("MOBIEYES_TRANSPORT") {
+            if let Ok(t) = TransportKind::parse(&v) {
+                return t;
+            }
+        }
+        TransportKind::default()
     }
 
     /// Number of grid cells the run's universe decomposes into, matching
@@ -456,49 +539,57 @@ impl SimConfigBuilder {
         self
     }
 
+    /// Inter-server bus backend; unset = auto (see
+    /// [`SimConfig::resolved_transport`]).
+    pub fn transport(mut self, t: TransportKind) -> Self {
+        self.config.transport = Some(t);
+        self
+    }
+
     /// Validates and returns the configuration.
-    pub fn build(self) -> Result<SimConfig, String> {
+    pub fn build(self) -> Result<SimConfig, ConfigError> {
         // Written to reject NaN along with non-positive values.
         let positive = |v: f64| v.partial_cmp(&0.0) == Some(std::cmp::Ordering::Greater);
+        let err = |msg: String| Err(ConfigError(msg));
         let c = self.config;
         if !positive(c.alpha) {
-            return Err(format!("alpha must be > 0 (got {})", c.alpha));
+            return err(format!("alpha must be > 0 (got {})", c.alpha));
         }
         if c.num_objects == 0 {
-            return Err("num_objects must be > 0".to_string());
+            return err("num_objects must be > 0".to_string());
         }
         if !positive(c.radius_factor) {
-            return Err(format!(
+            return err(format!(
                 "radius_factor must be > 0 (got {})",
                 c.radius_factor
             ));
         }
         if !positive(c.time_step) {
-            return Err(format!("time_step must be > 0 (got {})", c.time_step));
+            return err(format!("time_step must be > 0 (got {})", c.time_step));
         }
         if !positive(c.area) {
-            return Err(format!("area must be > 0 (got {})", c.area));
+            return err(format!("area must be > 0 (got {})", c.area));
         }
         if !positive(c.alen) {
-            return Err(format!("alen must be > 0 (got {})", c.alen));
+            return err(format!("alen must be > 0 (got {})", c.alen));
         }
         if !positive(c.delta) {
-            return Err(format!("delta must be > 0 (got {})", c.delta));
+            return err(format!("delta must be > 0 (got {})", c.delta));
         }
         if !(0.0..=1.0).contains(&c.selectivity) {
-            return Err(format!(
+            return err(format!(
                 "selectivity must be within [0, 1] (got {})",
                 c.selectivity
             ));
         }
         if c.ticks == 0 {
-            return Err("ticks must be > 0".to_string());
+            return err("ticks must be > 0".to_string());
         }
         if c.radius_means.is_empty() || c.speed_classes_mph.is_empty() {
-            return Err("radius_means and speed_classes_mph must be non-empty".to_string());
+            return err("radius_means and speed_classes_mph must be non-empty".to_string());
         }
         if c.focal_pool == Some(0) {
-            return Err("focal_pool must be > 0 when set".to_string());
+            return err("focal_pool must be > 0 when set".to_string());
         }
         for (name, v) in [
             ("uplink_drop", c.uplink_drop),
@@ -508,7 +599,7 @@ impl SimConfigBuilder {
         ] {
             // `!(..).contains()` also rejects NaN.
             if !(0.0..=1.0).contains(&v) {
-                return Err(format!("{name} must be within [0, 1] (got {v})"));
+                return err(format!("{name} must be within [0, 1] (got {v})"));
             }
         }
         // The cluster tier needs at least one grid cell per partition;
@@ -517,7 +608,7 @@ impl SimConfigBuilder {
         let cells = c.grid_cells();
         let partitions = c.resolved_partitions();
         if partitions > cells {
-            return Err(format!(
+            return err(format!(
                 "partitions ({partitions}) exceeds the grid's cell count ({cells}); \
                  shrink --partitions (or MOBIEYES_PARTITIONS), lower alpha, or grow the area"
             ));
@@ -667,7 +758,7 @@ mod tests {
             .build()
             .unwrap_err();
         assert!(
-            err.contains("exceeds the grid's cell count"),
+            err.to_string().contains("exceeds the grid's cell count"),
             "unhelpful message: {err}"
         );
         // The boundary case (one cell per partition) stays valid.
@@ -698,6 +789,32 @@ mod tests {
         // Auto defaults to off (0) when the environment doesn't say
         // otherwise; the suite never sets MOBIEYES_REBALANCE_TICKS.
         assert_eq!(SimConfig::default().rebalance_ticks, 0);
+    }
+
+    #[test]
+    fn transport_parses_and_resolves() {
+        assert_eq!(TransportKind::parse("tcp").unwrap(), TransportKind::Tcp);
+        assert_eq!(TransportKind::parse("UDS").unwrap(), TransportKind::Uds);
+        assert_eq!(
+            TransportKind::parse("lockstep").unwrap(),
+            TransportKind::Lockstep
+        );
+        assert!(TransportKind::parse("carrier-pigeon").is_err());
+        // Explicit choice wins over the environment.
+        assert_eq!(
+            SimConfig::default()
+                .with_transport(TransportKind::Tcp)
+                .resolved_transport(),
+            TransportKind::Tcp
+        );
+        assert_eq!(
+            SimConfig::builder()
+                .transport(TransportKind::Uds)
+                .build()
+                .unwrap()
+                .transport,
+            Some(TransportKind::Uds)
+        );
     }
 
     #[test]

@@ -1,19 +1,21 @@
 //! The MobiEyes simulation driver: server + agents + network over a shared
 //! mobility trace, with all the measurements of §5.
 
-use crate::config::SimConfig;
+use crate::config::{SimConfig, TransportKind};
 use crate::metrics::{sim_keys, RunMetrics};
 use crate::mobility::Mobility;
 use crate::truth::{result_error, GroundTruth};
 use crate::workload::Workload;
-use mobieyes_cluster::ClusterServer;
+use mobieyes_cluster::{ClusterServer, Envelope};
 use mobieyes_core::server::Net;
 use mobieyes_core::{
     Downlink, Filter, MovingObjectAgent, ObjectId, Propagation, Properties, ProtocolConfig,
     QueryId, Server,
 };
 use mobieyes_geo::{Grid, QueryRegion, Vec2};
-use mobieyes_net::{BaseStationLayout, ChurnPlan, FaultPlan, NodeId, RadioModel};
+use mobieyes_net::{
+    BaseStationLayout, ChurnPlan, FaultPlan, FramedConn, NodeId, RadioModel, SocketTransport,
+};
 use mobieyes_telemetry::{EventKind, Phase, Telemetry};
 use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
@@ -61,6 +63,29 @@ impl ServerTier {
             ServerTier::Cluster(c) => c.query_result(qid),
         }
     }
+
+    /// Owned result fetch: works on every tier, including remote
+    /// partitions that cannot hand out references into another process.
+    fn query_result_owned(&self, qid: QueryId) -> Option<BTreeSet<ObjectId>> {
+        match self {
+            ServerTier::Single(s) => s.query_result(qid).cloned(),
+            ServerTier::Cluster(c) => c.fetch_query_result(qid).map(|v| v.into_iter().collect()),
+        }
+    }
+
+    /// Whether any partition is hosted out-of-process.
+    fn is_remote(&self) -> bool {
+        matches!(self, ServerTier::Cluster(c) if c.has_remote())
+    }
+}
+
+/// A fresh, collision-free Unix-domain socket path for an in-process
+/// loopback bus.
+fn unique_bus_path() -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("mobieyes-bus-{}-{seq}.sock", std::process::id()))
 }
 
 /// A complete MobiEyes deployment under simulation.
@@ -129,8 +154,27 @@ impl MobiEyesSim {
     }
 
     /// Builds a deployment whose server, network and agents all record
-    /// into the injected telemetry sink.
+    /// into the injected telemetry sink. The server tier follows the
+    /// configuration: `partitions > 1` builds the cluster, and
+    /// [`SimConfig::resolved_transport`] picks the bus backend it pumps
+    /// (lock-step queue, loopback TCP, or a Unix-domain socket).
     pub fn with_telemetry(config: SimConfig, telemetry: Telemetry) -> Self {
+        Self::build(config, telemetry, None)
+    }
+
+    /// Builds a deployment whose partitions live in other OS processes:
+    /// one framed connection per partition, hello exchange already done.
+    /// Everything agent-facing stays in this process; only the server
+    /// tier's partition ops cross the wire.
+    pub fn with_remote_cluster(
+        config: SimConfig,
+        telemetry: Telemetry,
+        conns: Vec<FramedConn>,
+    ) -> Self {
+        Self::build(config, telemetry, Some(conns))
+    }
+
+    fn build(config: SimConfig, telemetry: Telemetry, remote: Option<Vec<FramedConn>>) -> Self {
         let workload = Workload::generate(&config);
         let grid = Grid::new(workload.universe, config.alpha);
         // Lease durations are configured in ticks; heartbeats fire twice
@@ -148,16 +192,38 @@ impl MobiEyesSim {
         let layout = BaseStationLayout::new(workload.universe, config.alen);
         let mut net = Net::new(layout.clone()).with_telemetry(telemetry.clone());
         let partitions = config.resolved_partitions();
-        let mut tier = if partitions > 1 {
-            ServerTier::Cluster(Box::new(ClusterServer::new(
+        let mut tier = match remote {
+            Some(conns) => ServerTier::Cluster(Box::new(ClusterServer::new_remote(
                 Arc::clone(&pconf),
-                partitions,
                 telemetry.clone(),
-            )))
-        } else {
-            ServerTier::Single(Box::new(
+                conns,
+                config.alen,
+            ))),
+            None if partitions > 1 => {
+                let cluster = match config.resolved_transport() {
+                    TransportKind::Lockstep => {
+                        ClusterServer::new(Arc::clone(&pconf), partitions, telemetry.clone())
+                    }
+                    TransportKind::Tcp => ClusterServer::new_over_socket(
+                        Arc::clone(&pconf),
+                        partitions,
+                        telemetry.clone(),
+                        SocketTransport::<Envelope>::loopback_tcp()
+                            .expect("loopback TCP bus for the cluster"),
+                    ),
+                    TransportKind::Uds => ClusterServer::new_over_socket(
+                        Arc::clone(&pconf),
+                        partitions,
+                        telemetry.clone(),
+                        SocketTransport::<Envelope>::loopback_uds(&unique_bus_path())
+                            .expect("loopback Unix-domain bus for the cluster"),
+                    ),
+                };
+                ServerTier::Cluster(Box::new(cluster))
+            }
+            None => ServerTier::Single(Box::new(
                 Server::new(Arc::clone(&pconf)).with_telemetry(telemetry.clone()),
-            ))
+            )),
         };
         let mobility = Mobility::with_kind(
             &workload,
@@ -294,9 +360,55 @@ impl MobiEyesSim {
         }
     }
 
-    /// Current result set of a query, whatever the server tier.
+    /// Current result set of a query, whatever the in-process server tier
+    /// (panics on a remote deployment — use
+    /// [`query_result_owned`](Self::query_result_owned) there).
     pub fn query_result(&self, qid: QueryId) -> Option<&BTreeSet<ObjectId>> {
         self.tier.query_result(qid)
+    }
+
+    /// Current result set of a query as an owned set; works on every
+    /// deployment, including multi-process ones.
+    pub fn query_result_owned(&self, qid: QueryId) -> Option<BTreeSet<ObjectId>> {
+        self.tier.query_result_owned(qid)
+    }
+
+    /// FNV-1a digest over every query's current result set, folding query
+    /// ids in workload order and members in ascending object-id order.
+    /// Two deployments of the same configuration that agree on every
+    /// result set produce the same digest — the comparison handle the
+    /// socket smoke test and the transport equivalence matrix use.
+    pub fn result_digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let eat = |h: &mut u64, v: u64| {
+            for b in v.to_le_bytes() {
+                *h ^= b as u64;
+                *h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        for &qid in &self.qids {
+            eat(&mut h, qid.0 as u64);
+            match self.tier.query_result_owned(qid) {
+                Some(set) => {
+                    eat(&mut h, set.len() as u64 + 1);
+                    for oid in set {
+                        eat(&mut h, oid.0 as u64);
+                    }
+                }
+                None => eat(&mut h, 0),
+            }
+        }
+        h
+    }
+
+    /// Tells remote partition processes to exit their service loops after
+    /// a final reply. No-op for in-process deployments.
+    pub fn shutdown(&mut self) {
+        if let ServerTier::Cluster(c) = &mut self.tier {
+            if c.has_remote() {
+                c.shutdown_remote();
+            }
+        }
     }
 
     pub fn net(&self) -> &Net {
@@ -465,12 +577,23 @@ impl MobiEyesSim {
         }
 
         if measured {
-            // Result accuracy vs exact ground truth.
+            // Result accuracy vs exact ground truth. Remote tiers cannot
+            // lend references across the process boundary, so they take
+            // the owned fetch; in-process tiers keep the zero-copy path.
+            let remote = self.tier.is_remote();
             let truth = self.truth.evaluate(&self.mobility.positions);
             for (q, t_set) in truth.iter().enumerate() {
-                if let Some(reported) = self.tier.query_result(self.qids[q]) {
-                    self.telemetry
-                        .gauge_add(sim_keys::TRUTH_ERROR_SUM, result_error(t_set, reported));
+                let err = if remote {
+                    self.tier
+                        .query_result_owned(self.qids[q])
+                        .map(|reported| result_error(t_set, &reported))
+                } else {
+                    self.tier
+                        .query_result(self.qids[q])
+                        .map(|reported| result_error(t_set, reported))
+                };
+                if let Some(err) = err {
+                    self.telemetry.gauge_add(sim_keys::TRUTH_ERROR_SUM, err);
                     self.telemetry.incr(sim_keys::TRUTH_ERROR_SAMPLES);
                 }
             }

@@ -1,0 +1,124 @@
+//! Transport equivalence: every bus backend must agree on query results.
+//!
+//! The reference deployment pumps inter-server envelopes over the
+//! deterministic lock-step queue. The same workload is then run (a) with
+//! the envelopes riding a real loopback socket bus inside one process and
+//! (b) against live partition services on real sockets (thread-hosted —
+//! the identical service loop `mobieyes-serve` runs behind a process
+//! boundary). All three must produce identical per-tick result sets for
+//! every query, on every seed × propagation × partition-count cell of the
+//! matrix.
+
+use mobieyes_core::{ObjectId, Propagation};
+use mobieyes_sim::{ClusterClient, HostedPartitions, MobiEyesSim, SimConfig, TransportKind};
+use mobieyes_telemetry::Telemetry;
+use std::collections::BTreeSet;
+use std::time::Duration;
+
+const TICKS: usize = 10;
+
+type ResultTrace = Vec<Vec<BTreeSet<ObjectId>>>;
+
+fn config(seed: u64, propagation: Propagation, partitions: usize) -> SimConfig {
+    SimConfig::small_test(seed)
+        .with_propagation(propagation)
+        .with_partitions(partitions)
+}
+
+/// Steps `sim` for the comparison window, capturing every query's result
+/// set after each tick (owned fetch: works on remote deployments too).
+fn trace(sim: &mut MobiEyesSim) -> ResultTrace {
+    (0..TICKS)
+        .map(|_| {
+            sim.step(true);
+            sim.query_ids()
+                .iter()
+                .map(|&q| sim.query_result_owned(q).unwrap_or_default())
+                .collect()
+        })
+        .collect()
+}
+
+fn assert_traces_match(label: &str, reference: &ResultTrace, candidate: &ResultTrace) {
+    assert_eq!(
+        reference.len(),
+        candidate.len(),
+        "{label}: tick counts differ"
+    );
+    for (t, (r, c)) in reference.iter().zip(candidate.iter()).enumerate() {
+        assert_eq!(r, c, "{label}: result sets diverge at tick {t}");
+    }
+}
+
+/// Runs the full workload against thread-hosted partition services over
+/// real sockets and returns the per-tick trace plus the final digest.
+fn remote_trace(cfg: SimConfig, partitions: usize, uds: bool) -> (ResultTrace, u64) {
+    let hosted = HostedPartitions::spawn(partitions, uds).expect("spawn partition services");
+    let client = ClusterClient::connect(hosted.endpoints(), Duration::from_secs(5))
+        .expect("connect to hosted partitions");
+    let mut sim = client.into_sim(cfg, Telemetry::new());
+    let results = trace(&mut sim);
+    let digest = sim.result_digest();
+    sim.shutdown();
+    hosted.join().expect("partition services exit cleanly");
+    (results, digest)
+}
+
+fn check_cell(seed: u64, propagation: Propagation, partitions: usize, uds: bool) {
+    let reference = {
+        let mut sim = MobiEyesSim::new(config(seed, propagation, partitions));
+        trace(&mut sim)
+    };
+    // (a) In-process cluster with the bus over a kernel socket pair. Only
+    // meaningful when a bus exists (partitions > 1).
+    if partitions > 1 {
+        let kind = if uds {
+            TransportKind::Uds
+        } else {
+            TransportKind::Tcp
+        };
+        let mut sim = MobiEyesSim::new(config(seed, propagation, partitions).with_transport(kind));
+        let socket_bus = trace(&mut sim);
+        assert_traces_match(
+            &format!("socket bus seed={seed} p={partitions} {propagation:?}"),
+            &reference,
+            &socket_bus,
+        );
+    }
+    // (b) Live services over real sockets, one per partition.
+    let (remote, remote_digest) =
+        remote_trace(config(seed, propagation, partitions), partitions, uds);
+    assert_traces_match(
+        &format!("remote seed={seed} p={partitions} {propagation:?}"),
+        &reference,
+        &remote,
+    );
+    // The digest summarizing the final sets must match the reference's.
+    let mut ref_sim = MobiEyesSim::new(config(seed, propagation, partitions));
+    for _ in 0..TICKS {
+        ref_sim.step(true);
+    }
+    assert_eq!(
+        ref_sim.result_digest(),
+        remote_digest,
+        "digest diverges: seed={seed} p={partitions} {propagation:?}"
+    );
+}
+
+#[test]
+fn eqp_matches_across_transports() {
+    for &seed in &[41u64, 42] {
+        for &partitions in &[1usize, 2, 4] {
+            check_cell(seed, Propagation::Eager, partitions, seed % 2 == 0);
+        }
+    }
+}
+
+#[test]
+fn lqp_matches_across_transports() {
+    for &seed in &[41u64, 42] {
+        for &partitions in &[1usize, 2, 4] {
+            check_cell(seed, Propagation::Lazy, partitions, seed % 2 == 1);
+        }
+    }
+}

@@ -5,7 +5,9 @@
 //!
 //! Run with: `cargo run --example knn_tracking --release`
 
+use mobieyes::core::server::Net;
 use mobieyes::core::{KnnConfig, KnnCoordinator};
+use mobieyes::net::BaseStationLayout;
 use mobieyes::prelude::*;
 use mobieyes::sim::Rng;
 use std::sync::Arc;

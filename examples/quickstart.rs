@@ -3,6 +3,8 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
+use mobieyes::core::server::Net;
+use mobieyes::net::BaseStationLayout;
 use mobieyes::prelude::*;
 use std::sync::Arc;
 

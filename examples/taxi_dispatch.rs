@@ -5,6 +5,8 @@
 //!
 //! Run with: `cargo run --example taxi_dispatch --release`
 
+use mobieyes::core::server::Net;
+use mobieyes::net::BaseStationLayout;
 use mobieyes::prelude::*;
 use mobieyes::sim::Rng;
 use std::sync::Arc;

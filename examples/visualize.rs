@@ -6,6 +6,8 @@
 //! Run with: `cargo run --example visualize --release`
 //! Output:   `results/snapshot.svg`
 
+use mobieyes::core::server::Net;
+use mobieyes::net::BaseStationLayout;
 use mobieyes::prelude::*;
 use mobieyes::sim::Rng;
 use std::fmt::Write as _;

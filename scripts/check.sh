@@ -77,4 +77,20 @@ awk -v a="$skew_after" -v b="$skew_before" 'BEGIN { exit !(a < b) }' \
 cargo run -q --release --bin mobieyes -- --partitions 4 --rebalance-ticks 3 \
   --objects 400 --queries 40 --nmo 40 --ticks 8 --warmup 2 --area 10000 >/dev/null
 
+echo "==> socket smoke (multi-process partitions over UDS)"
+# Two partition services in separate OS processes behind Unix-domain
+# sockets, driven for 50 ticks by the coordinator; the final result digest
+# must match an in-process lock-step run of the identical configuration.
+# `drive` already exits non-zero on divergence; the JSON assertion keeps
+# the contract visible in this gate. The in-process socket bus rides the
+# same code path through the CLI flag below.
+socket_out=$(mktemp)
+cargo run -q --release --bin mobieyes-serve -- drive --transport uds \
+  --partitions 2 --ticks 50 --seed 7 --json "$socket_out" >/dev/null
+assert_json "$socket_out" require digests_match true \
+  || { echo "socket smoke: live digest diverged from lock-step"; exit 1; }
+rm -f "$socket_out"
+cargo run -q --release --bin mobieyes -- --partitions 2 --transport uds \
+  --objects 400 --queries 40 --nmo 40 --ticks 8 --warmup 2 --area 10000 >/dev/null
+
 echo "All checks passed."

@@ -1,0 +1,253 @@
+//! Multi-process MobiEyes: partition services and a coordinator driver.
+//!
+//! `mobieyes-serve partition` hosts one grid partition behind the framed
+//! RPC protocol on a TCP or Unix-domain endpoint; it prints `READY
+//! <endpoint>` (with `port 0` resolved) once listening, then serves one
+//! coordinator until `Shutdown`.
+//!
+//! `mobieyes-serve drive` spawns one partition process per shard, runs
+//! the standard simulation workload against them from this process, and
+//! cross-checks the final result digest against an in-process lock-step
+//! run of the identical configuration — the self-contained smoke test
+//! `scripts/check.sh` calls.
+
+use mobieyes::cluster::serve_partition;
+use mobieyes::net::{Endpoint, Listener};
+use mobieyes::prelude::*;
+use std::io::{BufRead, BufReader, Write};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+const HELP: &str = "\
+mobieyes-serve: run MobiEyes partitions as separate OS processes
+
+USAGE:
+    mobieyes-serve partition --partition <N> --listen <endpoint>
+    mobieyes-serve drive [options]
+
+ENDPOINTS:
+    tcp:host:port    TCP (port 0 = OS-assigned, resolved in READY line)
+    uds:/path.sock   Unix-domain socket
+
+PARTITION:
+    Hosts one grid partition. Prints `READY <endpoint>` when listening,
+    serves exactly one coordinator connection, exits after Shutdown.
+
+DRIVE OPTIONS:
+    --transport <tcp|uds>   socket family for the partition processes [uds]
+    --partitions <N>        number of partition processes [2]
+    --mode <eqp|lqp>        propagation mode [eqp]
+    --objects <N>           moving objects [small-test default]
+    --queries <N>           moving queries [small-test default]
+    --ticks <N>             measured ticks [50]
+    --warmup <N>            warm-up ticks [small-test default]
+    --seed <N>              workload seed [7]
+    --json <path>           write the outcome as JSON
+";
+
+fn parse<T: std::str::FromStr>(s: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("unparseable value: {s}"))
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let code = match args.next().as_deref() {
+        Some("partition") => run_partition(args),
+        Some("drive") => run_drive(args),
+        Some("-h") | Some("--help") | None => {
+            print!("{HELP}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown subcommand {other:?}\n\n{HELP}")),
+    };
+    if let Err(e) = code {
+        eprintln!("mobieyes-serve: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run_partition(mut args: impl Iterator<Item = String>) -> Result<(), String> {
+    let mut partition: Option<u32> = None;
+    let mut listen: Option<String> = None;
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match arg.as_str() {
+            "--partition" => partition = Some(parse(&value("--partition")?)?),
+            "--listen" => listen = Some(value("--listen")?),
+            other => return Err(format!("unknown partition flag {other:?}")),
+        }
+    }
+    let partition = partition.ok_or("--partition is required")?;
+    let listen = listen.ok_or("--listen is required")?;
+    let endpoint = Endpoint::parse(&listen).map_err(|e| e.to_string())?;
+    let listener = Listener::bind(&endpoint).map_err(|e| e.to_string())?;
+    let bound = listener.local_endpoint().map_err(|e| e.to_string())?;
+    println!("READY {bound}");
+    std::io::stdout().flush().map_err(|e| e.to_string())?;
+    serve_partition(listener, partition).map_err(|e| e.to_string())
+}
+
+fn run_drive(mut args: impl Iterator<Item = String>) -> Result<(), String> {
+    let mut transport = TransportKind::Uds;
+    let mut partitions: usize = 2;
+    let mut mode = Propagation::Eager;
+    let mut ticks: usize = 50;
+    let mut seed: u64 = 7;
+    let mut objects: Option<usize> = None;
+    let mut queries: Option<usize> = None;
+    let mut warmup: Option<usize> = None;
+    let mut json_out: Option<String> = None;
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match arg.as_str() {
+            "--transport" => {
+                transport =
+                    TransportKind::parse(&value("--transport")?).map_err(|e| e.to_string())?;
+                if transport == TransportKind::Lockstep {
+                    return Err("drive needs a socket transport: tcp or uds".into());
+                }
+            }
+            "--partitions" => partitions = parse(&value("--partitions")?)?,
+            "--mode" => {
+                mode = match value("--mode")?.as_str() {
+                    "eqp" => Propagation::Eager,
+                    "lqp" => Propagation::Lazy,
+                    other => return Err(format!("unknown mode {other:?}")),
+                }
+            }
+            "--objects" => objects = Some(parse(&value("--objects")?)?),
+            "--queries" => queries = Some(parse(&value("--queries")?)?),
+            "--ticks" => ticks = parse(&value("--ticks")?)?,
+            "--warmup" => warmup = Some(parse(&value("--warmup")?)?),
+            "--seed" => seed = parse(&value("--seed")?)?,
+            "--json" => json_out = Some(value("--json")?),
+            other => return Err(format!("unknown drive flag {other:?}")),
+        }
+    }
+    if partitions == 0 {
+        return Err("--partitions must be at least 1".into());
+    }
+
+    let mut config = SimConfig::small_test(seed)
+        .with_propagation(mode)
+        .with_partitions(partitions);
+    {
+        let mut b = SimConfigBuilder::from_config(config).ticks(ticks);
+        if let Some(n) = objects {
+            b = b.objects(n);
+        }
+        if let Some(n) = queries {
+            b = b.queries(n);
+        }
+        if let Some(n) = warmup {
+            b = b.warmup_ticks(n);
+        }
+        config = b.build().map_err(|e| e.to_string())?;
+    }
+
+    // Spawn one partition process per shard and collect their endpoints.
+    let exe = std::env::current_exe().map_err(|e| e.to_string())?;
+    let mut children: Vec<Child> = Vec::with_capacity(partitions);
+    let mut endpoints: Vec<Endpoint> = Vec::with_capacity(partitions);
+    for p in 0..partitions {
+        let listen = match transport {
+            TransportKind::Tcp => "tcp:127.0.0.1:0".to_string(),
+            TransportKind::Uds => format!(
+                "uds:{}",
+                std::env::temp_dir()
+                    .join(format!("mobieyes-serve-{}-{p}.sock", std::process::id()))
+                    .display()
+            ),
+            TransportKind::Lockstep => unreachable!("rejected at parse"),
+        };
+        let mut child = Command::new(&exe)
+            .args([
+                "partition",
+                "--partition",
+                &p.to_string(),
+                "--listen",
+                &listen,
+            ])
+            .stdout(Stdio::piped())
+            .spawn()
+            .map_err(|e| format!("spawning partition {p}: {e}"))?;
+        let stdout = child.stdout.take().expect("piped stdout");
+        let mut ready = String::new();
+        BufReader::new(stdout)
+            .read_line(&mut ready)
+            .map_err(|e| format!("reading READY from partition {p}: {e}"))?;
+        let bound = ready
+            .trim()
+            .strip_prefix("READY ")
+            .ok_or_else(|| format!("partition {p} printed {ready:?}, expected READY"))?;
+        endpoints.push(Endpoint::parse(bound).map_err(|e| e.to_string())?);
+        children.push(child);
+    }
+
+    // Run the workload against the live processes...
+    let client =
+        ClusterClient::connect(&endpoints, Duration::from_secs(10)).map_err(|e| e.to_string())?;
+    let (metrics, digest) = client.run(config.clone());
+    for (p, mut child) in children.into_iter().enumerate() {
+        let status = child
+            .wait()
+            .map_err(|e| format!("waiting for partition {p}: {e}"))?;
+        if !status.success() {
+            return Err(format!("partition {p} exited with {status}"));
+        }
+    }
+
+    // ...and the identical configuration on the in-process lock-step bus.
+    let reference_config = config.with_transport(TransportKind::Lockstep);
+    let mut reference = MobiEyesSim::new(reference_config);
+    reference.run();
+    let reference_digest = reference.result_digest();
+
+    let matched = digest == reference_digest;
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"transport\": \"{}\",\n",
+            "  \"partitions\": {},\n",
+            "  \"mode\": \"{}\",\n",
+            "  \"seed\": {},\n",
+            "  \"ticks\": {},\n",
+            "  \"digest\": \"{:016x}\",\n",
+            "  \"reference_digest\": \"{:016x}\",\n",
+            "  \"digests_match\": {},\n",
+            "  \"msgs_per_second\": {},\n",
+            "  \"avg_result_error\": {}\n",
+            "}}\n"
+        ),
+        transport,
+        partitions,
+        if mode == Propagation::Lazy {
+            "lqp"
+        } else {
+            "eqp"
+        },
+        seed,
+        ticks,
+        digest,
+        reference_digest,
+        matched,
+        metrics.msgs_per_second,
+        metrics.avg_result_error,
+    );
+    print!("{json}");
+    if let Some(path) = json_out {
+        std::fs::write(&path, &json).map_err(|e| format!("writing {path}: {e}"))?;
+    }
+    if !matched {
+        return Err(format!(
+            "result digest diverged: live {digest:016x} vs lock-step {reference_digest:016x}"
+        ));
+    }
+    Ok(())
+}

@@ -40,6 +40,10 @@ OPTIONS:
     --partitions <N>   grid-sharded server partitions; 0 = auto from
                        MOBIEYES_PARTITIONS, else 1 (single server);
                        results are byte-identical at every count [default: 0]
+    --transport <T>    cluster bus backend: lockstep | tcp | uds; unset =
+                       auto from MOBIEYES_TRANSPORT, else lockstep. Socket
+                       backends pump the same envelopes through a real
+                       kernel socket pair        [default: lockstep]
     --rebalance-ticks <N> rebalance the partition map from observed load
                        every N ticks; 0 = auto from
                        MOBIEYES_REBALANCE_TICKS, else off. Never changes
@@ -107,6 +111,11 @@ fn parse_args() -> Result<Cli, String> {
             }
             "--threads" => builder = builder.threads(parse(&value("--threads")?)?),
             "--partitions" => builder = builder.partitions(parse(&value("--partitions")?)?),
+            "--transport" => {
+                builder = builder.transport(
+                    TransportKind::parse(&value("--transport")?).map_err(|e| e.to_string())?,
+                );
+            }
             "--rebalance-ticks" => {
                 builder = builder.rebalance_ticks(parse(&value("--rebalance-ticks")?)?);
             }
@@ -132,7 +141,7 @@ fn parse_args() -> Result<Cli, String> {
     }
     Ok(Cli {
         approach,
-        config: builder.build()?,
+        config: builder.build().map_err(|e| e.to_string())?,
         metrics_out,
     })
 }

@@ -69,6 +69,7 @@
 //! ```
 
 pub use mobieyes_baselines as baselines;
+pub use mobieyes_cluster as cluster;
 pub use mobieyes_core as core;
 pub use mobieyes_geo as geo;
 pub use mobieyes_net as net;
@@ -77,27 +78,124 @@ pub use mobieyes_runtime as runtime;
 pub use mobieyes_sim as sim;
 pub use mobieyes_telemetry as telemetry;
 
+/// The unified error of the facade: every fallible entry point — wire
+/// decoding, configuration validation, transport I/O — converts into this
+/// enum, so callers can `?` across layers without juggling three error
+/// types.
+#[derive(Debug)]
+pub enum Error {
+    /// A wire frame failed to decode: truncated, oversized or malformed.
+    Decode(mobieyes_core::codec::DecodeError),
+    /// A simulation configuration failed validation.
+    Config(mobieyes_sim::ConfigError),
+    /// A transport backend failed to move or frame bytes.
+    Transport(mobieyes_net::TransportError),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Decode(e) => write!(f, "decode: {e}"),
+            Error::Config(e) => write!(f, "config: {e}"),
+            Error::Transport(e) => write!(f, "transport: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Decode(e) => Some(e),
+            Error::Config(e) => Some(e),
+            Error::Transport(e) => Some(e),
+        }
+    }
+}
+
+impl From<mobieyes_core::codec::DecodeError> for Error {
+    fn from(e: mobieyes_core::codec::DecodeError) -> Error {
+        Error::Decode(e)
+    }
+}
+
+impl From<mobieyes_sim::ConfigError> for Error {
+    fn from(e: mobieyes_sim::ConfigError) -> Error {
+        Error::Config(e)
+    }
+}
+
+impl From<mobieyes_net::TransportError> for Error {
+    fn from(e: mobieyes_net::TransportError) -> Error {
+        Error::Transport(e)
+    }
+}
+
 /// The common vocabulary in one import: `use mobieyes::prelude::*;`.
 ///
 /// Re-exports the types almost every program touches — the protocol
-/// endpoints ([`Server`], [`MovingObjectAgent`]), the simulated network,
-/// geometry primitives, the simulation drivers and their configuration,
-/// the unified [`Approach`] entry point, and the telemetry sink every
-/// layer records into.
+/// endpoints ([`Server`], [`MovingObjectAgent`]), the transport layer
+/// ([`Transport`], [`SocketTransport`], [`TransportKind`]), geometry
+/// primitives, the simulation drivers and their configuration, the
+/// unified [`Approach`] entry point, and the telemetry sink every layer
+/// records into.
+///
+/// The simulated-network plumbing (`NetworkSim`, `BaseStationLayout`,
+/// `MessageMeter`, `RadioModel`) is no longer part of the prelude: those
+/// are internals of the lockstep backend. Deprecated aliases keep old
+/// imports compiling; reach them at [`crate::net`] directly.
 pub mod prelude {
-    pub use mobieyes_core::server::Net;
+    pub use crate::Error;
     pub use mobieyes_core::{
         Filter, MovingObjectAgent, ObjectId, PropValue, Propagation, Properties, ProtocolConfig,
         QueryId, Server,
     };
     pub use mobieyes_geo::{CellId, Grid, Point, QueryRegion, Rect, Region, Vec2};
-    pub use mobieyes_net::{BaseStationLayout, MessageMeter, NetworkSim, RadioModel};
+    pub use mobieyes_net::{
+        Endpoint, FramedConn, Listener, LockstepTransport, SocketTransport, Transport,
+        TransportError,
+    };
     pub use mobieyes_runtime::{ThreadedOutcome, ThreadedSim};
     pub use mobieyes_sim::{
-        run_approach, run_approach_with, Approach, MobiEyesSim, Mobility, RunMetrics, RunReport,
-        SimConfig, SimConfigBuilder, Workload,
+        run_approach, run_approach_with, Approach, ClusterClient, ConfigError, HostedPartitions,
+        MobiEyesSim, Mobility, RunMetrics, RunReport, SimConfig, SimConfigBuilder, TransportKind,
+        Workload,
     };
     pub use mobieyes_telemetry::{
         MetricsRegistry, MetricsSnapshot, Phase, Telemetry, TickProfiler,
     };
+
+    /// Deprecated alias kept so pre-0.6 `prelude::Net` imports compile.
+    #[deprecated(
+        since = "0.6.0",
+        note = "`Net` is lockstep-backend plumbing; import `mobieyes::core::server::Net` directly"
+    )]
+    pub type Net = mobieyes_core::server::Net;
+
+    /// Deprecated alias kept so pre-0.6 `prelude::NetworkSim` imports compile.
+    #[deprecated(
+        since = "0.6.0",
+        note = "`NetworkSim` is lockstep-backend plumbing; import `mobieyes::net::NetworkSim` directly"
+    )]
+    pub type NetworkSim<U, D> = mobieyes_net::NetworkSim<U, D>;
+
+    /// Deprecated alias kept so pre-0.6 `prelude::BaseStationLayout` imports compile.
+    #[deprecated(
+        since = "0.6.0",
+        note = "`BaseStationLayout` is lockstep-backend plumbing; import `mobieyes::net::BaseStationLayout` directly"
+    )]
+    pub type BaseStationLayout = mobieyes_net::BaseStationLayout;
+
+    /// Deprecated alias kept so pre-0.6 `prelude::MessageMeter` imports compile.
+    #[deprecated(
+        since = "0.6.0",
+        note = "`MessageMeter` is lockstep-backend plumbing; import `mobieyes::net::MessageMeter` directly"
+    )]
+    pub type MessageMeter = mobieyes_net::MessageMeter;
+
+    /// Deprecated alias kept so pre-0.6 `prelude::RadioModel` imports compile.
+    #[deprecated(
+        since = "0.6.0",
+        note = "`RadioModel` is lockstep-backend plumbing; import `mobieyes::net::RadioModel` directly"
+    )]
+    pub type RadioModel = mobieyes_net::RadioModel;
 }
