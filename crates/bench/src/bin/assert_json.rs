@@ -5,12 +5,14 @@
 //! $ assert-json BENCH_chaos.json get contract_bound_ticks      # prints 20
 //! $ assert-json BENCH_chaos.json forbid recovery_ticks 20      # fails if present
 //! $ assert-json BENCH_cluster.json require bench cluster-scaling
+//! $ assert-json BENCH_scale.json max seconds_per_tick          # prints largest
 //! ```
 //!
 //! Scans for `"<key>": <scalar>` pairs (numbers, strings, booleans) —
 //! exactly the shapes the in-tree bench writers emit. `get` prints the
-//! first value; `forbid` exits non-zero when any pair matches the given
-//! value; `require` exits non-zero unless one does.
+//! first value; `max` prints the numerically largest (for budget checks
+//! over series entries); `forbid` exits non-zero when any pair matches
+//! the given value; `require` exits non-zero unless one does.
 
 use std::process::exit;
 
@@ -46,7 +48,7 @@ fn values_of(doc: &str, key: &str) -> Vec<String> {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: assert-json <file> get <key>\n       assert-json <file> forbid <key> <value>\n       assert-json <file> require <key> <value>"
+        "usage: assert-json <file> get <key>\n       assert-json <file> max <key>\n       assert-json <file> forbid <key> <value>\n       assert-json <file> require <key> <value>"
     );
     exit(2)
 }
@@ -74,6 +76,17 @@ fn main() {
                     exit(1);
                 }
             }
+        }
+        ("max", [key]) => {
+            let max = values_of(&doc, key)
+                .iter()
+                .filter_map(|v| v.parse::<f64>().ok())
+                .fold(f64::NAN, f64::max);
+            if max.is_nan() {
+                eprintln!("assert-json: key \"{key}\" has no numeric values in {file}");
+                exit(1);
+            }
+            println!("{max}");
         }
         ("forbid", [key, value]) => {
             if values_of(&doc, key).iter().any(|v| v == value) {

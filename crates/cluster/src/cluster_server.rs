@@ -297,12 +297,31 @@ impl ClusterServer {
     }
 
     pub fn num_queries(&self) -> usize {
-        self.partitions.iter().map(|s| s.num_queries()).sum()
+        let probes: Vec<_> = self
+            .partitions
+            .iter()
+            .map(|p| p.start_num_queries())
+            .collect();
+        self.partitions
+            .iter()
+            .zip(probes)
+            .map(|(p, pr)| p.finish_num_queries(pr))
+            .sum()
     }
 
     /// All installed query ids, ascending (merged across partitions).
     pub fn query_ids(&self) -> Vec<QueryId> {
-        let mut ids: Vec<QueryId> = self.partitions.iter().flat_map(|s| s.query_ids()).collect();
+        let probes: Vec<_> = self
+            .partitions
+            .iter()
+            .map(|p| p.start_query_ids())
+            .collect();
+        let mut ids: Vec<QueryId> = self
+            .partitions
+            .iter()
+            .zip(probes)
+            .flat_map(|(p, pr)| p.finish_query_ids(pr))
+            .collect();
         ids.sort_unstable();
         ids
     }
@@ -314,25 +333,71 @@ impl ClusterServer {
         self.partitions.iter().find_map(|s| s.query_result_ref(qid))
     }
 
-    /// Owned copy of a query's result set, local or remote.
+    /// Owned copy of a query's result set, local or remote. All partitions
+    /// are probed in one pipelined round; the query is homed on at most
+    /// one, so the first hit wins.
     pub fn fetch_query_result(&self, qid: QueryId) -> Option<Vec<ObjectId>> {
-        self.partitions
+        let probes: Vec<_> = self
+            .partitions
             .iter()
-            .find_map(|s| s.query_result_owned(qid))
+            .map(|p| p.start_query_result(qid))
+            .collect();
+        let mut found = None;
+        for (p, pr) in self.partitions.iter().zip(probes) {
+            if let Some(r) = p.finish_query_result(pr) {
+                found.get_or_insert(r);
+            }
+        }
+        found
     }
 
     pub fn query_focal(&self, qid: QueryId) -> Option<ObjectId> {
-        self.partitions.iter().find_map(|s| s.query_focal(qid))
+        let probes: Vec<_> = self
+            .partitions
+            .iter()
+            .map(|p| p.start_query_focal(qid))
+            .collect();
+        let mut found = None;
+        for (p, pr) in self.partitions.iter().zip(probes) {
+            if let Some(oid) = p.finish_query_focal(pr) {
+                found.get_or_insert(oid);
+            }
+        }
+        found
     }
 
     /// The partition currently holding the FOT row of `oid` (its home).
+    /// One pipelined probe round instead of sequential per-partition
+    /// round trips; `oid` is homed on at most one partition.
     fn find_focal(&self, oid: ObjectId) -> Option<usize> {
-        self.partitions.iter().position(|s| s.has_focal(oid))
+        let probes: Vec<_> = self
+            .partitions
+            .iter()
+            .map(|p| p.start_has_focal(oid))
+            .collect();
+        let mut found = None;
+        for (i, (p, pr)) in self.partitions.iter().zip(probes).enumerate() {
+            if p.finish_has_focal(pr) {
+                found.get_or_insert(i);
+            }
+        }
+        found
     }
 
     /// The partition currently homing query `qid`.
     fn find_query(&self, qid: QueryId) -> Option<usize> {
-        self.partitions.iter().position(|s| s.has_query(qid))
+        let probes: Vec<_> = self
+            .partitions
+            .iter()
+            .map(|p| p.start_has_query(qid))
+            .collect();
+        let mut found = None;
+        for (i, (p, pr)) in self.partitions.iter().zip(probes).enumerate() {
+            if p.finish_has_query(pr) {
+                found.get_or_insert(i);
+            }
+        }
+        found
     }
 
     /// Drains every partition's outbox onto the bus (partition order) and
@@ -422,9 +487,14 @@ impl ClusterServer {
     /// Removes every query whose lifetime has ended; ascending query-id
     /// order across all partitions, like the single server's SQT scan.
     pub fn expire_queries(&mut self, now: f64, net: &mut Net) -> Vec<QueryId> {
+        let probes: Vec<_> = self
+            .partitions
+            .iter()
+            .map(|p| p.start_expired_query_ids(now))
+            .collect();
         let mut expired: Vec<(usize, QueryId)> = Vec::new();
-        for (p, s) in self.partitions.iter().enumerate() {
-            expired.extend(s.expired_query_ids(now).into_iter().map(|q| (p, q)));
+        for (p, (s, pr)) in self.partitions.iter().zip(probes).enumerate() {
+            expired.extend(s.finish_expired_query_ids(pr).into_iter().map(|q| (p, q)));
         }
         expired.sort_unstable_by_key(|&(_, q)| q);
         let mut out = Vec::with_capacity(expired.len());
@@ -445,8 +515,13 @@ impl ClusterServer {
     /// the single server's ascending-flat-index scan.
     pub fn heartbeat(&mut self, now: f64, net: &mut Net) {
         self.now = now;
-        for (p, s) in self.partitions.iter_mut().enumerate() {
-            s.set_time(now);
+        let probes: Vec<_> = self
+            .partitions
+            .iter_mut()
+            .map(|p| p.start_set_time(now))
+            .collect();
+        for (p, (s, pr)) in self.partitions.iter().zip(probes).enumerate() {
+            s.finish_unit(pr, "SetTime");
             self.sinks[p].set_now(now);
         }
         if !self.config.fault_tolerant() || now - self.last_heartbeat < self.config.heartbeat_secs {
@@ -457,9 +532,18 @@ impl ClusterServer {
         self.sinks[0].incr(srv_keys::HEARTBEATS);
 
         // (1) Lease expiry, ascending object id across all partitions.
+        let probes: Vec<_> = self
+            .partitions
+            .iter()
+            .map(|p| p.start_expired_leases())
+            .collect();
         let mut expired: Vec<(usize, ObjectId, Vec<QueryId>)> = Vec::new();
-        for (p, s) in self.partitions.iter().enumerate() {
-            expired.extend(s.expired_leases().into_iter().map(|(o, q)| (p, o, q)));
+        for (p, (s, pr)) in self.partitions.iter().zip(probes).enumerate() {
+            expired.extend(
+                s.finish_expired_leases(pr)
+                    .into_iter()
+                    .map(|(o, q)| (p, o, q)),
+            );
         }
         expired.sort_unstable_by_key(|&(_, oid, _)| oid);
         for (home, oid, qids) in expired {
@@ -490,9 +574,14 @@ impl ClusterServer {
         // (3) Digest beacon over the shared epoch (partitions share the
         // sequencer, so bumping through partition 0 is global).
         let epoch = self.bump_shared_epoch();
+        let probes: Vec<_> = self
+            .partitions
+            .iter()
+            .map(|p| p.start_digest_cells())
+            .collect();
         let mut cell_digests = Vec::new();
-        for s in &self.partitions {
-            cell_digests.extend(s.digest_cells());
+        for (s, pr) in self.partitions.iter().zip(probes) {
+            cell_digests.extend(s.finish_digest_cells(pr));
         }
         let sent = net.broadcast_all(Downlink::Heartbeat {
             epoch,
@@ -540,8 +629,13 @@ impl ClusterServer {
         // FOT row is homed. Leases only matter under the fault-tolerance
         // layer; without it `last_heard` is never read.
         if self.config.fault_tolerant() {
-            for s in self.partitions.iter_mut() {
-                s.renew_lease(ObjectId(from.0));
+            let probes: Vec<_> = self
+                .partitions
+                .iter_mut()
+                .map(|p| p.start_renew_lease(ObjectId(from.0)))
+                .collect();
+            for (s, pr) in self.partitions.iter().zip(probes) {
+                s.finish_unit(pr, "RenewLease");
             }
         }
         match msg {

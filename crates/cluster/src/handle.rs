@@ -41,6 +41,9 @@ pub struct RemotePartition {
     /// Bus envelopes returned by replies, buffered until the coordinator
     /// pumps the bus.
     outbox: RefCell<Vec<(u32, ClusterMsg)>>,
+    /// Reusable request/reply frame scratch — steady-state RPC traffic
+    /// allocates no per-call buffers.
+    frame: RefCell<Vec<u8>>,
 }
 
 impl RemotePartition {
@@ -52,29 +55,70 @@ impl RemotePartition {
             conn: RefCell::new(conn),
             epoch,
             outbox: RefCell::new(Vec::new()),
+            frame: RefCell::new(Vec::new()),
         }
     }
 
-    /// One strictly-serialized RPC round trip. The reply's outbox is
-    /// buffered; the net actions and payload are returned to the caller.
-    fn try_call(&self, op: &PartitionOp) -> Result<(Vec<NetAction>, ReplyPayload), TransportError> {
+    /// Request half of an RPC: encodes and flushes the op without waiting
+    /// for the reply. Every send must be paired with exactly one
+    /// [`Self::recv_reply`] on this handle, in send order — the service
+    /// loop replies strictly in request order, so requests to *different*
+    /// partitions can be in flight simultaneously (pipelined fan-out).
+    fn send_request(&self, op: &PartitionOp) -> Result<(), TransportError> {
         let floor = self.epoch.load(Ordering::Relaxed);
-        let mut frame = Vec::new();
+        let mut frame = self.frame.borrow_mut();
+        frame.clear();
         wire::encode_request(floor, op, &mut frame);
         let mut conn = self.conn.borrow_mut();
         conn.write_frame(&frame)?;
-        conn.flush()?;
-        let reply_bytes = conn.read_frame()?;
-        drop(conn);
+        conn.flush()
+    }
+
+    /// Reply half of an RPC: blocks for the next reply frame, folds its
+    /// epoch into the shared view and buffers its outbox envelopes.
+    fn recv_reply(&self) -> Result<(Vec<NetAction>, ReplyPayload), TransportError> {
+        let mut frame = self.frame.borrow_mut();
+        self.conn.borrow_mut().read_frame_into(&mut frame)?;
         let PartitionReply {
             epoch,
             outbox,
             net,
             payload,
-        } = wire::decode_reply(&reply_bytes)?;
+        } = wire::decode_reply(&frame)?;
         self.epoch.fetch_max(epoch, Ordering::Relaxed);
         self.outbox.borrow_mut().extend(outbox);
         Ok((net, payload))
+    }
+
+    /// One strictly-serialized RPC round trip. The reply's outbox is
+    /// buffered; the net actions and payload are returned to the caller.
+    fn try_call(&self, op: &PartitionOp) -> Result<(Vec<NetAction>, ReplyPayload), TransportError> {
+        self.send_request(op)?;
+        self.recv_reply()
+    }
+
+    fn send_or_panic(&self, op: &PartitionOp) {
+        if let Err(e) = self.send_request(op) {
+            panic!(
+                "remote partition {} failed sending {:?}: {e}",
+                self.partition, op
+            );
+        }
+    }
+
+    /// Collects the reply to a previously pipelined quiet (no-downlink)
+    /// op.
+    fn recv_quiet_or_panic(&self, what: &str) -> ReplyPayload {
+        match self.recv_reply() {
+            Ok((net, payload)) => {
+                debug_assert!(net.is_empty(), "op unexpectedly emitted downlinks");
+                payload
+            }
+            Err(e) => panic!(
+                "remote partition {} failed awaiting {what} reply: {e}",
+                self.partition
+            ),
+        }
     }
 
     fn call(&self, op: PartitionOp) -> (Vec<NetAction>, ReplyPayload) {
@@ -128,6 +172,19 @@ fn bad_payload(what: &str, got: &ReplyPayload) -> ! {
     panic!("remote partition returned wrong payload for {what}: {got:?}")
 }
 
+/// A two-phase partition probe: the request half of a pipelined RPC.
+///
+/// Local handles resolve immediately ([`Probe::Ready`]); remote handles
+/// have the request on the wire ([`Probe::Pending`]) and the partition
+/// process computes while the coordinator issues probes to its siblings.
+/// Every started probe MUST be finished (on the same handle, in start
+/// order) — an unconsumed reply would desynchronize the connection.
+#[must_use = "every started probe must be finished on its handle"]
+pub enum Probe<T> {
+    Ready(T),
+    Pending,
+}
+
 /// A partition server the coordinator can drive: in-process or over RPC.
 ///
 /// Method-for-method mirror of the [`Server`] surface the coordinator's
@@ -160,6 +217,182 @@ impl PartitionHandle {
 
     pub fn is_remote(&self) -> bool {
         matches!(self, PartitionHandle::Remote(_))
+    }
+
+    // --- pipelined probes -------------------------------------------------
+    //
+    // The coordinator's fan-out loops (ownership probes, digest beacons,
+    // lease scans) hit every partition with the same read-only op. Issued
+    // through `try_call` those serialize: each remote round trip completes
+    // before the next request leaves. The start/finish pairs below put
+    // every request on the wire first, so all partition processes compute
+    // concurrently, then collect replies in the same order — identical
+    // results, one round-trip latency instead of N.
+
+    /// Generic request half: local handles compute inline.
+    fn start<T>(&self, op: PartitionOp, local: impl FnOnce(&Server) -> T) -> Probe<T> {
+        match self {
+            PartitionHandle::Local(s) => Probe::Ready(local(s)),
+            PartitionHandle::Remote(r) => {
+                r.send_or_panic(&op);
+                Probe::Pending
+            }
+        }
+    }
+
+    /// Generic reply half for quiet (no-downlink) ops.
+    fn finish<T>(&self, probe: Probe<T>, what: &str, parse: impl FnOnce(ReplyPayload) -> T) -> T {
+        match probe {
+            Probe::Ready(v) => v,
+            Probe::Pending => match self {
+                PartitionHandle::Local(_) => unreachable!("pending probe on a local handle"),
+                PartitionHandle::Remote(r) => parse(r.recv_quiet_or_panic(what)),
+            },
+        }
+    }
+
+    pub fn start_has_focal(&self, oid: ObjectId) -> Probe<bool> {
+        self.start(PartitionOp::HasFocal(oid), |s| s.has_focal(oid))
+    }
+
+    pub fn finish_has_focal(&self, probe: Probe<bool>) -> bool {
+        self.finish(probe, "HasFocal", |p| match p {
+            ReplyPayload::Bool(b) => b,
+            other => bad_payload("HasFocal", &other),
+        })
+    }
+
+    pub fn start_has_query(&self, qid: QueryId) -> Probe<bool> {
+        self.start(PartitionOp::HasQuery(qid), |s| s.has_query(qid))
+    }
+
+    pub fn finish_has_query(&self, probe: Probe<bool>) -> bool {
+        self.finish(probe, "HasQuery", |p| match p {
+            ReplyPayload::Bool(b) => b,
+            other => bad_payload("HasQuery", &other),
+        })
+    }
+
+    pub fn start_num_queries(&self) -> Probe<usize> {
+        self.start(PartitionOp::NumQueries, |s| s.num_queries())
+    }
+
+    pub fn finish_num_queries(&self, probe: Probe<usize>) -> usize {
+        self.finish(probe, "NumQueries", |p| match p {
+            ReplyPayload::U64(n) => n as usize,
+            other => bad_payload("NumQueries", &other),
+        })
+    }
+
+    pub fn start_query_ids(&self) -> Probe<Vec<QueryId>> {
+        self.start(PartitionOp::QueryIds, |s| s.query_ids().collect())
+    }
+
+    pub fn finish_query_ids(&self, probe: Probe<Vec<QueryId>>) -> Vec<QueryId> {
+        self.finish(probe, "QueryIds", |p| match p {
+            ReplyPayload::Qids(qids) => qids,
+            other => bad_payload("QueryIds", &other),
+        })
+    }
+
+    pub fn start_query_result(&self, qid: QueryId) -> Probe<Option<Vec<ObjectId>>> {
+        self.start(PartitionOp::QueryResult(qid), |s| {
+            s.query_result(qid).map(|r| r.iter().copied().collect())
+        })
+    }
+
+    pub fn finish_query_result(
+        &self,
+        probe: Probe<Option<Vec<ObjectId>>>,
+    ) -> Option<Vec<ObjectId>> {
+        self.finish(probe, "QueryResult", |p| match p {
+            ReplyPayload::ResultSet(oids) => oids,
+            other => bad_payload("QueryResult", &other),
+        })
+    }
+
+    pub fn start_query_focal(&self, qid: QueryId) -> Probe<Option<ObjectId>> {
+        self.start(PartitionOp::QueryFocal(qid), |s| s.query_focal(qid))
+    }
+
+    pub fn finish_query_focal(&self, probe: Probe<Option<ObjectId>>) -> Option<ObjectId> {
+        self.finish(probe, "QueryFocal", |p| match p {
+            ReplyPayload::OptOid(oid) => oid,
+            other => bad_payload("QueryFocal", &other),
+        })
+    }
+
+    pub fn start_expired_query_ids(&self, now: f64) -> Probe<Vec<QueryId>> {
+        self.start(PartitionOp::ExpiredQueryIds(now), |s| {
+            s.expired_query_ids(now)
+        })
+    }
+
+    pub fn finish_expired_query_ids(&self, probe: Probe<Vec<QueryId>>) -> Vec<QueryId> {
+        self.finish(probe, "ExpiredQueryIds", |p| match p {
+            ReplyPayload::Qids(qids) => qids,
+            other => bad_payload("ExpiredQueryIds", &other),
+        })
+    }
+
+    pub fn start_expired_leases(&self) -> Probe<Vec<(ObjectId, Vec<QueryId>)>> {
+        self.start(PartitionOp::ExpiredLeases, |s| s.expired_leases())
+    }
+
+    pub fn finish_expired_leases(
+        &self,
+        probe: Probe<Vec<(ObjectId, Vec<QueryId>)>>,
+    ) -> Vec<(ObjectId, Vec<QueryId>)> {
+        self.finish(probe, "ExpiredLeases", |p| match p {
+            ReplyPayload::Leases(leases) => leases,
+            other => bad_payload("ExpiredLeases", &other),
+        })
+    }
+
+    pub fn start_digest_cells(&self) -> Probe<Vec<(CellId, u64)>> {
+        self.start(PartitionOp::DigestCells, |s| s.digest_cells())
+    }
+
+    pub fn finish_digest_cells(&self, probe: Probe<Vec<(CellId, u64)>>) -> Vec<(CellId, u64)> {
+        self.finish(probe, "DigestCells", |p| match p {
+            ReplyPayload::Digests(digests) => digests,
+            other => bad_payload("DigestCells", &other),
+        })
+    }
+
+    /// Mutating fan-out ops (lease renewal, clock distribution): local
+    /// handles apply immediately, remote requests pipeline.
+    pub fn start_renew_lease(&mut self, oid: ObjectId) -> Probe<()> {
+        match self {
+            PartitionHandle::Local(s) => {
+                s.renew_lease(oid);
+                Probe::Ready(())
+            }
+            PartitionHandle::Remote(r) => {
+                r.send_or_panic(&PartitionOp::RenewLease(oid));
+                Probe::Pending
+            }
+        }
+    }
+
+    pub fn start_set_time(&mut self, now: f64) -> Probe<()> {
+        match self {
+            PartitionHandle::Local(s) => {
+                s.set_time(now);
+                Probe::Ready(())
+            }
+            PartitionHandle::Remote(r) => {
+                r.send_or_panic(&PartitionOp::SetTime(now));
+                Probe::Pending
+            }
+        }
+    }
+
+    pub fn finish_unit(&self, probe: Probe<()>, what: &str) {
+        self.finish(probe, what, |p| match p {
+            ReplyPayload::Unit => (),
+            other => bad_payload(what, &other),
+        })
     }
 
     pub fn set_time(&mut self, now: f64) {

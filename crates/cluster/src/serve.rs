@@ -91,8 +91,12 @@ impl ServiceState {
 /// on a clean shutdown, or the transport error that ended the session.
 pub fn serve_connection(mut conn: FramedConn) -> Result<(), TransportError> {
     let mut state: Option<ServiceState> = None;
+    // Persistent request/reply scratch: the service loop allocates nothing
+    // per RPC in steady state.
+    let mut request = Vec::new();
+    let mut frame = Vec::new();
     loop {
-        let request = conn.read_frame()?;
+        conn.read_frame_into(&mut request)?;
         let (floor, op) = wire::decode_request(&request)?;
         if let PartitionOp::Shutdown = op {
             let reply = PartitionReply {
@@ -103,7 +107,7 @@ pub fn serve_connection(mut conn: FramedConn) -> Result<(), TransportError> {
                 net: Vec::new(),
                 payload: ReplyPayload::Unit,
             };
-            let mut frame = Vec::new();
+            frame.clear();
             wire::encode_reply(&reply, &mut frame);
             conn.write_frame(&frame)?;
             conn.flush()?;
@@ -117,7 +121,7 @@ pub fn serve_connection(mut conn: FramedConn) -> Result<(), TransportError> {
                 net: Vec::new(),
                 payload: ReplyPayload::Unit,
             };
-            let mut frame = Vec::new();
+            frame.clear();
             wire::encode_reply(&reply, &mut frame);
             conn.write_frame(&frame)?;
             conn.flush()?;
@@ -134,7 +138,7 @@ pub fn serve_connection(mut conn: FramedConn) -> Result<(), TransportError> {
             net: s.drain_net_actions(),
             payload,
         };
-        let mut frame = Vec::new();
+        frame.clear();
         wire::encode_reply(&reply, &mut frame);
         conn.write_frame(&frame)?;
         conn.flush()?;

@@ -209,6 +209,53 @@ impl MovingObjectAgent {
         self.has_mq
     }
 
+    /// The grid cell this agent last registered itself in.
+    pub fn current_cell(&self) -> CellId {
+        self.curr_cell
+    }
+
+    /// Whether the next processing phase has real work beyond telemetry:
+    /// an installed query to evaluate or a buffered departure to flush.
+    /// When this is false and no downlink is pending, `tick_process` is a
+    /// no-op except for its `agent.lqt_size`/`agent.eval_nanos` samples —
+    /// the struct-of-arrays engine skips the call and batch-records the
+    /// samples instead.
+    pub fn needs_process(&self) -> bool {
+        !self.lqt.is_empty() || !self.pending_departures.is_empty()
+    }
+
+    /// Whether departures are buffered for the next evaluation (these
+    /// force a full evaluation even inside every entry's safe period).
+    pub fn has_pending_departures(&self) -> bool {
+        !self.pending_departures.is_empty()
+    }
+
+    /// Whether the filter-shadow table is empty. With an empty LQT *and*
+    /// an empty shadow, a `VelocityChange` downlink (and a `QueryState`
+    /// whose monitoring region excludes this agent's cell) is a provable
+    /// no-op — the struct-of-arrays engine uses this to drop such
+    /// deliveries without running `tick_process`.
+    pub fn shadow_is_empty(&self) -> bool {
+        self.shadow.is_empty()
+    }
+
+    /// The earliest safe-period deadline across the LQT: evaluations
+    /// before this time skip every entry (§4.2), changing nothing but the
+    /// `agent.skipped_safe_period` counter and the LQT-size sample. The
+    /// struct-of-arrays engine mirrors this into a parallel deadline
+    /// vector so whole agents can be skipped without touching their heap
+    /// state. `-inf` when the LQT is empty (an empty LQT has no safe
+    /// window; the caller's emptiness check gates the skip anyway).
+    pub fn min_safe_deadline(&self) -> f64 {
+        if self.lqt.is_empty() {
+            return f64::NEG_INFINITY;
+        }
+        self.lqt
+            .values()
+            .map(|e| e.ptm)
+            .fold(f64::INFINITY, f64::min)
+    }
+
     /// Did the last evaluation consider this object a target of `qid`?
     pub fn is_target_of(&self, qid: QueryId) -> bool {
         self.lqt.get(&qid).map(|e| e.is_target).unwrap_or(false)

@@ -18,7 +18,7 @@ use crate::model::{ObjectId, QueryId};
 use mobieyes_geo::{CellId, GridRect, LinearMotion, QueryRegion, Region};
 use mobieyes_net::{NetworkSim, NodeId};
 use mobieyes_telemetry::{EventKind, MetricsSnapshot, Telemetry};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -39,6 +39,100 @@ struct FotEntry {
     /// timestamp. A focal object silent for longer than `lease_secs` gets
     /// its queries torn down and re-announced.
     last_heard: f64,
+}
+
+/// The focal-object table, laid out for the million-object uplink path.
+///
+/// Every uplink probes the FOT at least once (`renew_lease`), so the old
+/// `BTreeMap<ObjectId, FotEntry>` put a tree walk in front of each of the
+/// hundreds of thousands of messages a large tick drains. Here the probe
+/// is one array read: `slots[oid]` holds `row + 1` into a dense entry
+/// vector (`0` = not focal). The entries stay sorted by object id so
+/// every iteration — lease expiry, migration, the invariant checks —
+/// walks the same deterministic ascending order the tree gave; inserts
+/// and removals shift and re-index the tail, which is fine because they
+/// only happen on install/teardown, never in the steady-state uplink
+/// path.
+#[derive(Debug, Default)]
+struct FotTable {
+    /// Object id → entry row + 1; `0` means absent. Grows to the highest
+    /// focal object id seen (4 bytes per object of headroom).
+    slots: Vec<u32>,
+    /// `(oid, row)` pairs sorted by object id.
+    entries: Vec<(ObjectId, FotEntry)>,
+}
+
+impl FotTable {
+    #[inline]
+    fn row(&self, oid: &ObjectId) -> Option<usize> {
+        match self.slots.get(oid.0 as usize) {
+            Some(&s) if s != 0 => Some((s - 1) as usize),
+            _ => None,
+        }
+    }
+
+    #[inline]
+    fn contains_key(&self, oid: &ObjectId) -> bool {
+        self.row(oid).is_some()
+    }
+
+    #[inline]
+    fn get(&self, oid: &ObjectId) -> Option<&FotEntry> {
+        self.row(oid).map(|i| &self.entries[i].1)
+    }
+
+    #[inline]
+    fn get_mut(&mut self, oid: &ObjectId) -> Option<&mut FotEntry> {
+        self.row(oid).map(move |i| &mut self.entries[i].1)
+    }
+
+    /// `BTreeMap::entry(oid).or_insert(default)` equivalent (the callers
+    /// construct the default eagerly anyway).
+    fn entry_or_insert(&mut self, oid: ObjectId, default: FotEntry) -> &mut FotEntry {
+        if self.row(&oid).is_none() {
+            let o = oid.0 as usize;
+            if self.slots.len() <= o {
+                self.slots.resize(o + 1, 0);
+            }
+            let pos = self.entries.partition_point(|(k, _)| *k < oid);
+            self.entries.insert(pos, (oid, default));
+            self.reindex_from(pos);
+        }
+        let i = self.row(&oid).expect("row just ensured");
+        &mut self.entries[i].1
+    }
+
+    fn remove(&mut self, oid: &ObjectId) -> Option<FotEntry> {
+        let i = self.row(oid)?;
+        self.slots[oid.0 as usize] = 0;
+        let (_, entry) = self.entries.remove(i);
+        self.reindex_from(i);
+        Some(entry)
+    }
+
+    fn reindex_from(&mut self, pos: usize) {
+        for i in pos..self.entries.len() {
+            let o = self.entries[i].0 .0 as usize;
+            self.slots[o] = (i + 1) as u32;
+        }
+    }
+
+    /// Rows in ascending object-id order.
+    fn iter(&self) -> impl Iterator<Item = (&ObjectId, &FotEntry)> {
+        self.entries.iter().map(|(o, e)| (o, e))
+    }
+
+    /// Focal object ids in ascending order.
+    fn keys(&self) -> impl Iterator<Item = &ObjectId> {
+        self.entries.iter().map(|(o, _)| o)
+    }
+}
+
+impl std::ops::Index<&ObjectId> for FotTable {
+    type Output = FotEntry;
+    fn index(&self, oid: &ObjectId) -> &FotEntry {
+        self.get(oid).expect("focal object in FOT")
+    }
 }
 
 /// SQT row: everything the server knows about one installed query.
@@ -293,10 +387,10 @@ impl ServerStats {
 #[derive(Debug)]
 pub struct Server {
     config: Arc<ProtocolConfig>,
-    /// `BTreeMap` (not hash) so lease expiry and pending-install retries
-    /// iterate in a deterministic order — byte-identical runs at any
-    /// thread count depend on it.
-    fot: BTreeMap<ObjectId, FotEntry>,
+    /// Flat-indexed (see [`FotTable`]); iterates in the same
+    /// deterministic ascending order the old `BTreeMap` gave — lease
+    /// expiry and byte-identical runs at any thread count depend on it.
+    fot: FotTable,
     sqt: BTreeMap<QueryId, SqtEntry>,
     /// RQI: per grid cell (flat row-major index), the queries whose
     /// monitoring region intersects the cell.
@@ -323,6 +417,17 @@ pub struct Server {
     /// Outgoing inter-server messages `(destination partition, msg)`,
     /// drained by the cluster coordinator after every operation.
     outbox: Vec<(u32, ClusterMsg)>,
+    /// Reusable per-tick uplink drain buffer (cleared, not reallocated).
+    uplink_scratch: Vec<(NodeId, Uplink)>,
+    /// Per-tick memo for [`apply_cell_change_fresh`]: the `NewQueries`
+    /// payload for a `(prev, new)` cell pair — keyed by clamped flat cell
+    /// ids — is a pure function of disseminated server state, so the
+    /// runs of non-focal cell changes that dominate a large tick reuse
+    /// one computed payload instead of re-walking RQI/SQT/FOT per
+    /// object. Any mutation of that state clears the memo (see
+    /// [`invalidate_fresh_memo`](Self::invalidate_fresh_memo)), keeping
+    /// replies byte-identical to point-wise application.
+    fresh_memo: HashMap<(u32, u32), Vec<QueryGroupInfo>>,
 }
 
 impl Server {
@@ -330,7 +435,7 @@ impl Server {
         let cells = config.grid.num_cells();
         Server {
             config,
-            fot: BTreeMap::new(),
+            fot: FotTable::default(),
             sqt: BTreeMap::new(),
             rqi: vec![Vec::new(); cells],
             pending: BTreeMap::new(),
@@ -342,6 +447,8 @@ impl Server {
             scope: None,
             stubs: BTreeMap::new(),
             outbox: Vec::new(),
+            uplink_scratch: Vec::new(),
+            fresh_memo: HashMap::new(),
         }
     }
 
@@ -374,6 +481,9 @@ impl Server {
     /// stamps form a single global order; the single-server path keeps
     /// its private counter.
     fn bump_epoch(&mut self) -> u64 {
+        // Every disseminated state change flows through here, so the
+        // cell-change payload memo can never serve a stale reply.
+        self.fresh_memo.clear();
         match &self.scope {
             Some(s) => {
                 let v = s.epoch.fetch_add(1, Ordering::Relaxed) + 1;
@@ -629,12 +739,16 @@ impl Server {
         true
     }
 
-    /// Drains and processes all pending uplink messages. Call once per tick.
+    /// Drains and processes all pending uplink messages. Call once per
+    /// tick. The drain buffer is a persistent scratch — at million-object
+    /// scale the tick applies its uplink batch without allocating.
     pub fn tick(&mut self, net: &mut Net) {
-        let uplinks = net.drain_uplinks();
-        for (from, msg) in uplinks {
+        let mut uplinks = std::mem::take(&mut self.uplink_scratch);
+        net.drain_uplinks_into(&mut uplinks);
+        for (from, msg) in uplinks.drain(..) {
             self.handle_uplink(from, msg, net);
         }
+        self.uplink_scratch = uplinks;
     }
 
     /// Processes one uplink message.
@@ -708,14 +822,20 @@ impl Server {
         insert: bool,
     ) {
         let now = self.now;
+        // Focal motion is part of the cell-change payload but a refresh
+        // does not bump the epoch, so drop the memo explicitly.
+        self.fresh_memo.clear();
         if insert {
-            self.fot.entry(oid).or_insert(FotEntry {
-                motion,
-                max_vel,
-                queries: Vec::new(),
-                used_slots: 0,
-                last_heard: now,
-            });
+            self.fot.entry_or_insert(
+                oid,
+                FotEntry {
+                    motion,
+                    max_vel,
+                    queries: Vec::new(),
+                    used_slots: 0,
+                    last_heard: now,
+                },
+            );
         }
         let mut refreshed: Option<(f64, Vec<QueryId>)> = None;
         if let Some(f) = self.fot.get_mut(&oid) {
@@ -981,11 +1101,7 @@ impl Server {
             let mut sorted = qids.clone();
             sorted.sort_unstable();
             let digest = state_digest(sorted.iter().map(|q| (*q, self.q_seq(*q))));
-            let cell = CellId::new(
-                (idx % grid.cols as usize) as u32,
-                (idx / grid.cols as usize) as u32,
-            );
-            cell_digests.push((cell, digest));
+            cell_digests.push((grid.cell_at(idx), digest));
         }
         cell_digests
     }
@@ -1162,21 +1278,48 @@ impl Server {
         net: &mut Net,
     ) {
         let grid = &self.config.grid;
+        // The payload is a pure function of (prev_cell, new_cell) given the
+        // disseminated query state, which only changes at memo-invalidation
+        // chokepoints (epoch bumps, RQI edits, tick boundary). Under a batch
+        // of uplinks many objects cross the same cell border, so cache the
+        // built groups per (prev, new) pair — including negative results.
+        let key = (
+            grid.clamped_flat_index(prev_cell) as u32,
+            grid.clamped_flat_index(new_cell) as u32,
+        );
+        if let Some(infos) = self.fresh_memo.get(&key) {
+            if !infos.is_empty() {
+                self.telemetry.incr(srv_keys::UNICAST_OPS);
+                net.send_unicast(
+                    oid.node(),
+                    Downlink::NewQueries {
+                        infos: infos.clone(),
+                    },
+                );
+            }
+            return;
+        }
         let new_qids = &self.rqi[grid.flat_index(new_cell)];
         let fresh: Vec<QueryId> = new_qids
             .iter()
             .filter(|q| !self.q_mon(**q).is_some_and(|m| m.contains(prev_cell)))
             .copied()
             .collect();
-        if !fresh.is_empty() {
-            let infos: Vec<QueryGroupInfo> = self
-                .group_queries(&fresh)
-                .into_iter()
-                .map(|g| self.group_info_for(g[0]))
-                .collect();
+        let infos: Vec<QueryGroupInfo> = self
+            .group_queries(&fresh)
+            .into_iter()
+            .map(|g| self.group_info_for(g[0]))
+            .collect();
+        if !infos.is_empty() {
             self.telemetry.incr(srv_keys::UNICAST_OPS);
-            net.send_unicast(oid.node(), Downlink::NewQueries { infos });
+            net.send_unicast(
+                oid.node(),
+                Downlink::NewQueries {
+                    infos: infos.clone(),
+                },
+            );
         }
+        self.fresh_memo.insert(key, infos);
     }
 
     /// Splits a set of same-focal queries into dissemination groups. With
@@ -1314,6 +1457,7 @@ impl Server {
     }
 
     fn rqi_insert(&mut self, qid: QueryId, region: &GridRect) {
+        self.fresh_memo.clear();
         let owned = self.owned_span();
         let grid = &self.config.grid;
         let mut touched = 0u64;
@@ -1333,6 +1477,7 @@ impl Server {
     }
 
     fn rqi_remove(&mut self, qid: QueryId, region: &GridRect) {
+        self.fresh_memo.clear();
         let owned = self.owned_span();
         let grid = &self.config.grid;
         let mut touched = 0u64;
@@ -1386,6 +1531,8 @@ impl Server {
     #[doc(hidden)]
     pub fn set_time(&mut self, now: f64) {
         self.now = now;
+        // Tick boundary: start the new tick's payload memo fresh.
+        self.fresh_memo.clear();
     }
 
     #[doc(hidden)]
@@ -1512,6 +1659,7 @@ impl Server {
     #[doc(hidden)]
     pub fn extract_focal(&mut self, oid: ObjectId) -> Option<ClusterMsg> {
         debug_assert!(self.scope.is_some(), "migration needs a scoped server");
+        self.fresh_memo.clear();
         let owned = self.owned_span();
         let grid = self.config.grid.clone();
         let fot = self.fot.remove(&oid)?;
@@ -1670,6 +1818,9 @@ impl Server {
     /// server↔server links leaves state *and* telemetry untouched.
     #[doc(hidden)]
     pub fn apply_cluster_msg(&mut self, msg: &ClusterMsg) {
+        // Stub/SQT/FOT state may change below; cheap to drop the memo
+        // wholesale (cluster traffic is orders below uplink volume).
+        self.fresh_memo.clear();
         match msg {
             ClusterMsg::MigrateFocal {
                 oid,
@@ -1684,13 +1835,16 @@ impl Server {
                 // (created by a PositionReply): its later cell changes
                 // still drive the shared epoch, like on the single server.
                 // `or_insert` keeps this idempotent under bus duplication.
-                self.fot.entry(*oid).or_insert(FotEntry {
-                    motion: *motion,
-                    max_vel: *max_vel,
-                    queries: Vec::new(),
-                    used_slots: *used_slots,
-                    last_heard: *last_heard,
-                });
+                self.fot.entry_or_insert(
+                    *oid,
+                    FotEntry {
+                        motion: *motion,
+                        max_vel: *max_vel,
+                        queries: Vec::new(),
+                        used_slots: *used_slots,
+                        last_heard: *last_heard,
+                    },
+                );
                 for q in queries {
                     let qid = q.spec.qid;
                     // Replay guard: an already-applied (or newer) row wins.
@@ -1984,14 +2138,11 @@ impl Server {
             }
             for qid in qids {
                 let mon = self.q_mon(*qid).expect("RQI references live query or stub");
-                let cell = CellId::new(
-                    (idx % self.config.grid.cols as usize) as u32,
-                    (idx / self.config.grid.cols as usize) as u32,
-                );
+                let cell = self.config.grid.cell_at(idx);
                 assert!(mon.contains(cell), "stale RQI entry for {qid:?}");
             }
         }
-        for (oid, fot) in &self.fot {
+        for (oid, fot) in self.fot.iter() {
             for qid in &fot.queries {
                 assert_eq!(self.sqt[qid].focal, *oid, "FOT/SQT focal mismatch");
             }

@@ -117,6 +117,33 @@ impl Grid {
         c.y as usize * self.cols as usize + c.x as usize
     }
 
+    /// Clamped flat index of a wire-carried cell: in-range for any cell
+    /// coordinate, matching [`clamp_cell`](Self::clamp_cell) +
+    /// [`flat_index`](Self::flat_index).
+    #[inline]
+    pub fn clamped_flat_index(&self, c: CellId) -> usize {
+        self.flat_index(self.clamp_cell(c))
+    }
+
+    /// Flat cell index of a position in one step —
+    /// `flat_index(cell_of(p))`, the hot-path form used by the
+    /// struct-of-arrays tick engine's cell-change test.
+    #[inline]
+    pub fn flat_cell_of(&self, p: Point) -> usize {
+        self.flat_index(self.cell_of(p))
+    }
+
+    /// Inverse of [`flat_index`](Self::flat_index): the cell at a
+    /// row-major flat index.
+    #[inline]
+    pub fn cell_at(&self, flat: usize) -> CellId {
+        debug_assert!(flat < self.num_cells(), "flat index {flat} out of grid");
+        CellId {
+            x: (flat % self.cols as usize) as u32,
+            y: (flat / self.cols as usize) as u32,
+        }
+    }
+
     /// The cells whose (closed) rectangles intersect `rect`, as a compact
     /// cell-range. Returns an empty range when `rect` lies outside the grid.
     pub fn cells_overlapping(&self, rect: &Rect) -> GridRect {

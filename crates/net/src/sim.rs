@@ -171,6 +171,14 @@ impl<U: WireSized, D: WireSized> NetworkSim<U, D> {
         std::mem::take(&mut self.uplinks)
     }
 
+    /// Drains pending uplinks into a caller-owned buffer, appended in
+    /// queue order. `Vec::append` keeps both allocations alive, so a
+    /// server draining into a persistent scratch every tick settles into
+    /// a zero-allocation steady state.
+    pub fn drain_uplinks_into(&mut self, out: &mut Vec<(NodeId, U)>) {
+        out.append(&mut self.uplinks);
+    }
+
     /// Number of queued uplink messages (diagnostics).
     pub fn pending_uplinks(&self) -> usize {
         self.uplinks.len()

@@ -214,15 +214,23 @@ impl FramedConn {
 
     /// Queues one frame (length prefix + payload) for sending.
     pub fn write_frame(&mut self, payload: &[u8]) -> Result<(), TransportError> {
-        if payload.len() > MAX_FRAME {
+        self.write_frame_parts(&[], payload)
+    }
+
+    /// Queues one frame whose payload is `head` followed by `body` —
+    /// callers with a fixed header (e.g. a node-id prefix) avoid
+    /// assembling a temporary contiguous payload first.
+    pub fn write_frame_parts(&mut self, head: &[u8], body: &[u8]) -> Result<(), TransportError> {
+        let len = head.len() + body.len();
+        if len > MAX_FRAME {
             return Err(TransportError::Oversize {
-                len: payload.len(),
+                len,
                 max: MAX_FRAME,
             });
         }
-        self.wbuf
-            .extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        self.wbuf.extend_from_slice(payload);
+        self.wbuf.extend_from_slice(&(len as u32).to_le_bytes());
+        self.wbuf.extend_from_slice(head);
+        self.wbuf.extend_from_slice(body);
         Ok(())
     }
 
@@ -235,11 +243,12 @@ impl FramedConn {
         Ok(())
     }
 
-    /// Extracts one complete frame from the read buffer, if present.
-    fn buffered_frame(&mut self) -> Result<Option<Vec<u8>>, TransportError> {
+    /// Extracts one complete frame from the read buffer into `out`, if
+    /// present. Returns whether a frame was extracted.
+    fn buffered_frame_into(&mut self, out: &mut Vec<u8>) -> Result<bool, TransportError> {
         let avail = self.rbuf.len() - self.rpos;
         if avail < 4 {
-            return Ok(None);
+            return Ok(false);
         }
         let len = u32::from_le_bytes(
             self.rbuf[self.rpos..self.rpos + 4]
@@ -253,9 +262,10 @@ impl FramedConn {
             });
         }
         if avail < 4 + len {
-            return Ok(None);
+            return Ok(false);
         }
-        let frame = self.rbuf[self.rpos + 4..self.rpos + 4 + len].to_vec();
+        out.clear();
+        out.extend_from_slice(&self.rbuf[self.rpos + 4..self.rpos + 4 + len]);
         self.rpos += 4 + len;
         // Reclaim consumed space once the buffer is fully drained (the
         // common case) or the dead prefix dominates.
@@ -266,15 +276,16 @@ impl FramedConn {
             self.rbuf.drain(..self.rpos);
             self.rpos = 0;
         }
-        Ok(Some(frame))
+        Ok(true)
     }
 
-    /// Blocks until one full frame is available and returns its payload.
-    /// A cleanly closed peer surfaces as [`TransportError::Closed`].
-    pub fn read_frame(&mut self) -> Result<Vec<u8>, TransportError> {
+    /// Blocks until one full frame is available and copies its payload
+    /// into `out` (cleared first) — the allocation-free read path. A
+    /// cleanly closed peer surfaces as [`TransportError::Closed`].
+    pub fn read_frame_into(&mut self, out: &mut Vec<u8>) -> Result<(), TransportError> {
         loop {
-            if let Some(frame) = self.buffered_frame()? {
-                return Ok(frame);
+            if self.buffered_frame_into(out)? {
+                return Ok(());
             }
             let mut chunk = [0u8; 16 * 1024];
             let n = self.stream.read(&mut chunk)?;
@@ -283,6 +294,14 @@ impl FramedConn {
             }
             self.rbuf.extend_from_slice(&chunk[..n]);
         }
+    }
+
+    /// Blocks until one full frame is available and returns its payload.
+    /// A cleanly closed peer surfaces as [`TransportError::Closed`].
+    pub fn read_frame(&mut self) -> Result<Vec<u8>, TransportError> {
+        let mut out = Vec::new();
+        self.read_frame_into(&mut out)?;
+        Ok(out)
     }
 
     /// Sends the opening hello frame (magic, version, node id).
@@ -332,6 +351,11 @@ pub struct SocketTransport<M> {
     telemetry: Telemetry,
     sent_by_node: Vec<u64>,
     kind: &'static str,
+    /// Reusable encode scratch: one message body per `send`, cleared and
+    /// refilled in place so steady-state sending allocates nothing.
+    encode_buf: Vec<u8>,
+    /// Reusable receive scratch for `poll`'s frame reads.
+    frame_buf: Vec<u8>,
     _msg: std::marker::PhantomData<M>,
 }
 
@@ -363,6 +387,8 @@ impl<M: Frame> SocketTransport<M> {
             telemetry: Telemetry::new(),
             sent_by_node: Vec::new(),
             kind,
+            encode_buf: Vec::new(),
+            frame_buf: Vec::new(),
             _msg: std::marker::PhantomData,
         }
     }
@@ -373,12 +399,14 @@ impl<M: Frame> SocketTransport<M> {
         self
     }
 
-    fn write_one(&mut self, from: NodeId, body: &[u8]) -> Result<(), TransportError> {
-        let mut frame = Vec::with_capacity(4 + body.len());
-        frame.extend_from_slice(&from.0.to_le_bytes());
-        frame.extend_from_slice(body);
-        self.tx.write_frame(&frame)?;
-        self.in_flight += 1;
+    fn write_one(
+        tx: &mut FramedConn,
+        in_flight: &mut usize,
+        from: NodeId,
+        body: &[u8],
+    ) -> Result<(), TransportError> {
+        tx.write_frame_parts(&from.0.to_le_bytes(), body)?;
+        *in_flight += 1;
         Ok(())
     }
 }
@@ -394,16 +422,20 @@ impl<M: Frame> Transport<M> for SocketTransport<M> {
             self.sent_by_node.resize(node + 1, 0);
         }
         self.sent_by_node[node] += bytes as u64;
-        let mut body = Vec::with_capacity(bytes);
-        msg.encode_frame(&mut body);
-        debug_assert_eq!(body.len(), bytes, "wire_size must match encoding");
+        self.encode_buf.clear();
+        msg.encode_frame(&mut self.encode_buf);
+        debug_assert_eq!(
+            self.encode_buf.len(),
+            bytes,
+            "wire_size must match encoding"
+        );
         match self.fault.copies() {
             0 => self.telemetry.incr(keys::FAULT_UPLINK_DROPPED),
-            1 => self.write_one(from, &body)?,
+            1 => Self::write_one(&mut self.tx, &mut self.in_flight, from, &self.encode_buf)?,
             _ => {
                 self.telemetry.incr(keys::FAULT_UPLINK_DUPLICATED);
-                self.write_one(from, &body)?;
-                self.write_one(from, &body)?;
+                Self::write_one(&mut self.tx, &mut self.in_flight, from, &self.encode_buf)?;
+                Self::write_one(&mut self.tx, &mut self.in_flight, from, &self.encode_buf)?;
             }
         }
         Ok(())
@@ -417,7 +449,8 @@ impl<M: Frame> Transport<M> for SocketTransport<M> {
         self.tx.flush()?;
         let mut out = Vec::with_capacity(self.in_flight);
         while self.in_flight > 0 {
-            let frame = self.rx.read_frame()?;
+            self.rx.read_frame_into(&mut self.frame_buf)?;
+            let frame = &self.frame_buf;
             if frame.len() < 4 {
                 return Err(TransportError::Frame(
                     "bus frame too short for its node-id header".into(),

@@ -48,6 +48,16 @@ impl BaseStationLayout {
         self.cols as usize * self.rows as usize
     }
 
+    /// Lattice width in stations.
+    pub fn cols(&self) -> u32 {
+        self.cols
+    }
+
+    /// Lattice height in stations.
+    pub fn rows(&self) -> u32 {
+        self.rows
+    }
+
     pub fn alen(&self) -> f64 {
         self.alen
     }

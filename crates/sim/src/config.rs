@@ -46,6 +46,49 @@ impl std::fmt::Display for TransportKind {
     }
 }
 
+/// Tick-engine variant driving the agent side of a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineKind {
+    /// Struct-of-arrays fast path (the default): cold agents — empty LQT,
+    /// not focal, cell unchanged, nothing to deliver — are skipped from
+    /// per-agent flag/cell/deadline vectors without touching their heap
+    /// state. Protocol-identical to the seed engine (only wall-clock
+    /// samples differ); falls back to the seed path per step whenever
+    /// faults or churn are active.
+    #[default]
+    Soa,
+    /// The original engine: every agent's motion and processing hooks run
+    /// every tick.
+    Seed,
+}
+
+impl EngineKind {
+    /// Parses `"soa"` or `"seed"` (case-insensitive).
+    pub fn parse(s: &str) -> Result<EngineKind, ConfigError> {
+        match s.to_ascii_lowercase().as_str() {
+            "soa" => Ok(EngineKind::Soa),
+            "seed" => Ok(EngineKind::Seed),
+            other => Err(ConfigError(format!(
+                "unknown engine {other:?} (expected soa or seed)"
+            ))),
+        }
+    }
+
+    /// The engine name (`"soa"`, `"seed"`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            EngineKind::Soa => "soa",
+            EngineKind::Seed => "seed",
+        }
+    }
+}
+
+impl std::fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// A rejected simulation configuration: which knob, what value, and what
 /// the validator expected instead.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -152,6 +195,11 @@ pub struct SimConfig {
     /// results are identical on every backend (see
     /// [`resolved_transport`](Self::resolved_transport)).
     pub transport: Option<TransportKind>,
+    /// Agent tick-engine variant. `None` (the default) means auto: the
+    /// `MOBIEYES_ENGINE` environment variable if set, otherwise the
+    /// struct-of-arrays fast path. Results are protocol-identical on
+    /// either engine (see [`resolved_engine`](Self::resolved_engine)).
+    pub engine: Option<EngineKind>,
 }
 
 impl Default for SimConfig {
@@ -187,6 +235,7 @@ impl Default for SimConfig {
             partitions: 0,
             rebalance_ticks: 0,
             transport: None,
+            engine: None,
         }
     }
 }
@@ -297,6 +346,11 @@ impl SimConfig {
         self
     }
 
+    pub fn with_engine(mut self, e: EngineKind) -> Self {
+        self.engine = Some(e);
+        self
+    }
+
     /// Resolves the effective worker-thread count: an explicit
     /// `threads > 0` wins; otherwise a positive `MOBIEYES_THREADS`
     /// environment variable; otherwise the machine's available
@@ -365,6 +419,21 @@ impl SimConfig {
             }
         }
         TransportKind::default()
+    }
+
+    /// Resolves the effective agent tick engine: an explicit `engine`
+    /// wins; otherwise a valid `MOBIEYES_ENGINE` environment variable;
+    /// otherwise the struct-of-arrays fast path.
+    pub fn resolved_engine(&self) -> EngineKind {
+        if let Some(e) = self.engine {
+            return e;
+        }
+        if let Ok(v) = std::env::var("MOBIEYES_ENGINE") {
+            if let Ok(e) = EngineKind::parse(&v) {
+                return e;
+            }
+        }
+        EngineKind::default()
     }
 
     /// Number of grid cells the run's universe decomposes into, matching
@@ -543,6 +612,13 @@ impl SimConfigBuilder {
     /// [`SimConfig::resolved_transport`]).
     pub fn transport(mut self, t: TransportKind) -> Self {
         self.config.transport = Some(t);
+        self
+    }
+
+    /// Agent tick-engine variant; unset = auto (see
+    /// [`SimConfig::resolved_engine`]).
+    pub fn engine(mut self, e: EngineKind) -> Self {
+        self.config.engine = Some(e);
         self
     }
 

@@ -1,23 +1,29 @@
 //! The MobiEyes simulation driver: server + agents + network over a shared
 //! mobility trace, with all the measurements of §5.
 
-use crate::config::{SimConfig, TransportKind};
+use crate::config::{EngineKind, SimConfig, TransportKind};
 use crate::metrics::{sim_keys, RunMetrics};
 use crate::mobility::Mobility;
+use crate::soa::{
+    self, AgentSoa, BcastClass, ShardScratch, SoaShard, FLAG_FOCAL, FLAG_LQT, FLAG_PENDING,
+    FLAG_SHADOW,
+};
 use crate::truth::{result_error, GroundTruth};
 use crate::workload::Workload;
 use mobieyes_cluster::{ClusterServer, Envelope};
+use mobieyes_core::object::agent_keys;
 use mobieyes_core::server::Net;
 use mobieyes_core::{
     Downlink, Filter, MovingObjectAgent, ObjectId, Propagation, Properties, ProtocolConfig,
     QueryId, Server,
 };
-use mobieyes_geo::{Grid, QueryRegion, Vec2};
+use mobieyes_geo::{Grid, Point, QueryRegion, Vec2};
 use mobieyes_net::{
     BaseStationLayout, ChurnPlan, FaultPlan, FramedConn, NodeId, RadioModel, SocketTransport,
+    StationId,
 };
 use mobieyes_telemetry::{EventKind, Phase, Telemetry};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
 use std::sync::Arc;
 
 /// The server tier behind a deployment: the plain single server, or the
@@ -146,6 +152,14 @@ pub struct MobiEyesSim {
     /// Rebalance cadence in ticks (0 = off); resolved once at build so
     /// the environment is read exactly once per run.
     rebalance_ticks: usize,
+    /// Resolved tick engine: the struct-of-arrays fast path or the seed
+    /// reference path (see [`crate::soa`] for the contract between them).
+    engine: EngineKind,
+    /// The universe grid (cheap clone of the protocol config's) for the
+    /// fast engine's flat-cell computations.
+    grid: Grid,
+    /// Struct-of-arrays scheduling mirror + persistent phase scratch.
+    soa: AgentSoa,
 }
 
 impl MobiEyesSim {
@@ -176,7 +190,9 @@ impl MobiEyesSim {
 
     fn build(config: SimConfig, telemetry: Telemetry, remote: Option<Vec<FramedConn>>) -> Self {
         let workload = Workload::generate(&config);
+        let engine = config.resolved_engine();
         let grid = Grid::new(workload.universe, config.alpha);
+        let grid_copy = grid.clone();
         // Lease durations are configured in ticks; heartbeats fire twice
         // per lease so one lost beacon does not expire a healthy object.
         let lease_secs = config.lease_ticks as f64 * config.time_step;
@@ -297,6 +313,9 @@ impl MobiEyesSim {
             skip_now: vec![false; n],
             frozen: false,
             rebalance_ticks: 0,
+            engine,
+            grid: grid_copy,
+            soa: AgentSoa::new(n, shards),
         };
         sim.rebalance_ticks = sim.config.resolved_rebalance_ticks();
         // Fault knobs from the configuration apply for the whole run; the
@@ -321,6 +340,11 @@ impl MobiEyesSim {
     /// The shared instrumentation sink.
     pub fn telemetry(&self) -> &Telemetry {
         &self.telemetry
+    }
+
+    /// The resolved tick engine this deployment runs.
+    pub fn engine(&self) -> EngineKind {
+        self.engine
     }
 
     /// Current simulated time in seconds.
@@ -465,7 +489,11 @@ impl MobiEyesSim {
     /// Transitions are driven by the plan's per-object windows; an object
     /// still offline when the plan is cleared rejoins on the next step
     /// with the crash flag captured at disconnect time.
-    fn apply_churn(&mut self) {
+    ///
+    /// Returns whether the step is *quiet*: no churn plan, no offline
+    /// agents, no rejoins — the precondition for the fast engine's
+    /// every-agent-is-reachable assumption.
+    fn apply_churn(&mut self) -> bool {
         let any_offline = self.offline.iter().any(|o| o.is_some());
         if !self.churn.has_churn() && !any_offline {
             // Clear rejoin flags left over from the final reconnect step.
@@ -473,7 +501,7 @@ impl MobiEyesSim {
                 self.rejoin_now.iter_mut().for_each(|r| *r = None);
                 self.skip_now.iter_mut().for_each(|s| *s = false);
             }
-            return;
+            return true;
         }
         let rel = (self.tick_index - self.churn_base) as u64;
         for i in 0..self.agents.len() {
@@ -495,6 +523,7 @@ impl MobiEyesSim {
             }
             self.skip_now[i] = self.offline[i].is_some();
         }
+        false
     }
 
     pub fn query_ids(&self) -> &[QueryId] {
@@ -531,12 +560,25 @@ impl MobiEyesSim {
         // rejoins the motion phase must perform. Runs in ascending object
         // order on the coordinator, so events and the resulting Resync
         // uplinks are deterministic at any thread count.
-        self.apply_churn();
+        let quiet = self.apply_churn();
+
+        // The fast engine requires a quiet step (no churn, nobody offline
+        // or rejoining) and delivery without a stateful downlink fault
+        // RNG; anything else runs the seed phases and invalidates the
+        // mirror, which rebuilds lazily on the next fast step.
+        let fast = quiet && self.engine == EngineKind::Soa && self.net.fault().is_noop();
+        if !fast {
+            self.soa.valid = false;
+        }
 
         // Phase A: motion reports.
         {
             let _span = self.telemetry.span(Phase::Motion);
-            self.run_motion_phase(t);
+            if fast {
+                self.run_motion_phase_fast(t);
+            } else {
+                self.run_motion_phase(t);
+            }
             self.merge_shards();
         }
 
@@ -555,7 +597,11 @@ impl MobiEyesSim {
         // Phase B: downlink processing + local evaluation.
         {
             let _span = self.telemetry.span(Phase::Process);
-            self.run_process_phase(t);
+            if fast {
+                self.run_process_phase_fast(t);
+            } else {
+                self.run_process_phase(t);
+            }
             self.merge_shards();
             self.net.end_tick();
         }
@@ -670,53 +716,246 @@ impl MobiEyesSim {
             return;
         }
         let (unicasts, broadcasts) = self.net.take_downlinks();
-        // Queue positions of each node's unicasts, so a worker touches only
-        // its own agents' messages while preserving queue order.
-        let mut by_node: HashMap<u32, Vec<usize>> = HashMap::new();
-        for (k, (to, _, _)) in unicasts.iter().enumerate() {
-            by_node.entry(to.0).or_default().push(k);
-        }
+        // Sorted (node, queue index) runs — persistent scratch shared with
+        // the fast engine — so a worker touches only its own agents'
+        // messages while preserving each node's queue order.
+        build_node_runs(&mut self.soa.pairs, &unicasts);
         let positions = &self.mobility.positions;
         let layout = &self.layout;
-        let (unicasts, broadcasts, by_node) = (&unicasts, &broadcasts, &by_node);
-        let received: Vec<Vec<(u32, usize)>> = std::thread::scope(|s| {
-            let handles: Vec<_> = self
+        let (unicasts, broadcasts) = (&unicasts, &broadcasts);
+        let pairs: &[(u32, u32)] = &self.soa.pairs;
+        std::thread::scope(|s| {
+            for (c, ((agents, net), scratch)) in self
                 .agents
                 .chunks_mut(chunk)
                 .zip(self.shard_nets.iter_mut())
+                .zip(self.soa.scratch.iter_mut())
                 .enumerate()
-                .map(|(c, (agents, net))| {
-                    let base = c * chunk;
-                    s.spawn(move || {
-                        let mut rx: Vec<(u32, usize)> = Vec::new();
-                        let mut inbox: Vec<&Downlink> = Vec::new();
-                        for (off, agent) in agents.iter_mut().enumerate() {
-                            let i = base + off;
-                            let pos = positions[i];
-                            inbox.clear();
-                            if let Some(ks) = by_node.get(&(i as u32)) {
-                                for &k in ks {
-                                    let (_, msg, bytes) = &unicasts[k];
-                                    rx.push((i as u32, *bytes));
-                                    inbox.push(&**msg);
-                                }
-                            }
-                            for (station, msg, bytes) in broadcasts {
-                                if layout.covers(*station, pos) {
-                                    rx.push((i as u32, *bytes));
-                                    inbox.push(&**msg);
-                                }
-                            }
-                            agent.tick_process(t, inbox.iter().copied(), net);
+            {
+                let base = c * chunk;
+                s.spawn(move || {
+                    scratch.rx.clear();
+                    let mut cur = pairs.partition_point(|&(n, _)| (n as usize) < base);
+                    let hi = pairs.partition_point(|&(n, _)| (n as usize) < base + agents.len());
+                    let mut inbox: Vec<&Downlink> = Vec::new();
+                    for (off, agent) in agents.iter_mut().enumerate() {
+                        let i = (base + off) as u32;
+                        let pos = positions[base + off];
+                        inbox.clear();
+                        while cur < hi && pairs[cur].0 == i {
+                            let (_, msg, bytes) = &unicasts[pairs[cur].1 as usize];
+                            scratch.rx.push((i, *bytes));
+                            inbox.push(&**msg);
+                            cur += 1;
                         }
-                        rx
-                    })
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().unwrap()).collect()
+                        for (station, msg, bytes) in broadcasts.iter() {
+                            if layout.covers(*station, pos) {
+                                scratch.rx.push((i, *bytes));
+                                inbox.push(&**msg);
+                            }
+                        }
+                        agent.tick_process(t, inbox.iter().copied(), net);
+                    }
+                });
+            }
         });
-        for shard in received {
-            for (node, bytes) in shard {
+        for scratch in &self.soa.scratch {
+            for &(node, bytes) in &scratch.rx {
+                self.net.record_node_received(node as usize, bytes);
+            }
+        }
+    }
+
+    /// Rebuilds the struct-of-arrays mirror from agent heap state after a
+    /// sequence of seed-path steps (or at the first fast step of a run).
+    /// Cells come from each agent's *registered* cell — not its mobility
+    /// position, which has already advanced past the agent's last sync.
+    fn rebuild_soa(&mut self) {
+        let Self {
+            agents, soa, grid, ..
+        } = self;
+        for (i, agent) in agents.iter().enumerate() {
+            soa.cells[i] = grid.flat_index(agent.current_cell()) as u32;
+            soa.synced_at[i] = soa::NEVER;
+            soa.refresh_row(i, agent);
+        }
+        soa.valid = true;
+    }
+
+    /// Phase A, fast engine: scans the flat cell mirror and runs
+    /// `tick_motion` only for agents that changed grid cell or are focal
+    /// (dead reckoning can fire without a crossing). Everyone else keeps a
+    /// stale `pos`/`vel` inside the agent struct, which is sound because
+    /// the processing phase re-syncs through `tick_motion` before any
+    /// agent does real work — and a same-cell, non-focal `tick_motion` is
+    /// a silent store (no messages, no telemetry, no state beyond
+    /// pos/vel).
+    fn run_motion_phase_fast(&mut self, t: f64) {
+        if !self.soa.valid {
+            self.rebuild_soa();
+        }
+        if self.agents.is_empty() {
+            return;
+        }
+        let tick = self.tick_index as u32;
+        let chunk = self.shard_chunk;
+        let Self {
+            agents,
+            shard_nets,
+            soa,
+            mobility,
+            grid,
+            ..
+        } = self;
+        let positions = &mobility.positions;
+        let velocities = &mobility.velocities;
+        let views = soa::shard_views(
+            &mut soa.cells,
+            &mut soa.flags,
+            &mut soa.lqt_len,
+            &mut soa.safe_until,
+            &mut soa.synced_at,
+            chunk,
+        );
+        if shard_nets.len() <= 1 {
+            let view = views.into_iter().next().expect("one shard view");
+            motion_shard(
+                agents,
+                &mut shard_nets[0],
+                view,
+                0,
+                positions,
+                velocities,
+                grid,
+                t,
+                tick,
+            );
+            return;
+        }
+        std::thread::scope(|s| {
+            for (c, ((agents, net), view)) in agents
+                .chunks_mut(chunk)
+                .zip(shard_nets.iter_mut())
+                .zip(views)
+                .enumerate()
+            {
+                let base = c * chunk;
+                let grid = &*grid;
+                s.spawn(move || {
+                    motion_shard(
+                        agents, net, view, base, positions, velocities, grid, t, tick,
+                    )
+                });
+            }
+        });
+    }
+
+    /// Phase B, fast engine: indexed downlink delivery plus the cold and
+    /// safe-period skips, with the skipped agents' telemetry footprint
+    /// restored in batch (see [`crate::soa`] for the contract).
+    fn run_process_phase_fast(&mut self, t: f64) {
+        debug_assert!(self.soa.valid, "motion phase rebuilds the mirror first");
+        if self.agents.is_empty() {
+            self.net.end_tick();
+            return;
+        }
+        let tick = self.tick_index as u32;
+        let chunk = self.shard_chunk;
+        let safe_period = self.config.safe_period;
+        let (unicasts, broadcasts) = self.net.take_downlinks();
+        let Self {
+            agents,
+            shard_nets,
+            shard_sinks,
+            soa,
+            mobility,
+            layout,
+            grid,
+            ..
+        } = self;
+        build_node_runs(&mut soa.pairs, &unicasts);
+        soa.bucket_broadcasts(
+            layout.num_stations(),
+            broadcasts.iter().map(|(station, _, _)| station.0),
+        );
+        soa.classify_broadcasts(broadcasts.iter().map(|(_, msg, _)| &**msg));
+        let positions = &mobility.positions;
+        let velocities = &mobility.velocities;
+        let views = soa::shard_views(
+            &mut soa.cells,
+            &mut soa.flags,
+            &mut soa.lqt_len,
+            &mut soa.safe_until,
+            &mut soa.synced_at,
+            chunk,
+        );
+        let pairs: &[(u32, u32)] = &soa.pairs;
+        let bcasts = BcastIndex {
+            pairs: &soa.bcast_pairs,
+            offsets: &soa.bcast_offsets,
+            class: &soa.bcast_class,
+        };
+        let (unicasts, broadcasts) = (&unicasts, &broadcasts);
+        if shard_nets.len() <= 1 {
+            let view = views.into_iter().next().expect("one shard view");
+            process_shard(
+                agents,
+                &mut shard_nets[0],
+                &shard_sinks[0],
+                view,
+                &mut soa.scratch[0],
+                0,
+                pairs,
+                unicasts,
+                broadcasts,
+                bcasts,
+                positions,
+                velocities,
+                layout,
+                grid,
+                safe_period,
+                t,
+                tick,
+            );
+        } else {
+            std::thread::scope(|s| {
+                for (c, ((((agents, net), sink), view), scratch)) in agents
+                    .chunks_mut(chunk)
+                    .zip(shard_nets.iter_mut())
+                    .zip(shard_sinks.iter())
+                    .zip(views)
+                    .zip(soa.scratch.iter_mut())
+                    .enumerate()
+                {
+                    let base = c * chunk;
+                    let layout = &*layout;
+                    let grid = &*grid;
+                    s.spawn(move || {
+                        process_shard(
+                            agents,
+                            net,
+                            sink,
+                            view,
+                            scratch,
+                            base,
+                            pairs,
+                            unicasts,
+                            broadcasts,
+                            bcasts,
+                            positions,
+                            velocities,
+                            layout,
+                            grid,
+                            safe_period,
+                            t,
+                            tick,
+                        )
+                    });
+                }
+            });
+        }
+        for scratch in &self.soa.scratch {
+            for &(node, bytes) in &scratch.rx {
                 self.net.record_node_received(node as usize, bytes);
             }
         }
@@ -785,6 +1024,210 @@ impl MobiEyesSim {
     /// Exact ground-truth results for the current positions (tests).
     pub fn ground_truth(&mut self) -> Vec<std::collections::BTreeSet<ObjectId>> {
         self.truth.evaluate(&self.mobility.positions).to_vec()
+    }
+}
+
+/// Rebuilds the per-tick `(node, unicast queue index)` runs into a
+/// persistent buffer: cleared, filled, sorted — never reallocated in
+/// steady state. Sorting preserves each node's queue order because the
+/// queue index is strictly increasing within a node.
+fn build_node_runs(pairs: &mut Vec<(u32, u32)>, unicasts: &[(NodeId, Arc<Downlink>, usize)]) {
+    pairs.clear();
+    pairs.reserve(unicasts.len());
+    for (k, (to, _, _)) in unicasts.iter().enumerate() {
+        pairs.push((to.0, k as u32));
+    }
+    pairs.sort_unstable();
+}
+
+/// Fast-engine motion phase over one shard (see
+/// [`MobiEyesSim::run_motion_phase_fast`] for the skip argument).
+#[allow(clippy::too_many_arguments)]
+fn motion_shard(
+    agents: &mut [MovingObjectAgent],
+    net: &mut Net,
+    mut view: SoaShard<'_>,
+    base: usize,
+    positions: &[Point],
+    velocities: &[Vec2],
+    grid: &Grid,
+    t: f64,
+    tick: u32,
+) {
+    for (off, agent) in agents.iter_mut().enumerate() {
+        let i = base + off;
+        let fc = grid.flat_cell_of(positions[i]) as u32;
+        if fc == view.cells[off] && view.flags[off] & FLAG_FOCAL == 0 {
+            continue;
+        }
+        agent.tick_motion(t, positions[i], velocities[i], net);
+        view.cells[off] = fc;
+        view.synced_at[off] = tick;
+        view.refresh(off, agent);
+    }
+}
+
+/// The tick's station-bucketed broadcast index (built by
+/// [`AgentSoa::bucket_broadcasts`]), shared read-only across shards.
+#[derive(Clone, Copy)]
+struct BcastIndex<'a> {
+    /// Sorted `(station, broadcast queue index)` pairs.
+    pairs: &'a [(u32, u32)],
+    /// `station -> first pair index`, length `num_stations + 1`.
+    offsets: &'a [u32],
+    /// Per-broadcast inert-delivery classification, by queue position.
+    class: &'a [BcastClass],
+}
+
+impl BcastIndex<'_> {
+    /// Pushes `nu + k` for every broadcast covering `pos` onto `ib`,
+    /// in broadcast-queue order — the same entries the linear
+    /// every-broadcast scan would select, without touching stations that
+    /// cannot reach the agent. Only the 3×3 lattice neighborhood of the
+    /// agent's home square can cover it: the coverage radius is
+    /// `alen·√2/2 ≈ 0.707·alen`, while a station two squares away is at
+    /// least `1.5·alen` from any point of the home square.
+    fn deliver_into(&self, layout: &BaseStationLayout, pos: Point, nu: u32, ib: &mut Vec<u32>) {
+        let start = ib.len();
+        let home = layout.station_at(pos).0 as i64;
+        let cols = layout.cols() as i64;
+        let rows = layout.rows() as i64;
+        let (hx, hy) = (home % cols, home / cols);
+        for y in (hy - 1).max(0)..=(hy + 1).min(rows - 1) {
+            for x in (hx - 1).max(0)..=(hx + 1).min(cols - 1) {
+                let s = (y * cols + x) as u32;
+                let lo = self.offsets[s as usize] as usize;
+                let hi = self.offsets[s as usize + 1] as usize;
+                if lo == hi || !layout.covers(StationId(s), pos) {
+                    continue;
+                }
+                for &(_, k) in &self.pairs[lo..hi] {
+                    ib.push(nu + k);
+                }
+            }
+        }
+        // Runs were appended station by station; one sort of the tail
+        // restores the global broadcast-queue order behind the unicasts.
+        ib[start..].sort_unstable();
+    }
+}
+
+/// Fast-engine processing phase over one shard: indexed downlink
+/// delivery, the cold and safe-period whole-agent skips, batched
+/// restoration of the skipped agents' telemetry footprint, and the
+/// stale-position re-sync for agents the motion phase skipped.
+#[allow(clippy::too_many_arguments)]
+fn process_shard(
+    agents: &mut [MovingObjectAgent],
+    net: &mut Net,
+    sink: &Telemetry,
+    mut view: SoaShard<'_>,
+    scratch: &mut ShardScratch,
+    base: usize,
+    pairs: &[(u32, u32)],
+    unicasts: &[(NodeId, Arc<Downlink>, usize)],
+    broadcasts: &[(StationId, Arc<Downlink>, usize)],
+    bcasts: BcastIndex<'_>,
+    positions: &[Point],
+    velocities: &[Vec2],
+    layout: &BaseStationLayout,
+    grid: &Grid,
+    safe_period: bool,
+    t: f64,
+    tick: u32,
+) {
+    scratch.rx.clear();
+    // This shard's slice of the sorted per-node runs.
+    let mut cur = pairs.partition_point(|&(n, _)| (n as usize) < base);
+    let hi = pairs.partition_point(|&(n, _)| (n as usize) < base + agents.len());
+    let nu = unicasts.len() as u32;
+    let mut cold: u64 = 0;
+    let mut safe_skips: u64 = 0;
+    for (off, agent) in agents.iter_mut().enumerate() {
+        let i = (base + off) as u32;
+        let pos = positions[base + off];
+        scratch.ib.clear();
+        while cur < hi && pairs[cur].0 == i {
+            scratch.ib.push(pairs[cur].1);
+            cur += 1;
+        }
+        if !broadcasts.is_empty() {
+            bcasts.deliver_into(layout, pos, nu, &mut scratch.ib);
+        }
+        let f = view.flags[off];
+        if scratch.ib.is_empty() {
+            if f & (FLAG_LQT | FLAG_PENDING) == 0 {
+                // Cold: `tick_process` would only record the eval timer
+                // (excluded from protocol equality) and a zero LQT-size
+                // sample, restored in one batch below.
+                cold += 1;
+                continue;
+            }
+            if safe_period && f & FLAG_PENDING == 0 && t < view.safe_until[off] {
+                // Every LQT entry is inside its safe period: the seed
+                // evaluation bumps the skip counter per entry, samples
+                // the LQT size, and changes nothing else.
+                safe_skips += view.lqt_len[off] as u64;
+                sink.observe(agent_keys::LQT_SIZE, view.lqt_len[off] as f64);
+                continue;
+            }
+        } else if f & (FLAG_LQT | FLAG_PENDING | FLAG_SHADOW) == 0 && scratch.ib[0] >= nu {
+            // Inert-delivery skip: every inbox entry is a broadcast
+            // (unicasts sort first, so `ib[0] >= nu` means none), and the
+            // agent holds no query state a broadcast could touch. If each
+            // message is provably a no-op for such an agent
+            // ([`BcastClass`]), meter the reception and drop it without
+            // running `tick_process` — the seed run would only restore
+            // the zero LQT-size sample batched below.
+            let cell = grid.cell_of(pos);
+            let inert = scratch
+                .ib
+                .iter()
+                .all(|&k| match bcasts.class[(k - nu) as usize] {
+                    BcastClass::Inert => true,
+                    BcastClass::Outside(region) => !region.contains(cell),
+                    BcastClass::Hot => false,
+                });
+            if inert {
+                for &k in &scratch.ib {
+                    scratch.rx.push((i, broadcasts[(k - nu) as usize].2));
+                }
+                cold += 1;
+                continue;
+            }
+        }
+        if view.synced_at[off] != tick {
+            // The motion phase skipped this agent, so its internal
+            // pos/vel are stale; a same-cell non-focal sync is silent.
+            agent.tick_motion(t, pos, velocities[base + off], net);
+            view.synced_at[off] = tick;
+        }
+        for &k in &scratch.ib {
+            let bytes = if k < nu {
+                unicasts[k as usize].2
+            } else {
+                broadcasts[(k - nu) as usize].2
+            };
+            scratch.rx.push((i, bytes));
+        }
+        agent.tick_process(
+            t,
+            scratch.ib.iter().map(|&k| {
+                if k < nu {
+                    &*unicasts[k as usize].1
+                } else {
+                    &*broadcasts[(k - nu) as usize].1
+                }
+            }),
+            net,
+        );
+        view.refresh(off, agent);
+    }
+    if cold > 0 {
+        sink.observe_n(agent_keys::LQT_SIZE, 0.0, cold);
+    }
+    if safe_skips > 0 {
+        sink.add(agent_keys::SKIPPED_SAFE_PERIOD, safe_skips);
     }
 }
 

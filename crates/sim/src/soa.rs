@@ -1,0 +1,265 @@
+//! Struct-of-arrays scheduling mirror for the million-object tick path.
+//!
+//! At paper scale (10k objects) walking every agent's heap state each tick
+//! is fine; at 100k–1M it dominates the run. The observation behind the
+//! fast engine: in a MobiEyes steady state almost every agent is *cold* —
+//! it stayed in its grid cell, is not focal, received no downlink, and has
+//! an empty LQT (or one entirely inside its safe period). For such agents
+//! the seed tick is provably a no-op apart from a constant telemetry
+//! footprint, so the scheduler only needs a few bytes per agent to decide
+//! to skip it: its flat cell id, three boolean flags, its LQT length and
+//! its earliest safe-period deadline. [`AgentSoa`] mirrors exactly that
+//! into parallel vectors (positions and velocities already live in
+//! [`crate::mobility::Mobility`]'s own parallel vectors), sharded with the
+//! same contiguous chunks as the agents themselves, so the hot loops scan
+//! dense arrays and touch `MovingObjectAgent` heap state only for agents
+//! that actually do protocol work that tick.
+//!
+//! The mirror is *conservative*: whenever a step leaves the fast path
+//! (churn, offline agents, downlink faults, the seed engine), it is marked
+//! invalid wholesale and rebuilt lazily from agent state on the next fast
+//! step. Skipped agents have stale `pos`/`vel` inside the agent struct;
+//! the one ordering rule that keeps this sound is that any agent about to
+//! run `tick_process` is first re-synced through `tick_motion` (a silent
+//! position/velocity store when the cell is unchanged and the agent is not
+//! focal) — `synced_at` carries the tick stamp that enforces it.
+//!
+//! Equivalence contract (pinned by `tests/engine_equivalence.rs`): per
+//! tick, per shard sink, the fast path reproduces the seed path's exact
+//! message sequences and metric totals — cold agents restore their
+//! `agent.lqt_size` zero-sample via one batched [`observe_n`] call, and
+//! safe-period-skipped agents restore their `agent.skipped_safe_period`
+//! increment and LQT-size sample without touching the B-tree. The only
+//! deliberately unrestored signal is `agent.eval_nanos`, a wall-clock
+//! timer excluded from protocol equality.
+//!
+//! [`observe_n`]: mobieyes_telemetry::Telemetry::observe_n
+
+use mobieyes_core::{Downlink, MovingObjectAgent};
+use mobieyes_geo::GridRect;
+
+/// Flag bit: the agent is focal for at least one monitoring query. Focal
+/// agents can emit dead-reckoning reports without crossing a cell, so the
+/// motion phase can never skip them.
+pub const FLAG_FOCAL: u8 = 1;
+/// Flag bit: the agent's LQT is non-empty (it has queries to evaluate).
+pub const FLAG_LQT: u8 = 1 << 1;
+/// Flag bit: departures are buffered for the next evaluation; these force
+/// a full `tick_process` even inside every entry's safe period.
+pub const FLAG_PENDING: u8 = 1 << 2;
+/// Flag bit: the filter-shadow table is non-empty. A shadowed query makes
+/// otherwise-inert broadcasts observable (sequence refreshes, shadow
+/// teardown), so the inert-delivery skip requires this bit clear.
+pub const FLAG_SHADOW: u8 = 1 << 3;
+
+/// `synced_at` sentinel: agent `pos`/`vel` never synced under this mirror.
+pub const NEVER: u32 = u32::MAX;
+
+/// Per-shard reusable buffers for the fast processing phase. Cleared, not
+/// reallocated, every tick — steady-state ticks allocate nothing.
+#[derive(Default)]
+pub struct ShardScratch {
+    /// The current agent's inbox as indices into the tick's downlink
+    /// queues: `k < unicasts.len()` selects `unicasts[k]`, anything above
+    /// selects `broadcasts[k - unicasts.len()]` (queue order preserved:
+    /// unicasts first, then covering broadcasts, as `Net::deliver` does).
+    pub ib: Vec<u32>,
+    /// Received-byte ledger `(node, bytes)` replayed into the real
+    /// network's per-node meters after the shard scope ends.
+    pub rx: Vec<(u32, usize)>,
+}
+
+/// A shard's mutable window over the parallel vectors; one per worker,
+/// produced by [`shard_views`] with the same chunk size as the agent
+/// slices so `view[off]` and `agents[off]` are the same object.
+pub struct SoaShard<'a> {
+    pub cells: &'a mut [u32],
+    pub flags: &'a mut [u8],
+    pub lqt_len: &'a mut [u32],
+    pub safe_until: &'a mut [f64],
+    pub synced_at: &'a mut [u32],
+}
+
+impl SoaShard<'_> {
+    /// Re-mirrors one agent's scheduling state after it ran a real tick
+    /// phase (anything may have changed: downlinks install queries, cell
+    /// crossings drop them, `FocalNotify` flips focal-ness).
+    #[inline]
+    pub fn refresh(&mut self, off: usize, agent: &MovingObjectAgent) {
+        let (flags, lqt_len, safe_until) = classify(agent);
+        self.flags[off] = flags;
+        self.lqt_len[off] = lqt_len;
+        self.safe_until[off] = safe_until;
+    }
+}
+
+/// Computes one agent's `(flags, lqt_len, safe_until)` mirror row.
+#[inline]
+pub fn classify(agent: &MovingObjectAgent) -> (u8, u32, f64) {
+    let len = agent.lqt_len();
+    let mut flags = 0u8;
+    if agent.has_mq() {
+        flags |= FLAG_FOCAL;
+    }
+    if len > 0 {
+        flags |= FLAG_LQT;
+    }
+    if agent.has_pending_departures() {
+        flags |= FLAG_PENDING;
+    }
+    if !agent.shadow_is_empty() {
+        flags |= FLAG_SHADOW;
+    }
+    (flags, len as u32, agent.min_safe_deadline())
+}
+
+/// Per-tick classification of one broadcast for the inert-delivery skip:
+/// whether an agent with an empty LQT, no pending departures and an empty
+/// shadow table can drop the message unprocessed (bytes still metered —
+/// reception is physical, processing is not).
+#[derive(Clone, Copy)]
+pub enum BcastClass {
+    /// `VelocityChange`: only refreshes installed or shadowed queries, so
+    /// it is a no-op for every agent the skip flags admit.
+    Inert,
+    /// `QueryState`: a no-op exactly when the receiver's cell lies
+    /// *outside* this monitoring region (the outside branch only removes
+    /// state the agent does not have); inside, it installs or shadows.
+    Outside(GridRect),
+    /// Everything else (removals write tombstones, heartbeats trigger
+    /// uplinks, ...): never skippable.
+    Hot,
+}
+
+impl BcastClass {
+    pub fn of(msg: &Downlink) -> BcastClass {
+        match msg {
+            Downlink::VelocityChange { .. } => BcastClass::Inert,
+            Downlink::QueryState { info } => BcastClass::Outside(info.mon_region),
+            _ => BcastClass::Hot,
+        }
+    }
+}
+
+/// The struct-of-arrays mirror itself, plus the persistent scratch the
+/// fast phases reuse tick over tick.
+pub struct AgentSoa {
+    /// Flat (clamped) grid-cell id per agent — the motion-phase skip key.
+    pub cells: Vec<u32>,
+    /// `FLAG_*` bits per agent.
+    pub flags: Vec<u8>,
+    /// LQT length per agent (restores the batched telemetry on skips).
+    pub lqt_len: Vec<u32>,
+    /// Earliest safe-period deadline per agent (`-inf` when unarmed);
+    /// the whole agent skips evaluation while `t < safe_until`.
+    pub safe_until: Vec<f64>,
+    /// Tick stamp of the agent's last `pos`/`vel` sync ([`NEVER`] = not
+    /// since the last rebuild). Guards the stale-position rule above.
+    pub synced_at: Vec<u32>,
+    /// Sorted `(node, unicast queue index)` runs for the tick — the
+    /// persistent replacement for the per-tick `HashMap<u32, Vec<usize>>`
+    /// the seed parallel path used to rebuild. Sorting the pairs keeps
+    /// each node's queue order because the index component is strictly
+    /// increasing within a node.
+    pub pairs: Vec<(u32, u32)>,
+    /// Sorted `(station, broadcast queue index)` runs for the tick: the
+    /// station-bucketed broadcast index. Delivery probes only the 3×3
+    /// station neighborhood of an agent instead of scanning every
+    /// broadcast (a station's circle reaches `alen·√2/2 < 1.5·alen`, so
+    /// no center outside the neighborhood can cover the agent).
+    pub bcast_pairs: Vec<(u32, u32)>,
+    /// `station -> first index in bcast_pairs` (length `stations + 1`),
+    /// so a station's run is an O(1) slice.
+    pub bcast_offsets: Vec<u32>,
+    /// Per-broadcast [`BcastClass`] for the tick, indexed by queue
+    /// position.
+    pub bcast_class: Vec<BcastClass>,
+    /// One reusable scratch per shard.
+    pub scratch: Vec<ShardScratch>,
+    /// Whether the mirror matches agent state. Any step that leaves the
+    /// fast path clears this; the next fast step rebuilds lazily.
+    pub valid: bool,
+}
+
+impl AgentSoa {
+    pub fn new(n: usize, shards: usize) -> Self {
+        AgentSoa {
+            cells: vec![0; n],
+            flags: vec![0; n],
+            lqt_len: vec![0; n],
+            safe_until: vec![f64::NEG_INFINITY; n],
+            synced_at: vec![NEVER; n],
+            pairs: Vec::new(),
+            bcast_pairs: Vec::new(),
+            bcast_offsets: Vec::new(),
+            bcast_class: Vec::new(),
+            scratch: (0..shards).map(|_| ShardScratch::default()).collect(),
+            valid: false,
+        }
+    }
+
+    /// Re-mirrors row `i` (rebuild path; the sharded phases go through
+    /// [`SoaShard::refresh`]).
+    #[inline]
+    pub fn refresh_row(&mut self, i: usize, agent: &MovingObjectAgent) {
+        let (flags, lqt_len, safe_until) = classify(agent);
+        self.flags[i] = flags;
+        self.lqt_len[i] = lqt_len;
+        self.safe_until[i] = safe_until;
+    }
+
+    /// Classifies the tick's broadcasts for the inert-delivery skip, in
+    /// queue order.
+    pub fn classify_broadcasts<'a>(&mut self, messages: impl Iterator<Item = &'a Downlink>) {
+        self.bcast_class.clear();
+        self.bcast_class.extend(messages.map(BcastClass::of));
+    }
+
+    /// Rebuilds the station-bucketed broadcast index for the tick from
+    /// each broadcast's station id, in queue order. Sorting the `(station,
+    /// queue index)` pairs keeps every station's run in ascending queue
+    /// order (the index component is strictly increasing).
+    pub fn bucket_broadcasts(&mut self, stations: usize, station_ids: impl Iterator<Item = u32>) {
+        self.bcast_pairs.clear();
+        for (k, s) in station_ids.enumerate() {
+            self.bcast_pairs.push((s, k as u32));
+        }
+        self.bcast_pairs.sort_unstable();
+        self.bcast_offsets.clear();
+        self.bcast_offsets.resize(stations + 1, 0);
+        for &(s, _) in &self.bcast_pairs {
+            self.bcast_offsets[s as usize + 1] += 1;
+        }
+        for i in 0..stations {
+            self.bcast_offsets[i + 1] += self.bcast_offsets[i];
+        }
+    }
+}
+
+/// Splits the parallel vectors into per-shard windows with the same chunk
+/// size the tick engine uses for the agent slices.
+pub fn shard_views<'a>(
+    cells: &'a mut [u32],
+    flags: &'a mut [u8],
+    lqt_len: &'a mut [u32],
+    safe_until: &'a mut [f64],
+    synced_at: &'a mut [u32],
+    chunk: usize,
+) -> Vec<SoaShard<'a>> {
+    cells
+        .chunks_mut(chunk)
+        .zip(flags.chunks_mut(chunk))
+        .zip(lqt_len.chunks_mut(chunk))
+        .zip(safe_until.chunks_mut(chunk))
+        .zip(synced_at.chunks_mut(chunk))
+        .map(
+            |((((cells, flags), lqt_len), safe_until), synced_at)| SoaShard {
+                cells,
+                flags,
+                lqt_len,
+                safe_until,
+                synced_at,
+            },
+        )
+        .collect()
+}

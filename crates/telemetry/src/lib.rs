@@ -99,6 +99,14 @@ impl Telemetry {
         self.lock().observe(key, v);
     }
 
+    /// Batched observe: records `n` identical observations with one lock
+    /// acquisition and one histogram update.
+    pub fn observe_n(&self, key: &'static str, v: f64, n: u64) {
+        if n > 0 {
+            self.lock().observe_n(key, v, n);
+        }
+    }
+
     pub fn wall_add(&self, key: &'static str, nanos: u64) {
         self.lock().wall_add(key, nanos);
     }

@@ -51,6 +51,20 @@ impl Histogram {
         self.sum += v;
     }
 
+    /// Records `n` identical observations in one update. Because observed
+    /// values in this codebase are integer-valued, `v * n` equals the sum
+    /// of `n` individual `observe(v)` calls exactly, so a batched record
+    /// is indistinguishable from the unbatched one.
+    pub fn observe_n(&mut self, v: f64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let i = self.edges.partition_point(|e| *e <= v);
+        self.counts[i] += n;
+        self.count += n;
+        self.sum += v * n as f64;
+    }
+
     pub fn edges(&self) -> &[f64] {
         &self.edges
     }
@@ -170,6 +184,18 @@ impl MetricsRegistry {
             .entry(key)
             .or_insert_with(|| Histogram::new(DEFAULT_BUCKET_EDGES.to_vec()))
             .observe(v);
+    }
+
+    /// Batched [`observe`](Self::observe): `n` identical observations in
+    /// one histogram update.
+    pub fn observe_n(&mut self, key: &'static str, v: f64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.histograms
+            .entry(key)
+            .or_insert_with(|| Histogram::new(DEFAULT_BUCKET_EDGES.to_vec()))
+            .observe_n(v, n);
     }
 
     pub fn histogram(&self, key: &str) -> Option<&Histogram> {

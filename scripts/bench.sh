@@ -7,6 +7,9 @@
 #  - crates/bench/src/bin/cluster.rs: grid-sharded server-tier scaling
 #    (per-partition load + bus traffic over 1..8 partitions)
 #    -> BENCH_cluster.json
+#  - crates/bench/src/bin/scale.rs: struct-of-arrays hot-path sweep from
+#    2k to 1M objects at constant density, plus the seed-engine
+#    head-to-head at 100k -> BENCH_scale.json
 # All JSON files land at the repository root. Every file records host
 # provenance — the machine's core count, the MOBIEYES_THREADS setting and
 # the cluster-bus transport (MOBIEYES_TRANSPORT, default lockstep) in
@@ -27,3 +30,4 @@ echo "host: $(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo '?') co
 cargo run --release -p mobieyes-bench --bin parallel
 cargo run --release -p mobieyes-bench --bin chaos
 cargo run --release -p mobieyes-bench --bin cluster
+cargo run --release -p mobieyes-bench --bin scale

@@ -77,6 +77,21 @@ awk -v a="$skew_after" -v b="$skew_before" 'BEGIN { exit !(a < b) }' \
 cargo run -q --release --bin mobieyes -- --partitions 4 --rebalance-ticks 3 \
   --objects 400 --queries 40 --nmo 40 --ticks 8 --warmup 2 --area 10000 >/dev/null
 
+echo "==> scale smoke (struct-of-arrays hot path at 20k objects)"
+# The quick scale sweep runs the SoA engine up to 20 000 objects plus the
+# seed head-to-head at the ceiling (engine equivalence is pinned byte for
+# byte by tests/engine_equivalence.rs; this stage guards the wall clock).
+# The budget is ~10x the measured steady state on a slow host — it only
+# catches order-of-magnitude regressions, never timing noise.
+scale_out=$(mktemp)
+MOBIEYES_QUICK=1 cargo run -q --release -p mobieyes-bench --bin scale >/dev/null
+mv BENCH_scale.json "$scale_out"
+assert_json "$scale_out" require bench scale-sweep
+scale_spt=$(assert_json "$scale_out" max seconds_per_tick)
+awk -v spt="$scale_spt" 'BEGIN { exit !(spt < 0.25) }' \
+  || { echo "scale smoke: ${scale_spt}s/tick blows the 0.25s budget"; exit 1; }
+rm -f "$scale_out"
+
 echo "==> socket smoke (multi-process partitions over UDS)"
 # Two partition services in separate OS processes behind Unix-domain
 # sockets, driven for 50 ticks by the coordinator; the final result digest

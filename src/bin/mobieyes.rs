@@ -44,6 +44,10 @@ OPTIONS:
                        auto from MOBIEYES_TRANSPORT, else lockstep. Socket
                        backends pump the same envelopes through a real
                        kernel socket pair        [default: lockstep]
+    --engine <E>       tick engine: soa | seed; unset = auto from
+                       MOBIEYES_ENGINE, else soa. The struct-of-arrays
+                       engine skips provably-inert agents; results are
+                       byte-identical either way         [default: soa]
     --rebalance-ticks <N> rebalance the partition map from observed load
                        every N ticks; 0 = auto from
                        MOBIEYES_REBALANCE_TICKS, else off. Never changes
@@ -115,6 +119,10 @@ fn parse_args() -> Result<Cli, String> {
                 builder = builder.transport(
                     TransportKind::parse(&value("--transport")?).map_err(|e| e.to_string())?,
                 );
+            }
+            "--engine" => {
+                builder = builder
+                    .engine(EngineKind::parse(&value("--engine")?).map_err(|e| e.to_string())?);
             }
             "--rebalance-ticks" => {
                 builder = builder.rebalance_ticks(parse(&value("--rebalance-ticks")?)?);

@@ -156,9 +156,9 @@ pub mod prelude {
     };
     pub use mobieyes_runtime::{ThreadedOutcome, ThreadedSim};
     pub use mobieyes_sim::{
-        run_approach, run_approach_with, Approach, ClusterClient, ConfigError, HostedPartitions,
-        MobiEyesSim, Mobility, RunMetrics, RunReport, SimConfig, SimConfigBuilder, TransportKind,
-        Workload,
+        run_approach, run_approach_with, Approach, ClusterClient, ConfigError, EngineKind,
+        HostedPartitions, MobiEyesSim, Mobility, RunMetrics, RunReport, SimConfig,
+        SimConfigBuilder, TransportKind, Workload,
     };
     pub use mobieyes_telemetry::{
         MetricsRegistry, MetricsSnapshot, Phase, Telemetry, TickProfiler,
