@@ -19,14 +19,22 @@ use mobieyes_core::{
     ClusterMsg, Downlink, Filter, ObjectId, PartitionScope, ProtocolConfig, QueryId, Server, Uplink,
 };
 use mobieyes_geo::{CellId, LinearMotion, QueryRegion};
+use mobieyes_net::TransportError;
 use mobieyes_net::{
     BaseStationLayout, FaultPlan, FramedConn, LockstepTransport, MessageMeter, NetworkSim, NodeId,
     SocketTransport, Transport, WireSized,
 };
-use mobieyes_telemetry::{EventKind, Telemetry};
+use mobieyes_telemetry::{rec_keys, EventKind, Telemetry};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
+
+/// Default per-RPC read deadline for remote partitions: far above any
+/// healthy round trip, so a partition process that *hangs* without
+/// closing its socket surfaces as a classified
+/// [`TransportError::Timeout`] instead of blocking the coordinator
+/// forever. Override via [`ClusterServer::set_rpc_deadline`].
+const DEFAULT_RPC_DEADLINE: std::time::Duration = std::time::Duration::from_secs(30);
 
 /// One bus frame: an inter-server message plus its destination partition.
 #[derive(Debug, Clone)]
@@ -61,6 +69,32 @@ struct PendingInstall {
     expires_at: Option<f64>,
 }
 
+/// The coordinator's durable record of an installed query — enough to
+/// re-issue the install if the partition homing the query dies before the
+/// lease machinery would have repaired it. The registry is coordinator
+/// state (like `pending`), so it survives any partition crash.
+#[derive(Debug)]
+struct RegisteredQuery {
+    focal: ObjectId,
+    region: QueryRegion,
+    filter: Arc<Filter>,
+    expires_at: Option<f64>,
+}
+
+/// What one [`ClusterServer::recover_crashed`] pass did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Partitions newly detected dead and fenced off this pass.
+    pub partitions: Vec<u32>,
+    /// Flat cells reassigned from the dead partitions to survivors.
+    pub cells_reassigned: usize,
+    /// Registered queries that were lost with the dead partitions and
+    /// re-entered the pending-install pipeline.
+    pub queries_reinstalled: usize,
+    /// Orphaned bus envelopes re-routed to the new owners.
+    pub envelopes_rerouted: usize,
+}
+
 /// Grid-sharded MobiEyes server tier.
 ///
 /// Mirrors the [`Server`] driver surface (`install_query`, `heartbeat`,
@@ -89,6 +123,28 @@ pub struct ClusterServer {
     /// Per-cell (flat index) count of primary uplinks since the last
     /// rebalance install — the load signal the rebalance planner cuts.
     cell_ops: Vec<u64>,
+    /// Coordinator's view of the shared epoch — the same `Arc` every
+    /// partition scope (or remote handle) folds into; kept so recovery
+    /// can construct replacement partitions.
+    epoch: Arc<AtomicU64>,
+    /// Base-station coverage length, kept so a respawned remote partition
+    /// can be re-initialized with the identical downlink layout.
+    alen: f64,
+    /// Partitions currently fenced off as dead (killed in-process or
+    /// detected via a classified transport failure). A dead partition
+    /// owns no cells after its failover fence and receives nothing.
+    dead: BTreeSet<u32>,
+    /// Dead partitions whose cells have not been failed over yet —
+    /// drained by [`Self::recover_crashed`].
+    unfenced: Vec<u32>,
+    /// The flat-cell span `[start, end)` each dead partition owned when
+    /// its failover fence ran, so a respawn can re-adopt exactly it.
+    lost_spans: BTreeMap<u32, (usize, usize)>,
+    /// Durable install records for crash re-installation.
+    registry: BTreeMap<QueryId, RegisteredQuery>,
+    /// Bus envelopes addressed to a down partition, captured by the pump
+    /// instead of being applied; the next failover fence re-routes them.
+    orphans: Vec<Envelope>,
 }
 
 impl ClusterServer {
@@ -142,7 +198,10 @@ impl ClusterServer {
                 ))
             })
             .collect();
-        Self::assemble(config, map, partitions, sinks, shared, bus, bus_sink)
+        let alen = config.grid.alpha;
+        Self::assemble(
+            config, map, partitions, sinks, shared, bus, bus_sink, epoch, alen,
+        )
     }
 
     /// A multi-process deployment: each connection drives one partition
@@ -164,6 +223,7 @@ impl ClusterServer {
             .enumerate()
             .map(|(p, conn)| {
                 let remote = RemotePartition::new(p as u32, conn, Arc::clone(&epoch));
+                remote.set_rpc_deadline(Some(DEFAULT_RPC_DEADLINE));
                 remote
                     .init(InitConfig {
                         universe: config.grid.universe,
@@ -198,9 +258,12 @@ impl ClusterServer {
             shared,
             Box::new(bus),
             bus_sink,
+            epoch,
+            alen,
         )
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn assemble(
         config: Arc<ProtocolConfig>,
         map: PartitionMap,
@@ -209,6 +272,8 @@ impl ClusterServer {
         shared: Telemetry,
         bus: Box<dyn Transport<Envelope>>,
         bus_sink: Telemetry,
+        epoch: Arc<AtomicU64>,
+        alen: f64,
     ) -> Self {
         let n = partitions.len();
         let cells = config.grid.num_cells();
@@ -226,6 +291,13 @@ impl ClusterServer {
             last_heartbeat: f64::NEG_INFINITY,
             ops: vec![0; n],
             cell_ops: vec![0; cells],
+            epoch,
+            alen,
+            dead: BTreeSet::new(),
+            unfenced: Vec::new(),
+            lost_spans: BTreeMap::new(),
+            registry: BTreeMap::new(),
+            orphans: Vec::new(),
         }
     }
 
@@ -415,12 +487,35 @@ impl ClusterServer {
         }
         self.bus.flush().expect("bus flush failed");
         for (_, env) in self.bus.poll().expect("bus poll failed") {
+            // Never deliver to a down partition: a remote would silently
+            // drop the frame; a killed local slot holds a fresh empty
+            // server that must not adopt migrated state. Captured frames
+            // are re-routed (or consciously dropped) at the next fence.
+            if self.partition_down(env.to) {
+                self.orphans.push(env);
+                continue;
+            }
             self.partitions[env.to as usize].apply_cluster_msg(&env.msg);
         }
         debug_assert!(self
             .partitions
             .iter_mut()
             .all(|s| s.take_outbox().is_empty()));
+    }
+
+    /// Whether partition `p` is known dead: fenced off already, or its
+    /// remote handle died mid-tick (classified transport failure) and the
+    /// fence has not run yet.
+    fn partition_down(&self, p: u32) -> bool {
+        self.dead.contains(&p) || self.partitions[p as usize].crashed().is_some()
+    }
+
+    /// The lowest-indexed live partition — the shared-epoch anchor and
+    /// counter home once partition 0 is allowed to die.
+    fn first_live(&self) -> usize {
+        (0..self.partitions.len())
+            .find(|&p| !self.partition_down(p as u32))
+            .expect("at least one partition must survive")
     }
 
     /// Folds the per-partition sinks into the shared protocol sink, in
@@ -452,6 +547,15 @@ impl ClusterServer {
         let qid = QueryId(self.next_qid);
         self.next_qid += 1;
         let filter = Arc::new(filter);
+        self.registry.insert(
+            qid,
+            RegisteredQuery {
+                focal,
+                region,
+                filter: Arc::clone(&filter),
+                expires_at,
+            },
+        );
         if let Some(home) = self.find_focal(focal) {
             self.partitions[home].complete_install_at(qid, focal, region, filter, expires_at, net);
             self.pump_bus();
@@ -475,6 +579,7 @@ impl ClusterServer {
 
     /// Removes a query from the system, wherever it is homed.
     pub fn remove_query(&mut self, qid: QueryId, net: &mut Net) -> bool {
+        self.registry.remove(&qid);
         let Some(home) = self.find_query(qid) else {
             return false;
         };
@@ -499,6 +604,7 @@ impl ClusterServer {
         expired.sort_unstable_by_key(|&(_, q)| q);
         let mut out = Vec::with_capacity(expired.len());
         for (home, qid) in expired {
+            self.registry.remove(&qid);
             self.sinks[home].event(EventKind::QueryExpired { qid: qid.0 as u64 });
             self.partitions[home].remove_query(qid, net);
             self.pump_bus();
@@ -592,7 +698,8 @@ impl ClusterServer {
     }
 
     fn bump_shared_epoch(&mut self) -> u64 {
-        self.partitions[0].bump_epoch_for_coordinator()
+        let p = self.first_live();
+        self.partitions[p].bump_epoch_for_coordinator()
     }
 
     /// Drains and processes all pending uplink messages. Call once per
@@ -747,9 +854,13 @@ impl ClusterServer {
         let Some(pending) = self.pending.remove(&oid) else {
             return;
         };
-        let home = self
-            .find_focal(oid)
-            .expect("pending install completes after FOT row exists");
+        // The FOT row normally exists by now, but the partition it was
+        // just created on may have died mid-tick; keep the installs
+        // deferred and let the heartbeat retry.
+        let Some(home) = self.find_focal(oid) else {
+            self.pending.insert(oid, pending);
+            return;
+        };
         for p in pending {
             self.partitions[home].complete_install_at(
                 p.qid,
@@ -897,6 +1008,12 @@ impl ClusterServer {
         if self.has_remote() {
             return false;
         }
+        // The load planner assumes every partition can own cells; while
+        // any slot is dead (or a crash is awaiting its fence) the
+        // recovery fences own the map.
+        if !self.dead.is_empty() || !self.unfenced.is_empty() {
+            return false;
+        }
         if n <= 1 || self.cell_ops.iter().all(|&c| c == 0) {
             return false;
         }
@@ -978,6 +1095,472 @@ impl ClusterServer {
         true
     }
 
+    // --- partition crash recovery (DESIGN.md §13) -------------------------
+
+    /// Partitions currently fenced off as dead, ascending.
+    pub fn dead_partitions(&self) -> Vec<u32> {
+        self.dead.iter().copied().collect()
+    }
+
+    /// Installs (or clears) the per-RPC read deadline on every remote
+    /// handle, so a partition process that hangs without closing its
+    /// socket surfaces as a classified [`TransportError::Timeout`] instead
+    /// of blocking the coordinator forever.
+    pub fn set_rpc_deadline(&self, dur: Option<std::time::Duration>) {
+        for p in &self.partitions {
+            p.set_rpc_deadline(dur);
+        }
+    }
+
+    /// In-process crash injection: drops partition `p`'s entire state on
+    /// the floor — the lockstep analogue of `kill -9` on a partition
+    /// process — and records it for the next [`Self::recover_crashed`]
+    /// fence. The slot is swapped to a fresh empty scoped server so a
+    /// later [`Self::respawn_partition`] models a restarted process.
+    pub fn kill_partition(&mut self, p: u32) {
+        assert!(
+            !self.partitions[p as usize].is_remote(),
+            "remote partitions die for real; kill the process instead"
+        );
+        if self.dead.contains(&p) {
+            return;
+        }
+        let fresh = Server::new(Arc::clone(&self.config))
+            .with_telemetry(self.sinks[p as usize].clone())
+            .with_scope(PartitionScope::new(
+                p,
+                Arc::clone(self.map.table()),
+                Arc::clone(&self.epoch),
+            ));
+        self.partitions[p as usize].replace_local(fresh);
+        self.dead.insert(p);
+        self.unfenced.push(p);
+        self.bus_sink.incr(rec_keys::CRASH_DETECTIONS);
+        self.bus_sink.event(EventKind::PartitionCrashed {
+            partition: p as u64,
+        });
+    }
+
+    /// Scans for partitions that died since the last pass: remote handles
+    /// whose RPC path hit a classified transport failure mid-tick, plus an
+    /// active liveness probe (one trivial round trip per live remote, so a
+    /// peer that died silently between ticks is caught here rather than
+    /// corrupting the next fan-out).
+    fn detect_crashes(&mut self) {
+        let mut newly = Vec::new();
+        for p in 0..self.partitions.len() as u32 {
+            if self.dead.contains(&p) {
+                continue;
+            }
+            let h = &self.partitions[p as usize];
+            if h.crashed().is_some() || !h.probe_alive() {
+                newly.push(p);
+            }
+        }
+        for p in newly {
+            self.dead.insert(p);
+            self.unfenced.push(p);
+            self.bus_sink.incr(rec_keys::CRASH_DETECTIONS);
+            self.bus_sink.event(EventKind::PartitionCrashed {
+                partition: p as u64,
+            });
+        }
+    }
+
+    /// Detects dead partitions and runs the failover fence over every one
+    /// not yet fenced. Returns `None` when nothing new was found. Call at
+    /// tick boundaries (next to [`Self::rebalance`]); the per-tick cost
+    /// with all partitions healthy is one liveness probe per remote.
+    pub fn recover_crashed(&mut self, net: &mut Net) -> Option<RecoveryReport> {
+        self.detect_crashes();
+        if self.unfenced.is_empty() {
+            return None;
+        }
+        let newly = std::mem::take(&mut self.unfenced);
+        Some(self.fail_over(newly, net))
+    }
+
+    /// The failover fence: reassigns every cell owned by the newly dead
+    /// partitions to survivors under an epoch fence, re-routes orphaned
+    /// bus traffic, and re-enters lost queries into the pending-install
+    /// pipeline. Unlike a rebalance, no state rides along — the dead
+    /// rows are unrecoverable. Each adopter rebuilds what it can from its
+    /// own SQT and stubs ([`ClusterMsg::RecoverCells`]); everything else
+    /// reconverges through the §8 machinery (heartbeat digests → agent
+    /// `Resync` → re-install at the new owners).
+    fn fail_over(&mut self, newly: Vec<u32>, net: &mut Net) -> RecoveryReport {
+        let n = self.partitions.len();
+        assert!(
+            self.dead.len() < n,
+            "every partition is dead; no survivor can adopt the cells"
+        );
+        // (1) Quiesce: live traffic drains; frames to down partitions are
+        // captured in `orphans` by the pump.
+        self.pump_bus();
+        let saved_fault = self.bus.fault().clone();
+        self.bus.set_fault(FaultPlan::none());
+        // (2) Fence bump — post-fence re-installs carry seq stamps above
+        // anything a stale stub still holds.
+        let epoch = self.bump_shared_epoch();
+        self.bus_sink.incr(rec_keys::FENCES);
+
+        // (3) Degenerate rebalance: record each dead partition's span for
+        // a later re-adoption, zero its width, and split every maximal
+        // dead run between its nearest live neighbors (midpoint split —
+        // each block stays contiguous).
+        let old_bounds = self.map.bounds_snapshot();
+        for &p in &newly {
+            self.lost_spans
+                .insert(p, (old_bounds[p as usize], old_bounds[p as usize + 1]));
+        }
+        let alive: Vec<bool> = (0..n).map(|i| !self.dead.contains(&(i as u32))).collect();
+        let mut w: Vec<usize> = (0..n).map(|i| old_bounds[i + 1] - old_bounds[i]).collect();
+        let mut i = 0;
+        while i < n {
+            if alive[i] {
+                i += 1;
+                continue;
+            }
+            let start = i;
+            let mut run = 0usize;
+            while i < n && !alive[i] {
+                run += w[i];
+                w[i] = 0;
+                i += 1;
+            }
+            let left = (0..start).rev().find(|&j| alive[j]);
+            let right = (i..n).find(|&j| alive[j]);
+            match (left, right) {
+                (Some(l), Some(r)) => {
+                    let half = run / 2;
+                    w[l] += half;
+                    w[r] += run - half;
+                }
+                (Some(l), None) => w[l] += run,
+                (None, Some(r)) => w[r] += run,
+                (None, None) => unreachable!("a live partition exists"),
+            }
+        }
+        let mut new_bounds = vec![0usize; n + 1];
+        for i in 0..n {
+            new_bounds[i + 1] = new_bounds[i] + w[i];
+        }
+        let generation = self.map.install(&new_bounds);
+        for (p, &live) in alive.iter().enumerate() {
+            if live {
+                self.partitions[p].install_bounds(generation, &new_bounds);
+            }
+        }
+
+        // (4) Orphaned envelopes, re-routed under the new map. A focal
+        // migration caught mid-handoff goes to the new owner of its
+        // anchor cell; stub synchronization is ownership- and seq-guarded
+        // (idempotent), so every live partition gets a copy; stale
+        // generation-stamped transfers are dead by construction. Runs
+        // BEFORE the RecoverCells rebuild so a re-routed home row is in
+        // the adopter's SQT when its new cells' RQI rows are recomputed.
+        let orphans = std::mem::take(&mut self.orphans);
+        let mut rerouted = 0usize;
+        let mut dropped = 0usize;
+        for env in orphans {
+            match &env.msg {
+                ClusterMsg::MigrateFocal {
+                    motion, queries, ..
+                } => {
+                    let anchor = queries
+                        .first()
+                        .map(|q| q.curr_cell)
+                        .unwrap_or_else(|| self.config.grid.cell_of(motion.pos));
+                    let to = self.map.owner_of_cell(&self.config.grid, anchor) as usize;
+                    if alive[to] {
+                        self.partitions[to].apply_cluster_msg(&env.msg);
+                        rerouted += 1;
+                    } else {
+                        dropped += 1;
+                    }
+                }
+                ClusterMsg::StubUpdate { .. }
+                | ClusterMsg::StubMotion { .. }
+                | ClusterMsg::StubRemove { .. } => {
+                    for (p, &live) in alive.iter().enumerate() {
+                        if live {
+                            self.partitions[p].apply_cluster_msg(&env.msg);
+                        }
+                    }
+                    rerouted += 1;
+                }
+                ClusterMsg::RebalanceCells { .. } | ClusterMsg::RecoverCells { .. } => {
+                    dropped += 1;
+                }
+            }
+        }
+        self.pump_bus();
+        self.bus_sink
+            .add(rec_keys::ENVELOPES_REROUTED, rerouted as u64);
+        self.bus_sink
+            .add(rec_keys::ENVELOPES_DROPPED, dropped as u64);
+
+        // (5) Adopters rebuild the RQI rows of their new cells from their
+        // own query tables; generation-guarded exactly like a rebalance
+        // transfer. Applied directly — this is a coordinator control
+        // action, not data-path traffic.
+        let owner_in = |bounds: &[usize], flat: usize| -> u32 {
+            (bounds.partition_point(|&b| b <= flat) - 1) as u32
+        };
+        let mut adopt: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
+        let mut cells_reassigned = 0usize;
+        for &p in &newly {
+            let (s, e) = self.lost_spans[&p];
+            cells_reassigned += e - s;
+            for flat in s..e {
+                adopt
+                    .entry(owner_in(&new_bounds, flat))
+                    .or_default()
+                    .push(flat as u32);
+            }
+            self.bus_sink.event(EventKind::PartitionFailedOver {
+                partition: p as u64,
+                cells: (e - s) as u64,
+            });
+        }
+        for (to, cells) in adopt {
+            let msg = ClusterMsg::RecoverCells {
+                generation,
+                epoch,
+                cells,
+            };
+            self.partitions[to as usize].apply_cluster_msg(&msg);
+        }
+        self.bus_sink
+            .add(rec_keys::CELLS_FAILED_OVER, cells_reassigned as u64);
+
+        // (6) Hygiene, then re-enter every query lost with the dead
+        // partitions into the pending-install pipeline: the agent answers
+        // the PositionRequest, the focal row re-forms at the new owner,
+        // and the deferred install completes with the ORIGINAL query id
+        // (result digests stay comparable with an uncrashed run).
+        for (p, &live) in alive.iter().enumerate() {
+            if live {
+                self.partitions[p].prune_stubs();
+            }
+        }
+        let mut present: BTreeSet<QueryId> = BTreeSet::new();
+        for (p, &live) in alive.iter().enumerate() {
+            if live {
+                present.extend(self.partitions[p].query_ids());
+            }
+        }
+        for q in self.pending.values() {
+            present.extend(q.iter().map(|pi| pi.qid));
+        }
+        let lost: Vec<QueryId> = self
+            .registry
+            .keys()
+            .copied()
+            .filter(|q| !present.contains(q))
+            .collect();
+        let mut focals: BTreeSet<ObjectId> = BTreeSet::new();
+        for qid in &lost {
+            let r = &self.registry[qid];
+            focals.insert(r.focal);
+            self.pending
+                .entry(r.focal)
+                .or_default()
+                .push(PendingInstall {
+                    qid: *qid,
+                    region: r.region,
+                    filter: Arc::clone(&r.filter),
+                    expires_at: r.expires_at,
+                });
+        }
+        let first_live = self.first_live();
+        for oid in &focals {
+            self.sinks[first_live].incr(srv_keys::UNICAST_OPS);
+            net.send_unicast(oid.node(), Downlink::PositionRequest);
+        }
+        self.bus_sink
+            .add(rec_keys::QUERIES_REINSTALLED, lost.len() as u64);
+
+        self.bus.set_fault(saved_fault);
+        // Ownership moved; the load observation window restarts.
+        for c in self.cell_ops.iter_mut() {
+            *c = 0;
+        }
+        self.merge_sinks();
+        RecoveryReport {
+            partitions: newly,
+            cells_reassigned,
+            queries_reinstalled: lost.len(),
+            envelopes_rerouted: rerouted,
+        }
+    }
+
+    /// Brings a killed in-process partition back: its slot already holds
+    /// the fresh empty server installed by [`Self::kill_partition`], so
+    /// this is purely the re-adoption fence. The failover fence must have
+    /// run first (the span to re-adopt is recorded there).
+    pub fn respawn_partition(&mut self, p: u32) {
+        assert!(self.dead.contains(&p), "respawn of a live partition");
+        assert!(
+            !self.unfenced.contains(&p),
+            "failover fence must run before a respawn"
+        );
+        self.dead.remove(&p);
+        self.readopt(p);
+    }
+
+    /// Respawned-process variant: wraps the supervisor's fresh connection
+    /// (hello exchange completed) in a new remote handle — the dead one is
+    /// never reused — re-initializes the process with the deployment
+    /// config, syncs its ownership table and re-adopts its span.
+    pub fn respawn_remote(&mut self, p: u32, conn: FramedConn) -> Result<(), TransportError> {
+        assert!(self.dead.contains(&p), "respawn of a live partition");
+        assert!(
+            !self.unfenced.contains(&p),
+            "failover fence must run before a respawn"
+        );
+        let remote = RemotePartition::new(p, conn, Arc::clone(&self.epoch));
+        remote.set_rpc_deadline(Some(DEFAULT_RPC_DEADLINE));
+        remote.init(InitConfig {
+            universe: self.config.grid.universe,
+            alpha: self.config.grid.alpha,
+            alen: self.alen,
+            delta: self.config.delta,
+            propagation: self.config.propagation,
+            grouping: self.config.grouping,
+            safe_period: self.config.safe_period,
+            deliver_results: self.config.deliver_results,
+            system_max_speed: self.config.system_max_speed,
+            lease_secs: self.config.lease_secs,
+            heartbeat_secs: self.config.heartbeat_secs,
+            partition: p,
+            num_partitions: self.partitions.len() as u32,
+        })?;
+        self.partitions[p as usize] = PartitionHandle::Remote(remote);
+        self.dead.remove(&p);
+        self.readopt(p);
+        Ok(())
+    }
+
+    /// The re-adoption fence: restores the respawned partition's saved
+    /// span (clamping the current cuts — the exact inverse of the
+    /// failover split when no rebalance intervened) and moves the interim
+    /// owners' state back through the rebalance transfer machinery, this
+    /// time with content (the survivors' rows are live state worth
+    /// preserving, unlike the crashed rows the failover wrote off).
+    fn readopt(&mut self, p: u32) {
+        let n = self.partitions.len();
+        debug_assert!(
+            self.unfenced.is_empty(),
+            "re-adoption requires every crash to be fenced"
+        );
+        // (1) Quiesce + fence.
+        self.pump_bus();
+        let saved_fault = self.bus.fault().clone();
+        self.bus.set_fault(FaultPlan::none());
+        self.bump_shared_epoch();
+        self.bus_sink.incr(rec_keys::FENCES);
+
+        // (2) Restore the saved span by clamping: cuts at or below `p`
+        // come down to the span start, cuts above go up to its end.
+        let (s, e) = self
+            .lost_spans
+            .remove(&p)
+            .expect("failover recorded the lost span");
+        let cur = self.map.bounds_snapshot();
+        let mut new_bounds = cur.clone();
+        for b in new_bounds.iter_mut().take(p as usize + 1).skip(1) {
+            *b = (*b).min(s);
+        }
+        for b in new_bounds.iter_mut().take(n).skip(p as usize + 1) {
+            *b = (*b).max(e);
+        }
+        let generation = self.map.install(&new_bounds);
+        for q in 0..n {
+            if !self.dead.contains(&(q as u32)) {
+                self.partitions[q].install_bounds(generation, &new_bounds);
+            }
+        }
+        // The respawned slot starts at time zero; align it before any
+        // lease-stamped rows arrive.
+        self.partitions[p as usize].set_time(self.now);
+
+        // (3) Transfer every reassigned cell verbatim from its interim
+        // owner (always live — failover only assigns to survivors).
+        let owner_in = |bounds: &[usize], flat: usize| -> u32 {
+            (bounds.partition_point(|&b| b <= flat) - 1) as u32
+        };
+        let mut moves: BTreeMap<(u32, u32), Vec<usize>> = BTreeMap::new();
+        for flat in 0..self.cell_ops.len() {
+            let from = owner_in(&cur, flat);
+            let to = owner_in(&new_bounds, flat);
+            if from != to {
+                moves.entry((from, to)).or_default().push(flat);
+            }
+        }
+        let mut readopted = 0usize;
+        for ((from, to), flats) in moves {
+            readopted += flats.len();
+            if let Some(msg) = self.partitions[from as usize].export_cells(&flats, generation) {
+                self.bus
+                    .send(NodeId(from), Envelope { to, msg })
+                    .expect("bus send failed");
+            }
+        }
+        self.pump_bus();
+
+        // (4) Rehome focal objects whose anchor cell went home, ascending
+        // object id — the same machinery as a rebalance.
+        let mut rehome: Vec<(ObjectId, usize, usize)> = Vec::new();
+        for (q, h) in self.partitions.iter().enumerate() {
+            if self.dead.contains(&(q as u32)) {
+                continue;
+            }
+            for oid in h.focal_ids() {
+                let Some(cell) = h.focal_anchor_cell(oid) else {
+                    continue;
+                };
+                let to = self.map.owner_of_cell(&self.config.grid, cell) as usize;
+                if to != q {
+                    rehome.push((oid, q, to));
+                }
+            }
+        }
+        rehome.sort_unstable();
+        for (oid, from, to) in rehome {
+            if let Some(m) = self.partitions[from].extract_focal(oid) {
+                self.bus
+                    .send(
+                        NodeId(from as u32),
+                        Envelope {
+                            to: to as u32,
+                            msg: m,
+                        },
+                    )
+                    .expect("bus send failed");
+            }
+        }
+        self.pump_bus();
+
+        // (5) Hygiene on the shrunk survivors.
+        for q in 0..n {
+            if !self.dead.contains(&(q as u32)) {
+                self.partitions[q].prune_stubs();
+            }
+        }
+        self.bus.set_fault(saved_fault);
+        for c in self.cell_ops.iter_mut() {
+            *c = 0;
+        }
+        self.bus_sink
+            .add(rec_keys::CELLS_READOPTED, readopted as u64);
+        self.bus_sink.incr(rec_keys::RESPAWNS);
+        self.bus_sink.event(EventKind::PartitionRespawned {
+            partition: p as u64,
+        });
+        self.merge_sinks();
+    }
+
     /// Structural self-check: every partition's local invariants, plus
     /// the cross-partition ones — each query homed on exactly one
     /// partition, each focal object on exactly one partition.
@@ -994,5 +1577,167 @@ impl ClusterServer {
         let mut ids = self.query_ids();
         ids.dedup();
         assert_eq!(ids.len(), seen_q.len());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobieyes_core::QueryMigration;
+    use mobieyes_geo::{Grid, GridRect, Point, Rect, Vec2};
+    use mobieyes_net::BaseStationLayout;
+
+    fn universe() -> Rect {
+        Rect::new(0.0, 0.0, 100.0, 100.0)
+    }
+
+    /// A 4-partition lockstep cluster over a 20×20 grid (100 flats each).
+    fn test_cluster(n: usize) -> (ClusterServer, Net) {
+        let config = Arc::new(ProtocolConfig::new(Grid::new(universe(), 5.0)));
+        let cluster = ClusterServer::new(config, n, Telemetry::new());
+        let net = Net::new(BaseStationLayout::new(universe(), 10.0));
+        (cluster, net)
+    }
+
+    /// A focal-row migration anchored at `cell`, carrying one query.
+    fn migrate_msg(oid: u32, qid: u32, cell: CellId) -> ClusterMsg {
+        let pos = Point::new(cell.x as f64 * 5.0 + 2.5, cell.y as f64 * 5.0 + 2.5);
+        ClusterMsg::MigrateFocal {
+            oid: ObjectId(oid),
+            motion: LinearMotion::new(pos, Vec2::new(0.0, 0.0), 0.0),
+            max_vel: 0.05,
+            used_slots: 0b1,
+            last_heard: 0.0,
+            epoch: 0,
+            queries: vec![QueryMigration {
+                spec: mobieyes_core::QuerySpec {
+                    qid: QueryId(qid),
+                    region: QueryRegion::circle(2.5),
+                    filter: Arc::new(Filter::True),
+                    slot: 0,
+                    seq: 1,
+                },
+                curr_cell: cell,
+                mon_region: GridRect {
+                    x0: cell.x.saturating_sub(1),
+                    y0: cell.y.saturating_sub(1),
+                    x1: cell.x + 1,
+                    y1: cell.y + 1,
+                },
+                expires_at: None,
+                result: vec![],
+            }],
+        }
+    }
+
+    /// Satellite regression: a `MigrateFocal` in flight to a partition
+    /// that dies before delivery must be re-routed to the post-fence
+    /// owner of its anchor cell — not dropped, and never adopted by the
+    /// fresh empty server occupying the dead slot.
+    #[test]
+    fn orphaned_migrate_focal_reroutes_after_fence() {
+        let (mut cluster, mut net) = test_cluster(4);
+        // Flat 250 = cell (10, 12), owned by partition 2 under the
+        // contiguous map; after the midpoint split it belongs to 3.
+        let cell = cluster.config.grid.cell_from_flat(250);
+        cluster
+            .bus
+            .send(
+                NodeId(0),
+                Envelope {
+                    to: 2,
+                    msg: migrate_msg(7, 3, cell),
+                },
+            )
+            .expect("bus send");
+        cluster.bus.flush().expect("bus flush");
+        cluster.kill_partition(2);
+        let report = cluster
+            .recover_crashed(&mut net)
+            .expect("kill must be detected and fenced");
+        assert_eq!(report.partitions, vec![2]);
+        assert_eq!(report.cells_reassigned, 100);
+        assert_eq!(report.envelopes_rerouted, 1, "the migration is re-routed");
+        assert!(
+            cluster.partition(3).has_focal(ObjectId(7)),
+            "the new owner of the anchor cell adopts the focal"
+        );
+        assert!(cluster.partition(3).has_query(QueryId(3)));
+        assert!(
+            !cluster.partition(2).has_focal(ObjectId(7)),
+            "the dead slot's fresh server must not adopt migrated state"
+        );
+        // A second pass finds nothing new to fence.
+        assert!(cluster.recover_crashed(&mut net).is_none());
+        cluster.check_invariants();
+    }
+
+    /// The failover split halves a dead run between its live neighbors;
+    /// a respawn restores the exact pre-crash bounds (the clamp is the
+    /// split's inverse when no rebalance intervened) and rehomes focals.
+    #[test]
+    fn failover_splits_and_respawn_restores_bounds() {
+        let (mut cluster, mut net) = test_cluster(4);
+        let cell = cluster.config.grid.cell_from_flat(250);
+        cluster.partitions[2].apply_cluster_msg(&migrate_msg(7, 3, cell));
+        assert_eq!(cluster.map.bounds_snapshot(), vec![0, 100, 200, 300, 400]);
+        cluster.kill_partition(2);
+        cluster.recover_crashed(&mut net).expect("fence");
+        assert_eq!(
+            cluster.map.bounds_snapshot(),
+            vec![0, 100, 250, 250, 400],
+            "dead run split at the midpoint between partitions 1 and 3"
+        );
+        assert!(cluster.partition(2).query_ids().next().is_none());
+        cluster.respawn_partition(2);
+        assert_eq!(
+            cluster.map.bounds_snapshot(),
+            vec![0, 100, 200, 300, 400],
+            "respawn restores the original span"
+        );
+        assert!(cluster.dead_partitions().is_empty());
+        cluster.check_invariants();
+    }
+
+    /// A registered query lost with its home partition re-enters the
+    /// pending-install pipeline under the ORIGINAL query id, and the
+    /// focal agent is asked for its position again.
+    #[test]
+    fn lost_queries_reenter_pending_with_original_id() {
+        let (mut cluster, mut net) = test_cluster(4);
+        let cell = cluster.config.grid.cell_from_flat(250);
+        // Home a query-less focal row on partition 2, then install a
+        // query against it through the coordinator (recorded in the
+        // registry like any driver install).
+        let mut seed = migrate_msg(7, 3, cell);
+        if let ClusterMsg::MigrateFocal { queries, .. } = &mut seed {
+            queries.clear();
+        }
+        cluster.partitions[2].apply_cluster_msg(&seed);
+        let qid = cluster.install_query(
+            ObjectId(7),
+            QueryRegion::circle(2.5),
+            Filter::True,
+            &mut net,
+        );
+        assert!(cluster.partition(2).has_query(qid));
+        net.take_downlinks();
+        cluster.kill_partition(2);
+        let report = cluster.recover_crashed(&mut net).expect("fence");
+        assert_eq!(report.queries_reinstalled, 1);
+        let pending: Vec<QueryId> = cluster
+            .pending
+            .get(&ObjectId(7))
+            .map(|v| v.iter().map(|pi| pi.qid).collect())
+            .unwrap_or_default();
+        assert_eq!(pending, vec![qid], "reinstall keeps the original id");
+        let (unicasts, _) = net.take_downlinks();
+        assert!(
+            unicasts
+                .iter()
+                .any(|(node, msg, _)| node.0 == 7 && matches!(**msg, Downlink::PositionRequest)),
+            "the focal agent is asked to re-report its position"
+        );
+        cluster.check_invariants();
     }
 }

@@ -16,9 +16,18 @@
 //! coordinator's pump discipline is unchanged) and downlink traffic is
 //! replayed onto the real agent network in emission order.
 //!
-//! A mid-run transport failure on a remote handle panics with a labeled
-//! message: the coordinator's decomposition invariants do not survive a
-//! half-executed primitive, so there is nothing sensible to recover to.
+//! A mid-run transport failure on a remote handle is *classified*: a
+//! failure that means the peer is gone ([`TransportError::is_peer_death`]
+//! — closed socket, stream I/O error, or an elapsed read deadline) marks
+//! the handle dead and makes it permanently inert — every subsequent call
+//! returns a neutral fallback (empty, `None`, `false`) and nothing more
+//! goes on the wire, so the coordinator's fan-out discipline survives the
+//! loss and can notice via [`PartitionHandle::crashed`] at the next tick
+//! boundary and fence the partition off. A dead handle is never reused:
+//! a late reply from a half-executed primitive would desynchronize the
+//! connection, so recovery always builds a fresh handle (respawn) or
+//! abandons the slot (failover). Protocol violations — wrong payload
+//! shape, undecodable reply — still panic: they are bugs, not crashes.
 
 use crate::wire::{self, NetAction, PartitionOp, PartitionReply, ReplyPayload};
 use mobieyes_core::server::Net;
@@ -44,6 +53,12 @@ pub struct RemotePartition {
     /// Reusable request/reply frame scratch — steady-state RPC traffic
     /// allocates no per-call buffers.
     frame: RefCell<Vec<u8>>,
+    /// Set on the first transport failure classified as peer death; the
+    /// handle is inert from then on (see module docs).
+    dead: std::cell::Cell<bool>,
+    /// The failure that killed the handle, for the coordinator's
+    /// detection report.
+    death: RefCell<Option<TransportError>>,
 }
 
 impl RemotePartition {
@@ -56,6 +71,33 @@ impl RemotePartition {
             epoch,
             outbox: RefCell::new(Vec::new()),
             frame: RefCell::new(Vec::new()),
+            dead: std::cell::Cell::new(false),
+            death: RefCell::new(None),
+        }
+    }
+
+    /// Installs (or clears) the per-RPC read deadline on the connection.
+    /// While set, a partition that hangs instead of crashing surfaces as
+    /// [`TransportError::Timeout`] on the next reply wait.
+    pub fn set_rpc_deadline(&self, dur: Option<std::time::Duration>) {
+        let _ = self.conn.borrow().set_read_timeout(dur);
+    }
+
+    /// The transport failure that killed this handle, if any.
+    pub fn crashed(&self) -> Option<TransportError> {
+        self.death.borrow().clone()
+    }
+
+    /// Classifies a transport failure: peer death marks the handle dead
+    /// (first error wins) and returns `None`; anything else is a protocol
+    /// bug and panics.
+    fn classify<T>(&self, e: TransportError, what: &str) -> Option<T> {
+        if e.is_peer_death() {
+            self.dead.set(true);
+            self.death.borrow_mut().get_or_insert(e);
+            None
+        } else {
+            panic!("remote partition {} {what}: {e}", self.partition)
         }
     }
 
@@ -97,52 +139,66 @@ impl RemotePartition {
         self.recv_reply()
     }
 
-    fn send_or_panic(&self, op: &PartitionOp) {
-        if let Err(e) = self.send_request(op) {
-            panic!(
-                "remote partition {} failed sending {:?}: {e}",
-                self.partition, op
-            );
+    /// Pipelined request half with crash classification: `true` means the
+    /// request is on the wire and a reply must be collected; `false`
+    /// means the handle is (or just became) dead and no reply will come.
+    fn send_classified(&self, op: &PartitionOp) -> bool {
+        if self.dead.get() {
+            return false;
+        }
+        match self.send_request(op) {
+            Ok(()) => true,
+            Err(e) => self.classify::<()>(e, "failed sending a request").is_some(),
         }
     }
 
     /// Collects the reply to a previously pipelined quiet (no-downlink)
-    /// op.
-    fn recv_quiet_or_panic(&self, what: &str) -> ReplyPayload {
+    /// op; `None` means the peer died before replying.
+    fn recv_quiet_classified(&self, what: &str) -> Option<ReplyPayload> {
         match self.recv_reply() {
             Ok((net, payload)) => {
                 debug_assert!(net.is_empty(), "op unexpectedly emitted downlinks");
-                payload
+                Some(payload)
             }
-            Err(e) => panic!(
-                "remote partition {} failed awaiting {what} reply: {e}",
-                self.partition
-            ),
+            Err(e) => self.classify(e, what),
         }
     }
 
-    fn call(&self, op: PartitionOp) -> (Vec<NetAction>, ReplyPayload) {
+    /// One classified round trip: `None` means the peer is dead (already,
+    /// or it died during this call) and the op did not take effect.
+    fn call(&self, op: PartitionOp) -> Option<(Vec<NetAction>, ReplyPayload)> {
+        if self.dead.get() {
+            return None;
+        }
         match self.try_call(&op) {
-            Ok(result) => result,
-            Err(e) => panic!(
-                "remote partition {} failed executing {:?}: {e}",
-                self.partition, op
-            ),
+            Ok(result) => Some(result),
+            Err(e) => self.classify(e, "failed executing a request"),
         }
     }
 
     /// A call whose op must not emit downlink traffic.
-    fn call_quiet(&self, op: PartitionOp) -> ReplyPayload {
-        let (net, payload) = self.call(op);
+    fn call_quiet(&self, op: PartitionOp) -> Option<ReplyPayload> {
+        let (net, payload) = self.call(op)?;
         debug_assert!(net.is_empty(), "op unexpectedly emitted downlinks");
-        payload
+        Some(payload)
     }
 
     /// A call whose downlink side effects are replayed onto `net`.
-    fn call_net(&self, op: PartitionOp, net: &mut Net) -> ReplyPayload {
-        let (actions, payload) = self.call(op);
+    fn call_net(&self, op: PartitionOp, net: &mut Net) -> Option<ReplyPayload> {
+        let (actions, payload) = self.call(op)?;
         replay_net(actions, net);
-        payload
+        Some(payload)
+    }
+
+    /// A fire-and-forget quiet call: the payload is ignored and a dead
+    /// peer makes the whole op a no-op.
+    fn call_quiet_void(&self, op: PartitionOp) {
+        let _ = self.call_quiet(op);
+    }
+
+    /// A fire-and-forget call with downlink replay; no-op on a dead peer.
+    fn call_net_void(&self, op: PartitionOp, net: &mut Net) {
+        let _ = self.call_net(op, net);
     }
 
     /// Configures the peer; must be the first call on the connection.
@@ -179,10 +235,13 @@ fn bad_payload(what: &str, got: &ReplyPayload) -> ! {
 /// process computes while the coordinator issues probes to its siblings.
 /// Every started probe MUST be finished (on the same handle, in start
 /// order) — an unconsumed reply would desynchronize the connection.
+/// A probe against a dead remote ([`Probe::Dead`]) put nothing on the
+/// wire; finishing it yields the op's neutral fallback.
 #[must_use = "every started probe must be finished on its handle"]
 pub enum Probe<T> {
     Ready(T),
     Pending,
+    Dead,
 }
 
 /// A partition server the coordinator can drive: in-process or over RPC.
@@ -229,24 +288,39 @@ impl PartitionHandle {
     // concurrently, then collect replies in the same order — identical
     // results, one round-trip latency instead of N.
 
-    /// Generic request half: local handles compute inline.
+    /// Generic request half: local handles compute inline; a dead remote
+    /// resolves to the fallback at finish time without touching the wire.
     fn start<T>(&self, op: PartitionOp, local: impl FnOnce(&Server) -> T) -> Probe<T> {
         match self {
             PartitionHandle::Local(s) => Probe::Ready(local(s)),
             PartitionHandle::Remote(r) => {
-                r.send_or_panic(&op);
-                Probe::Pending
+                if r.send_classified(&op) {
+                    Probe::Pending
+                } else {
+                    Probe::Dead
+                }
             }
         }
     }
 
-    /// Generic reply half for quiet (no-downlink) ops.
-    fn finish<T>(&self, probe: Probe<T>, what: &str, parse: impl FnOnce(ReplyPayload) -> T) -> T {
+    /// Generic reply half for quiet (no-downlink) ops. A probe whose peer
+    /// is dead — at start, or dying before the reply — yields `T`'s
+    /// default, the op's neutral fallback.
+    fn finish<T: Default>(
+        &self,
+        probe: Probe<T>,
+        what: &str,
+        parse: impl FnOnce(ReplyPayload) -> T,
+    ) -> T {
         match probe {
             Probe::Ready(v) => v,
+            Probe::Dead => T::default(),
             Probe::Pending => match self {
                 PartitionHandle::Local(_) => unreachable!("pending probe on a local handle"),
-                PartitionHandle::Remote(r) => parse(r.recv_quiet_or_panic(what)),
+                PartitionHandle::Remote(r) => match r.recv_quiet_classified(what) {
+                    Some(payload) => parse(payload),
+                    None => T::default(),
+                },
             },
         }
     }
@@ -369,8 +443,11 @@ impl PartitionHandle {
                 Probe::Ready(())
             }
             PartitionHandle::Remote(r) => {
-                r.send_or_panic(&PartitionOp::RenewLease(oid));
-                Probe::Pending
+                if r.send_classified(&PartitionOp::RenewLease(oid)) {
+                    Probe::Pending
+                } else {
+                    Probe::Dead
+                }
             }
         }
     }
@@ -382,8 +459,11 @@ impl PartitionHandle {
                 Probe::Ready(())
             }
             PartitionHandle::Remote(r) => {
-                r.send_or_panic(&PartitionOp::SetTime(now));
-                Probe::Pending
+                if r.send_classified(&PartitionOp::SetTime(now)) {
+                    Probe::Pending
+                } else {
+                    Probe::Dead
+                }
             }
         }
     }
@@ -398,18 +478,14 @@ impl PartitionHandle {
     pub fn set_time(&mut self, now: f64) {
         match self {
             PartitionHandle::Local(s) => s.set_time(now),
-            PartitionHandle::Remote(r) => {
-                r.call_quiet(PartitionOp::SetTime(now));
-            }
+            PartitionHandle::Remote(r) => r.call_quiet_void(PartitionOp::SetTime(now)),
         }
     }
 
     pub fn renew_lease(&mut self, oid: ObjectId) {
         match self {
             PartitionHandle::Local(s) => s.renew_lease(oid),
-            PartitionHandle::Remote(r) => {
-                r.call_quiet(PartitionOp::RenewLease(oid));
-            }
+            PartitionHandle::Remote(r) => r.call_quiet_void(PartitionOp::RenewLease(oid)),
         }
     }
 
@@ -417,7 +493,7 @@ impl PartitionHandle {
         match self {
             PartitionHandle::Local(s) => s.on_velocity_report(oid, motion, net),
             PartitionHandle::Remote(r) => {
-                r.call_net(PartitionOp::VelocityReport { oid, motion }, net);
+                r.call_net_void(PartitionOp::VelocityReport { oid, motion }, net);
             }
         }
     }
@@ -432,7 +508,7 @@ impl PartitionHandle {
         match self {
             PartitionHandle::Local(s) => s.apply_cell_change_focal(oid, new_cell, motion, net),
             PartitionHandle::Remote(r) => {
-                r.call_net(
+                r.call_net_void(
                     PartitionOp::CellChangeFocal {
                         oid,
                         new_cell,
@@ -454,7 +530,7 @@ impl PartitionHandle {
         match self {
             PartitionHandle::Local(s) => s.apply_cell_change_fresh(oid, prev_cell, new_cell, net),
             PartitionHandle::Remote(r) => {
-                r.call_net(
+                r.call_net_void(
                     PartitionOp::CellChangeFresh {
                         oid,
                         prev_cell,
@@ -484,8 +560,9 @@ impl PartitionHandle {
                     },
                     net,
                 ) {
-                    ReplyPayload::Bool(b) => b,
-                    other => bad_payload("ResultChange", &other),
+                    Some(ReplyPayload::Bool(b)) => b,
+                    None => false,
+                    Some(other) => bad_payload("ResultChange", &other),
                 }
             }
         }
@@ -504,7 +581,7 @@ impl PartitionHandle {
                 s.apply_group_result_update(oid, focal, mask, targets, net)
             }
             PartitionHandle::Remote(r) => {
-                r.call_net(
+                r.call_net_void(
                     PartitionOp::GroupResultUpdate {
                         oid,
                         focal,
@@ -527,7 +604,7 @@ impl PartitionHandle {
         match self {
             PartitionHandle::Local(s) => s.refresh_focal_motion(oid, motion, max_vel, insert),
             PartitionHandle::Remote(r) => {
-                r.call_quiet(PartitionOp::RefreshFocalMotion {
+                r.call_quiet_void(PartitionOp::RefreshFocalMotion {
                     oid,
                     motion,
                     max_vel,
@@ -552,7 +629,7 @@ impl PartitionHandle {
                 s.complete_install_at(qid, focal, region, filter, expires_at, net)
             }
             PartitionHandle::Remote(r) => {
-                r.call_net(
+                r.call_net_void(
                     PartitionOp::CompleteInstall {
                         qid,
                         focal,
@@ -570,8 +647,9 @@ impl PartitionHandle {
         match self {
             PartitionHandle::Local(s) => s.remove_query(qid, net),
             PartitionHandle::Remote(r) => match r.call_net(PartitionOp::RemoveQuery(qid), net) {
-                ReplyPayload::Bool(b) => b,
-                other => bad_payload("RemoveQuery", &other),
+                Some(ReplyPayload::Bool(b)) => b,
+                None => false,
+                Some(other) => bad_payload("RemoveQuery", &other),
             },
         }
     }
@@ -580,8 +658,9 @@ impl PartitionHandle {
         match self {
             PartitionHandle::Local(s) => s.expired_query_ids(now),
             PartitionHandle::Remote(r) => match r.call_quiet(PartitionOp::ExpiredQueryIds(now)) {
-                ReplyPayload::Qids(qids) => qids,
-                other => bad_payload("ExpiredQueryIds", &other),
+                Some(ReplyPayload::Qids(qids)) => qids,
+                None => Vec::new(),
+                Some(other) => bad_payload("ExpiredQueryIds", &other),
             },
         }
     }
@@ -590,8 +669,9 @@ impl PartitionHandle {
         match self {
             PartitionHandle::Local(s) => s.expired_leases(),
             PartitionHandle::Remote(r) => match r.call_quiet(PartitionOp::ExpiredLeases) {
-                ReplyPayload::Leases(leases) => leases,
-                other => bad_payload("ExpiredLeases", &other),
+                Some(ReplyPayload::Leases(leases)) => leases,
+                None => Vec::new(),
+                Some(other) => bad_payload("ExpiredLeases", &other),
             },
         }
     }
@@ -600,10 +680,11 @@ impl PartitionHandle {
         match self {
             PartitionHandle::Local(s) => s.reinstall_info(qid),
             PartitionHandle::Remote(r) => match r.call_quiet(PartitionOp::ReinstallInfo(qid)) {
-                ReplyPayload::Reinstall(info) => {
+                Some(ReplyPayload::Reinstall(info)) => {
                     info.map(|(region, filter, expires_at)| (region, Arc::new(filter), expires_at))
                 }
-                other => bad_payload("ReinstallInfo", &other),
+                None => None,
+                Some(other) => bad_payload("ReinstallInfo", &other),
             },
         }
     }
@@ -612,8 +693,9 @@ impl PartitionHandle {
         match self {
             PartitionHandle::Local(s) => s.digest_cells(),
             PartitionHandle::Remote(r) => match r.call_quiet(PartitionOp::DigestCells) {
-                ReplyPayload::Digests(digests) => digests,
-                other => bad_payload("DigestCells", &other),
+                Some(ReplyPayload::Digests(digests)) => digests,
+                None => Vec::new(),
+                Some(other) => bad_payload("DigestCells", &other),
             },
         }
     }
@@ -622,8 +704,9 @@ impl PartitionHandle {
         match self {
             PartitionHandle::Local(s) => s.bump_epoch_for_coordinator(),
             PartitionHandle::Remote(r) => match r.call_quiet(PartitionOp::BumpEpoch) {
-                ReplyPayload::U64(epoch) => epoch,
-                other => bad_payload("BumpEpoch", &other),
+                Some(ReplyPayload::U64(epoch)) => epoch,
+                None => r.epoch.load(Ordering::Relaxed),
+                Some(other) => bad_payload("BumpEpoch", &other),
             },
         }
     }
@@ -641,8 +724,9 @@ impl PartitionHandle {
         match self {
             PartitionHandle::Local(s) => s.num_queries(),
             PartitionHandle::Remote(r) => match r.call_quiet(PartitionOp::NumQueries) {
-                ReplyPayload::U64(n) => n as usize,
-                other => bad_payload("NumQueries", &other),
+                Some(ReplyPayload::U64(n)) => n as usize,
+                None => 0,
+                Some(other) => bad_payload("NumQueries", &other),
             },
         }
     }
@@ -651,8 +735,9 @@ impl PartitionHandle {
         match self {
             PartitionHandle::Local(s) => s.query_ids().collect(),
             PartitionHandle::Remote(r) => match r.call_quiet(PartitionOp::QueryIds) {
-                ReplyPayload::Qids(qids) => qids,
-                other => bad_payload("QueryIds", &other),
+                Some(ReplyPayload::Qids(qids)) => qids,
+                None => Vec::new(),
+                Some(other) => bad_payload("QueryIds", &other),
             },
         }
     }
@@ -675,8 +760,9 @@ impl PartitionHandle {
         match self {
             PartitionHandle::Local(s) => s.query_result(qid).map(|r| r.iter().copied().collect()),
             PartitionHandle::Remote(r) => match r.call_quiet(PartitionOp::QueryResult(qid)) {
-                ReplyPayload::ResultSet(oids) => oids,
-                other => bad_payload("QueryResult", &other),
+                Some(ReplyPayload::ResultSet(oids)) => oids,
+                None => None,
+                Some(other) => bad_payload("QueryResult", &other),
             },
         }
     }
@@ -685,8 +771,9 @@ impl PartitionHandle {
         match self {
             PartitionHandle::Local(s) => s.query_focal(qid),
             PartitionHandle::Remote(r) => match r.call_quiet(PartitionOp::QueryFocal(qid)) {
-                ReplyPayload::OptOid(oid) => oid,
-                other => bad_payload("QueryFocal", &other),
+                Some(ReplyPayload::OptOid(oid)) => oid,
+                None => None,
+                Some(other) => bad_payload("QueryFocal", &other),
             },
         }
     }
@@ -695,8 +782,9 @@ impl PartitionHandle {
         match self {
             PartitionHandle::Local(s) => s.has_focal(oid),
             PartitionHandle::Remote(r) => match r.call_quiet(PartitionOp::HasFocal(oid)) {
-                ReplyPayload::Bool(b) => b,
-                other => bad_payload("HasFocal", &other),
+                Some(ReplyPayload::Bool(b)) => b,
+                None => false,
+                Some(other) => bad_payload("HasFocal", &other),
             },
         }
     }
@@ -705,8 +793,9 @@ impl PartitionHandle {
         match self {
             PartitionHandle::Local(s) => s.has_query(qid),
             PartitionHandle::Remote(r) => match r.call_quiet(PartitionOp::HasQuery(qid)) {
-                ReplyPayload::Bool(b) => b,
-                other => bad_payload("HasQuery", &other),
+                Some(ReplyPayload::Bool(b)) => b,
+                None => false,
+                Some(other) => bad_payload("HasQuery", &other),
             },
         }
     }
@@ -715,8 +804,9 @@ impl PartitionHandle {
         match self {
             PartitionHandle::Local(s) => s.focal_motion(oid),
             PartitionHandle::Remote(r) => match r.call_quiet(PartitionOp::FocalMotion(oid)) {
-                ReplyPayload::OptMotion(m) => m,
-                other => bad_payload("FocalMotion", &other),
+                Some(ReplyPayload::OptMotion(m)) => m,
+                None => None,
+                Some(other) => bad_payload("FocalMotion", &other),
             },
         }
     }
@@ -725,8 +815,9 @@ impl PartitionHandle {
         match self {
             PartitionHandle::Local(s) => s.focal_queries(oid),
             PartitionHandle::Remote(r) => match r.call_quiet(PartitionOp::FocalQueries(oid)) {
-                ReplyPayload::OptQids(qids) => qids,
-                other => bad_payload("FocalQueries", &other),
+                Some(ReplyPayload::OptQids(qids)) => qids,
+                None => None,
+                Some(other) => bad_payload("FocalQueries", &other),
             },
         }
     }
@@ -735,8 +826,9 @@ impl PartitionHandle {
         match self {
             PartitionHandle::Local(s) => s.query_cell(qid),
             PartitionHandle::Remote(r) => match r.call_quiet(PartitionOp::QueryCell(qid)) {
-                ReplyPayload::OptCell(cell) => cell,
-                other => bad_payload("QueryCell", &other),
+                Some(ReplyPayload::OptCell(cell)) => cell,
+                None => None,
+                Some(other) => bad_payload("QueryCell", &other),
             },
         }
     }
@@ -745,8 +837,9 @@ impl PartitionHandle {
         match self {
             PartitionHandle::Local(s) => s.purge_object(oid),
             PartitionHandle::Remote(r) => match r.call_quiet(PartitionOp::PurgeObject(oid)) {
-                ReplyPayload::Qids(qids) => qids,
-                other => bad_payload("PurgeObject", &other),
+                Some(ReplyPayload::Qids(qids)) => qids,
+                None => Vec::new(),
+                Some(other) => bad_payload("PurgeObject", &other),
             },
         }
     }
@@ -761,7 +854,7 @@ impl PartitionHandle {
         match self {
             PartitionHandle::Local(s) => s.deliver_result_delta(qid, oid, entered, net),
             PartitionHandle::Remote(r) => {
-                r.call_net(PartitionOp::DeliverResultDelta { qid, oid, entered }, net);
+                r.call_net_void(PartitionOp::DeliverResultDelta { qid, oid, entered }, net);
             }
         }
     }
@@ -775,8 +868,9 @@ impl PartitionHandle {
                     oid,
                     is_target,
                 }) {
-                    ReplyPayload::Bool(b) => b,
-                    other => bad_payload("LqtReconcileOne", &other),
+                    Some(ReplyPayload::Bool(b)) => b,
+                    None => false,
+                    Some(other) => bad_payload("LqtReconcileOne", &other),
                 }
             }
         }
@@ -786,7 +880,7 @@ impl PartitionHandle {
         match self {
             PartitionHandle::Local(s) => s.focal_reassert(oid, net),
             PartitionHandle::Remote(r) => {
-                r.call_net(PartitionOp::FocalReassert(oid), net);
+                r.call_net_void(PartitionOp::FocalReassert(oid), net);
             }
         }
     }
@@ -795,7 +889,7 @@ impl PartitionHandle {
         match self {
             PartitionHandle::Local(s) => s.cell_sync_reply(oid, cell, net),
             PartitionHandle::Remote(r) => {
-                r.call_net(PartitionOp::CellSyncReply { oid, cell }, net);
+                r.call_net_void(PartitionOp::CellSyncReply { oid, cell }, net);
             }
         }
     }
@@ -804,8 +898,9 @@ impl PartitionHandle {
         match self {
             PartitionHandle::Local(s) => s.extract_focal(oid),
             PartitionHandle::Remote(r) => match r.call_quiet(PartitionOp::ExtractFocal(oid)) {
-                ReplyPayload::OptCluster(msg) => msg,
-                other => bad_payload("ExtractFocal", &other),
+                Some(ReplyPayload::OptCluster(msg)) => msg,
+                None => None,
+                Some(other) => bad_payload("ExtractFocal", &other),
             },
         }
     }
@@ -821,7 +916,7 @@ impl PartitionHandle {
         match self {
             PartitionHandle::Local(s) => s.apply_cluster_msg(msg),
             PartitionHandle::Remote(r) => {
-                r.call_quiet(PartitionOp::Deliver(msg.clone()));
+                r.call_quiet_void(PartitionOp::Deliver(msg.clone()));
             }
         }
     }
@@ -830,30 +925,112 @@ impl PartitionHandle {
         match self {
             PartitionHandle::Local(s) => s.check_invariants(),
             PartitionHandle::Remote(r) => {
-                r.call_quiet(PartitionOp::CheckInvariants);
+                r.call_quiet_void(PartitionOp::CheckInvariants);
             }
         }
     }
 
-    // --- rebalance-only surface (lockstep deployments) -------------------
+    // --- rebalance / recovery surface ------------------------------------
 
     pub fn export_cells(&mut self, flats: &[usize], generation: u64) -> Option<ClusterMsg> {
-        self.local_mut()
-            .expect("rebalancing is lockstep-only")
-            .export_cells(flats, generation)
+        match self {
+            PartitionHandle::Local(s) => s.export_cells(flats, generation),
+            PartitionHandle::Remote(r) => {
+                let flats = flats.iter().map(|&f| f as u32).collect();
+                match r.call_quiet(PartitionOp::ExportCells { flats, generation }) {
+                    Some(ReplyPayload::OptCluster(msg)) => msg,
+                    None => None,
+                    Some(other) => bad_payload("ExportCells", &other),
+                }
+            }
+        }
     }
 
     pub fn prune_stubs(&mut self) {
-        self.local_mut()
-            .expect("rebalancing is lockstep-only")
-            .prune_stubs();
+        match self {
+            PartitionHandle::Local(s) => s.prune_stubs(),
+            PartitionHandle::Remote(r) => r.call_quiet_void(PartitionOp::PruneStubs),
+        }
     }
 
     pub fn focal_ids(&self) -> Vec<ObjectId> {
-        self.local().focal_ids()
+        match self {
+            PartitionHandle::Local(s) => s.focal_ids(),
+            PartitionHandle::Remote(r) => match r.call_quiet(PartitionOp::FocalIds) {
+                Some(ReplyPayload::Oids(oids)) => oids,
+                None => Vec::new(),
+                Some(other) => bad_payload("FocalIds", &other),
+            },
+        }
     }
 
     pub fn focal_anchor_cell(&self, oid: ObjectId) -> Option<CellId> {
-        self.local().focal_anchor_cell(oid)
+        match self {
+            PartitionHandle::Local(s) => s.focal_anchor_cell(oid),
+            PartitionHandle::Remote(r) => match r.call_quiet(PartitionOp::FocalAnchorCell(oid)) {
+                Some(ReplyPayload::OptCell(cell)) => cell,
+                None => None,
+                Some(other) => bad_payload("FocalAnchorCell", &other),
+            },
+        }
+    }
+
+    /// Syncs a remote partition's ownership-table copy to the
+    /// coordinator's exact bounds and generation after a fence. Local
+    /// handles share the coordinator's table and need nothing.
+    pub fn install_bounds(&mut self, generation: u64, bounds: &[usize]) {
+        match self {
+            PartitionHandle::Local(_) => {}
+            PartitionHandle::Remote(r) => {
+                let bounds = bounds.iter().map(|&b| b as u64).collect();
+                r.call_quiet_void(PartitionOp::InstallBounds { generation, bounds });
+            }
+        }
+    }
+
+    // --- crash detection --------------------------------------------------
+
+    /// The transport failure that killed this handle, if any. Local
+    /// handles never die this way (in-process crashes are injected
+    /// through the coordinator instead).
+    pub fn crashed(&self) -> Option<TransportError> {
+        match self {
+            PartitionHandle::Local(_) => None,
+            PartitionHandle::Remote(r) => r.crashed(),
+        }
+    }
+
+    /// Installs (or clears) the per-RPC read deadline on a remote handle,
+    /// so a hung partition process surfaces as a
+    /// [`TransportError::Timeout`] instead of blocking the coordinator
+    /// forever. No-op for local handles.
+    pub fn set_rpc_deadline(&self, dur: Option<std::time::Duration>) {
+        if let PartitionHandle::Remote(r) = self {
+            r.set_rpc_deadline(dur);
+        }
+    }
+
+    /// Swaps in a fresh in-process server, dropping the old one's entire
+    /// state — the coordinator's crash-injection primitive (the lockstep
+    /// analogue of `kill -9` on a partition process).
+    pub fn replace_local(&mut self, fresh: Server) {
+        *self
+            .local_mut()
+            .expect("crash injection replaces in-process servers only") = fresh;
+    }
+
+    /// Actively verifies the peer is alive with a trivial round trip
+    /// (`CurrentEpoch`). A crashed or hung peer fails the call, which
+    /// classifies the handle dead; the verdict is then readable via
+    /// [`Self::crashed`]. Local handles are trivially alive.
+    pub fn probe_alive(&self) -> bool {
+        match self {
+            PartitionHandle::Local(_) => true,
+            PartitionHandle::Remote(r) => match r.call_quiet(PartitionOp::CurrentEpoch) {
+                Some(ReplyPayload::U64(_)) => true,
+                None => false,
+                Some(other) => bad_payload("CurrentEpoch", &other),
+            },
+        }
     }
 }

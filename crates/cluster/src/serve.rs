@@ -36,6 +36,10 @@ struct ServiceState {
     net: Net,
     /// This process's shard of the distributed epoch.
     epoch: Arc<AtomicU64>,
+    /// This process's copy of the cell-ownership table. Starts as the
+    /// contiguous default and tracks the coordinator's table through
+    /// [`PartitionOp::InstallBounds`] after rebalance/failover fences.
+    map: PartitionMap,
 }
 
 impl ServiceState {
@@ -61,7 +65,12 @@ impl ServiceState {
                 Arc::clone(&epoch),
             ));
         let net = Net::new(BaseStationLayout::new(init.universe, init.alen));
-        ServiceState { server, net, epoch }
+        ServiceState {
+            server,
+            net,
+            epoch,
+            map,
+        }
     }
 
     /// Drains the downlinks the last op queued on the local network into
@@ -268,6 +277,21 @@ fn execute(s: &mut ServiceState, op: PartitionOp) -> ReplyPayload {
             s.server.check_invariants();
             ReplyPayload::Unit
         }
+        PartitionOp::InstallBounds { generation, bounds } => {
+            let bounds: Vec<usize> = bounds.iter().map(|&b| b as usize).collect();
+            s.map.table().install_at(&bounds, generation);
+            ReplyPayload::Unit
+        }
+        PartitionOp::ExportCells { flats, generation } => {
+            let flats: Vec<usize> = flats.iter().map(|&f| f as usize).collect();
+            ReplyPayload::OptCluster(s.server.export_cells(&flats, generation))
+        }
+        PartitionOp::PruneStubs => {
+            s.server.prune_stubs();
+            ReplyPayload::Unit
+        }
+        PartitionOp::FocalIds => ReplyPayload::Oids(s.server.focal_ids()),
+        PartitionOp::FocalAnchorCell(oid) => ReplyPayload::OptCell(s.server.focal_anchor_cell(oid)),
     }
 }
 

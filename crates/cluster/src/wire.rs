@@ -168,6 +168,30 @@ pub enum PartitionOp {
     CheckInvariants,
     /// Ends the service loop; the process exits cleanly.
     Shutdown,
+    /// Forces the partition's local [`PartitionTable`] copy to exact
+    /// bounds and generation, syncing it with the coordinator's table
+    /// after a failover or re-adoption fence. Bounds are in flat cells.
+    ///
+    /// [`PartitionTable`]: mobieyes_core::PartitionTable
+    InstallBounds {
+        generation: u64,
+        bounds: Vec<u64>,
+    },
+    /// Extracts the state rows for the given flat cells (the partition
+    /// stops owning them); replies `OptCluster` with the resulting
+    /// [`ClusterMsg::RebalanceCells`] transfer for the coordinator to
+    /// route.
+    ExportCells {
+        flats: Vec<u32>,
+        generation: u64,
+    },
+    /// Drops stub rows for queries whose owner region no longer reaches
+    /// this partition (post-fence cleanup).
+    PruneStubs,
+    /// All focal object ids homed on this partition, ascending.
+    FocalIds,
+    /// The anchor cell of one homed focal object.
+    FocalAnchorCell(ObjectId),
 }
 
 /// A downlink the partition emitted while executing an op. The coordinator
@@ -196,6 +220,7 @@ pub enum ReplyPayload {
     Leases(Vec<(ObjectId, Vec<QueryId>)>),
     Reinstall(Option<(QueryRegion, Filter, Option<f64>)>),
     ResultSet(Option<Vec<ObjectId>>),
+    Oids(Vec<ObjectId>),
 }
 
 /// Reply to one [`PartitionOp`].
@@ -458,6 +483,28 @@ pub fn encode_request(epoch_floor: u64, op: &PartitionOp, out: &mut Vec<u8>) {
         }
         PartitionOp::CheckInvariants => out.put_u8(33),
         PartitionOp::Shutdown => out.put_u8(34),
+        PartitionOp::InstallBounds { generation, bounds } => {
+            out.put_u8(35);
+            out.put_u64_le(*generation);
+            out.put_u32_le(bounds.len() as u32);
+            for b in bounds {
+                out.put_u64_le(*b);
+            }
+        }
+        PartitionOp::ExportCells { flats, generation } => {
+            out.put_u8(36);
+            out.put_u64_le(*generation);
+            out.put_u32_le(flats.len() as u32);
+            for f in flats {
+                out.put_u32_le(*f);
+            }
+        }
+        PartitionOp::PruneStubs => out.put_u8(37),
+        PartitionOp::FocalIds => out.put_u8(38),
+        PartitionOp::FocalAnchorCell(oid) => {
+            out.put_u8(39);
+            put_oid(out, *oid);
+        }
     }
 }
 
@@ -571,6 +618,33 @@ pub fn decode_request(bytes: &[u8]) -> Result<(u64, PartitionOp)> {
             32 => PartitionOp::Deliver(decode_cluster(&mut buf)?),
             33 => PartitionOp::CheckInvariants,
             34 => PartitionOp::Shutdown,
+            35 => {
+                let generation = buf.get_u64_le("table generation")?;
+                let n = buf.get_u32_le("bound count")? as usize;
+                if n * 8 > buf.remaining() {
+                    return Err(DecodeError(format!("oversized bound count {n}")));
+                }
+                let mut bounds = Vec::with_capacity(n);
+                for _ in 0..n {
+                    bounds.push(buf.get_u64_le("bound")?);
+                }
+                PartitionOp::InstallBounds { generation, bounds }
+            }
+            36 => {
+                let generation = buf.get_u64_le("table generation")?;
+                let n = buf.get_u32_le("flat count")? as usize;
+                if n * 4 > buf.remaining() {
+                    return Err(DecodeError(format!("oversized flat count {n}")));
+                }
+                let mut flats = Vec::with_capacity(n);
+                for _ in 0..n {
+                    flats.push(buf.get_u32_le("flat cell")?);
+                }
+                PartitionOp::ExportCells { flats, generation }
+            }
+            37 => PartitionOp::PruneStubs,
+            38 => PartitionOp::FocalIds,
+            39 => PartitionOp::FocalAnchorCell(get_oid(&mut buf)?),
             t => return Err(DecodeError(format!("unknown partition op tag {t}"))),
         };
         Ok((floor, op))
@@ -715,6 +789,13 @@ pub fn encode_reply(reply: &PartitionReply, out: &mut Vec<u8>) {
                 None => out.put_u8(0),
             }
         }
+        ReplyPayload::Oids(oids) => {
+            out.put_u8(13);
+            out.put_u32_le(oids.len() as u32);
+            for oid in oids {
+                put_oid(out, *oid);
+            }
+        }
     }
 }
 
@@ -824,6 +905,17 @@ pub fn decode_reply(bytes: &[u8]) -> Result<PartitionReply> {
             } else {
                 None
             }),
+            13 => {
+                let n = buf.get_u32_le("oid count")? as usize;
+                if n * 4 > buf.remaining() {
+                    return Err(DecodeError(format!("oversized oid count {n}")));
+                }
+                let mut oids = Vec::with_capacity(n);
+                for _ in 0..n {
+                    oids.push(get_oid(&mut buf)?);
+                }
+                ReplyPayload::Oids(oids)
+            }
             t => return Err(DecodeError(format!("unknown reply payload tag {t}"))),
         };
         Ok(PartitionReply {
@@ -954,6 +1046,17 @@ mod tests {
             }),
             PartitionOp::CheckInvariants,
             PartitionOp::Shutdown,
+            PartitionOp::InstallBounds {
+                generation: 7,
+                bounds: vec![0, 12, 24, 36],
+            },
+            PartitionOp::ExportCells {
+                flats: vec![12, 13, 17],
+                generation: 7,
+            },
+            PartitionOp::PruneStubs,
+            PartitionOp::FocalIds,
+            PartitionOp::FocalAnchorCell(ObjectId(7)),
         ]
     }
 
@@ -988,6 +1091,8 @@ mod tests {
             ReplyPayload::Reinstall(None),
             ReplyPayload::ResultSet(Some(vec![ObjectId(1), ObjectId(2)])),
             ReplyPayload::ResultSet(None),
+            ReplyPayload::Oids(vec![ObjectId(3), ObjectId(8)]),
+            ReplyPayload::Oids(vec![]),
         ]
     }
 

@@ -838,6 +838,20 @@ pub fn encode_cluster(msg: &ClusterMsg, out: &mut Vec<u8>) {
                 put_spec(out, &s.spec);
             }
         }
+        ClusterMsg::RecoverCells {
+            generation,
+            epoch,
+            cells,
+        } => {
+            out.put_u8(5);
+            out.put_u64_le(*generation);
+            out.put_u64_le(*epoch);
+            debug_assert!(cells.len() <= u16::MAX as usize);
+            out.put_u16_le(cells.len() as u16);
+            for flat in cells {
+                out.put_u32_le(*flat);
+            }
+        }
     }
 }
 
@@ -951,6 +965,20 @@ pub fn decode_cluster(buf: &mut Reader<'_>) -> Result<ClusterMsg> {
                 epoch,
                 cells,
                 stubs,
+            }
+        }
+        5 => {
+            let generation = buf.get_u64_le("generation")?;
+            let epoch = buf.get_u64_le("epoch")?;
+            let n = buf.get_count(4, "recover cell count")?;
+            let mut cells = Vec::with_capacity(n);
+            for _ in 0..n {
+                cells.push(buf.get_u32_le("recover cell flat")?);
+            }
+            ClusterMsg::RecoverCells {
+                generation,
+                epoch,
+                cells,
             }
         }
         t => return err(&format!("unknown cluster tag {t}")),
@@ -1235,6 +1263,16 @@ mod tests {
                 epoch: 2,
                 cells: vec![],
                 stubs: vec![],
+            },
+            ClusterMsg::RecoverCells {
+                generation: 4,
+                epoch: 50,
+                cells: vec![17, 18, 19],
+            },
+            ClusterMsg::RecoverCells {
+                generation: 1,
+                epoch: 2,
+                cells: vec![],
             },
         ]
     }

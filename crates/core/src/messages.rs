@@ -363,6 +363,22 @@ pub enum ClusterMsg {
         /// Stub material for every distinct query named in `cells`.
         stubs: Vec<StubSeed>,
     },
+    /// Crash-failover cell adoption: the receiver now owns `cells`, whose
+    /// previous owner died taking its RQI rows with it. Unlike
+    /// [`ClusterMsg::RebalanceCells`] there is no verbatim row to carry —
+    /// the receiver rebuilds each adopted row from its *own* SQT and stub
+    /// tables (the queries it already knows whose monitoring regions reach
+    /// the cell); everything else repopulates through agent resyncs. Valid
+    /// only for the exact `generation` it was cut for, exactly like a
+    /// rebalance transfer, so duplicated or stale deliveries are no-ops.
+    RecoverCells {
+        /// The partition-map generation this adoption belongs to.
+        generation: u64,
+        /// Sender's view of the global epoch when the fence was raised.
+        epoch: u64,
+        /// Flat cell indices the receiver adopts under `generation`.
+        cells: Vec<u32>,
+    },
 }
 
 impl WireSized for ClusterMsg {
@@ -404,6 +420,7 @@ impl WireSized for ClusterMsg {
                     + 2
                     + stubs.iter().map(StubSeed::wire_size).sum::<usize>()
             }
+            ClusterMsg::RecoverCells { cells, .. } => 8 + 8 + 2 + cells.len() * 4,
         }
     }
 }

@@ -260,6 +260,23 @@ impl PartitionTable {
         }
         self.generation.fetch_add(1, Ordering::Relaxed) + 1
     }
+
+    /// [`install`](Self::install), but forcing the generation to an exact
+    /// value instead of bumping. Remote partition processes keep their own
+    /// table copy; a coordinator syncs them by shipping its post-install
+    /// bounds *and* generation, so generation-guarded transfers
+    /// ([`ClusterMsg::RebalanceCells`], [`ClusterMsg::RecoverCells`])
+    /// validate identically on both sides. The generation may only move
+    /// forward (a respawned process at generation 0 catches up; a stale
+    /// install must never rewind a newer table).
+    pub fn install_at(&self, bounds: &[usize], generation: u64) {
+        assert!(
+            generation >= self.generation.load(Ordering::Relaxed),
+            "table generation cannot rewind"
+        );
+        self.install(bounds);
+        self.generation.store(generation, Ordering::Relaxed);
+    }
 }
 
 /// The slice of the α-grid a partitioned server owns, plus the shared
@@ -629,6 +646,12 @@ impl Server {
         fot.queries.sort_unstable();
 
         let seq = self.bump_epoch();
+        // A pre-crash stub can survive here when a query lost with a dead
+        // partition is re-installed on a partition that used to monitor
+        // it: retire the stub's coverage before the fresh row takes over.
+        if let Some(s) = self.stubs.remove(&qid) {
+            self.rqi_remove(qid, &s.mon_region);
+        }
         self.sqt.insert(
             qid,
             SqtEntry {
@@ -1506,7 +1529,12 @@ impl Server {
             .get(&qid)
             .map(|e| e.seq)
             .or_else(|| self.stubs.get(&qid).map(|s| s.seq))
-            .expect("RQI query in SQT or stub table")
+            .unwrap_or_else(|| {
+                panic!(
+                    "RQI references {qid:?} on partition {:?} without an SQT row or stub",
+                    self.scope.as_ref().map(|s| s.partition())
+                )
+            })
     }
 
     // --- Cluster support -------------------------------------------------
@@ -1898,7 +1926,12 @@ impl Server {
                 if self.stubs.get(&spec.qid).is_some_and(|s| s.seq >= spec.seq) {
                     return;
                 }
-                if let Some(old) = old_mon {
+                // Our own stub records exactly the coverage we previously
+                // inserted, so it wins over the sender's `old_mon`: after a
+                // crash re-install the new home sends `None` (the pre-crash
+                // region died with the old home), yet our rows still exist.
+                let prev = self.stubs.get(&spec.qid).map(|s| s.mon_region);
+                if let Some(old) = prev.as_ref().or(old_mon.as_ref()) {
                     self.rqi_remove(spec.qid, old);
                 }
                 self.rqi_insert(spec.qid, mon_region);
@@ -1993,6 +2026,47 @@ impl Server {
                             seq: s.spec.seq,
                         },
                     );
+                }
+            }
+            ClusterMsg::RecoverCells {
+                generation,
+                epoch: _,
+                cells,
+            } => {
+                // An adoption is valid only for the exact map generation
+                // the failover fence installed — stale or replayed copies
+                // are dropped whole, like a rebalance transfer.
+                let Some(scope) = &self.scope else {
+                    return;
+                };
+                if *generation != scope.generation() {
+                    return;
+                }
+                // The previous owner's rows died with it. Rebuild each
+                // adopted row from what this partition already knows — its
+                // home rows and stubs whose monitoring regions reach the
+                // cell, ascending qid (post-crash there is no surviving
+                // row order to preserve; ascending is deterministic at any
+                // thread count) — and let agent resyncs repopulate the
+                // rest. A pure function of the current tables, so replays
+                // are no-ops. No RQI counter: this repairs coverage the
+                // region bookkeeping already accounts for.
+                let grid = self.config.grid.clone();
+                for &flat in cells {
+                    let cell = grid.cell_from_flat(flat as usize);
+                    let mut row: Vec<QueryId> = Vec::new();
+                    for (&qid, e) in &self.sqt {
+                        if e.mon_region.contains(cell) {
+                            row.push(qid);
+                        }
+                    }
+                    for (&qid, s) in &self.stubs {
+                        if s.mon_region.contains(cell) && !row.contains(&qid) {
+                            row.push(qid);
+                        }
+                    }
+                    row.sort_unstable();
+                    self.rqi[flat as usize] = row;
                 }
             }
         }
@@ -2139,7 +2213,13 @@ impl Server {
             for qid in qids {
                 let mon = self.q_mon(*qid).expect("RQI references live query or stub");
                 let cell = self.config.grid.cell_at(idx);
-                assert!(mon.contains(cell), "stale RQI entry for {qid:?}");
+                assert!(
+                    mon.contains(cell),
+                    "stale RQI entry for {qid:?} at {cell:?} on partition {:?}: \
+                     monitoring region is {mon:?} (homed: {})",
+                    self.scope.as_ref().map(|s| s.partition()),
+                    self.sqt.contains_key(qid)
+                );
             }
         }
         for (oid, fot) in self.fot.iter() {

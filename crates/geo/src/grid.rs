@@ -68,6 +68,17 @@ impl Grid {
         self.cols as usize * self.rows as usize
     }
 
+    /// Inverse of [`flat_index`](Self::flat_index): the cell at a
+    /// row-major flat index.
+    #[inline]
+    pub fn cell_from_flat(&self, flat: usize) -> CellId {
+        debug_assert!(flat < self.num_cells());
+        CellId::new(
+            (flat % self.cols as usize) as u32,
+            (flat / self.cols as usize) as u32,
+        )
+    }
+
     /// `Pmap(pos)`: the current grid cell of a position. Positions outside
     /// the universe are clamped to the nearest boundary cell, so every
     /// position maps to a valid cell (objects can briefly overshoot the

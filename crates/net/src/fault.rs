@@ -110,7 +110,9 @@ pub struct ChurnPlan {
     pub seed: u64,
 }
 
-fn mix64(mut z: u64) -> u64 {
+/// splitmix64 finalization — the deterministic hash every fault schedule
+/// in this crate is built from (also used for retry-backoff jitter).
+pub fn mix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E3779B97F4A7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
@@ -235,6 +237,73 @@ impl ChurnPlan {
     }
 }
 
+/// Deterministic partition-crash schedule for chaos runs.
+///
+/// Decides which server partitions die, and at which tick, as a pure
+/// function of the plan's fields — no RNG state, so an in-process
+/// chaos run is byte-identical at any worker-thread count and a test
+/// can name the exact kill it expects. Partition 0 is never chosen by
+/// the seeded constructor: the coordinator routes shared-epoch bumps
+/// through the lowest live partition, and keeping 0 alive keeps the
+/// seeded scenarios comparable across kill counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionCrashPlan {
+    /// The tick (1-based, matching the simulator's tick index) at whose
+    /// boundary the victims are killed. 0 disables the plan.
+    pub crash_tick: u64,
+    /// The partitions that die at `crash_tick`, ascending, deduplicated.
+    pub victims: Vec<u32>,
+}
+
+impl PartitionCrashPlan {
+    /// A plan that never kills anything.
+    pub fn none() -> Self {
+        PartitionCrashPlan {
+            crash_tick: 0,
+            victims: Vec::new(),
+        }
+    }
+
+    /// A plan killing exactly the given partitions at `crash_tick`.
+    pub fn explicit(crash_tick: u64, mut victims: Vec<u32>) -> Self {
+        victims.sort_unstable();
+        victims.dedup();
+        PartitionCrashPlan {
+            crash_tick,
+            victims,
+        }
+    }
+
+    /// Derives `kills` victims out of `partitions` deterministically from
+    /// `seed`, never selecting partition 0 and never killing every
+    /// partition (at least one survivor must exist to adopt the cells).
+    pub fn seeded(seed: u64, partitions: u32, kills: usize, crash_tick: u64) -> Self {
+        assert!(partitions >= 2, "need at least 2 partitions to crash one");
+        let kills = kills.min(partitions as usize - 1);
+        let mut pool: Vec<u32> = (1..partitions).collect();
+        let mut victims = Vec::with_capacity(kills);
+        for round in 0..kills {
+            let pick = mix64(seed ^ 0xC4A5_u64.wrapping_add(round as u64)) as usize % pool.len();
+            victims.push(pool.swap_remove(pick));
+        }
+        Self::explicit(crash_tick, victims)
+    }
+
+    pub fn is_noop(&self) -> bool {
+        self.crash_tick == 0 || self.victims.is_empty()
+    }
+
+    /// The partitions to kill at this tick boundary (empty except at
+    /// `crash_tick`).
+    pub fn victims_at(&self, tick: u64) -> &[u32] {
+        if !self.is_noop() && tick == self.crash_tick {
+            &self.victims
+        } else {
+            &[]
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -354,5 +423,44 @@ mod tests {
         assert!(no_rate.is_noop());
         assert!(no_window.is_noop());
         assert!(!ChurnPlan::new(0.1, 0.0, 0.0, 0.0, 0.0, 0, 1).is_noop());
+    }
+
+    #[test]
+    fn crash_plan_noop_cases() {
+        assert!(PartitionCrashPlan::none().is_noop());
+        assert!(PartitionCrashPlan::explicit(0, vec![1]).is_noop());
+        assert!(PartitionCrashPlan::explicit(5, vec![]).is_noop());
+        assert!(!PartitionCrashPlan::explicit(5, vec![1]).is_noop());
+    }
+
+    #[test]
+    fn crash_plan_fires_only_at_its_tick() {
+        let plan = PartitionCrashPlan::explicit(7, vec![3, 1, 3]);
+        assert_eq!(plan.victims, vec![1, 3], "sorted and deduplicated");
+        for t in 0..20 {
+            if t == 7 {
+                assert_eq!(plan.victims_at(t), &[1, 3]);
+            } else {
+                assert!(plan.victims_at(t).is_empty(), "fired at tick {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn seeded_crash_plan_is_deterministic_and_spares_partition_zero() {
+        for seed in 0..50u64 {
+            for parts in [2u32, 4, 8] {
+                for kills in 1..parts as usize {
+                    let a = PartitionCrashPlan::seeded(seed, parts, kills, 5);
+                    let b = PartitionCrashPlan::seeded(seed, parts, kills, 5);
+                    assert_eq!(a, b);
+                    assert_eq!(a.victims.len(), kills.min(parts as usize - 1));
+                    assert!(a.victims.iter().all(|&v| v >= 1 && v < parts));
+                }
+            }
+        }
+        // Requesting more kills than survivors allow is clamped.
+        let clamped = PartitionCrashPlan::seeded(9, 4, 10, 5);
+        assert_eq!(clamped.victims.len(), 3);
     }
 }

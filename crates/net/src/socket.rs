@@ -81,19 +81,45 @@ impl Endpoint {
 
     /// Like [`Endpoint::connect`], retrying until the peer starts
     /// listening or `timeout` elapses — for clients racing a freshly
-    /// spawned server process.
-    pub fn connect_with_retry(
+    /// spawned server process. Retries back off exponentially (1ms
+    /// doubling to a 200ms cap) with deterministic jitter derived from
+    /// `jitter_seed`, so a fleet of coordinators reconnecting to one
+    /// respawned partition doesn't hammer it in lock step, while any
+    /// given (seed, attempt) pair always sleeps the same duration.
+    pub fn connect_with_retry_jittered(
         &self,
         timeout: std::time::Duration,
+        jitter_seed: u64,
     ) -> Result<Stream, TransportError> {
+        const BASE_MS: u64 = 1;
+        const CAP_MS: u64 = 200;
         let start = std::time::Instant::now();
+        let mut attempt: u32 = 0;
         loop {
             match self.connect() {
                 Ok(s) => return Ok(s),
                 Err(e) if start.elapsed() >= timeout => return Err(e),
-                Err(_) => std::thread::sleep(std::time::Duration::from_millis(10)),
+                Err(_) => {
+                    let backoff = BASE_MS.saturating_mul(1u64 << attempt.min(16)).min(CAP_MS);
+                    // Deterministic jitter in [0, backoff): splitmix64 of
+                    // (seed, attempt), same scheme as the fault plans.
+                    let jitter = crate::fault::mix64(
+                        jitter_seed ^ 0x9d30_5f4a_d671_1f35u64.wrapping_add(attempt as u64),
+                    ) % backoff.max(1);
+                    attempt = attempt.saturating_add(1);
+                    std::thread::sleep(std::time::Duration::from_millis(backoff / 2 + jitter / 2));
+                }
             }
         }
+    }
+
+    /// [`Endpoint::connect_with_retry_jittered`] with a zero jitter seed —
+    /// the common single-coordinator case.
+    pub fn connect_with_retry(
+        &self,
+        timeout: std::time::Duration,
+    ) -> Result<Stream, TransportError> {
+        self.connect_with_retry_jittered(timeout, 0)
     }
 }
 
@@ -111,6 +137,19 @@ impl std::fmt::Display for Endpoint {
 pub enum Stream {
     Tcp(TcpStream),
     Unix(UnixStream),
+}
+
+impl Stream {
+    /// Sets (or clears, with `None`) the kernel read timeout. A read that
+    /// hits the deadline fails with `WouldBlock`/`TimedOut`, which the
+    /// transport layer classifies as [`TransportError::Timeout`].
+    pub fn set_read_timeout(&self, dur: Option<std::time::Duration>) -> Result<(), TransportError> {
+        match self {
+            Stream::Tcp(s) => s.set_read_timeout(dur)?,
+            Stream::Unix(s) => s.set_read_timeout(dur)?,
+        }
+        Ok(())
+    }
 }
 
 impl Read for Stream {
@@ -210,6 +249,15 @@ impl FramedConn {
             rpos: 0,
             wbuf: Vec::new(),
         }
+    }
+
+    /// Installs (or clears) a read deadline on the underlying stream.
+    /// While set, a blocking frame read that makes no progress within the
+    /// deadline fails with [`TransportError::Timeout`] instead of hanging
+    /// the caller forever — the coordinator uses this to tell a hung
+    /// partition process from a merely slow one.
+    pub fn set_read_timeout(&self, dur: Option<std::time::Duration>) -> Result<(), TransportError> {
+        self.stream.set_read_timeout(dur)
     }
 
     /// Queues one frame (length prefix + payload) for sending.
@@ -482,5 +530,52 @@ impl<M: Frame> Transport<M> for SocketTransport<M> {
 
     fn kind(&self) -> &'static str {
         self.kind
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_deadline_surfaces_timeout_and_connection_survives() {
+        let listener = Listener::bind(&Endpoint::Tcp("127.0.0.1:0".into())).unwrap();
+        let client = listener.local_endpoint().unwrap().connect().unwrap();
+        let server = listener.accept().unwrap();
+        let mut reader = FramedConn::new(client);
+        let mut writer = FramedConn::new(server);
+        reader
+            .set_read_timeout(Some(std::time::Duration::from_millis(30)))
+            .unwrap();
+        let err = reader.read_frame().unwrap_err();
+        assert_eq!(err, TransportError::Timeout);
+        assert!(err.is_peer_death());
+        // The deadline hit is not fatal to the connection: a frame that
+        // arrives afterwards is still delivered intact.
+        writer.write_frame(b"late").unwrap();
+        writer.flush().unwrap();
+        assert_eq!(reader.read_frame().unwrap(), b"late");
+    }
+
+    #[test]
+    fn closed_peer_is_distinct_from_timeout() {
+        let listener = Listener::bind(&Endpoint::Tcp("127.0.0.1:0".into())).unwrap();
+        let client = listener.local_endpoint().unwrap().connect().unwrap();
+        let server = listener.accept().unwrap();
+        drop(server);
+        let mut reader = FramedConn::new(client);
+        assert_eq!(reader.read_frame().unwrap_err(), TransportError::Closed);
+    }
+
+    #[test]
+    fn retry_backoff_gives_up_within_timeout() {
+        // Nothing listens here; every attempt is refused, so the retry
+        // loop must exhaust its budget and surface the last error rather
+        // than spin forever.
+        let ep = Endpoint::Uds(std::env::temp_dir().join("mobieyes-no-such-service.sock"));
+        let start = std::time::Instant::now();
+        let err = ep.connect_with_retry_jittered(std::time::Duration::from_millis(120), 42);
+        assert!(err.is_err());
+        assert!(start.elapsed() < std::time::Duration::from_secs(5));
     }
 }

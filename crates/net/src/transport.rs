@@ -44,6 +44,10 @@ pub enum TransportError {
     Handshake(String),
     /// The peer violated the RPC protocol (unexpected reply shape).
     Protocol(String),
+    /// A read deadline elapsed before the peer produced a frame. Distinct
+    /// from [`TransportError::Closed`]: the socket is still open, the peer
+    /// is hung — crash detection treats both as a dead partition.
+    Timeout,
 }
 
 impl std::fmt::Display for TransportError {
@@ -57,6 +61,7 @@ impl std::fmt::Display for TransportError {
             }
             TransportError::Handshake(e) => write!(f, "transport handshake failed: {e}"),
             TransportError::Protocol(e) => write!(f, "transport protocol violation: {e}"),
+            TransportError::Timeout => write!(f, "transport read deadline elapsed"),
         }
     }
 }
@@ -65,7 +70,26 @@ impl std::error::Error for TransportError {}
 
 impl From<std::io::Error> for TransportError {
     fn from(e: std::io::Error) -> Self {
-        TransportError::Io(e.to_string())
+        match e.kind() {
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => {
+                TransportError::Timeout
+            }
+            _ => TransportError::Io(e.to_string()),
+        }
+    }
+}
+
+impl TransportError {
+    /// Whether this failure means the peer itself is gone or unresponsive
+    /// (as opposed to a protocol-level disagreement): a closed socket, an
+    /// I/O error on the stream, or an elapsed read deadline. The
+    /// coordinator classifies these as a partition crash and triggers
+    /// failover; the remaining variants indicate a bug, not a dead peer.
+    pub fn is_peer_death(&self) -> bool {
+        matches!(
+            self,
+            TransportError::Closed | TransportError::Io(_) | TransportError::Timeout
+        )
     }
 }
 

@@ -46,6 +46,46 @@ impl std::fmt::Display for TransportKind {
     }
 }
 
+/// How the cluster tier brings a crashed partition's cells back into
+/// service (DESIGN.md §13).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RecoveryKind {
+    /// Reassign the dead partition's cells to the surviving neighbors
+    /// under an epoch fence; the process stays dead (the default).
+    #[default]
+    Failover,
+    /// Fail over first, then restart the partition and hand its original
+    /// cell span back under a second fence.
+    Respawn,
+}
+
+impl RecoveryKind {
+    /// Parses `"failover"` or `"respawn"` (case-insensitive).
+    pub fn parse(s: &str) -> Result<RecoveryKind, ConfigError> {
+        match s.to_ascii_lowercase().as_str() {
+            "failover" => Ok(RecoveryKind::Failover),
+            "respawn" => Ok(RecoveryKind::Respawn),
+            other => Err(ConfigError(format!(
+                "unknown recovery mode {other:?} (expected failover or respawn)"
+            ))),
+        }
+    }
+
+    /// The mode name (`"failover"`, `"respawn"`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            RecoveryKind::Failover => "failover",
+            RecoveryKind::Respawn => "respawn",
+        }
+    }
+}
+
+impl std::fmt::Display for RecoveryKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// Tick-engine variant driving the agent side of a run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum EngineKind {
@@ -200,6 +240,25 @@ pub struct SimConfig {
     /// struct-of-arrays fast path. Results are protocol-identical on
     /// either engine (see [`resolved_engine`](Self::resolved_engine)).
     pub engine: Option<EngineKind>,
+    /// Tick at which the crash-injection plan kills partitions (once per
+    /// run). `0` (the default) means auto: the
+    /// `MOBIEYES_PARTITION_CRASH_TICKS` environment variable if set,
+    /// otherwise off. Victims are drawn deterministically from the seed;
+    /// partition 0 (the epoch anchor) is never chosen. Requires the
+    /// cluster tier (see
+    /// [`resolved_partition_crash_ticks`](Self::resolved_partition_crash_ticks)).
+    pub partition_crash_ticks: usize,
+    /// Partitions killed at the crash tick. `0` (the default) means auto:
+    /// the `MOBIEYES_PARTITION_CRASH_KILLS` environment variable if set,
+    /// otherwise 1. Clamped to `partitions - 1` so at least one partition
+    /// survives (see
+    /// [`resolved_partition_crash_kills`](Self::resolved_partition_crash_kills)).
+    pub partition_crash_kills: usize,
+    /// Recovery mode for crashed partitions. `None` (the default) means
+    /// auto: the `MOBIEYES_RECOVERY` environment variable if set,
+    /// otherwise failover (see
+    /// [`resolved_recovery`](Self::resolved_recovery)).
+    pub recovery: Option<RecoveryKind>,
 }
 
 impl Default for SimConfig {
@@ -236,6 +295,9 @@ impl Default for SimConfig {
             rebalance_ticks: 0,
             transport: None,
             engine: None,
+            partition_crash_ticks: 0,
+            partition_crash_kills: 0,
+            recovery: None,
         }
     }
 }
@@ -351,6 +413,21 @@ impl SimConfig {
         self
     }
 
+    pub fn with_partition_crash_ticks(mut self, tick: usize) -> Self {
+        self.partition_crash_ticks = tick;
+        self
+    }
+
+    pub fn with_partition_crash_kills(mut self, kills: usize) -> Self {
+        self.partition_crash_kills = kills;
+        self
+    }
+
+    pub fn with_recovery(mut self, r: RecoveryKind) -> Self {
+        self.recovery = Some(r);
+        self
+    }
+
     /// Resolves the effective worker-thread count: an explicit
     /// `threads > 0` wins; otherwise a positive `MOBIEYES_THREADS`
     /// environment variable; otherwise the machine's available
@@ -434,6 +511,58 @@ impl SimConfig {
             }
         }
         EngineKind::default()
+    }
+
+    /// Resolves the crash-injection tick: an explicit
+    /// `partition_crash_ticks > 0` wins; otherwise a positive
+    /// `MOBIEYES_PARTITION_CRASH_TICKS` environment variable; otherwise 0
+    /// (crash injection off).
+    pub fn resolved_partition_crash_ticks(&self) -> usize {
+        if self.partition_crash_ticks > 0 {
+            return self.partition_crash_ticks;
+        }
+        if let Ok(v) = std::env::var("MOBIEYES_PARTITION_CRASH_TICKS") {
+            if let Ok(n) = v.parse::<usize>() {
+                if n > 0 {
+                    return n;
+                }
+            }
+        }
+        0
+    }
+
+    /// Resolves the number of partitions killed at the crash tick: an
+    /// explicit `partition_crash_kills > 0` wins; otherwise a positive
+    /// `MOBIEYES_PARTITION_CRASH_KILLS` environment variable; otherwise 1.
+    /// The crash plan additionally clamps the count to `partitions - 1` so
+    /// at least one partition survives.
+    pub fn resolved_partition_crash_kills(&self) -> usize {
+        if self.partition_crash_kills > 0 {
+            return self.partition_crash_kills;
+        }
+        if let Ok(v) = std::env::var("MOBIEYES_PARTITION_CRASH_KILLS") {
+            if let Ok(n) = v.parse::<usize>() {
+                if n > 0 {
+                    return n;
+                }
+            }
+        }
+        1
+    }
+
+    /// Resolves the crash-recovery mode: an explicit `recovery` wins;
+    /// otherwise a valid `MOBIEYES_RECOVERY` environment variable;
+    /// otherwise failover.
+    pub fn resolved_recovery(&self) -> RecoveryKind {
+        if let Some(r) = self.recovery {
+            return r;
+        }
+        if let Ok(v) = std::env::var("MOBIEYES_RECOVERY") {
+            if let Ok(r) = RecoveryKind::parse(&v) {
+                return r;
+            }
+        }
+        RecoveryKind::default()
     }
 
     /// Number of grid cells the run's universe decomposes into, matching
@@ -622,6 +751,27 @@ impl SimConfigBuilder {
         self
     }
 
+    /// Tick at which the crash plan kills partitions; `0` = auto (see
+    /// [`SimConfig::resolved_partition_crash_ticks`]).
+    pub fn partition_crash_ticks(mut self, tick: usize) -> Self {
+        self.config.partition_crash_ticks = tick;
+        self
+    }
+
+    /// Partitions killed at the crash tick; `0` = auto (see
+    /// [`SimConfig::resolved_partition_crash_kills`]).
+    pub fn partition_crash_kills(mut self, kills: usize) -> Self {
+        self.config.partition_crash_kills = kills;
+        self
+    }
+
+    /// Crash-recovery mode; unset = auto (see
+    /// [`SimConfig::resolved_recovery`]).
+    pub fn recovery(mut self, r: RecoveryKind) -> Self {
+        self.config.recovery = Some(r);
+        self
+    }
+
     /// Validates and returns the configuration.
     pub fn build(self) -> Result<SimConfig, ConfigError> {
         // Written to reject NaN along with non-positive values.
@@ -687,6 +837,19 @@ impl SimConfigBuilder {
             return err(format!(
                 "partitions ({partitions}) exceeds the grid's cell count ({cells}); \
                  shrink --partitions (or MOBIEYES_PARTITIONS), lower alpha, or grow the area"
+            ));
+        }
+        // Crash injection needs a survivor to fail over to; the plan also
+        // clamps, but an explicit impossible request is a config error.
+        if c.partition_crash_ticks > 0 && partitions < 2 {
+            return err(format!(
+                "partition_crash_ticks requires at least 2 partitions (got {partitions})"
+            ));
+        }
+        if c.partition_crash_kills > 0 && c.partition_crash_kills >= partitions {
+            return err(format!(
+                "partition_crash_kills ({}) must leave a survivor out of {partitions} partitions",
+                c.partition_crash_kills
             ));
         }
         Ok(c)
@@ -891,6 +1054,69 @@ mod tests {
                 .transport,
             Some(TransportKind::Uds)
         );
+    }
+
+    #[test]
+    fn recovery_parses_and_resolves() {
+        assert_eq!(
+            RecoveryKind::parse("failover").unwrap(),
+            RecoveryKind::Failover
+        );
+        assert_eq!(
+            RecoveryKind::parse("RESPAWN").unwrap(),
+            RecoveryKind::Respawn
+        );
+        assert!(RecoveryKind::parse("reboot").is_err());
+        assert_eq!(
+            SimConfig::default()
+                .with_recovery(RecoveryKind::Respawn)
+                .resolved_recovery(),
+            RecoveryKind::Respawn
+        );
+        assert_eq!(
+            SimConfig::builder()
+                .recovery(RecoveryKind::Failover)
+                .build()
+                .unwrap()
+                .recovery,
+            Some(RecoveryKind::Failover)
+        );
+    }
+
+    #[test]
+    fn crash_knob_resolution_and_validation() {
+        // Explicit values win; kills defaults to 1 when unset.
+        let c = SimConfig::default()
+            .with_partitions(4)
+            .with_partition_crash_ticks(10)
+            .with_partition_crash_kills(2);
+        assert_eq!(c.resolved_partition_crash_ticks(), 10);
+        assert_eq!(c.resolved_partition_crash_kills(), 2);
+        assert_eq!(
+            SimConfig::default().resolved_partition_crash_kills(),
+            1,
+            "auto kill count is one partition"
+        );
+        // Crashing a single-partition deployment is rejected, as is
+        // killing every partition.
+        assert!(SimConfig::builder()
+            .partitions(1)
+            .partition_crash_ticks(5)
+            .build()
+            .is_err());
+        assert!(SimConfig::builder()
+            .partitions(4)
+            .partition_crash_ticks(5)
+            .partition_crash_kills(4)
+            .build()
+            .is_err());
+        assert!(SimConfig::builder()
+            .partitions(4)
+            .partition_crash_ticks(5)
+            .partition_crash_kills(2)
+            .recovery(RecoveryKind::Respawn)
+            .build()
+            .is_ok());
     }
 
     #[test]

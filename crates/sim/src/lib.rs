@@ -25,7 +25,9 @@ pub use alpha_model::{optimal_alpha, AlphaCost, WorkloadMoments};
 pub use approach::{run_approach, run_approach_with, Approach, RunReport};
 pub use central_run::{CentralKind, CentralSim, MessagingKind, MessagingModel};
 pub use cluster_run::ClusterSim;
-pub use config::{ConfigError, EngineKind, SimConfig, SimConfigBuilder, TransportKind};
+pub use config::{
+    ConfigError, EngineKind, RecoveryKind, SimConfig, SimConfigBuilder, TransportKind,
+};
 pub use metrics::RunMetrics;
 pub use mobieyes_run::MobiEyesSim;
 pub use mobility::{Mobility, MobilityKind};

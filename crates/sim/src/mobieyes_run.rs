@@ -1,7 +1,7 @@
 //! The MobiEyes simulation driver: server + agents + network over a shared
 //! mobility trace, with all the measurements of §5.
 
-use crate::config::{EngineKind, SimConfig, TransportKind};
+use crate::config::{EngineKind, RecoveryKind, SimConfig, TransportKind};
 use crate::metrics::{sim_keys, RunMetrics};
 use crate::mobility::Mobility;
 use crate::soa::{
@@ -19,8 +19,8 @@ use mobieyes_core::{
 };
 use mobieyes_geo::{Grid, Point, QueryRegion, Vec2};
 use mobieyes_net::{
-    BaseStationLayout, ChurnPlan, FaultPlan, FramedConn, NodeId, RadioModel, SocketTransport,
-    StationId,
+    BaseStationLayout, ChurnPlan, FaultPlan, FramedConn, NodeId, PartitionCrashPlan, RadioModel,
+    SocketTransport, StationId,
 };
 use mobieyes_telemetry::{EventKind, Phase, Telemetry};
 use std::collections::BTreeSet;
@@ -160,7 +160,29 @@ pub struct MobiEyesSim {
     grid: Grid,
     /// Struct-of-arrays scheduling mirror + persistent phase scratch.
     soa: AgentSoa,
+    /// Deterministic partition-crash schedule (no-op by default);
+    /// resolved from the configuration at build, overridable for tests
+    /// via [`set_crash_plan`](Self::set_crash_plan).
+    crash_plan: PartitionCrashPlan,
+    /// How a crashed partition's cells come back: failover only, or
+    /// failover plus supervised respawn.
+    recovery: RecoveryKind,
+    /// Partitions awaiting respawn, with the tick at which to restart
+    /// them (the failover fence runs first; the respawn fence follows).
+    pending_respawn: Vec<(u32, usize)>,
+    /// Out-of-process kill callback: terminates partition `p`'s child
+    /// process so the coordinator's detection path sees a real death.
+    crash_hook: Option<Box<dyn FnMut(u32)>>,
+    /// Out-of-process respawn callback: restarts partition `p`'s child
+    /// and returns a fresh hello-completed connection, or `None` to
+    /// retry at the next tick boundary.
+    respawn_hook: Option<Box<dyn FnMut(u32) -> Option<FramedConn>>>,
 }
+
+/// Ticks between a partition's failover fence and its respawn fence:
+/// long enough for the re-spread ownership table to settle at survivors,
+/// short against the recovery-convergence contract.
+const RESPAWN_DELAY_TICKS: usize = 2;
 
 impl MobiEyesSim {
     pub fn new(config: SimConfig) -> Self {
@@ -316,8 +338,26 @@ impl MobiEyesSim {
             engine,
             grid: grid_copy,
             soa: AgentSoa::new(n, shards),
+            crash_plan: PartitionCrashPlan::none(),
+            recovery: RecoveryKind::Failover,
+            pending_respawn: Vec::new(),
+            crash_hook: None,
+            respawn_hook: None,
         };
         sim.rebalance_ticks = sim.config.resolved_rebalance_ticks();
+        sim.recovery = sim.config.resolved_recovery();
+        let crash_tick = sim.config.resolved_partition_crash_ticks();
+        let crash_parts = sim.config.resolved_partitions() as u32;
+        if crash_tick > 0 && crash_parts >= 2 {
+            sim.crash_plan = PartitionCrashPlan::seeded(
+                sim.config.seed,
+                crash_parts,
+                sim.config.resolved_partition_crash_kills(),
+                // The plan fires relative to measured ticks; warm-up runs
+                // crash-free so every deployment installs identically.
+                (sim.config.warmup_ticks + crash_tick) as u64,
+            );
+        }
         // Fault knobs from the configuration apply for the whole run; the
         // chaos harness installs sharper-edged plans via `set_churn`.
         let c = &sim.config;
@@ -480,6 +520,100 @@ impl MobiEyesSim {
         }
     }
 
+    /// Installs a partition-crash schedule, overriding the knobs the
+    /// configuration resolved (tests and the recovery bench).
+    pub fn set_crash_plan(&mut self, plan: PartitionCrashPlan) {
+        self.crash_plan = plan;
+    }
+
+    /// Overrides the crash-recovery mode.
+    pub fn set_recovery(&mut self, r: RecoveryKind) {
+        self.recovery = r;
+    }
+
+    /// Installs the out-of-process kill callback: invoked with the victim
+    /// partition id at the crash tick instead of the in-process kill, so
+    /// a multi-process driver can SIGKILL the real child.
+    pub fn set_crash_hook(&mut self, hook: impl FnMut(u32) + 'static) {
+        self.crash_hook = Some(Box::new(hook));
+    }
+
+    /// Installs the out-of-process respawn callback: invoked with the
+    /// partition id once its respawn is due; returns the restarted
+    /// child's hello-completed connection, or `None` to retry next tick.
+    pub fn set_respawn_hook(&mut self, hook: impl FnMut(u32) -> Option<FramedConn> + 'static) {
+        self.respawn_hook = Some(Box::new(hook));
+    }
+
+    /// Runs the per-tick crash schedule: kill due victims, detect and
+    /// fence anything dead (however it died), and perform due respawns.
+    fn crash_recovery_hook(&mut self) {
+        if self.crash_plan.is_noop() && self.pending_respawn.is_empty() {
+            return;
+        }
+        let victims: Vec<u32> = self.crash_plan.victims_at(self.tick_index as u64).to_vec();
+        if !victims.is_empty() {
+            let remote = self.tier.is_remote();
+            for &p in &victims {
+                if remote {
+                    let hook = self
+                        .crash_hook
+                        .as_mut()
+                        .expect("remote deployments need a crash hook to kill children");
+                    hook(p);
+                } else if let ServerTier::Cluster(c) = &mut self.tier {
+                    c.kill_partition(p);
+                }
+                if self.recovery == RecoveryKind::Respawn {
+                    self.pending_respawn
+                        .push((p, self.tick_index + RESPAWN_DELAY_TICKS));
+                }
+            }
+        }
+        // Detection + failover fence. Runs every boundary while the plan
+        // is armed: out-of-process deaths only become visible through the
+        // probe/classified-error path, possibly ticks after the kill.
+        if let ServerTier::Cluster(c) = &mut self.tier {
+            c.recover_crashed(&mut self.net);
+        }
+        if self.pending_respawn.is_empty() {
+            return;
+        }
+        let now_tick = self.tick_index;
+        let due: Vec<u32> = self
+            .pending_respawn
+            .iter()
+            .filter(|&&(_, at)| at <= now_tick)
+            .map(|&(p, _)| p)
+            .collect();
+        for p in due {
+            let done = if self.tier.is_remote() {
+                let conn = self
+                    .respawn_hook
+                    .as_mut()
+                    .expect("remote deployments need a respawn hook to restart children")(
+                    p
+                );
+                match conn {
+                    Some(conn) => match &mut self.tier {
+                        ServerTier::Cluster(c) => c.respawn_remote(p, conn).is_ok(),
+                        ServerTier::Single(_) => unreachable!("remote tier is a cluster"),
+                    },
+                    // Child not back yet; retry at the next boundary.
+                    None => false,
+                }
+            } else if let ServerTier::Cluster(c) = &mut self.tier {
+                c.respawn_partition(p);
+                true
+            } else {
+                true
+            };
+            if done {
+                self.pending_respawn.retain(|&(q, _)| q != p);
+            }
+        }
+    }
+
     /// Whether agent `i` is currently disconnected by the churn plan.
     pub fn agent_offline(&self, i: usize) -> bool {
         self.offline[i].is_some()
@@ -621,6 +755,12 @@ impl MobiEyesSim {
                 c.rebalance();
             }
         }
+
+        // Partition crash injection + recovery (cluster tier only). Kills
+        // fire at the tick boundary so a victim never half-processes a
+        // tick; detection, the failover fence and any due respawn run at
+        // the same boundary (DESIGN.md §13).
+        self.crash_recovery_hook();
 
         if measured {
             // Result accuracy vs exact ground truth. Remote tiers cannot

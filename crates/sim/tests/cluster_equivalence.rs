@@ -12,7 +12,8 @@
 
 use mobieyes_core::server::srv_keys;
 use mobieyes_core::{ObjectId, Propagation};
-use mobieyes_sim::{MobiEyesSim, SimConfig};
+use mobieyes_net::PartitionCrashPlan;
+use mobieyes_sim::{MobiEyesSim, RecoveryKind, SimConfig};
 use mobieyes_telemetry::MetricsSnapshot;
 use std::collections::BTreeSet;
 
@@ -152,5 +153,200 @@ fn eqp_chaos_matches_single_server() {
 fn lqp_chaos_matches_single_server() {
     for seed in [67, 68] {
         assert_equivalent(seed, Propagation::Lazy, true);
+    }
+}
+
+// --- partition crash recovery (DESIGN.md §13) ---
+
+/// Lease duration for the crash runs; heartbeats fire every 3 ticks.
+const LEASE_TICKS: usize = 6;
+/// The §13 convergence contract: after the last fence, with mobility
+/// frozen, every result set is exact within three leases plus the
+/// digest-beacon round trip.
+const MAX_RECOVERY: usize = 3 * LEASE_TICKS + 2;
+/// Tick boundary at which the crash plan fires (after the warm-up
+/// handshake has settled and some measured ticks have run).
+const CRASH_TICK: u64 = 8;
+/// Ticks stepped after the crash before the convergence phase, so the
+/// run exercises recovery under live mobility first.
+const POST_CRASH_TICKS: usize = 4;
+
+fn crash_config(seed: u64, propagation: Propagation, partitions: usize) -> SimConfig {
+    SimConfig::small_test(seed)
+        .with_propagation(propagation)
+        .with_lease_ticks(LEASE_TICKS)
+        .with_partitions(partitions)
+}
+
+struct CrashTrace {
+    /// Per-tick results for the live (pre-freeze) phase.
+    results: Vec<Vec<BTreeSet<ObjectId>>>,
+    /// Ticks of frozen mobility needed to reach exact ground truth.
+    converged_after: usize,
+    digest: u64,
+}
+
+fn collect_results(sim: &MobiEyesSim) -> Vec<BTreeSet<ObjectId>> {
+    sim.query_ids()
+        .iter()
+        .map(|&q| sim.query_result(q).cloned().unwrap_or_default())
+        .collect()
+}
+
+fn matches_truth(sim: &MobiEyesSim, truth: &[BTreeSet<ObjectId>]) -> bool {
+    sim.query_ids()
+        .iter()
+        .zip(truth)
+        .all(|(&q, t)| sim.query_result(q).map(|r| r == t).unwrap_or(t.is_empty()))
+}
+
+/// Runs a deployment through a deterministic partition crash and the
+/// configured recovery mode, asserting the §13 contract: the dead
+/// partitions are fenced, their cells reassigned, and — once mobility is
+/// frozen — every result set reconverges *exactly* to ground truth
+/// within [`MAX_RECOVERY`] ticks.
+fn run_crash_traced(
+    config: SimConfig,
+    kills: usize,
+    recovery: RecoveryKind,
+    threads: usize,
+) -> CrashTrace {
+    let partitions = config.resolved_partitions();
+    let seed = config.seed;
+    let plan = PartitionCrashPlan::seeded(seed, partitions as u32, kills, CRASH_TICK);
+    let victims = plan.victims.clone();
+    let mut sim = MobiEyesSim::new(config.with_threads(threads));
+    sim.set_crash_plan(plan);
+    sim.set_recovery(recovery);
+    let mut results = Vec::new();
+    for _ in 0..CRASH_TICK as usize + POST_CRASH_TICKS {
+        sim.step(false);
+        results.push(collect_results(&sim));
+    }
+    match recovery {
+        RecoveryKind::Failover => {
+            assert_eq!(
+                sim.cluster().dead_partitions(),
+                victims,
+                "victims must stay fenced off under failover (seed {seed})"
+            );
+        }
+        RecoveryKind::Respawn => {
+            assert!(
+                sim.cluster().dead_partitions().is_empty(),
+                "respawn must bring every victim back (seed {seed})"
+            );
+        }
+    }
+    assert!(
+        sim.cluster().map_generation() > 0,
+        "the failover fence must install a new map generation (seed {seed})"
+    );
+    // Freeze mobility and measure convergence to exact ground truth.
+    sim.freeze(true);
+    let truth = sim.ground_truth();
+    let mut converged_after = None;
+    for extra in 0..=MAX_RECOVERY {
+        if matches_truth(&sim, &truth) {
+            converged_after = Some(extra);
+            break;
+        }
+        sim.step(false);
+    }
+    let converged_after = converged_after.unwrap_or_else(|| {
+        panic!(
+            "results did not reconverge to ground truth within {MAX_RECOVERY} frozen ticks: \
+             seed {seed} partitions={partitions} kills={kills} recovery={recovery}"
+        )
+    });
+    CrashTrace {
+        results,
+        converged_after,
+        digest: sim.result_digest(),
+    }
+}
+
+fn assert_crash_recovery(propagation: Propagation, recovery: RecoveryKind) {
+    // (seed, partitions, kills): one of 2, one of 4, two of 8.
+    for (seed, partitions, kills) in [(71u64, 2usize, 1usize), (72, 4, 1), (73, 8, 2)] {
+        let trace = run_crash_traced(
+            crash_config(seed, propagation, partitions),
+            kills,
+            recovery,
+            1,
+        );
+        assert!(
+            trace.converged_after <= MAX_RECOVERY,
+            "convergence bound violated: {} > {MAX_RECOVERY}",
+            trace.converged_after
+        );
+        // The tick engine's headline invariant survives the crash path:
+        // the same scenario is byte-identical at four worker threads.
+        let threaded = run_crash_traced(
+            crash_config(seed, propagation, partitions),
+            kills,
+            recovery,
+            4,
+        );
+        assert_eq!(
+            trace.results, threaded.results,
+            "per-tick results diverged across thread counts: seed {seed} \
+             partitions={partitions} kills={kills} recovery={recovery}"
+        );
+        assert_eq!(
+            trace.digest, threaded.digest,
+            "post-recovery digest diverged across thread counts: seed {seed}"
+        );
+        assert_eq!(trace.converged_after, threaded.converged_after);
+    }
+}
+
+#[test]
+fn eqp_failover_reconverges_exactly() {
+    assert_crash_recovery(Propagation::Eager, RecoveryKind::Failover);
+}
+
+#[test]
+fn lqp_failover_reconverges_exactly() {
+    assert_crash_recovery(Propagation::Lazy, RecoveryKind::Failover);
+}
+
+#[test]
+fn eqp_respawn_reconverges_exactly() {
+    assert_crash_recovery(Propagation::Eager, RecoveryKind::Respawn);
+}
+
+#[test]
+fn lqp_respawn_reconverges_exactly() {
+    assert_crash_recovery(Propagation::Lazy, RecoveryKind::Respawn);
+}
+
+/// Regression: a query lost with a crashed partition is re-installed at a
+/// new home with a freshly computed monitoring region, and every
+/// partition that monitored its pre-crash region — including the new
+/// home itself — must retire the old RQI coverage. A dense grid with a
+/// moving focal makes the regions differ; the stale rows then either
+/// skew the heartbeat digests or, once the stub is pruned during
+/// re-adoption, panic the digest beacon outright.
+#[test]
+fn reinstalled_query_retires_stale_rqi_coverage() {
+    for recovery in [RecoveryKind::Failover, RecoveryKind::Respawn] {
+        let mut config = SimConfig::small_test(0x4D6F_6269_4579_6573)
+            .with_objects(400)
+            .with_queries(40)
+            .with_nmo(40)
+            .with_lease_ticks(LEASE_TICKS)
+            .with_partitions(4)
+            .with_partition_crash_ticks(5)
+            .with_recovery(recovery);
+        config.area = 4000.0;
+        config.ticks = 12;
+        config.warmup_ticks = 2;
+        let mut sim = MobiEyesSim::new(config);
+        for _ in 0..14 {
+            sim.step(false);
+            sim.cluster().check_invariants();
+        }
+        sim.shutdown();
     }
 }

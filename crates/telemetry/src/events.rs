@@ -44,6 +44,14 @@ pub enum EventKind {
     /// the object crashed (lost its local state) rather than merely
     /// disconnecting.
     ObjectOnline { oid: u64, fresh: u64 },
+    /// The coordinator detected a dead cluster partition.
+    PartitionCrashed { partition: u64 },
+    /// A dead partition's cells were reassigned to survivors under an
+    /// epoch fence.
+    PartitionFailedOver { partition: u64, cells: u64 },
+    /// A crashed partition rejoined the cluster and re-adopted its
+    /// pre-crash cell span.
+    PartitionRespawned { partition: u64 },
 }
 
 impl EventKind {
@@ -61,6 +69,9 @@ impl EventKind {
             EventKind::LeaseExpired { .. } => "lease_expired",
             EventKind::ObjectOffline { .. } => "object_offline",
             EventKind::ObjectOnline { .. } => "object_online",
+            EventKind::PartitionCrashed { .. } => "partition_crashed",
+            EventKind::PartitionFailedOver { .. } => "partition_failed_over",
+            EventKind::PartitionRespawned { .. } => "partition_respawned",
         }
     }
 
@@ -78,6 +89,11 @@ impl EventKind {
             EventKind::LeaseExpired { oid } => vec![("oid", oid)],
             EventKind::ObjectOffline { oid } => vec![("oid", oid)],
             EventKind::ObjectOnline { oid, fresh } => vec![("oid", oid), ("fresh", fresh)],
+            EventKind::PartitionCrashed { partition } => vec![("partition", partition)],
+            EventKind::PartitionFailedOver { partition, cells } => {
+                vec![("partition", partition), ("cells", cells)]
+            }
+            EventKind::PartitionRespawned { partition } => vec![("partition", partition)],
         }
     }
 
@@ -117,6 +133,16 @@ impl EventKind {
             "object_online" => EventKind::ObjectOnline {
                 oid: get("oid")?,
                 fresh: get("fresh")?,
+            },
+            "partition_crashed" => EventKind::PartitionCrashed {
+                partition: get("partition")?,
+            },
+            "partition_failed_over" => EventKind::PartitionFailedOver {
+                partition: get("partition")?,
+                cells: get("cells")?,
+            },
+            "partition_respawned" => EventKind::PartitionRespawned {
+                partition: get("partition")?,
             },
             _ => return None,
         })
@@ -304,6 +330,12 @@ mod tests {
             EventKind::LeaseExpired { oid: 10 },
             EventKind::ObjectOffline { oid: 11 },
             EventKind::ObjectOnline { oid: 12, fresh: 1 },
+            EventKind::PartitionCrashed { partition: 2 },
+            EventKind::PartitionFailedOver {
+                partition: 2,
+                cells: 64,
+            },
+            EventKind::PartitionRespawned { partition: 2 },
         ];
         for kind in kinds {
             let fields: Vec<(String, u64)> = kind

@@ -28,6 +28,20 @@ pub mod registry;
 pub mod snapshot;
 
 pub use events::{Event, EventKind, EventLog, DEFAULT_EVENT_CAPACITY};
+
+/// The `rec.*` telemetry counter keys: partition crash detection and
+/// recovery. Recorded into the cluster bus sink (not the shared protocol
+/// sink), so protocol snapshots stay comparable across deployments.
+pub mod rec_keys {
+    pub const CRASH_DETECTIONS: &str = "rec.crash_detections";
+    pub const FENCES: &str = "rec.fences";
+    pub const CELLS_FAILED_OVER: &str = "rec.cells_failed_over";
+    pub const CELLS_READOPTED: &str = "rec.cells_readopted";
+    pub const ENVELOPES_REROUTED: &str = "rec.envelopes_rerouted";
+    pub const ENVELOPES_DROPPED: &str = "rec.envelopes_dropped";
+    pub const QUERIES_REINSTALLED: &str = "rec.queries_reinstalled";
+    pub const RESPAWNS: &str = "rec.respawns";
+}
 pub use profiler::{Phase, PhaseTiming, TickProfiler, PHASES};
 pub use registry::{Histogram, MetricsRegistry, DEFAULT_BUCKET_EDGES};
 pub use snapshot::{HistogramSnapshot, MetricsSnapshot};

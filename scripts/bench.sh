@@ -10,6 +10,9 @@
 #  - crates/bench/src/bin/scale.rs: struct-of-arrays hot-path sweep from
 #    2k to 1M objects at constant density, plus the seed-engine
 #    head-to-head at 100k -> BENCH_scale.json
+#  - crates/bench/src/bin/recovery.rs: partition-crash recovery latency
+#    percentiles under failover and supervised respawn (one of 2, one of
+#    4, two of 8 partitions killed) -> BENCH_recovery.json
 # All JSON files land at the repository root. Every file records host
 # provenance — the machine's core count, the MOBIEYES_THREADS setting and
 # the cluster-bus transport (MOBIEYES_TRANSPORT, default lockstep) in
@@ -31,3 +34,4 @@ cargo run --release -p mobieyes-bench --bin parallel
 cargo run --release -p mobieyes-bench --bin chaos
 cargo run --release -p mobieyes-bench --bin cluster
 cargo run --release -p mobieyes-bench --bin scale
+cargo run --release -p mobieyes-bench --bin recovery

@@ -92,6 +92,39 @@ awk -v spt="$scale_spt" 'BEGIN { exit !(spt < 0.25) }' \
   || { echo "scale smoke: ${scale_spt}s/tick blows the 0.25s budget"; exit 1; }
 rm -f "$scale_out"
 
+echo "==> recovery smoke (partition crash failover + supervised respawn)"
+# The crash-recovery bench kills seeded partitions mid-run and measures
+# frozen-mobility ticks back to exact ground truth; like the chaos bench
+# it is deterministic across thread counts, and a non-converging scenario
+# surfaces as recovery_ticks == contract_bound_ticks.
+recovery_out_1=$(mktemp) && recovery_out_4=$(mktemp)
+MOBIEYES_QUICK=1 MOBIEYES_THREADS=1 cargo run -q --release -p mobieyes-bench --bin recovery
+mv BENCH_recovery.json "$recovery_out_1"
+MOBIEYES_QUICK=1 MOBIEYES_THREADS=4 cargo run -q --release -p mobieyes-bench --bin recovery
+mv BENCH_recovery.json "$recovery_out_4"
+diff_benches "$recovery_out_1" "$recovery_out_4" \
+  || { echo "recovery smoke: thread counts disagree"; exit 1; }
+rec_bound=$(assert_json "$recovery_out_1" get contract_bound_ticks)
+assert_json "$recovery_out_1" forbid recovery_ticks "$rec_bound" \
+  || { echo "recovery smoke: a scenario failed to converge within $rec_bound ticks"; exit 1; }
+rm -f "$recovery_out_1" "$recovery_out_4"
+# Supervised kill -9 across a real process boundary: the coordinator
+# SIGKILLs one of four UDS partition processes mid-run, fences it, and —
+# in respawn mode — restarts the child and re-adopts its cells. `drive`
+# exits non-zero unless the final digest matches the in-process lock-step
+# reference playing the identical crash plan.
+recovery_drive=$(mktemp)
+for rec in failover respawn; do
+  cargo run -q --release --bin mobieyes-serve -- drive --transport uds \
+    --partitions 4 --ticks 40 --seed 7 --crash-tick 8 --kill 1 \
+    --recovery "$rec" --json "$recovery_drive" >/dev/null
+  assert_json "$recovery_drive" require digests_match true \
+    || { echo "recovery smoke ($rec): live digest diverged from lock-step"; exit 1; }
+  assert_json "$recovery_drive" require crash_detections 1 \
+    || { echo "recovery smoke ($rec): the kill was never detected"; exit 1; }
+done
+rm -f "$recovery_drive"
+
 echo "==> socket smoke (multi-process partitions over UDS)"
 # Two partition services in separate OS processes behind Unix-domain
 # sockets, driven for 50 ticks by the coordinator; the final result digest

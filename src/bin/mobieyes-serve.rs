@@ -3,19 +3,30 @@
 //! `mobieyes-serve partition` hosts one grid partition behind the framed
 //! RPC protocol on a TCP or Unix-domain endpoint; it prints `READY
 //! <endpoint>` (with `port 0` resolved) once listening, then serves one
-//! coordinator until `Shutdown`.
+//! coordinator until `Shutdown`. Exit code 0 means a clean `Shutdown`;
+//! exit code 2 means the transport died underneath the service (peer
+//! vanished, poisoned listener) — the supervisor treats that as a crash.
 //!
 //! `mobieyes-serve drive` spawns one partition process per shard, runs
 //! the standard simulation workload against them from this process, and
 //! cross-checks the final result digest against an in-process lock-step
 //! run of the identical configuration — the self-contained smoke test
-//! `scripts/check.sh` calls.
+//! `scripts/check.sh` calls. With `--crash-tick` it additionally plays
+//! supervisor: at the scheduled tick it `SIGKILL`s the victim partition
+//! processes, lets the coordinator detect the deaths and run the
+//! failover fence, and — under `--recovery respawn` — restarts each
+//! victim on a fresh endpoint and hands the re-connected socket back to
+//! the coordinator for the re-adoption fence (DESIGN.md §13). The
+//! lock-step reference runs the *same* crash plan in-process, so the
+//! final digests must still match exactly.
 
 use mobieyes::cluster::serve_partition;
 use mobieyes::net::{Endpoint, Listener};
 use mobieyes::prelude::*;
+use std::cell::RefCell;
 use std::io::{BufRead, BufReader, Write};
 use std::process::{Child, Command, Stdio};
+use std::rc::Rc;
 use std::time::Duration;
 
 const HELP: &str = "\
@@ -32,6 +43,7 @@ ENDPOINTS:
 PARTITION:
     Hosts one grid partition. Prints `READY <endpoint>` when listening,
     serves exactly one coordinator connection, exits after Shutdown.
+    Exits 0 on clean Shutdown, 2 when the transport dies underneath it.
 
 DRIVE OPTIONS:
     --transport <tcp|uds>   socket family for the partition processes [uds]
@@ -43,6 +55,12 @@ DRIVE OPTIONS:
     --warmup <N>            warm-up ticks [small-test default]
     --seed <N>              workload seed [7]
     --json <path>           write the outcome as JSON
+    --crash-tick <N>        SIGKILL seeded victim partitions at measured
+                            tick N (0 = off) [0]
+    --kill <N>              partitions to kill at the crash tick [1]
+    --recovery <mode>       failover | respawn: keep the victims' cells at
+                            the survivors, or restart each victim process
+                            and hand its cells back [failover]
 ";
 
 fn parse<T: std::str::FromStr>(s: &str) -> Result<T, String> {
@@ -87,7 +105,59 @@ fn run_partition(mut args: impl Iterator<Item = String>) -> Result<(), String> {
     let bound = listener.local_endpoint().map_err(|e| e.to_string())?;
     println!("READY {bound}");
     std::io::stdout().flush().map_err(|e| e.to_string())?;
-    serve_partition(listener, partition).map_err(|e| e.to_string())
+    // A transport death is not a usage error: exit 2 so a supervisor can
+    // tell "the coordinator vanished" apart from "bad arguments".
+    if let Err(e) = serve_partition(listener, partition) {
+        eprintln!("mobieyes-serve: partition {partition}: {e}");
+        std::process::exit(2);
+    }
+    Ok(())
+}
+
+/// Spawns one partition service process and waits for its `READY` line.
+/// `incarnation` keeps respawned Unix-socket paths collision-free: the
+/// SIGKILLed predecessor never unlinked its socket.
+fn spawn_service(
+    exe: &std::path::Path,
+    transport: TransportKind,
+    p: usize,
+    incarnation: u64,
+) -> Result<(Child, Endpoint), String> {
+    let listen = match transport {
+        TransportKind::Tcp => "tcp:127.0.0.1:0".to_string(),
+        TransportKind::Uds => format!(
+            "uds:{}",
+            std::env::temp_dir()
+                .join(format!(
+                    "mobieyes-serve-{}-{p}-{incarnation}.sock",
+                    std::process::id()
+                ))
+                .display()
+        ),
+        TransportKind::Lockstep => unreachable!("rejected at parse"),
+    };
+    let mut child = Command::new(exe)
+        .args([
+            "partition",
+            "--partition",
+            &p.to_string(),
+            "--listen",
+            &listen,
+        ])
+        .stdout(Stdio::piped())
+        .spawn()
+        .map_err(|e| format!("spawning partition {p}: {e}"))?;
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut ready = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut ready)
+        .map_err(|e| format!("reading READY from partition {p}: {e}"))?;
+    let bound = ready
+        .trim()
+        .strip_prefix("READY ")
+        .ok_or_else(|| format!("partition {p} printed {ready:?}, expected READY"))?;
+    let endpoint = Endpoint::parse(bound).map_err(|e| e.to_string())?;
+    Ok((child, endpoint))
 }
 
 fn run_drive(mut args: impl Iterator<Item = String>) -> Result<(), String> {
@@ -100,6 +170,9 @@ fn run_drive(mut args: impl Iterator<Item = String>) -> Result<(), String> {
     let mut queries: Option<usize> = None;
     let mut warmup: Option<usize> = None;
     let mut json_out: Option<String> = None;
+    let mut crash_tick: usize = 0;
+    let mut kills: usize = 1;
+    let mut recovery = RecoveryKind::Failover;
     while let Some(arg) = args.next() {
         let mut value = |name: &str| {
             args.next()
@@ -127,11 +200,32 @@ fn run_drive(mut args: impl Iterator<Item = String>) -> Result<(), String> {
             "--warmup" => warmup = Some(parse(&value("--warmup")?)?),
             "--seed" => seed = parse(&value("--seed")?)?,
             "--json" => json_out = Some(value("--json")?),
+            "--crash-tick" => crash_tick = parse(&value("--crash-tick")?)?,
+            "--kill" => kills = parse(&value("--kill")?)?,
+            "--recovery" => {
+                recovery = RecoveryKind::parse(&value("--recovery")?).map_err(|e| e.to_string())?
+            }
             other => return Err(format!("unknown drive flag {other:?}")),
         }
     }
     if partitions == 0 {
         return Err("--partitions must be at least 1".into());
+    }
+    if crash_tick > 0 {
+        if partitions < 2 {
+            return Err("--crash-tick needs at least 2 partitions".into());
+        }
+        if kills == 0 || kills >= partitions {
+            return Err(format!(
+                "--kill must be between 1 and {} for {partitions} partitions",
+                partitions - 1
+            ));
+        }
+        if crash_tick >= ticks {
+            return Err(format!(
+                "--crash-tick {crash_tick} never fires within --ticks {ticks}"
+            ));
+        }
     }
 
     let mut config = SimConfig::small_test(seed)
@@ -148,68 +242,117 @@ fn run_drive(mut args: impl Iterator<Item = String>) -> Result<(), String> {
         if let Some(n) = warmup {
             b = b.warmup_ticks(n);
         }
+        if crash_tick > 0 {
+            b = b
+                .partition_crash_ticks(crash_tick)
+                .partition_crash_kills(kills)
+                .recovery(recovery);
+        }
         config = b.build().map_err(|e| e.to_string())?;
     }
 
     // Spawn one partition process per shard and collect their endpoints.
+    // The supervisor hooks below take and refill slots, so the children
+    // live behind a shared, optional-per-slot vector.
     let exe = std::env::current_exe().map_err(|e| e.to_string())?;
-    let mut children: Vec<Child> = Vec::with_capacity(partitions);
+    let children: Rc<RefCell<Vec<Option<Child>>>> = Rc::new(RefCell::new(Vec::new()));
     let mut endpoints: Vec<Endpoint> = Vec::with_capacity(partitions);
     for p in 0..partitions {
-        let listen = match transport {
-            TransportKind::Tcp => "tcp:127.0.0.1:0".to_string(),
-            TransportKind::Uds => format!(
-                "uds:{}",
-                std::env::temp_dir()
-                    .join(format!("mobieyes-serve-{}-{p}.sock", std::process::id()))
-                    .display()
-            ),
-            TransportKind::Lockstep => unreachable!("rejected at parse"),
-        };
-        let mut child = Command::new(&exe)
-            .args([
-                "partition",
-                "--partition",
-                &p.to_string(),
-                "--listen",
-                &listen,
-            ])
-            .stdout(Stdio::piped())
-            .spawn()
-            .map_err(|e| format!("spawning partition {p}: {e}"))?;
-        let stdout = child.stdout.take().expect("piped stdout");
-        let mut ready = String::new();
-        BufReader::new(stdout)
-            .read_line(&mut ready)
-            .map_err(|e| format!("reading READY from partition {p}: {e}"))?;
-        let bound = ready
-            .trim()
-            .strip_prefix("READY ")
-            .ok_or_else(|| format!("partition {p} printed {ready:?}, expected READY"))?;
-        endpoints.push(Endpoint::parse(bound).map_err(|e| e.to_string())?);
-        children.push(child);
+        let (child, endpoint) = spawn_service(&exe, transport, p, 0)?;
+        endpoints.push(endpoint);
+        children.borrow_mut().push(Some(child));
     }
 
     // Run the workload against the live processes...
     let client =
         ClusterClient::connect(&endpoints, Duration::from_secs(10)).map_err(|e| e.to_string())?;
-    let (metrics, digest) = client.run(config.clone());
-    for (p, mut child) in children.into_iter().enumerate() {
-        let status = child
-            .wait()
-            .map_err(|e| format!("waiting for partition {p}: {e}"))?;
-        if !status.success() {
-            return Err(format!("partition {p} exited with {status}"));
+    let mut sim = client.into_sim(config.clone(), Telemetry::new());
+    if crash_tick > 0 {
+        // Kill hook: SIGKILL the victim and reap it, so its sockets are
+        // provably closed before the coordinator's liveness probe runs.
+        let kill_slots = Rc::clone(&children);
+        sim.set_crash_hook(move |p| {
+            if let Some(mut child) = kill_slots.borrow_mut()[p as usize].take() {
+                let _ = child.kill();
+                let _ = child.wait();
+            }
+        });
+        if recovery == RecoveryKind::Respawn {
+            // Respawn hook: restart the victim on a fresh endpoint,
+            // redo the hello exchange, and hand the connection back for
+            // the re-adoption fence. `None` retries at the next tick.
+            let respawn_slots = Rc::clone(&children);
+            let respawn_exe = exe.clone();
+            let incarnation = RefCell::new(0u64);
+            sim.set_respawn_hook(move |p| {
+                *incarnation.borrow_mut() += 1;
+                let seq = *incarnation.borrow();
+                let (child, endpoint) =
+                    match spawn_service(&respawn_exe, transport, p as usize, seq) {
+                        Ok(ok) => ok,
+                        Err(e) => {
+                            eprintln!("mobieyes-serve: respawning partition {p}: {e}");
+                            return None;
+                        }
+                    };
+                let conn = endpoint
+                    .connect_with_retry(Duration::from_secs(10))
+                    .map(FramedConn::new)
+                    .and_then(|mut conn| {
+                        conn.send_hello(0)?;
+                        let announced = conn.expect_hello()?;
+                        if announced != p {
+                            return Err(TransportError::Handshake(format!(
+                                "respawned service announced partition {announced}, expected {p}"
+                            )));
+                        }
+                        Ok(conn)
+                    });
+                match conn {
+                    Ok(conn) => {
+                        respawn_slots.borrow_mut()[p as usize] = Some(child);
+                        Some(conn)
+                    }
+                    Err(e) => {
+                        eprintln!("mobieyes-serve: reconnecting partition {p}: {e}");
+                        None
+                    }
+                }
+            });
+        }
+    }
+    let metrics = sim.run();
+    let digest = sim.result_digest();
+    // Crash-recovery counters live on the cluster's private bus sink
+    // (kept out of the protocol snapshot the equivalence tests compare).
+    let snapshot = sim.cluster().bus_telemetry().snapshot();
+    sim.shutdown();
+    drop(sim);
+    // Surviving children (and respawned victims) saw `Shutdown` and must
+    // exit cleanly; failover victims were reaped by the kill hook and
+    // their slots hold `None`.
+    for (p, slot) in children.borrow_mut().iter_mut().enumerate() {
+        if let Some(mut child) = slot.take() {
+            let status = child
+                .wait()
+                .map_err(|e| format!("waiting for partition {p}: {e}"))?;
+            if !status.success() {
+                return Err(format!("partition {p} exited with {status}"));
+            }
         }
     }
 
-    // ...and the identical configuration on the in-process lock-step bus.
+    // ...and the identical configuration on the in-process lock-step bus:
+    // same seed, same crash plan, same recovery mode, so the final
+    // digests must agree byte-for-byte even across a mid-run crash.
     let reference_config = config.with_transport(TransportKind::Lockstep);
     let mut reference = MobiEyesSim::new(reference_config);
     reference.run();
     let reference_digest = reference.result_digest();
 
     let matched = digest == reference_digest;
+    let crash_detections = snapshot.counter(mobieyes::telemetry::rec_keys::CRASH_DETECTIONS);
+    let fences = snapshot.counter(mobieyes::telemetry::rec_keys::FENCES);
     let json = format!(
         concat!(
             "{{\n",
@@ -218,6 +361,11 @@ fn run_drive(mut args: impl Iterator<Item = String>) -> Result<(), String> {
             "  \"mode\": \"{}\",\n",
             "  \"seed\": {},\n",
             "  \"ticks\": {},\n",
+            "  \"crash_tick\": {},\n",
+            "  \"kills\": {},\n",
+            "  \"recovery\": \"{}\",\n",
+            "  \"crash_detections\": {},\n",
+            "  \"fences\": {},\n",
             "  \"digest\": \"{:016x}\",\n",
             "  \"reference_digest\": \"{:016x}\",\n",
             "  \"digests_match\": {},\n",
@@ -234,6 +382,11 @@ fn run_drive(mut args: impl Iterator<Item = String>) -> Result<(), String> {
         },
         seed,
         ticks,
+        crash_tick,
+        if crash_tick > 0 { kills } else { 0 },
+        recovery,
+        crash_detections,
+        fences,
         digest,
         reference_digest,
         matched,

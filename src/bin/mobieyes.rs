@@ -52,6 +52,16 @@ OPTIONS:
                        every N ticks; 0 = auto from
                        MOBIEYES_REBALANCE_TICKS, else off. Never changes
                        results, only the load split        [default: 0]
+    --partition-crash-ticks <N> kill seeded victim partitions at measured
+                       tick N and recover (DESIGN.md §13); 0 = auto from
+                       MOBIEYES_PARTITION_CRASH_TICKS, else off [default: 0]
+    --partition-crash-kills <N> partitions to kill at the crash tick;
+                       0 = auto from MOBIEYES_PARTITION_CRASH_KILLS,
+                       else 1                              [default: 0]
+    --recovery <R>     crash recovery mode: failover (survivors keep the
+                       dead cells) | respawn (victims restart and re-adopt
+                       them); unset = auto from MOBIEYES_RECOVERY, else
+                       failover
     --seed <N>         RNG seed
     --uplink-drop <P>  uplink message drop probability (0..=1)   [default: 0]
     --downlink-drop <P> downlink message drop probability (0..=1) [default: 0]
@@ -126,6 +136,17 @@ fn parse_args() -> Result<Cli, String> {
             }
             "--rebalance-ticks" => {
                 builder = builder.rebalance_ticks(parse(&value("--rebalance-ticks")?)?);
+            }
+            "--partition-crash-ticks" => {
+                builder = builder.partition_crash_ticks(parse(&value("--partition-crash-ticks")?)?);
+            }
+            "--partition-crash-kills" => {
+                builder = builder.partition_crash_kills(parse(&value("--partition-crash-kills")?)?);
+            }
+            "--recovery" => {
+                builder = builder.recovery(
+                    RecoveryKind::parse(&value("--recovery")?).map_err(|e| e.to_string())?,
+                );
             }
             "--seed" => builder = builder.seed(parse(&value("--seed")?)?),
             "--uplink-drop" => {

@@ -157,7 +157,7 @@ pub mod prelude {
     pub use mobieyes_runtime::{ThreadedOutcome, ThreadedSim};
     pub use mobieyes_sim::{
         run_approach, run_approach_with, Approach, ClusterClient, ConfigError, EngineKind,
-        HostedPartitions, MobiEyesSim, Mobility, RunMetrics, RunReport, SimConfig,
+        HostedPartitions, MobiEyesSim, Mobility, RecoveryKind, RunMetrics, RunReport, SimConfig,
         SimConfigBuilder, TransportKind, Workload,
     };
     pub use mobieyes_telemetry::{
