@@ -6,13 +6,15 @@
 //! $ assert-json BENCH_chaos.json forbid recovery_ticks 20      # fails if present
 //! $ assert-json BENCH_cluster.json require bench cluster-scaling
 //! $ assert-json BENCH_scale.json max seconds_per_tick          # prints largest
+//! $ assert-json BENCH_persist.json min replay_records_per_s    # prints smallest
 //! ```
 //!
 //! Scans for `"<key>": <scalar>` pairs (numbers, strings, booleans) —
 //! exactly the shapes the in-tree bench writers emit. `get` prints the
 //! first value; `max` prints the numerically largest (for budget checks
-//! over series entries); `forbid` exits non-zero when any pair matches
-//! the given value; `require` exits non-zero unless one does.
+//! over series entries); `min` the smallest (for throughput floors);
+//! `forbid` exits non-zero when any pair matches the given value;
+//! `require` exits non-zero unless one does.
 
 use std::process::exit;
 
@@ -48,7 +50,7 @@ fn values_of(doc: &str, key: &str) -> Vec<String> {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: assert-json <file> get <key>\n       assert-json <file> max <key>\n       assert-json <file> forbid <key> <value>\n       assert-json <file> require <key> <value>"
+        "usage: assert-json <file> get <key>\n       assert-json <file> max <key>\n       assert-json <file> min <key>\n       assert-json <file> forbid <key> <value>\n       assert-json <file> require <key> <value>"
     );
     exit(2)
 }
@@ -87,6 +89,17 @@ fn main() {
                 exit(1);
             }
             println!("{max}");
+        }
+        ("min", [key]) => {
+            let min = values_of(&doc, key)
+                .iter()
+                .filter_map(|v| v.parse::<f64>().ok())
+                .fold(f64::NAN, f64::min);
+            if min.is_nan() {
+                eprintln!("assert-json: key \"{key}\" has no numeric values in {file}");
+                exit(1);
+            }
+            println!("{min}");
         }
         ("forbid", [key, value]) => {
             if values_of(&doc, key).iter().any(|v| v == value) {

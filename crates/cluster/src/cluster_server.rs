@@ -15,6 +15,7 @@ use crate::handle::{PartitionHandle, RemotePartition};
 use crate::partition::{plan_bounds, PartitionMap, Router};
 use crate::wire::InitConfig;
 use mobieyes_core::server::{srv_keys, Net};
+use mobieyes_core::LogRecord;
 use mobieyes_core::{
     ClusterMsg, Downlink, Filter, ObjectId, PartitionScope, ProtocolConfig, QueryId, Server, Uplink,
 };
@@ -24,8 +25,10 @@ use mobieyes_net::{
     BaseStationLayout, FaultPlan, FramedConn, LockstepTransport, MessageMeter, NetworkSim, NodeId,
     SocketTransport, Transport, WireSized,
 };
+use mobieyes_store::{self as store, Store, StoreConfig};
 use mobieyes_telemetry::{rec_keys, EventKind, Telemetry};
 use std::collections::{BTreeMap, BTreeSet};
+use std::path::PathBuf;
 use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 
@@ -93,6 +96,10 @@ pub struct RecoveryReport {
     pub queries_reinstalled: usize,
     /// Orphaned bus envelopes re-routed to the new owners.
     pub envelopes_rerouted: usize,
+    /// Lost queries recovered directly by replaying the dead partition's
+    /// durable log — installed at the new owner with their full result
+    /// set, skipping the pending + `PositionRequest` round trip.
+    pub queries_replayed: usize,
 }
 
 /// Grid-sharded MobiEyes server tier.
@@ -145,6 +152,13 @@ pub struct ClusterServer {
     /// Bus envelopes addressed to a down partition, captured by the pump
     /// instead of being applied; the next failover fence re-routes them.
     orphans: Vec<Envelope>,
+    /// Root directory of the durable trajectory logs (`<root>/p<N>` per
+    /// partition); `None` runs the tier without persistence.
+    store_root: Option<PathBuf>,
+    /// Coordinator-held stores of the in-process partitions. Remote
+    /// partitions own their store inside the partition process; their
+    /// slot stays `None` (the coordinator reaches the log over RPC).
+    stores: Vec<Option<Store>>,
 }
 
 impl ClusterServer {
@@ -214,6 +228,19 @@ impl ClusterServer {
         conns: Vec<FramedConn>,
         alen: f64,
     ) -> Self {
+        Self::new_remote_with_store(config, shared, conns, alen, None)
+    }
+
+    /// [`Self::new_remote`] with per-partition durable logs: each process
+    /// opens (and replays) `<root>/p<N>` before serving its first op, so
+    /// restarting a killed process recovers its partition's state.
+    pub fn new_remote_with_store(
+        config: Arc<ProtocolConfig>,
+        shared: Telemetry,
+        conns: Vec<FramedConn>,
+        alen: f64,
+        store_root: Option<PathBuf>,
+    ) -> Self {
         let n = conns.len();
         let map = PartitionMap::contiguous(&config.grid, n);
         let epoch = Arc::new(AtomicU64::new(0));
@@ -239,6 +266,10 @@ impl ClusterServer {
                         heartbeat_secs: config.heartbeat_secs,
                         partition: p as u32,
                         num_partitions: n as u32,
+                        store_dir: store_root
+                            .as_ref()
+                            .map(|r| r.join(format!("p{p}")).to_string_lossy().into_owned()),
+                        store_fresh: false,
                     })
                     .unwrap_or_else(|e| panic!("partition {p} failed to initialize: {e}"));
                 PartitionHandle::Remote(remote)
@@ -250,7 +281,7 @@ impl ClusterServer {
             config.grid.alpha,
         ))
         .with_telemetry(bus_sink.clone());
-        Self::assemble(
+        let mut this = Self::assemble(
             config,
             map,
             partitions,
@@ -260,7 +291,9 @@ impl ClusterServer {
             bus_sink,
             epoch,
             alen,
-        )
+        );
+        this.store_root = store_root;
+        this
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -298,6 +331,8 @@ impl ClusterServer {
             lost_spans: BTreeMap::new(),
             registry: BTreeMap::new(),
             orphans: Vec::new(),
+            store_root: None,
+            stores: (0..n).map(|_| None).collect(),
         }
     }
 
@@ -352,6 +387,157 @@ impl ClusterServer {
     /// traffic gets dropped/duplicated like any other message.
     pub fn set_bus_fault(&mut self, plan: FaultPlan) {
         self.bus.set_fault(plan);
+    }
+
+    // --- durable trajectory logs (DESIGN.md §14) --------------------------
+
+    /// Attaches per-partition durable logs at `<root>/p<N>` to an
+    /// in-process deployment (builder style). Existing logs are replayed
+    /// into their partitions first — restarting a whole lockstep cluster
+    /// over the same root recovers its state — then every partition
+    /// journals its ops from here on. Remote deployments pass the root to
+    /// [`Self::new_remote_with_store`] instead (each process owns its log).
+    pub fn with_store(mut self, root: impl Into<PathBuf>) -> Self {
+        let root = root.into();
+        let n = self.partitions.len();
+        for p in 0..n {
+            let PartitionHandle::Local(server) = &mut self.partitions[p] else {
+                continue;
+            };
+            let dir = root.join(format!("p{p}"));
+            let store = Store::open(StoreConfig::new(&dir, p as u32), self.sinks[p].clone())
+                .unwrap_or_else(|e| panic!("opening store {}: {e}", dir.display()));
+            let mut scratch_net =
+                Net::new(BaseStationLayout::new(self.config.grid.universe, self.alen));
+            let summary =
+                store::replay_into(&dir, p as u32, server, &mut scratch_net, &self.sinks[p])
+                    .unwrap_or_else(|e| panic!("replaying store {}: {e}", dir.display()));
+            if summary.records_applied > 0 {
+                // Historical side effects were delivered in the previous
+                // life; only the rebuilt state is kept.
+                server.take_outbox();
+            }
+            if store.next_seq() == 0 {
+                store.append_record(&LogRecord::Meta {
+                    partition: p as u32,
+                    num_partitions: n as u32,
+                });
+            }
+            server.set_journal(Some(Arc::new(store.clone())));
+            self.stores[p] = Some(store);
+        }
+        self.store_root = Some(root);
+        self
+    }
+
+    /// Whether this deployment journals to durable logs.
+    pub fn has_store(&self) -> bool {
+        self.store_root.is_some()
+    }
+
+    /// Journals an ownership-table install into every live in-process
+    /// partition's log (remote partitions journal their own
+    /// `InstallBounds` op inside the service loop).
+    fn journal_bounds(&self, generation: u64, bounds: &[usize]) {
+        let bounds: Vec<u64> = bounds.iter().map(|&b| b as u64).collect();
+        for (p, slot) in self.stores.iter().enumerate() {
+            let Some(st) = slot else { continue };
+            if self.partitions[p].is_remote() || self.partition_down(p as u32) {
+                continue;
+            }
+            st.append_record(&LogRecord::Bounds {
+                generation,
+                bounds: bounds.clone(),
+            });
+        }
+    }
+
+    /// Cuts a checkpoint of every live partition into its durable log
+    /// (snapshot + segment GC — this is what bounds log growth). Returns
+    /// the per-partition next sequence number, 0 for storeless or dead
+    /// slots. No-op without a store.
+    pub fn checkpoint_all(&mut self) -> Vec<u64> {
+        (0..self.partitions.len())
+            .map(|p| {
+                if self.partition_down(p as u32) {
+                    return 0;
+                }
+                match &self.partitions[p] {
+                    PartitionHandle::Local(server) => match &self.stores[p] {
+                        Some(st) => {
+                            st.checkpoint(server.checkpoint_bytes());
+                            st.next_seq()
+                        }
+                        None => 0,
+                    },
+                    h @ PartitionHandle::Remote(_) => h.checkpoint_remote().unwrap_or(0),
+                }
+            })
+            .collect()
+    }
+
+    /// Historical trajectory of `oid` over `[t0, t1]`, merged across every
+    /// live partition's durable log (an object's samples land wherever its
+    /// reports were journaled, so all logs are consulted). Empty without a
+    /// store.
+    pub fn trajectory(&self, oid: ObjectId, t0: f64, t1: f64) -> Vec<LinearMotion> {
+        let mut out = Vec::new();
+        for p in 0..self.partitions.len() {
+            if self.partition_down(p as u32) {
+                continue;
+            }
+            match &self.partitions[p] {
+                PartitionHandle::Local(_) => {
+                    if let Some(st) = &self.stores[p] {
+                        out.extend(st.trajectory(oid, t0, t1).unwrap_or_default());
+                    }
+                }
+                h @ PartitionHandle::Remote(_) => out.extend(h.trajectory_remote(oid, t0, t1)),
+            }
+        }
+        store::sort_dedupe_motions(&mut out);
+        out
+    }
+
+    /// Crash-recovery drill for in-process deployments: swaps partition
+    /// `p`'s live server for one rebuilt purely from its durable log —
+    /// replayed under a scratch scope, then rebound to the shared
+    /// ownership table and epoch. State must be byte-identical afterwards
+    /// (the replay-equivalence tests assert it); the rebuilt server
+    /// resumes journaling to the same log.
+    pub fn rebuild_partition_from_log(&mut self, p: u32) {
+        let store = self.stores[p as usize]
+            .clone()
+            .expect("rebuild requires a store-backed in-process partition");
+        let dir = self
+            .store_root
+            .as_ref()
+            .expect("store root set with the stores")
+            .join(format!("p{p}"));
+        // Push buffered frames to disk first — replay reads the files, not
+        // the writer's in-memory tail.
+        store.flush();
+        let scratch_map = PartitionMap::contiguous(&self.config.grid, self.partitions.len());
+        let mut twin = Server::new(Arc::clone(&self.config))
+            .with_telemetry(Telemetry::new())
+            .with_scope(PartitionScope::new(
+                p,
+                Arc::clone(scratch_map.table()),
+                Arc::new(AtomicU64::new(0)),
+            ));
+        let mut scratch_net =
+            Net::new(BaseStationLayout::new(self.config.grid.universe, self.alen));
+        store::replay_into(&dir, p, &mut twin, &mut scratch_net, &Telemetry::new())
+            .unwrap_or_else(|e| panic!("replaying store {}: {e}", dir.display()));
+        twin.take_outbox();
+        twin.rebind_scope(PartitionScope::new(
+            p,
+            Arc::clone(self.map.table()),
+            Arc::clone(&self.epoch),
+        ));
+        twin.set_telemetry(self.sinks[p as usize].clone());
+        twin.set_journal(Some(Arc::new(store)));
+        self.partitions[p as usize].replace_local(twin);
     }
 
     /// Uplinks handled with partition `p` as primary (scaling bench).
@@ -844,7 +1030,7 @@ impl ClusterServer {
                 self.pump_bus();
             }
         }
-        self.partitions[new_home].apply_cell_change_fresh(oid, prev_cell, new_cell, net);
+        self.partitions[new_home].apply_cell_change_fresh(oid, prev_cell, new_cell, motion, net);
         self.pump_bus();
     }
 
@@ -1029,6 +1215,7 @@ impl ClusterServer {
         // (2) + (3) Fence bump, then the install itself.
         self.bump_shared_epoch();
         let generation = self.map.install(&new_bounds);
+        self.journal_bounds(generation, &new_bounds);
 
         // (4a) RQI rows of every reassigned cell, batched per (from, to)
         // pair in ascending partition order.
@@ -1246,6 +1433,7 @@ impl ClusterServer {
             new_bounds[i + 1] = new_bounds[i] + w[i];
         }
         let generation = self.map.install(&new_bounds);
+        self.journal_bounds(generation, &new_bounds);
         for (p, &live) in alive.iter().enumerate() {
             if live {
                 self.partitions[p].install_bounds(generation, &new_bounds);
@@ -1359,8 +1547,88 @@ impl ClusterServer {
             .copied()
             .filter(|q| !present.contains(q))
             .collect();
+
+        // (6b) Prefer recovering lost queries by replaying the dead
+        // partitions' durable logs: a replayed scratch server holds the
+        // exact focal motion, query spec and result set at the crash, so
+        // the query re-forms at its new owner immediately — skipping the
+        // pending + PositionRequest round trip through the agent. Queries
+        // no log can produce (storeless deployment, torn or stale log)
+        // fall back to the pending-install pipeline below.
+        let mut queries_replayed = 0usize;
+        let mut fallback: Vec<QueryId> = Vec::new();
+        if lost.is_empty() || self.store_root.is_none() {
+            fallback = lost;
+        } else {
+            let root = self.store_root.clone().expect("checked above");
+            let mut scratches: Vec<Server> = Vec::new();
+            for &p in &newly {
+                if let Some(st) = &self.stores[p as usize] {
+                    st.flush();
+                }
+                let dir = root.join(format!("p{p}"));
+                let scratch_map = PartitionMap::contiguous(&self.config.grid, n);
+                let mut scratch = Server::new(Arc::clone(&self.config))
+                    .with_telemetry(Telemetry::new())
+                    .with_scope(PartitionScope::new(
+                        p,
+                        Arc::clone(scratch_map.table()),
+                        Arc::new(AtomicU64::new(0)),
+                    ));
+                let mut scratch_net =
+                    Net::new(BaseStationLayout::new(self.config.grid.universe, self.alen));
+                if store::replay_into(&dir, p, &mut scratch, &mut scratch_net, &Telemetry::new())
+                    .is_ok()
+                {
+                    scratch.take_outbox();
+                    scratches.push(scratch);
+                }
+            }
+            for qid in lost {
+                let (focal, region, filter, expires_at) = {
+                    let r = &self.registry[&qid];
+                    (r.focal, r.region, Arc::clone(&r.filter), r.expires_at)
+                };
+                let recovered = scratches.iter().find(|s| s.has_query(qid)).and_then(|s| {
+                    debug_assert_eq!(
+                        s.query_focal(qid),
+                        Some(focal),
+                        "journaled query {qid:?} disagrees with the registry"
+                    );
+                    let motion = s.focal_motion(focal)?;
+                    let max_vel = s
+                        .focal_max_vel(focal)
+                        .unwrap_or(self.config.system_max_speed);
+                    let members: Vec<ObjectId> = s
+                        .query_result(qid)
+                        .map(|m| m.iter().copied().collect())
+                        .unwrap_or_default();
+                    Some((motion, max_vel, members))
+                });
+                let Some((motion, max_vel, members)) = recovered else {
+                    fallback.push(qid);
+                    continue;
+                };
+                let home = self
+                    .map
+                    .owner_of_cell(&self.config.grid, self.config.grid.cell_of(motion.pos))
+                    as usize;
+                self.partitions[home].refresh_focal_motion(focal, motion, max_vel, true);
+                self.pump_bus();
+                self.partitions[home]
+                    .complete_install_at(qid, focal, region, filter, expires_at, net);
+                self.pump_bus();
+                // Restore the journaled result set quietly: the members
+                // were already announced to the agent before the crash.
+                for m in members {
+                    self.partitions[home].lqt_reconcile_one(qid, m, true);
+                }
+                queries_replayed += 1;
+            }
+        }
+
         let mut focals: BTreeSet<ObjectId> = BTreeSet::new();
-        for qid in &lost {
+        for qid in &fallback {
             let r = &self.registry[qid];
             focals.insert(r.focal);
             self.pending
@@ -1379,7 +1647,9 @@ impl ClusterServer {
             net.send_unicast(oid.node(), Downlink::PositionRequest);
         }
         self.bus_sink
-            .add(rec_keys::QUERIES_REINSTALLED, lost.len() as u64);
+            .add(rec_keys::QUERIES_REINSTALLED, fallback.len() as u64);
+        self.bus_sink
+            .add(rec_keys::QUERIES_REPLAYED, queries_replayed as u64);
 
         self.bus.set_fault(saved_fault);
         // Ownership moved; the load observation window restarts.
@@ -1390,8 +1660,9 @@ impl ClusterServer {
         RecoveryReport {
             partitions: newly,
             cells_reassigned,
-            queries_reinstalled: lost.len(),
+            queries_reinstalled: fallback.len(),
             envelopes_rerouted: rerouted,
+            queries_replayed,
         }
     }
 
@@ -1406,7 +1677,32 @@ impl ClusterServer {
             "failover fence must run before a respawn"
         );
         self.dead.remove(&p);
+        self.reattach_store_fresh(p);
         self.readopt(p);
+    }
+
+    /// Post-failover store hygiene for an in-process respawn: the dead
+    /// partition's journal is stale (the survivors own its span's live
+    /// state now), so the directory is wiped and a fresh log attached —
+    /// the re-adoption transfers journal into it from sequence zero.
+    fn reattach_store_fresh(&mut self, p: u32) {
+        let Some(root) = &self.store_root else { return };
+        if self.partitions[p as usize].is_remote() {
+            return;
+        }
+        let dir = root.join(format!("p{p}"));
+        store::wipe_dir(&dir)
+            .unwrap_or_else(|e| panic!("wiping stale store {}: {e}", dir.display()));
+        let st = Store::open(StoreConfig::new(&dir, p), self.sinks[p as usize].clone())
+            .unwrap_or_else(|e| panic!("reopening store {}: {e}", dir.display()));
+        st.append_record(&LogRecord::Meta {
+            partition: p,
+            num_partitions: self.partitions.len() as u32,
+        });
+        if let PartitionHandle::Local(server) = &mut self.partitions[p as usize] {
+            server.set_journal(Some(Arc::new(st.clone())));
+        }
+        self.stores[p as usize] = Some(st);
     }
 
     /// Respawned-process variant: wraps the supervisor's fresh connection
@@ -1435,6 +1731,14 @@ impl ClusterServer {
             heartbeat_secs: self.config.heartbeat_secs,
             partition: p,
             num_partitions: self.partitions.len() as u32,
+            store_dir: self
+                .store_root
+                .as_ref()
+                .map(|r| r.join(format!("p{p}")).to_string_lossy().into_owned()),
+            // The failover fence already ran: the survivors own this
+            // span's live state, so the old journal is stale — the
+            // respawned process wipes it and journals from scratch.
+            store_fresh: true,
         })?;
         self.partitions[p as usize] = PartitionHandle::Remote(remote);
         self.dead.remove(&p);
@@ -1476,6 +1780,7 @@ impl ClusterServer {
             *b = (*b).max(e);
         }
         let generation = self.map.install(&new_bounds);
+        self.journal_bounds(generation, &new_bounds);
         for q in 0..n {
             if !self.dead.contains(&(q as u32)) {
                 self.partitions[q].install_bounds(generation, &new_bounds);

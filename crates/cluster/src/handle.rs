@@ -525,16 +525,20 @@ impl PartitionHandle {
         oid: ObjectId,
         prev_cell: CellId,
         new_cell: CellId,
+        motion: LinearMotion,
         net: &mut Net,
     ) {
         match self {
-            PartitionHandle::Local(s) => s.apply_cell_change_fresh(oid, prev_cell, new_cell, net),
+            PartitionHandle::Local(s) => {
+                s.apply_cell_change_fresh(oid, prev_cell, new_cell, motion, net)
+            }
             PartitionHandle::Remote(r) => {
                 r.call_net_void(
                     PartitionOp::CellChangeFresh {
                         oid,
                         prev_cell,
                         new_cell,
+                        motion,
                     },
                     net,
                 );
@@ -984,6 +988,39 @@ impl PartitionHandle {
             PartitionHandle::Remote(r) => {
                 let bounds = bounds.iter().map(|&b| b as u64).collect();
                 r.call_quiet_void(PartitionOp::InstallBounds { generation, bounds });
+            }
+        }
+    }
+
+    // --- durable store surface --------------------------------------------
+
+    /// Cuts a checkpoint into a remote partition's durable log, returning
+    /// the log's next sequence number. `None` for local handles (the
+    /// coordinator owns their stores directly), storeless deployments
+    /// (the op replies 0, mapped to `None`) and dead peers.
+    pub fn checkpoint_remote(&self) -> Option<u64> {
+        match self {
+            PartitionHandle::Local(_) => None,
+            PartitionHandle::Remote(r) => match r.call_quiet(PartitionOp::Checkpoint) {
+                Some(ReplyPayload::U64(0)) | None => None,
+                Some(ReplyPayload::U64(seq)) => Some(seq),
+                Some(other) => bad_payload("Checkpoint", &other),
+            },
+        }
+    }
+
+    /// Historical trajectory samples of `oid` in `[t0, t1]` from a remote
+    /// partition's durable log; empty for local handles, storeless
+    /// deployments and dead peers.
+    pub fn trajectory_remote(&self, oid: ObjectId, t0: f64, t1: f64) -> Vec<LinearMotion> {
+        match self {
+            PartitionHandle::Local(_) => Vec::new(),
+            PartitionHandle::Remote(r) => {
+                match r.call_quiet(PartitionOp::Trajectory { oid, t0, t1 }) {
+                    Some(ReplyPayload::Motions(motions)) => motions,
+                    None => Vec::new(),
+                    Some(other) => bad_payload("Trajectory", &other),
+                }
             }
         }
     }

@@ -22,9 +22,11 @@
 use crate::partition::PartitionMap;
 use crate::wire::{self, InitConfig, NetAction, PartitionOp, PartitionReply, ReplyPayload};
 use mobieyes_core::server::Net;
-use mobieyes_core::{PartitionScope, ProtocolConfig, Server};
+use mobieyes_core::{LogRecord, PartitionScope, ProtocolConfig, Server};
 use mobieyes_net::{BaseStationLayout, FramedConn, Listener, TransportError};
+use mobieyes_store::{self as store, Store, StoreConfig};
 use mobieyes_telemetry::Telemetry;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -40,6 +42,9 @@ struct ServiceState {
     /// contiguous default and tracks the coordinator's table through
     /// [`PartitionOp::InstallBounds`] after rebalance/failover fences.
     map: PartitionMap,
+    /// The partition's durable input journal, when the deployment runs
+    /// with a `--store-dir`. Opened (and replayed) before the first op.
+    store: Option<Store>,
 }
 
 impl ServiceState {
@@ -57,19 +62,52 @@ impl ServiceState {
         let config = Arc::new(config);
         let map = PartitionMap::contiguous(&config.grid, init.num_partitions as usize);
         let epoch = Arc::new(AtomicU64::new(0));
-        let server = Server::new(Arc::clone(&config))
-            .with_telemetry(Telemetry::new())
+        let telemetry = Telemetry::new();
+        let mut server = Server::new(Arc::clone(&config))
+            .with_telemetry(telemetry.clone())
             .with_scope(PartitionScope::new(
                 init.partition,
                 Arc::clone(map.table()),
                 Arc::clone(&epoch),
             ));
-        let net = Net::new(BaseStationLayout::new(init.universe, init.alen));
+        let mut net = Net::new(BaseStationLayout::new(init.universe, init.alen));
+        let store = init.store_dir.as_ref().map(|dir| {
+            let dir = Path::new(dir);
+            if init.store_fresh {
+                // Post-failover respawn: the survivors own this span's
+                // state now; replaying the stale journal would fork it.
+                store::wipe_dir(dir)
+                    .unwrap_or_else(|e| panic!("wiping stale store {}: {e}", dir.display()));
+            }
+            let store = Store::open(StoreConfig::new(dir, init.partition), telemetry.clone())
+                .unwrap_or_else(|e| panic!("opening store {}: {e}", dir.display()));
+            // Crash recovery: rebuild FOT/SQT/RQI by replaying the journal
+            // into the fresh server. The replay re-emits the historical
+            // downlinks and bus envelopes; those were already delivered in
+            // the previous life, so they are discarded — only state stays.
+            let summary =
+                store::replay_into(dir, init.partition, &mut server, &mut net, &telemetry)
+                    .unwrap_or_else(|e| panic!("replaying store {}: {e}", dir.display()));
+            if summary.records_applied > 0 {
+                net.take_downlinks();
+                server.take_outbox();
+            }
+            if store.next_seq() == 0 {
+                store.append_record(&LogRecord::Meta {
+                    partition: init.partition,
+                    num_partitions: init.num_partitions,
+                });
+            }
+            // Attach AFTER replay so replayed ops do not re-journal.
+            server.set_journal(Some(Arc::new(store.clone())));
+            store
+        });
         ServiceState {
             server,
             net,
             epoch,
             map,
+            store,
         }
     }
 
@@ -141,6 +179,13 @@ pub fn serve_connection(mut conn: FramedConn) -> Result<(), TransportError> {
         };
         s.epoch.fetch_max(floor, Ordering::Relaxed);
         let payload = execute(s, op);
+        // Acknowledged implies journaled: push buffered frames to the OS
+        // before the reply, so a SIGKILL never loses an op the
+        // coordinator saw complete (a buffered write, not an fsync — the
+        // page cache survives process death).
+        if let Some(st) = &s.store {
+            st.flush();
+        }
         let reply = PartitionReply {
             epoch: s.epoch.load(Ordering::Relaxed),
             outbox: s.server.take_outbox(),
@@ -183,9 +228,10 @@ fn execute(s: &mut ServiceState, op: PartitionOp) -> ReplyPayload {
             oid,
             prev_cell,
             new_cell,
+            motion,
         } => {
             s.server
-                .apply_cell_change_fresh(oid, prev_cell, new_cell, &mut s.net);
+                .apply_cell_change_fresh(oid, prev_cell, new_cell, motion, &mut s.net);
             ReplyPayload::Unit
         }
         PartitionOp::ResultChange {
@@ -278,6 +324,14 @@ fn execute(s: &mut ServiceState, op: PartitionOp) -> ReplyPayload {
             ReplyPayload::Unit
         }
         PartitionOp::InstallBounds { generation, bounds } => {
+            // Ownership changes shape every later op; journal them so a
+            // replay resolves cells against the same table history.
+            if let Some(store) = &s.store {
+                store.append_record(&LogRecord::Bounds {
+                    generation,
+                    bounds: bounds.clone(),
+                });
+            }
             let bounds: Vec<usize> = bounds.iter().map(|&b| b as usize).collect();
             s.map.table().install_at(&bounds, generation);
             ReplyPayload::Unit
@@ -292,6 +346,17 @@ fn execute(s: &mut ServiceState, op: PartitionOp) -> ReplyPayload {
         }
         PartitionOp::FocalIds => ReplyPayload::Oids(s.server.focal_ids()),
         PartitionOp::FocalAnchorCell(oid) => ReplyPayload::OptCell(s.server.focal_anchor_cell(oid)),
+        PartitionOp::Checkpoint => ReplyPayload::U64(match &s.store {
+            Some(store) => {
+                store.checkpoint(s.server.checkpoint_bytes());
+                store.next_seq()
+            }
+            None => 0,
+        }),
+        PartitionOp::Trajectory { oid, t0, t1 } => ReplyPayload::Motions(match &s.store {
+            Some(store) => store.trajectory(oid, t0, t1).unwrap_or_default(),
+            None => Vec::new(),
+        }),
     }
 }
 

@@ -82,6 +82,12 @@ pub struct InitConfig {
     pub heartbeat_secs: f64,
     pub partition: u32,
     pub num_partitions: u32,
+    /// Durable-log directory for this partition, if persistence is on.
+    pub store_dir: Option<String>,
+    /// When true the partition wipes any existing log before opening it
+    /// (a fenced-out respawn whose journal is stale — survivors hold the
+    /// authoritative state, so the old log must not be replayed).
+    pub store_fresh: bool,
 }
 
 /// One primitive operation against a remote partition — the RPC mirror of
@@ -105,6 +111,7 @@ pub enum PartitionOp {
         oid: ObjectId,
         prev_cell: CellId,
         new_cell: CellId,
+        motion: LinearMotion,
     },
     ResultChange {
         qid: QueryId,
@@ -192,6 +199,18 @@ pub enum PartitionOp {
     FocalIds,
     /// The anchor cell of one homed focal object.
     FocalAnchorCell(ObjectId),
+    /// Cuts a checkpoint of the partition's state into its durable log
+    /// (no-op without a store). Replies `U64` with the log's next
+    /// sequence number.
+    Checkpoint,
+    /// Historical trajectory query against the partition's durable log:
+    /// motion samples for `oid` with report time in `[t0, t1]`. Replies
+    /// `Motions` (empty without a store).
+    Trajectory {
+        oid: ObjectId,
+        t0: f64,
+        t1: f64,
+    },
 }
 
 /// A downlink the partition emitted while executing an op. The coordinator
@@ -221,6 +240,8 @@ pub enum ReplyPayload {
     Reinstall(Option<(QueryRegion, Filter, Option<f64>)>),
     ResultSet(Option<Vec<ObjectId>>),
     Oids(Vec<ObjectId>),
+    /// Motion samples from the durable log, ascending by report time.
+    Motions(Vec<LinearMotion>),
 }
 
 /// Reply to one [`PartitionOp`].
@@ -316,6 +337,14 @@ pub fn encode_request(epoch_floor: u64, op: &PartitionOp, out: &mut Vec<u8>) {
             out.put_f64_le(c.heartbeat_secs);
             out.put_u32_le(c.partition);
             out.put_u32_le(c.num_partitions);
+            match &c.store_dir {
+                Some(dir) => {
+                    out.put_u8(1);
+                    codec::put_string(out, dir);
+                }
+                None => out.put_u8(0),
+            }
+            out.put_u8(c.store_fresh as u8);
         }
         PartitionOp::SetTime(t) => {
             out.put_u8(1);
@@ -344,11 +373,13 @@ pub fn encode_request(epoch_floor: u64, op: &PartitionOp, out: &mut Vec<u8>) {
             oid,
             prev_cell,
             new_cell,
+            motion,
         } => {
             out.put_u8(5);
             put_oid(out, *oid);
             codec::put_cell(out, *prev_cell);
             codec::put_cell(out, *new_cell);
+            codec::put_motion(out, motion);
         }
         PartitionOp::ResultChange {
             qid,
@@ -505,6 +536,13 @@ pub fn encode_request(epoch_floor: u64, op: &PartitionOp, out: &mut Vec<u8>) {
             out.put_u8(39);
             put_oid(out, *oid);
         }
+        PartitionOp::Checkpoint => out.put_u8(40),
+        PartitionOp::Trajectory { oid, t0, t1 } => {
+            out.put_u8(41);
+            put_oid(out, *oid);
+            out.put_f64_le(*t0);
+            out.put_f64_le(*t1);
+        }
     }
 }
 
@@ -540,6 +578,12 @@ pub fn decode_request(bytes: &[u8]) -> Result<(u64, PartitionOp)> {
                     heartbeat_secs: buf.get_f64_le("heartbeat secs")?,
                     partition: buf.get_u32_le("partition")?,
                     num_partitions: buf.get_u32_le("num partitions")?,
+                    store_dir: if buf.get_u8("store dir flag")? != 0 {
+                        Some(codec::get_string(&mut buf)?)
+                    } else {
+                        None
+                    },
+                    store_fresh: buf.get_u8("store fresh")? != 0,
                 })
             }
             1 => PartitionOp::SetTime(buf.get_f64_le("time")?),
@@ -557,6 +601,7 @@ pub fn decode_request(bytes: &[u8]) -> Result<(u64, PartitionOp)> {
                 oid: get_oid(&mut buf)?,
                 prev_cell: codec::get_cell(&mut buf)?,
                 new_cell: codec::get_cell(&mut buf)?,
+                motion: codec::get_motion(&mut buf)?,
             },
             6 => PartitionOp::ResultChange {
                 qid: get_qid(&mut buf)?,
@@ -645,6 +690,12 @@ pub fn decode_request(bytes: &[u8]) -> Result<(u64, PartitionOp)> {
             37 => PartitionOp::PruneStubs,
             38 => PartitionOp::FocalIds,
             39 => PartitionOp::FocalAnchorCell(get_oid(&mut buf)?),
+            40 => PartitionOp::Checkpoint,
+            41 => PartitionOp::Trajectory {
+                oid: get_oid(&mut buf)?,
+                t0: buf.get_f64_le("trajectory start")?,
+                t1: buf.get_f64_le("trajectory end")?,
+            },
             t => return Err(DecodeError(format!("unknown partition op tag {t}"))),
         };
         Ok((floor, op))
@@ -796,6 +847,13 @@ pub fn encode_reply(reply: &PartitionReply, out: &mut Vec<u8>) {
                 put_oid(out, *oid);
             }
         }
+        ReplyPayload::Motions(motions) => {
+            out.put_u8(14);
+            out.put_u32_le(motions.len() as u32);
+            for m in motions {
+                codec::put_motion(out, m);
+            }
+        }
     }
 }
 
@@ -916,6 +974,17 @@ pub fn decode_reply(bytes: &[u8]) -> Result<PartitionReply> {
                 }
                 ReplyPayload::Oids(oids)
             }
+            14 => {
+                let n = buf.get_u32_le("motion count")? as usize;
+                if n * 40 > buf.remaining() {
+                    return Err(DecodeError(format!("oversized motion count {n}")));
+                }
+                let mut motions = Vec::with_capacity(n);
+                for _ in 0..n {
+                    motions.push(codec::get_motion(&mut buf)?);
+                }
+                ReplyPayload::Motions(motions)
+            }
             t => return Err(DecodeError(format!("unknown reply payload tag {t}"))),
         };
         Ok(PartitionReply {
@@ -960,6 +1029,8 @@ mod tests {
                 heartbeat_secs: 60.0,
                 partition: 2,
                 num_partitions: 4,
+                store_dir: Some("/tmp/mobieyes-store/p2".into()),
+                store_fresh: true,
             }),
             PartitionOp::SetTime(90.0),
             PartitionOp::RenewLease(ObjectId(7)),
@@ -976,6 +1047,7 @@ mod tests {
                 oid: ObjectId(9),
                 prev_cell: CellId::new(1, 3),
                 new_cell: CellId::new(2, 3),
+                motion: motion(),
             },
             PartitionOp::ResultChange {
                 qid: QueryId(1),
@@ -1057,6 +1129,12 @@ mod tests {
             PartitionOp::PruneStubs,
             PartitionOp::FocalIds,
             PartitionOp::FocalAnchorCell(ObjectId(7)),
+            PartitionOp::Checkpoint,
+            PartitionOp::Trajectory {
+                oid: ObjectId(7),
+                t0: 30.0,
+                t1: 240.0,
+            },
         ]
     }
 
@@ -1093,6 +1171,8 @@ mod tests {
             ReplyPayload::ResultSet(None),
             ReplyPayload::Oids(vec![ObjectId(3), ObjectId(8)]),
             ReplyPayload::Oids(vec![]),
+            ReplyPayload::Motions(vec![motion(), motion()]),
+            ReplyPayload::Motions(vec![]),
         ]
     }
 

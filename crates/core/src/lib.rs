@@ -25,6 +25,7 @@
 pub mod codec;
 pub mod config;
 pub mod filter;
+pub mod journal;
 pub mod knn;
 pub mod messages;
 pub mod model;
@@ -33,6 +34,7 @@ pub mod server;
 
 pub use config::{Propagation, ProtocolConfig};
 pub use filter::Filter;
+pub use journal::{JournalSink, LogRecord};
 pub use knn::{KnnConfig, KnnCoordinator};
 pub use messages::{
     ClusterMsg, Downlink, QueryGroupInfo, QueryMigration, QuerySpec, StubSeed, Uplink,

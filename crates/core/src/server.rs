@@ -9,8 +9,10 @@
 //! object reports. It never computes containment itself — that work lives
 //! on the moving objects.
 
+use crate::codec;
 use crate::config::{Propagation, ProtocolConfig};
 use crate::filter::Filter;
+use crate::journal::{JournalSink, LogRecord};
 use crate::messages::{
     state_digest, ClusterMsg, Downlink, QueryGroupInfo, QueryMigration, QuerySpec, StubSeed, Uplink,
 };
@@ -445,6 +447,16 @@ pub struct Server {
     /// [`invalidate_fresh_memo`](Self::invalidate_fresh_memo)), keeping
     /// replies byte-identical to point-wise application.
     fresh_memo: HashMap<(u32, u32), Vec<QueryGroupInfo>>,
+    /// Durable input journal (see [`crate::journal`]); `None` = no
+    /// persistence. Injected like `telemetry`.
+    journal: Option<Arc<dyn JournalSink>>,
+    /// Journal suppression depth: while > 0 the executing op was already
+    /// journaled at an outer entry point (or is itself a replay), so the
+    /// nested primitives it decomposes into must not double-log.
+    jdepth: u32,
+    /// Last shared-epoch floor written to the journal (scoped servers
+    /// only) — deduplicates [`LogRecord::Floor`] records.
+    journal_floor: u64,
 }
 
 impl Server {
@@ -466,6 +478,9 @@ impl Server {
             outbox: Vec::new(),
             uplink_scratch: Vec::new(),
             fresh_memo: HashMap::new(),
+            journal: None,
+            jdepth: 0,
+            journal_floor: 0,
         }
     }
 
@@ -483,9 +498,87 @@ impl Server {
         self
     }
 
+    /// Attaches a durable input journal (builder style): every mutating
+    /// entry point appends one [`LogRecord`] before executing, so replaying
+    /// the log against a fresh server reproduces this one byte-for-byte.
+    pub fn with_journal(mut self, sink: Arc<dyn JournalSink>) -> Self {
+        self.set_journal(Some(sink));
+        self
+    }
+
+    /// Attaches or detaches the journal sink at runtime (failover wipes
+    /// and re-attaches per-partition logs).
+    pub fn set_journal(&mut self, sink: Option<Arc<dyn JournalSink>>) {
+        self.journal = sink;
+        self.journal_floor = 0;
+    }
+
+    /// Redirects instrumentation into a (possibly shared) telemetry sink
+    /// at runtime — the setter twin of [`with_telemetry`](Self::with_telemetry).
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
     /// The partition scope, when this server is part of a cluster.
     pub fn scope(&self) -> Option<&PartitionScope> {
         self.scope.as_ref()
+    }
+
+    /// Rebinds a scoped server to a different [`PartitionScope`] of the
+    /// same partition slot — the swap-in step after a journal replay,
+    /// which runs against a *private* table/epoch so historical ownership
+    /// resolves correctly mid-replay. The replayed epoch is carried into
+    /// the new shared sequencer (`fetch_max`, so a fresher shared value
+    /// wins).
+    #[doc(hidden)]
+    pub fn rebind_scope(&mut self, scope: PartitionScope) {
+        let old = self.scope.as_ref().expect("rebind needs a scoped server");
+        assert_eq!(
+            old.partition(),
+            scope.partition(),
+            "rebind keeps the partition slot"
+        );
+        let replayed = old.epoch.load(Ordering::Relaxed);
+        scope.epoch.fetch_max(replayed, Ordering::Relaxed);
+        self.scope = Some(scope);
+    }
+
+    /// Raises the (shared) epoch to at least `floor` — the replay image of
+    /// the per-request `fetch_max` the partition RPC protocol performs,
+    /// driven by [`LogRecord::Floor`] records.
+    #[doc(hidden)]
+    pub fn raise_epoch(&mut self, floor: u64) {
+        match &self.scope {
+            Some(s) => {
+                s.epoch.fetch_max(floor, Ordering::Relaxed);
+            }
+            None => self.epoch = self.epoch.max(floor),
+        }
+    }
+
+    /// Whether the next journal-worthy op should append a record.
+    #[inline]
+    fn journaling(&self) -> bool {
+        self.jdepth == 0 && self.journal.is_some()
+    }
+
+    /// Appends one record to the journal. Scoped servers first log the
+    /// observed shared-epoch floor when it moved since the last append:
+    /// sibling partitions advance the shared sequencer between our ops,
+    /// and the seq stamps we write depend on it. Callers gate on
+    /// [`journaling`](Self::journaling) so hot paths skip record
+    /// construction when no journal is attached.
+    fn jot(&mut self, rec: LogRecord) {
+        debug_assert!(self.journaling());
+        let Some(j) = &self.journal else { return };
+        if let Some(s) = &self.scope {
+            let observed = s.epoch.load(Ordering::Relaxed);
+            if observed != self.journal_floor {
+                self.journal_floor = observed;
+                j.append(&LogRecord::Floor(observed));
+            }
+        }
+        j.append(&rec);
     }
 
     /// Number of remote-region stubs currently installed.
@@ -520,6 +613,12 @@ impl Server {
 
     pub fn config(&self) -> &ProtocolConfig {
         &self.config
+    }
+
+    /// Shared handle to the protocol configuration — what a twin server
+    /// rebuilt from the durable log must be constructed with.
+    pub fn config_arc(&self) -> Arc<ProtocolConfig> {
+        Arc::clone(&self.config)
     }
 
     /// Server-side work counters, materialized from the telemetry
@@ -579,6 +678,15 @@ impl Server {
         net: &mut Net,
     ) -> QueryId {
         let qid = QueryId(self.next_qid);
+        if self.journaling() {
+            self.jot(LogRecord::InstallQuery {
+                qid,
+                focal,
+                region,
+                filter: filter.clone(),
+                expires_at,
+            });
+        }
         self.next_qid += 1;
         let filter = Arc::new(filter);
         if self.fot.contains_key(&focal) {
@@ -702,6 +810,9 @@ impl Server {
         region: QueryRegion,
         net: &mut Net,
     ) -> bool {
+        if self.journaling() {
+            self.jot(LogRecord::UpdateRegion { qid, region });
+        }
         let grid = self.config.grid.clone();
         if !self.sqt.contains_key(&qid) {
             return false;
@@ -729,6 +840,9 @@ impl Server {
 
     /// Removes a query from the system, notifying its monitoring region.
     pub fn remove_query(&mut self, qid: QueryId, net: &mut Net) -> bool {
+        if self.journaling() {
+            self.jot(LogRecord::RemoveQuery(qid));
+        }
         let Some(entry) = self.sqt.remove(&qid) else {
             return false;
         };
@@ -776,6 +890,20 @@ impl Server {
 
     /// Processes one uplink message.
     pub fn handle_uplink(&mut self, from: NodeId, msg: Uplink, net: &mut Net) {
+        // Journal the uplink whole at the outermost dispatch; the
+        // primitives it decomposes into below are suppressed.
+        if self.journaling() {
+            self.jot(LogRecord::Uplink {
+                from: from.0,
+                msg: msg.clone(),
+            });
+        }
+        self.jdepth += 1;
+        self.handle_uplink_inner(from, msg, net);
+        self.jdepth -= 1;
+    }
+
+    fn handle_uplink_inner(&mut self, from: NodeId, msg: Uplink, net: &mut Net) {
         self.telemetry.incr(srv_keys::UPLINKS);
         // Any uplink from a focal object renews its lease.
         self.renew_lease(ObjectId(from.0));
@@ -844,6 +972,14 @@ impl Server {
         max_vel: f64,
         insert: bool,
     ) {
+        if self.journaling() {
+            self.jot(LogRecord::RefreshFocalMotion {
+                oid,
+                motion,
+                max_vel,
+                insert,
+            });
+        }
         let now = self.now;
         // Focal motion is part of the cell-change payload but a refresh
         // does not bump the epoch, so drop the memo explicitly.
@@ -945,6 +1081,9 @@ impl Server {
     /// was purged from (result deltas and counters are the caller's job).
     #[doc(hidden)]
     pub fn purge_object(&mut self, oid: ObjectId) -> Vec<QueryId> {
+        if self.journaling() {
+            self.jot(LogRecord::PurgeObject(oid));
+        }
         self.sqt
             .iter_mut()
             .filter_map(|(&q, e)| e.result.remove(&oid).then_some(q))
@@ -955,6 +1094,9 @@ impl Server {
     /// (or wiped by a crash), which would silence dead reckoning.
     #[doc(hidden)]
     pub fn focal_reassert(&mut self, oid: ObjectId, net: &mut Net) {
+        if self.journaling() {
+            self.jot(LogRecord::FocalReassert(oid));
+        }
         if self.fot.get(&oid).is_some_and(|f| !f.queries.is_empty()) {
             self.telemetry.incr(srv_keys::UNICAST_OPS);
             net.send_unicast(oid.node(), Downlink::FocalNotify { is_focal: true });
@@ -965,6 +1107,9 @@ impl Server {
     /// object.
     #[doc(hidden)]
     pub fn cell_sync_reply(&mut self, oid: ObjectId, cell: CellId, net: &mut Net) {
+        if self.journaling() {
+            self.jot(LogRecord::CellSyncReply { oid, cell });
+        }
         let qids = self.rqi[self.config.grid.flat_index(cell)].clone();
         let infos: Vec<QueryGroupInfo> = self
             .group_queries(&{
@@ -1016,6 +1161,13 @@ impl Server {
     /// caller's job.
     #[doc(hidden)]
     pub fn lqt_reconcile_one(&mut self, qid: QueryId, oid: ObjectId, is_target: bool) -> bool {
+        if self.journaling() {
+            self.jot(LogRecord::LqtReconcile {
+                qid,
+                oid,
+                is_target,
+            });
+        }
         let Some(e) = self.sqt.get_mut(&qid) else {
             return false;
         };
@@ -1039,6 +1191,18 @@ impl Server {
     /// the current epoch and a per-cell digest of the RQI, against which
     /// objects verify their local query tables.
     pub fn heartbeat(&mut self, now: f64, net: &mut Net) {
+        // One record covers the whole heartbeat — due-ness, lease expiry
+        // and the nested query teardowns replay deterministically from the
+        // same clock value.
+        if self.journaling() {
+            self.jot(LogRecord::Heartbeat(now));
+        }
+        self.jdepth += 1;
+        self.heartbeat_inner(now, net);
+        self.jdepth -= 1;
+    }
+
+    fn heartbeat_inner(&mut self, now: f64, net: &mut Net) {
         self.now = now;
         if !self.config.fault_tolerant() || now - self.last_heartbeat < self.config.heartbeat_secs {
             return;
@@ -1142,6 +1306,9 @@ impl Server {
     /// the sequencing primitive behind the heartbeat beacon.
     #[doc(hidden)]
     pub fn bump_epoch_for_coordinator(&mut self) -> u64 {
+        if self.journaling() {
+            self.jot(LogRecord::BumpEpoch);
+        }
         self.bump_epoch()
     }
 
@@ -1149,6 +1316,9 @@ impl Server {
     /// the monitoring regions of its queries.
     #[doc(hidden)]
     pub fn on_velocity_report(&mut self, oid: ObjectId, motion: LinearMotion, net: &mut Net) {
+        if self.journaling() {
+            self.jot(LogRecord::VelocityReport { oid, motion });
+        }
         self.telemetry.incr(srv_keys::VELOCITY_REPORTS);
         self.telemetry
             .event(EventKind::VelocityReport { oid: oid.0 as u64 });
@@ -1204,7 +1374,7 @@ impl Server {
     ) {
         self.telemetry.incr(srv_keys::CELL_CHANGES);
         self.apply_cell_change_focal(oid, new_cell, motion, net);
-        self.apply_cell_change_fresh(oid, prev_cell, new_cell, net);
+        self.apply_cell_change_fresh(oid, prev_cell, new_cell, motion, net);
     }
 
     /// Focal-object half of a cell change: recompute monitoring regions
@@ -1220,6 +1390,13 @@ impl Server {
         motion: LinearMotion,
         net: &mut Net,
     ) {
+        if self.journaling() {
+            self.jot(LogRecord::CellChangeFocal {
+                oid,
+                new_cell,
+                motion,
+            });
+        }
         let grid = self.config.grid.clone();
         let Some(fot) = self.fot.get_mut(&oid) else {
             return;
@@ -1298,8 +1475,19 @@ impl Server {
         oid: ObjectId,
         prev_cell: CellId,
         new_cell: CellId,
+        motion: LinearMotion,
         net: &mut Net,
     ) {
+        if self.journaling() {
+            // The handler below never reads `motion`; it rides along so
+            // the trajectory index covers non-focal objects too.
+            self.jot(LogRecord::CellChangeFresh {
+                oid,
+                prev_cell,
+                new_cell,
+                motion,
+            });
+        }
         let grid = &self.config.grid;
         // The payload is a pure function of (prev_cell, new_cell) given the
         // disseminated query state, which only changes at memo-invalidation
@@ -1450,6 +1638,9 @@ impl Server {
         entered: bool,
         net: &mut Net,
     ) {
+        if self.journaling() {
+            self.jot(LogRecord::ResultDelta { qid, oid, entered });
+        }
         if !self.config.deliver_results {
             return;
         }
@@ -1548,6 +1739,9 @@ impl Server {
     /// Renews the lease of a focal object (any uplink from it counts).
     #[doc(hidden)]
     pub fn renew_lease(&mut self, oid: ObjectId) {
+        if self.journaling() {
+            self.jot(LogRecord::RenewLease(oid));
+        }
         if let Some(f) = self.fot.get_mut(&oid) {
             f.last_heard = self.now;
         }
@@ -1558,6 +1752,11 @@ impl Server {
     /// heartbeat gate and pushes time down to every partition).
     #[doc(hidden)]
     pub fn set_time(&mut self, now: f64) {
+        // Tick boundary: also the journal's group-flush point (the store
+        // flushes buffered frames when it sees this record).
+        if self.journaling() {
+            self.jot(LogRecord::SetTime(now));
+        }
         self.now = now;
         // Tick boundary: start the new tick's payload memo fresh.
         self.fresh_memo.clear();
@@ -1609,6 +1808,26 @@ impl Server {
         is_target: bool,
         net: &mut Net,
     ) -> bool {
+        if self.journaling() {
+            self.jot(LogRecord::ResultChange {
+                qid,
+                oid,
+                is_target,
+            });
+        }
+        self.jdepth += 1;
+        let changed = self.apply_result_change_inner(qid, oid, is_target, net);
+        self.jdepth -= 1;
+        changed
+    }
+
+    fn apply_result_change_inner(
+        &mut self,
+        qid: QueryId,
+        oid: ObjectId,
+        is_target: bool,
+        net: &mut Net,
+    ) -> bool {
         let Some(e) = self.sqt.get_mut(&qid) else {
             return false;
         };
@@ -1627,6 +1846,27 @@ impl Server {
     /// `RESULT_UPDATES` counter is the caller's job).
     #[doc(hidden)]
     pub fn apply_group_result_update(
+        &mut self,
+        oid: ObjectId,
+        focal: ObjectId,
+        mask: u64,
+        targets: u64,
+        net: &mut Net,
+    ) {
+        if self.journaling() {
+            self.jot(LogRecord::GroupResultUpdate {
+                oid,
+                focal,
+                mask,
+                targets,
+            });
+        }
+        self.jdepth += 1;
+        self.apply_group_result_update_inner(oid, focal, mask, targets, net);
+        self.jdepth -= 1;
+    }
+
+    fn apply_group_result_update_inner(
         &mut self,
         oid: ObjectId,
         focal: ObjectId,
@@ -1669,6 +1909,15 @@ impl Server {
         expires_at: Option<f64>,
         net: &mut Net,
     ) {
+        if self.journaling() {
+            self.jot(LogRecord::CompleteInstall {
+                qid,
+                focal,
+                region,
+                filter: (*filter).clone(),
+                expires_at,
+            });
+        }
         self.complete_install(qid, focal, region, filter, expires_at, net);
     }
 
@@ -1686,6 +1935,9 @@ impl Server {
     /// did not change.
     #[doc(hidden)]
     pub fn extract_focal(&mut self, oid: ObjectId) -> Option<ClusterMsg> {
+        if self.journaling() {
+            self.jot(LogRecord::ExtractFocal(oid));
+        }
         debug_assert!(self.scope.is_some(), "migration needs a scoped server");
         self.fresh_memo.clear();
         let owned = self.owned_span();
@@ -1764,6 +2016,12 @@ impl Server {
     /// empty (nothing to transfer).
     #[doc(hidden)]
     pub fn export_cells(&mut self, flats: &[usize], generation: u64) -> Option<ClusterMsg> {
+        if self.journaling() {
+            self.jot(LogRecord::ExportCells {
+                flats: flats.iter().map(|&f| f as u32).collect(),
+                generation,
+            });
+        }
         debug_assert!(self.scope.is_some(), "rebalance needs a scoped server");
         let mut cells = Vec::new();
         let mut named: BTreeSet<QueryId> = BTreeSet::new();
@@ -1830,6 +2088,9 @@ impl Server {
     /// transfer, so no owned row can still reference a pruned stub.
     #[doc(hidden)]
     pub fn prune_stubs(&mut self) {
+        if self.journaling() {
+            self.jot(LogRecord::PruneStubs);
+        }
         let Some(owned) = self.owned_span() else {
             return;
         };
@@ -1846,6 +2107,9 @@ impl Server {
     /// server↔server links leaves state *and* telemetry untouched.
     #[doc(hidden)]
     pub fn apply_cluster_msg(&mut self, msg: &ClusterMsg) {
+        if self.journaling() {
+            self.jot(LogRecord::Cluster(msg.clone()));
+        }
         // Stub/SQT/FOT state may change below; cheap to drop the memo
         // wholesale (cluster traffic is orders below uplink volume).
         self.fresh_memo.clear();
@@ -2179,6 +2443,430 @@ impl Server {
                 },
             ));
         }
+    }
+
+    // --- Journal replay & checkpointing ----------------------------------
+
+    /// Maximum speed of a focal object, as last reported.
+    #[doc(hidden)]
+    pub fn focal_max_vel(&self, oid: ObjectId) -> Option<f64> {
+        self.fot.get(&oid).map(|f| f.max_vel)
+    }
+
+    /// Applies one journal record — the replay image of the mutating entry
+    /// point that wrote it. Journaling is suppressed for the duration, so
+    /// replaying against a server with a sink attached does not re-log.
+    ///
+    /// Replay must start from the newest [`LogRecord::Checkpoint`] of a
+    /// compacted log (see `mobieyes-store`): records before it reference
+    /// state the checkpoint subsumes.
+    pub fn apply_log_record(
+        &mut self,
+        rec: &LogRecord,
+        net: &mut Net,
+    ) -> Result<(), crate::codec::DecodeError> {
+        self.jdepth += 1;
+        let r = self.apply_log_record_inner(rec, net);
+        self.jdepth -= 1;
+        r
+    }
+
+    fn apply_log_record_inner(
+        &mut self,
+        rec: &LogRecord,
+        net: &mut Net,
+    ) -> Result<(), crate::codec::DecodeError> {
+        match rec {
+            LogRecord::Meta { .. } => {} // provenance; validated by the reader
+            LogRecord::Floor(v) => self.raise_epoch(*v),
+            LogRecord::SetTime(t) => self.set_time(*t),
+            LogRecord::Heartbeat(t) => self.heartbeat(*t, net),
+            LogRecord::Uplink { from, msg } => self.handle_uplink(NodeId(*from), msg.clone(), net),
+            LogRecord::InstallQuery {
+                qid,
+                focal,
+                region,
+                filter,
+                expires_at,
+            } => {
+                let got = self.install_query_with_lifetime(
+                    *focal,
+                    *region,
+                    filter.clone(),
+                    *expires_at,
+                    net,
+                );
+                debug_assert_eq!(got, *qid, "replayed install drifted off the journaled qid");
+            }
+            LogRecord::CompleteInstall {
+                qid,
+                focal,
+                region,
+                filter,
+                expires_at,
+            } => self.complete_install_at(
+                *qid,
+                *focal,
+                *region,
+                Arc::new(filter.clone()),
+                *expires_at,
+                net,
+            ),
+            LogRecord::RemoveQuery(qid) => {
+                self.remove_query(*qid, net);
+            }
+            LogRecord::UpdateRegion { qid, region } => {
+                self.update_query_region(*qid, *region, net);
+            }
+            LogRecord::RenewLease(oid) => self.renew_lease(*oid),
+            LogRecord::VelocityReport { oid, motion } => {
+                self.on_velocity_report(*oid, *motion, net)
+            }
+            LogRecord::CellChangeFocal {
+                oid,
+                new_cell,
+                motion,
+            } => self.apply_cell_change_focal(*oid, *new_cell, *motion, net),
+            LogRecord::CellChangeFresh {
+                oid,
+                prev_cell,
+                new_cell,
+                motion,
+            } => self.apply_cell_change_fresh(*oid, *prev_cell, *new_cell, *motion, net),
+            LogRecord::ResultChange {
+                qid,
+                oid,
+                is_target,
+            } => {
+                self.apply_result_change(*qid, *oid, *is_target, net);
+            }
+            LogRecord::GroupResultUpdate {
+                oid,
+                focal,
+                mask,
+                targets,
+            } => self.apply_group_result_update(*oid, *focal, *mask, *targets, net),
+            LogRecord::RefreshFocalMotion {
+                oid,
+                motion,
+                max_vel,
+                insert,
+            } => self.refresh_focal_motion(*oid, *motion, *max_vel, *insert),
+            LogRecord::PurgeObject(oid) => {
+                self.purge_object(*oid);
+            }
+            LogRecord::ResultDelta { qid, oid, entered } => {
+                self.deliver_result_delta(*qid, *oid, *entered, net)
+            }
+            LogRecord::LqtReconcile {
+                qid,
+                oid,
+                is_target,
+            } => {
+                self.lqt_reconcile_one(*qid, *oid, *is_target);
+            }
+            LogRecord::FocalReassert(oid) => self.focal_reassert(*oid, net),
+            LogRecord::CellSyncReply { oid, cell } => self.cell_sync_reply(*oid, *cell, net),
+            LogRecord::ExtractFocal(oid) => {
+                self.extract_focal(*oid);
+            }
+            LogRecord::Cluster(msg) => self.apply_cluster_msg(msg),
+            LogRecord::ExportCells { flats, generation } => {
+                let flats: Vec<usize> = flats.iter().map(|&f| f as usize).collect();
+                self.export_cells(&flats, *generation);
+            }
+            LogRecord::PruneStubs => self.prune_stubs(),
+            LogRecord::BumpEpoch => {
+                self.bump_epoch_for_coordinator();
+            }
+            LogRecord::Bounds { generation, bounds } => {
+                if let Some(s) = &self.scope {
+                    let bounds: Vec<usize> = bounds.iter().map(|&b| b as usize).collect();
+                    s.table.install_at(&bounds, *generation);
+                }
+            }
+            LogRecord::Checkpoint(bytes) => self.restore_checkpoint(bytes)?,
+        }
+        Ok(())
+    }
+
+    /// Serializes the complete server state — the payload of a
+    /// [`LogRecord::Checkpoint`]. Transient per-op buffers (outbox, uplink
+    /// scratch, payload memo) are excluded: checkpoints are cut at
+    /// quiesced tick boundaries where they are empty, and
+    /// [`restore_checkpoint`](Self::restore_checkpoint) clears them.
+    ///
+    /// The final 8 bytes are the *observed* (shared) epoch, which sibling
+    /// partitions advance independently; [`state_digest`](Self::state_digest)
+    /// excludes them so a replayed partition — whose private sequencer only
+    /// saw the floors its own ops observed — digests equal to its live twin.
+    pub fn checkpoint_bytes(&self) -> Vec<u8> {
+        use crate::codec::Put;
+        let mut out = Vec::new();
+        out.put_u32_le(self.next_qid);
+        out.put_u64_le(self.epoch);
+        out.put_f64_le(self.now);
+        out.put_f64_le(self.last_heartbeat);
+
+        out.put_u32_le(self.fot.entries.len() as u32);
+        for (oid, f) in self.fot.iter() {
+            out.put_u32_le(oid.0);
+            codec::put_motion(&mut out, &f.motion);
+            out.put_f64_le(f.max_vel);
+            out.put_u64_le(f.used_slots);
+            out.put_f64_le(f.last_heard);
+            out.put_u32_le(f.queries.len() as u32);
+            for q in &f.queries {
+                out.put_u32_le(q.0);
+            }
+        }
+
+        out.put_u32_le(self.sqt.len() as u32);
+        for (qid, e) in &self.sqt {
+            out.put_u32_le(qid.0);
+            out.put_u32_le(e.focal.0);
+            codec::put_region(&mut out, &e.region);
+            codec::put_filter(&mut out, &e.filter);
+            codec::put_cell(&mut out, e.curr_cell);
+            codec::put_grid_rect(&mut out, &e.mon_region);
+            out.put_u8(e.slot);
+            out.put_u64_le(e.seq);
+            match e.expires_at {
+                Some(t) => {
+                    out.put_u8(1);
+                    out.put_f64_le(t);
+                }
+                None => out.put_u8(0),
+            }
+            out.put_u32_le(e.result.len() as u32);
+            for o in &e.result {
+                out.put_u32_le(o.0);
+            }
+        }
+
+        // RQI rows verbatim — order within a row is load-bearing (it
+        // drives fresh-query reply ordering), so rows are not derivable
+        // from the SQT alone.
+        let occupied = self.rqi.iter().filter(|r| !r.is_empty()).count();
+        out.put_u32_le(occupied as u32);
+        for (flat, row) in self.rqi.iter().enumerate() {
+            if row.is_empty() {
+                continue;
+            }
+            out.put_u32_le(flat as u32);
+            out.put_u32_le(row.len() as u32);
+            for q in row {
+                out.put_u32_le(q.0);
+            }
+        }
+
+        out.put_u32_le(self.pending.len() as u32);
+        for (oid, installs) in &self.pending {
+            out.put_u32_le(oid.0);
+            out.put_u32_le(installs.len() as u32);
+            for p in installs {
+                out.put_u32_le(p.qid.0);
+                codec::put_region(&mut out, &p.region);
+                codec::put_filter(&mut out, &p.filter);
+                match p.expires_at {
+                    Some(t) => {
+                        out.put_u8(1);
+                        out.put_f64_le(t);
+                    }
+                    None => out.put_u8(0),
+                }
+            }
+        }
+
+        out.put_u32_le(self.stubs.len() as u32);
+        for (qid, s) in &self.stubs {
+            out.put_u32_le(qid.0);
+            out.put_u32_le(s.focal.0);
+            codec::put_motion(&mut out, &s.motion);
+            out.put_f64_le(s.max_vel);
+            codec::put_grid_rect(&mut out, &s.mon_region);
+            codec::put_region(&mut out, &s.region);
+            codec::put_filter(&mut out, &s.filter);
+            out.put_u8(s.slot);
+            out.put_u64_le(s.seq);
+        }
+
+        out.put_u64_le(self.current_epoch());
+        out
+    }
+
+    /// Restores the full server state from [`checkpoint_bytes`](Self::checkpoint_bytes)
+    /// output. Decodes everything before committing, so a malformed
+    /// payload leaves the server untouched.
+    pub fn restore_checkpoint(&mut self, bytes: &[u8]) -> Result<(), crate::codec::DecodeError> {
+        let buf = &mut crate::codec::Reader::new(bytes);
+        let next_qid = buf.get_u32_le("next qid")?;
+        let epoch = buf.get_u64_le("epoch mirror")?;
+        let now = buf.get_f64_le("now")?;
+        let last_heartbeat = buf.get_f64_le("last heartbeat")?;
+
+        let n = crate::journal::get_count32(buf, 20, "FOT count")?;
+        let mut fot_entries: Vec<(ObjectId, FotEntry)> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let oid = ObjectId(buf.get_u32_le("focal id")?);
+            let motion = codec::get_motion(buf)?;
+            let max_vel = buf.get_f64_le("max vel")?;
+            let used_slots = buf.get_u64_le("used slots")?;
+            let last_heard = buf.get_f64_le("last heard")?;
+            let nq = crate::journal::get_count32(buf, 4, "focal query count")?;
+            let mut queries = Vec::with_capacity(nq);
+            for _ in 0..nq {
+                queries.push(QueryId(buf.get_u32_le("query id")?));
+            }
+            fot_entries.push((
+                oid,
+                FotEntry {
+                    motion,
+                    max_vel,
+                    queries,
+                    used_slots,
+                    last_heard,
+                },
+            ));
+        }
+
+        let n = crate::journal::get_count32(buf, 24, "SQT count")?;
+        let mut sqt = BTreeMap::new();
+        for _ in 0..n {
+            let qid = QueryId(buf.get_u32_le("query id")?);
+            let focal = ObjectId(buf.get_u32_le("focal id")?);
+            let region = codec::get_region(buf)?;
+            let filter = Arc::new(codec::get_filter(buf)?);
+            let curr_cell = codec::get_cell(buf)?;
+            let mon_region = codec::get_grid_rect(buf)?;
+            let slot = buf.get_u8("slot")?;
+            let seq = buf.get_u64_le("seq")?;
+            let expires_at = if buf.get_u8("expiry flag")? != 0 {
+                Some(buf.get_f64_le("expiry")?)
+            } else {
+                None
+            };
+            let nr = crate::journal::get_count32(buf, 4, "result count")?;
+            let mut result = BTreeSet::new();
+            for _ in 0..nr {
+                result.insert(ObjectId(buf.get_u32_le("result member")?));
+            }
+            sqt.insert(
+                qid,
+                SqtEntry {
+                    focal,
+                    region,
+                    filter,
+                    curr_cell,
+                    mon_region,
+                    slot,
+                    seq,
+                    expires_at,
+                    result,
+                },
+            );
+        }
+
+        let cells = self.config.grid.num_cells();
+        let n = crate::journal::get_count32(buf, 8, "RQI row count")?;
+        let mut rqi = vec![Vec::new(); cells];
+        for _ in 0..n {
+            let flat = buf.get_u32_le("flat index")? as usize;
+            if flat >= cells {
+                return Err(crate::codec::DecodeError(format!(
+                    "RQI flat index {flat} out of range ({cells} cells)"
+                )));
+            }
+            let nq = crate::journal::get_count32(buf, 4, "RQI row length")?;
+            let mut row = Vec::with_capacity(nq);
+            for _ in 0..nq {
+                row.push(QueryId(buf.get_u32_le("query id")?));
+            }
+            rqi[flat] = row;
+        }
+
+        let n = crate::journal::get_count32(buf, 8, "pending count")?;
+        let mut pending: BTreeMap<ObjectId, Vec<PendingInstall>> = BTreeMap::new();
+        for _ in 0..n {
+            let oid = ObjectId(buf.get_u32_le("pending focal")?);
+            let ni = crate::journal::get_count32(buf, 8, "pending installs")?;
+            let mut installs = Vec::with_capacity(ni);
+            for _ in 0..ni {
+                let qid = QueryId(buf.get_u32_le("pending qid")?);
+                let region = codec::get_region(buf)?;
+                let filter = Arc::new(codec::get_filter(buf)?);
+                let expires_at = if buf.get_u8("expiry flag")? != 0 {
+                    Some(buf.get_f64_le("expiry")?)
+                } else {
+                    None
+                };
+                installs.push(PendingInstall {
+                    qid,
+                    region,
+                    filter,
+                    expires_at,
+                });
+            }
+            pending.insert(oid, installs);
+        }
+
+        let n = crate::journal::get_count32(buf, 24, "stub count")?;
+        let mut stubs = BTreeMap::new();
+        for _ in 0..n {
+            let qid = QueryId(buf.get_u32_le("stub qid")?);
+            let focal = ObjectId(buf.get_u32_le("stub focal")?);
+            let motion = codec::get_motion(buf)?;
+            let max_vel = buf.get_f64_le("stub max vel")?;
+            let mon_region = codec::get_grid_rect(buf)?;
+            let region = codec::get_region(buf)?;
+            let filter = Arc::new(codec::get_filter(buf)?);
+            let slot = buf.get_u8("stub slot")?;
+            let seq = buf.get_u64_le("stub seq")?;
+            stubs.insert(
+                qid,
+                StubEntry {
+                    focal,
+                    motion,
+                    max_vel,
+                    mon_region,
+                    region,
+                    filter,
+                    slot,
+                    seq,
+                },
+            );
+        }
+
+        let observed = buf.get_u64_le("observed epoch")?;
+
+        // Commit.
+        let mut fot = FotTable::default();
+        for (oid, e) in fot_entries {
+            fot.entry_or_insert(oid, e);
+        }
+        self.fot = fot;
+        self.sqt = sqt;
+        self.rqi = rqi;
+        self.pending = pending;
+        self.stubs = stubs;
+        self.next_qid = next_qid;
+        self.epoch = epoch;
+        self.now = now;
+        self.last_heartbeat = last_heartbeat;
+        self.outbox.clear();
+        self.uplink_scratch.clear();
+        self.fresh_memo.clear();
+        self.raise_epoch(observed);
+        Ok(())
+    }
+
+    /// FNV-1a digest of the durable server state (the checkpoint image
+    /// minus the shared-epoch trailer — see
+    /// [`checkpoint_bytes`](Self::checkpoint_bytes)). Two servers with
+    /// equal digests hold byte-identical FOT/SQT/RQI/pending/stub tables.
+    pub fn state_digest(&self) -> u64 {
+        let bytes = self.checkpoint_bytes();
+        crate::journal::fnv1a(&bytes[..bytes.len() - 8])
     }
 
     /// Structural self-check for tests: the RQI must exactly mirror the

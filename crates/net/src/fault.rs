@@ -304,9 +304,127 @@ impl PartitionCrashPlan {
     }
 }
 
+/// Deterministic torn-write schedule for the durable log writer.
+///
+/// A process killed mid-`write(2)` leaves a prefix of the frame on disk
+/// (and nothing after it — the writer dies with the frame). The plan
+/// decides, per physical flush, whether the write is torn and how many
+/// bytes actually land: a torn write of an `n`-byte buffer persists
+/// `floor(n * frac)` bytes with `frac` drawn from the same splitmix64
+/// stream, so runs are reproducible and a test can name the exact tear it
+/// expects. After a tear the writer must treat itself as crashed — the
+/// plan is a one-shot kill schedule, not a lossy channel.
+#[derive(Debug, Clone)]
+pub enum TornWritePlan {
+    /// Every write lands whole.
+    None,
+    /// Each flush is torn with probability `rate` (splitmix64 stream).
+    Seeded { rate: f64, state: u64 },
+    /// Exactly the `remaining`-th flush from now is torn, keeping
+    /// `frac` of the buffer. Counts down; 0 = fire on the next flush.
+    Nth { remaining: u64, frac: f64 },
+}
+
+impl TornWritePlan {
+    /// A plan that never tears.
+    pub fn none() -> Self {
+        TornWritePlan::None
+    }
+
+    /// A plan tearing each flush with probability `rate`.
+    pub fn seeded(rate: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&rate),
+            "tear rate {rate} not in [0, 1]"
+        );
+        TornWritePlan::Seeded {
+            rate,
+            state: mix64(seed ^ 0x7EA2),
+        }
+    }
+
+    /// A plan tearing exactly the `nth` flush (0-based), keeping `frac`
+    /// of the buffer.
+    pub fn nth(nth: u64, frac: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&frac),
+            "tear fraction {frac} not in [0, 1]"
+        );
+        TornWritePlan::Nth {
+            remaining: nth,
+            frac,
+        }
+    }
+
+    pub fn is_noop(&self) -> bool {
+        matches!(self, TornWritePlan::None)
+            | matches!(self, TornWritePlan::Seeded { rate, .. } if *rate == 0.0)
+    }
+
+    /// Decides the fate of an `len`-byte flush: `None` = lands whole,
+    /// `Some(k)` = only the first `k` bytes persist and the writer is
+    /// dead. Consumes one stream sample per call for the seeded variant.
+    pub fn torn_len(&mut self, len: usize) -> Option<usize> {
+        match self {
+            TornWritePlan::None => None,
+            TornWritePlan::Seeded { rate, state } => {
+                let torn = unit(mix64(*state ^ 0x01)) < *rate;
+                let frac = unit(mix64(*state ^ 0x02));
+                *state = mix64(*state);
+                torn.then_some(((len as f64) * frac) as usize)
+            }
+            TornWritePlan::Nth { remaining, frac } => {
+                if *remaining == 0 {
+                    Some(((len as f64) * *frac) as usize)
+                } else {
+                    *remaining -= 1;
+                    None
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn torn_plan_noop_never_tears() {
+        let mut p = TornWritePlan::none();
+        assert!(p.is_noop());
+        for _ in 0..100 {
+            assert_eq!(p.torn_len(64), None);
+        }
+        assert!(TornWritePlan::seeded(0.0, 9).is_noop());
+        assert!(!TornWritePlan::seeded(0.5, 9).is_noop());
+    }
+
+    #[test]
+    fn torn_nth_fires_exactly_once_at_its_index() {
+        let mut p = TornWritePlan::nth(3, 0.5);
+        assert_eq!(p.torn_len(100), None);
+        assert_eq!(p.torn_len(100), None);
+        assert_eq!(p.torn_len(100), None);
+        assert_eq!(p.torn_len(100), Some(50));
+    }
+
+    #[test]
+    fn torn_seeded_is_deterministic_and_bounded() {
+        let runs: Vec<Vec<Option<usize>>> = (0..2)
+            .map(|_| {
+                let mut p = TornWritePlan::seeded(0.3, 42);
+                (0..1000).map(|_| p.torn_len(80)).collect()
+            })
+            .collect();
+        assert_eq!(runs[0], runs[1]);
+        let tears = runs[0].iter().flatten().count();
+        let rate = tears as f64 / 1000.0;
+        assert!((0.25..0.35).contains(&rate), "observed tear rate {rate}");
+        for k in runs[0].iter().flatten() {
+            assert!(*k < 80, "tear must strictly truncate, kept {k}");
+        }
+    }
 
     #[test]
     fn noop_plan_always_delivers_once() {

@@ -27,7 +27,7 @@ pub mod socket;
 pub mod station;
 pub mod transport;
 
-pub use fault::{ChurnPlan, FaultPlan, PartitionCrashPlan};
+pub use fault::{ChurnPlan, FaultPlan, PartitionCrashPlan, TornWritePlan};
 pub use meter::{Direction, MessageMeter};
 pub use radio::RadioModel;
 pub use sim::{NetworkSim, NodeId, WireSized};

@@ -259,6 +259,19 @@ pub struct SimConfig {
     /// otherwise failover (see
     /// [`resolved_recovery`](Self::resolved_recovery)).
     pub recovery: Option<RecoveryKind>,
+    /// Root directory of the durable trajectory logs (`<dir>/p<N>` per
+    /// partition). `None` (the default) means auto: the
+    /// `MOBIEYES_STORE_DIR` environment variable if set, otherwise no
+    /// persistence (see [`resolved_store_dir`](Self::resolved_store_dir)).
+    /// Existing logs under the directory are replayed into the server
+    /// tier at build — point a fresh run at a fresh directory.
+    pub store_dir: Option<std::path::PathBuf>,
+    /// Checkpoint cadence in ticks for the durable logs (snapshot +
+    /// segment GC; this is what bounds log growth). `0` (the default)
+    /// means auto: the `MOBIEYES_STORE_CHECKPOINT_TICKS` environment
+    /// variable if set, otherwise no periodic checkpoints (see
+    /// [`resolved_store_checkpoint_ticks`](Self::resolved_store_checkpoint_ticks)).
+    pub store_checkpoint_ticks: usize,
 }
 
 impl Default for SimConfig {
@@ -298,6 +311,8 @@ impl Default for SimConfig {
             partition_crash_ticks: 0,
             partition_crash_kills: 0,
             recovery: None,
+            store_dir: None,
+            store_checkpoint_ticks: 0,
         }
     }
 }
@@ -425,6 +440,16 @@ impl SimConfig {
 
     pub fn with_recovery(mut self, r: RecoveryKind) -> Self {
         self.recovery = Some(r);
+        self
+    }
+
+    pub fn with_store_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.store_dir = Some(dir.into());
+        self
+    }
+
+    pub fn with_store_checkpoint_ticks(mut self, n: usize) -> Self {
+        self.store_checkpoint_ticks = n;
         self
     }
 
@@ -563,6 +588,46 @@ impl SimConfig {
             }
         }
         RecoveryKind::default()
+    }
+
+    /// Resolves the durable-log root directory: an explicit `store_dir`
+    /// wins; otherwise a non-empty `MOBIEYES_STORE_DIR` environment
+    /// variable; otherwise `None` (persistence off). An explicitly empty
+    /// path (`with_store_dir("")`) pins persistence OFF even when the
+    /// environment variable is set — drivers that run a reference twin
+    /// in the same process use it so both deployments never share (or
+    /// accidentally inherit) a log directory.
+    pub fn resolved_store_dir(&self) -> Option<std::path::PathBuf> {
+        if let Some(d) = &self.store_dir {
+            if d.as_os_str().is_empty() {
+                return None;
+            }
+            return Some(d.clone());
+        }
+        if let Ok(v) = std::env::var("MOBIEYES_STORE_DIR") {
+            if !v.is_empty() {
+                return Some(std::path::PathBuf::from(v));
+            }
+        }
+        None
+    }
+
+    /// Resolves the checkpoint cadence (in ticks) for the durable logs:
+    /// an explicit `store_checkpoint_ticks > 0` wins; otherwise a
+    /// positive `MOBIEYES_STORE_CHECKPOINT_TICKS` environment variable;
+    /// otherwise 0 (periodic checkpoints off).
+    pub fn resolved_store_checkpoint_ticks(&self) -> usize {
+        if self.store_checkpoint_ticks > 0 {
+            return self.store_checkpoint_ticks;
+        }
+        if let Ok(v) = std::env::var("MOBIEYES_STORE_CHECKPOINT_TICKS") {
+            if let Ok(n) = v.parse::<usize>() {
+                if n > 0 {
+                    return n;
+                }
+            }
+        }
+        0
     }
 
     /// Number of grid cells the run's universe decomposes into, matching
@@ -769,6 +834,20 @@ impl SimConfigBuilder {
     /// [`SimConfig::resolved_recovery`]).
     pub fn recovery(mut self, r: RecoveryKind) -> Self {
         self.config.recovery = Some(r);
+        self
+    }
+
+    /// Durable-log root directory; unset = auto (see
+    /// [`SimConfig::resolved_store_dir`]).
+    pub fn store_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.config.store_dir = Some(dir.into());
+        self
+    }
+
+    /// Checkpoint cadence for the durable logs; `0` = auto (see
+    /// [`SimConfig::resolved_store_checkpoint_ticks`]).
+    pub fn store_checkpoint_ticks(mut self, ticks: usize) -> Self {
+        self.config.store_checkpoint_ticks = ticks;
         self
     }
 

@@ -14,14 +14,15 @@ use mobieyes_cluster::{ClusterServer, Envelope};
 use mobieyes_core::object::agent_keys;
 use mobieyes_core::server::Net;
 use mobieyes_core::{
-    Downlink, Filter, MovingObjectAgent, ObjectId, Propagation, Properties, ProtocolConfig,
-    QueryId, Server,
+    Downlink, Filter, LogRecord, MovingObjectAgent, ObjectId, Propagation, Properties,
+    ProtocolConfig, QueryId, Server,
 };
-use mobieyes_geo::{Grid, Point, QueryRegion, Vec2};
+use mobieyes_geo::{Grid, LinearMotion, Point, QueryRegion, Vec2};
 use mobieyes_net::{
     BaseStationLayout, ChurnPlan, FaultPlan, FramedConn, NodeId, PartitionCrashPlan, RadioModel,
     SocketTransport, StationId,
 };
+use mobieyes_store::{self as store, Store, StoreConfig};
 use mobieyes_telemetry::{EventKind, Phase, Telemetry};
 use std::collections::BTreeSet;
 use std::sync::Arc;
@@ -177,6 +178,15 @@ pub struct MobiEyesSim {
     /// and returns a fresh hello-completed connection, or `None` to
     /// retry at the next tick boundary.
     respawn_hook: Option<Box<dyn FnMut(u32) -> Option<FramedConn>>>,
+    /// Durable-log handle for the single-server tier; the cluster tier
+    /// holds its own per-partition handles.
+    store: Option<Store>,
+    /// Root directory of the durable logs (`<root>/p<N>` per partition),
+    /// kept for the single-tier crash-recovery drill.
+    store_root: Option<std::path::PathBuf>,
+    /// Checkpoint cadence in ticks (0 = off); resolved once at build so
+    /// the environment is read exactly once per run.
+    store_checkpoint_ticks: usize,
 }
 
 /// Ticks between a partition's failover fence and its respawn fence:
@@ -230,12 +240,18 @@ impl MobiEyesSim {
         let layout = BaseStationLayout::new(workload.universe, config.alen);
         let mut net = Net::new(layout.clone()).with_telemetry(telemetry.clone());
         let partitions = config.resolved_partitions();
+        let store_root = config.resolved_store_dir();
+        let mut single_store = None;
         let mut tier = match remote {
-            Some(conns) => ServerTier::Cluster(Box::new(ClusterServer::new_remote(
+            // Remote partitions open, replay and journal their own logs
+            // (see mobieyes-cluster::serve); the coordinator only passes
+            // the root down so respawned children find their directory.
+            Some(conns) => ServerTier::Cluster(Box::new(ClusterServer::new_remote_with_store(
                 Arc::clone(&pconf),
                 telemetry.clone(),
                 conns,
                 config.alen,
+                store_root.clone(),
             ))),
             None if partitions > 1 => {
                 let cluster = match config.resolved_transport() {
@@ -257,11 +273,39 @@ impl MobiEyesSim {
                             .expect("loopback Unix-domain bus for the cluster"),
                     ),
                 };
+                let cluster = match &store_root {
+                    Some(root) => cluster.with_store(root.clone()),
+                    None => cluster,
+                };
                 ServerTier::Cluster(Box::new(cluster))
             }
-            None => ServerTier::Single(Box::new(
-                Server::new(Arc::clone(&pconf)).with_telemetry(telemetry.clone()),
-            )),
+            None => {
+                let mut server = Server::new(Arc::clone(&pconf)).with_telemetry(telemetry.clone());
+                if let Some(root) = &store_root {
+                    let dir = root.join("p0");
+                    let st = Store::open(StoreConfig::new(&dir, 0), telemetry.clone())
+                        .unwrap_or_else(|e| panic!("opening store {}: {e}", dir.display()));
+                    let summary = store::replay_into(&dir, 0, &mut server, &mut net, &telemetry)
+                        .unwrap_or_else(|e| panic!("replaying store {}: {e}", dir.display()));
+                    if summary.records_applied > 0 {
+                        // Replay re-emits historical downlinks; the agents
+                        // of the previous incarnation already saw them.
+                        net.take_downlinks();
+                        server.take_outbox();
+                    }
+                    if st.next_seq() == 0 {
+                        st.append_record(&LogRecord::Meta {
+                            partition: 0,
+                            num_partitions: 1,
+                        });
+                    }
+                    // Attach after replay so replayed ops don't re-journal,
+                    // and before the query installs below so they do.
+                    server.set_journal(Some(Arc::new(st.clone())));
+                    single_store = Some(st);
+                }
+                ServerTier::Single(Box::new(server))
+            }
         };
         let mobility = Mobility::with_kind(
             &workload,
@@ -343,7 +387,11 @@ impl MobiEyesSim {
             pending_respawn: Vec::new(),
             crash_hook: None,
             respawn_hook: None,
+            store: single_store,
+            store_root,
+            store_checkpoint_ticks: 0,
         };
+        sim.store_checkpoint_ticks = sim.config.resolved_store_checkpoint_ticks();
         sim.rebalance_ticks = sim.config.resolved_rebalance_ticks();
         sim.recovery = sim.config.resolved_recovery();
         let crash_tick = sim.config.resolved_partition_crash_ticks();
@@ -477,6 +525,75 @@ impl MobiEyesSim {
 
     pub fn net(&self) -> &Net {
         &self.net
+    }
+
+    /// Whether this deployment journals to a durable store
+    /// ([`SimConfig::store_dir`] / `MOBIEYES_STORE_DIR`).
+    pub fn has_store(&self) -> bool {
+        match &self.tier {
+            ServerTier::Single(_) => self.store.is_some(),
+            ServerTier::Cluster(c) => c.has_store(),
+        }
+    }
+
+    /// Checkpoints every live partition's durable log now (snapshot +
+    /// segment GC) and returns the per-partition next-sequence numbers.
+    /// Empty when the deployment has no store.
+    pub fn checkpoint_now(&mut self) -> Vec<u64> {
+        match &mut self.tier {
+            ServerTier::Single(s) => match &self.store {
+                Some(st) => {
+                    st.checkpoint(s.checkpoint_bytes());
+                    vec![st.next_seq()]
+                }
+                None => Vec::new(),
+            },
+            ServerTier::Cluster(c) if c.has_store() => c.checkpoint_all(),
+            ServerTier::Cluster(_) => Vec::new(),
+        }
+    }
+
+    /// Historical trajectory of `oid` over simulated seconds
+    /// `[t0, t1]`, read from the durable logs (merged across partitions
+    /// on a cluster). Empty when the deployment has no store.
+    pub fn trajectory(&self, oid: ObjectId, t0: f64, t1: f64) -> Vec<LinearMotion> {
+        match &self.tier {
+            ServerTier::Single(_) => match &self.store {
+                Some(st) => st.trajectory(oid, t0, t1).unwrap_or_default(),
+                None => Vec::new(),
+            },
+            ServerTier::Cluster(c) => c.trajectory(oid, t0, t1),
+        }
+    }
+
+    /// Crash-recovery drill for the single-server tier: discards the
+    /// in-memory server and rebuilds it purely from the durable log, as
+    /// a restarted process would (panics without a store; on a cluster
+    /// use [`ClusterServer::rebuild_partition_from_log`]). Replay runs
+    /// against scratch sinks so the drill doesn't perturb run metrics.
+    pub fn rebuild_server_from_log(&mut self) {
+        let (root, st) = match (&self.store_root, &self.store) {
+            (Some(root), Some(st)) => (root.clone(), st.clone()),
+            _ => panic!("rebuild_server_from_log(): this deployment has no durable store"),
+        };
+        let pconf = match &self.tier {
+            ServerTier::Single(s) => s.config_arc(),
+            ServerTier::Cluster(_) => panic!(
+                "rebuild_server_from_log(): partitioned deployment; use \
+                 cluster_mut().rebuild_partition_from_log()"
+            ),
+        };
+        st.flush();
+        let dir = root.join("p0");
+        let scratch_sink = Telemetry::new();
+        let mut twin = Server::new(pconf).with_telemetry(scratch_sink.clone());
+        let mut scratch_net = Net::new(self.layout.clone());
+        store::replay_into(&dir, 0, &mut twin, &mut scratch_net, &scratch_sink)
+            .unwrap_or_else(|e| panic!("replaying store {}: {e}", dir.display()));
+        twin.take_outbox();
+        twin.set_telemetry(self.telemetry.clone());
+        twin.set_journal(Some(Arc::new(st)));
+        self.tier = ServerTier::Single(Box::new(twin));
     }
 
     /// Installs a downlink fault plan (drops / duplicates) for
@@ -761,6 +878,15 @@ impl MobiEyesSim {
         // tick; detection, the failover fence and any due respawn run at
         // the same boundary (DESIGN.md §13).
         self.crash_recovery_hook();
+
+        // Periodic durable-log checkpoint: snapshot + segment GC at the
+        // tick boundary, bounding both replay work after a crash and
+        // on-disk log size.
+        if self.store_checkpoint_ticks > 0
+            && self.tick_index.is_multiple_of(self.store_checkpoint_ticks)
+        {
+            self.checkpoint_now();
+        }
 
         if measured {
             // Result accuracy vs exact ground truth. Remote tiers cannot

@@ -40,7 +40,35 @@ pub mod rec_keys {
     pub const ENVELOPES_REROUTED: &str = "rec.envelopes_rerouted";
     pub const ENVELOPES_DROPPED: &str = "rec.envelopes_dropped";
     pub const QUERIES_REINSTALLED: &str = "rec.queries_reinstalled";
+    /// Lost queries re-entered from a dead partition's journal replay
+    /// (exact pre-crash state) instead of survivor reconstruction.
+    pub const QUERIES_REPLAYED: &str = "rec.queries_replayed";
     pub const RESPAWNS: &str = "rec.respawns";
+}
+
+/// The `store.*` telemetry counter keys of the durable trajectory log
+/// (`mobieyes-store`).
+pub mod store_keys {
+    /// Records appended to the journal.
+    pub const APPENDS: &str = "store.appends";
+    /// Frame bytes appended (length prefix + CRC + seq + payload).
+    pub const BYTES: &str = "store.bytes";
+    /// Physical group-flushes of the buffered writer.
+    pub const FLUSHES: &str = "store.flushes";
+    /// Segment rotations (size-triggered or checkpoint-triggered).
+    pub const ROTATIONS: &str = "store.rotations";
+    /// Checkpoint records cut.
+    pub const CHECKPOINTS: &str = "store.checkpoints";
+    /// Whole segments deleted by compaction GC.
+    pub const GC_SEGMENTS: &str = "store.gc_segments";
+    /// Records replayed into a server at recovery.
+    pub const REPLAYED: &str = "store.replayed";
+    /// Torn tails truncated away by the reader on open.
+    pub const TORN_TAILS: &str = "store.torn_tails";
+    /// Torn writes injected by a fault plan (writer self-kills).
+    pub const TORN_WRITES: &str = "store.torn_writes";
+    /// I/O errors that poisoned a writer.
+    pub const WRITE_ERRORS: &str = "store.write_errors";
 }
 pub use profiler::{Phase, PhaseTiming, TickProfiler, PHASES};
 pub use registry::{Histogram, MetricsRegistry, DEFAULT_BUCKET_EDGES};

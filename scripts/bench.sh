@@ -13,6 +13,9 @@
 #  - crates/bench/src/bin/recovery.rs: partition-crash recovery latency
 #    percentiles under failover and supervised respawn (one of 2, one of
 #    4, two of 8 partitions killed) -> BENCH_recovery.json
+#  - crates/bench/src/bin/persist.rs: durable-log write-path overhead,
+#    append throughput, cold-start replay rate (digest-checked) and
+#    checkpoint compaction cost -> BENCH_persist.json
 # All JSON files land at the repository root. Every file records host
 # provenance — the machine's core count, the MOBIEYES_THREADS setting and
 # the cluster-bus transport (MOBIEYES_TRANSPORT, default lockstep) in
@@ -35,3 +38,4 @@ cargo run --release -p mobieyes-bench --bin chaos
 cargo run --release -p mobieyes-bench --bin cluster
 cargo run --release -p mobieyes-bench --bin scale
 cargo run --release -p mobieyes-bench --bin recovery
+cargo run --release -p mobieyes-bench --bin persist

@@ -125,6 +125,48 @@ for rec in failover respawn; do
 done
 rm -f "$recovery_drive"
 
+echo "==> persistence smoke (durable log replay + store-backed failover)"
+# The persistence bench rebuilds a server purely from its journal and
+# demands a byte-identical state digest; the replay-rate floor guards the
+# cold-start path against order-of-magnitude regressions only.
+persist_out=$(mktemp)
+MOBIEYES_QUICK=1 cargo run -q --release -p mobieyes-bench --bin persist >/dev/null
+mv BENCH_persist.json "$persist_out"
+assert_json "$persist_out" require bench persistence
+assert_json "$persist_out" forbid digest_match false \
+  || { echo "persist smoke: a replayed server diverged from the one that wrote its log"; exit 1; }
+replay_rate=$(assert_json "$persist_out" min replay_records_per_s)
+awk -v r="$replay_rate" 'BEGIN { exit !(r >= 100000) }' \
+  || { echo "persist smoke: replay rate ${replay_rate} rec/s under the 100k floor"; exit 1; }
+rm -f "$persist_out"
+# Store-backed kill -9 across a real process boundary: the dead
+# partition's queries must come back via log replay (the fast path, no
+# agent round trip) and the final digest must still match lock-step.
+persist_drive=$(mktemp) && persist_store=$(mktemp -d)
+cargo run -q --release --bin mobieyes-serve -- drive --transport uds \
+  --partitions 4 --ticks 40 --seed 7 --crash-tick 8 --kill 1 \
+  --recovery failover --store-dir "$persist_store" --json "$persist_drive" >/dev/null
+assert_json "$persist_drive" require digests_match true \
+  || { echo "persist smoke: store-backed drive digest diverged from lock-step"; exit 1; }
+replayed=$(assert_json "$persist_drive" get queries_replayed)
+awk -v n="$replayed" 'BEGIN { exit !(n >= 1) }' \
+  || { echo "persist smoke: no query was recovered via log replay"; exit 1; }
+rm -rf "$persist_drive" "$persist_store"
+# Historical trajectories through the CLI: journal a short run, then
+# query an object's motion history back out of the cold log.
+traj_store=$(mktemp -d)
+cargo run -q --release --bin mobieyes -- --objects 300 --queries 30 --nmo 30 \
+  --ticks 10 --warmup 2 --area 10000 --store-dir "$traj_store" >/dev/null
+traj_samples=0
+for oid in 0 1 2 3 4 5 6 7 8 9; do
+  n=$(cargo run -q --release --bin mobieyes -- trajectory --store-dir "$traj_store" \
+    --oid "$oid" --t0 0 --t1 1e18 2>/dev/null | tail -n +2 | wc -l)
+  traj_samples=$((traj_samples + n))
+done
+[ "$traj_samples" -ge 1 ] \
+  || { echo "persist smoke: trajectory queries returned no motion samples"; exit 1; }
+rm -rf "$traj_store"
+
 echo "==> socket smoke (multi-process partitions over UDS)"
 # Two partition services in separate OS processes behind Unix-domain
 # sockets, driven for 50 ticks by the coordinator; the final result digest

@@ -61,6 +61,14 @@ DRIVE OPTIONS:
     --recovery <mode>       failover | respawn: keep the victims' cells at
                             the survivors, or restart each victim process
                             and hand its cells back [failover]
+    --store-dir <path>      journal every partition to durable logs under
+                            <path>/live (the lock-step reference journals
+                            under <path>/reference — never shared). Both
+                            subtrees are wiped at start. A SIGKILLed
+                            partition's queries are then recovered by log
+                            replay instead of the agent round trip [off]
+    --checkpoint-ticks <N>  checkpoint the durable logs every N ticks
+                            (snapshot + segment GC) [0 = off]
 ";
 
 fn parse<T: std::str::FromStr>(s: &str) -> Result<T, String> {
@@ -173,6 +181,8 @@ fn run_drive(mut args: impl Iterator<Item = String>) -> Result<(), String> {
     let mut crash_tick: usize = 0;
     let mut kills: usize = 1;
     let mut recovery = RecoveryKind::Failover;
+    let mut store_dir: Option<String> = None;
+    let mut checkpoint_ticks: usize = 0;
     while let Some(arg) = args.next() {
         let mut value = |name: &str| {
             args.next()
@@ -205,6 +215,8 @@ fn run_drive(mut args: impl Iterator<Item = String>) -> Result<(), String> {
             "--recovery" => {
                 recovery = RecoveryKind::parse(&value("--recovery")?).map_err(|e| e.to_string())?
             }
+            "--store-dir" => store_dir = Some(value("--store-dir")?),
+            "--checkpoint-ticks" => checkpoint_ticks = parse(&value("--checkpoint-ticks")?)?,
             other => return Err(format!("unknown drive flag {other:?}")),
         }
     }
@@ -248,8 +260,35 @@ fn run_drive(mut args: impl Iterator<Item = String>) -> Result<(), String> {
                 .partition_crash_kills(kills)
                 .recovery(recovery);
         }
+        if checkpoint_ticks > 0 {
+            b = b.store_checkpoint_ticks(checkpoint_ticks);
+        }
         config = b.build().map_err(|e| e.to_string())?;
     }
+
+    // Resolve persistence exactly once, here: the live deployment and the
+    // lock-step reference run the same configuration in the same process,
+    // so they must never share (or inherit via MOBIEYES_STORE_DIR) a log
+    // directory — the reference would replay the live run's journal. An
+    // empty store path pins persistence off for both when no root is set.
+    let store_root = store_dir
+        .map(std::path::PathBuf::from)
+        .or_else(|| config.resolved_store_dir());
+    let (live_store, reference_store) = match &store_root {
+        Some(root) => {
+            let (live, reference) = (root.join("live"), root.join("reference"));
+            for dir in [&live, &reference] {
+                if let Err(e) = std::fs::remove_dir_all(dir) {
+                    if e.kind() != std::io::ErrorKind::NotFound {
+                        return Err(format!("wiping {}: {e}", dir.display()));
+                    }
+                }
+            }
+            (live, reference)
+        }
+        None => (std::path::PathBuf::new(), std::path::PathBuf::new()),
+    };
+    config = config.with_store_dir(live_store);
 
     // Spawn one partition process per shard and collect their endpoints.
     // The supervisor hooks below take and refill slots, so the children
@@ -345,7 +384,9 @@ fn run_drive(mut args: impl Iterator<Item = String>) -> Result<(), String> {
     // ...and the identical configuration on the in-process lock-step bus:
     // same seed, same crash plan, same recovery mode, so the final
     // digests must agree byte-for-byte even across a mid-run crash.
-    let reference_config = config.with_transport(TransportKind::Lockstep);
+    let reference_config = config
+        .with_transport(TransportKind::Lockstep)
+        .with_store_dir(reference_store);
     let mut reference = MobiEyesSim::new(reference_config);
     reference.run();
     let reference_digest = reference.result_digest();
@@ -353,6 +394,7 @@ fn run_drive(mut args: impl Iterator<Item = String>) -> Result<(), String> {
     let matched = digest == reference_digest;
     let crash_detections = snapshot.counter(mobieyes::telemetry::rec_keys::CRASH_DETECTIONS);
     let fences = snapshot.counter(mobieyes::telemetry::rec_keys::FENCES);
+    let queries_replayed = snapshot.counter(mobieyes::telemetry::rec_keys::QUERIES_REPLAYED);
     let json = format!(
         concat!(
             "{{\n",
@@ -366,6 +408,8 @@ fn run_drive(mut args: impl Iterator<Item = String>) -> Result<(), String> {
             "  \"recovery\": \"{}\",\n",
             "  \"crash_detections\": {},\n",
             "  \"fences\": {},\n",
+            "  \"store\": {},\n",
+            "  \"queries_replayed\": {},\n",
             "  \"digest\": \"{:016x}\",\n",
             "  \"reference_digest\": \"{:016x}\",\n",
             "  \"digests_match\": {},\n",
@@ -387,6 +431,8 @@ fn run_drive(mut args: impl Iterator<Item = String>) -> Result<(), String> {
         recovery,
         crash_detections,
         fences,
+        store_root.is_some(),
+        queries_replayed,
         digest,
         reference_digest,
         matched,

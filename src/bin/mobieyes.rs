@@ -8,6 +8,8 @@
 //! $ mobieyes --mode naive            # centralized messaging baselines
 //! $ mobieyes --mode object-index     # centralized engine baselines
 //! $ mobieyes run --metrics-out results/run.json
+//! $ mobieyes run --store-dir results/log --checkpoint-ticks 20
+//! $ mobieyes trajectory --store-dir results/log --oid 7 --t0 0 --t1 600
 //! ```
 
 use mobieyes::prelude::*;
@@ -17,6 +19,13 @@ mobieyes — distributed moving-query simulation driver
 
 USAGE:
     mobieyes [run] [OPTIONS]
+    mobieyes trajectory --store-dir <P> --oid <N> [--t0 <S>] [--t1 <S>]
+
+The `trajectory` subcommand answers a historical query offline: it scans
+the durable logs a previous `run --store-dir` left behind (one `p<N>`
+directory per partition), merges every motion sample object <N> reported
+within simulated seconds [t0, t1], and prints them in time order. The
+logs are read cold — no simulation runs and nothing is modified.
 
 OPTIONS:
     --mode <M>         mobieyes-eqp | mobieyes-lqp | naive | central-optimal |
@@ -62,6 +71,15 @@ OPTIONS:
                        dead cells) | respawn (victims restart and re-adopt
                        them); unset = auto from MOBIEYES_RECOVERY, else
                        failover
+    --store-dir <P>    journal every state-changing server input to an
+                       append-only log under P (one `p<N>` directory per
+                       partition); unset = auto from MOBIEYES_STORE_DIR,
+                       else off. A restarted server pointed at the same
+                       directory replays to byte-identical state
+    --checkpoint-ticks <N> checkpoint the durable logs every N ticks
+                       (snapshot + segment GC, bounding log size); 0 =
+                       auto from MOBIEYES_STORE_CHECKPOINT_TICKS, else
+                       off                                  [default: 0]
     --seed <N>         RNG seed
     --uplink-drop <P>  uplink message drop probability (0..=1)   [default: 0]
     --downlink-drop <P> downlink message drop probability (0..=1) [default: 0]
@@ -148,6 +166,10 @@ fn parse_args() -> Result<Cli, String> {
                     RecoveryKind::parse(&value("--recovery")?).map_err(|e| e.to_string())?,
                 );
             }
+            "--store-dir" => builder = builder.store_dir(value("--store-dir")?),
+            "--checkpoint-ticks" => {
+                builder = builder.store_checkpoint_ticks(parse(&value("--checkpoint-ticks")?)?);
+            }
             "--seed" => builder = builder.seed(parse(&value("--seed")?)?),
             "--uplink-drop" => {
                 builder = builder.uplink_drop(parse(&value("--uplink-drop")?)?);
@@ -177,6 +199,73 @@ fn parse_args() -> Result<Cli, String> {
 
 fn parse<T: std::str::FromStr>(s: &str) -> Result<T, String> {
     s.parse().map_err(|_| format!("invalid value: {s}"))
+}
+
+/// `mobieyes trajectory`: offline historical query over the durable logs
+/// of a previous `run --store-dir`, no simulation involved.
+fn run_trajectory(mut args: impl Iterator<Item = String>) -> Result<(), String> {
+    let mut dir: Option<String> = None;
+    let mut oid: Option<u32> = None;
+    let mut t0 = 0.0f64;
+    let mut t1 = f64::INFINITY;
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match arg.as_str() {
+            "--store-dir" => dir = Some(value("--store-dir")?),
+            "--oid" => oid = Some(parse(&value("--oid")?)?),
+            "--t0" => t0 = parse(&value("--t0")?)?,
+            "--t1" => t1 = parse(&value("--t1")?)?,
+            "-h" | "--help" => {
+                print!("{HELP}");
+                return Ok(());
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    let dir = std::path::PathBuf::from(dir.ok_or("trajectory requires --store-dir")?);
+    let oid = ObjectId(oid.ok_or("trajectory requires --oid")?);
+    // One `p<N>` log directory per partition; a single-server run writes
+    // only `p0`. Merge whatever partitions the run left behind.
+    let mut motions = Vec::new();
+    let mut partitions = 0u32;
+    loop {
+        let sub = dir.join(format!("p{partitions}"));
+        if !sub.is_dir() {
+            break;
+        }
+        let part = mobieyes::store::read_trajectory(&sub, partitions, oid, t0, t1)
+            .map_err(|e| format!("reading {}: {e}", sub.display()))?;
+        motions.extend(part);
+        partitions += 1;
+    }
+    if partitions == 0 {
+        return Err(format!(
+            "no partition logs (p0, p1, ...) under {}",
+            dir.display()
+        ));
+    }
+    mobieyes::store::sort_dedupe_motions(&mut motions);
+    eprintln!(
+        "trajectory of object {} over [{t0}, {}] s: {} samples from {partitions} partition log(s)",
+        oid.0,
+        if t1.is_finite() {
+            format!("{t1}")
+        } else {
+            "inf".to_string()
+        },
+        motions.len()
+    );
+    println!("time_s\tpos_x\tpos_y\tvel_x\tvel_y");
+    for m in &motions {
+        println!(
+            "{:.3}\t{:.6}\t{:.6}\t{:.6}\t{:.6}",
+            m.tm, m.pos.x, m.pos.y, m.vel.x, m.vel.y
+        );
+    }
+    Ok(())
 }
 
 fn print_metrics(m: &RunMetrics) {
@@ -235,6 +324,13 @@ fn export_snapshot(path: &str, snapshot: &MetricsSnapshot) -> std::io::Result<()
 }
 
 fn main() {
+    if std::env::args().nth(1).as_deref() == Some("trajectory") {
+        if let Err(e) = run_trajectory(std::env::args().skip(2)) {
+            eprintln!("error: {e}\n\n{HELP}");
+            std::process::exit(2);
+        }
+        return;
+    }
     let cli = match parse_args() {
         Ok(v) => v,
         Err(e) => {

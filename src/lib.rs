@@ -76,6 +76,7 @@ pub use mobieyes_net as net;
 pub use mobieyes_rstar as rstar;
 pub use mobieyes_runtime as runtime;
 pub use mobieyes_sim as sim;
+pub use mobieyes_store as store;
 pub use mobieyes_telemetry as telemetry;
 
 /// The unified error of the facade: every fallible entry point — wire
