@@ -13,10 +13,11 @@
 //! smaller smoke run.
 
 use mobieyes_core::ObjectId;
-use mobieyes_sim::{ClusterSim, SimConfig};
-use mobieyes_telemetry::MetricsSnapshot;
+use mobieyes_sim::{ClusterClient, ClusterSim, HostedPartitions, MobiEyesSim, SimConfig};
+use mobieyes_telemetry::{MetricsSnapshot, Telemetry};
 use std::collections::BTreeSet;
 use std::fmt::Write as _;
+use std::time::Duration;
 
 const PARTITIONS: &[usize] = &[1, 2, 4, 8];
 const WARMUP: usize = 4;
@@ -59,8 +60,8 @@ fn run_one(config: &SimConfig, partitions: usize, ticks: usize) -> Run {
             let loads = (0..partitions)
                 .map(|p| Load {
                     uplinks_handled: c.partition_ops(p),
-                    sqt_entries: c.partition(p).num_queries(),
-                    stub_entries: c.partition(p).num_stubs(),
+                    sqt_entries: c.partition(p).expect("lockstep partition").num_queries(),
+                    stub_entries: c.partition(p).expect("lockstep partition").num_stubs(),
                 })
                 .collect();
             let meter = c.bus_meter();
@@ -129,6 +130,50 @@ fn run_rebalanced(config: &SimConfig, partitions: usize, ticks: usize) -> Rebala
         map_generation: sim.cluster().expect("partitioned").map_generation(),
         window_ops,
     }
+}
+
+/// Same measurement as [`run_rebalanced`], but against live partition
+/// services behind real Unix sockets: the quiesce / install / RQI-transfer
+/// fence rides the framed RPC surface instead of the in-process bus.
+fn run_rebalanced_remote(config: &SimConfig, partitions: usize, ticks: usize) -> RebalanceRun {
+    let hosted = HostedPartitions::spawn(partitions, true).expect("spawn partition services");
+    let client = ClusterClient::connect(hosted.endpoints(), Duration::from_secs(10))
+        .expect("connect to hosted partitions");
+    let mut sim = client.into_sim(
+        config.clone().with_rebalance_ticks(REBALANCE_TICKS),
+        Telemetry::new(),
+    );
+    let mut base: Option<Vec<u64>> = None;
+    let ops = |sim: &MobiEyesSim| -> Vec<u64> {
+        (0..partitions)
+            .map(|p| sim.cluster().partition_ops(p))
+            .collect()
+    };
+    for i in 0..WARMUP + ticks {
+        sim.step(i >= WARMUP);
+        if base.is_none() && sim.cluster().map_generation() > 0 {
+            base = Some(ops(&sim));
+        }
+    }
+    let base = base.expect("rebalance cadence must fire inside the bench window");
+    let window_ops = ops(&sim)
+        .iter()
+        .zip(&base)
+        .map(|(now, b)| now - b)
+        .collect();
+    let run = RebalanceRun {
+        results: sim
+            .query_ids()
+            .iter()
+            .map(|&q| sim.query_result_owned(q).unwrap_or_default())
+            .collect(),
+        snapshot: sim.telemetry().snapshot(),
+        map_generation: sim.cluster().map_generation(),
+        window_ops,
+    };
+    sim.shutdown();
+    hosted.join().expect("partition services exit cleanly");
+    run
 }
 
 /// Load skew: heaviest partition over lightest (1.0 = perfectly even).
@@ -283,8 +328,43 @@ fn main() {
         json,
         "  \"rebalance\": {{ \"n\": {widest_n}, \"rebalance_ticks\": {REBALANCE_TICKS}, \
          \"map_generation\": {}, \"skew_before\": {skew_before:.4}, \
-         \"skew_after\": {skew_after:.4} }}",
+         \"skew_after\": {skew_after:.4} }},",
         rebalanced.map_generation
+    );
+
+    // The same skew measurement over real sockets: live partition services
+    // behind Unix-domain endpoints, the rebalance fence running as RPCs.
+    // Load planning is coordinator-side and deployment-independent, so the
+    // remote run must install the identical generations and land on the
+    // identical post-install uplink split as the in-process run above.
+    let remote = run_rebalanced_remote(&config, widest_n, ticks);
+    assert_eq!(
+        reference.results, remote.results,
+        "remote rebalancing changed query results at {widest_n} partitions"
+    );
+    // No protocol_eq gate here: server-side protocol counters accumulate
+    // inside the remote partition services, not the coordinator's sink.
+    // Results plus the coordinator-side op split are the remote gates.
+    assert_eq!(
+        rebalanced.map_generation, remote.map_generation,
+        "remote deployment installed a different generation count"
+    );
+    assert_eq!(
+        rebalanced.window_ops, remote.window_ops,
+        "remote post-install uplink split diverged from in-process"
+    );
+    let skew_remote = skew(&remote.window_ops);
+    println!(
+        "n={widest_n} rebalanced over sockets: map generation {}, uplink skew \
+         {skew_before:.4} -> {skew_remote:.4}",
+        remote.map_generation
+    );
+    let _ = writeln!(
+        json,
+        "  \"rebalance_remote\": {{ \"n\": {widest_n}, \"rebalance_ticks\": {REBALANCE_TICKS}, \
+         \"transport\": \"uds\", \"map_generation\": {}, \"skew_before\": {skew_before:.4}, \
+         \"skew_after\": {skew_remote:.4} }}",
+        remote.map_generation
     );
     let _ = writeln!(json, "}}");
 

@@ -26,7 +26,7 @@ use mobieyes_net::{
     SocketTransport, Transport, WireSized,
 };
 use mobieyes_store::{self as store, Store, StoreConfig};
-use mobieyes_telemetry::{rec_keys, EventKind, Telemetry};
+use mobieyes_telemetry::{rebal_keys, rec_keys, EventKind, Telemetry};
 use std::collections::{BTreeMap, BTreeSet};
 use std::path::PathBuf;
 use std::sync::atomic::AtomicU64;
@@ -82,6 +82,18 @@ struct RegisteredQuery {
     region: QueryRegion,
     filter: Arc<Filter>,
     expires_at: Option<f64>,
+}
+
+/// Numeric reason codes carried by [`EventKind::RebalanceSkipped`]
+/// (event fields are `u64`-only; exporters render the code).
+pub mod skip_reason {
+    /// A partition is dead or a crash awaits its failover fence.
+    pub const UNFENCED: u64 = 1;
+    /// The observation window recorded no primary-uplink load (or the
+    /// deployment has a single partition).
+    pub const NO_LOAD: u64 = 2;
+    /// The planner reproduced the installed bounds.
+    pub const UNCHANGED: u64 = 3;
 }
 
 /// What one [`ClusterServer::recover_crashed`] pass did.
@@ -359,9 +371,26 @@ impl ClusterServer {
         self.partitions.len()
     }
 
-    /// The in-process server of partition `p` (lockstep deployments).
-    pub fn partition(&self, p: usize) -> &Server {
+    /// The in-process server of partition `p`; `None` when the slot is
+    /// remote (that surface is lockstep-only).
+    pub fn partition(&self, p: usize) -> Option<&Server> {
         self.partitions[p].local()
+    }
+
+    /// Per-partition state weight `(focals, queries, stubs)`, local or
+    /// remote, in one pipelined probe round — the load signal behind the
+    /// rebalance telemetry. Zeroes for a dead peer.
+    pub fn load_signals(&self) -> Vec<(u64, u64, u64)> {
+        let probes: Vec<_> = self
+            .partitions
+            .iter()
+            .map(|p| p.start_load_signal())
+            .collect();
+        self.partitions
+            .iter()
+            .zip(probes)
+            .map(|(p, pr)| p.finish_load_signal(pr))
+            .collect()
     }
 
     /// The backend carrying the inter-server bus.
@@ -1189,36 +1218,53 @@ impl ClusterServer {
     /// that invariant, unlike data-path handoffs which lease-repair.
     pub fn rebalance(&mut self) -> bool {
         let n = self.partitions.len();
-        // Rebalancing moves partition internals the RPC surface does not
-        // expose; multi-process deployments keep their install-time map.
-        if self.has_remote() {
-            return false;
-        }
         // The load planner assumes every partition can own cells; while
         // any slot is dead (or a crash is awaiting its fence) the
         // recovery fences own the map.
         if !self.dead.is_empty() || !self.unfenced.is_empty() {
-            return false;
+            return self.rebalance_skip(rebal_keys::SKIPPED_UNFENCED, skip_reason::UNFENCED);
         }
         if n <= 1 || self.cell_ops.iter().all(|&c| c == 0) {
-            return false;
+            return self.rebalance_skip(rebal_keys::SKIPPED_NO_LOAD, skip_reason::NO_LOAD);
         }
         let old_bounds = self.map.bounds_snapshot();
         let new_bounds = plan_bounds(&self.cell_ops, n);
         if new_bounds == old_bounds {
-            return false;
+            return self.rebalance_skip(rebal_keys::SKIPPED_UNCHANGED, skip_reason::UNCHANGED);
         }
         // (1) Quiesce: nothing may be in flight across the install.
         self.pump_bus();
         let saved_fault = self.bus.fault().clone();
         self.bus.set_fault(FaultPlan::none());
-        // (2) + (3) Fence bump, then the install itself.
+        // A peer that died mid-tick has a classified dead handle; fencing
+        // around a corpse would strand its exports. Leave the old
+        // generation installed and let the next `recover_crashed` pass
+        // fence the dead partition first.
+        if let Some(p) = (0..n as u32).find(|&p| self.partition_down(p)) {
+            self.bus.set_fault(saved_fault);
+            self.rebalance_abort(p);
+            return false;
+        }
+        // (2) + (3) Fence bump, then the install itself. Remote ownership
+        // tables sync BEFORE any transfer leaves the coordinator: a
+        // `RebalanceCells` cut for generation G is a whole-message no-op
+        // at any other G, so the receiving table must already be at G.
         self.bump_shared_epoch();
         let generation = self.map.install(&new_bounds);
         self.journal_bounds(generation, &new_bounds);
+        let probes: Vec<_> = self
+            .partitions
+            .iter_mut()
+            .map(|h| h.start_install_bounds(generation, &new_bounds))
+            .collect();
+        for (h, pr) in self.partitions.iter().zip(probes) {
+            h.finish_unit(pr, "InstallBounds");
+        }
 
         // (4a) RQI rows of every reassigned cell, batched per (from, to)
-        // pair in ascending partition order.
+        // pair in ascending partition order. Every exporter cuts its rows
+        // concurrently (pipelined); replies and bus sends keep the batch
+        // order, so the bus sees the same traffic as a sequential pass.
         let owner_in = |bounds: &[usize], flat: usize| -> u32 {
             (bounds.partition_point(|&b| b <= flat) - 1) as u32
         };
@@ -1230,22 +1276,55 @@ impl ClusterServer {
                 moves.entry((from, to)).or_default().push(flat);
             }
         }
-        for ((from, to), flats) in moves {
-            if let Some(msg) = self.partitions[from as usize].export_cells(&flats, generation) {
-                self.bus
-                    .send(NodeId(from), Envelope { to, msg })
-                    .expect("bus send failed");
+        let cells_moved: usize = moves.values().map(Vec::len).sum();
+        let mut export_probes = Vec::with_capacity(moves.len());
+        for (&(from, _), flats) in &moves {
+            export_probes
+                .push(self.partitions[from as usize].start_export_cells(flats, generation));
+        }
+        let mut exports = Vec::with_capacity(moves.len());
+        for ((&(from, to), _), pr) in moves.iter().zip(export_probes) {
+            exports.push((
+                from,
+                to,
+                self.partitions[from as usize].finish_export_cells(pr),
+            ));
+        }
+        let mut aborted = false;
+        for (from, to, msg) in exports {
+            if let Some(msg) = msg {
+                if !self.fence_send(from, Envelope { to, msg }) {
+                    aborted = true;
+                    break;
+                }
             }
         }
-        self.pump_bus();
 
         // (4b) Rehome focal objects whose anchor cell changed owner,
         // ascending object id — the same MigrateFocal machinery as a
-        // border handoff.
-        let mut rehome: Vec<(ObjectId, usize, usize)> = Vec::new();
-        for (p, s) in self.partitions.iter().enumerate() {
-            for oid in s.focal_ids() {
-                let Some(cell) = s.focal_anchor_cell(oid) else {
+        // border handoff. Census and extraction are pipelined rounds.
+        if !aborted {
+            self.pump_bus();
+            let probes: Vec<_> = self
+                .partitions
+                .iter()
+                .map(|h| h.start_focal_ids())
+                .collect();
+            let ids: Vec<Vec<ObjectId>> = self
+                .partitions
+                .iter()
+                .zip(probes)
+                .map(|(h, pr)| h.finish_focal_ids(pr))
+                .collect();
+            let mut anchors = Vec::new();
+            for (p, oids) in ids.iter().enumerate() {
+                for &oid in oids {
+                    anchors.push((p, oid, self.partitions[p].start_focal_anchor_cell(oid)));
+                }
+            }
+            let mut rehome: Vec<(ObjectId, usize, usize)> = Vec::new();
+            for (p, oid, pr) in anchors {
+                let Some(cell) = self.partitions[p].finish_focal_anchor_cell(pr) else {
                     continue;
                 };
                 let to = self.map.owner_of_cell(&self.config.grid, cell) as usize;
@@ -1253,33 +1332,87 @@ impl ClusterServer {
                     rehome.push((oid, p, to));
                 }
             }
-        }
-        rehome.sort_unstable();
-        for (oid, from, to) in rehome {
-            if let Some(m) = self.partitions[from].extract_focal(oid) {
-                self.bus
-                    .send(
-                        NodeId(from as u32),
-                        Envelope {
-                            to: to as u32,
-                            msg: m,
-                        },
-                    )
-                    .expect("bus send failed");
+            rehome.sort_unstable();
+            let mut extract_probes = Vec::with_capacity(rehome.len());
+            for &(oid, from, _) in &rehome {
+                extract_probes.push(self.partitions[from].start_extract_focal(oid));
+            }
+            let mut migrations = Vec::with_capacity(rehome.len());
+            for (&(oid, from, to), pr) in rehome.iter().zip(extract_probes) {
+                let _ = oid;
+                migrations.push((from, to, self.partitions[from].finish_extract_focal(pr)));
+            }
+            for (from, to, msg) in migrations {
+                if let Some(msg) = msg {
+                    if !self.fence_send(from as u32, Envelope { to: to as u32, msg }) {
+                        aborted = true;
+                        break;
+                    }
+                }
             }
         }
-        self.pump_bus();
 
         // Hygiene: stubs whose monitoring region left a shrunk span.
-        for s in self.partitions.iter_mut() {
-            s.prune_stubs();
+        if !aborted {
+            self.pump_bus();
+            let probes: Vec<_> = self
+                .partitions
+                .iter_mut()
+                .map(|h| h.start_prune_stubs())
+                .collect();
+            for (h, pr) in self.partitions.iter().zip(probes) {
+                h.finish_unit(pr, "PruneStubs");
+            }
         }
         self.bus.set_fault(saved_fault);
         // Start the next observation window fresh.
         for c in self.cell_ops.iter_mut() {
             *c = 0;
         }
+        self.bus_sink.incr(rebal_keys::INSTALLS);
+        self.bus_sink
+            .add(rebal_keys::CELLS_MOVED, cells_moved as u64);
+        self.bus_sink.event(EventKind::RebalanceInstalled {
+            generation,
+            cells: cells_moved as u64,
+        });
         true
+    }
+
+    /// Records a rebalance round that did nothing: the shared `skipped`
+    /// counter, a per-reason counter, and a diagnosable event — a
+    /// deployment whose map never moves shows up in `--metrics-out`
+    /// instead of silently running the install-time map.
+    fn rebalance_skip(&self, key: &'static str, reason: u64) -> bool {
+        self.bus_sink.incr(rebal_keys::SKIPPED);
+        self.bus_sink.incr(key);
+        self.bus_sink.event(EventKind::RebalanceSkipped { reason });
+        false
+    }
+
+    /// Records a fence abandoned because `partition` died under it.
+    fn rebalance_abort(&self, partition: u32) {
+        self.bus_sink.incr(rebal_keys::ABORTS);
+        self.bus_sink.event(EventKind::RebalanceAborted {
+            partition: partition as u64,
+        });
+    }
+
+    /// Sends one fence transfer on the bus, classifying failure the way
+    /// the RPC path does: peer death records an abort (the next
+    /// `recover_crashed` pass fences the corpse and failover repairs the
+    /// lost rows) instead of killing the coordinator mid-fence; anything
+    /// else is a protocol bug and still panics.
+    fn fence_send(&mut self, from: u32, env: Envelope) -> bool {
+        let to = env.to;
+        match self.bus.send(NodeId(from), env) {
+            Ok(()) => true,
+            Err(e) if e.is_peer_death() => {
+                self.rebalance_abort(to);
+                false
+            }
+            Err(e) => panic!("bus send failed during a fence: {e}"),
+        }
     }
 
     // --- partition crash recovery (DESIGN.md §13) -------------------------
@@ -1807,9 +1940,7 @@ impl ClusterServer {
         for ((from, to), flats) in moves {
             readopted += flats.len();
             if let Some(msg) = self.partitions[from as usize].export_cells(&flats, generation) {
-                self.bus
-                    .send(NodeId(from), Envelope { to, msg })
-                    .expect("bus send failed");
+                self.fence_send(from, Envelope { to, msg });
             }
         }
         self.pump_bus();
@@ -1834,15 +1965,13 @@ impl ClusterServer {
         rehome.sort_unstable();
         for (oid, from, to) in rehome {
             if let Some(m) = self.partitions[from].extract_focal(oid) {
-                self.bus
-                    .send(
-                        NodeId(from as u32),
-                        Envelope {
-                            to: to as u32,
-                            msg: m,
-                        },
-                    )
-                    .expect("bus send failed");
+                self.fence_send(
+                    from as u32,
+                    Envelope {
+                        to: to as u32,
+                        msg: m,
+                    },
+                );
             }
         }
         self.pump_bus();
@@ -1964,12 +2093,21 @@ mod tests {
         assert_eq!(report.cells_reassigned, 100);
         assert_eq!(report.envelopes_rerouted, 1, "the migration is re-routed");
         assert!(
-            cluster.partition(3).has_focal(ObjectId(7)),
+            cluster
+                .partition(3)
+                .expect("lockstep")
+                .has_focal(ObjectId(7)),
             "the new owner of the anchor cell adopts the focal"
         );
-        assert!(cluster.partition(3).has_query(QueryId(3)));
+        assert!(cluster
+            .partition(3)
+            .expect("lockstep")
+            .has_query(QueryId(3)));
         assert!(
-            !cluster.partition(2).has_focal(ObjectId(7)),
+            !cluster
+                .partition(2)
+                .expect("lockstep")
+                .has_focal(ObjectId(7)),
             "the dead slot's fresh server must not adopt migrated state"
         );
         // A second pass finds nothing new to fence.
@@ -1993,7 +2131,12 @@ mod tests {
             vec![0, 100, 250, 250, 400],
             "dead run split at the midpoint between partitions 1 and 3"
         );
-        assert!(cluster.partition(2).query_ids().next().is_none());
+        assert!(cluster
+            .partition(2)
+            .expect("lockstep")
+            .query_ids()
+            .next()
+            .is_none());
         cluster.respawn_partition(2);
         assert_eq!(
             cluster.map.bounds_snapshot(),
@@ -2025,7 +2168,7 @@ mod tests {
             Filter::True,
             &mut net,
         );
-        assert!(cluster.partition(2).has_query(qid));
+        assert!(cluster.partition(2).expect("lockstep").has_query(qid));
         net.take_downlinks();
         cluster.kill_partition(2);
         let report = cluster.recover_crashed(&mut net).expect("fence");
@@ -2044,5 +2187,61 @@ mod tests {
             "the focal agent is asked to re-report its position"
         );
         cluster.check_invariants();
+    }
+
+    /// Every `rebalance()` outcome is diagnosable from the bus sink: each
+    /// early return bumps `rebal.skipped` with a per-reason counter and
+    /// emits a `RebalanceSkipped` event; an install bumps `rebal.installs`
+    /// and emits `RebalanceInstalled`.
+    #[test]
+    fn rebalance_skips_and_installs_are_counted() {
+        let (mut cluster, mut net) = test_cluster(4);
+        // No load observed yet: nothing to plan from.
+        assert!(!cluster.rebalance());
+        // Perfectly uniform load: the planned bounds equal the installed
+        // contiguous split, so there is nothing to move.
+        for c in cluster.cell_ops.iter_mut() {
+            *c = 1;
+        }
+        assert!(!cluster.rebalance());
+        // Skewed load: partition 0's span is hot, so the plan must shift
+        // the cuts and install a new generation.
+        cluster.cell_ops[0] = 1000;
+        assert!(cluster.rebalance());
+        assert!(cluster.map_generation() >= 1);
+        // A fenced-off dead partition hands the map to the recovery
+        // fences; load rebalancing skips until the slot is restored.
+        cluster.kill_partition(2);
+        cluster.recover_crashed(&mut net).expect("fence");
+        cluster.cell_ops[0] = 1000;
+        assert!(!cluster.rebalance());
+        let snap = cluster.bus_telemetry().snapshot();
+        assert_eq!(snap.counter(rebal_keys::SKIPPED), 3);
+        assert_eq!(snap.counter(rebal_keys::SKIPPED_NO_LOAD), 1);
+        assert_eq!(snap.counter(rebal_keys::SKIPPED_UNCHANGED), 1);
+        assert_eq!(snap.counter(rebal_keys::SKIPPED_UNFENCED), 1);
+        assert_eq!(snap.counter(rebal_keys::INSTALLS), 1);
+        let reasons: Vec<u64> = snap
+            .events
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::RebalanceSkipped { reason } => Some(reason),
+                _ => None,
+            })
+            .collect();
+        // Snapshots order events canonically (time, kind, fields), not by
+        // emission order.
+        assert_eq!(
+            reasons,
+            vec![
+                skip_reason::UNFENCED,
+                skip_reason::NO_LOAD,
+                skip_reason::UNCHANGED
+            ]
+        );
+        assert!(snap
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::RebalanceInstalled { .. })));
     }
 }

@@ -255,15 +255,13 @@ pub enum PartitionHandle {
 
 impl PartitionHandle {
     /// The in-process server, for APIs that expose partition internals
-    /// (`ClusterServer::partition`, rebalancing). Panics for remote
-    /// handles — those surfaces are lockstep-only.
-    pub fn local(&self) -> &Server {
+    /// (`ClusterServer::partition`, store rebuilds). `None` for remote
+    /// handles — those surfaces are lockstep-only, and callers must
+    /// handle the miss instead of aborting the coordinator.
+    pub fn local(&self) -> Option<&Server> {
         match self {
-            PartitionHandle::Local(s) => s,
-            PartitionHandle::Remote(r) => panic!(
-                "partition {} is remote: in-process surface unavailable",
-                r.partition
-            ),
+            PartitionHandle::Local(s) => Some(s),
+            PartitionHandle::Remote(_) => None,
         }
     }
 
@@ -747,15 +745,12 @@ impl PartitionHandle {
     }
 
     /// Borrowed result set — in-process handles only (the lockstep
-    /// deployments every existing caller runs). Remote callers use
-    /// [`Self::query_result_owned`].
+    /// deployments every existing caller runs). `None` for remote
+    /// handles; those callers use [`Self::query_result_owned`].
     pub fn query_result_ref(&self, qid: QueryId) -> Option<&BTreeSet<ObjectId>> {
         match self {
             PartitionHandle::Local(s) => s.query_result(qid),
-            PartitionHandle::Remote(r) => panic!(
-                "partition {} is remote: borrowed query results unavailable",
-                r.partition
-            ),
+            PartitionHandle::Remote(_) => None,
         }
     }
 
@@ -935,6 +930,136 @@ impl PartitionHandle {
     }
 
     // --- rebalance / recovery surface ------------------------------------
+    //
+    // The fence's per-partition rounds (ownership sync, RQI export, focal
+    // census, stub prune) are fan-outs like the read probes above, so each
+    // op also has a pipelined start/finish pair: all partition processes
+    // cut their state concurrently and the coordinator collects replies in
+    // start order.
+
+    /// Pipelined ownership-table sync: local handles share the
+    /// coordinator's table and resolve immediately.
+    pub fn start_install_bounds(&mut self, generation: u64, bounds: &[usize]) -> Probe<()> {
+        match self {
+            PartitionHandle::Local(_) => Probe::Ready(()),
+            PartitionHandle::Remote(r) => {
+                let bounds = bounds.iter().map(|&b| b as u64).collect();
+                if r.send_classified(&PartitionOp::InstallBounds { generation, bounds }) {
+                    Probe::Pending
+                } else {
+                    Probe::Dead
+                }
+            }
+        }
+    }
+
+    pub fn start_export_cells(
+        &mut self,
+        flats: &[usize],
+        generation: u64,
+    ) -> Probe<Option<ClusterMsg>> {
+        match self {
+            PartitionHandle::Local(s) => Probe::Ready(s.export_cells(flats, generation)),
+            PartitionHandle::Remote(r) => {
+                let flats = flats.iter().map(|&f| f as u32).collect();
+                if r.send_classified(&PartitionOp::ExportCells { flats, generation }) {
+                    Probe::Pending
+                } else {
+                    Probe::Dead
+                }
+            }
+        }
+    }
+
+    pub fn finish_export_cells(&self, probe: Probe<Option<ClusterMsg>>) -> Option<ClusterMsg> {
+        self.finish(probe, "ExportCells", |p| match p {
+            ReplyPayload::OptCluster(msg) => msg,
+            other => bad_payload("ExportCells", &other),
+        })
+    }
+
+    pub fn start_focal_ids(&self) -> Probe<Vec<ObjectId>> {
+        self.start(PartitionOp::FocalIds, |s| s.focal_ids())
+    }
+
+    pub fn finish_focal_ids(&self, probe: Probe<Vec<ObjectId>>) -> Vec<ObjectId> {
+        self.finish(probe, "FocalIds", |p| match p {
+            ReplyPayload::Oids(oids) => oids,
+            other => bad_payload("FocalIds", &other),
+        })
+    }
+
+    pub fn start_focal_anchor_cell(&self, oid: ObjectId) -> Probe<Option<CellId>> {
+        self.start(PartitionOp::FocalAnchorCell(oid), |s| {
+            s.focal_anchor_cell(oid)
+        })
+    }
+
+    pub fn finish_focal_anchor_cell(&self, probe: Probe<Option<CellId>>) -> Option<CellId> {
+        self.finish(probe, "FocalAnchorCell", |p| match p {
+            ReplyPayload::OptCell(cell) => cell,
+            other => bad_payload("FocalAnchorCell", &other),
+        })
+    }
+
+    pub fn start_extract_focal(&mut self, oid: ObjectId) -> Probe<Option<ClusterMsg>> {
+        match self {
+            PartitionHandle::Local(s) => Probe::Ready(s.extract_focal(oid)),
+            PartitionHandle::Remote(r) => {
+                if r.send_classified(&PartitionOp::ExtractFocal(oid)) {
+                    Probe::Pending
+                } else {
+                    Probe::Dead
+                }
+            }
+        }
+    }
+
+    pub fn finish_extract_focal(&self, probe: Probe<Option<ClusterMsg>>) -> Option<ClusterMsg> {
+        self.finish(probe, "ExtractFocal", |p| match p {
+            ReplyPayload::OptCluster(msg) => msg,
+            other => bad_payload("ExtractFocal", &other),
+        })
+    }
+
+    pub fn start_prune_stubs(&mut self) -> Probe<()> {
+        match self {
+            PartitionHandle::Local(s) => {
+                s.prune_stubs();
+                Probe::Ready(())
+            }
+            PartitionHandle::Remote(r) => {
+                if r.send_classified(&PartitionOp::PruneStubs) {
+                    Probe::Pending
+                } else {
+                    Probe::Dead
+                }
+            }
+        }
+    }
+
+    /// Partition state weight `(focals, queries, stubs)` for rebalance
+    /// telemetry. Zeroes on a dead peer.
+    pub fn start_load_signal(&self) -> Probe<(u64, u64, u64)> {
+        self.start(PartitionOp::LoadSignal, |s| {
+            (
+                s.focal_ids().len() as u64,
+                s.num_queries() as u64,
+                s.num_stubs() as u64,
+            )
+        })
+    }
+
+    pub fn finish_load_signal(&self, probe: Probe<(u64, u64, u64)>) -> (u64, u64, u64) {
+        self.finish(probe, "LoadSignal", |p| match p {
+            ReplyPayload::Load {
+                focals,
+                queries,
+                stubs,
+            } => (focals, queries, stubs),
+            other => bad_payload("LoadSignal", &other),
+        })
+    }
 
     pub fn export_cells(&mut self, flats: &[usize], generation: u64) -> Option<ClusterMsg> {
         match self {

@@ -15,7 +15,7 @@ pub mod wire;
 
 #[allow(deprecated)]
 pub use cluster_server::Bus;
-pub use cluster_server::{ClusterServer, Envelope};
+pub use cluster_server::{skip_reason, ClusterServer, Envelope};
 pub use handle::{PartitionHandle, RemotePartition};
 pub use partition::{plan_bounds, PartitionMap, Router};
 pub use serve::{serve_connection, serve_partition};

@@ -357,6 +357,11 @@ fn execute(s: &mut ServiceState, op: PartitionOp) -> ReplyPayload {
             Some(store) => store.trajectory(oid, t0, t1).unwrap_or_default(),
             None => Vec::new(),
         }),
+        PartitionOp::LoadSignal => ReplyPayload::Load {
+            focals: s.server.focal_ids().len() as u64,
+            queries: s.server.num_queries() as u64,
+            stubs: s.server.num_stubs() as u64,
+        },
     }
 }
 

@@ -211,6 +211,9 @@ pub enum PartitionOp {
         t0: f64,
         t1: f64,
     },
+    /// The partition's state weight — homed focals, owned queries, stub
+    /// rows — for rebalance telemetry. Replies `Load`.
+    LoadSignal,
 }
 
 /// A downlink the partition emitted while executing an op. The coordinator
@@ -242,6 +245,12 @@ pub enum ReplyPayload {
     Oids(Vec<ObjectId>),
     /// Motion samples from the durable log, ascending by report time.
     Motions(Vec<LinearMotion>),
+    /// Partition state weight: homed focals, owned queries, stub rows.
+    Load {
+        focals: u64,
+        queries: u64,
+        stubs: u64,
+    },
 }
 
 /// Reply to one [`PartitionOp`].
@@ -543,6 +552,7 @@ pub fn encode_request(epoch_floor: u64, op: &PartitionOp, out: &mut Vec<u8>) {
             out.put_f64_le(*t0);
             out.put_f64_le(*t1);
         }
+        PartitionOp::LoadSignal => out.put_u8(42),
     }
 }
 
@@ -696,6 +706,7 @@ pub fn decode_request(bytes: &[u8]) -> Result<(u64, PartitionOp)> {
                 t0: buf.get_f64_le("trajectory start")?,
                 t1: buf.get_f64_le("trajectory end")?,
             },
+            42 => PartitionOp::LoadSignal,
             t => return Err(DecodeError(format!("unknown partition op tag {t}"))),
         };
         Ok((floor, op))
@@ -854,6 +865,16 @@ pub fn encode_reply(reply: &PartitionReply, out: &mut Vec<u8>) {
                 codec::put_motion(out, m);
             }
         }
+        ReplyPayload::Load {
+            focals,
+            queries,
+            stubs,
+        } => {
+            out.put_u8(15);
+            out.put_u64_le(*focals);
+            out.put_u64_le(*queries);
+            out.put_u64_le(*stubs);
+        }
     }
 }
 
@@ -985,6 +1006,11 @@ pub fn decode_reply(bytes: &[u8]) -> Result<PartitionReply> {
                 }
                 ReplyPayload::Motions(motions)
             }
+            15 => ReplyPayload::Load {
+                focals: buf.get_u64_le("load focals")?,
+                queries: buf.get_u64_le("load queries")?,
+                stubs: buf.get_u64_le("load stubs")?,
+            },
             t => return Err(DecodeError(format!("unknown reply payload tag {t}"))),
         };
         Ok(PartitionReply {
@@ -1135,6 +1161,7 @@ mod tests {
                 t0: 30.0,
                 t1: 240.0,
             },
+            PartitionOp::LoadSignal,
         ]
     }
 
@@ -1173,6 +1200,11 @@ mod tests {
             ReplyPayload::Oids(vec![]),
             ReplyPayload::Motions(vec![motion(), motion()]),
             ReplyPayload::Motions(vec![]),
+            ReplyPayload::Load {
+                focals: 3,
+                queries: 5,
+                stubs: 11,
+            },
         ]
     }
 

@@ -81,6 +81,12 @@ pub struct RunReport {
     pub approach: Approach,
     pub metrics: RunMetrics,
     pub snapshot: MetricsSnapshot,
+    /// The cluster coordinator's private bus-sink snapshot (recovery and
+    /// rebalance counters/events) on a partitioned MobiEyes run, `None`
+    /// otherwise. Kept separate from `snapshot` so protocol equivalence
+    /// comparisons stay deployment-shape independent; exporters may
+    /// [`MetricsSnapshot::absorb`] it into the user-facing output.
+    pub bus_snapshot: Option<MetricsSnapshot>,
 }
 
 /// Runs `approach` over `config` (warm-up + measured ticks) with a fresh
@@ -92,13 +98,23 @@ pub fn run_approach(config: SimConfig, approach: Approach) -> RunReport {
 /// Like [`run_approach`] but recording into the injected sink (which is
 /// reset when the measured window starts).
 pub fn run_approach_with(config: SimConfig, approach: Approach, telemetry: Telemetry) -> RunReport {
+    let mut bus_snapshot = None;
     let metrics = match approach {
-        Approach::MobiEyesEqp => MobiEyesSim::with_telemetry(config, telemetry.clone()).run(),
-        Approach::MobiEyesLqp => MobiEyesSim::with_telemetry(
-            config.with_propagation(Propagation::Lazy),
-            telemetry.clone(),
-        )
-        .run(),
+        Approach::MobiEyesEqp => {
+            let mut sim = MobiEyesSim::with_telemetry(config, telemetry.clone());
+            let metrics = sim.run();
+            bus_snapshot = sim.bus_snapshot();
+            metrics
+        }
+        Approach::MobiEyesLqp => {
+            let mut sim = MobiEyesSim::with_telemetry(
+                config.with_propagation(Propagation::Lazy),
+                telemetry.clone(),
+            );
+            let metrics = sim.run();
+            bus_snapshot = sim.bus_snapshot();
+            metrics
+        }
         Approach::Naive => {
             MessagingModel::with_telemetry(config, MessagingKind::Naive, telemetry.clone()).run()
         }
@@ -117,6 +133,7 @@ pub fn run_approach_with(config: SimConfig, approach: Approach, telemetry: Telem
         approach,
         metrics,
         snapshot: telemetry.snapshot(),
+        bus_snapshot,
     }
 }
 

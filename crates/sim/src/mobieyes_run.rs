@@ -462,6 +462,16 @@ impl MobiEyesSim {
         }
     }
 
+    /// The coordinator's private bus-sink snapshot (recovery + rebalance
+    /// counters and events, kept out of the protocol snapshot), or `None`
+    /// on a single-server deployment.
+    pub fn bus_snapshot(&self) -> Option<mobieyes_telemetry::MetricsSnapshot> {
+        match &self.tier {
+            ServerTier::Cluster(c) => Some(c.bus_telemetry().snapshot()),
+            ServerTier::Single(_) => None,
+        }
+    }
+
     /// Mutable access to the partitioned tier (fault-injection tests).
     pub fn cluster_mut(&mut self) -> &mut ClusterServer {
         match &mut self.tier {

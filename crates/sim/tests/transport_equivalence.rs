@@ -105,6 +105,79 @@ fn check_cell(seed: u64, propagation: Propagation, partitions: usize, uds: bool)
     );
 }
 
+/// Like [`remote_trace`], but also reports the partition-map generation the
+/// coordinator ended on — the rebalance cells assert the fence actually
+/// installed new maps over the RPC surface, not just that results agree.
+fn remote_rebalance_trace(cfg: SimConfig, partitions: usize, uds: bool) -> (ResultTrace, u64, u64) {
+    let hosted = HostedPartitions::spawn(partitions, uds).expect("spawn partition services");
+    let client = ClusterClient::connect(hosted.endpoints(), Duration::from_secs(5))
+        .expect("connect to hosted partitions");
+    let mut sim = client.into_sim(cfg, Telemetry::new());
+    let results = trace(&mut sim);
+    let digest = sim.result_digest();
+    let generation = sim.cluster().map_generation();
+    sim.shutdown();
+    hosted.join().expect("partition services exit cleanly");
+    (results, digest, generation)
+}
+
+/// Rebalance equivalence: with periodic load rebalancing enabled, the
+/// coordinator quiesces the bus, installs a new partition-map generation,
+/// and moves RQI cell state between partitions mid-run. The fence rides
+/// the same bus/RPC surface as normal traffic, so lock-step, socket-bus,
+/// and live remote services must still agree per tick — and all three
+/// must install the identical sequence of generations (load planning uses
+/// coordinator-side uplink counts, which are deployment-independent).
+fn check_rebalance_cell(seed: u64, propagation: Propagation, partitions: usize, uds: bool) {
+    let cfg = config(seed, propagation, partitions).with_rebalance_ticks(3);
+    let (reference, reference_generation) = {
+        let mut sim = MobiEyesSim::new(cfg.clone());
+        let t = trace(&mut sim);
+        (t, sim.cluster().map_generation())
+    };
+    assert!(
+        reference_generation >= 1,
+        "rebalance never installed a generation: seed={seed} p={partitions}"
+    );
+    let kind = if uds {
+        TransportKind::Uds
+    } else {
+        TransportKind::Tcp
+    };
+    let mut socket_sim = MobiEyesSim::new(cfg.clone().with_transport(kind));
+    let socket_bus = trace(&mut socket_sim);
+    assert_eq!(
+        socket_sim.cluster().map_generation(),
+        reference_generation,
+        "socket bus generation diverges: seed={seed} p={partitions}"
+    );
+    assert_traces_match(
+        &format!("rebalance socket bus seed={seed} p={partitions} {propagation:?}"),
+        &reference,
+        &socket_bus,
+    );
+    let (remote, remote_digest, remote_generation) =
+        remote_rebalance_trace(cfg.clone(), partitions, uds);
+    assert_eq!(
+        remote_generation, reference_generation,
+        "remote generation diverges: seed={seed} p={partitions}"
+    );
+    assert_traces_match(
+        &format!("rebalance remote seed={seed} p={partitions} {propagation:?}"),
+        &reference,
+        &remote,
+    );
+    let mut ref_sim = MobiEyesSim::new(cfg);
+    for _ in 0..TICKS {
+        ref_sim.step(true);
+    }
+    assert_eq!(
+        ref_sim.result_digest(),
+        remote_digest,
+        "rebalance digest diverges: seed={seed} p={partitions} {propagation:?}"
+    );
+}
+
 #[test]
 fn eqp_matches_across_transports() {
     for &seed in &[41u64, 42] {
@@ -121,4 +194,15 @@ fn lqp_matches_across_transports() {
             check_cell(seed, Propagation::Lazy, partitions, seed % 2 == 1);
         }
     }
+}
+
+#[test]
+fn rebalance_matches_across_transports() {
+    for &seed in &[41u64, 42] {
+        for &partitions in &[2usize, 4] {
+            check_rebalance_cell(seed, Propagation::Eager, partitions, seed % 2 == 0);
+        }
+    }
+    // One lazy cell: the fence must also preserve LQP's deferred state.
+    check_rebalance_cell(41, Propagation::Lazy, 4, true);
 }

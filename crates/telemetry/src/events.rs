@@ -52,6 +52,15 @@ pub enum EventKind {
     /// A crashed partition rejoined the cluster and re-adopted its
     /// pre-crash cell span.
     PartitionRespawned { partition: u64 },
+    /// A due rebalance round did nothing; `reason` is a
+    /// `rebalance::SkipReason` discriminant (see `mobieyes-cluster`).
+    RebalanceSkipped { reason: u64 },
+    /// A rebalance fence installed partition-map generation `generation`,
+    /// moving `cells` grid cells between partitions.
+    RebalanceInstalled { generation: u64, cells: u64 },
+    /// A rebalance fence was abandoned because `partition` died mid-fence;
+    /// the previous map generation stays installed.
+    RebalanceAborted { partition: u64 },
 }
 
 impl EventKind {
@@ -72,6 +81,9 @@ impl EventKind {
             EventKind::PartitionCrashed { .. } => "partition_crashed",
             EventKind::PartitionFailedOver { .. } => "partition_failed_over",
             EventKind::PartitionRespawned { .. } => "partition_respawned",
+            EventKind::RebalanceSkipped { .. } => "rebalance_skipped",
+            EventKind::RebalanceInstalled { .. } => "rebalance_installed",
+            EventKind::RebalanceAborted { .. } => "rebalance_aborted",
         }
     }
 
@@ -94,6 +106,11 @@ impl EventKind {
                 vec![("partition", partition), ("cells", cells)]
             }
             EventKind::PartitionRespawned { partition } => vec![("partition", partition)],
+            EventKind::RebalanceSkipped { reason } => vec![("reason", reason)],
+            EventKind::RebalanceInstalled { generation, cells } => {
+                vec![("generation", generation), ("cells", cells)]
+            }
+            EventKind::RebalanceAborted { partition } => vec![("partition", partition)],
         }
     }
 
@@ -142,6 +159,16 @@ impl EventKind {
                 cells: get("cells")?,
             },
             "partition_respawned" => EventKind::PartitionRespawned {
+                partition: get("partition")?,
+            },
+            "rebalance_skipped" => EventKind::RebalanceSkipped {
+                reason: get("reason")?,
+            },
+            "rebalance_installed" => EventKind::RebalanceInstalled {
+                generation: get("generation")?,
+                cells: get("cells")?,
+            },
+            "rebalance_aborted" => EventKind::RebalanceAborted {
                 partition: get("partition")?,
             },
             _ => return None,
@@ -336,6 +363,12 @@ mod tests {
                 cells: 64,
             },
             EventKind::PartitionRespawned { partition: 2 },
+            EventKind::RebalanceSkipped { reason: 1 },
+            EventKind::RebalanceInstalled {
+                generation: 3,
+                cells: 128,
+            },
+            EventKind::RebalanceAborted { partition: 1 },
         ];
         for kind in kinds {
             let fields: Vec<(String, u64)> = kind

@@ -46,6 +46,27 @@ pub mod rec_keys {
     pub const RESPAWNS: &str = "rec.respawns";
 }
 
+/// The `rebal.*` telemetry counter keys: load-aware partition
+/// rebalancing. Recorded into the cluster bus sink, like [`rec_keys`],
+/// so protocol snapshots stay comparable across deployments.
+pub mod rebal_keys {
+    /// Map generations installed by the rebalance fence.
+    pub const INSTALLS: &str = "rebal.installs";
+    /// Grid cells moved between partitions by installed generations.
+    pub const CELLS_MOVED: &str = "rebal.cells_moved";
+    /// Due rebalance rounds that did nothing (any reason).
+    pub const SKIPPED: &str = "rebal.skipped";
+    /// Skips because a partition was dead or awaiting its failover fence.
+    pub const SKIPPED_UNFENCED: &str = "rebal.skipped.unfenced";
+    /// Skips because the observation window recorded no uplink load.
+    pub const SKIPPED_NO_LOAD: &str = "rebal.skipped.no_load";
+    /// Skips because the planner reproduced the installed bounds.
+    pub const SKIPPED_UNCHANGED: &str = "rebal.skipped.unchanged";
+    /// Fences abandoned mid-flight because a peer died; the old map
+    /// generation stays installed and failover handles the corpse.
+    pub const ABORTS: &str = "rebal.aborts";
+}
+
 /// The `store.*` telemetry counter keys of the durable trajectory log
 /// (`mobieyes-store`).
 pub mod store_keys {

@@ -92,6 +92,32 @@ impl MetricsSnapshot {
         self.histograms.get(key)
     }
 
+    /// Folds another registry's snapshot into this one: counters and wall
+    /// accumulators add, gauges and histograms take the other's value for
+    /// keys this snapshot lacks, events merge into canonical order. Used
+    /// at export time to attach a private sink's data (e.g. the cluster
+    /// coordinator's bus sink, which is kept out of the protocol snapshot
+    /// the equivalence gates compare) to a user-facing snapshot.
+    pub fn absorb(&mut self, other: &MetricsSnapshot) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.wall_nanos {
+            *self.wall_nanos.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            self.gauges.entry(k.clone()).or_insert(*v);
+        }
+        for (k, h) in &other.histograms {
+            self.histograms
+                .entry(k.clone())
+                .or_insert_with(|| h.clone());
+        }
+        self.events.extend(other.events.iter().cloned());
+        self.events.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
+        self.events_dropped += other.events_dropped;
+    }
+
     /// The snapshot with all wall-time data removed: what must match
     /// exactly between the lock-step simulator and the threaded runtime.
     pub fn protocol_view(&self) -> MetricsSnapshot {

@@ -77,6 +77,36 @@ awk -v a="$skew_after" -v b="$skew_before" 'BEGIN { exit !(a < b) }' \
 cargo run -q --release --bin mobieyes -- --partitions 4 --rebalance-ticks 3 \
   --objects 400 --queries 40 --nmo 40 --ticks 8 --warmup 2 --area 10000 >/dev/null
 
+echo "==> remote rebalance smoke (rebalance fence over real sockets)"
+# Four partition processes behind Unix-domain sockets with the partition
+# map recomputed from observed load every 5 ticks: the quiesce / install /
+# RQI-transfer fence rides the framed RPC surface instead of the in-process
+# bus. `drive` exits non-zero unless the final digest matches the lock-step
+# reference; on top of that at least one load-driven generation must have
+# installed over the sockets and no fence may have aborted.
+rebal_drive=$(mktemp)
+cargo run -q --release --bin mobieyes-serve -- drive --transport uds \
+  --partitions 4 --ticks 30 --seed 7 --rebalance-ticks 5 \
+  --json "$rebal_drive" >/dev/null
+assert_json "$rebal_drive" require digests_match true \
+  || { echo "remote rebalance smoke: live digest diverged from lock-step"; exit 1; }
+rebal_gen=$(assert_json "$rebal_drive" get map_generation)
+awk -v g="$rebal_gen" 'BEGIN { exit !(g >= 1) }' \
+  || { echo "remote rebalance smoke: no partition-map generation installed"; exit 1; }
+assert_json "$rebal_drive" require rebalance_aborts 0 \
+  || { echo "remote rebalance smoke: a rebalance fence aborted"; exit 1; }
+rm -f "$rebal_drive"
+# The cluster bench's rebalance_remote block measures the same fence over
+# sockets; every skew_after in the file (in-process and remote) must beat
+# every skew_before — the remote fence flattens load exactly like the
+# in-process one.
+assert_json "$cluster_out_1" require transport uds \
+  || { echo "remote rebalance smoke: BENCH_cluster.json lacks the rebalance_remote block"; exit 1; }
+r_after=$(assert_json "$cluster_out_1" max skew_after)
+r_before=$(assert_json "$cluster_out_1" min skew_before)
+awk -v a="$r_after" -v b="$r_before" 'BEGIN { exit !(a < b) }' \
+  || { echo "remote rebalance smoke: socket skew did not improve ($r_before -> $r_after)"; exit 1; }
+
 echo "==> scale smoke (struct-of-arrays hot path at 20k objects)"
 # The quick scale sweep runs the SoA engine up to 20 000 objects plus the
 # seed head-to-head at the ceiling (engine equivalence is pinned byte for

@@ -69,6 +69,9 @@ DRIVE OPTIONS:
                             replay instead of the agent round trip [off]
     --checkpoint-ticks <N>  checkpoint the durable logs every N ticks
                             (snapshot + segment GC) [0 = off]
+    --rebalance-ticks <N>   rebalance the partition map from observed load
+                            every N measured ticks; runs the remote fence
+                            over the partition sockets (0 = off) [0]
 ";
 
 fn parse<T: std::str::FromStr>(s: &str) -> Result<T, String> {
@@ -183,6 +186,7 @@ fn run_drive(mut args: impl Iterator<Item = String>) -> Result<(), String> {
     let mut recovery = RecoveryKind::Failover;
     let mut store_dir: Option<String> = None;
     let mut checkpoint_ticks: usize = 0;
+    let mut rebalance_ticks: usize = 0;
     while let Some(arg) = args.next() {
         let mut value = |name: &str| {
             args.next()
@@ -217,6 +221,7 @@ fn run_drive(mut args: impl Iterator<Item = String>) -> Result<(), String> {
             }
             "--store-dir" => store_dir = Some(value("--store-dir")?),
             "--checkpoint-ticks" => checkpoint_ticks = parse(&value("--checkpoint-ticks")?)?,
+            "--rebalance-ticks" => rebalance_ticks = parse(&value("--rebalance-ticks")?)?,
             other => return Err(format!("unknown drive flag {other:?}")),
         }
     }
@@ -262,6 +267,9 @@ fn run_drive(mut args: impl Iterator<Item = String>) -> Result<(), String> {
         }
         if checkpoint_ticks > 0 {
             b = b.store_checkpoint_ticks(checkpoint_ticks);
+        }
+        if rebalance_ticks > 0 {
+            b = b.rebalance_ticks(rebalance_ticks);
         }
         config = b.build().map_err(|e| e.to_string())?;
     }
@@ -362,9 +370,11 @@ fn run_drive(mut args: impl Iterator<Item = String>) -> Result<(), String> {
     }
     let metrics = sim.run();
     let digest = sim.result_digest();
-    // Crash-recovery counters live on the cluster's private bus sink
-    // (kept out of the protocol snapshot the equivalence tests compare).
+    // Crash-recovery and rebalance counters live on the cluster's private
+    // bus sink (kept out of the protocol snapshot the equivalence tests
+    // compare).
     let snapshot = sim.cluster().bus_telemetry().snapshot();
+    let map_generation = sim.cluster().map_generation();
     sim.shutdown();
     drop(sim);
     // Surviving children (and respawned victims) saw `Shutdown` and must
@@ -395,6 +405,9 @@ fn run_drive(mut args: impl Iterator<Item = String>) -> Result<(), String> {
     let crash_detections = snapshot.counter(mobieyes::telemetry::rec_keys::CRASH_DETECTIONS);
     let fences = snapshot.counter(mobieyes::telemetry::rec_keys::FENCES);
     let queries_replayed = snapshot.counter(mobieyes::telemetry::rec_keys::QUERIES_REPLAYED);
+    let rebalance_installs = snapshot.counter(mobieyes::telemetry::rebal_keys::INSTALLS);
+    let rebalance_skips = snapshot.counter(mobieyes::telemetry::rebal_keys::SKIPPED);
+    let rebalance_aborts = snapshot.counter(mobieyes::telemetry::rebal_keys::ABORTS);
     let json = format!(
         concat!(
             "{{\n",
@@ -410,6 +423,11 @@ fn run_drive(mut args: impl Iterator<Item = String>) -> Result<(), String> {
             "  \"fences\": {},\n",
             "  \"store\": {},\n",
             "  \"queries_replayed\": {},\n",
+            "  \"rebalance_ticks\": {},\n",
+            "  \"map_generation\": {},\n",
+            "  \"rebalance_installs\": {},\n",
+            "  \"rebalance_skips\": {},\n",
+            "  \"rebalance_aborts\": {},\n",
             "  \"digest\": \"{:016x}\",\n",
             "  \"reference_digest\": \"{:016x}\",\n",
             "  \"digests_match\": {},\n",
@@ -433,6 +451,11 @@ fn run_drive(mut args: impl Iterator<Item = String>) -> Result<(), String> {
         fences,
         store_root.is_some(),
         queries_replayed,
+        rebalance_ticks,
+        map_generation,
+        rebalance_installs,
+        rebalance_skips,
+        rebalance_aborts,
         digest,
         reference_digest,
         matched,

@@ -353,7 +353,14 @@ fn main() {
     let report = run_approach(config, cli.approach);
     print_metrics(&report.metrics);
     if let Some(path) = &cli.metrics_out {
-        match export_snapshot(path, &report.snapshot) {
+        // Exported snapshots include the coordinator's private bus-sink
+        // data (rec.* / rebal.* counters, recovery + rebalance events) so
+        // skipped or aborted fences are diagnosable from --metrics-out.
+        let mut snapshot = report.snapshot.clone();
+        if let Some(bus) = &report.bus_snapshot {
+            snapshot.absorb(bus);
+        }
+        match export_snapshot(path, &snapshot) {
             Ok(()) => eprintln!("wrote telemetry snapshot to {path}"),
             Err(e) => {
                 eprintln!("error: failed to write {path}: {e}");

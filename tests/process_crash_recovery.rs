@@ -78,6 +78,7 @@ struct Trace {
     results: Vec<Vec<std::collections::BTreeSet<mobieyes::core::ObjectId>>>,
     converged_after: usize,
     digest: u64,
+    generation: u64,
 }
 
 fn collect(sim: &MobiEyesSim) -> Vec<std::collections::BTreeSet<mobieyes::core::ObjectId>> {
@@ -129,17 +130,20 @@ fn run_traced(mut sim: MobiEyesSim, victims: &[u32], respawn: bool) -> Trace {
     let converged_after =
         converged_after.unwrap_or_else(|| panic!("no reconvergence within {MAX_RECOVERY} ticks"));
     let digest = sim.result_digest();
+    let generation = sim.cluster().map_generation();
     sim.shutdown();
     Trace {
         results,
         converged_after,
         digest,
+        generation,
     }
 }
 
-fn assert_process_crash_recovery(seed: u64, recovery: RecoveryKind) {
+fn assert_process_crash_recovery(seed: u64, recovery: RecoveryKind, rebalance_ticks: usize) {
     let plan = PartitionCrashPlan::seeded(seed, PARTITIONS as u32, 1, CRASH_TICK);
     let victims = plan.victims.clone();
+    let config = || crash_config(seed).with_rebalance_ticks(rebalance_ticks);
 
     // The live deployment: one OS process per partition.
     let children: Rc<RefCell<Vec<Option<Child>>>> = Rc::new(RefCell::new(Vec::new()));
@@ -149,7 +153,7 @@ fn assert_process_crash_recovery(seed: u64, recovery: RecoveryKind) {
         conns.push(connect(&endpoint, p as u32));
         children.borrow_mut().push(Some(child));
     }
-    let mut sim = MobiEyesSim::with_remote_cluster(crash_config(seed), Telemetry::new(), conns);
+    let mut sim = MobiEyesSim::with_remote_cluster(config(), Telemetry::new(), conns);
     sim.set_crash_plan(plan.clone());
     sim.set_recovery(recovery);
     let kill_slots = Rc::clone(&children);
@@ -183,7 +187,7 @@ fn assert_process_crash_recovery(seed: u64, recovery: RecoveryKind) {
     }
 
     // The reference: the identical crash plan on the in-process bus.
-    let mut reference = MobiEyesSim::new(crash_config(seed));
+    let mut reference = MobiEyesSim::new(config());
     reference.set_crash_plan(plan);
     reference.set_recovery(recovery);
     let lockstep = run_traced(reference, &victims, recovery == RecoveryKind::Respawn);
@@ -197,14 +201,50 @@ fn assert_process_crash_recovery(seed: u64, recovery: RecoveryKind) {
         "post-recovery digest diverged (seed {seed})"
     );
     assert_eq!(live.converged_after, lockstep.converged_after);
+    assert_eq!(
+        live.generation, lockstep.generation,
+        "partition-map generation diverged (seed {seed})"
+    );
+    if rebalance_ticks > 0 {
+        // The crash tick (8) straddles the rebalance schedule (5, 10, ...):
+        // the load fence installed a generation before the SIGKILL and the
+        // failover fence bumped again. Under respawn the victim rejoins, so
+        // later load fences keep installing; under failover the partition
+        // stays dead and every later attempt skips cleanly (the recovery
+        // fences own the map while any slot is dead).
+        let floor = if recovery == RecoveryKind::Respawn {
+            3
+        } else {
+            2
+        };
+        assert!(
+            live.generation >= floor,
+            "expected rebalance generations around the crash, got {}",
+            live.generation
+        );
+    }
 }
 
 #[test]
 fn sigkilled_partition_process_fails_over_and_reconverges() {
-    assert_process_crash_recovery(81, RecoveryKind::Failover);
+    assert_process_crash_recovery(81, RecoveryKind::Failover, 0);
 }
 
 #[test]
 fn sigkilled_partition_process_respawns_and_reconverges() {
-    assert_process_crash_recovery(82, RecoveryKind::Respawn);
+    assert_process_crash_recovery(82, RecoveryKind::Respawn, 0);
+}
+
+/// The ISSUE-10 scenario: periodic load rebalancing is live, a partition
+/// process is SIGKILLed between two installed map generations, and the
+/// deployment must fence, recover, keep rebalancing, and still match the
+/// lock-step reference byte-for-byte.
+#[test]
+fn sigkill_between_installed_generations_fails_over_and_reconverges() {
+    assert_process_crash_recovery(81, RecoveryKind::Failover, 5);
+}
+
+#[test]
+fn sigkill_between_installed_generations_respawns_and_reconverges() {
+    assert_process_crash_recovery(82, RecoveryKind::Respawn, 5);
 }
